@@ -1,0 +1,35 @@
+"""Ablation C — how many DME candidates per cluster are worth generating.
+
+DESIGN.md calls out the candidate count K as a key design choice: more
+candidates give the MWCP selection a wider view (more matched clusters
+possible) at higher generation/selection cost.  Sweeps K on S3 and S4.
+"""
+
+import pytest
+
+from repro.core import PacorConfig, run_pacor
+from repro.designs import design_by_name
+
+
+@pytest.mark.parametrize("k", [1, 2, 4, 8])
+@pytest.mark.parametrize("name", ["S3", "S4"])
+def test_candidate_count_sweep(benchmark, name, k):
+    design = design_by_name(name)
+    result = benchmark.pedantic(
+        lambda: run_pacor(design, PacorConfig(k_candidates=k)),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.completion_rate == 1.0
+    benchmark.extra_info["k"] = k
+    benchmark.extra_info["matched"] = result.matched_clusters
+    benchmark.extra_info["total_length"] = result.total_length
+
+
+def test_more_candidates_never_hurt_matching():
+    """K=8 should match at least as many clusters as K=1 on S3/S4."""
+    for name in ("S3", "S4"):
+        design = design_by_name(name)
+        low = run_pacor(design, PacorConfig(k_candidates=1))
+        high = run_pacor(design, PacorConfig(k_candidates=8))
+        assert high.matched_clusters >= low.matched_clusters - 1, name

@@ -1,0 +1,81 @@
+"""Ablation B — escape-routing flow engine.
+
+The paper solves the escape LP with Gurobi; we solve the equivalent
+min-cost max-flow with our successive-shortest-paths engine.  This
+ablation checks the substitution on real escape instances: our engine's
+objective must equal ``networkx.max_flow_min_cost`` on the same network,
+and we time both.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.escape import EscapeSource, solve_escape
+from repro.flownet import MinCostFlow
+from repro.geometry import Point
+from repro.grid import RoutingGrid
+
+
+def _escape_instance():
+    grid = RoutingGrid(52, 52)
+    sources = [EscapeSource(i, (Point(10 + 8 * i, 26),)) for i in range(5)]
+    pins = [Point(x, 0) for x in range(2, 50, 6)] + [
+        Point(x, 51) for x in range(2, 50, 6)
+    ]
+    return grid, sources, pins
+
+
+def test_escape_solve_ours(benchmark):
+    grid, sources, pins = _escape_instance()
+    result = benchmark(lambda: solve_escape(grid, sources, pins))
+    assert result.complete
+    benchmark.extra_info["total_cost"] = result.total_cost
+
+
+def _random_network(seed):
+    import random
+
+    rng = random.Random(seed)
+    n = 40
+    ours = MinCostFlow(n)
+    theirs = nx.DiGraph()
+    theirs.add_nodes_from(range(n))
+    used = set()
+    for _ in range(240):
+        u, v = rng.sample(range(n), 2)
+        if (u, v) in used:
+            continue
+        used.add((u, v))
+        cap = rng.randint(1, 5)
+        cost = rng.randint(0, 12)
+        ours.add_arc(u, v, cap, float(cost))
+        theirs.add_edge(u, v, capacity=cap, weight=cost)
+    return ours, theirs
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_engines_agree(seed):
+    ours, theirs = _random_network(seed)
+    flow, cost = ours.max_flow_min_cost(0, 39)
+    flow_dict = nx.max_flow_min_cost(theirs, 0, 39)
+    nx_flow = sum(flow_dict[0].values()) - sum(
+        d.get(0, 0) for d in flow_dict.values()
+    )
+    nx_cost = nx.cost_of_flow(theirs, flow_dict)
+    assert flow == nx_flow
+    assert cost == pytest.approx(nx_cost)
+
+
+def test_engine_ours_speed(benchmark):
+    ours, _ = _random_network(7)
+    benchmark(lambda: _random_network(7)[0].max_flow_min_cost(0, 39))
+
+
+def test_engine_networkx_speed(benchmark):
+    _, theirs = _random_network(7)
+
+    def run():
+        g = theirs.copy()
+        return nx.max_flow_min_cost(g, 0, 39)
+
+    benchmark(run)

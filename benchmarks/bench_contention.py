@@ -1,0 +1,44 @@
+"""Contention study — matched clusters vs valve-packing density.
+
+The paper's real chips are hard because their valves crowd the
+functional core.  This benchmark charts, over the stress family's
+contention axis, how many clusters stay length-matched and how much
+wirelength the matching costs — the calibration study behind the
+synthetic suite (see EXPERIMENTS.md, "Reading guidance").
+"""
+
+import pytest
+
+from repro.analysis import quality_ratio, verify_result
+from repro.core import run_pacor
+from repro.designs.stress import CONTENTION_LEVELS, stress_design
+
+
+@pytest.mark.parametrize("level", list(CONTENTION_LEVELS))
+def test_contention_sweep(benchmark, level):
+    design = stress_design(level, scale=2)
+    result = benchmark.pedantic(lambda: run_pacor(design), rounds=1, iterations=1)
+    verify_result(design, result)
+    benchmark.extra_info["level"] = level
+    benchmark.extra_info["core_fraction"] = CONTENTION_LEVELS[level]
+    benchmark.extra_info["matched"] = result.matched_clusters
+    benchmark.extra_info["n_clusters"] = result.n_lm_clusters
+    benchmark.extra_info["completion"] = f"{result.completion_rate:.3f}"
+    benchmark.extra_info["quality_ratio"] = f"{quality_ratio(design, result):.2f}"
+
+
+def test_open_placement_matches_nearly_everything():
+    design = stress_design("open", scale=2)
+    result = run_pacor(design)
+    assert result.completion_rate == 1.0
+    assert result.matched_clusters >= result.n_lm_clusters - 1
+
+
+def test_extreme_contention_costs_matches_not_completion():
+    """Per-instance matching is noisy, but the extremes separate: heavy
+    packing loses matches while routing completion holds."""
+    mild = run_pacor(stress_design("mild", scale=2))
+    extreme = run_pacor(stress_design("extreme", scale=2))
+    assert mild.completion_rate == 1.0
+    assert extreme.completion_rate == 1.0
+    assert extreme.matched_clusters < mild.matched_clusters

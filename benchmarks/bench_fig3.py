@@ -1,0 +1,61 @@
+"""Fig. 3 — DME candidate Steiner trees for a 4-valve cluster.
+
+The figure shows the merging segments (a) and three distinct candidate
+embeddings (b)-(d), all satisfying the length-matching constraint.  The
+benchmark regenerates exactly that: a 4-sink cluster, multiple distinct
+candidates, every one with balanced sink distances (up to the half-unit
+Lemma-1 rounding repaired later by detouring).
+"""
+
+import pytest
+
+from repro.dme import (
+    balanced_bipartition_topology,
+    compute_merging_regions,
+    generate_candidates,
+)
+from repro.geometry import Point
+from repro.grid import RoutingGrid
+
+SINKS = [Point(3, 3), Point(13, 4), Point(4, 12), Point(14, 13)]
+
+
+def test_fig3a_merging_segments(benchmark):
+    def build():
+        topology = balanced_bipartition_topology(SINKS)
+        compute_merging_regions(topology)
+        return topology
+
+    topology = benchmark(build)
+    internal = [n for n in topology.walk() if not n.is_leaf()]
+    assert len(internal) == 3  # m1, m2, m3 of the figure
+    for node in internal:
+        assert node.merge_region is not None
+    benchmark.extra_info["n_merging_segments"] = len(internal)
+
+
+def test_fig3bcd_candidates(benchmark):
+    grid = RoutingGrid(18, 18)
+    candidates = benchmark(lambda: generate_candidates(grid, 0, SINKS, k=4))
+    assert len(candidates) >= 3  # the figure shows three distinct trees
+    signatures = {t.signature() for t in candidates}
+    assert len(signatures) == len(candidates)
+    for tree in candidates:
+        lengths = list(tree.full_path_lengths().values())
+        # Balanced up to cumulative half-unit rounding over tree height.
+        assert max(lengths) - min(lengths) <= 2
+    benchmark.extra_info["n_candidates"] = len(candidates)
+    benchmark.extra_info["mismatches"] = [t.mismatch() for t in candidates]
+
+
+def test_fig3_candidates_with_obstacles(benchmark):
+    """Embedding must dodge blockages (Section 4.1's second issue)."""
+    grid = RoutingGrid(18, 18)
+    for cell in [Point(8, y) for y in range(6, 11)]:
+        grid.set_obstacle(cell)
+    candidates = benchmark(lambda: generate_candidates(grid, 0, SINKS, k=4))
+    assert candidates
+    for tree in candidates:
+        for node in tree.root.walk():
+            if not node.is_leaf():
+                assert grid.is_free(node.position)

@@ -1,0 +1,58 @@
+"""Motivation experiment — switching skew with and without length matching.
+
+Section 1 motivates the length-matching constraint: unequal channel
+lengths make synchronised valves switch at different times.  This
+benchmark quantifies that on routed solutions with the first-order
+pressure-delay model: worst-case modelled skew of matched clusters must
+stay bounded by δ (linear model), while disabling the detour stage lets
+skew grow with the raw DME/obstacle mismatch.
+"""
+
+import pytest
+
+from repro.analysis import DelayModel, cluster_skews, worst_skew
+from repro.core import PacorConfig, run_pacor
+from repro.designs import design_by_name
+
+_LINEAR = DelayModel(tau0=1.0, alpha=1.0)
+
+
+@pytest.mark.parametrize("name", ["S3", "S4", "S5"])
+def test_matched_skew_bounded(benchmark, name):
+    design = design_by_name(name)
+    result = benchmark.pedantic(lambda: run_pacor(design), rounds=1, iterations=1)
+    matched = worst_skew(design, result, _LINEAR, matched_only=True)
+    overall = worst_skew(design, result, _LINEAR)
+    assert matched <= design.delta
+    benchmark.extra_info["matched_skew"] = matched
+    benchmark.extra_info["overall_skew"] = overall
+
+
+@pytest.mark.parametrize("name", ["S3", "S4"])
+def test_detouring_reduces_skew(benchmark, name):
+    design = design_by_name(name)
+
+    def run_both():
+        with_detour = run_pacor(design)
+        without = run_pacor(design, PacorConfig(detour_stage="none"))
+        return with_detour, without
+
+    with_detour, without = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    matched_with = worst_skew(design, with_detour, _LINEAR, matched_only=True)
+    benchmark.extra_info["skew_with_detour"] = matched_with
+    benchmark.extra_info["skew_without_detour"] = worst_skew(
+        design, without, _LINEAR
+    )
+    assert matched_with <= design.delta
+
+
+def test_quadratic_model_punishes_mismatch_more():
+    design = design_by_name("S3")
+    result = run_pacor(design)
+    skews = cluster_skews(design, result, DelayModel(tau0=1.0, alpha=2.0))
+    linear = cluster_skews(design, result, _LINEAR)
+    by_net_q = {s.net_id: s.skew for s in skews}
+    by_net_l = {s.net_id: s.skew for s in linear}
+    for net_id, lskew in by_net_l.items():
+        if lskew > 0:
+            assert by_net_q[net_id] >= lskew

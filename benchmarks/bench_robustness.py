@@ -1,0 +1,43 @@
+"""Robustness study — routing stability under layout perturbation.
+
+A production flow should not be brittle: nudging half the valves by one
+cell and sprinkling a few extra obstruction cells must not collapse
+completion or matching.  Runs PACOR over a family of perturbed S3/S4
+variants and reports the spread of matched clusters and completion.
+"""
+
+import pytest
+
+from repro.analysis import verify_result
+from repro.core import run_pacor
+from repro.designs import design_by_name
+from repro.designs.perturb import perturbation_family
+
+
+@pytest.mark.parametrize("name", ["S3", "S4"])
+def test_perturbation_family(benchmark, name):
+    base = design_by_name(name)
+    variants = perturbation_family(base, count=4, seed=400)
+
+    def run_all():
+        return [run_pacor(v) for v in variants]
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    matched = []
+    for variant, result in zip(variants, results):
+        verify_result(variant, result)
+        assert result.completion_rate == 1.0
+        matched.append(result.matched_clusters)
+    benchmark.extra_info["matched_per_variant"] = matched
+    benchmark.extra_info["n_clusters"] = results[0].n_lm_clusters
+    # Matching never collapses entirely under mild perturbation.
+    assert min(matched) >= results[0].n_lm_clusters - 2
+
+
+def test_baseline_vs_perturbed_matching_close():
+    base = design_by_name("S3")
+    base_result = run_pacor(base)
+    worst = base_result.matched_clusters
+    for variant in perturbation_family(base, count=3, seed=900):
+        worst = min(worst, run_pacor(variant).matched_clusters)
+    assert worst >= base_result.matched_clusters - 2

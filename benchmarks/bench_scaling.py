@@ -1,0 +1,41 @@
+"""Scaling study — empirical runtime growth of the full flow.
+
+Sections 4-6 argue every stage is polynomial (negotiation O(m·n·|B|·γ),
+detouring O(m·n·|PFs|·|Psi|·θ), escape routing one min-cost flow).  This
+benchmark measures end-to-end runtime on a family of geometrically
+growing designs with proportional cluster counts, so the growth curve
+can be inspected in the benchmark report.
+"""
+
+import pytest
+
+from repro.core import run_pacor
+from repro.designs import ClusterPlan, generate_design
+
+
+def _design(scale: int):
+    side = 24 * scale
+    n_clusters = 2 * scale
+    sizes = [2 + (i % 2) for i in range(n_clusters)]  # alternate 2s and 3s
+    return generate_design(
+        f"scale{scale}",
+        side,
+        side,
+        clusters=[ClusterPlan(s) for s in sizes],
+        n_singletons=2 * scale,
+        n_pins=8 * scale,
+        n_obstacles=6 * scale * scale,
+        seed=100 + scale,
+        core_fraction=0.6,
+    )
+
+
+@pytest.mark.parametrize("scale", [1, 2, 3, 4])
+def test_flow_scaling(benchmark, scale):
+    design = _design(scale)
+    result = benchmark.pedantic(lambda: run_pacor(design), rounds=1, iterations=1)
+    assert result.completion_rate == 1.0
+    benchmark.extra_info["grid"] = f"{design.grid.width}x{design.grid.height}"
+    benchmark.extra_info["valves"] = len(design.valves)
+    benchmark.extra_info["matched"] = result.matched_clusters
+    benchmark.extra_info["total_length"] = result.total_length

@@ -1,0 +1,48 @@
+"""Table 1 — benchmark design parameters.
+
+Regenerates the paper's Table 1: for each design, Size, #Valves,
+#Control pin and #Obs.  The benchmark measures design synthesis time and
+asserts that every generated instance carries exactly the published
+parameters.
+"""
+
+import pytest
+
+from repro.analysis import format_table, table1_rows
+from repro.designs import TABLE1_PARAMETERS, design_by_name
+
+_SMALL = ["S1", "S2", "S3", "S4", "S5"]
+_CHIPS = ["Chip1", "Chip2"]
+
+
+def _check(design):
+    params = TABLE1_PARAMETERS[design.name]
+    assert (design.grid.width, design.grid.height) == params["size"]
+    assert len(design.valves) == params["n_valves"]
+    assert len(design.control_pins) == params["n_pins"]
+    assert design.grid.obstacle_count() == params["n_obs"]
+    return design
+
+
+@pytest.mark.parametrize("name", _SMALL)
+def test_table1_synthetic(benchmark, name):
+    design = benchmark(lambda: _check(design_by_name(name)))
+    benchmark.extra_info.update(design.stats())
+
+
+@pytest.mark.chips
+@pytest.mark.parametrize("name", _CHIPS)
+def test_table1_chips(benchmark, name):
+    design = benchmark.pedantic(
+        lambda: _check(design_by_name(name)), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(design.stats())
+
+
+def test_table1_print(capsys):
+    """Print the Table-1 rows (visible with ``-s`` / in the report)."""
+    designs = [design_by_name(n) for n in _SMALL]
+    headers = ["Design", "Size", "#Valves", "#Control pin", "#Obs"]
+    text = format_table(headers, table1_rows(designs))
+    print("\n" + text)
+    assert "S5" in text

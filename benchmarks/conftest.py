@@ -1,0 +1,14 @@
+"""Shared fixtures and options for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (see
+DESIGN.md's experiment index).  Heavy chip-scale rows are marked
+``chips`` and can be skipped with ``-m 'not chips'`` for a quick pass.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "chips: chip-scale benchmark rows (Chip1/Chip2, slow)"
+    )

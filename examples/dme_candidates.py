@@ -1,0 +1,87 @@
+"""Recreate Fig. 3: DME candidate Steiner trees for a 4-valve cluster.
+
+The DME algorithm first computes *merging segments* bottom-up (Fig. 3a),
+then different merging-node choices during the top-down embedding yield
+multiple candidate Steiner trees, each with balanced sink distances
+(Fig. 3b-d).  This example prints the merging segments and draws each
+candidate tree.
+
+Run with::
+
+    python examples/dme_candidates.py
+"""
+
+from repro.dme import (
+    balanced_bipartition_topology,
+    compute_merging_regions,
+    generate_candidates,
+)
+from repro.geometry import Point
+from repro.grid import RoutingGrid
+
+
+SINKS = [Point(3, 3), Point(13, 4), Point(4, 12), Point(14, 13)]
+
+
+def show_merging_segments() -> None:
+    """Fig. 3(a): the merging segments of the BB topology."""
+    topology = balanced_bipartition_topology(SINKS)
+    compute_merging_regions(topology)
+    print("Merging segments (rotated half-unit rectangles):")
+    index = 0
+    for node in topology.walk():
+        if node.is_leaf():
+            continue
+        index += 1
+        region = node.merge_region
+        on_grid = list(region.grid_points())
+        print(
+            f"  m{index}: TRR u=[{region.ulo},{region.uhi}] "
+            f"v=[{region.vlo},{region.vhi}], delay {node.delay_h / 2:.1f} "
+            f"grid units, {len(on_grid)} on-grid points"
+        )
+
+
+def draw(tree, grid) -> str:
+    """ASCII sketch of one embedded candidate."""
+    rows = [["."] * grid.width for _ in range(grid.height)]
+    for edge in tree.edges():
+        # Sketch the L-route between the embedded endpoints.
+        a, b = edge.parent, edge.child
+        x = a.x
+        step = 1 if b.x >= a.x else -1
+        for xx in range(a.x, b.x + step, step):
+            rows[a.y][xx] = "+"
+        step = 1 if b.y >= a.y else -1
+        for yy in range(a.y, b.y + step, step):
+            rows[yy][b.x] = "+"
+    for node in tree.root.walk():
+        if not node.is_leaf():
+            rows[node.position.y][node.position.x] = "m"
+    for sink, pos in tree.sink_positions().items():
+        rows[pos.y][pos.x] = str(sink + 1)
+    rows[tree.root_position.y][tree.root_position.x] = "R"
+    return "\n".join("".join(r) for r in rows)
+
+
+def main() -> None:
+    grid = RoutingGrid(18, 18)
+    show_merging_segments()
+
+    candidates = generate_candidates(grid, 0, SINKS, k=4)
+    print(f"\n{len(candidates)} distinct candidate trees "
+          f"(sorted by estimated mismatch, then wirelength):\n")
+    for i, tree in enumerate(candidates):
+        lengths = tree.full_path_lengths()
+        print(
+            f"Candidate {i}: root {tree.root_position}, "
+            f"sink path lengths {sorted(lengths.values())}, "
+            f"mismatch dL = {tree.mismatch()}, "
+            f"wirelength {tree.total_estimated_length()}"
+        )
+        print(draw(tree, grid))
+        print()
+
+
+if __name__ == "__main__":
+    main()

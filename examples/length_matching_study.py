@@ -1,0 +1,53 @@
+"""Study: how the matching threshold δ shapes the routing outcome.
+
+Sweeps δ on the S3 benchmark and reports matched clusters, total matched
+channel length and total channel length.  A tighter δ forces more
+detouring (longer matched channels) and eventually makes some clusters
+unmatchable — the trade-off at the heart of the length-matching
+constraint.
+
+Run with::
+
+    python examples/length_matching_study.py
+"""
+
+from repro import PacorConfig, run_pacor, s3
+from repro.analysis import format_table, verify_result
+
+
+def main() -> None:
+    rows = []
+    for delta in (0, 1, 2, 4, 8, 16):
+        design = s3()
+        result = run_pacor(design, PacorConfig(delta=delta))
+        verify_result(design, result)
+        worst = max(
+            (n.mismatch for n in result.nets if n.mismatch is not None),
+            default=0,
+        )
+        rows.append(
+            [
+                delta,
+                f"{result.matched_clusters}/{result.n_lm_clusters}",
+                result.total_matched_length,
+                result.total_length,
+                worst,
+                f"{result.completion_rate:.0%}",
+            ]
+        )
+    print("PACOR on S3 under varying length-matching threshold δ:\n")
+    print(
+        format_table(
+            ["delta", "matched", "matched len", "total len", "worst dL", "completion"],
+            rows,
+        )
+    )
+    print(
+        "\nReading: delta=1 is the paper's setting; looser thresholds match "
+        "clusters without detouring (shorter channels), tighter ones cost "
+        "wirelength or matches."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Quickstart: route the S1 benchmark and inspect the result.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import run_pacor, s1
+from repro.analysis import verify_result
+from repro.viz import render_ascii
+
+
+def main() -> None:
+    design = s1()
+    print(f"Design: {design!r}")
+
+    result = run_pacor(design)
+
+    row = result.summary_row()
+    print(
+        f"\nPACOR on {row['design']}: "
+        f"{row['matched_clusters']}/{row['n_clusters']} clusters matched, "
+        f"total channel length {row['total_length']}, "
+        f"completion {row['completion']:.0%}, "
+        f"runtime {row['runtime_s']:.3f}s"
+    )
+
+    print("\nPer-net outcome:")
+    for net in result.nets:
+        tag = "LM" if net.length_matching else "  "
+        matched = {True: "matched", False: "NOT matched", None: "-"}[net.matched]
+        print(
+            f"  net {net.net_id} {tag} valves={net.valve_ids} "
+            f"pin={net.pin} length={net.channel_length} {matched}"
+        )
+
+    notes = verify_result(design, result)
+    print(f"\nIndependent verification passed ({len(notes)} notes).")
+
+    print("\nRouted chip (V=valve, @=assigned pin, #=obstacle):")
+    print(render_ascii(design, result))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Reproduce the paper's Table 2 end to end.
+
+Runs the three methods ("w/o Sel", "Detour First", PACOR) on the chosen
+designs, verifies every solution independently, prints the paper-style
+table plus the normalised "Avg." row, and optionally writes the raw
+numbers to JSON.
+
+Run with::
+
+    python examples/reproduce_table2.py              # S1-S5 (fast)
+    python examples/reproduce_table2.py --chips      # full suite (minutes)
+    python examples/reproduce_table2.py --json out.json
+"""
+
+import argparse
+import json
+
+from repro.analysis import compare_methods, format_table, verify_result
+from repro.analysis.report import table2_headers, table2_rows
+from repro.core import METHODS, run_method
+from repro.designs import design_by_name
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--chips", action="store_true", help="include Chip1/Chip2")
+    parser.add_argument("--json", metavar="FILE", help="dump raw rows to JSON")
+    args = parser.parse_args()
+
+    names = ["S1", "S2", "S3", "S4", "S5"]
+    if args.chips:
+        names = ["Chip1", "Chip2"] + names
+
+    results = {m: [] for m in METHODS}
+    for name in names:
+        design = design_by_name(name)
+        for method in METHODS:
+            result = run_method(design, method)
+            notes = verify_result(design, result)
+            results[method].append(result)
+            print(
+                f"  {name:6s} {method:13s} matched "
+                f"{result.matched_clusters}/{result.n_lm_clusters} "
+                f"len {result.total_length} "
+                f"completion {result.completion_rate:.0%} "
+                f"({result.runtime_s:.1f}s, verified, {len(notes)} notes)"
+            )
+
+    print()
+    print(format_table(table2_headers(), table2_rows(results)))
+
+    print("\nAvg. (normalised to PACOR, as in the paper):")
+    for comp in compare_methods(results):
+        print(
+            f"  {comp.method:13s} matched {comp.matched_ratio:.2f}  "
+            f"matched-len {comp.matched_length_ratio:.2f}  "
+            f"total-len {comp.total_length_ratio:.2f}  "
+            f"runtime {comp.runtime_ratio:.2f}"
+        )
+
+    if args.json:
+        rows = [
+            {**result.summary_row()}
+            for method in METHODS
+            for result in results[method]
+        ]
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(rows, handle, indent=1)
+        print(f"\nwrote {args.json}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setup shim: enables editable installs without the wheel package."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,67 @@
+"""PACOR reproduction: control-layer routing for flow-based biochips.
+
+A from-scratch Python implementation of *PACOR: Practical Control-Layer
+Routing Flow with Length-Matching Constraint for Flow-Based Microfluidic
+Biochips* (Yao, Ho, Cai — DAC 2015), including every substrate the flow
+depends on: DME Steiner-tree construction, maximum-weight-clique
+candidate selection, negotiation-based detailed routing, min-cost-flow
+escape routing and bounded-length path detouring.
+
+Quickstart::
+
+    from repro import run_pacor, s1
+
+    result = run_pacor(s1())
+    print(result.summary_row())
+"""
+
+from repro.core import (
+    PacorConfig,
+    PacorResult,
+    PacorRouter,
+    run_detour_first,
+    run_method,
+    run_pacor,
+    run_without_selection,
+)
+from repro.designs import (
+    Design,
+    chip1,
+    chip2,
+    design_by_name,
+    generate_design,
+    load_design,
+    s1,
+    s2,
+    s3,
+    s4,
+    s5,
+    save_design,
+    table1_suite,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PacorConfig",
+    "PacorRouter",
+    "PacorResult",
+    "run_pacor",
+    "run_without_selection",
+    "run_detour_first",
+    "run_method",
+    "Design",
+    "generate_design",
+    "save_design",
+    "load_design",
+    "design_by_name",
+    "table1_suite",
+    "chip1",
+    "chip2",
+    "s1",
+    "s2",
+    "s3",
+    "s4",
+    "s5",
+    "__version__",
+]

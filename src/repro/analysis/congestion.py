@@ -1,0 +1,106 @@
+"""Congestion analysis of routed solutions.
+
+Reports how densely the chip's routing resource is used: per-tile
+channel occupancy (for heat-mapping), overall utilisation, and the
+congestion hot-spots that explain where negotiation/rip-up had to work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.result import PacorResult
+from repro.designs.design import Design
+from repro.geometry.point import Point
+
+
+@dataclass
+class CongestionMap:
+    """Tile-level occupancy of a routed chip.
+
+    Attributes:
+        tile: tile edge length in grid cells.
+        tiles_x, tiles_y: tile-grid dimensions.
+        occupancy: per tile (tx, ty), channel cells / free capacity,
+            in [0, 1]; tiles with zero capacity (all obstacle) are 0.
+        utilisation: overall channel cells / free cells.
+    """
+
+    tile: int
+    tiles_x: int
+    tiles_y: int
+    occupancy: Dict[Tuple[int, int], float]
+    utilisation: float
+
+    def hotspots(self, threshold: float = 0.5) -> List[Tuple[int, int]]:
+        """Return tiles with occupancy above ``threshold``, densest first."""
+        return sorted(
+            (t for t, v in self.occupancy.items() if v > threshold),
+            key=lambda t: -self.occupancy[t],
+        )
+
+    def max_occupancy(self) -> float:
+        """Return the densest tile's occupancy."""
+        return max(self.occupancy.values(), default=0.0)
+
+
+def congestion_map(design: Design, result: PacorResult, tile: int = 8) -> CongestionMap:
+    """Compute the tile-level congestion of a routed solution."""
+    if tile < 1:
+        raise ValueError("tile size must be positive")
+    grid = design.grid
+    tiles_x = (grid.width + tile - 1) // tile
+    tiles_y = (grid.height + tile - 1) // tile
+
+    capacity: Dict[Tuple[int, int], int] = {}
+    used: Dict[Tuple[int, int], int] = {}
+    for ty in range(tiles_y):
+        for tx in range(tiles_x):
+            capacity[(tx, ty)] = 0
+            used[(tx, ty)] = 0
+    for y in range(grid.height):
+        for x in range(grid.width):
+            if grid.is_free(Point(x, y)):
+                capacity[(x // tile, y // tile)] += 1
+    total_used = 0
+    for net in result.nets:
+        for cell in net.cells:
+            used[(cell.x // tile, cell.y // tile)] += 1
+            total_used += 1
+
+    occupancy = {
+        t: (used[t] / capacity[t] if capacity[t] else 0.0) for t in capacity
+    }
+    free_total = sum(capacity.values())
+    return CongestionMap(
+        tile=tile,
+        tiles_x=tiles_x,
+        tiles_y=tiles_y,
+        occupancy=occupancy,
+        utilisation=total_used / free_total if free_total else 0.0,
+    )
+
+
+def congestion_svg(design: Design, result: PacorResult, *, tile: int = 8, cell: int = 6) -> str:
+    """Return an SVG heat map of tile occupancy (white → dark red)."""
+    cmap = congestion_map(design, result, tile)
+    width = design.grid.width * cell
+    height = design.grid.height * cell
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="#ffffff"/>',
+    ]
+    for (tx, ty), value in sorted(cmap.occupancy.items()):
+        if value <= 0:
+            continue
+        # White (0) to dark red (1).
+        shade = int(255 * (1 - min(value, 1.0)))
+        parts.append(
+            f'<rect x="{tx * tile * cell}" y="{ty * tile * cell}" '
+            f'width="{tile * cell}" height="{tile * cell}" '
+            f'fill="rgb(255,{shade},{shade})"/>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)

@@ -1,0 +1,67 @@
+"""Cross-method metric aggregation (the "Avg." row of Table 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.result import PacorResult
+
+
+@dataclass
+class MethodComparison:
+    """Normalised averages of one method against a reference method.
+
+    The paper's "Avg." row normalises every method's metric to PACOR's
+    (reference = 1.0); ratios average only over designs where both values
+    are non-zero.
+    """
+
+    method: str
+    matched_ratio: float
+    matched_length_ratio: float
+    total_length_ratio: float
+    runtime_ratio: float
+
+
+def _safe_ratio_avg(pairs: Sequence[tuple]) -> float:
+    ratios = [a / b for a, b in pairs if b]
+    return sum(ratios) / len(ratios) if ratios else 0.0
+
+
+def compare_methods(
+    results: Dict[str, List[PacorResult]], reference: str = "PACOR"
+) -> List[MethodComparison]:
+    """Return per-method averages normalised to ``reference``.
+
+    ``results`` maps method name -> per-design results (same design
+    order for every method).
+    """
+    if reference not in results:
+        raise ValueError(f"reference method {reference!r} missing from results")
+    ref = results[reference]
+    comparisons = []
+    for method, runs in results.items():
+        if len(runs) != len(ref):
+            raise ValueError(f"method {method!r} has a different design count")
+        comparisons.append(
+            MethodComparison(
+                method=method,
+                matched_ratio=_safe_ratio_avg(
+                    [(r.matched_clusters, f.matched_clusters) for r, f in zip(runs, ref)]
+                ),
+                matched_length_ratio=_safe_ratio_avg(
+                    [
+                        (r.total_matched_length, f.total_matched_length)
+                        for r, f in zip(runs, ref)
+                    ]
+                ),
+                total_length_ratio=_safe_ratio_avg(
+                    [(r.total_length, f.total_length) for r, f in zip(runs, ref)]
+                ),
+                runtime_ratio=_safe_ratio_avg(
+                    [(r.runtime_s, f.runtime_s) for r, f in zip(runs, ref)]
+                ),
+            )
+        )
+    return comparisons

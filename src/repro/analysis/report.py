@@ -1,0 +1,74 @@
+"""Plain-text report tables in the layout of the paper's Table 1/Table 2."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.core.result import PacorResult
+from repro.designs.design import Design
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned monospace table."""
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)
+
+
+def table1_rows(designs: Sequence[Design]) -> List[List[object]]:
+    """Return Table-1 rows: Design, Size, #Valves, #CP, #Obs."""
+    return [
+        [
+            d.name,
+            d.size_label,
+            len(d.valves),
+            len(d.control_pins),
+            d.grid.obstacle_count(),
+        ]
+        for d in designs
+    ]
+
+
+def table2_rows(
+    results_by_method: Dict[str, List[PacorResult]],
+    method_order: Sequence[str] = ("w/o Sel", "Detour First", "PACOR"),
+) -> List[List[object]]:
+    """Return Table-2 rows: per design, the three methods' metrics.
+
+    Columns: Design, #Clusters, then per method #Matched, matched length,
+    total length and runtime — mirroring the paper's layout.
+    """
+    methods = [m for m in method_order if m in results_by_method]
+    if not methods:
+        raise ValueError("no known methods in results")
+    n_designs = len(results_by_method[methods[0]])
+    rows: List[List[object]] = []
+    for i in range(n_designs):
+        first = results_by_method[methods[0]][i]
+        row: List[object] = [first.design_name, first.n_lm_clusters]
+        for metric in ("matched_clusters", "total_matched_length", "total_length"):
+            for m in methods:
+                row.append(getattr(results_by_method[m][i], metric))
+        for m in methods:
+            row.append(f"{results_by_method[m][i].runtime_s:.2f}")
+        rows.append(row)
+    return rows
+
+
+def table2_headers(
+    method_order: Sequence[str] = ("w/o Sel", "Detour First", "PACOR"),
+) -> List[str]:
+    """Return the header row matching :func:`table2_rows`."""
+    headers = ["Design", "#Clusters"]
+    for metric in ("#Matched", "MatchedLen", "TotalLen"):
+        headers.extend(f"{metric}({m})" for m in method_order)
+    headers.extend(f"Runtime({m})" for m in method_order)
+    return headers

@@ -1,0 +1,91 @@
+"""Instance statistics and wirelength lower bounds.
+
+Absolute channel lengths mean little without a yardstick.  This module
+computes per-design lower bounds on the total channel length any
+crossing-free solution must pay:
+
+* **internal connectivity** — each multi-valve cluster needs a
+  rectilinear Steiner tree over its valves; RSMT length is bounded below
+  by both the semiperimeter of the valves' bounding box and 2/3 of the
+  Manhattan MST weight (Hwang's bound).
+* **escape** — each cluster additionally needs a channel to a control
+  pin; at least the Manhattan distance from the cluster's valve set to
+  the nearest candidate pin.
+
+The bound ignores congestion, so real solutions land above it; the ratio
+``total_length / lower_bound`` is a scale-free quality number reported by
+the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.core.result import PacorResult
+from repro.designs.design import Design
+from repro.geometry.point import Point, manhattan
+from repro.geometry.rect import Rect
+from repro.routing.mst import manhattan_mst
+from repro.valves.clustering import cluster_valves
+
+
+def steiner_lower_bound(points: Sequence[Point]) -> int:
+    """Return a lower bound on the rectilinear Steiner tree length."""
+    if len(points) <= 1:
+        return 0
+    box = Rect.from_points(points)
+    semiperimeter = (box.width - 1) + (box.height - 1)
+    edges = manhattan_mst(list(points))
+    mst_weight = sum(manhattan(points[a], points[b]) for a, b in edges)
+    # RSMT >= 2/3 * MST (tight for rectilinear metrics).
+    return max(semiperimeter, (2 * mst_weight + 2) // 3)
+
+
+def escape_lower_bound(points: Sequence[Point], pins: Sequence[Point]) -> int:
+    """Return the minimum channel length from a valve set to any pin."""
+    if not points or not pins:
+        return 0
+    return min(manhattan(p, pin) for p in points for pin in pins)
+
+
+@dataclass
+class DesignBounds:
+    """Wirelength lower bounds for one design.
+
+    Attributes:
+        internal: per cluster id, the Steiner lower bound.
+        escape: per cluster id, the pin-reach lower bound.
+        total: sum of all bounds — no solution can be shorter.
+    """
+
+    internal: Dict[int, int]
+    escape: Dict[int, int]
+
+    @property
+    def total(self) -> int:
+        return sum(self.internal.values()) + sum(self.escape.values())
+
+
+def design_lower_bounds(design: Design) -> DesignBounds:
+    """Compute the wirelength lower bounds of a design."""
+    clusters = cluster_valves(design.valves, design.lm_groups)
+    internal: Dict[int, int] = {}
+    escape: Dict[int, int] = {}
+    for cluster in clusters:
+        points = [v.position for v in cluster.valves]
+        internal[cluster.id] = steiner_lower_bound(points)
+        escape[cluster.id] = escape_lower_bound(points, design.control_pins)
+    return DesignBounds(internal=internal, escape=escape)
+
+
+def quality_ratio(design: Design, result: PacorResult) -> float:
+    """Return ``total routed length / lower bound`` (>= 1 when complete).
+
+    Only meaningful at (near-)full completion: unrouted nets pay no
+    length, which would deflate the ratio.
+    """
+    bound = design_lower_bounds(design).total
+    if bound == 0:
+        return 1.0
+    return result.total_length / bound

@@ -1,0 +1,234 @@
+"""Command-line front-end: ``pacor <command> ...`` or ``python -m repro``.
+
+Commands:
+
+* ``pacor route S3`` — run a method on a suite design (or a JSON design
+  file), print the Table-2 row and optionally export SVG/ASCII art.
+* ``pacor table1`` — print the benchmark-parameter table.
+* ``pacor table2 --designs S1 S2`` — run the three-method comparison.
+* ``pacor generate out.json --width 40 ...`` — synthesize a new design.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import (
+    DelayModel,
+    cluster_skews,
+    format_table,
+    quality_ratio,
+    table1_rows,
+    verify_result,
+)
+from repro.analysis.report import table2_headers, table2_rows
+from repro.core import METHODS, PacorConfig, run_method
+from repro.designs import (
+    ClusterPlan,
+    design_by_name,
+    generate_design,
+    load_design,
+    save_design,
+    table1_suite,
+)
+from repro.viz import render_ascii, render_svg
+
+
+def _resolve_design(token: str):
+    if token.endswith(".json"):
+        return load_design(token)
+    return design_by_name(token)
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    design = _resolve_design(args.design)
+    config = PacorConfig(k_candidates=args.candidates)
+    result = run_method(design, args.method, config)
+    row = result.summary_row()
+    print(
+        f"{row['design']}: method={row['method']} "
+        f"matched={row['matched_clusters']}/{row['n_clusters']} "
+        f"matched_len={row['total_matched_length']} "
+        f"total_len={row['total_length']} "
+        f"completion={row['completion']:.1%} "
+        f"runtime={row['runtime_s']:.2f}s"
+    )
+    if args.verify:
+        notes = verify_result(design, result)
+        print(f"verification OK ({len(notes)} notes)")
+        for note in notes:
+            print(f"  note: {note}")
+    if args.svg:
+        with open(args.svg, "w", encoding="utf-8") as handle:
+            handle.write(render_svg(design, result))
+        print(f"wrote {args.svg}")
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(result.to_json(), handle, indent=1)
+        print(f"wrote {args.json}")
+    if args.ascii:
+        print(render_ascii(design, result))
+    if args.events:
+        for event in result.events:
+            print(f"  {event}")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    designs = table1_suite(include_chips=args.chips)
+    headers = ["Design", "Size", "#Valves", "#Control pin", "#Obs"]
+    print(format_table(headers, table1_rows(designs)))
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    results = {name: [] for name in METHODS}
+    for token in args.designs:
+        design = _resolve_design(token)
+        for name in METHODS:
+            results[name].append(run_method(design, name))
+    print(format_table(table2_headers(), table2_rows(results)))
+    return 0
+
+
+def _cmd_skew(args: argparse.Namespace) -> int:
+    design = _resolve_design(args.design)
+    result = run_method(design, args.method)
+    model = DelayModel(tau0=args.tau0, alpha=args.alpha)
+    skews = cluster_skews(design, result, model)
+    rows = [
+        [
+            s.net_id,
+            len(s.arrival),
+            "yes" if s.matched else ("-" if s.matched is None else "no"),
+            f"{s.skew:.4g}",
+        ]
+        for s in sorted(skews, key=lambda s: -s.skew)
+    ]
+    print(
+        f"{design.name}: modelled switching skew "
+        f"(tau0={args.tau0:g}, alpha={args.alpha:g})"
+    )
+    print(format_table(["net", "#valves", "matched", "skew [s]"], rows))
+    print(f"quality ratio (length / lower bound): {quality_ratio(design, result):.2f}")
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    """Pretty-print rows saved by ``reproduce_table2.py --json``."""
+    import json
+
+    with open(args.results, "r", encoding="utf-8") as handle:
+        rows = json.load(handle)
+    headers = [
+        "Design",
+        "Method",
+        "#Clusters",
+        "#Matched",
+        "MatchedLen",
+        "TotalLen",
+        "Completion",
+        "Runtime[s]",
+    ]
+    table = [
+        [
+            r["design"],
+            r["method"],
+            r["n_clusters"],
+            r["matched_clusters"],
+            r["total_matched_length"],
+            r["total_length"],
+            f"{r['completion']:.0%}",
+            f"{r['runtime_s']:.2f}",
+        ]
+        for r in rows
+    ]
+    print(format_table(headers, table))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    design = generate_design(
+        args.name,
+        args.width,
+        args.height,
+        clusters=[ClusterPlan(s) for s in args.cluster_sizes],
+        n_singletons=args.singletons,
+        n_pins=args.pins,
+        n_obstacles=args.obstacles,
+        seed=args.seed,
+    )
+    save_design(design, args.output)
+    print(f"wrote {args.output}: {design!r}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="pacor",
+        description="PACOR control-layer routing (DAC 2015 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    route = sub.add_parser("route", help="route one design")
+    route.add_argument("design", help="suite name (S1..S5, Chip1, Chip2) or .json file")
+    route.add_argument("--method", choices=list(METHODS), default="PACOR")
+    route.add_argument("--candidates", type=int, default=4, help="DME candidates per cluster")
+    route.add_argument("--verify", action="store_true", help="verify the solution")
+    route.add_argument("--svg", metavar="FILE", help="write an SVG rendering")
+    route.add_argument("--json", metavar="FILE", help="write the full result as JSON")
+    route.add_argument("--ascii", action="store_true", help="print ASCII art")
+    route.add_argument("--events", action="store_true", help="print the stage log")
+    route.set_defaults(func=_cmd_route)
+
+    table1 = sub.add_parser("table1", help="print the benchmark parameters")
+    table1.add_argument("--no-chips", dest="chips", action="store_false")
+    table1.set_defaults(func=_cmd_table1)
+
+    table2 = sub.add_parser("table2", help="run the three-method comparison")
+    table2.add_argument(
+        "--designs", nargs="+", default=["S1", "S2", "S3", "S4", "S5"]
+    )
+    table2.set_defaults(func=_cmd_table2)
+
+    skew = sub.add_parser("skew", help="report modelled switching skew per net")
+    skew.add_argument("design")
+    skew.add_argument("--method", choices=list(METHODS), default="PACOR")
+    skew.add_argument("--tau0", type=float, default=1e-4)
+    skew.add_argument("--alpha", type=float, default=2.0)
+    skew.set_defaults(func=_cmd_skew)
+
+    show = sub.add_parser("show", help="print a saved results_table2.json")
+    show.add_argument("results")
+    show.set_defaults(func=_cmd_show)
+
+    gen = sub.add_parser("generate", help="synthesize a design to JSON")
+    gen.add_argument("output")
+    gen.add_argument("--name", default="custom")
+    gen.add_argument("--width", type=int, required=True)
+    gen.add_argument("--height", type=int, required=True)
+    gen.add_argument(
+        "--cluster-sizes", type=int, nargs="*", default=[2, 2], metavar="N"
+    )
+    gen.add_argument("--singletons", type=int, default=2)
+    gen.add_argument("--pins", type=int, default=20)
+    gen.add_argument("--obstacles", type=int, default=10)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.set_defaults(func=_cmd_generate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""The PACOR flow: orchestration of every stage (Fig. 2).
+
+* :class:`PacorConfig` — every knob of the flow, defaulted to the
+  paper's published parameter values (δ = 1, λ = 0.1, α = 0.1, γ = 10,
+  θ = 10).
+* :class:`PacorRouter` — runs valve clustering, length-matching cluster
+  routing (DME candidates → MWCP selection → negotiation), MST routing,
+  min-cost-flow escape routing with de-clustering/rip-up, and final path
+  detouring.
+* :mod:`repro.core.pipeline` — the three Table-2 methods: full PACOR,
+  "w/o Sel" and "Detour First".
+"""
+
+from repro.core.config import DetourStage, PacorConfig, SelectionSolver
+from repro.core.pacor import PacorRouter
+from repro.core.pipeline import (
+    METHODS,
+    run_detour_first,
+    run_method,
+    run_pacor,
+    run_without_selection,
+)
+from repro.core.result import NetReport, PacorResult
+
+__all__ = [
+    "PacorConfig",
+    "SelectionSolver",
+    "DetourStage",
+    "PacorRouter",
+    "PacorResult",
+    "NetReport",
+    "run_pacor",
+    "run_without_selection",
+    "run_detour_first",
+    "run_method",
+    "METHODS",
+]

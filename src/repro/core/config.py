@@ -1,0 +1,97 @@
+"""Configuration of the PACOR flow.
+
+Defaults follow the paper's implementation notes: λ = 0.1 (Eq. 2/3
+weighting, routability above mismatch), history base cost 1.0 and
+α = 0.1 (Eq. 5), negotiation threshold γ = 10, detour threshold θ = 10,
+and length-matching threshold δ = 1 in all experiments.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class SelectionSolver(str, enum.Enum):
+    """Which MWCP solver selects the candidate trees (Section 4.2)."""
+
+    EXACT = "exact"  # branch-and-bound (the paper's ILP stand-in)
+    GREEDY = "greedy"  # the graph-based construction
+    LOCAL = "local"  # swap descent (the UQP stand-in)
+
+
+class DetourStage(str, enum.Enum):
+    """Where in the flow path detouring runs."""
+
+    FINAL = "final"  # PACOR: after escape routing (Section 3)
+    AFTER_NEGOTIATION = "after_negotiation"  # the "Detour First" baseline
+    NONE = "none"  # no detouring at all (diagnostics)
+
+
+@dataclass
+class PacorConfig:
+    """All tunables of the flow; defaults reproduce the paper's setup.
+
+    Attributes:
+        delta: length-matching threshold δ (grid units); None uses the
+            design's own δ.
+        lam: λ of Eqs. (2)-(3).
+        history_base: base history cost ``b`` of Eq. (5).
+        history_alpha: α of Eq. (5).
+        gamma: negotiation iteration threshold γ (Algorithm 1).
+        theta: detour iteration threshold θ (Algorithm 2).
+        k_candidates: DME candidate trees generated per cluster.
+        bounded_skew_dme: build candidate trees with a bounded-skew
+            budget of δ instead of zero skew (Ablation E) — saves
+            balancing wire by spending the threshold during construction.
+        match_all_clusters: treat every multi-valve cluster the
+            clustering stage computes as length-matching (the paper
+            "aims to route as many clusters as possible under the
+            length-matching constraint"); False matches only the
+            design's declared LM groups.
+        enable_selection: False reproduces the "w/o Sel" baseline (each
+            cluster keeps its first candidate, no global view).
+        selection_solver: which MWCP solver picks candidates.
+        detour_stage: when detouring runs ("Detour First" vs PACOR).
+        max_ripup_rounds: escape-routing rip-up/reroute iterations.
+        lm_rippable_after: rip-up round from which length-matching
+            clusters may be ripped too (the paper's "higher rip-up cost").
+        lm_rip_cost: probe penalty multiplier for LM clusters.
+        max_astar_expansions: safety cap per A* query (None = unbounded).
+    """
+
+    delta: Optional[int] = None
+    lam: float = 0.1
+    history_base: float = 1.0
+    history_alpha: float = 0.1
+    gamma: int = 10
+    theta: int = 10
+    k_candidates: int = 4
+    bounded_skew_dme: bool = False
+    match_all_clusters: bool = True
+    enable_selection: bool = True
+    selection_solver: SelectionSolver = SelectionSolver.EXACT
+    detour_stage: DetourStage = DetourStage.FINAL
+    max_ripup_rounds: int = 8
+    lm_rippable_after: int = 4
+    lm_rip_cost: float = 25.0
+    max_astar_expansions: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.delta is not None and self.delta < 0:
+            raise ValueError("delta must be non-negative")
+        if not 0.0 <= self.lam <= 1.0:
+            raise ValueError("lam must lie in [0, 1]")
+        if self.gamma < 1 or self.theta < 1:
+            raise ValueError("gamma and theta must be at least 1")
+        if self.k_candidates < 1:
+            raise ValueError("k_candidates must be at least 1")
+        if self.max_ripup_rounds < 0:
+            raise ValueError("max_ripup_rounds must be non-negative")
+        self.selection_solver = SelectionSolver(self.selection_solver)
+        self.detour_stage = DetourStage(self.detour_stage)
+
+    def resolved_delta(self, design_delta: int) -> int:
+        """Return the δ to use for a given design."""
+        return design_delta if self.delta is None else self.delta

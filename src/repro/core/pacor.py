@@ -1,0 +1,760 @@
+"""The PACOR flow orchestration (Fig. 2).
+
+Stages, in order:
+
+1. **Valve clustering** — minimum clique cover; LM groups preserved.
+2. **Length-matching cluster routing** — DME candidate trees, MWCP
+   selection, negotiation-based routing (clusters of two valves are
+   routed as a direct edge).  Clusters that fail negotiation are demoted
+   to ordinary MST routing.
+3. **MST cluster routing** — ordinary clusters; failed attachments are
+   de-clustered into singleton nets.
+4. **Escape routing** — one global min-cost flow per round; failed
+   sources trigger blocking-net rip-up and re-route, with LM clusters
+   rippable only in later rounds and at higher cost.
+5. **Path detouring** — Algorithm 2 on every routed LM cluster (at the
+   final stage for PACOR; right after negotiation for "Detour First").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.config import DetourStage, PacorConfig, SelectionSolver
+from repro.core.result import NetReport, PacorResult, segments_of_path
+from repro.designs.design import Design
+from repro.detour import check_equal, detour_cluster
+from repro.detour.cluster import (
+    RoutedTree,
+    routed_tree_from_candidate,
+    routed_tree_from_pair,
+)
+from repro.dme import generate_candidates
+from repro.dme.tree import CandidateTree
+from repro.escape import EscapeSource, find_blocking_nets, solve_escape
+from repro.geometry.point import Point
+from repro.grid.occupancy import Occupancy
+from repro.routing.astar import astar_route
+from repro.routing.mst import route_cluster_mst
+from repro.routing.negotiation import NegotiationRouter, RouteRequest
+from repro.routing.path import Path
+from repro.selection import (
+    SelectionInstance,
+    solve_exact,
+    solve_greedy,
+    solve_local_search,
+)
+from repro.valves.clustering import Cluster, cluster_valves
+from repro.valves.valve import Valve
+
+_RIP_HISTORY_PENALTY = 50.0
+"""History cost on a ripped net's old cells when it re-routes."""
+
+
+@dataclass
+class _Net:
+    """Internal bookkeeping for one routable net."""
+
+    net_id: int
+    origin_cluster: int
+    valves: List[Valve]
+    length_matching: bool
+    kind: str  # "lm-tree" | "lm-pair" | "ordinary" | "singleton"
+    tree: Optional[RoutedTree] = None
+    paths: List[Path] = field(default_factory=list)  # internal MST channels
+    pin: Optional[Point] = None
+    escape_path: Optional[Path] = None
+    routed: bool = False
+    demoted: bool = False
+
+    def drawn_paths(self) -> List[Path]:
+        """Return every drawn channel path of the net (escape included)."""
+        out: List[Path] = []
+        if self.tree is not None:
+            out.extend(self.tree.edge_paths.values())
+        else:
+            out.extend(self.paths)
+        if self.escape_path is not None:
+            out.append(self.escape_path)
+        return out
+
+
+class PacorRouter:
+    """Runs the full control-layer routing flow on one design."""
+
+    def __init__(self, design: Design, config: Optional[PacorConfig] = None) -> None:
+        design.validate()
+        self.design = design
+        self.config = config or PacorConfig()
+        self.grid = design.grid
+        self.occupancy = Occupancy(self.grid)
+        self.delta = self.config.resolved_delta(design.delta)
+        self.events: List[str] = []
+        self.nets: Dict[int, _Net] = {}
+        self._next_net_id = 0
+        self._method_name = "PACOR"
+        # During escape routing, newly de-clustered singletons must join
+        # the pending-escape queue; _spawn_singleton registers them here.
+        self._escape_pending: Optional[Set[int]] = None
+
+    # -- public API ---------------------------------------------------------
+
+    def run(self) -> PacorResult:
+        """Execute every stage and return the aggregated result."""
+        started = time.perf_counter()
+        clusters = self._stage_clustering()
+        self._stage_lm_routing(clusters)
+        if self.config.detour_stage is DetourStage.AFTER_NEGOTIATION:
+            self._stage_detour()
+        self._stage_mst_routing()
+        self._stage_escape()
+        if self.config.detour_stage is DetourStage.FINAL:
+            self._stage_detour()
+        result = self._collect(clusters, time.perf_counter() - started)
+        return result
+
+    # -- stage 1: clustering --------------------------------------------------
+
+    def _stage_clustering(self) -> List[Cluster]:
+        clusters = cluster_valves(self.design.valves, self.design.lm_groups)
+        self._next_net_id = max(c.id for c in clusters) + 1
+        for cluster in clusters:
+            self.occupancy.occupy([v.position for v in cluster.valves], cluster.id)
+            lm = cluster.size >= 2 and (
+                cluster.length_matching or self.config.match_all_clusters
+            )
+            if lm:
+                kind = "lm-pair" if cluster.size == 2 else "lm-tree"
+            elif cluster.size >= 2:
+                kind = "ordinary"
+            else:
+                kind = "singleton"
+            self.nets[cluster.id] = _Net(
+                net_id=cluster.id,
+                origin_cluster=cluster.id,
+                valves=list(cluster.valves),
+                length_matching=lm,
+                kind=kind,
+            )
+        self._log(
+            f"clustering: {len(clusters)} clusters "
+            f"({sum(1 for c in clusters if c.size >= 2)} multi-valve)"
+        )
+        return clusters
+
+    # -- stage 2: length-matching routing -------------------------------------
+
+    def _stage_lm_routing(self, clusters: Sequence[Cluster]) -> None:
+        lm_nets = [n for n in self.nets.values() if n.kind in ("lm-tree", "lm-pair")]
+        if not lm_nets:
+            return
+
+        all_valve_cells = {v.position for v in self.design.valves}
+        # A valve whose surroundings leave a single free cell (typical for
+        # valves embedded in flow channels) depends on that cell for every
+        # connection; merging nodes must never squat on it.
+        critical_access: Set[Point] = set()
+        for valve in self.design.valves:
+            free = [
+                q
+                for q in valve.position.neighbors4()
+                if self.grid.is_free(q) and q not in all_valve_cells
+            ]
+            if len(free) == 1:
+                critical_access.add(free[0])
+
+        # Candidate generation (clusters of 3+ valves).
+        candidate_sets: Dict[int, List[CandidateTree]] = {}
+        for net in [n for n in lm_nets if n.kind == "lm-tree"]:
+            # Internal merging nodes must avoid every valve cell — other
+            # clusters' terminals for routability, and the cluster's own
+            # sinks because a merging node *on* a sink collapses the
+            # balanced tree into a physical loop (the sink would sit at
+            # zero distance from the node while the model assumes the
+            # full balanced length).
+            cands = generate_candidates(
+                self.grid,
+                net.net_id,
+                [v.position for v in net.valves],
+                k=self.config.k_candidates,
+                blocked=all_valve_cells | critical_access,
+                skew_bound_h=(
+                    2 * self.delta if self.config.bounded_skew_dme else 0
+                ),
+            )
+            if cands:
+                candidate_sets[net.net_id] = cands
+            else:
+                self._demote_lm(net, reason="no embeddable DME candidate")
+
+        # Candidate selection (Section 4.2) — or first-candidate baseline.
+        chosen: Dict[int, CandidateTree] = {}
+        if candidate_sets:
+            ordered_ids = sorted(candidate_sets)
+            if self.config.enable_selection and len(ordered_ids) >= 1:
+                instance = SelectionInstance(
+                    [candidate_sets[i] for i in ordered_ids], lam=self.config.lam
+                )
+                solver = {
+                    SelectionSolver.EXACT: solve_exact,
+                    SelectionSolver.GREEDY: solve_greedy,
+                    SelectionSolver.LOCAL: solve_local_search,
+                }[self.config.selection_solver]
+                selection = solver(instance)
+                for idx, cid in enumerate(ordered_ids):
+                    chosen[cid] = candidate_sets[cid][selection.choice[idx]]
+                self._log(
+                    f"selection: {self.config.selection_solver.value} objective "
+                    f"{selection.objective:.3f} over {len(ordered_ids)} clusters"
+                )
+            else:
+                for cid in ordered_ids:
+                    chosen[cid] = candidate_sets[cid][0]
+                self._log("selection: disabled (first candidate per cluster)")
+
+        # Negotiation-based routing of all LM edges (Algorithm 1).
+        requests: List[RouteRequest] = []
+        edge_owner: Dict[int, Tuple[int, Optional[int]]] = {}
+        next_edge = 0
+        for cid, tree in chosen.items():
+            for edge_idx, edge in enumerate(tree.edges()):
+                requests.append(
+                    RouteRequest(next_edge, cid, (edge.child,), (edge.parent,))
+                )
+                edge_owner[next_edge] = (cid, edge_idx)
+                next_edge += 1
+        for net in [n for n in lm_nets if n.kind == "lm-pair" and not n.demoted]:
+            a, b = net.valves[0].position, net.valves[1].position
+            requests.append(RouteRequest(next_edge, net.net_id, (a,), (b,)))
+            edge_owner[next_edge] = (net.net_id, None)
+            next_edge += 1
+
+        router = NegotiationRouter(
+            self.grid,
+            base_cost=self.config.history_base,
+            alpha=self.config.history_alpha,
+            gamma=self.config.gamma,
+            max_expansions=self.config.max_astar_expansions,
+        )
+        outcome = router.route(requests, self.occupancy)
+        self._log(
+            f"negotiation: {len(requests)} edges, {outcome.iterations} iterations, "
+            f"{len(outcome.failed_edges)} failed"
+        )
+
+        failed_nets = {edge_owner[e][0] for e in outcome.failed_edges}
+        for cid, tree in chosen.items():
+            net = self.nets[cid]
+            if cid in failed_nets:
+                # The paper reconstructs the DME tree when negotiation
+                # gives up: retry the cluster's remaining candidates
+                # one at a time before demoting to MST routing.
+                if self._retry_candidates(net, candidate_sets.get(cid, []), tree):
+                    continue
+                self._demote_lm(net, reason="negotiation failure")
+                continue
+            paths = {
+                edge_idx: outcome.paths[eid]
+                for eid, (owner, edge_idx) in edge_owner.items()
+                if owner == cid and edge_idx is not None
+            }
+            net.tree = routed_tree_from_candidate(tree, paths)
+        for net in [n for n in lm_nets if n.kind == "lm-pair"]:
+            if net.demoted:
+                continue
+            eids = [e for e, (owner, _) in edge_owner.items() if owner == net.net_id]
+            if not eids or net.net_id in failed_nets:
+                self._demote_lm(net, reason="negotiation failure")
+                continue
+            net.tree = routed_tree_from_pair(net.net_id, outcome.paths[eids[0]])
+
+    def _retry_candidates(
+        self,
+        net: _Net,
+        candidates: Sequence[CandidateTree],
+        failed_tree: CandidateTree,
+    ) -> bool:
+        """Try the cluster's alternative DME candidates after a failure.
+
+        Releases the failed partial routing, then routes each remaining
+        candidate's edges in isolation (short negotiation).  On success
+        the net's routed tree is installed and True returned.
+        """
+        valve_cells = {v.position for v in net.valves}
+        for candidate in candidates:
+            if candidate is failed_tree:
+                continue
+            self.occupancy.release_cells(
+                self.occupancy.cells_of(net.net_id) - valve_cells
+            )
+            requests = [
+                RouteRequest(idx, net.net_id, (edge.child,), (edge.parent,))
+                for idx, edge in enumerate(candidate.edges())
+            ]
+            router = NegotiationRouter(
+                self.grid,
+                base_cost=self.config.history_base,
+                alpha=self.config.history_alpha,
+                gamma=max(2, self.config.gamma // 3),
+                max_expansions=self.config.max_astar_expansions,
+            )
+            outcome = router.route(requests, self.occupancy)
+            if outcome.success:
+                net.tree = routed_tree_from_candidate(candidate, outcome.paths)
+                self._log(
+                    f"cluster {net.net_id}: alternative DME candidate routed "
+                    f"after negotiation failure"
+                )
+                return True
+        self.occupancy.release_cells(
+            self.occupancy.cells_of(net.net_id) - valve_cells
+        )
+        return False
+
+    def _demote_lm(self, net: _Net, reason: str) -> None:
+        """Demote an LM cluster to ordinary MST routing."""
+        self._log(f"demote cluster {net.net_id}: {reason}")
+        net.demoted = True
+        net.tree = None
+        net.paths = []
+        net.kind = "ordinary" if len(net.valves) >= 2 else "singleton"
+        # Free everything but the valve terminals.
+        valve_cells = {v.position for v in net.valves}
+        extra = self.occupancy.cells_of(net.net_id) - valve_cells
+        self.occupancy.release_cells(extra)
+
+    # -- stage 3: MST routing --------------------------------------------------
+
+    def _stage_mst_routing(self, history: Optional[List[float]] = None) -> None:
+        for net in list(self.nets.values()):
+            if net.kind == "ordinary" and net.tree is None:
+                self._route_ordinary(net, history)
+
+    def _route_ordinary(self, net: _Net, history: Optional[List[float]]) -> None:
+        terminals = [v.position for v in net.valves]
+        outcome = route_cluster_mst(
+            self.grid,
+            self.occupancy,
+            net.net_id,
+            terminals,
+            history=history,
+            max_expansions=self.config.max_astar_expansions,
+        )
+        net.paths = list(outcome.paths)
+        if outcome.failed:
+            self._log(
+                f"decluster net {net.net_id}: {len(outcome.failed)} valves split off"
+            )
+            for idx in outcome.failed:
+                valve = net.valves[idx]
+                self._spawn_singleton(net, valve)
+            net.valves = [
+                v for i, v in enumerate(net.valves) if i not in set(outcome.failed)
+            ]
+            if len(net.valves) == 1:
+                net.kind = "singleton"
+
+    def _spawn_singleton(self, parent: _Net, valve: Valve) -> None:
+        """Split one valve off ``parent`` into its own net."""
+        new_id = self._next_net_id
+        self._next_net_id += 1
+        self.occupancy.release_cells([valve.position])
+        self.occupancy.occupy([valve.position], new_id)
+        self.nets[new_id] = _Net(
+            net_id=new_id,
+            origin_cluster=parent.origin_cluster,
+            valves=[valve],
+            length_matching=parent.length_matching,
+            kind="singleton",
+            demoted=parent.length_matching,
+        )
+        if self._escape_pending is not None:
+            self._escape_pending.add(new_id)
+
+    # -- stage 4: escape routing -----------------------------------------------
+
+    def _escape_taps(self, net: _Net) -> Tuple[Point, ...]:
+        """Tap cells per Section 5 by net kind."""
+        if net.tree is not None:
+            return (net.tree.root,)
+        cells = self.occupancy.cells_of(net.net_id)
+        return tuple(sorted(cells))
+
+    def _stage_escape(self) -> None:
+        """Escape routing with incremental commit and rip-up (Section 3/5).
+
+        Each round solves one global min-cost flow for the still-pending
+        sources and *commits* every routed path immediately; failed
+        sources then trigger blocking-net rip-up.  Ripping may uncommit a
+        previously committed escape path (when only that path blocks) or
+        rip a net's internal channels (demoting LM clusters).  Per-net
+        rip counters stop oscillation.
+        """
+        pins = list(self.design.control_pins)
+        pending: Set[int] = set(self.nets)
+        self._escape_pending = pending
+        rip_counts: Dict[int, int] = {}
+        fail_counts: Dict[int, int] = {}
+        rounds = self.config.max_ripup_rounds
+        for round_idx in range(rounds + 1):
+            if not pending:
+                break
+            sources = [
+                EscapeSource(nid, self._escape_taps(self.nets[nid]))
+                for nid in sorted(pending)
+            ]
+            used_pins = {
+                n.pin for n in self.nets.values() if n.routed and n.pin is not None
+            }
+            available_pins = [p for p in pins if p not in used_pins]
+            blocked: Set[Point] = set()
+            for nid in self.occupancy.nets():
+                blocked |= self.occupancy.cells_of(nid)
+            result = solve_escape(self.grid, sources, available_pins, blocked)
+            self._log(
+                f"escape round {round_idx}: {result.flow_value}/{len(sources)} "
+                f"routed, cost {result.total_cost:.0f}"
+            )
+            for net_id, path in result.paths.items():
+                self._commit_escape(self.nets[net_id], path, result.pin_of[net_id])
+                pending.discard(net_id)
+            if not result.unrouted or round_idx == rounds:
+                break
+            # A cluster whose single tap (tree root / pair midpoint) sits
+            # in a hopeless corridor will fail round after round while
+            # its blockers shuffle; after three failures demote it so any
+            # of its path cells can tap (completion beats matching).
+            self_ripped = False
+            for net_id in result.unrouted:
+                fail_counts[net_id] = fail_counts.get(net_id, 0) + 1
+                net = self.nets[net_id]
+                if fail_counts[net_id] >= 3 and net.tree is not None:
+                    self._rip_and_reroute(net, pending)
+                    self_ripped = True
+            blockers_ripped = self._ripup_round(
+                result.unrouted, round_idx, pins, pending, rip_counts
+            )
+            if not (self_ripped or blockers_ripped):
+                self._log("escape: nothing left to rip up; accepting partial result")
+                break
+        if pending:
+            self._force_completion(pending, pins)
+        self._escape_pending = None
+        for net_id in pending:
+            self.nets[net_id].routed = False
+
+    def _force_completion(self, pending: Set[int], pins: Sequence[Point]) -> None:
+        """Last-resort sequential escape for nets the flow rounds starved.
+
+        The paper iterates rip-up/reroute "until all the valves are
+        successfully routed"; this pass realises that guarantee: each
+        stubborn net is routed point-to-pin by A*, ripping *any* blocking
+        net (matched LM clusters included, at their higher cost).  Nets
+        routed here become protected, so progress is monotone and the
+        pass terminates.
+        """
+        # Nets routed by this pass become *soft*-protected: the probe may
+        # still cross them, but only at a prohibitive cost, so they are
+        # ripped only when literally nothing else unwalls the victim.
+        # Completion outranks matching, as in the paper.
+        protected: Set[int] = set()
+        hopeless: Set[int] = set()
+        # Two nets contending for a single-channel corridor would rip each
+        # other forever; after three force-routes a net becomes permanent
+        # (never rippable again) so the contest resolves one way.
+        force_counts: Dict[int, int] = {}
+        permanent_nets: Set[int] = set()
+        valve_cells = {v.position for v in self.design.valves}
+        guard = 0
+        while pending - hopeless and guard < 10 * len(self.nets):
+            guard += 1
+            net_id = min(pending - hopeless)
+            net = self.nets[net_id]
+            taps = self._escape_taps(net)
+            used_pins = {
+                n.pin for n in self.nets.values() if n.routed and n.pin is not None
+            }
+            available = [p for p in pins if p not in used_pins]
+            rippable = set(self.nets) - protected - permanent_nets - {net_id}
+            rip_cost = {
+                nid: self.config.lm_rip_cost
+                for nid in rippable
+                if self.nets[nid].tree is not None
+            }
+            probe = find_blocking_nets(
+                self.grid,
+                self.occupancy,
+                list(taps),
+                available,
+                rippable=rippable,
+                rip_cost=rip_cost,
+                permanent=valve_cells,
+            )
+            if probe is None and protected - permanent_nets:
+                # Last resort: the victim is walled in by channels this
+                # pass already committed — allow crossing them, at a
+                # prohibitive cost so only the unavoidable one is ripped.
+                rip_cost = dict(rip_cost)
+                for nid in protected:
+                    rip_cost[nid] = 50.0
+                probe = find_blocking_nets(
+                    self.grid,
+                    self.occupancy,
+                    list(taps),
+                    available,
+                    rippable=(set(self.nets) - permanent_nets - {net_id}),
+                    rip_cost=rip_cost,
+                    permanent=valve_cells,
+                )
+            if probe is None:
+                if net.tree is not None:
+                    self._rip_and_reroute(net, pending)
+                    continue
+                self._log(f"escape: net {net_id} is walled in; giving up")
+                hopeless.add(net_id)
+                continue
+            # Release the blockers but re-route them only after the victim
+            # has escaped, so they cannot reclaim the freed corridor.
+            ripped: List[Tuple[_Net, Set[Point]]] = []
+            for blocker_id in sorted(probe.nets):
+                blocker = self.nets[blocker_id]
+                protected.discard(blocker_id)
+                before = self.occupancy.cells_of(blocker_id)
+                self._rip_and_reroute(blocker, pending, reroute=False)
+                ripped.append((blocker, before - self.occupancy.cells_of(blocker_id)))
+            free_pins = [
+                p
+                for p in available
+                if self.occupancy.is_routable(p, net_id)
+            ]
+            # The escape channel must leave the tap directly; riding along
+            # the net's own tree channels would splice the network and
+            # silently change the matched lengths.
+            own_non_tap = self.occupancy.cells_of(net_id) - set(taps)
+            path = astar_route(
+                self.grid,
+                taps,
+                free_pins,
+                net=net_id,
+                occupancy=self.occupancy,
+                extra_obstacles=own_non_tap or None,
+            )
+            if path is not None:
+                self._commit_escape(net, path, path.target)
+                self._log(f"escape: force-routed net {net_id} to {path.target}")
+                pending.discard(net_id)
+                protected.add(net_id)
+                force_counts[net_id] = force_counts.get(net_id, 0) + 1
+                if force_counts[net_id] >= 3:
+                    permanent_nets.add(net_id)
+            else:
+                hopeless.add(net_id)
+            for blocker, freed in ripped:
+                self._reroute_internal(blocker, freed)
+        pending &= hopeless
+
+    def _commit_escape(self, net: _Net, path: Path, pin: Point) -> None:
+        new_cells = [c for c in path.cells if self.occupancy.owner(c) != net.net_id]
+        self.occupancy.occupy(new_cells, net.net_id)
+        net.escape_path = path
+        net.pin = pin
+        net.routed = True
+        if net.tree is not None:
+            net.tree.escape_path = path
+
+    def _uncommit_escape(self, net: _Net, pending: Set[int]) -> None:
+        """Release a committed escape path; the net re-enters the queue."""
+        assert net.escape_path is not None
+        internal: Set[Point] = set()
+        if net.tree is not None:
+            for p in net.tree.edge_paths.values():
+                internal |= set(p.cells)
+        for p in net.paths:
+            internal |= set(p.cells)
+        internal |= {v.position for v in net.valves}
+        self.occupancy.release_cells(set(net.escape_path.cells) - internal)
+        net.escape_path = None
+        net.pin = None
+        net.routed = False
+        if net.tree is not None:
+            net.tree.escape_path = None
+        pending.add(net.net_id)
+
+    def _ripup_round(
+        self,
+        unrouted: Sequence[int],
+        round_idx: int,
+        pins: Sequence[Point],
+        pending: Set[int],
+        rip_counts: Dict[int, int],
+    ) -> bool:
+        """Rip up the nets blocking failed escape sources.
+
+        A blocker whose probe crossing lies entirely on its *escape* path
+        only loses that path (re-queued for the next round); otherwise
+        its internal channels are ripped and re-routed, demoting LM
+        clusters.  Nets ripped three times become protected.
+        """
+        allow_lm = round_idx >= self.config.lm_rippable_after
+        rippable: Set[int] = set()
+        rip_cost: Dict[int, float] = {}
+        for net in self.nets.values():
+            if rip_counts.get(net.net_id, 0) >= 3:
+                continue
+            if net.tree is not None:
+                if allow_lm or net.routed:
+                    # A routed LM net's escape path may always be ripped;
+                    # its tree only in later rounds.
+                    rippable.add(net.net_id)
+                    rip_cost[net.net_id] = self.config.lm_rip_cost
+            elif net.kind == "ordinary" or net.routed:
+                rippable.add(net.net_id)
+        ripped_any = False
+        for net_id in unrouted:
+            failed = self.nets[net_id]
+            probe = find_blocking_nets(
+                self.grid,
+                self.occupancy,
+                list(self._escape_taps(failed)),
+                pins,
+                rippable=rippable - {net_id},
+                rip_cost=rip_cost,
+            )
+            if probe is None:
+                # Not even a probe path exists.  A common cause is a DME
+                # root walled in by its own tree edges; ripping the net
+                # itself (demotion to MST, where any path cell can tap)
+                # restores routability at the cost of the match.
+                if failed.tree is not None:
+                    self._rip_and_reroute(failed, pending)
+                    ripped_any = True
+                continue
+            for blocker_id in sorted(probe.nets):
+                blocker = self.nets[blocker_id]
+                rip_counts[blocker_id] = rip_counts.get(blocker_id, 0) + 1
+                crossed = probe.crossed_cells.get(blocker_id, set())
+                escape_cells = (
+                    set(blocker.escape_path.cells)
+                    if blocker.escape_path is not None
+                    else set()
+                )
+                if crossed and crossed <= escape_cells:
+                    self._log(f"rip escape path of net {blocker_id}")
+                    self._uncommit_escape(blocker, pending)
+                else:
+                    if blocker.escape_path is not None:
+                        self._uncommit_escape(blocker, pending)
+                    self._rip_and_reroute(blocker, pending)
+                rippable.discard(blocker_id)
+                ripped_any = True
+        return ripped_any
+
+    def _rip_and_reroute(
+        self, net: _Net, pending: Set[int], *, reroute: bool = True
+    ) -> None:
+        """Rip a net's internal channels and (optionally) re-route them.
+
+        With ``reroute=False`` the cells are only released; the caller
+        re-routes later via :meth:`_reroute_internal` — the force pass
+        uses this so the victim escapes *before* the blocker reclaims
+        space.
+        """
+        self._log(f"rip up net {net.net_id} ({net.kind})")
+        if net.escape_path is not None:
+            self._uncommit_escape(net, pending)
+        if net.tree is not None:
+            self._demote_lm(net, reason="ripped during escape routing")
+        valve_cells = {v.position for v in net.valves}
+        old_cells = self.occupancy.cells_of(net.net_id) - valve_cells
+        self.occupancy.release_cells(old_cells)
+        net.paths = []
+        pending.add(net.net_id)
+        if reroute:
+            self._reroute_internal(net, old_cells)
+
+    def _reroute_internal(self, net: _Net, avoid: Set[Point]) -> None:
+        """Re-route a ripped net's internal channels, avoiding ``avoid``."""
+        if net.kind != "ordinary":
+            return  # singletons have no internal channel to re-route
+        history = [0.0] * (self.grid.width * self.grid.height)
+        for cell in avoid:
+            history[self.grid.index(cell)] = _RIP_HISTORY_PENALTY
+        self._route_ordinary(net, history)
+
+    # -- stage 5: detouring -----------------------------------------------------
+
+    def _stage_detour(self) -> None:
+        for net in sorted(self.nets.values(), key=lambda n: n.net_id):
+            if net.tree is None:
+                continue
+            outcome = detour_cluster(
+                self.grid,
+                self.occupancy,
+                net.tree,
+                self.delta,
+                theta=self.config.theta,
+            )
+            if outcome.detoured_edges:
+                self._log(
+                    f"detour cluster {net.net_id}: {outcome.detoured_edges} edges "
+                    f"in {outcome.iterations} rounds, matched={outcome.matched}"
+                )
+
+    # -- result -------------------------------------------------------------------
+
+    def _collect(self, clusters: Sequence[Cluster], runtime: float) -> PacorResult:
+        n_lm = sum(1 for c in clusters if c.size >= 2)
+        result = PacorResult(
+            design_name=self.design.name,
+            method=self._method_name,
+            delta=self.delta,
+            n_valves=len(self.design.valves),
+            n_lm_clusters=n_lm,
+            runtime_s=runtime,
+            events=list(self.events),
+        )
+        for net in sorted(self.nets.values(), key=lambda n: n.net_id):
+            cells = frozenset(self.occupancy.cells_of(net.net_id))
+            segments = frozenset(
+                seg
+                for path in net.drawn_paths()
+                for seg in segments_of_path(path.cells)
+            )
+            matched: Optional[bool] = None
+            mismatch: Optional[int] = None
+            sink_lengths: Dict[int, int] = {}
+            if net.length_matching:
+                if net.tree is not None and net.routed and not net.demoted:
+                    equal, _, _ = check_equal(net.tree, self.delta)
+                    matched = equal
+                    mismatch = net.tree.mismatch()
+                    lengths = net.tree.full_lengths()
+                    sink_lengths = {
+                        net.valves[i].id: lengths[i] for i in lengths
+                    }
+                else:
+                    matched = False
+            result.nets.append(
+                NetReport(
+                    net_id=net.net_id,
+                    origin_cluster=net.origin_cluster,
+                    valve_ids=[v.id for v in net.valves],
+                    length_matching=net.length_matching,
+                    routed=net.routed,
+                    pin=net.pin,
+                    cells=cells,
+                    segments=segments,
+                    channel_length=len(segments) if net.routed else 0,
+                    matched=matched,
+                    mismatch=mismatch,
+                    sink_lengths=sink_lengths,
+                )
+            )
+        return result
+
+    # -- misc ------------------------------------------------------------------
+
+    def _log(self, message: str) -> None:
+        self.events.append(message)

@@ -1,0 +1,75 @@
+"""The three Table-2 methods as one-call runners.
+
+* ``PACOR`` — the full flow (candidate selection on, detouring last).
+* ``w/o Sel`` — candidate selection disabled: each cluster keeps its
+  locally best candidate, losing the global routability view.
+* ``Detour First`` — paths are detoured immediately after the
+  negotiation-based routing, before MST/escape routing, as discussed in
+  Section 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, Optional
+
+from repro.core.config import DetourStage, PacorConfig
+from repro.core.pacor import PacorRouter
+from repro.core.result import PacorResult
+from repro.designs.design import Design
+
+
+def _run(design: Design, config: PacorConfig, method: str) -> PacorResult:
+    router = PacorRouter(design, config)
+    router._method_name = method
+    return router.run()
+
+
+def run_pacor(design: Design, config: Optional[PacorConfig] = None) -> PacorResult:
+    """Run the full PACOR flow on ``design``."""
+    config = config or PacorConfig()
+    config = replace(
+        config, enable_selection=True, detour_stage=DetourStage.FINAL
+    )
+    return _run(design, config, "PACOR")
+
+
+def run_without_selection(
+    design: Design, config: Optional[PacorConfig] = None
+) -> PacorResult:
+    """Run the "w/o Sel" baseline: no candidate-tree selection strategy."""
+    config = config or PacorConfig()
+    config = replace(
+        config, enable_selection=False, detour_stage=DetourStage.FINAL
+    )
+    return _run(design, config, "w/o Sel")
+
+
+def run_detour_first(
+    design: Design, config: Optional[PacorConfig] = None
+) -> PacorResult:
+    """Run the "Detour First" baseline: detour right after negotiation."""
+    config = config or PacorConfig()
+    config = replace(
+        config, enable_selection=True, detour_stage=DetourStage.AFTER_NEGOTIATION
+    )
+    return _run(design, config, "Detour First")
+
+
+METHODS: Dict[str, Callable[[Design, Optional[PacorConfig]], PacorResult]] = {
+    "w/o Sel": run_without_selection,
+    "Detour First": run_detour_first,
+    "PACOR": run_pacor,
+}
+"""The Table-2 methods in the paper's column order."""
+
+
+def run_method(
+    design: Design, method: str, config: Optional[PacorConfig] = None
+) -> PacorResult:
+    """Run one named Table-2 method."""
+    try:
+        runner = METHODS[method]
+    except KeyError:
+        raise ValueError(f"unknown method {method!r}; choose from {list(METHODS)}")
+    return runner(design, config)

@@ -1,0 +1,190 @@
+"""Result model: per-net reports and the Table-2 aggregate metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.geometry.point import Point
+
+Segment = Tuple[Point, Point]
+"""One drawn channel step between two adjacent cells (endpoint-sorted)."""
+
+
+def segments_of_path(cells: Iterable[Point]) -> List[Segment]:
+    """Return the normalised drawn segments of a path's cell sequence."""
+    cells = list(cells)
+    return [
+        (a, b) if a <= b else (b, a) for a, b in zip(cells, cells[1:])
+    ]
+
+
+@dataclass
+class NetReport:
+    """Outcome for one routed net (a control pin's channel network).
+
+    De-clustering can split one original cluster into several nets; the
+    ``origin_cluster`` ties them back together for cluster-level metrics.
+
+    Attributes:
+        net_id: the net's occupancy id.
+        origin_cluster: id of the cluster the net descends from.
+        valve_ids: valves driven through this net's pin.
+        length_matching: True when the *origin* cluster carried the LM
+            constraint.
+        routed: True when the net reached a control pin.
+        pin: assigned control pin (None when unrouted).
+        cells: every grid cell of the net's channels.
+        segments: the drawn channel steps.  Two same-net cells that are
+            merely *adjacent* are separate channels (the grid pitch
+            already includes the spacing rule); physical connectivity
+            and pressure-propagation length follow the drawn segments.
+        channel_length: total drawn channel length (= len(segments)).
+        matched: for multi-valve LM nets, whether the final channel
+            lengths satisfy δ; None otherwise.
+        mismatch: final max-min spread of valve-to-pin lengths (LM nets).
+        sink_lengths: valve id -> routed channel length to the pin
+            (LM nets only).
+    """
+
+    net_id: int
+    origin_cluster: int
+    valve_ids: List[int]
+    length_matching: bool
+    routed: bool
+    pin: Optional[Point] = None
+    cells: FrozenSet[Point] = frozenset()
+    segments: FrozenSet[Segment] = frozenset()
+    channel_length: int = 0
+    matched: Optional[bool] = None
+    mismatch: Optional[int] = None
+    sink_lengths: Dict[int, int] = field(default_factory=dict)
+
+
+@dataclass
+class PacorResult:
+    """Everything one flow run produced, plus the Table-2 aggregates.
+
+    Attributes:
+        design_name: benchmark name.
+        method: "PACOR", "w/o Sel" or "Detour First".
+        delta: the length-matching threshold used.
+        n_valves: total valves of the design.
+        n_lm_clusters: planned multi-valve clusters ("#Clusters").
+        nets: per-net reports.
+        runtime_s: wall-clock seconds of the run.
+        events: human-readable stage log.
+    """
+
+    design_name: str
+    method: str
+    delta: int
+    n_valves: int
+    n_lm_clusters: int
+    nets: List[NetReport] = field(default_factory=list)
+    runtime_s: float = 0.0
+    events: List[str] = field(default_factory=list)
+
+    # -- Table 2 metrics ----------------------------------------------------
+
+    @property
+    def matched_clusters(self) -> int:
+        """Return "#Matched Clusters": LM clusters routed within δ."""
+        count = 0
+        for origin in self._lm_origins():
+            nets = [n for n in self.nets if n.origin_cluster == origin]
+            if (
+                len(nets) == 1
+                and nets[0].routed
+                and nets[0].matched is True
+            ):
+                count += 1
+        return count
+
+    @property
+    def total_matched_length(self) -> int:
+        """Return the summed channel length of matched clusters."""
+        total = 0
+        for origin in self._lm_origins():
+            nets = [n for n in self.nets if n.origin_cluster == origin]
+            if len(nets) == 1 and nets[0].routed and nets[0].matched is True:
+                total += nets[0].channel_length
+        return total
+
+    @property
+    def total_length(self) -> int:
+        """Return the total channel length over every routed net."""
+        return sum(n.channel_length for n in self.nets if n.routed)
+
+    @property
+    def routed_valves(self) -> int:
+        """Return the number of valves connected to a control pin."""
+        return sum(len(n.valve_ids) for n in self.nets if n.routed)
+
+    @property
+    def completion_rate(self) -> float:
+        """Return routed valves / total valves (1.0 = 100 %)."""
+        if self.n_valves == 0:
+            return 1.0
+        return self.routed_valves / self.n_valves
+
+    @property
+    def pins_used(self) -> int:
+        """Return the number of control pins consumed."""
+        return sum(1 for n in self.nets if n.routed)
+
+    def _lm_origins(self) -> List[int]:
+        return sorted(
+            {n.origin_cluster for n in self.nets if n.length_matching}
+        )
+
+    def lm_cluster_count(self) -> int:
+        """Return the number of planned LM clusters seen in the nets."""
+        return len(self._lm_origins())
+
+    def summary_row(self) -> Dict[str, object]:
+        """Return this run's Table-2 row."""
+        return {
+            "design": self.design_name,
+            "method": self.method,
+            "n_clusters": self.n_lm_clusters,
+            "matched_clusters": self.matched_clusters,
+            "total_matched_length": self.total_matched_length,
+            "total_length": self.total_length,
+            "completion": self.completion_rate,
+            "runtime_s": self.runtime_s,
+        }
+
+    def to_json(self) -> Dict[str, object]:
+        """Return a JSON-serialisable document of the full result.
+
+        Includes the summary, the stage log and every net's routing
+        (cells, drawn segments, pin, matching) — enough to re-verify or
+        re-render the solution without re-running the flow.
+        """
+        return {
+            "summary": self.summary_row(),
+            "delta": self.delta,
+            "events": list(self.events),
+            "nets": [
+                {
+                    "net_id": n.net_id,
+                    "origin_cluster": n.origin_cluster,
+                    "valve_ids": list(n.valve_ids),
+                    "length_matching": n.length_matching,
+                    "routed": n.routed,
+                    "pin": [n.pin.x, n.pin.y] if n.pin else None,
+                    "matched": n.matched,
+                    "mismatch": n.mismatch,
+                    "channel_length": n.channel_length,
+                    "sink_lengths": {
+                        str(k): v for k, v in n.sink_lengths.items()
+                    },
+                    "cells": sorted([c.x, c.y] for c in n.cells),
+                    "segments": sorted(
+                        [[a.x, a.y], [b.x, b.y]] for a, b in n.segments
+                    ),
+                }
+                for n in self.nets
+            ],
+        }

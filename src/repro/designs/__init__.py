@@ -1,0 +1,53 @@
+"""Benchmark designs: the Table-1 suite and a synthetic generator.
+
+The paper evaluates on two real biochips (Chip1, Chip2) and five
+synthesized testcases (S1-S5) whose layouts were never published — only
+their parameters (grid size, valve count, candidate control pins,
+obstacle cells; Table 1) and cluster counts (Table 2).  This package
+generates deterministic synthetic designs with exactly those published
+statistics; see DESIGN.md for the substitution rationale.
+"""
+
+from repro.designs.design import Design
+from repro.designs.generator import ClusterPlan, generate_design
+from repro.designs.io import design_from_json, design_to_json, load_design, save_design
+from repro.designs.perturb import add_obstacle_noise, jitter_valves, perturbation_family
+from repro.designs.stress import CONTENTION_LEVELS, stress_design, stress_family
+from repro.designs.suite import (
+    TABLE1_PARAMETERS,
+    chip1,
+    chip2,
+    design_by_name,
+    s1,
+    s2,
+    s3,
+    s4,
+    s5,
+    table1_suite,
+)
+
+__all__ = [
+    "Design",
+    "ClusterPlan",
+    "generate_design",
+    "design_to_json",
+    "design_from_json",
+    "save_design",
+    "load_design",
+    "chip1",
+    "chip2",
+    "s1",
+    "s2",
+    "s3",
+    "s4",
+    "s5",
+    "table1_suite",
+    "design_by_name",
+    "TABLE1_PARAMETERS",
+    "stress_design",
+    "stress_family",
+    "CONTENTION_LEVELS",
+    "jitter_valves",
+    "add_obstacle_noise",
+    "perturbation_family",
+]

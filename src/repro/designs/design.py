@@ -1,0 +1,96 @@
+"""The design model: everything the routing problem is *given* (Section 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.geometry.point import Point
+from repro.grid.grid import RoutingGrid
+from repro.valves.valve import Valve
+
+
+@dataclass
+class Design:
+    """One control-layer routing problem instance.
+
+    Attributes:
+        name: benchmark name (e.g. ``"Chip1"``).
+        grid: routing grid with static obstacles, pitch = min channel
+            width + spacing (the design rules of the problem statement).
+        valves: all valves with coordinates and activation sequences.
+        lm_groups: valve-id groups carrying the length-matching
+            constraint (the clusters ``M(V)`` of the problem statement).
+        control_pins: feasible control-pin positions ``CP``.
+        delta: length-matching threshold δ.
+    """
+
+    name: str
+    grid: RoutingGrid
+    valves: List[Valve]
+    lm_groups: List[List[int]] = field(default_factory=list)
+    control_pins: List[Point] = field(default_factory=list)
+    delta: int = 1
+
+    def validate(self) -> None:
+        """Check structural well-formedness; raises ValueError on defects."""
+        ids = [v.id for v in self.valves]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate valve ids")
+        lengths = {len(v.sequence) for v in self.valves}
+        if len(lengths) > 1:
+            # The paper: "the activation sequences for all the valves ...
+            # are of equal length" (they come from one schedule).
+            raise ValueError(
+                f"activation sequences have mixed lengths {sorted(lengths)}"
+            )
+        positions = [v.position for v in self.valves]
+        if len(set(positions)) != len(positions):
+            raise ValueError("two valves share a grid cell")
+        for valve in self.valves:
+            if not self.grid.is_free(valve.position):
+                raise ValueError(f"valve {valve.id} sits on an obstacle or off-chip")
+        known = set(ids)
+        seen = set()
+        for group in self.lm_groups:
+            if len(group) < 2:
+                raise ValueError("length-matching groups need at least two valves")
+            for vid in group:
+                if vid not in known:
+                    raise ValueError(f"length-matching group references valve {vid}")
+                if vid in seen:
+                    raise ValueError(f"valve {vid} in two length-matching groups")
+                seen.add(vid)
+        valve_cells = set(positions)
+        for pin in self.control_pins:
+            if not self.grid.is_free(pin):
+                raise ValueError(f"control pin {pin} is blocked or off-chip")
+            if pin in valve_cells:
+                raise ValueError(f"control pin {pin} coincides with a valve")
+        if self.delta < 0:
+            raise ValueError("delta must be non-negative")
+
+    def valve_by_id(self) -> Dict[int, Valve]:
+        """Return an id -> valve lookup table."""
+        return {v.id: v for v in self.valves}
+
+    @property
+    def size_label(self) -> str:
+        """Return the Table-1 style size string, e.g. ``"179x413"``."""
+        return f"{self.grid.width}x{self.grid.height}"
+
+    def stats(self) -> Dict[str, object]:
+        """Return the Table-1 row for this design."""
+        return {
+            "design": self.name,
+            "size": self.size_label,
+            "n_valves": len(self.valves),
+            "n_control_pins": len(self.control_pins),
+            "n_obstacles": self.grid.obstacle_count(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Design({self.name}, {self.size_label}, {len(self.valves)} valves, "
+            f"{len(self.control_pins)} pins, {self.grid.obstacle_count()} obs)"
+        )

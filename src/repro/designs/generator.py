@@ -1,0 +1,245 @@
+"""Deterministic synthetic design generation.
+
+Generates routing instances with prescribed statistics: grid size,
+obstacle cell count, per-cluster valve counts (length-matching clusters),
+singleton valves, and candidate control pins on the chip boundary.
+Valves of a cluster are placed close together (as in real biochips,
+where a functional unit's valves are co-located); activation sequences
+are constructed so the clustering stage recovers exactly the planned
+clusters: members share their cluster's base sequence and base sequences
+of different clusters are pairwise incompatible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set
+
+from repro.designs.design import Design
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.grid.grid import RoutingGrid
+from repro.valves.activation import ActivationSequence
+from repro.valves.valve import Valve
+
+
+@dataclass(frozen=True)
+class ClusterPlan:
+    """Planned multi-valve cluster: member count and LM flag."""
+
+    size: int
+    length_matching: bool = True
+
+    def __post_init__(self) -> None:
+        if self.size < 2:
+            raise ValueError("planned clusters need at least two valves")
+
+
+def _base_sequences(count: int, time_steps: int) -> List[ActivationSequence]:
+    """Return ``count`` pairwise-incompatible activation sequences.
+
+    Distinct binary encodings (no don't-cares) differ in at least one
+    concrete step, which makes them incompatible by Definition 2.
+    """
+    if count > (1 << time_steps):
+        raise ValueError(
+            f"cannot encode {count} incompatible sequences in {time_steps} steps"
+        )
+    sequences = []
+    for i in range(count):
+        bits = format(i, f"0{time_steps}b")
+        sequences.append(ActivationSequence(bits))
+    return sequences
+
+
+def _place_obstacles(
+    grid: RoutingGrid,
+    n_cells: int,
+    rng: random.Random,
+    *,
+    margin: int = 2,
+    keepout: Optional[Set[Point]] = None,
+    keepout_margin: int = 2,
+) -> None:
+    """Block approximately ``n_cells`` cells with small random rectangles.
+
+    Obstacles keep ``margin`` cells clear of the boundary so control pins
+    (which live on the boundary) and their approaches stay routable, and
+    ``keepout_margin`` cells clear of every ``keepout`` cell (the valves)
+    — a real biochip is routable by construction, so obstacles never
+    choke a valve's local escape capacity.  The final count is exact: the
+    last rectangle is trimmed cell-wise.
+    """
+    if n_cells <= 0:
+        return
+    span_x = grid.width - 2 * margin
+    span_y = grid.height - 2 * margin
+    if span_x <= 0 or span_y <= 0:
+        raise ValueError("grid too small for obstacles with boundary margin")
+    keepout = keepout or set()
+
+    def too_close(rect: Rect) -> bool:
+        guard = rect.inflated(keepout_margin)
+        return any(guard.contains(p) for p in keepout)
+
+    placed = 0
+    attempts = 0
+    while placed < n_cells and attempts < 200 * n_cells + 100:
+        attempts += 1
+        w = rng.randint(1, min(4, span_x))
+        h = rng.randint(1, min(4, span_y))
+        x = rng.randint(margin, grid.width - margin - w)
+        y = rng.randint(margin, grid.height - margin - h)
+        rect = Rect(x, y, x + w - 1, y + h - 1)
+        if too_close(rect):
+            continue
+        cells = [c for c in rect.cells() if not grid.is_obstacle(c)]
+        if not cells:
+            continue
+        remaining = n_cells - placed
+        for cell in cells[:remaining]:
+            grid.set_obstacle(cell)
+            placed += 1
+    if placed < n_cells:
+        raise RuntimeError(f"could not place {n_cells} obstacle cells")
+
+
+def _pick_free_cell(
+    grid: RoutingGrid,
+    rng: random.Random,
+    taken: Set[Point],
+    *,
+    box: Optional[Rect] = None,
+    min_spacing: int = 2,
+    attempts: int = 500,
+) -> Optional[Point]:
+    """Sample a free, untaken cell inside ``box`` keeping valve spacing."""
+    extent = grid.extent().inflated(-2)  # margin for boundary pins
+    search = box.intersect(extent) if box is not None else extent
+    if search is None:
+        search = extent
+    for _ in range(attempts):
+        x = rng.randint(search.xlo, search.xhi)
+        y = rng.randint(search.ylo, search.yhi)
+        p = Point(x, y)
+        if not grid.is_free(p) or p in taken:
+            continue
+        if any(
+            p.manhattan(q) < min_spacing for q in taken
+        ):  # valves need channel room
+            continue
+        return p
+    return None
+
+
+def generate_design(
+    name: str,
+    width: int,
+    height: int,
+    *,
+    clusters: Sequence[ClusterPlan],
+    n_singletons: int,
+    n_pins: int,
+    n_obstacles: int,
+    seed: int,
+    time_steps: int = 10,
+    core_fraction: float = 1.0,
+) -> Design:
+    """Generate a deterministic synthetic design.
+
+    Args:
+        name: design name.
+        width, height: grid dimensions.
+        clusters: planned multi-valve clusters (length-matching).
+        n_singletons: additional single-valve nets.
+        n_pins: candidate control pins, spread evenly along the boundary.
+        n_obstacles: number of blocked cells.
+        seed: RNG seed — equal seeds give identical designs.
+        time_steps: activation-sequence length.
+        core_fraction: fraction of each chip dimension within which
+            cluster centres are placed (centred box).  Real biochips pack
+            their valves into the functional core, which is what makes
+            length-matched routing contentious; 1.0 spreads clusters over
+            the whole chip, smaller values increase routing contention.
+
+    Returns:
+        A validated :class:`Design`.
+    """
+    if not 0.0 < core_fraction <= 1.0:
+        raise ValueError("core_fraction must lie in (0, 1]")
+    rng = random.Random(seed)
+    grid = RoutingGrid(width, height)
+
+    n_groups = len(clusters) + n_singletons
+    sequences = _base_sequences(n_groups, time_steps)
+    rng.shuffle(sequences)
+
+    valves: List[Valve] = []
+    lm_groups: List[List[int]] = []
+    taken: Set[Point] = set()
+    next_id = 0
+
+    core_x = max(2, int(width * (1 - core_fraction) / 2))
+    core_y = max(2, int(height * (1 - core_fraction) / 2))
+    cx_lo, cx_hi = core_x, max(core_x, width - 1 - core_x)
+    cy_lo, cy_hi = core_y, max(core_y, height - 1 - core_y)
+
+    for ci, plan in enumerate(clusters):
+        seq = sequences[ci]
+        # Local box sized to the cluster, centred inside the chip core.
+        radius = max(4, 3 * plan.size)
+        members: List[int] = []
+        for attempt in range(200):
+            cx = rng.randint(cx_lo, cx_hi)
+            cy = rng.randint(cy_lo, cy_hi)
+            box = Rect(cx - radius, cy - radius, cx + radius, cy + radius)
+            trial: List[Point] = []
+            for _ in range(plan.size):
+                p = _pick_free_cell(grid, rng, taken | set(trial), box=box)
+                if p is None:
+                    break
+                trial.append(p)
+            if len(trial) == plan.size:
+                for p in trial:
+                    valves.append(Valve(next_id, p, seq))
+                    members.append(next_id)
+                    taken.add(p)
+                    next_id += 1
+                break
+        else:
+            raise RuntimeError(f"could not place cluster {ci} of design {name}")
+        if plan.length_matching:
+            lm_groups.append(members)
+
+    for si in range(n_singletons):
+        seq = sequences[len(clusters) + si]
+        p = _pick_free_cell(grid, rng, taken)
+        if p is None:
+            raise RuntimeError(f"could not place singleton valve in design {name}")
+        valves.append(Valve(next_id, p, seq))
+        taken.add(p)
+        next_id += 1
+
+    # Obstacles go in *after* the valves, keeping a margin around every
+    # valve so no terminal is choked or pocketed (fabricated chips are
+    # routable by construction).
+    _place_obstacles(grid, n_obstacles, rng, keepout=taken)
+
+    # Control pins: evenly spread over the free boundary cells.
+    boundary = [p for p in grid.boundary_cells() if grid.is_free(p)]
+    if n_pins > len(boundary):
+        raise ValueError(f"design {name}: {n_pins} pins exceed free boundary cells")
+    stride = len(boundary) / n_pins
+    pins = [boundary[int(i * stride)] for i in range(n_pins)]
+
+    design = Design(
+        name=name,
+        grid=grid,
+        valves=valves,
+        lm_groups=lm_groups,
+        control_pins=pins,
+        delta=1,
+    )
+    design.validate()
+    return design

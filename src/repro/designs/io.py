@@ -1,0 +1,77 @@
+"""JSON serialisation of designs.
+
+The on-disk format is a plain JSON document so instances can be shared,
+versioned and inspected:
+
+.. code-block:: json
+
+    {
+      "name": "S1",
+      "width": 12, "height": 12, "delta": 1,
+      "obstacles": [[3, 4], ...],
+      "valves": [{"id": 0, "x": 2, "y": 3, "sequence": "0100011010"}, ...],
+      "lm_groups": [[0, 1], [2, 3]],
+      "control_pins": [[0, 0], ...]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path as FilePath
+from typing import Any, Dict, Union
+
+from repro.designs.design import Design
+from repro.geometry.point import Point
+from repro.grid.grid import RoutingGrid
+from repro.valves.activation import ActivationSequence
+from repro.valves.valve import Valve
+
+
+def design_to_json(design: Design) -> Dict[str, Any]:
+    """Return the JSON-serialisable document for ``design``."""
+    return {
+        "name": design.name,
+        "width": design.grid.width,
+        "height": design.grid.height,
+        "delta": design.delta,
+        "obstacles": sorted([p.x, p.y] for p in design.grid.obstacle_cells()),
+        "valves": [
+            {"id": v.id, "x": v.position.x, "y": v.position.y, "sequence": v.sequence.steps}
+            for v in design.valves
+        ],
+        "lm_groups": [list(g) for g in design.lm_groups],
+        "control_pins": [[p.x, p.y] for p in design.control_pins],
+    }
+
+
+def design_from_json(doc: Dict[str, Any]) -> Design:
+    """Rebuild a :class:`Design` from its JSON document (validated)."""
+    grid = RoutingGrid(doc["width"], doc["height"])
+    grid.add_obstacles(Point(x, y) for x, y in doc.get("obstacles", []))
+    valves = [
+        Valve(item["id"], Point(item["x"], item["y"]), ActivationSequence(item["sequence"]))
+        for item in doc["valves"]
+    ]
+    design = Design(
+        name=doc["name"],
+        grid=grid,
+        valves=valves,
+        lm_groups=[list(g) for g in doc.get("lm_groups", [])],
+        control_pins=[Point(x, y) for x, y in doc.get("control_pins", [])],
+        delta=int(doc.get("delta", 1)),
+    )
+    design.validate()
+    return design
+
+
+def save_design(design: Design, path: Union[str, FilePath]) -> None:
+    """Write ``design`` to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(design_to_json(design), handle, indent=1)
+
+
+def load_design(path: Union[str, FilePath]) -> Design:
+    """Read a design back from JSON."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return design_from_json(json.load(handle))

@@ -1,0 +1,109 @@
+"""Design perturbation utilities for robustness studies.
+
+A practical router must tolerate small layout revisions — a valve nudged
+by a design iteration, a few extra obstruction cells from a late flow
+change.  These helpers derive perturbed variants of a design
+deterministically, used by ``benchmarks/bench_robustness.py`` to measure
+how stable PACOR's matching and completion are under such noise.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Set
+
+from repro.designs.design import Design
+from repro.designs.io import design_from_json, design_to_json
+from repro.geometry.point import Point
+
+
+def _copy(design: Design) -> Design:
+    return design_from_json(design_to_json(design))
+
+
+def jitter_valves(
+    design: Design,
+    *,
+    max_shift: int = 1,
+    fraction: float = 0.5,
+    seed: int = 0,
+) -> Design:
+    """Return a copy with a fraction of valves nudged by up to ``max_shift``.
+
+    Moves preserve validity: targets must be free, unoccupied, off the
+    boundary, and keep at least spacing 2 to other valves.  Valves that
+    cannot move legally stay put.
+    """
+    if max_shift < 0 or not 0.0 <= fraction <= 1.0:
+        raise ValueError("bad jitter parameters")
+    out = _copy(design)
+    rng = random.Random(seed)
+    taken: Set[Point] = {v.position for v in out.valves}
+    order = [v for v in out.valves if rng.random() < fraction]
+    for valve in order:
+        dx = rng.randint(-max_shift, max_shift)
+        dy = rng.randint(-max_shift, max_shift)
+        target = valve.position.translated(dx, dy)
+        if target == valve.position:
+            continue
+        if not out.grid.is_free(target) or out.grid.is_boundary(target):
+            continue
+        others = taken - {valve.position}
+        if target in others or any(target.manhattan(q) < 2 for q in others):
+            continue
+        taken.discard(valve.position)
+        taken.add(target)
+        index = next(i for i, v in enumerate(out.valves) if v.id == valve.id)
+        out.valves[index] = type(valve)(valve.id, target, valve.sequence)
+    out.validate()
+    return out
+
+
+def add_obstacle_noise(
+    design: Design,
+    *,
+    n_cells: int = 10,
+    seed: int = 0,
+    margin: int = 2,
+) -> Design:
+    """Return a copy with ``n_cells`` extra random obstacle cells.
+
+    New obstacles keep ``margin`` cells clear of every valve and never
+    touch the boundary or control pins, so the instance stays plausible.
+    Gives up (returning fewer obstacles) when free space runs out.
+    """
+    if n_cells < 0:
+        raise ValueError("n_cells must be non-negative")
+    out = _copy(design)
+    rng = random.Random(seed)
+    valve_cells = {v.position for v in out.valves}
+    pins = set(out.control_pins)
+    placed = 0
+    attempts = 0
+    while placed < n_cells and attempts < 200 * (n_cells + 1):
+        attempts += 1
+        p = Point(
+            rng.randrange(1, out.grid.width - 1),
+            rng.randrange(1, out.grid.height - 1),
+        )
+        if not out.grid.is_free(p) or p in pins or out.grid.is_boundary(p):
+            continue
+        if any(p.manhattan(v) <= margin for v in valve_cells):
+            continue
+        out.grid.set_obstacle(p)
+        placed += 1
+    out.validate()
+    return out
+
+
+def perturbation_family(
+    design: Design, *, count: int = 5, seed: int = 100
+) -> List[Design]:
+    """Return ``count`` independently perturbed variants of ``design``."""
+    variants = []
+    for i in range(count):
+        variant = jitter_valves(design, seed=seed + i)
+        variant = add_obstacle_noise(variant, n_cells=8, seed=seed + i)
+        variant.name = f"{design.name}-p{i}"
+        variants.append(variant)
+    return variants

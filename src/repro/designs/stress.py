@@ -1,0 +1,71 @@
+"""Stress designs: a contention knob for routability studies.
+
+The published chips' difficulty comes from valve density in the
+functional core; our synthetic suite recreates it with the generator's
+``core_fraction``.  This module exposes that axis directly: a family of
+designs identical except for how tightly the clusters are packed, used
+by ``benchmarks/bench_contention.py`` to chart matched clusters and
+completion against contention — the study that calibrated the suite
+(see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.designs.design import Design
+from repro.designs.generator import ClusterPlan, generate_design
+
+CONTENTION_LEVELS = {
+    "open": 1.0,
+    "mild": 0.5,
+    "packed": 0.25,
+    "dense": 0.15,
+    "extreme": 0.10,
+}
+"""Named core fractions from free placement to heavy contention."""
+
+
+def stress_design(
+    contention: str = "packed",
+    *,
+    scale: int = 2,
+    seed: int = 7000,
+) -> Design:
+    """Build one stress design.
+
+    Args:
+        contention: one of :data:`CONTENTION_LEVELS`.
+        scale: linear size factor; the chip is ``60*scale`` squared with
+            ``3*scale`` clusters and ``2*scale`` singletons.
+        seed: RNG seed.
+    """
+    try:
+        fraction = CONTENTION_LEVELS[contention]
+    except KeyError:
+        raise ValueError(
+            f"unknown contention level {contention!r}; "
+            f"choose from {sorted(CONTENTION_LEVELS)}"
+        ) from None
+    side = 60 * scale
+    n_clusters = 3 * scale
+    sizes = [2 + (i % 3) for i in range(n_clusters)]  # sizes 2-4
+    return generate_design(
+        f"stress-{contention}-x{scale}",
+        side,
+        side,
+        clusters=[ClusterPlan(s) for s in sizes],
+        n_singletons=2 * scale,
+        n_pins=20 * scale,
+        n_obstacles=10 * scale * scale,
+        seed=seed + scale,
+        core_fraction=fraction,
+    )
+
+
+def stress_family(scale: int = 2, seed: int = 7000) -> List[Design]:
+    """Return the full contention family at one scale."""
+    return [
+        stress_design(level, scale=scale, seed=seed)
+        for level in CONTENTION_LEVELS
+    ]

@@ -1,0 +1,27 @@
+"""Path detouring for length matching (Section 6, Algorithm 2).
+
+Once a length-matching cluster is routed (tree edges plus escape path),
+the per-valve channel lengths generally differ by the DME rounding and
+obstacle-avoidance deltas.  This package lengthens the *short* full paths
+until every valve's channel length lies in ``[maxL - delta, maxL]``:
+
+* :class:`RoutedTree` — the routed form of a cluster: one grid path per
+  tree edge, the per-sink path sequences (Def. 6) and the shared escape
+  path.
+* :func:`check_equal` — the paper's ``checkEqual``: matched?, maxL, and
+  the sinks whose full paths are short.
+* :func:`detour_cluster` — Algorithm 2: iterate over short full paths,
+  detouring the edge nearest the valve via minimum-length bounded routing
+  (with a serpentine fallback), restoring everything on failure.
+"""
+
+from repro.detour.cluster import RoutedTree, routed_tree_from_pair
+from repro.detour.detour import DetourResult, check_equal, detour_cluster
+
+__all__ = [
+    "RoutedTree",
+    "routed_tree_from_pair",
+    "check_equal",
+    "detour_cluster",
+    "DetourResult",
+]

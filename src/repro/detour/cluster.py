@@ -1,0 +1,155 @@
+"""Routed form of a length-matching cluster.
+
+A :class:`RoutedTree` collects what the detour stage needs: the routed
+grid path of every tree edge, the order in which each sink's full path
+traverses those edges (the *path sequence* of Def. 6 — nearest-the-valve
+first), and the escape path shared by every sink.  Two-valve clusters are
+represented uniformly by splitting their single routed path at the middle
+cell (the escape tap point of Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.dme.tree import CandidateTree, TopologyNode
+from repro.geometry.point import Point
+from repro.routing.path import Path
+
+
+@dataclass
+class RoutedTree:
+    """A routed length-matching cluster.
+
+    Attributes:
+        cluster_id: the cluster's net id.
+        edge_paths: routed path per edge key; each path runs from the
+            child node towards the parent node.
+        sequences: per sink (valve index), the edge keys from the leaf up
+            to the tree root (Def. 6 order).
+        root: the tree root cell (escape tap).
+        escape_path: root-to-pin path, set after escape routing.
+    """
+
+    cluster_id: int
+    edge_paths: Dict[int, Path]
+    sequences: Dict[int, List[int]]
+    root: Point
+    escape_path: Optional[Path] = None
+
+    def sink_ids(self) -> List[int]:
+        """Return the valve indices of the cluster's sinks."""
+        return sorted(self.sequences)
+
+    def full_length(self, sink: int) -> int:
+        """Return the routed channel length from ``sink`` to the pin.
+
+        The escape path contributes equally to every sink, so matching is
+        unaffected by whether it is routed yet; lengths before escape
+        routing are relative to the tree root.
+        """
+        length = sum(self.edge_paths[k].length for k in self.sequences[sink])
+        if self.escape_path is not None:
+            length += self.escape_path.length
+        return length
+
+    def full_lengths(self) -> Dict[int, int]:
+        """Return the channel length for every sink."""
+        return {sink: self.full_length(sink) for sink in self.sequences}
+
+    def mismatch(self) -> int:
+        """Return the spread between the longest and shortest channel."""
+        lengths = list(self.full_lengths().values())
+        return max(lengths) - min(lengths)
+
+    def all_cells(self) -> Set[Point]:
+        """Return every cell of the cluster's channels (escape included)."""
+        cells: Set[Point] = set()
+        for path in self.edge_paths.values():
+            cells.update(path.cells)
+        if self.escape_path is not None:
+            cells.update(self.escape_path.cells)
+        return cells
+
+    def total_length(self) -> int:
+        """Return the summed channel length (tree edges + escape)."""
+        total = sum(p.length for p in self.edge_paths.values())
+        if self.escape_path is not None:
+            total += self.escape_path.length
+        return total
+
+    def copy_paths(self) -> Dict[int, Path]:
+        """Return a snapshot of the edge paths (for restore-on-failure)."""
+        return dict(self.edge_paths)
+
+
+def routed_tree_from_candidate(
+    tree: CandidateTree, paths_by_edge: Dict[int, Path]
+) -> RoutedTree:
+    """Assemble a :class:`RoutedTree` from a routed candidate tree.
+
+    ``paths_by_edge`` maps the index of each edge (in ``tree.edges()``
+    order) to its routed path.  Paths may run in either direction; they
+    are normalised child-to-parent.
+    """
+    edges = tree.edges()
+    if set(paths_by_edge) != set(range(len(edges))):
+        raise ValueError("paths_by_edge must cover every tree edge exactly")
+
+    edge_paths: Dict[int, Path] = {}
+    for idx, edge in enumerate(edges):
+        path = paths_by_edge[idx]
+        if path.source == edge.child:
+            edge_paths[idx] = path
+        elif path.target == edge.child:
+            edge_paths[idx] = path.reversed()
+        else:
+            # Point-to-path routing may tap mid-channel; keep as-is.
+            edge_paths[idx] = path
+
+    # Build per-sink sequences by walking the topology.
+    sequences: Dict[int, List[int]] = {}
+    edge_index: Dict[Tuple[Point, Point], int] = {}
+    for idx, edge in enumerate(edges):
+        edge_index[(edge.parent, edge.child)] = idx
+
+    def visit(node: TopologyNode, above: List[int]) -> None:
+        if node.is_leaf():
+            assert node.sink is not None
+            sequences[node.sink] = list(above)
+            return
+        for child in node.children:
+            assert node.position is not None and child.position is not None
+            idx = edge_index[(node.position, child.position)]
+            visit(child, [idx] + above)
+
+    visit(tree.root, [])  # sequences are already leaf-first (Def. 6)
+
+    return RoutedTree(
+        cluster_id=tree.cluster_id,
+        edge_paths=edge_paths,
+        sequences=sequences,
+        root=tree.root_position,
+    )
+
+
+def routed_tree_from_pair(
+    cluster_id: int, path: Path, sink_a: int = 0, sink_b: int = 1
+) -> RoutedTree:
+    """Build a :class:`RoutedTree` for a two-valve cluster.
+
+    The single valve-to-valve path is split at its middle cell, which
+    becomes the tree root and escape tap (Section 5); each half is one
+    edge owned by one sink.
+    """
+    mid = len(path.cells) // 2
+    root = path.cells[mid]
+    half_a = Path(path.cells[: mid + 1])  # sink_a .. root (child-to-parent)
+    half_b = Path(tuple(reversed(path.cells[mid:])))  # sink_b .. root
+    return RoutedTree(
+        cluster_id=cluster_id,
+        edge_paths={0: half_a, 1: half_b},
+        sequences={sink_a: [0], sink_b: [1]},
+        root=root,
+    )

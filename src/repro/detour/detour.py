@@ -1,0 +1,172 @@
+"""Algorithm 2: iterative rip-up-and-detour for length matching."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from repro.detour.cluster import RoutedTree
+from repro.grid.grid import RoutingGrid
+from repro.grid.occupancy import Occupancy
+from repro.routing.bounded import bounded_length_route, extend_path_with_bumps
+from repro.routing.path import Path
+
+
+def check_equal(tree: RoutedTree, delta: int) -> Tuple[bool, int, List[int]]:
+    """The paper's ``checkEqual``.
+
+    Returns ``(equal, maxL, short_sinks)``: whether every full-path
+    length lies in ``[maxL - delta, maxL]``, the maximum full-path
+    length, and the sinks whose channels are too short.
+    """
+    lengths = tree.full_lengths()
+    max_length = max(lengths.values())
+    shorts = sorted(
+        sink for sink, length in lengths.items() if length < max_length - delta
+    )
+    return (not shorts, max_length, shorts)
+
+
+@dataclass
+class DetourResult:
+    """Outcome of detouring one cluster.
+
+    Attributes:
+        matched: True when the cluster meets the threshold after (or
+            without) detouring.
+        iterations: detour rounds performed.
+        detoured_edges: number of edge paths that were replaced.
+    """
+
+    matched: bool
+    iterations: int = 0
+    detoured_edges: int = 0
+
+
+def _recommit(occupancy: Occupancy, tree: RoutedTree) -> None:
+    """Synchronise the occupancy overlay with the tree's current cells."""
+    occupancy.release(tree.cluster_id)
+    occupancy.occupy(tree.all_cells(), tree.cluster_id)
+
+
+def _detour_edge(
+    grid: RoutingGrid,
+    occupancy: Occupancy,
+    tree: RoutedTree,
+    edge_key: int,
+    extra: Tuple[int, int],
+) -> Optional[Path]:
+    """Replace one edge path with a longer one.
+
+    ``extra`` is the inclusive window of additional length required.
+    Other edges of the same tree (and the escape path) are obstacles for
+    the new route except at the replaced edge's endpoints.  Returns the
+    new path, or None.
+    """
+    old = tree.edge_paths[edge_key]
+    lo = old.length + extra[0]
+    hi = old.length + extra[1]
+
+    own_cells = set(old.cells)
+    other_cells = tree.all_cells() - own_cells
+    endpoints = {old.source, old.target}
+    forbidden = other_cells - endpoints
+
+    # Free the old path in the overlay so the router may reuse its cells;
+    # cells shared with sibling edges keep their protection via forbidden.
+    occupancy.release_cells(own_cells - other_cells)
+    try:
+        new_path = bounded_length_route(
+            grid,
+            old.source,
+            old.target,
+            max(lo, old.source.manhattan(old.target)),
+            hi,
+            net=tree.cluster_id,
+            occupancy=occupancy,
+            extra_obstacles=forbidden,
+        )
+        if new_path is None:
+            # Serpentine fallback: bump the existing path.
+            want = extra[1] if extra[1] % 2 == 0 else extra[1] - 1
+            if want >= max(extra[0], 2):
+                new_path = extend_path_with_bumps(
+                    grid,
+                    old,
+                    want,
+                    net=tree.cluster_id,
+                    occupancy=occupancy,
+                    extra_obstacles=forbidden,
+                )
+        return new_path
+    finally:
+        # The caller rewrites edge_paths and recommits; restore the overlay
+        # to a consistent state here regardless of outcome.
+        pass
+
+
+def detour_cluster(
+    grid: RoutingGrid,
+    occupancy: Occupancy,
+    tree: RoutedTree,
+    delta: int,
+    *,
+    theta: int = 10,
+) -> DetourResult:
+    """Detour a routed cluster's short full paths (Algorithm 2).
+
+    Iterates up to ``theta`` rounds.  Each round walks every short full
+    path and detours the first detourable path of its sequence (an edge
+    already detoured this round counts as success — its new length shifts
+    this sink too, so the recheck decides).  On a sink with no detourable
+    edge, all paths are restored and the cluster is reported unmatched.
+
+    The occupancy overlay is kept in sync with the tree throughout.
+    """
+    equal, max_length, shorts = check_equal(tree, delta)
+    if equal:
+        return DetourResult(matched=True)
+
+    original_paths = tree.copy_paths()
+    result = DetourResult(matched=False)
+
+    while not equal:
+        if result.iterations >= theta:
+            break
+        result.iterations += 1
+        detoured_this_round: Set[int] = set()
+
+        for sink in shorts:
+            deficit = max_length - tree.full_length(sink)
+            if deficit <= delta:
+                continue  # an earlier detour this round already fixed it
+            # Window of additional length, parity-feasible by delta >= 1.
+            lo = max(deficit - delta, 1)
+            hi = deficit
+            success = False
+            for edge_key in tree.sequences[sink]:
+                if edge_key in detoured_this_round:
+                    success = True
+                    break
+                new_path = _detour_edge(grid, occupancy, tree, edge_key, (lo, hi))
+                if new_path is not None:
+                    tree.edge_paths[edge_key] = new_path
+                    _recommit(occupancy, tree)
+                    detoured_this_round.add(edge_key)
+                    result.detoured_edges += 1
+                    success = True
+                    break
+                _recommit(occupancy, tree)  # restore released cells
+            if not success:
+                tree.edge_paths = original_paths
+                _recommit(occupancy, tree)
+                result.matched = False
+                return result
+
+        equal, max_length, shorts = check_equal(tree, delta)
+
+    result.matched = equal
+    if not equal:
+        tree.edge_paths = original_paths
+        _recommit(occupancy, tree)
+    return result

@@ -1,0 +1,35 @@
+"""Deferred-merge embedding (DME) for length-matched Steiner trees.
+
+PACOR adapts the zero-skew clock-tree DME algorithm (Chao/Hsu/Ho/Kahng,
+cited as [24]) to compute candidate Steiner trees whose root-to-valve
+channel lengths are balanced:
+
+* :mod:`repro.dme.topology` — the balanced-bipartition (BB) connection
+  topology over a cluster's valves.
+* :mod:`repro.dme.merging` — the bottom-up merging-segment phase in exact
+  rotated half-unit arithmetic.
+* :mod:`repro.dme.embedding` — the top-down merging-node embedding with
+  grid snapping (Lemma 1) and obstacle-avoiding expanding-loop search.
+* :mod:`repro.dme.candidates` — enumeration of multiple distinct
+  embeddings per cluster (Fig. 3), the input to candidate selection.
+* :mod:`repro.dme.tree` — topology/embedded-tree data structures, full
+  paths (Def. 5) and the estimated length mismatch ΔL (Eq. 1).
+"""
+
+from repro.dme.bounded_skew import compute_merging_regions_bounded
+from repro.dme.candidates import generate_candidates
+from repro.dme.embedding import EmbeddingError, embed_tree
+from repro.dme.merging import compute_merging_regions
+from repro.dme.topology import balanced_bipartition_topology
+from repro.dme.tree import CandidateTree, TopologyNode
+
+__all__ = [
+    "TopologyNode",
+    "CandidateTree",
+    "balanced_bipartition_topology",
+    "compute_merging_regions",
+    "compute_merging_regions_bounded",
+    "embed_tree",
+    "EmbeddingError",
+    "generate_candidates",
+]

@@ -1,0 +1,118 @@
+"""Bounded-skew merging: spend the matching threshold during construction.
+
+The paper builds *zero-skew* trees (up to Lemma-1 rounding) and repairs
+residual mismatch by detouring afterwards.  When the threshold δ is
+non-zero, some of that balancing wire is unnecessary: a tree whose sink
+distances already differ by at most δ satisfies the constraint with less
+wirelength.  This module implements bounded-skew DME merging as an
+optional alternative to :func:`repro.dme.merging.compute_merging_regions`:
+
+every subtree carries a *delay interval* ``[dmin, dmax]`` (half units)
+with ``dmax - dmin <= skew_h``; a merge chooses the edge split ``e_a +
+e_b = dist`` (or the minimum extension when the children are too
+unbalanced) that keeps the combined interval within the budget while
+minimising added wire.
+
+The classic BST-DME computes exact merging *regions*; we keep the
+paper's machinery (rectangle regions in rotated half units) and pick the
+split by direct search over the integer ``e_a`` range, which is exact
+for the cluster sizes PACOR handles.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.dme.tree import TopologyNode
+from repro.geometry.trr import TRR
+
+
+def compute_merging_regions_bounded(root: TopologyNode, skew_h: int) -> None:
+    """Annotate ``root`` with bounded-skew merge regions and edge lengths.
+
+    Args:
+        root: validated connection topology (leaves positioned).
+        skew_h: allowed sink-distance spread per subtree, in half units
+            (``2 * delta`` for a threshold of ``delta`` grid units).
+            ``skew_h = 0`` reproduces zero-skew merging.
+
+    Fills the same fields as the zero-skew phase (``merge_region``,
+    ``delay_h``, ``edge_h``); ``delay_h`` records the subtree's *maximum*
+    sink distance, and the auxiliary ``snap_h`` is left untouched.
+    """
+    if skew_h < 0:
+        raise ValueError("skew budget must be non-negative")
+    root.validate()
+    _merge(root, skew_h)
+
+
+def _interval(node: TopologyNode) -> Tuple[int, int]:
+    return getattr(node, "_delay_interval", (node.delay_h, node.delay_h))
+
+
+def _merge(node: TopologyNode, skew_h: int) -> None:
+    if node.is_leaf():
+        assert node.position is not None
+        node.merge_region = TRR.from_point(node.position)
+        node.delay_h = 0
+        node._delay_interval = (0, 0)  # type: ignore[attr-defined]
+        return
+
+    a, b = node.children
+    _merge(a, skew_h)
+    _merge(b, skew_h)
+    assert a.merge_region is not None and b.merge_region is not None
+    amin, amax = _interval(a)
+    bmin, bmax = _interval(b)
+    dist = a.merge_region.distance(b.merge_region)
+
+    best: Optional[Tuple[int, int, int, Tuple[int, int]]] = None
+    # The zero-skew split balances the children's max delays; with slack
+    # we stay as close to it as the budget allows, which keeps the merge
+    # regions (and hence upper-level distances) near the zero-skew ones.
+    e_zero = max(0, min(dist, (dist + bmax - amax) // 2))
+    # Candidate splits without extension: e_a in [0, dist].
+    for e_a in range(dist + 1):
+        e_b = dist - e_a
+        lo = min(amin + e_a, bmin + e_b)
+        hi = max(amax + e_a, bmax + e_b)
+        if hi - lo <= skew_h:
+            anchor = abs(e_a - e_zero)
+            key = (0, anchor)
+            if best is None or key < best[:2]:
+                best = (0, anchor, e_a, (lo, hi))
+    if best is not None:
+        _, _, e_a, interval = best
+        e_b = dist - e_a
+        region = a.merge_region.expanded(e_a).intersect(b.merge_region.expanded(e_b))
+        assert region is not None
+    elif amin > bmin:
+        # Child a is too deep even at e_a = 0: extend b's edge just enough
+        # to bring the intervals within the budget.
+        e_a = 0
+        ext = max(0, (amax - skew_h) - (bmin + dist))
+        e_b = dist + ext
+        interval = (
+            min(amin, bmin + e_b),
+            max(amax, bmax + e_b),
+        )
+        region = a.merge_region.intersect(b.merge_region.expanded(dist))
+        if region is None:
+            region = a.merge_region
+    else:
+        e_b = 0
+        ext = max(0, (bmax - skew_h) - (amin + dist))
+        e_a = dist + ext
+        interval = (
+            min(bmin, amin + e_a),
+            max(bmax, amax + e_a),
+        )
+        region = b.merge_region.intersect(a.merge_region.expanded(dist))
+        if region is None:
+            region = b.merge_region
+
+    a.edge_h = e_a
+    b.edge_h = e_b
+    node.merge_region = region
+    node.delay_h = interval[1]
+    node._delay_interval = interval  # type: ignore[attr-defined]

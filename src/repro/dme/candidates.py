@@ -1,0 +1,120 @@
+"""Candidate Steiner-tree enumeration (Section 4.1, Fig. 3).
+
+Different merging-node choices on the same merging segments yield
+different — all length-balanced — Steiner trees.  The generator combines
+root-position samples with embedding policies, de-duplicates by the
+embedded edge set, and returns up to ``k`` distinct candidates per
+cluster for the selection stage to choose from with a global view.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set
+
+from repro.dme.bounded_skew import compute_merging_regions_bounded
+from repro.dme.embedding import EmbeddingError, embed_tree
+from repro.dme.merging import compute_merging_regions
+from repro.dme.topology import balanced_bipartition_topology, n_root_bipartitions
+from repro.dme.tree import CandidateTree, TopologyNode
+from repro.geometry.point import Point
+
+_POLICIES = ("nearest", "lo", "hi")
+
+
+def _clone_topology(node: TopologyNode) -> TopologyNode:
+    """Deep-copy a topology (annotations included, positions reset)."""
+    clone = TopologyNode(
+        sink=node.sink,
+        position=node.position if node.is_leaf() else None,
+        children=[_clone_topology(c) for c in node.children],
+        merge_region=node.merge_region,
+        delay_h=node.delay_h,
+        edge_h=node.edge_h,
+    )
+    return clone
+
+
+def generate_candidates(
+    grid,
+    cluster_id: int,
+    sink_points: Sequence[Point],
+    *,
+    k: int = 4,
+    blocked: Optional[Set[Point]] = None,
+    skew_bound_h: int = 0,
+) -> List[CandidateTree]:
+    """Return up to ``k`` distinct embedded candidate trees for a cluster.
+
+    Args:
+        grid: the routing grid (obstacles constrain embedding).
+        cluster_id: id recorded on each produced :class:`CandidateTree`.
+        sink_points: valve positions of the cluster (index = sink id).
+        k: maximum number of distinct candidates to return.
+        blocked: extra cells internal nodes must avoid.
+        skew_bound_h: merge with a bounded-skew budget (half units)
+            instead of zero skew — spends the matching threshold during
+            construction to save balancing wire (see
+            :mod:`repro.dme.bounded_skew`).
+
+    Returns:
+        Distinct candidates ordered by (mismatch, wirelength); empty when
+        every embedding attempt fails (fully obstructed neighbourhood).
+    """
+    if not sink_points:
+        raise ValueError("a cluster needs at least one sink")
+
+    # Topology variants give distinct trees even when embedding choices
+    # degenerate (collinear sinks ⇒ point merging segments).  Variant-0
+    # (best bipartition) candidates rank first on mismatch ties: edge
+    # lengths are Manhattan estimates, so alternates must not win ties
+    # they would lose under real routing.
+    n_variants = min(3, max(1, n_root_bipartitions(sink_points)))
+    seen = set()
+    candidates: List[CandidateTree] = []
+    variant_of: dict = {}
+    for variant in range(n_variants):
+        base = balanced_bipartition_topology(sink_points, variant=variant)
+        if skew_bound_h > 0:
+            compute_merging_regions_bounded(base, skew_bound_h)
+        else:
+            compute_merging_regions(base)
+
+        if base.is_leaf():
+            return [CandidateTree(cluster_id, _clone_topology(base))]
+
+        assert base.merge_region is not None
+        root_samples: List[Optional[Point]] = list(
+            base.merge_region.sample_grid_points(limit=max(2, k))
+        )
+        if not root_samples:
+            root_samples = [None]
+
+        for root_choice in root_samples:
+            for policy in _POLICIES:
+                topology = _clone_topology(base)
+                try:
+                    embed_tree(
+                        grid,
+                        topology,
+                        root_choice=root_choice,
+                        policy=policy,
+                        blocked=blocked,
+                    )
+                    tree = CandidateTree(cluster_id, topology)
+                except EmbeddingError:
+                    continue
+                sig = tree.signature()
+                if sig in seen:
+                    continue
+                seen.add(sig)
+                candidates.append(tree)
+                variant_of[id(tree)] = variant
+
+    candidates.sort(
+        key=lambda t: (
+            t.mismatch(),
+            variant_of[id(t)],
+            t.total_estimated_length(),
+        )
+    )
+    return candidates[:k]

@@ -1,0 +1,173 @@
+"""Top-down merging-node embedding (DME phase 2).
+
+Walks the topology from the root, fixing a grid position for every
+internal node.  Two practical issues (Section 4.1) are handled here:
+
+* **Rounding** — merging segments may be off-grid (Lemma 1); positions
+  are snapped to the nearest lattice point and the snap distance is
+  recorded on the node (``snap_h``), to be repaired by detouring.
+* **Blockages** — when the chosen cell is obstructed, a valid cell is
+  searched on expanding Manhattan loops around it, growing the radius
+  until a free cell is found or the loop leaves the chip everywhere
+  (then :class:`EmbeddingError` is raised and the caller must fall back,
+  e.g. to MST routing).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Set
+
+from repro.dme.tree import TopologyNode
+from repro.geometry.point import Point
+from repro.geometry.trr import TRR
+from repro.grid.grid import RoutingGrid
+
+
+class EmbeddingError(RuntimeError):
+    """Raised when no valid merging-node position exists on the chip."""
+
+
+def _ring(center: Point, radius: int) -> Iterator[Point]:
+    """Yield the cells at exact Manhattan distance ``radius`` from ``center``."""
+    if radius == 0:
+        yield center
+        return
+    cx, cy = center
+    for dx in range(-radius, radius + 1):
+        dy = radius - abs(dx)
+        yield Point(cx + dx, cy + dy)
+        if dy != 0:
+            yield Point(cx + dx, cy - dy)
+
+
+def find_free_cell_near(
+    grid: RoutingGrid,
+    target: Point,
+    blocked: Optional[Set[Point]] = None,
+) -> Point:
+    """Return the free cell nearest ``target`` via expanding-loop search.
+
+    This is the paper's obstacle-avoidance move: loops encircling the
+    desired merging node expand outward until a valid cell appears; the
+    introduced delta distance is eliminated later by path detouring.
+    """
+    max_radius = grid.width + grid.height
+    for radius in range(max_radius + 1):
+        candidates = [
+            p
+            for p in _ring(target, radius)
+            if grid.is_free(p) and (blocked is None or p not in blocked)
+        ]
+        if candidates:
+            # Deterministic tie-break for reproducible embeddings.
+            return min(candidates)
+    raise EmbeddingError(f"no free cell anywhere near {target}")
+
+
+def _choose_in_region(
+    region: TRR,
+    toward: Point,
+    policy: str,
+) -> Point:
+    """Pick an embedding point inside ``region`` according to ``policy``.
+
+    ``nearest`` snaps the region point closest to ``toward``; ``lo`` and
+    ``hi`` pick extreme sampled points of the region, which is how the
+    candidate generator obtains geometrically distinct embeddings from
+    one merging segment (Fig. 3 (b)-(d)).
+    """
+    if policy == "nearest":
+        point, _ = region.nearest_grid_point(toward)
+        return point
+    samples = region.sample_grid_points(limit=8)
+    if not samples:
+        point, _ = region.nearest_grid_point(toward)
+        return point
+    if policy == "lo":
+        return min(samples)
+    if policy == "hi":
+        return max(samples)
+    raise ValueError(f"unknown embedding policy {policy!r}")
+
+
+def embed_tree(
+    grid: RoutingGrid,
+    root: TopologyNode,
+    *,
+    root_choice: Optional[Point] = None,
+    policy: str = "nearest",
+    blocked: Optional[Set[Point]] = None,
+) -> None:
+    """Assign grid positions to every node of a merged topology.
+
+    Args:
+        grid: routing grid whose obstacles must be avoided.
+        root: topology annotated by
+            :func:`repro.dme.merging.compute_merging_regions`.
+        root_choice: preferred root position (one of the root merge
+            region's sampled points); defaults to the region centre.
+        policy: merging-node choice policy for internal nodes
+            (``nearest`` / ``lo`` / ``hi``).
+        blocked: extra cells to avoid (e.g. other clusters' valves).
+
+    Raises:
+        EmbeddingError: when some node cannot be placed on a free cell.
+    """
+    if root.merge_region is None:
+        raise ValueError("run compute_merging_regions before embedding")
+
+    if root.is_leaf():
+        return  # single-valve cluster: the leaf position is the tree
+
+    # -- root --------------------------------------------------------------
+    if root_choice is not None:
+        desired = root_choice
+    else:
+        cu, cv = root.merge_region.center_rotated()
+        desired, _ = root.merge_region.nearest_grid_point(
+            _rotated_center_estimate(cu, cv)
+        )
+    snapped, snap = root.merge_region.nearest_grid_point(desired)
+    position = find_free_cell_near(grid, snapped, blocked)
+    root.position = position
+    root.snap_h = snap + 2 * snapped.manhattan(position)
+
+    # -- descend ------------------------------------------------------------
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        assert node.position is not None
+        for child in node.children:
+            if child.is_leaf():
+                continue  # valve positions are fixed
+            assert child.merge_region is not None
+            feasible = _feasible_region(child, node.position)
+            target = _choose_in_region(feasible, node.position, policy)
+            placed = find_free_cell_near(grid, target, blocked)
+            child.snap_h += 2 * target.manhattan(placed)
+            child.position = placed
+        stack.extend(c for c in node.children if not c.is_leaf())
+
+
+def _feasible_region(child: TopologyNode, parent_position: Point) -> TRR:
+    """Intersect the child's merge region with the parent's reach.
+
+    The reach is the Manhattan ball of the required edge length around
+    the (possibly snapped/displaced) parent position; when snapping has
+    drifted the parent so far that the intersection is empty, the ball is
+    progressively inflated, and ultimately the bare merge region is used
+    — the resulting length error is recorded implicitly via positions and
+    repaired by the detour stage.
+    """
+    assert child.merge_region is not None
+    ball = TRR.from_point(parent_position)
+    for slack in (0, 2, 4, 8, 16):
+        feasible = child.merge_region.intersect(ball.expanded(child.edge_h + slack))
+        if feasible is not None:
+            return feasible
+    return child.merge_region
+
+
+def _rotated_center_estimate(u: int, v: int) -> Point:
+    """Map a rotated half-unit centre to the closest integer grid point."""
+    return Point(round((u + v) / 4), round((u - v) / 4))

@@ -1,0 +1,76 @@
+"""Bottom-up merging-segment computation (DME phase 1).
+
+Works entirely in rotated half-unit integer arithmetic (see
+:mod:`repro.geometry.trr`).  For an internal node with children *a*, *b*
+whose merge regions are ``ms_a``, ``ms_b`` and whose balanced sink
+distances are ``d_a``, ``d_b`` (all in half units):
+
+* balanced case ``|d_a - d_b| <= dist(ms_a, ms_b)`` — the edge lengths
+  ``e_a + e_b = dist`` satisfy ``d_a + e_a = d_b + e_b`` (up to the ±1
+  half-unit rounding of Lemma 1 when the split is odd), and the merging
+  segment is ``expand(ms_a, e_a) ∩ expand(ms_b, e_b)``;
+* detour case (one subtree much deeper) — the shallower child's edge is
+  *extended* (snaked) beyond the geometric distance; the merging segment
+  collapses onto the deeper child's region nearest the other child.
+"""
+
+from __future__ import annotations
+
+from repro.dme.tree import TopologyNode
+from repro.geometry.trr import TRR
+
+
+def compute_merging_regions(root: TopologyNode) -> None:
+    """Annotate every node of ``root`` with merge region and edge lengths.
+
+    Fills ``merge_region`` and ``delay_h`` on every node and ``edge_h``
+    (required length of the edge to the parent, half units) on every
+    non-root node.  Leaves keep their fixed positions as degenerate
+    regions with zero delay.
+    """
+    root.validate()
+    _merge(root)
+
+
+def _merge(node: TopologyNode) -> None:
+    if node.is_leaf():
+        assert node.position is not None
+        node.merge_region = TRR.from_point(node.position)
+        node.delay_h = 0
+        return
+
+    a, b = node.children
+    _merge(a)
+    _merge(b)
+    assert a.merge_region is not None and b.merge_region is not None
+
+    dist = a.merge_region.distance(b.merge_region)
+    if abs(a.delay_h - b.delay_h) <= dist:
+        # Balanced merge.  Integer floor introduces at most one half unit
+        # of skew when the split is odd (Lemma 1's rounding error); the
+        # detour stage repairs it on routed paths.
+        e_a = (dist + b.delay_h - a.delay_h) // 2
+        e_b = dist - e_a
+        region = a.merge_region.expanded(e_a).intersect(b.merge_region.expanded(e_b))
+        # The intersection is non-empty by construction: the two expanded
+        # regions together cover the gap between the children.
+        assert region is not None, "balanced merge produced empty region"
+    elif a.delay_h > b.delay_h:
+        # Child a is deeper: meet on a's region nearest b and extend b's
+        # edge beyond the geometric distance (wire snaking).
+        e_a = 0
+        e_b = a.delay_h - b.delay_h
+        region = a.merge_region.intersect(b.merge_region.expanded(dist))
+        if region is None:
+            region = a.merge_region
+    else:
+        e_b = 0
+        e_a = b.delay_h - a.delay_h
+        region = b.merge_region.intersect(a.merge_region.expanded(dist))
+        if region is None:
+            region = b.merge_region
+
+    a.edge_h = e_a
+    b.edge_h = e_b
+    node.merge_region = region
+    node.delay_h = max(a.delay_h + e_a, b.delay_h + e_b)

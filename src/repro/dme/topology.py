@@ -1,0 +1,109 @@
+"""Balanced-bipartition (BB) connection topology.
+
+The DME algorithm embeds a *given* binary topology; the paper adopts the
+BB approach of the original zero-skew work: recursively bipartition the
+sink set into two equal halves minimising the sum of the halves'
+diameters.  With unit sink capacitances and an even cluster size this
+yields a balanced binary tree.
+
+Exact minimum-diameter bipartition is exponential; like the original BB
+heuristic we evaluate a small family of geometric sweep cuts (x, y, x+y,
+x-y orderings, each split at the middle) and keep the best.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+from repro.geometry.point import Point, manhattan
+from repro.dme.tree import TopologyNode
+
+_SWEEPS: Tuple[Callable[[Point], Tuple[int, int]], ...] = (
+    lambda p: (p[0], p[1]),
+    lambda p: (p[1], p[0]),
+    lambda p: (p[0] + p[1], p[0]),
+    lambda p: (p[0] - p[1], p[0]),
+)
+
+
+def _diameter(points: Sequence[Point]) -> int:
+    """Return the maximum pairwise Manhattan distance (0 for singletons)."""
+    best = 0
+    for i, a in enumerate(points):
+        for b in points[i + 1 :]:
+            d = manhattan(a, b)
+            if d > best:
+                best = d
+    return best
+
+
+def _ranked_bipartitions(
+    indices: List[int], points: Sequence[Point]
+) -> List[Tuple[List[int], List[int]]]:
+    """Return distinct near-equal splits ranked by diameter sum."""
+    half = len(indices) // 2
+    seen = set()
+    ranked: List[Tuple[Tuple[int, int, int], Tuple[List[int], List[int]]]] = []
+    for si, sweep in enumerate(_SWEEPS):
+        ordered = sorted(indices, key=lambda i: (sweep(points[i]), i))
+        for split in sorted({half, len(indices) - half}):
+            left, right = ordered[:split], ordered[split:]
+            if not left or not right:
+                continue
+            key = frozenset(left)
+            if key in seen:
+                continue
+            seen.add(key)
+            cost = _diameter([points[i] for i in left]) + _diameter(
+                [points[i] for i in right]
+            )
+            # Half splits outrank complement splits at equal cost, and
+            # earlier sweeps break remaining ties — this keeps variant 0
+            # identical to the classic BB choice.
+            ranked.append(((cost, 0 if split == half else 1, si), (left, right)))
+    ranked.sort(key=lambda item: item[0])
+    return [cut for _, cut in ranked]
+
+
+def _best_bipartition(
+    indices: List[int], points: Sequence[Point]
+) -> Tuple[List[int], List[int]]:
+    """Split ``indices`` into two near-equal halves with small diameter sum."""
+    return _ranked_bipartitions(indices, points)[0]
+
+
+def balanced_bipartition_topology(
+    points: Sequence[Point], variant: int = 0
+) -> TopologyNode:
+    """Return the BB connection topology over a cluster's valve positions.
+
+    Leaves carry ``sink`` = the index into ``points``; the caller maps
+    these back to valve ids.  A single point yields a lone leaf.
+
+    ``variant`` selects the k-th best bipartition at the *root* level
+    (children always use the best cut); the candidate generator uses it
+    to obtain topologically distinct trees when embedding choices
+    degenerate (e.g. collinear sinks with point merging segments).
+    Out-of-range variants clamp to the last available cut.
+    """
+    if not points:
+        raise ValueError("cannot build a topology over zero sinks")
+    if variant < 0:
+        raise ValueError("variant must be non-negative")
+
+    def build(indices: List[int], pick: int) -> TopologyNode:
+        if len(indices) == 1:
+            i = indices[0]
+            return TopologyNode(sink=i, position=Point(*points[i]))
+        cuts = _ranked_bipartitions(indices, points)
+        left, right = cuts[min(pick, len(cuts) - 1)]
+        return TopologyNode(children=[build(left, 0), build(right, 0)])
+
+    return build(list(range(len(points))), variant)
+
+
+def n_root_bipartitions(points: Sequence[Point]) -> int:
+    """Return how many distinct root-level cuts exist for ``points``."""
+    if len(points) < 2:
+        return 0
+    return len(_ranked_bipartitions(list(range(len(points))), points))

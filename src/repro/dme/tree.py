@@ -1,0 +1,186 @@
+"""Tree data structures for the DME stage.
+
+A :class:`TopologyNode` is one node of the binary connection topology
+produced by balanced bipartition; the merging phase annotates it with a
+merge region and per-child required edge lengths, and the embedding phase
+assigns grid positions.  A fully embedded tree is wrapped in
+:class:`CandidateTree`, which exposes what the selection stage (Section
+4.2) needs: edges with bounding boxes, full paths per sink (Def. 5) and
+the estimated length mismatch ΔL (Eq. 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.geometry.point import Point, manhattan
+from repro.geometry.rect import Rect
+from repro.geometry.trr import TRR
+
+
+@dataclass
+class TopologyNode:
+    """A node of the (binary) DME connection topology.
+
+    Leaves carry ``sink`` — the index of a valve within the cluster — and
+    a fixed position.  Internal nodes have exactly two children.  The
+    merging phase fills ``merge_region`` (a :class:`TRR` in rotated half
+    units), ``delay_h`` (the subtree's balanced sink distance, in half
+    units) and ``edge_h`` (required length of the edge *up to the
+    parent*, in half units); the embedding phase fills ``position``.
+    """
+
+    sink: Optional[int] = None
+    position: Optional[Point] = None
+    children: List["TopologyNode"] = field(default_factory=list)
+    merge_region: Optional[TRR] = None
+    delay_h: int = 0
+    edge_h: int = 0
+    snap_h: int = 0
+
+    def is_leaf(self) -> bool:
+        """Return True for sink (valve) nodes."""
+        return self.sink is not None
+
+    def validate(self) -> None:
+        """Check the leaf/internal invariants recursively."""
+        if self.is_leaf():
+            if self.children:
+                raise ValueError("leaf topology nodes must not have children")
+            if self.position is None:
+                raise ValueError("leaf topology nodes need a valve position")
+        else:
+            if len(self.children) != 2:
+                raise ValueError("internal topology nodes need exactly two children")
+            for child in self.children:
+                child.validate()
+
+    def walk(self) -> Iterator["TopologyNode"]:
+        """Yield the subtree's nodes in pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def leaves(self) -> Iterator["TopologyNode"]:
+        """Yield the subtree's leaves left-to-right."""
+        for node in self.walk():
+            if node.is_leaf():
+                yield node
+
+
+@dataclass(frozen=True)
+class TreeEdge:
+    """One embedded tree edge from a node to its parent.
+
+    Attributes:
+        parent: embedded position of the parent merging node.
+        child: embedded position of the child node.
+        required_length: target routed length in grid units (at least the
+            Manhattan distance; larger when DME balancing demands wire
+            extension/snaking on this edge).
+    """
+
+    parent: Point
+    child: Point
+    required_length: int
+
+    @property
+    def manhattan_length(self) -> int:
+        """Return the Manhattan distance between the endpoints."""
+        return manhattan(self.parent, self.child)
+
+    def bounding_box(self) -> Rect:
+        """Return the edge's bounding box (used by the overlap cost, Eq. 4)."""
+        return Rect.from_points([self.parent, self.child])
+
+
+class CandidateTree:
+    """A fully embedded candidate Steiner tree for one cluster.
+
+    The selection stage treats candidate trees as atoms: it needs the
+    estimated mismatch ΔL (Eq. 1, with path lengths estimated by Manhattan
+    distance), the edge bounding boxes (Eq. 4), and — once selected — the
+    edges to hand to the negotiation router.
+    """
+
+    def __init__(self, cluster_id: int, root: TopologyNode) -> None:
+        root.validate()
+        self.cluster_id = cluster_id
+        self.root = root
+        for node in root.walk():
+            if node.position is None:
+                raise ValueError("candidate trees must be fully embedded")
+
+    @property
+    def root_position(self) -> Point:
+        """Return the embedded root position (escape-routing source)."""
+        assert self.root.position is not None
+        return self.root.position
+
+    def edges(self) -> List[TreeEdge]:
+        """Return every parent-child edge of the embedded tree."""
+        out: List[TreeEdge] = []
+
+        def visit(node: TopologyNode) -> None:
+            for child in node.children:
+                assert node.position is not None and child.position is not None
+                required = max(
+                    manhattan(node.position, child.position),
+                    (child.edge_h + 1) // 2,
+                )
+                out.append(TreeEdge(node.position, child.position, required))
+                visit(child)
+
+        visit(self.root)
+        return out
+
+    def sink_positions(self) -> Dict[int, Point]:
+        """Return valve-index -> embedded position for every sink."""
+        return {
+            node.sink: node.position  # type: ignore[misc, dict-item]
+            for node in self.root.leaves()
+        }
+
+    def full_path_lengths(self) -> Dict[int, int]:
+        """Return the estimated full-path length per sink (Def. 5).
+
+        Estimated as the sum of each edge's required length from the sink
+        up to the root — Manhattan distance when no extension is needed.
+        """
+        lengths: Dict[int, int] = {}
+
+        def visit(node: TopologyNode, acc: int) -> None:
+            if node.is_leaf():
+                assert node.sink is not None
+                lengths[node.sink] = acc
+                return
+            for child in node.children:
+                assert node.position is not None and child.position is not None
+                required = max(
+                    manhattan(node.position, child.position),
+                    (child.edge_h + 1) // 2,
+                )
+                visit(child, acc + required)
+
+        visit(self.root, 0)
+        return lengths
+
+    def mismatch(self) -> int:
+        """Return the estimated length mismatch ΔL (Eq. 1)."""
+        lengths = self.full_path_lengths()
+        return max(lengths.values()) - min(lengths.values())
+
+    def total_estimated_length(self) -> int:
+        """Return the summed required edge lengths (tree wirelength estimate)."""
+        return sum(e.required_length for e in self.edges())
+
+    def signature(self) -> Tuple[Tuple[Point, Point], ...]:
+        """Return a hashable embedding signature for de-duplication."""
+        return tuple(sorted((e.parent, e.child) for e in self.edges()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CandidateTree(cluster={self.cluster_id}, root={self.root_position}, "
+            f"dL={self.mismatch()})"
+        )

@@ -1,0 +1,31 @@
+"""Escape routing: clusters to control pins via min-cost flow (Section 5).
+
+After the clusters' internal channels are routed, every cluster must be
+connected to a control pin.  The paper formulates this as one global
+min-cost flow whose objective maximises the number of routed clusters
+first (the β-dominated term) and minimises total channel length second;
+crossings are excluded by capacity-2 node degree (constraint 12), which
+the builder realises by splitting each grid cell into an in/out node pair
+joined by a capacity-1 arc.
+
+* :mod:`repro.escape.mcf` — network construction, solving, and flow
+  decomposition back into grid paths.
+* :mod:`repro.escape.ripup` — blocking-net diagnosis for the
+  de-clustering / path rip-up loop of the overall flow.
+"""
+
+from repro.escape.constraints import ConstraintViolation, check_paper_constraints
+from repro.escape.mcf import EscapeResult, EscapeSource, solve_escape
+from repro.escape.ripup import ProbeResult, find_blocking_nets
+from repro.escape.sequential import solve_escape_sequential
+
+__all__ = [
+    "EscapeSource",
+    "EscapeResult",
+    "solve_escape",
+    "solve_escape_sequential",
+    "find_blocking_nets",
+    "ProbeResult",
+    "check_paper_constraints",
+    "ConstraintViolation",
+]

@@ -1,0 +1,130 @@
+"""Constraint checker for the paper's escape-routing formulation.
+
+Section 5 defines escape routing by an objective and constraints
+(6)-(12) over per-arc flow variables.  Our solver realises them via a
+node-split flow network; this module closes the loop by re-deriving the
+arc flows from a decomposed :class:`~repro.escape.mcf.EscapeResult` and
+checking the *paper's* constraints directly:
+
+* (6)/(10) — each source's total outward flow is at most one and equals
+  the number of its routed paths;
+* (7)/(11) — no flow enters a source's tap cells;
+* (8)  — obstacle and blocked cells carry no flow;
+* (9)  — flow conservation at every ordinary routing cell;
+* (12) — at most 2 incident flow units per cell (no crossings).
+
+Used by tests and benchmarks as an independent proof that the min-cost-
+flow substitution implements exactly the published formulation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Sequence, Set, Tuple
+
+from repro.escape.mcf import EscapeResult, EscapeSource
+from repro.geometry.point import Point
+from repro.grid.grid import RoutingGrid
+
+
+class ConstraintViolation(AssertionError):
+    """Raised when a decomposed escape solution breaks (6)-(12)."""
+
+
+def check_paper_constraints(
+    grid: RoutingGrid,
+    sources: Sequence[EscapeSource],
+    pins: Sequence[Point],
+    blocked: Set[Point],
+    result: EscapeResult,
+) -> Dict[str, int]:
+    """Validate ``result`` against constraints (6)-(12).
+
+    Returns a small statistics dict (arcs, cells touched) on success;
+    raises :class:`ConstraintViolation` otherwise.
+    """
+    tap_cells: Dict[int, Set[Point]] = {
+        s.cluster_id: {Point(t[0], t[1]) for t in s.tap_cells} for s in sources
+    }
+    pin_set = {Point(p[0], p[1]) for p in pins}
+
+    # Re-derive arc flows f_{i,j} from the decomposed paths.
+    arc_flow: Dict[Tuple[Point, Point], int] = defaultdict(int)
+    outward_of_source: Dict[int, int] = defaultdict(int)
+    for cluster_id, path in result.paths.items():
+        cells = path.cells
+        taps = tap_cells[cluster_id]
+        if cells[0] not in taps:
+            raise ConstraintViolation(
+                f"path of cluster {cluster_id} does not start at a tap cell"
+            )
+        for a, b in zip(cells, cells[1:]):
+            if a.manhattan(b) != 1:
+                raise ConstraintViolation("flow arc between non-adjacent cells")
+            arc_flow[(a, b)] += 1
+        outward_of_source[cluster_id] += 1
+        if path.target not in pin_set:
+            raise ConstraintViolation(
+                f"cluster {cluster_id} terminates off-pin at {path.target}"
+            )
+
+    inflow: Dict[Point, int] = defaultdict(int)
+    outflow: Dict[Point, int] = defaultdict(int)
+    for (a, b), f in arc_flow.items():
+        outflow[a] += f
+        inflow[b] += f
+
+    all_taps: Set[Point] = set()
+    for cells in tap_cells.values():
+        all_taps |= cells
+
+    # (6)/(10): each source sends at most one unit outward in total.
+    for cluster_id, units in outward_of_source.items():
+        if units > 1:
+            raise ConstraintViolation(
+                f"cluster {cluster_id} sends {units} units (x_q <= 1 violated)"
+            )
+
+    for cell in set(inflow) | set(outflow):
+        # (8): no flow on obstacles; blocked cells only as tap starts.
+        if not grid.in_bounds(cell):
+            raise ConstraintViolation(f"flow leaves the chip at {cell}")
+        if grid.is_obstacle(cell):
+            raise ConstraintViolation(f"flow crosses obstacle {cell}")
+        if cell in blocked and cell not in all_taps:
+            raise ConstraintViolation(f"flow crosses blocked cell {cell}")
+
+        # (7)/(11): no inward flow into any source's tap cells.
+        if cell in all_taps and inflow[cell] > 0:
+            raise ConstraintViolation(f"flow enters tap cell {cell}")
+
+        # (9): conservation at ordinary cells (non-tap, non-terminal-pin).
+        is_terminal_pin = cell in pin_set and any(
+            result.pin_of.get(cid) == cell for cid in result.paths
+        )
+        if cell not in all_taps and not is_terminal_pin:
+            if inflow[cell] != outflow[cell]:
+                raise ConstraintViolation(
+                    f"conservation violated at {cell}: "
+                    f"in={inflow[cell]} out={outflow[cell]}"
+                )
+
+        # (12): at most two incident units — no crossings.
+        if inflow[cell] + outflow[cell] > 2:
+            raise ConstraintViolation(
+                f"cell {cell} carries {inflow[cell] + outflow[cell]} incident units"
+            )
+
+    # Each pin drains at most one unit.
+    pin_use: Dict[Point, int] = defaultdict(int)
+    for cid in result.paths:
+        pin_use[result.pin_of[cid]] += 1
+    for pin, uses in pin_use.items():
+        if uses > 1:
+            raise ConstraintViolation(f"pin {pin} drains {uses} units")
+
+    return {
+        "arcs": len(arc_flow),
+        "cells": len(set(inflow) | set(outflow)),
+        "routed": len(result.paths),
+    }

@@ -1,0 +1,157 @@
+"""Export the escape-routing LP in CPLEX LP text format.
+
+The paper hands its formulation — objective ``min Σ l_ij f_ij − β(Σx_j +
+Σx_q)`` subject to constraints (6)–(12) — to Gurobi.  We solve the
+equivalent min-cost max-flow instead (see DESIGN.md), but for
+documentation, debugging and external cross-checking this module writes
+the *literal* LP of Section 5 for any instance, readable by Gurobi,
+CPLEX, GLPK (``glpsol --lp``) or SCIP.
+
+Variable naming: ``f_x1_y1_x2_y2`` is the flow from grid cell (x1, y1)
+to adjacent cell (x2, y2); ``xs_<cluster>`` is the per-source indicator
+``x_q``.  Tap-adjacent arcs are modelled as in our network: a virtual
+source feeds the free neighbours of each cluster's tap cells.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.escape.mcf import EscapeSource
+from repro.geometry.point import Point
+from repro.grid.grid import RoutingGrid
+
+
+def _fvar(a: Point, b: Point) -> str:
+    return f"f_{a.x}_{a.y}_{b.x}_{b.y}"
+
+
+def export_escape_lp(
+    grid: RoutingGrid,
+    sources: Sequence[EscapeSource],
+    pins: Sequence[Point],
+    blocked: Optional[Set[Point]] = None,
+    *,
+    beta: float = 10_000.0,
+) -> str:
+    """Return the Section-5 LP for an escape instance as LP-format text.
+
+    β is the paper's domination weight making the routed-count term
+    outweigh total length; any value above the largest possible total
+    length is equivalent.
+    """
+    blocked = blocked or set()
+
+    def usable(p: Point) -> bool:
+        return grid.is_free(p) and p not in blocked
+
+    cells = [
+        Point(x, y)
+        for y in range(grid.height)
+        for x in range(grid.width)
+        if usable(Point(x, y))
+    ]
+    cell_set = set(cells)
+    pin_set = {Point(p[0], p[1]) for p in pins if usable(Point(p[0], p[1]))}
+
+    arcs: List[Tuple[Point, Point]] = []
+    for p in cells:
+        for q in p.neighbors4():
+            if q in cell_set:
+                arcs.append((p, q))
+
+    # Entry arcs: per source q, from its virtual node into tap neighbours.
+    entry_vars: Dict[int, List[str]] = {}
+    entry_target: Dict[str, Point] = {}
+    for source in sources:
+        names: List[str] = []
+        seen: Set[Point] = set()
+        for tap in source.tap_cells:
+            tap = Point(tap[0], tap[1])
+            candidates = [tap] if tap in cell_set else [
+                v for v in tap.neighbors4() if v in cell_set
+            ]
+            for v in candidates:
+                if v in seen:
+                    continue
+                seen.add(v)
+                name = f"e_{source.cluster_id}_{v.x}_{v.y}"
+                names.append(name)
+                entry_target[name] = v
+        entry_vars[source.cluster_id] = names
+
+    out: List[str] = []
+    out.append("\\ Escape routing LP (Section 5, constraints (6)-(12))")
+    out.append("Minimize")
+    terms = [f" + 1 {_fvar(a, b)}" for a, b in arcs]
+    terms += [
+        f" + 1 {name}" for names in entry_vars.values() for name in names
+    ]
+    terms += [f" - {beta} xs_{s.cluster_id}" for s in sources]
+    out.append(" obj:" + "".join(terms))
+    out.append("Subject To")
+
+    # (6)/(10): source outward flow bounded by x_q.
+    for source in sources:
+        names = entry_vars[source.cluster_id]
+        if names:
+            out.append(
+                f" c6_{source.cluster_id}: "
+                + " + ".join(names)
+                + f" - xs_{source.cluster_id} = 0"
+            )
+        else:
+            out.append(f" c6_{source.cluster_id}: xs_{source.cluster_id} = 0")
+
+    # (9): conservation at ordinary cells; pins may drain.
+    for p in cells:
+        if p in pin_set:
+            continue  # pins are sinks: no conservation row
+        inflow = [_fvar(q, p) for q in p.neighbors4() if q in cell_set]
+        inflow += [name for name, v in entry_target.items() if v == p]
+        outflow = [_fvar(p, q) for q in p.neighbors4() if q in cell_set]
+        if not inflow and not outflow:
+            continue
+        terms = " + ".join(inflow) if inflow else ""
+        terms += "".join(f" - {v}" for v in outflow)
+        out.append(f" c9_{p.x}_{p.y}: {terms.strip()} = 0")
+
+    # (12): at most 2 incident units per cell.
+    for p in cells:
+        incident = [_fvar(q, p) for q in p.neighbors4() if q in cell_set]
+        incident += [_fvar(p, q) for q in p.neighbors4() if q in cell_set]
+        incident += [name for name, v in entry_target.items() if v == p]
+        if incident:
+            out.append(f" c12_{p.x}_{p.y}: " + " + ".join(incident) + " <= 2")
+
+    # Pins drain at most one unit each.
+    for pin in sorted(pin_set):
+        inflow = [_fvar(q, pin) for q in pin.neighbors4() if q in cell_set]
+        inflow += [name for name, v in entry_target.items() if v == pin]
+        if inflow:
+            out.append(
+                f" cpin_{pin.x}_{pin.y}: " + " + ".join(inflow) + " <= 1"
+            )
+
+    out.append("Bounds")
+    for s in sources:
+        out.append(f" 0 <= xs_{s.cluster_id} <= 1")
+    for a, b in arcs:
+        out.append(f" 0 <= {_fvar(a, b)} <= 1")
+    for names in entry_vars.values():
+        for name in names:
+            out.append(f" 0 <= {name} <= 1")
+    out.append("End")
+    return "\n".join(out) + "\n"
+
+
+def write_escape_lp(
+    path: str,
+    grid: RoutingGrid,
+    sources: Sequence[EscapeSource],
+    pins: Sequence[Point],
+    blocked: Optional[Set[Point]] = None,
+) -> None:
+    """Write the LP to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(export_escape_lp(grid, sources, pins, blocked))

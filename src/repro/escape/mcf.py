@@ -1,0 +1,231 @@
+"""Min-cost-flow escape routing (Section 5 of the paper).
+
+The network encodes constraints (6)-(12):
+
+* every usable grid cell is split ``in -> out`` with capacity 1 —
+  constraint (12), at most one path per cell;
+* obstacle/boundary/foreign cells are simply absent — constraint (8);
+* each cluster gets a selector node fed by the super source with
+  capacity 1 and arcs onto the free neighbours of its tap cells —
+  constraints (6), (10) bound the cluster's outward flow by one, and the
+  absence of arcs *into* tap cells realises (7), (11);
+* candidate control pins drain into the super sink with capacity 1.
+
+Maximising flow before cost reproduces the β-dominated objective: the
+number of routed clusters is maximised, then total channel length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.flownet.mincostflow import MinCostFlow
+from repro.geometry.point import Point
+from repro.grid.grid import RoutingGrid
+from repro.routing.path import Path
+
+
+@dataclass(frozen=True)
+class EscapeSource:
+    """One cluster's escape-routing demand.
+
+    Attributes:
+        cluster_id: the cluster's net id.
+        tap_cells: cells the escape channel may start from — the Steiner
+            root for LM clusters of 3+ valves, the path middle cell for
+            2-valve LM clusters, every routed path cell for ordinary
+            clusters, or the valve cell itself for singletons (Section 5).
+    """
+
+    cluster_id: int
+    tap_cells: Tuple[Point, ...]
+
+    def __post_init__(self) -> None:
+        if not self.tap_cells:
+            raise ValueError("an escape source needs at least one tap cell")
+
+
+@dataclass
+class EscapeResult:
+    """Outcome of one escape-routing solve.
+
+    Attributes:
+        paths: per routed cluster, the escape path from a tap cell to the
+            assigned control pin (tap cell included as first cell).
+        pin_of: assigned control pin per routed cluster.
+        unrouted: cluster ids the flow could not route this round.
+        flow_value: number of routed clusters.
+        total_cost: summed arc costs (total escape channel length).
+    """
+
+    paths: Dict[int, Path] = field(default_factory=dict)
+    pin_of: Dict[int, Point] = field(default_factory=dict)
+    unrouted: List[int] = field(default_factory=list)
+    flow_value: int = 0
+    total_cost: float = 0.0
+
+    @property
+    def complete(self) -> bool:
+        """Return True when every source was routed."""
+        return not self.unrouted
+
+
+def solve_escape(
+    grid: RoutingGrid,
+    sources: Sequence[EscapeSource],
+    pins: Sequence[Point],
+    blocked: Optional[Set[Point]] = None,
+) -> EscapeResult:
+    """Route every escape source to a distinct control pin, min-cost.
+
+    Args:
+        grid: the routing grid.
+        sources: cluster demands; tap cells are assumed unusable for
+            through-routing (they belong to routed channels/valves), so
+            include them in ``blocked``.
+        pins: candidate control-pin cells (each serves at most one
+            cluster).
+        blocked: cells no escape path may use — all cells occupied by
+            routed channels and all valve cells.  Tap cells may (and
+            normally do) appear here.
+
+    Returns:
+        The decomposed routing; crossings are impossible by construction.
+    """
+    blocked = blocked or set()
+    result = EscapeResult()
+    if not sources:
+        return result
+    if not pins:
+        result.unrouted = [s.cluster_id for s in sources]
+        return result
+
+    usable: Dict[Point, int] = {}
+
+    def usable_index(p: Point) -> Optional[int]:
+        if p in usable:
+            return usable[p]
+        if not grid.is_free(p) or p in blocked:
+            return None
+        usable[p] = len(usable)
+        return usable[p]
+
+    # First pass: register cells (deterministic order).
+    for y in range(grid.height):
+        for x in range(grid.width):
+            usable_index(Point(x, y))
+
+    n_cells = len(usable)
+    # Node layout: in(k) = 2k, out(k) = 2k + 1, then S, T, selectors.
+    net = MinCostFlow(2 * n_cells + 2 + len(sources))
+    s_node = 2 * n_cells
+    t_node = 2 * n_cells + 1
+
+    def in_node(k: int) -> int:
+        return 2 * k
+
+    def out_node(k: int) -> int:
+        return 2 * k + 1
+
+    # Cell splitting and adjacency.
+    cells_by_index: List[Point] = [None] * n_cells  # type: ignore[list-item]
+    for p, k in usable.items():
+        cells_by_index[k] = p
+    for p, k in usable.items():
+        net.add_arc(in_node(k), out_node(k), 1, 0.0)
+    adjacency_arc: Dict[int, List[Tuple[int, Point]]] = {}
+    for p, k in usable.items():
+        for q in p.neighbors4():
+            kq = usable.get(q)
+            if kq is None:
+                continue
+            arc = net.add_arc(out_node(k), in_node(kq), 1, 1.0)
+            adjacency_arc.setdefault(k, []).append((arc, q))
+
+    # Control pins.
+    pin_arc_of_cell: Dict[int, Tuple[int, Point]] = {}
+    seen_pins: Set[Point] = set()
+    for pin in pins:
+        pin = Point(pin[0], pin[1])
+        if pin in seen_pins:
+            continue
+        seen_pins.add(pin)
+        k = usable.get(pin)
+        if k is None:
+            continue
+        arc = net.add_arc(out_node(k), t_node, 1, 0.0)
+        pin_arc_of_cell[k] = (arc, pin)
+
+    # Sources.
+    tap_arcs: Dict[int, List[Tuple[int, Point, Point]]] = {}
+    for si, source in enumerate(sources):
+        selector = 2 * n_cells + 2 + si
+        net.add_arc(s_node, selector, 1, 0.0)
+        entries: List[Tuple[int, Point, Point]] = []
+        seen_entry: Set[Point] = set()
+        for tap in source.tap_cells:
+            tap = Point(tap[0], tap[1])
+            k_tap = usable.get(tap)
+            if k_tap is not None:
+                # The tap cell itself is routable (singleton valve case):
+                # the path starts on it at zero cost.
+                if tap not in seen_entry:
+                    arc = net.add_arc(selector, in_node(k_tap), 1, 0.0)
+                    entries.append((arc, tap, tap))
+                    seen_entry.add(tap)
+                continue
+            for v in tap.neighbors4():
+                kv = usable.get(v)
+                if kv is None or v in seen_entry:
+                    continue
+                arc = net.add_arc(selector, in_node(kv), 1, 1.0)
+                entries.append((arc, tap, v))
+                seen_entry.add(v)
+        tap_arcs[si] = entries
+
+    flow_value, total_cost = net.max_flow_min_cost(
+        s_node, t_node, max_flow=len(sources)
+    )
+    result.flow_value = flow_value
+    result.total_cost = total_cost
+
+    # Decompose per source.
+    for si, source in enumerate(sources):
+        entry = next(
+            ((arc, tap, v) for arc, tap, v in tap_arcs[si] if net.flow_on(arc) > 0),
+            None,
+        )
+        if entry is None:
+            result.unrouted.append(source.cluster_id)
+            continue
+        _, tap, v = entry
+        cells: List[Point] = [tap] if tap != v else []
+        current = usable[v]
+        cells.append(v)
+        pin: Optional[Point] = None
+        guard = 0
+        while pin is None:
+            guard += 1
+            if guard > 4 * n_cells:  # pragma: no cover - defensive
+                raise RuntimeError("flow decomposition failed to terminate")
+            pin_entry = pin_arc_of_cell.get(current)
+            if pin_entry is not None and net.flow_on(pin_entry[0]) > 0:
+                pin = pin_entry[1]
+                break
+            step = next(
+                (
+                    (arc, q)
+                    for arc, q in adjacency_arc.get(current, [])
+                    if net.flow_on(arc) > 0
+                ),
+                None,
+            )
+            if step is None:  # pragma: no cover - defensive
+                raise RuntimeError("flow decomposition hit a dead end")
+            _, q = step
+            cells.append(q)
+            current = usable[q]
+        result.paths[source.cluster_id] = Path(cells)
+        result.pin_of[source.cluster_id] = pin
+    return result

@@ -1,0 +1,32 @@
+"""Flow-layer model: where control-layer obstacles come from.
+
+In a two-layer PDMS biochip (Fig. 1 of the paper) the control layer is
+routed *over* the flow layer.  Wherever a control channel crosses a flow
+channel, the membrane between them forms a valve — so any crossing that
+is not a designed valve site is a parasitic valve that would pinch the
+flow.  The flow layer therefore projects **obstacles** onto the control
+layer: every flow-channel cell except the designated valve sites.
+
+* :class:`FlowChannel` / :class:`FlowLayer` — flow geometry as cell
+  paths with named ports and valve sites;
+* :func:`control_obstacles` — the projection rule above;
+* :mod:`repro.flowlayer.geometry` — component flow geometry builders
+  (rotary mixer ring, multiplexer tree, straight channels) used by the
+  synthesis front-end.
+"""
+
+from repro.flowlayer.channels import FlowChannel, FlowLayer, control_obstacles
+from repro.flowlayer.geometry import (
+    multiplexer_tree,
+    rotary_ring,
+    straight_channel,
+)
+
+__all__ = [
+    "FlowChannel",
+    "FlowLayer",
+    "control_obstacles",
+    "rotary_ring",
+    "multiplexer_tree",
+    "straight_channel",
+]

@@ -1,0 +1,102 @@
+"""Flow channels and their projection onto the control layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set
+
+from repro.geometry.point import Point
+from repro.grid.grid import RoutingGrid
+
+
+@dataclass
+class FlowChannel:
+    """One flow channel: a named, connected cell path on the flow layer.
+
+    Attributes:
+        name: channel name (e.g. ``"mixer.ring"``).
+        cells: the channel's cells; consecutive cells must be 4-adjacent
+            unless ``closed`` loops validate first-to-last adjacency too.
+        closed: True for ring channels (rotary mixers).
+    """
+
+    name: str
+    cells: List[Point]
+    closed: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.cells:
+            raise ValueError(f"flow channel {self.name!r} has no cells")
+        self.cells = [Point(c[0], c[1]) for c in self.cells]
+        for a, b in zip(self.cells, self.cells[1:]):
+            if a.manhattan(b) != 1:
+                raise ValueError(
+                    f"flow channel {self.name!r}: cells {a} and {b} not adjacent"
+                )
+        if self.closed and len(self.cells) > 1:
+            if self.cells[0].manhattan(self.cells[-1]) != 1:
+                raise ValueError(
+                    f"closed flow channel {self.name!r} does not loop"
+                )
+
+    def cell_set(self) -> Set[Point]:
+        """Return the channel's cells as a set."""
+        return set(self.cells)
+
+
+@dataclass
+class FlowLayer:
+    """The chip's flow layer: channels plus designated valve sites.
+
+    Attributes:
+        channels: all flow channels.
+        valve_sites: cells where control channels are *allowed* to cross
+            (the designed valves); each must lie on some channel.
+    """
+
+    channels: List[FlowChannel] = field(default_factory=list)
+    valve_sites: Set[Point] = field(default_factory=set)
+
+    def add(self, channel: FlowChannel) -> FlowChannel:
+        """Add a channel (duplicate names rejected)."""
+        if any(c.name == channel.name for c in self.channels):
+            raise ValueError(f"duplicate flow channel name {channel.name!r}")
+        self.channels.append(channel)
+        return channel
+
+    def add_valve_site(self, cell: Point) -> None:
+        """Register a designed valve crossing at ``cell``."""
+        cell = Point(cell[0], cell[1])
+        if not any(cell in c.cell_set() for c in self.channels):
+            raise ValueError(f"valve site {cell} is not on any flow channel")
+        self.valve_sites.add(cell)
+
+    def all_cells(self) -> Set[Point]:
+        """Return every flow-channel cell."""
+        out: Set[Point] = set()
+        for channel in self.channels:
+            out |= channel.cell_set()
+        return out
+
+    def validate(self, grid: RoutingGrid) -> None:
+        """Check the flow geometry fits the chip."""
+        for channel in self.channels:
+            for cell in channel.cells:
+                if not grid.in_bounds(cell):
+                    raise ValueError(
+                        f"flow channel {channel.name!r} leaves the chip at {cell}"
+                    )
+        for site in self.valve_sites:
+            if not grid.in_bounds(site):
+                raise ValueError(f"valve site {site} is off-chip")
+
+
+def control_obstacles(flow: FlowLayer) -> Set[Point]:
+    """Project the flow layer onto the control layer as obstacle cells.
+
+    Every flow-channel cell blocks the control layer *except* the
+    designated valve sites, where a control channel must terminate to
+    actuate the membrane (a crossing anywhere else would form a
+    parasitic valve).
+    """
+    return flow.all_cells() - flow.valve_sites

@@ -1,0 +1,75 @@
+"""Flow-geometry builders for the standard mVLSI components."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.flowlayer.channels import FlowChannel
+from repro.geometry.point import Point
+
+
+def straight_channel(
+    name: str, start: Point, end: Point
+) -> FlowChannel:
+    """An L-shaped (or straight) channel from ``start`` to ``end``.
+
+    Routes horizontally first, then vertically — the standard fabrication
+    idiom for short interconnect channels.
+    """
+    start = Point(start[0], start[1])
+    end = Point(end[0], end[1])
+    cells: List[Point] = []
+    step = 1 if end.x >= start.x else -1
+    for x in range(start.x, end.x + step, step):
+        cells.append(Point(x, start.y))
+    step = 1 if end.y >= start.y else -1
+    for y in range(start.y + step, end.y + step, step) if end.y != start.y else []:
+        cells.append(Point(end.x, y))
+    return FlowChannel(name, cells)
+
+
+def rotary_ring(name: str, origin: Point, size: int) -> FlowChannel:
+    """A closed rectangular mixing ring with corner at ``origin``.
+
+    ``size`` is the outer edge length in cells (≥ 3).  The ring runs
+    clockwise from the origin.
+    """
+    if size < 3:
+        raise ValueError("a rotary ring needs size >= 3")
+    ox, oy = origin[0], origin[1]
+    cells: List[Point] = []
+    cells.extend(Point(ox + i, oy) for i in range(size))
+    cells.extend(Point(ox + size - 1, oy + i) for i in range(1, size))
+    cells.extend(Point(ox + size - 1 - i, oy + size - 1) for i in range(1, size))
+    cells.extend(Point(ox, oy + size - 1 - i) for i in range(1, size - 1))
+    return FlowChannel(name, cells, closed=True)
+
+
+def multiplexer_tree(
+    name: str, root: Point, n_leaves: int, pitch: int = 2
+) -> List[FlowChannel]:
+    """A binary distribution tree feeding ``n_leaves`` parallel channels.
+
+    Returns one trunk channel plus one branch channel per leaf; leaves
+    fan out upward from the root with ``pitch`` cells of spacing.  The
+    geometry is deliberately simple (comb-shaped), which is how planar
+    flow multiplexers are usually drawn.
+    """
+    if n_leaves < 2:
+        raise ValueError("a multiplexer tree needs at least two leaves")
+    root = Point(root[0], root[1])
+    width = (n_leaves - 1) * pitch
+    trunk = FlowChannel(
+        f"{name}.trunk",
+        [Point(root.x + i, root.y) for i in range(width + 1)],
+    )
+    branches = []
+    for leaf in range(n_leaves):
+        x = root.x + leaf * pitch
+        branches.append(
+            FlowChannel(
+                f"{name}.leaf{leaf}",
+                [Point(x, root.y - j) for j in range(1, 4)],
+            )
+        )
+    return [trunk] + branches

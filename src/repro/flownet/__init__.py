@@ -1,0 +1,13 @@
+"""Integral min-cost max-flow substrate.
+
+The paper solves its escape-routing LP (constraints (6)-(12)) with
+Gurobi.  The constraint matrix is a unit-capacity flow network, hence
+totally unimodular, so the LP optimum is integral and equals the
+min-cost max-flow optimum — which this package computes directly with
+successive shortest paths and Johnson potentials.  ``networkx``'s
+``max_flow_min_cost`` is used in tests as an independent cross-check.
+"""
+
+from repro.flownet.mincostflow import MinCostFlow
+
+__all__ = ["MinCostFlow"]

@@ -1,0 +1,138 @@
+"""Min-cost max-flow via successive shortest paths with potentials.
+
+Designed for the escape-routing networks PACOR builds: sparse, unit-ish
+capacities, non-negative arc costs.  With non-negative costs the first
+Dijkstra needs no initialisation and node potentials keep all reduced
+costs non-negative across augmentations, so every shortest-path search is
+a plain Dijkstra with early exit at the sink.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+_INF = float("inf")
+
+
+class MinCostFlow:
+    """A directed flow network with integer capacities and costs.
+
+    Arcs are stored as paired forward/residual entries; ``add_arc``
+    returns the forward arc id whose flow can be queried after solving.
+    """
+
+    def __init__(self, n_nodes: int) -> None:
+        if n_nodes <= 0:
+            raise ValueError("network needs at least one node")
+        self.n = n_nodes
+        self._to: List[int] = []
+        self._cap: List[int] = []
+        self._cost: List[float] = []
+        self._head: List[List[int]] = [[] for _ in range(n_nodes)]
+
+    def add_node(self) -> int:
+        """Append a node and return its id."""
+        self._head.append([])
+        self.n += 1
+        return self.n - 1
+
+    def add_arc(self, u: int, v: int, cap: int, cost: float) -> int:
+        """Add arc ``u -> v`` and return its id (even ids are forward arcs)."""
+        if not (0 <= u < self.n and 0 <= v < self.n):
+            raise ValueError(f"arc endpoints ({u},{v}) out of range")
+        if cap < 0:
+            raise ValueError("arc capacity must be non-negative")
+        if cost < 0:
+            raise ValueError(
+                "negative arc costs are not supported by the Dijkstra solver"
+            )
+        arc_id = len(self._to)
+        self._to.append(v)
+        self._cap.append(cap)
+        self._cost.append(cost)
+        self._head[u].append(arc_id)
+        # Residual arc.
+        self._to.append(u)
+        self._cap.append(0)
+        self._cost.append(-cost)
+        self._head[v].append(arc_id + 1)
+        return arc_id
+
+    def flow_on(self, arc_id: int) -> int:
+        """Return the flow routed on forward arc ``arc_id``."""
+        if arc_id % 2 != 0:
+            raise ValueError("flow_on expects a forward arc id")
+        return self._cap[arc_id ^ 1]
+
+    def max_flow_min_cost(
+        self, source: int, sink: int, max_flow: Optional[int] = None
+    ) -> Tuple[int, float]:
+        """Send up to ``max_flow`` units from ``source`` to ``sink``.
+
+        Maximises the flow value first and, among maximum flows, minimises
+        total cost (each augmentation follows a currently-cheapest path,
+        which yields a min-cost flow for every intermediate flow value).
+
+        Returns ``(flow_value, total_cost)``.
+        """
+        if source == sink:
+            raise ValueError("source and sink must differ")
+        potential = [0.0] * self.n
+        flow_value = 0
+        total_cost = 0.0
+        limit = max_flow if max_flow is not None else float("inf")
+
+        while flow_value < limit:
+            dist = [_INF] * self.n
+            parent_arc: List[int] = [-1] * self.n
+            dist[source] = 0.0
+            heap: List[Tuple[float, int]] = [(0.0, source)]
+            settled = [False] * self.n
+            while heap:
+                d, u = heapq.heappop(heap)
+                if settled[u]:
+                    continue
+                settled[u] = True
+                if u == sink:
+                    break
+                for arc_id in self._head[u]:
+                    if self._cap[arc_id] <= 0:
+                        continue
+                    v = self._to[arc_id]
+                    if settled[v]:
+                        continue
+                    nd = d + self._cost[arc_id] + potential[u] - potential[v]
+                    if nd < dist[v] - 1e-12:
+                        dist[v] = nd
+                        parent_arc[v] = arc_id
+                        heapq.heappush(heap, (nd, v))
+            if not settled[sink]:
+                break
+
+            # Update potentials for settled nodes; unsettled keep old ones
+            # (standard early-exit variant: use dist[sink] for unreached).
+            d_sink = dist[sink]
+            for v in range(self.n):
+                if dist[v] < _INF:
+                    potential[v] += min(dist[v], d_sink)
+                else:
+                    potential[v] += d_sink
+
+            # Bottleneck along the path.
+            bottleneck = limit - flow_value
+            v = sink
+            while v != source:
+                arc_id = parent_arc[v]
+                bottleneck = min(bottleneck, self._cap[arc_id])
+                v = self._to[arc_id ^ 1]
+            # Apply augmentation.
+            v = sink
+            while v != source:
+                arc_id = parent_arc[v]
+                self._cap[arc_id] -= bottleneck
+                self._cap[arc_id ^ 1] += bottleneck
+                total_cost += bottleneck * self._cost[arc_id]
+                v = self._to[arc_id ^ 1]
+            flow_value += int(bottleneck)
+        return flow_value, total_cost

@@ -1,0 +1,33 @@
+"""Geometry primitives for Manhattan-metric routing.
+
+The control layer is routed on a uniform grid under the Manhattan (L1)
+metric.  The DME stage of PACOR additionally works with *merging segments*
+and *tilted rectangle regions* (Manhattan balls), which are axis-aligned
+rectangles after the 45-degree rotation ``(u, v) = (x + y, x - y)``.  This
+package provides:
+
+* :class:`Point` — an immutable integer grid point with L1 helpers.
+* :class:`Rect` — an inclusive integer rectangle in chip coordinates.
+* :class:`TRR` — a tilted rectangle region stored in rotated *half-unit*
+  coordinates so that all DME arithmetic stays exact (merging radii are
+  multiples of one half, see Lemma 1 of the paper).
+"""
+
+from repro.geometry.point import Point, manhattan
+from repro.geometry.rect import Rect
+from repro.geometry.trr import (
+    TRR,
+    from_rotated,
+    is_grid_rotated,
+    to_rotated,
+)
+
+__all__ = [
+    "Point",
+    "manhattan",
+    "Rect",
+    "TRR",
+    "to_rotated",
+    "from_rotated",
+    "is_grid_rotated",
+]

@@ -1,0 +1,40 @@
+"""Integer grid points under the Manhattan metric."""
+
+from __future__ import annotations
+
+from typing import Iterator, NamedTuple
+
+
+class Point(NamedTuple):
+    """An immutable point on the routing grid.
+
+    Points are plain ``(x, y)`` tuples (a :class:`~typing.NamedTuple`), so
+    they hash, sort and unpack like tuples and can be used directly as
+    dictionary keys in routing data structures.
+    """
+
+    x: int
+    y: int
+
+    def manhattan(self, other: "Point") -> int:
+        """Return the L1 distance to ``other``."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def neighbors4(self) -> Iterator["Point"]:
+        """Yield the four axis-aligned neighbours (may fall off-grid)."""
+        yield Point(self.x + 1, self.y)
+        yield Point(self.x - 1, self.y)
+        yield Point(self.x, self.y + 1)
+        yield Point(self.x, self.y - 1)
+
+    def translated(self, dx: int, dy: int) -> "Point":
+        """Return a copy shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.x},{self.y})"
+
+
+def manhattan(a: Point, b: Point) -> int:
+    """Return the L1 distance between two points (tuple-likes accepted)."""
+    return abs(a[0] - b[0]) + abs(a[1] - b[1])

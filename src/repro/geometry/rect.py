@@ -1,0 +1,82 @@
+"""Inclusive integer rectangles in chip coordinates.
+
+Rectangles are used for obstacle blocks, Steiner-tree edge bounding boxes
+(the overlap cost of Eq. (4) in the paper), and chip extents.  Bounds are
+*inclusive*: ``Rect(0, 0, 0, 0)`` is the single cell ``(0, 0)`` and has
+area 1.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, NamedTuple, Optional
+
+from repro.geometry.point import Point
+
+
+class Rect(NamedTuple):
+    """An axis-aligned rectangle with inclusive integer bounds."""
+
+    xlo: int
+    ylo: int
+    xhi: int
+    yhi: int
+
+    @classmethod
+    def from_points(cls, points: Iterable[Point]) -> "Rect":
+        """Return the bounding box of a non-empty point collection."""
+        pts = list(points)
+        if not pts:
+            raise ValueError("bounding box of an empty point set is undefined")
+        xs = [p[0] for p in pts]
+        ys = [p[1] for p in pts]
+        return cls(min(xs), min(ys), max(xs), max(ys))
+
+    @property
+    def width(self) -> int:
+        """Number of columns covered (inclusive bounds)."""
+        return self.xhi - self.xlo + 1
+
+    @property
+    def height(self) -> int:
+        """Number of rows covered (inclusive bounds)."""
+        return self.yhi - self.ylo + 1
+
+    @property
+    def area(self) -> int:
+        """Number of grid cells covered."""
+        return self.width * self.height
+
+    def is_valid(self) -> bool:
+        """Return True when the bounds describe a non-empty rectangle."""
+        return self.xlo <= self.xhi and self.ylo <= self.yhi
+
+    def contains(self, p: Point) -> bool:
+        """Return True when point ``p`` lies inside (inclusive)."""
+        return self.xlo <= p[0] <= self.xhi and self.ylo <= p[1] <= self.yhi
+
+    def intersect(self, other: "Rect") -> Optional["Rect"]:
+        """Return the overlap rectangle, or None when disjoint."""
+        r = Rect(
+            max(self.xlo, other.xlo),
+            max(self.ylo, other.ylo),
+            min(self.xhi, other.xhi),
+            min(self.yhi, other.yhi),
+        )
+        return r if r.is_valid() else None
+
+    def overlap_area(self, other: "Rect") -> int:
+        """Return the number of cells shared with ``other``."""
+        r = self.intersect(other)
+        return r.area if r is not None else 0
+
+    def inflated(self, margin: int) -> "Rect":
+        """Return a copy grown by ``margin`` cells on every side."""
+        return Rect(
+            self.xlo - margin, self.ylo - margin, self.xhi + margin, self.yhi + margin
+        )
+
+    def cells(self) -> Iterator[Point]:
+        """Yield every grid cell covered by the rectangle."""
+        for y in range(self.ylo, self.yhi + 1):
+            for x in range(self.xlo, self.xhi + 1):
+                yield Point(x, y)

@@ -1,0 +1,205 @@
+"""Tilted rectangle regions (TRRs) in rotated half-unit coordinates.
+
+Under the Manhattan metric, the ball of radius *r* around a point is a
+square tilted by 45 degrees.  The classic trick (used by the original DME
+papers and here) is to rotate the plane::
+
+    u = x + y        v = x - y
+
+after which Manhattan distance in ``(x, y)`` becomes Chebyshev distance in
+``(u, v)`` and every tilted rectangle region — merging segments included —
+becomes an *axis-aligned* rectangle.
+
+DME merging radii are multiples of one half (Lemma 1 in the paper: two
+nodes at odd Manhattan distance have an off-grid merging segment).  To keep
+every computation in exact integer arithmetic we store rotated coordinates
+*doubled*, in "half units"::
+
+    U = 2 * (x + y)      V = 2 * (x - y)
+
+so a Manhattan radius of ``r`` grid units corresponds to an expansion of
+``2 * r`` half units, and a radius of one half is the integer 1.  A rotated
+half-unit point ``(U, V)`` maps back to a grid point iff ``U`` and ``V``
+are even and ``U + V`` is divisible by 4.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, NamedTuple, Optional, Tuple
+
+from repro.geometry.point import Point
+
+
+def to_rotated(p: Point) -> Tuple[int, int]:
+    """Return the rotated half-unit coordinates ``(U, V)`` of a grid point."""
+    return 2 * (p[0] + p[1]), 2 * (p[0] - p[1])
+
+
+def is_grid_rotated(u: int, v: int) -> bool:
+    """Return True when half-unit ``(u, v)`` maps back to an integer grid point."""
+    return u % 2 == 0 and v % 2 == 0 and (u + v) % 4 == 0
+
+
+def from_rotated(u: int, v: int) -> Point:
+    """Map half-unit rotated coordinates back to a grid point.
+
+    Raises :class:`ValueError` when ``(u, v)`` is off-grid (see Lemma 1);
+    use :meth:`TRR.nearest_grid_point` for snapping behaviour.
+    """
+    if not is_grid_rotated(u, v):
+        raise ValueError(f"rotated half-unit point ({u},{v}) is off-grid")
+    return Point((u + v) // 4, (u - v) // 4)
+
+
+class TRR(NamedTuple):
+    """A tilted rectangle region, stored as ``[ulo, uhi] x [vlo, vhi]``.
+
+    All bounds are in rotated half units.  A degenerate TRR with
+    ``ulo == uhi`` and ``vlo == vhi`` is a single point; one with exactly
+    one degenerate axis is a Manhattan arc (a merging segment).
+    """
+
+    ulo: int
+    uhi: int
+    vlo: int
+    vhi: int
+
+    @classmethod
+    def from_point(cls, p: Point) -> "TRR":
+        """Return the degenerate region containing only grid point ``p``."""
+        u, v = to_rotated(p)
+        return cls(u, u, v, v)
+
+    def is_valid(self) -> bool:
+        """Return True when the region is non-empty."""
+        return self.ulo <= self.uhi and self.vlo <= self.vhi
+
+    def is_point(self) -> bool:
+        """Return True when the region degenerates to a single point."""
+        return self.ulo == self.uhi and self.vlo == self.vhi
+
+    def expanded(self, radius_half_units: int) -> "TRR":
+        """Return the Manhattan dilation by ``radius_half_units`` / 2 grid units."""
+        if radius_half_units < 0:
+            raise ValueError("expansion radius must be non-negative")
+        r = radius_half_units
+        return TRR(self.ulo - r, self.uhi + r, self.vlo - r, self.vhi + r)
+
+    def intersect(self, other: "TRR") -> Optional["TRR"]:
+        """Return the intersection region, or None when disjoint."""
+        t = TRR(
+            max(self.ulo, other.ulo),
+            min(self.uhi, other.uhi),
+            max(self.vlo, other.vlo),
+            min(self.vhi, other.vhi),
+        )
+        return t if t.is_valid() else None
+
+    def distance(self, other: "TRR") -> int:
+        """Return the Manhattan gap to ``other`` in half units.
+
+        This is the Chebyshev distance between the two axis-aligned
+        rectangles in rotated space; zero when they touch or overlap.
+        """
+        gap_u = max(0, other.ulo - self.uhi, self.ulo - other.uhi)
+        gap_v = max(0, other.vlo - self.vhi, self.vlo - other.vhi)
+        return max(gap_u, gap_v)
+
+    def nearest_rotated(self, u: int, v: int) -> Tuple[int, int]:
+        """Clamp rotated half-unit point ``(u, v)`` into the region."""
+        cu = min(max(u, self.ulo), self.uhi)
+        cv = min(max(v, self.vlo), self.vhi)
+        return cu, cv
+
+    def center_rotated(self) -> Tuple[int, int]:
+        """Return the (rounded) rotated centre of the region."""
+        return (self.ulo + self.uhi) // 2, (self.vlo + self.vhi) // 2
+
+    def corners_rotated(self) -> List[Tuple[int, int]]:
+        """Return the four rotated corners (duplicates removed)."""
+        pts = {
+            (self.ulo, self.vlo),
+            (self.ulo, self.vhi),
+            (self.uhi, self.vlo),
+            (self.uhi, self.vhi),
+        }
+        return sorted(pts)
+
+    def grid_points(self) -> Iterator[Point]:
+        """Yield every *on-grid* point inside the region.
+
+        Useful for small regions (merging segments); the iteration cost is
+        proportional to the rotated-space area.
+        """
+        for u in range(self.ulo, self.uhi + 1):
+            for v in range(self.vlo, self.vhi + 1):
+                if is_grid_rotated(u, v):
+                    yield from_rotated(u, v)
+
+    def nearest_grid_point(self, target: Point) -> Tuple[Point, int]:
+        """Return the on-grid point of (or nearest to) the region closest to ``target``.
+
+        Returns ``(point, snap_half_units)`` where ``snap_half_units`` is
+        the Manhattan distance (in half units) from the exact clamped
+        location to the returned grid point — the rounding error of
+        Lemma 1 that later stages must repair by detouring.
+        """
+        tu, tv = to_rotated(target)
+        cu, cv = self.nearest_rotated(tu, tv)
+        best: Optional[Point] = None
+        best_snap = None
+        # Search a small neighbourhood of the clamped location for a valid
+        # lattice point; offsets up to 2 half units always contain one.
+        for du in range(-2, 3):
+            for dv in range(-2, 3):
+                u, v = cu + du, cv + dv
+                if not is_grid_rotated(u, v):
+                    continue
+                # Prefer points still inside the region, then small snaps.
+                inside = self.ulo <= u <= self.uhi and self.vlo <= v <= self.vhi
+                snap = max(abs(du), abs(dv)) + (0 if inside else 1)
+                if best_snap is None or snap < best_snap:
+                    best_snap = snap
+                    best = from_rotated(u, v)
+        assert best is not None and best_snap is not None
+        return best, best_snap
+
+    def sample_grid_points(self, limit: int = 8) -> List[Point]:
+        """Return up to ``limit`` well-spread on-grid points of the region.
+
+        Used to enumerate distinct merging-node choices when building
+        candidate Steiner trees (Fig. 3 of the paper).  Corners and the
+        centre are tried first, then a coarse sweep of the region.
+        """
+        found: List[Point] = []
+        seen = set()
+
+        def try_rotated(u: int, v: int) -> None:
+            for du in range(-2, 3):
+                for dv in range(-2, 3):
+                    uu, vv = u + du, v + dv
+                    if (
+                        self.ulo <= uu <= self.uhi
+                        and self.vlo <= vv <= self.vhi
+                        and is_grid_rotated(uu, vv)
+                    ):
+                        p = from_rotated(uu, vv)
+                        if p not in seen:
+                            seen.add(p)
+                            found.append(p)
+                        return
+
+        cu, cv = self.center_rotated()
+        try_rotated(cu, cv)
+        for u, v in self.corners_rotated():
+            try_rotated(u, v)
+        if len(found) < limit:
+            # Coarse sweep for long merging segments.
+            du_span = max(1, (self.uhi - self.ulo) // 4)
+            dv_span = max(1, (self.vhi - self.vlo) // 4)
+            for u in range(self.ulo, self.uhi + 1, du_span):
+                for v in range(self.vlo, self.vhi + 1, dv_span):
+                    if len(found) >= limit:
+                        break
+                    try_rotated(u, v)
+        return found[:limit]

@@ -1,0 +1,17 @@
+"""Routing-grid substrate.
+
+The control layer is discretised into a uniform grid whose pitch already
+encodes the design rules (minimum channel width plus minimum spacing), as
+in Section 4.1 of the paper: two routed paths that occupy distinct cells
+automatically satisfy the spacing rule, so the routers only need to keep
+paths from *sharing* cells.
+
+* :class:`RoutingGrid` — chip extents plus the static obstacle map.
+* :class:`Occupancy` — a dynamic per-net overlay used by the negotiation
+  router and the rip-up loop to track which net occupies each cell.
+"""
+
+from repro.grid.grid import RoutingGrid
+from repro.grid.occupancy import FREE, Occupancy
+
+__all__ = ["RoutingGrid", "Occupancy", "FREE"]

@@ -1,0 +1,118 @@
+"""The routing grid and its static obstacle map."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+class RoutingGrid:
+    """A ``width x height`` uniform routing grid with static obstacles.
+
+    Cells are addressed by :class:`~repro.geometry.point.Point` with
+    ``0 <= x < width`` and ``0 <= y < height``.  The obstacle map is the
+    ``ObsMap`` of Algorithm 1 in the paper: a flat boolean array indexed
+    by ``y * width + x``.
+    """
+
+    def __init__(self, width: int, height: int) -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError("grid dimensions must be positive")
+        self.width = width
+        self.height = height
+        self._obstacles = bytearray(width * height)
+
+    # -- indexing ---------------------------------------------------------
+
+    def index(self, p: Point) -> int:
+        """Return the flat array index of cell ``p`` (no bounds check)."""
+        return p[1] * self.width + p[0]
+
+    def point(self, index: int) -> Point:
+        """Return the cell of flat array index ``index``."""
+        return Point(index % self.width, index // self.width)
+
+    def in_bounds(self, p: Point) -> bool:
+        """Return True when ``p`` lies on the chip."""
+        return 0 <= p[0] < self.width and 0 <= p[1] < self.height
+
+    # -- obstacles --------------------------------------------------------
+
+    def is_obstacle(self, p: Point) -> bool:
+        """Return True when cell ``p`` is statically blocked."""
+        return bool(self._obstacles[p[1] * self.width + p[0]])
+
+    def is_free(self, p: Point) -> bool:
+        """Return True when ``p`` is on-chip and not an obstacle."""
+        return self.in_bounds(p) and not self._obstacles[p[1] * self.width + p[0]]
+
+    def set_obstacle(self, p: Point, blocked: bool = True) -> None:
+        """Mark or clear a single obstacle cell."""
+        if not self.in_bounds(p):
+            raise ValueError(f"cell {p} is outside the {self.width}x{self.height} grid")
+        self._obstacles[p[1] * self.width + p[0]] = 1 if blocked else 0
+
+    def add_obstacles(self, cells: Iterable[Point]) -> None:
+        """Mark every cell in ``cells`` as blocked."""
+        for p in cells:
+            self.set_obstacle(p, True)
+
+    def add_rect_obstacle(self, rect: Rect) -> None:
+        """Block every cell of ``rect`` (clipped to the chip)."""
+        clipped = rect.intersect(self.extent())
+        if clipped is not None:
+            self.add_obstacles(clipped.cells())
+
+    def obstacle_count(self) -> int:
+        """Return the number of blocked cells."""
+        return sum(self._obstacles)
+
+    def obstacle_cells(self) -> Iterator[Point]:
+        """Yield every blocked cell."""
+        for i, blocked in enumerate(self._obstacles):
+            if blocked:
+                yield self.point(i)
+
+    # -- geometry helpers --------------------------------------------------
+
+    def extent(self) -> Rect:
+        """Return the chip extent as an inclusive rectangle."""
+        return Rect(0, 0, self.width - 1, self.height - 1)
+
+    def free_neighbors(self, p: Point) -> Iterator[Point]:
+        """Yield the on-chip, unblocked 4-neighbours of ``p``."""
+        for q in p.neighbors4():
+            if self.is_free(q):
+                yield q
+
+    def boundary_cells(self) -> List[Point]:
+        """Return the chip-boundary cells in clockwise order from (0, 0)."""
+        cells: List[Point] = []
+        w, h = self.width, self.height
+        cells.extend(Point(x, 0) for x in range(w))
+        cells.extend(Point(w - 1, y) for y in range(1, h))
+        if h > 1:
+            cells.extend(Point(x, h - 1) for x in range(w - 2, -1, -1))
+        if w > 1:
+            cells.extend(Point(0, y) for y in range(h - 2, 0, -1))
+        return cells
+
+    def is_boundary(self, p: Point) -> bool:
+        """Return True when ``p`` lies on the chip boundary."""
+        return self.in_bounds(p) and (
+            p[0] == 0 or p[1] == 0 or p[0] == self.width - 1 or p[1] == self.height - 1
+        )
+
+    def copy(self) -> "RoutingGrid":
+        """Return an independent copy (obstacles included)."""
+        g = RoutingGrid(self.width, self.height)
+        g._obstacles = bytearray(self._obstacles)
+        return g
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RoutingGrid({self.width}x{self.height}, "
+            f"{self.obstacle_count()} obstacles)"
+        )

@@ -1,0 +1,96 @@
+"""Dynamic per-net cell occupancy on top of a routing grid.
+
+Routed control channels become obstacles for every other net; the rip-up
+stages additionally need to know *which* net blocks a cell so that the
+blocking paths can be ripped up selectively.  ``Occupancy`` therefore maps
+every cell to the integer id of the net occupying it (or :data:`FREE`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Set
+
+from repro.geometry.point import Point
+from repro.grid.grid import RoutingGrid
+
+FREE = -1
+"""Sentinel net id for an unoccupied cell."""
+
+
+class Occupancy:
+    """Tracks which net occupies each grid cell.
+
+    The overlay never includes the grid's static obstacles; callers check
+    both :meth:`RoutingGrid.is_free` and :meth:`owner`.
+    """
+
+    def __init__(self, grid: RoutingGrid) -> None:
+        self.grid = grid
+        self._owner: List[int] = [FREE] * (grid.width * grid.height)
+        self._cells: Dict[int, Set[Point]] = {}
+
+    def owner(self, p: Point) -> int:
+        """Return the net id occupying ``p`` or :data:`FREE`."""
+        return self._owner[self.grid.index(p)]
+
+    def is_free(self, p: Point) -> bool:
+        """Return True when no net occupies ``p`` (obstacles not checked)."""
+        return self._owner[self.grid.index(p)] == FREE
+
+    def is_routable(self, p: Point, net: int = FREE) -> bool:
+        """Return True when ``net`` may enter cell ``p``.
+
+        A cell is routable for a net when it is on-chip, not a static
+        obstacle, and either unoccupied or already owned by that same net.
+        """
+        if not self.grid.is_free(p):
+            return False
+        owner = self._owner[self.grid.index(p)]
+        return owner == FREE or owner == net
+
+    def occupy(self, cells: Iterable[Point], net: int) -> None:
+        """Assign every cell in ``cells`` to ``net``.
+
+        Raises :class:`ValueError` when a cell is already owned by a
+        different net — the routers must never create crossings.
+        """
+        if net == FREE:
+            raise ValueError("cannot occupy cells with the FREE sentinel id")
+        bucket = self._cells.setdefault(net, set())
+        for p in cells:
+            idx = self.grid.index(p)
+            current = self._owner[idx]
+            if current != FREE and current != net:
+                raise ValueError(f"cell {p} already occupied by net {current}")
+            self._owner[idx] = net
+            bucket.add(p)
+
+    def release(self, net: int) -> Set[Point]:
+        """Free every cell of ``net`` and return the released cells."""
+        cells = self._cells.pop(net, set())
+        for p in cells:
+            self._owner[self.grid.index(p)] = FREE
+        return cells
+
+    def release_cells(self, cells: Iterable[Point]) -> None:
+        """Free specific cells regardless of owner."""
+        for p in cells:
+            idx = self.grid.index(p)
+            owner = self._owner[idx]
+            if owner != FREE:
+                self._owner[idx] = FREE
+                self._cells.get(owner, set()).discard(p)
+
+    def cells_of(self, net: int) -> Set[Point]:
+        """Return (a copy of) the cells currently owned by ``net``."""
+        return set(self._cells.get(net, set()))
+
+    def nets(self) -> Iterator[int]:
+        """Yield the ids of nets that currently own at least one cell."""
+        for net, cells in self._cells.items():
+            if cells:
+                yield net
+
+    def occupied_count(self) -> int:
+        """Return the total number of occupied cells."""
+        return sum(len(c) for c in self._cells.values())

@@ -1,0 +1,134 @@
+"""A* search on the routing grid.
+
+One engine serves the three query shapes the paper uses (Section 3):
+point-to-point, point-to-path and path-to-path routing — ``sources`` and
+``targets`` are both cell collections.  Step cost is the grid length (1)
+plus the negotiation history cost of the cell being entered, which is how
+Algorithm 1 plugs in.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Dict, Iterable, Optional, Sequence, Set
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.grid.grid import RoutingGrid
+from repro.grid.occupancy import FREE, Occupancy
+from repro.routing.path import Path
+
+
+def _target_heuristic(targets: Set[Point]):
+    """Return an admissible L1 heuristic towards a target set.
+
+    For a single target this is the exact Manhattan distance; for a set we
+    use the distance to the bounding box, which never overestimates the
+    distance to the nearest member.
+    """
+    if len(targets) == 1:
+        (t,) = targets
+
+        def single(p: Point) -> int:
+            return abs(p[0] - t[0]) + abs(p[1] - t[1])
+
+        return single
+
+    box = Rect.from_points(targets)
+
+    def boxed(p: Point) -> int:
+        dx = max(box.xlo - p[0], 0, p[0] - box.xhi)
+        dy = max(box.ylo - p[1], 0, p[1] - box.yhi)
+        return dx + dy
+
+    return boxed
+
+
+def astar_route(
+    grid: RoutingGrid,
+    sources: Iterable[Point],
+    targets: Iterable[Point],
+    *,
+    net: int = FREE,
+    occupancy: Optional[Occupancy] = None,
+    history: Optional[Sequence[float]] = None,
+    extra_obstacles: Optional[Set[Point]] = None,
+    max_expansions: Optional[int] = None,
+) -> Optional[Path]:
+    """Route from any source cell to any target cell.
+
+    Args:
+        grid: the routing grid (static obstacles).
+        sources: starting cells; each seeds the search with cost 0.
+        targets: goal cells; the search stops at the first one settled.
+        net: id of the net being routed; cells owned by the same net in
+            ``occupancy`` remain routable (point-to-path queries rely on
+            this).
+        occupancy: dynamic per-net occupancy; cells owned by other nets
+            are blocked.
+        history: per-cell negotiation history cost (flat array indexed by
+            ``grid.index``); added to the step cost when entering a cell.
+        extra_obstacles: additional blocked cells for this query only.
+        max_expansions: optional cap on settled cells (safety valve).
+
+    Returns:
+        The cheapest :class:`Path` from a source to a target, or None when
+        no route exists.  Source and target cells themselves must be
+        routable.
+    """
+    target_set = {Point(t[0], t[1]) for t in targets}
+    source_list = [Point(s[0], s[1]) for s in sources]
+    if not target_set or not source_list:
+        return None
+
+    def routable(p: Point) -> bool:
+        if extra_obstacles is not None and p in extra_obstacles:
+            return False
+        if occupancy is not None:
+            return occupancy.is_routable(p, net)
+        return grid.is_free(p)
+
+    heuristic = _target_heuristic(target_set)
+    best_g: Dict[Point, float] = {}
+    parent: Dict[Point, Optional[Point]] = {}
+    heap = []
+    tie = count()
+
+    for s in source_list:
+        if not routable(s):
+            continue
+        if s in target_set:
+            return Path([s])
+        best_g[s] = 0.0
+        parent[s] = None
+        heapq.heappush(heap, (heuristic(s), 0.0, next(tie), s))
+
+    expansions = 0
+    while heap:
+        f, g, _, p = heapq.heappop(heap)
+        if g > best_g.get(p, float("inf")):
+            continue
+        if p in target_set:
+            cells = [p]
+            back = parent[p]
+            while back is not None:
+                cells.append(back)
+                back = parent[back]
+            cells.reverse()
+            return Path(cells)
+        expansions += 1
+        if max_expansions is not None and expansions > max_expansions:
+            return None
+        for q in p.neighbors4():
+            if not grid.in_bounds(q) or not routable(q):
+                continue
+            step = 1.0
+            if history is not None:
+                step += history[grid.index(q)]
+            ng = g + step
+            if ng < best_g.get(q, float("inf")):
+                best_g[q] = ng
+                parent[q] = p
+                heapq.heappush(heap, (ng + heuristic(q), ng, next(tie), q))
+    return None

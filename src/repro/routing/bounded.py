@@ -1,0 +1,201 @@
+"""Minimum-length bounded routing (Section 6 of the paper).
+
+The detour stage needs paths whose length is *at least* a lower bound
+``Lt`` (and at most an upper bound, so the matched cluster stays within
+the threshold window ``[maxL - delta, maxL]``).  Two engines are provided:
+
+* :func:`bounded_length_route` — the paper's modified A*: the G value of a
+  state records the path length from the source and the F value adds a
+  penalty whenever the estimated total length falls below the bound, which
+  steers the search towards longer paths.  States are keyed by
+  ``(cell, g)`` so a cell may be revisited at a larger G (the paper's
+  "G can only be updated when increased").
+* :func:`extend_path_with_bumps` — a serpentine fallback: each U-shaped
+  bump inserted into an existing path adds exactly 2 grid units, matching
+  the parity of achievable rectilinear path lengths.  Bumps may nest, so
+  any even extension fits whenever free space exists next to the path.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.geometry.point import Point, manhattan
+from repro.grid.grid import RoutingGrid
+from repro.grid.occupancy import FREE, Occupancy
+from repro.routing.path import Path
+
+_PENALTY_WEIGHT = 2.0
+"""F-value penalty per missing length unit below the bound."""
+
+
+def bounded_length_route(
+    grid: RoutingGrid,
+    source: Point,
+    target: Point,
+    min_length: int,
+    max_length: int,
+    *,
+    net: int = FREE,
+    occupancy: Optional[Occupancy] = None,
+    extra_obstacles: Optional[Set[Point]] = None,
+    max_states: int = 50_000,
+) -> Optional[Path]:
+    """Find a simple path from ``source`` to ``target`` with bounded length.
+
+    Returns a :class:`Path` whose length lies in ``[min_length,
+    max_length]``, or None when the modified A* gives up (state budget
+    exhausted or no such simple path found).  Callers should fall back to
+    :func:`extend_path_with_bumps` on an existing path.
+    """
+    if min_length > max_length:
+        raise ValueError("min_length must not exceed max_length")
+    base = manhattan(source, target)
+    if base > max_length:
+        return None
+    # Rectilinear path lengths share the parity of the Manhattan distance;
+    # an infeasible parity window can never be satisfied.
+    feasible = [
+        length
+        for length in range(min_length, max_length + 1)
+        if (length - base) % 2 == 0
+    ]
+    if not feasible:
+        return None
+
+    def routable(p: Point) -> bool:
+        if extra_obstacles is not None and p in extra_obstacles:
+            return False
+        if occupancy is not None:
+            return occupancy.is_routable(p, net)
+        return grid.is_free(p)
+
+    if not routable(source) or not routable(target):
+        return None
+
+    # States are (cell, g); parents reconstruct one simple path per state.
+    start = (source, 0)
+    parent: Dict[Tuple[Point, int], Optional[Tuple[Point, int]]] = {start: None}
+    heap: List[Tuple[float, int, Tuple[Point, int]]] = []
+    tie = count()
+
+    def f_value(p: Point, g: int) -> float:
+        estimate = g + manhattan(p, target)
+        f = float(estimate)
+        if estimate < min_length:
+            f += _PENALTY_WEIGHT * (min_length - estimate)
+        return f
+
+    heapq.heappush(heap, (f_value(source, 0), next(tie), start))
+    states = 0
+
+    def reconstruct(state: Tuple[Point, int]) -> List[Point]:
+        cells: List[Point] = []
+        node: Optional[Tuple[Point, int]] = state
+        while node is not None:
+            cells.append(node[0])
+            node = parent[node]
+        cells.reverse()
+        return cells
+
+    while heap:
+        _, _, state = heapq.heappop(heap)
+        p, g = state
+        if p == target and min_length <= g <= max_length:
+            cells = reconstruct(state)
+            path = Path(cells)
+            if path.is_simple():
+                return path
+            continue
+        states += 1
+        if states > max_states:
+            return None
+        if g >= max_length:
+            continue
+        # Cells already on this state's own path are forbidden so every
+        # reconstructed path stays simple.
+        own = set(reconstruct(state))
+        for q in p.neighbors4():
+            if not grid.in_bounds(q) or not routable(q) or q in own:
+                continue
+            ng = g + 1
+            if ng + manhattan(q, target) > max_length:
+                continue
+            nstate = (q, ng)
+            if nstate in parent:
+                continue
+            parent[nstate] = state
+            heapq.heappush(heap, (f_value(q, ng), next(tie), nstate))
+    return None
+
+
+def _perpendicular(direction: Point) -> List[Point]:
+    """Return the two unit vectors perpendicular to ``direction``."""
+    if direction[0] != 0:
+        return [Point(0, 1), Point(0, -1)]
+    return [Point(1, 0), Point(-1, 0)]
+
+
+def extend_path_with_bumps(
+    grid: RoutingGrid,
+    path: Path,
+    extra: int,
+    *,
+    net: int = FREE,
+    occupancy: Optional[Occupancy] = None,
+    extra_obstacles: Optional[Set[Point]] = None,
+) -> Optional[Path]:
+    """Lengthen ``path`` by exactly ``extra`` grid units using serpentines.
+
+    Each inserted U-bump replaces one path step ``a -> b`` with
+    ``a -> a+n -> b+n -> b`` (``n`` perpendicular to the step), adding 2
+    units while keeping endpoints fixed.  Bumps may be placed on cells a
+    previous bump introduced, so repeated insertion snakes into free area.
+
+    Returns the extended path, or None when ``extra`` is odd/negative or
+    the surrounding free space runs out before the target is reached.
+    ``occupancy`` is *not* modified; callers re-commit the new path.
+    """
+    if extra < 0 or extra % 2 != 0:
+        return None
+    if extra == 0:
+        return path
+
+    def routable(p: Point) -> bool:
+        if extra_obstacles is not None and p in extra_obstacles:
+            return False
+        if occupancy is not None:
+            # The current path's own cells are owned by `net`; new bump
+            # cells must be claimable by the same net.
+            return occupancy.is_routable(p, net)
+        return grid.is_free(p)
+
+    cells: List[Point] = list(path.cells)
+    used: Set[Point] = set(cells)
+    remaining = extra
+    while remaining > 0:
+        inserted = False
+        for i in range(len(cells) - 1):
+            a, b = cells[i], cells[i + 1]
+            step = Point(b[0] - a[0], b[1] - a[1])
+            for n in _perpendicular(step):
+                an = Point(a[0] + n[0], a[1] + n[1])
+                bn = Point(b[0] + n[0], b[1] + n[1])
+                if an in used or bn in used:
+                    continue
+                if not grid.in_bounds(an) or not grid.in_bounds(bn):
+                    continue
+                if not routable(an) or not routable(bn):
+                    continue
+                cells[i + 1 : i + 1] = [an, bn]
+                used.update((an, bn))
+                remaining -= 2
+                inserted = True
+                break
+            if inserted:
+                break
+        if not inserted:
+            return None
+    return Path(cells)

@@ -1,0 +1,123 @@
+"""MST-based routing for ordinary (non-length-matching) clusters.
+
+Clusters without the length-matching constraint only need connectivity:
+a minimum spanning tree over the valve positions fixes the connection
+topology, and each MST attachment is routed with a point-to-path A* query
+against the already-routed net so the channel can tap any existing cell
+(Section 3).  Valves whose attachment fails are reported so the flow can
+*de-cluster* them into separate clusters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.geometry.point import Point, manhattan
+from repro.grid.grid import RoutingGrid
+from repro.grid.occupancy import Occupancy
+from repro.routing.astar import astar_route
+from repro.routing.path import Path
+
+
+def manhattan_mst(points: Sequence[Point]) -> List[Tuple[int, int]]:
+    """Return MST edges over ``points`` under the Manhattan metric.
+
+    Edges are ``(parent_index, child_index)`` pairs in the order Prim's
+    algorithm attaches them, starting from index 0 — which is exactly the
+    order in which the router should connect the valves.
+    """
+    n = len(points)
+    if n <= 1:
+        return []
+    in_tree = [False] * n
+    best_dist = [manhattan(points[0], p) for p in points]
+    best_parent = [0] * n
+    in_tree[0] = True
+    edges: List[Tuple[int, int]] = []
+    for _ in range(n - 1):
+        child = min(
+            (i for i in range(n) if not in_tree[i]),
+            key=lambda i: (best_dist[i], i),
+        )
+        edges.append((best_parent[child], child))
+        in_tree[child] = True
+        for i in range(n):
+            if not in_tree[i]:
+                d = manhattan(points[child], points[i])
+                if d < best_dist[i]:
+                    best_dist[i] = d
+                    best_parent[i] = child
+    return edges
+
+
+@dataclass
+class MstRoutingResult:
+    """Outcome of routing one cluster with the MST method.
+
+    Attributes:
+        success: True when every valve was connected.
+        paths: routed attachment paths, in attachment order.
+        connected: indices (into the terminal list) that were connected.
+        failed: indices that could not be attached (de-cluster these).
+    """
+
+    success: bool
+    paths: List[Path] = field(default_factory=list)
+    connected: List[int] = field(default_factory=list)
+    failed: List[int] = field(default_factory=list)
+
+
+def route_cluster_mst(
+    grid: RoutingGrid,
+    occupancy: Occupancy,
+    net: int,
+    terminals: Sequence[Point],
+    *,
+    history: Optional[Sequence[float]] = None,
+    max_expansions: Optional[int] = None,
+) -> MstRoutingResult:
+    """Connect ``terminals`` into one net following the MST attach order.
+
+    The first terminal seeds the net; every further terminal is routed to
+    *any* cell of the net routed so far (point-to-path A*).  Successful
+    paths are committed to ``occupancy`` under ``net``.  Terminals that
+    cannot be attached are reported in ``failed`` and left untouched.
+    """
+    result = MstRoutingResult(success=True)
+    if not terminals:
+        return result
+
+    # Seed the component with the first terminal cell.
+    first = terminals[0]
+    if not occupancy.is_routable(first, net):
+        result.success = False
+        result.failed = list(range(len(terminals)))
+        return result
+    if occupancy.owner(first) != net:
+        occupancy.occupy([first], net)
+    component: Set[Point] = {first}
+    result.connected.append(0)
+
+    order = [child for _, child in manhattan_mst(list(terminals))]
+    for idx in order:
+        terminal = terminals[idx]
+        path = astar_route(
+            grid,
+            [terminal],
+            component,
+            net=net,
+            occupancy=occupancy,
+            history=history,
+            max_expansions=max_expansions,
+        )
+        if path is None:
+            result.failed.append(idx)
+            result.success = False
+            continue
+        new_cells = [c for c in path.cells if occupancy.owner(c) != net]
+        occupancy.occupy(new_cells, net)
+        component.update(path.cells)
+        result.paths.append(path)
+        result.connected.append(idx)
+    return result

@@ -1,0 +1,160 @@
+"""Negotiation-based detailed routing (Algorithm 1 of the paper).
+
+Unlike PathFinder's congestion negotiation at global-routing level, the
+paper negotiates *detailed* routability directly on the grid: each
+iteration routes every edge with routed paths acting as hard obstacles;
+when some edge fails, the history cost of every cell used in this
+iteration is raised (Eq. 5), all paths are ripped up, and the next
+iteration re-routes everything — cells with high history cost are then
+avoided unless no alternative exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.geometry.point import Point
+from repro.grid.grid import RoutingGrid
+from repro.grid.occupancy import Occupancy
+from repro.routing.astar import astar_route
+from repro.routing.path import Path
+
+
+@dataclass(frozen=True)
+class RouteRequest:
+    """One edge to route: any source cell to any target cell, for a net.
+
+    Attributes:
+        edge_id: unique id of the edge among the requests.
+        net: id of the net (Steiner tree) the edge belongs to; edges of
+            the same net may share cells.
+        sources: candidate start cells.
+        targets: candidate goal cells.
+    """
+
+    edge_id: int
+    net: int
+    sources: Tuple[Point, ...]
+    targets: Tuple[Point, ...]
+
+
+@dataclass
+class NegotiationResult:
+    """Outcome of a negotiation-routing run.
+
+    Attributes:
+        success: True when every requested edge was routed.
+        paths: routed path per edge id (only successfully routed edges).
+        failed_edges: edge ids that remained unroutable in the final
+            iteration.
+        iterations: number of rip-up/reroute rounds performed.
+    """
+
+    success: bool
+    paths: Dict[int, Path] = field(default_factory=dict)
+    failed_edges: List[int] = field(default_factory=list)
+    iterations: int = 0
+
+
+class NegotiationRouter:
+    """Iterative rip-up-all/reroute router with history costs.
+
+    Parameters follow the paper's implementation: base history cost
+    ``b = 1.0``, decay/gain factor ``alpha = 0.1`` (Eq. 5), and iteration
+    threshold ``gamma = 10``.
+    """
+
+    def __init__(
+        self,
+        grid: RoutingGrid,
+        *,
+        base_cost: float = 1.0,
+        alpha: float = 0.1,
+        gamma: int = 10,
+        max_expansions: Optional[int] = None,
+        exclusive_within_net: bool = True,
+    ) -> None:
+        self.grid = grid
+        self.base_cost = base_cost
+        self.alpha = alpha
+        self.gamma = gamma
+        self.max_expansions = max_expansions
+        # Steiner-tree edges of one net must meet only at their shared
+        # endpoint nodes; riding along a sibling edge would silently
+        # shortcut the channel network and break length matching.
+        self.exclusive_within_net = exclusive_within_net
+        self.history: List[float] = [0.0] * (grid.width * grid.height)
+
+    def route(
+        self,
+        requests: Sequence[RouteRequest],
+        occupancy: Occupancy,
+    ) -> NegotiationResult:
+        """Route every request, negotiating shared cells across iterations.
+
+        On success, all routed cells are left occupied (by each request's
+        net id) in ``occupancy``.  On failure — the iteration threshold
+        was reached with unroutable edges — the paths of the *final*
+        iteration stay occupied and the failed edge ids are reported, so
+        the caller can demote the affected clusters (the paper rebuilds
+        the DME tree or re-designs valve positions in that case).
+        """
+        result = NegotiationResult(success=False)
+        if not requests:
+            result.success = True
+            return result
+
+        for iteration in range(1, self.gamma + 1):
+            result.iterations = iteration
+            paths: Dict[int, Path] = {}
+            failed: List[int] = []
+            # Cells newly claimed this iteration.  Cells a net owned before
+            # this router ran (e.g. pre-occupied valve terminals) must
+            # survive the rip-up, so only these are released.
+            added_cells: List[Point] = []
+
+            for request in requests:
+                extra = None
+                if self.exclusive_within_net:
+                    extra = occupancy.cells_of(request.net)
+                    extra -= set(request.sources) | set(request.targets)
+                path = astar_route(
+                    self.grid,
+                    request.sources,
+                    request.targets,
+                    net=request.net,
+                    occupancy=occupancy,
+                    history=self.history,
+                    extra_obstacles=extra or None,
+                    max_expansions=self.max_expansions,
+                )
+                if path is None:
+                    failed.append(request.edge_id)
+                    continue
+                paths[request.edge_id] = path
+                new_cells = [c for c in path.cells if occupancy.owner(c) != request.net]
+                occupancy.occupy(new_cells, request.net)
+                added_cells.extend(new_cells)
+
+            if not failed:
+                result.success = True
+                result.paths = paths
+                result.failed_edges = []
+                return result
+
+            if iteration >= self.gamma:
+                # Give up: keep the final partial solution for the caller.
+                result.paths = paths
+                result.failed_edges = failed
+                return result
+
+            # Raise history cost along every path used this iteration
+            # (Eq. 5), then rip everything up and try again.
+            for path in paths.values():
+                for cell in path:
+                    idx = self.grid.index(cell)
+                    self.history[idx] = self.base_cost + self.alpha * self.history[idx]
+            occupancy.release_cells(added_cells)
+
+        return result  # pragma: no cover - loop always returns earlier

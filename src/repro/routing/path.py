@@ -1,0 +1,105 @@
+"""Routed paths: contiguous cell sequences on the grid."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+class Path:
+    """A routed control-channel segment: a sequence of adjacent grid cells.
+
+    The channel *length* is the number of grid steps, i.e. ``len(cells) -
+    1``; a single-cell path has length zero.  Paths are immutable after
+    construction and validate 4-adjacency, so a constructed ``Path`` is
+    always physically realisable on the grid.
+    """
+
+    __slots__ = ("_cells",)
+
+    def __init__(self, cells: Sequence[Point]) -> None:
+        if not cells:
+            raise ValueError("a path must contain at least one cell")
+        cells = [Point(c[0], c[1]) for c in cells]
+        for a, b in zip(cells, cells[1:]):
+            if a.manhattan(b) != 1:
+                raise ValueError(f"path cells {a} and {b} are not 4-adjacent")
+        self._cells: Tuple[Point, ...] = tuple(cells)
+
+    @property
+    def cells(self) -> Tuple[Point, ...]:
+        """Return the cell sequence from source to target."""
+        return self._cells
+
+    @property
+    def source(self) -> Point:
+        """Return the first cell."""
+        return self._cells[0]
+
+    @property
+    def target(self) -> Point:
+        """Return the last cell."""
+        return self._cells[-1]
+
+    @property
+    def length(self) -> int:
+        """Return the channel length in grid steps."""
+        return len(self._cells) - 1
+
+    def is_simple(self) -> bool:
+        """Return True when no cell repeats (the channel does not self-cross)."""
+        return len(set(self._cells)) == len(self._cells)
+
+    def reversed(self) -> "Path":
+        """Return the same channel traversed target-to-source."""
+        return Path(tuple(reversed(self._cells)))
+
+    def bounding_box(self) -> Rect:
+        """Return the bounding box of the path cells."""
+        return Rect.from_points(self._cells)
+
+    def concat(self, other: "Path") -> "Path":
+        """Join two paths sharing an endpoint cell (``self.target == other.source``)."""
+        if self.target != other.source:
+            raise ValueError(
+                f"paths do not share an endpoint: {self.target} != {other.source}"
+            )
+        return Path(self._cells + other._cells[1:])
+
+    def cell_set(self) -> frozenset:
+        """Return the cells as a frozen set (for occupancy bookkeeping)."""
+        return frozenset(self._cells)
+
+    def __iter__(self) -> Iterator[Point]:
+        return iter(self._cells)
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Path) and self._cells == other._cells
+
+    def __hash__(self) -> int:
+        return hash(self._cells)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Path({self.source}->{self.target}, len={self.length})"
+
+
+def total_length(paths: Iterable[Path]) -> int:
+    """Return the summed channel length of ``paths``."""
+    return sum(p.length for p in paths)
+
+
+def collect_cells(paths: Iterable[Path]) -> List[Point]:
+    """Return every cell covered by ``paths`` (duplicates removed, ordered)."""
+    seen = set()
+    out: List[Point] = []
+    for path in paths:
+        for cell in path:
+            if cell not in seen:
+                seen.add(cell)
+                out.append(cell)
+    return out

@@ -1,0 +1,54 @@
+"""Selection costs: length mismatch (Eq. 2) and overlap (Eqs. 3-4)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.dme.tree import CandidateTree, TreeEdge
+
+
+def mismatch_costs(
+    candidates: Sequence[CandidateTree], lam: float = 0.1
+) -> List[float]:
+    """Return the mismatch cost ``Cm`` for every candidate tree (Eq. 2).
+
+    ``Cm_j = -lam * dL_j / max_k dL_k`` over *all* candidates of all
+    clusters; when every candidate has zero estimated mismatch all costs
+    are zero.
+    """
+    mismatches = [t.mismatch() for t in candidates]
+    worst = max(mismatches, default=0)
+    if worst == 0:
+        return [0.0] * len(candidates)
+    return [-lam * m / worst for m in mismatches]
+
+
+def edge_overlap_cost(a: TreeEdge, b: TreeEdge) -> float:
+    """Return ``olcost`` between two tree edges (Eq. 4).
+
+    The overlap area of the two edge bounding boxes, normalised by the
+    smaller box area.  Inclusive single-cell boxes have area 1, so the
+    denominator is never zero.
+    """
+    box_a = a.bounding_box()
+    box_b = b.bounding_box()
+    overlap = box_a.overlap_area(box_b)
+    if overlap == 0:
+        return 0.0
+    return overlap / min(box_a.area, box_b.area)
+
+
+def tree_overlap_cost(
+    tree_a: CandidateTree, tree_b: CandidateTree, lam: float = 0.1
+) -> float:
+    """Return the overlap cost ``Co`` between two candidate trees (Eq. 3).
+
+    ``Co = -(1 - lam) * sum_{el in Ta} sum_{em in Tb} olcost(el, em)``.
+    ``lam = 0.1`` weights routability above mismatch, as in the paper.
+    """
+    total = 0.0
+    edges_b = tree_b.edges()
+    for ea in tree_a.edges():
+        for eb in edges_b:
+            total += edge_overlap_cost(ea, eb)
+    return -(1.0 - lam) * total

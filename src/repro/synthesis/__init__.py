@@ -1,0 +1,41 @@
+"""Control synthesis front-end: from bioassay schedules to valve tables.
+
+PACOR's input — "the valve switching time table" — comes from resource
+binding and scheduling on the flow layer (the paper builds on Minhass et
+al.'s control synthesis).  This package provides that substrate:
+
+* :mod:`repro.synthesis.components` — flow-layer component models
+  (rotary peristaltic mixer, binary multiplexer, input selector …),
+  each knowing which of its valves must be open/closed/don't-care in
+  each of its operation phases;
+* :mod:`repro.synthesis.schedule` — an assay schedule (which component
+  runs which operation at which time step) compiled into per-valve
+  activation sequences (Defs 1–4 of the paper);
+* :func:`repro.synthesis.assay_to_design` — end-to-end: place a small
+  chip's components, compile the schedule, and emit a routable
+  :class:`~repro.designs.design.Design`.
+"""
+
+from repro.synthesis.components import (
+    Component,
+    GuardBank,
+    InputSelector,
+    Multiplexer,
+    RotaryMixer,
+)
+from repro.synthesis.schedule import AssaySchedule, Operation, compile_sequences
+from repro.synthesis.chip import assay_to_design
+from repro.synthesis.flowchip import mixer_chip_design
+
+__all__ = [
+    "Component",
+    "RotaryMixer",
+    "Multiplexer",
+    "InputSelector",
+    "GuardBank",
+    "Operation",
+    "AssaySchedule",
+    "compile_sequences",
+    "assay_to_design",
+    "mixer_chip_design",
+]

@@ -1,0 +1,123 @@
+"""From an assay to a routable control-layer design.
+
+Places each component's valves as a compact block on the chip (as the
+flow-layer layout would), compiles the schedule into activation
+sequences, collects the components' length-matching groups, and spreads
+candidate control pins along the boundary — producing a
+:class:`~repro.designs.design.Design` ready for :class:`PacorRouter`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.designs.design import Design
+from repro.geometry.point import Point
+from repro.grid.grid import RoutingGrid
+from repro.synthesis.schedule import AssaySchedule, compile_sequences
+from repro.valves.valve import Valve
+
+
+def _block_positions(origin: Point, count: int, spacing: int) -> List[Point]:
+    """Lay ``count`` valves out in a near-square block from ``origin``."""
+    cols = max(1, math.ceil(math.sqrt(count)))
+    return [
+        Point(origin.x + (i % cols) * spacing, origin.y + (i // cols) * spacing)
+        for i in range(count)
+    ]
+
+
+def assay_to_design(
+    schedule: AssaySchedule,
+    *,
+    name: str = "assay-chip",
+    grid_size: Optional[Tuple[int, int]] = None,
+    component_origins: Optional[Dict[str, Tuple[int, int]]] = None,
+    valve_spacing: int = 3,
+    n_pins: Optional[int] = None,
+    delta: int = 1,
+) -> Design:
+    """Build a routable design from an assay schedule.
+
+    Args:
+        schedule: components plus scheduled operations.
+        name: design name.
+        grid_size: chip dimensions; sized automatically when omitted.
+        component_origins: optional per-component block origin; defaults
+            to a row of blocks with generous margins.
+        valve_spacing: pitch between valves inside a component block.
+        n_pins: candidate control pins (default: 3 pins per valve,
+            capped by the free boundary).
+        delta: length-matching threshold.
+
+    Returns:
+        A validated :class:`Design` whose LM groups are the components'
+        declared length-matching valve groups.
+    """
+    sequences = compile_sequences(schedule)
+    components = schedule.components
+
+    # Default placement: component blocks side by side with margins.
+    blocks: Dict[str, List[Point]] = {}
+    if component_origins is None:
+        x = 4
+        y = 4
+        for component in components:
+            count = len(component.valve_names())
+            cols = max(1, math.ceil(math.sqrt(count)))
+            rows = math.ceil(count / cols)
+            blocks[component.name] = _block_positions(Point(x, y), count, valve_spacing)
+            x += cols * valve_spacing + 4
+    else:
+        for component in components:
+            ox, oy = component_origins[component.name]
+            blocks[component.name] = _block_positions(
+                Point(ox, oy), len(component.valve_names()), valve_spacing
+            )
+
+    all_points = [p for pts in blocks.values() for p in pts]
+    if grid_size is None:
+        width = max(p.x for p in all_points) + 5
+        height = max(p.y for p in all_points) + 5
+        width = max(width, height)  # keep it squarish for boundary pins
+        height = width
+    else:
+        width, height = grid_size
+
+    grid = RoutingGrid(width, height)
+
+    valves: List[Valve] = []
+    lm_groups: List[List[int]] = []
+    vid = 0
+    id_of: Dict[Tuple[str, str], int] = {}
+    for component in components:
+        names = component.valve_names()
+        points = blocks[component.name]
+        for local, point in zip(names, points):
+            if not grid.in_bounds(point):
+                raise ValueError(
+                    f"valve {component.name}.{local} at {point} falls off the "
+                    f"{width}x{height} chip; enlarge grid_size"
+                )
+            valves.append(Valve(vid, point, sequences[(component.name, local)]))
+            id_of[(component.name, local)] = vid
+            vid += 1
+        for group in component.lm_groups():
+            lm_groups.append([id_of[(component.name, local)] for local in group])
+
+    boundary = [p for p in grid.boundary_cells() if grid.is_free(p)]
+    want = n_pins if n_pins is not None else min(len(boundary), 3 * len(valves))
+    stride = max(1, len(boundary) // max(want, 1))
+    pins = boundary[::stride][:want]
+
+    design = Design(
+        name=name,
+        grid=grid,
+        valves=valves,
+        lm_groups=lm_groups,
+        control_pins=pins,
+        delta=delta,
+    )
+    design.validate()
+    return design

@@ -1,0 +1,208 @@
+"""Flow-layer component models and their valve actuation phases.
+
+Each component owns a set of named valves and knows, per supported
+operation, the step-by-step actuation pattern of those valves ("0" open,
+"1" closed, "X" don't-care).  Components also declare which of their
+valves must be *length matched*: valves driven by one shared control pin
+whose actuation must reach them simultaneously (e.g. the paired inlet
+valves of a mixer, or a containment bank sealing a chamber).
+
+The models follow the classic Quake-style mVLSI building blocks
+(monolithic membrane valves, rotary mixers, binary multiplexers).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+Pattern = Dict[str, str]
+"""One time step: local valve name -> activation status."""
+
+
+class Component:
+    """Base class: a named component with local valves and operations."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def valve_names(self) -> List[str]:
+        """Return the component's local valve names."""
+        raise NotImplementedError
+
+    def operations(self) -> List[str]:
+        """Return the operation names this component supports."""
+        raise NotImplementedError
+
+    def phases(self, operation: str) -> List[Pattern]:
+        """Return the actuation pattern per time step of ``operation``."""
+        raise NotImplementedError
+
+    def lm_groups(self) -> List[List[str]]:
+        """Return groups of local valves requiring length matching."""
+        return []
+
+    def _unknown(self, operation: str) -> ValueError:
+        return ValueError(
+            f"component {self.name!r} does not support operation {operation!r}; "
+            f"choose from {self.operations()}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class RotaryMixer(Component):
+    """A rotary peristaltic mixer (Chou/Unger-style).
+
+    Valves: paired inlets ``in_a``/``in_b`` (actuated together — a
+    length-matching pair on one pin), an outlet ``out``, and three
+    peristalsis valves ``ring0..ring2`` that cycle the classic 3-phase
+    pattern during mixing (each on its own pin; their sequences are
+    pairwise incompatible by construction).
+    """
+
+    _PERISTALSIS = ["100", "110", "010", "011", "001", "101"]
+
+    def valve_names(self) -> List[str]:
+        return ["in_a", "in_b", "out", "ring0", "ring1", "ring2"]
+
+    def operations(self) -> List[str]:
+        return ["load", "mix", "flush"]
+
+    def lm_groups(self) -> List[List[str]]:
+        return [["in_a", "in_b"]]
+
+    def phases(self, operation: str) -> List[Pattern]:
+        if operation == "load":
+            # Inlets open, ring open for filling, outlet sealed.
+            return [
+                {
+                    "in_a": "0",
+                    "in_b": "0",
+                    "out": "1",
+                    "ring0": "0",
+                    "ring1": "0",
+                    "ring2": "0",
+                }
+            ] * 2
+        if operation == "mix":
+            # One full peristaltic rotation; chamber sealed.
+            steps = []
+            for pattern in self._PERISTALSIS:
+                step = {"in_a": "1", "in_b": "1", "out": "1"}
+                for i, bit in enumerate(pattern):
+                    step[f"ring{i}"] = bit
+                steps.append(step)
+            return steps
+        if operation == "flush":
+            return [
+                {
+                    "in_a": "1",
+                    "in_b": "1",
+                    "out": "0",
+                    "ring0": "0",
+                    "ring1": "0",
+                    "ring2": "0",
+                }
+            ] * 2
+        raise self._unknown(operation)
+
+
+class Multiplexer(Component):
+    """A binary (combinatorial) multiplexer over ``n_inputs`` channels.
+
+    Each address bit has two complementary control lines (``bit{i}_0``,
+    ``bit{i}_1``); selecting input ``k`` opens, per bit, the line whose
+    value matches ``k``'s bit and closes the complement — the classic
+    2·log2(n) control-line scheme of microfluidic large-scale
+    integration.  Complementary lines are never compatible, so each line
+    needs its own pin; no length matching is required.
+    """
+
+    def __init__(self, name: str, n_inputs: int) -> None:
+        super().__init__(name)
+        if n_inputs < 2:
+            raise ValueError("a multiplexer needs at least two inputs")
+        self.n_inputs = n_inputs
+        self.n_bits = max(1, math.ceil(math.log2(n_inputs)))
+
+    def valve_names(self) -> List[str]:
+        return [f"bit{i}_{v}" for i in range(self.n_bits) for v in (0, 1)]
+
+    def operations(self) -> List[str]:
+        return [f"select:{k}" for k in range(self.n_inputs)]
+
+    def phases(self, operation: str) -> List[Pattern]:
+        if not operation.startswith("select:"):
+            raise self._unknown(operation)
+        k = int(operation.split(":", 1)[1])
+        if not 0 <= k < self.n_inputs:
+            raise self._unknown(operation)
+        step: Pattern = {}
+        for i in range(self.n_bits):
+            bit = (k >> i) & 1
+            # The line matching the address bit is open (0), its
+            # complement closed (1).
+            step[f"bit{i}_{bit}"] = "0"
+            step[f"bit{i}_{1 - bit}"] = "1"
+        return [step]
+
+
+class InputSelector(Component):
+    """A bank of independent inlet valves (one reagent each)."""
+
+    def __init__(self, name: str, n_inputs: int) -> None:
+        super().__init__(name)
+        if n_inputs < 1:
+            raise ValueError("an input selector needs at least one inlet")
+        self.n_inputs = n_inputs
+
+    def valve_names(self) -> List[str]:
+        return [f"in{i}" for i in range(self.n_inputs)]
+
+    def operations(self) -> List[str]:
+        return [f"open:{i}" for i in range(self.n_inputs)] + ["close_all"]
+
+    def phases(self, operation: str) -> List[Pattern]:
+        if operation == "close_all":
+            return [{name: "1" for name in self.valve_names()}]
+        if operation.startswith("open:"):
+            i = int(operation.split(":", 1)[1])
+            if not 0 <= i < self.n_inputs:
+                raise self._unknown(operation)
+            step = {name: "1" for name in self.valve_names()}
+            step[f"in{i}"] = "0"
+            return [step]
+        raise self._unknown(operation)
+
+
+class GuardBank(Component):
+    """``n`` containment valves sealing a chamber simultaneously.
+
+    All members always actuate together from one control pin; a skewed
+    seal leaks, so the whole bank is one length-matching cluster — the
+    archetypal PACOR use case.
+    """
+
+    def __init__(self, name: str, n_valves: int) -> None:
+        super().__init__(name)
+        if n_valves < 2:
+            raise ValueError("a guard bank needs at least two valves")
+        self.n_valves = n_valves
+
+    def valve_names(self) -> List[str]:
+        return [f"g{i}" for i in range(self.n_valves)]
+
+    def operations(self) -> List[str]:
+        return ["seal", "release"]
+
+    def lm_groups(self) -> List[List[str]]:
+        return [self.valve_names()]
+
+    def phases(self, operation: str) -> List[Pattern]:
+        if operation == "seal":
+            return [{name: "1" for name in self.valve_names()}]
+        if operation == "release":
+            return [{name: "0" for name in self.valve_names()}]
+        raise self._unknown(operation)

@@ -1,0 +1,135 @@
+"""A flow-layer-aware demo chip: geometry-derived control obstacles.
+
+Builds a complete two-layer demo design the way a real layout would be
+assembled: the flow layer (a rotary mixing ring, a reagent distribution
+comb and supply channels) is drawn first; valve sites are placed *on*
+the flow channels; the flow geometry projects obstacles onto the control
+layer (every flow cell except the valve sites); and the activation
+sequences come from a compiled assay schedule.  The result is a
+:class:`~repro.designs.design.Design` whose obstacle pattern has the
+structure real chips have — sparse, snake-like, with valves embedded.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.designs.design import Design
+from repro.flowlayer import (
+    FlowLayer,
+    control_obstacles,
+    multiplexer_tree,
+    rotary_ring,
+    straight_channel,
+)
+from repro.geometry.point import Point
+from repro.grid.grid import RoutingGrid
+from repro.synthesis.components import GuardBank, Multiplexer, RotaryMixer
+from repro.synthesis.schedule import AssaySchedule, Operation, compile_sequences
+from repro.valves.valve import Valve
+
+
+def mixer_chip_design(
+    *,
+    name: str = "flow-chip",
+    grid_side: int = 36,
+    delta: int = 1,
+) -> Tuple[Design, FlowLayer]:
+    """Build the two-layer demo chip; returns ``(design, flow layer)``.
+
+    Layout: a 8x8 rotary ring centre-left, a 4-leaf distribution comb on
+    the right feeding the ring, and a supply channel guarded by a valve
+    bank at the bottom.
+    """
+    if grid_side < 32:
+        raise ValueError("the demo chip needs at least a 32-cell grid side")
+    grid = RoutingGrid(grid_side, grid_side)
+    flow = FlowLayer()
+
+    # Flow geometry.
+    ring = flow.add(rotary_ring("mixer.ring", Point(6, 12), 8))
+    comb = multiplexer_tree("mux", Point(20, 14), 4, pitch=3)
+    for channel in comb:
+        flow.add(channel)
+    supply = flow.add(
+        straight_channel("supply", Point(6, 26), Point(28, 26))
+    )
+    # The feed attaches to the ring's right edge away from valve sites.
+    flow.add(straight_channel("feed", Point(14, 17), Point(19, 15)))
+
+    # Valve sites.
+    mixer = RotaryMixer("mixer")
+    mux = Multiplexer("mux", 4)
+    guard = GuardBank("guard", 3)
+
+    ring_cells = ring.cells
+    mixer_sites: Dict[str, Point] = {
+        "in_a": ring_cells[1],
+        "in_b": ring_cells[3],
+        "out": ring_cells[5],
+        # Peristalsis valves along the bottom edge, clear of the feed.
+        "ring0": ring_cells[16],
+        "ring1": ring_cells[18],
+        "ring2": ring_cells[20],
+    }
+    mux_sites: Dict[str, Point] = {}
+    for bit in range(mux.n_bits):
+        for v in (0, 1):
+            leaf = comb[1 + 2 * bit + v]
+            mux_sites[f"bit{bit}_{v}"] = leaf.cells[1]
+    guard_sites: Dict[str, Point] = {
+        f"g{i}": supply.cells[4 + 7 * i] for i in range(3)
+    }
+    for sites in (mixer_sites, mux_sites, guard_sites):
+        for cell in sites.values():
+            flow.add_valve_site(cell)
+    flow.validate(grid)
+    grid.add_obstacles(control_obstacles(flow))
+
+    # Activation sequences from a representative assay.
+    schedule = AssaySchedule(
+        components=[mixer, mux, guard],
+        operations=[
+            Operation("guard", "release", start=0),
+            Operation("mux", "select:1", start=0),
+            Operation("mixer", "load", start=1),
+            Operation("mixer", "mix", start=3, repeats=2),
+            # A concurrent reagent selection during flushing keeps the
+            # mux lines incompatible with the mixer's outlet, so the
+            # clustering stage does not fuse valves across components.
+            Operation("mux", "select:1", start=15),
+            Operation("mixer", "flush", start=15),
+            Operation("guard", "seal", start=17),
+        ],
+    )
+    sequences = compile_sequences(schedule)
+
+    valves: List[Valve] = []
+    lm_groups: List[List[int]] = []
+    vid = 0
+    id_of: Dict[Tuple[str, str], int] = {}
+    for component, sites in (
+        (mixer, mixer_sites),
+        (mux, mux_sites),
+        (guard, guard_sites),
+    ):
+        for local in component.valve_names():
+            valves.append(Valve(vid, sites[local], sequences[(component.name, local)]))
+            id_of[(component.name, local)] = vid
+            vid += 1
+        for group in component.lm_groups():
+            lm_groups.append([id_of[(component.name, local)] for local in group])
+
+    boundary = [p for p in grid.boundary_cells() if grid.is_free(p)]
+    pins = boundary[:: max(1, len(boundary) // (3 * len(valves)))]
+
+    design = Design(
+        name=name,
+        grid=grid,
+        valves=valves,
+        lm_groups=lm_groups,
+        control_pins=pins,
+        delta=delta,
+    )
+    design.validate()
+    return design, flow

@@ -1,0 +1,113 @@
+"""Assay schedules and their compilation into valve activation tables.
+
+An :class:`AssaySchedule` places component operations on a discrete time
+axis; :func:`compile_sequences` writes every operation's actuation
+phases into a global "0-1-X" table — exactly the *valve switching time
+table* the PACOR problem statement takes as given.  Steps a valve's
+component is idle stay ``"X"`` (either state is acceptable), which is
+what gives the compatibility graph its structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.synthesis.components import Component
+from repro.valves.activation import ActivationSequence
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One scheduled operation.
+
+    Attributes:
+        component: name of the component that executes.
+        operation: the component operation (e.g. ``"mix"``).
+        start: first time step of the operation.
+        repeats: how many times the operation's phase block repeats
+            back-to-back (e.g. several peristaltic rotations).
+    """
+
+    component: str
+    operation: str
+    start: int
+    repeats: int = 1
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError("operations cannot start before step 0")
+        if self.repeats < 1:
+            raise ValueError("repeats must be positive")
+
+
+@dataclass
+class AssaySchedule:
+    """A set of components plus the operations scheduled on them."""
+
+    components: List[Component]
+    operations: List[Operation]
+
+    def component_by_name(self) -> Dict[str, Component]:
+        table = {c.name: c for c in self.components}
+        if len(table) != len(self.components):
+            raise ValueError("component names must be unique")
+        return table
+
+
+def compile_sequences(schedule: AssaySchedule) -> Dict[Tuple[str, str], ActivationSequence]:
+    """Compile a schedule into per-valve activation sequences.
+
+    Returns a mapping ``(component name, local valve name) -> sequence``.
+    All sequences share the schedule's total length (last operation end).
+    Overlapping operations on one component raise :class:`ValueError`,
+    as do conflicting concrete statuses (which cannot happen without
+    overlap, but is checked anyway).
+    """
+    by_name = schedule.component_by_name()
+    if not schedule.operations:
+        raise ValueError("a schedule needs at least one operation")
+
+    # Total horizon.
+    horizon = 0
+    spans: Dict[str, List[Tuple[int, int]]] = {}
+    op_steps: List[Tuple[Operation, List[Dict[str, str]]]] = []
+    for op in schedule.operations:
+        if op.component not in by_name:
+            raise ValueError(f"operation references unknown component {op.component!r}")
+        component = by_name[op.component]
+        phases = component.phases(op.operation) * op.repeats
+        end = op.start + len(phases)
+        for lo, hi in spans.get(op.component, []):
+            if op.start < hi and lo < end:
+                raise ValueError(
+                    f"overlapping operations on component {op.component!r}"
+                )
+        spans.setdefault(op.component, []).append((op.start, end))
+        op_steps.append((op, phases))
+        horizon = max(horizon, end)
+
+    table: Dict[Tuple[str, str], List[str]] = {}
+    for component in schedule.components:
+        for valve in component.valve_names():
+            table[(component.name, valve)] = ["X"] * horizon
+
+    for op, phases in op_steps:
+        for offset, pattern in enumerate(phases):
+            step = op.start + offset
+            for valve, status in pattern.items():
+                key = (op.component, valve)
+                if key not in table:
+                    raise ValueError(
+                        f"operation {op.operation!r} writes unknown valve {valve!r}"
+                    )
+                current = table[key][step]
+                if current != "X" and current != status:
+                    raise ValueError(
+                        f"conflicting statuses for {key} at step {step}"
+                    )
+                table[key][step] = status
+
+    return {
+        key: ActivationSequence("".join(steps)) for key, steps in table.items()
+    }

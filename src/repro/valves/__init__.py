@@ -1,0 +1,31 @@
+"""Valve model: activation sequences, compatibility, and clustering.
+
+Implements Definitions 1-4 of the paper (activation sequences over the
+alphabet ``{"0", "1", "X"}`` and the compatibility relation they induce)
+and the valve-clustering stage of the PACOR flow: partitioning the valves
+into a minimum number of pairwise-compatible groups so that each group can
+share one control pin under the broadcast addressing scheme.
+"""
+
+from repro.valves.activation import (
+    ActivationSequence,
+    Status,
+    compatible_status,
+    merge_status,
+)
+from repro.valves.clustering import Cluster, cluster_valves, greedy_clique_partition
+from repro.valves.compatibility import compatibility_graph, pairwise_compatible
+from repro.valves.valve import Valve
+
+__all__ = [
+    "ActivationSequence",
+    "Status",
+    "compatible_status",
+    "merge_status",
+    "Valve",
+    "compatibility_graph",
+    "pairwise_compatible",
+    "Cluster",
+    "cluster_valves",
+    "greedy_clique_partition",
+]

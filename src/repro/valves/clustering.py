@@ -1,0 +1,139 @@
+"""Valve clustering: minimum clique cover of the compatibility graph.
+
+Under broadcast addressing every cluster of pairwise-compatible valves
+shares one control pin, so minimising the number of clusters minimises the
+number of pins.  Minimum clique cover is NP-complete (the paper cites
+Garey & Johnson), so — like the paper — we use a fast greedy heuristic.
+
+Clusters that carry the length-matching constraint arrive as part of the
+design input and are preserved verbatim; only the remaining valves are
+clustered here.  The paper requires LM clusters to be compatibility-legal,
+which :func:`cluster_valves` validates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set
+
+from repro.valves.activation import ActivationSequence
+from repro.valves.compatibility import pairwise_compatible
+from repro.valves.valve import Valve
+
+
+@dataclass
+class Cluster:
+    """A group of pairwise-compatible valves sharing one control pin.
+
+    Attributes:
+        id: unique cluster id within a design.
+        valves: member valves (at least one).
+        length_matching: True when the cluster carries the LM constraint —
+            all valve-to-pin channel lengths must agree within δ.
+    """
+
+    id: int
+    valves: List[Valve]
+    length_matching: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.valves:
+            raise ValueError("a cluster must contain at least one valve")
+        if not pairwise_compatible(self.valves):
+            raise ValueError(
+                f"cluster {self.id} contains incompatible valves; the "
+                "length-matching constraint must conform with compatibility"
+            )
+
+    @property
+    def size(self) -> int:
+        """Return the number of member valves."""
+        return len(self.valves)
+
+    def valve_ids(self) -> List[int]:
+        """Return the member valve ids in insertion order."""
+        return [v.id for v in self.valves]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        tag = "LM" if self.length_matching else "ord"
+        return f"Cluster({self.id},{tag},{self.valve_ids()})"
+
+
+def greedy_clique_partition(valves: Sequence[Valve]) -> List[List[Valve]]:
+    """Partition ``valves`` into pairwise-compatible groups greedily.
+
+    The heuristic grows one clique at a time: valves are visited in order
+    of increasing compatibility degree (hard-to-place valves first), each
+    seeding a new group that then absorbs every later valve compatible
+    with the group's merged activation signature.  Merged-signature
+    compatibility is exact for cliques, so every returned group is a true
+    clique of the compatibility graph.
+    """
+    remaining = list(valves)
+    if not remaining:
+        return []
+
+    # Compatibility degree: how many other valves each valve can join.
+    degree: Dict[int, int] = {v.id: 0 for v in remaining}
+    for i, a in enumerate(remaining):
+        for b in remaining[i + 1 :]:
+            if a.compatible(b):
+                degree[a.id] += 1
+                degree[b.id] += 1
+    remaining.sort(key=lambda v: (degree[v.id], v.id))
+
+    groups: List[List[Valve]] = []
+    assigned: Set[int] = set()
+    for seed in remaining:
+        if seed.id in assigned:
+            continue
+        group = [seed]
+        signature: ActivationSequence = seed.sequence
+        assigned.add(seed.id)
+        for candidate in remaining:
+            if candidate.id in assigned:
+                continue
+            if signature.compatible(candidate.sequence):
+                group.append(candidate)
+                signature = signature.merge(candidate.sequence)
+                assigned.add(candidate.id)
+        groups.append(group)
+    return groups
+
+
+def cluster_valves(
+    valves: Sequence[Valve],
+    lm_groups: Sequence[Sequence[int]] = (),
+) -> List[Cluster]:
+    """Run the valve-clustering stage of the PACOR flow.
+
+    Args:
+        valves: every valve of the design.
+        lm_groups: valve-id groups that carry the length-matching
+            constraint.  These are preserved as-is (and validated for
+            compatibility); the remaining valves are clustered greedily.
+
+    Returns:
+        All clusters, LM clusters first, each with a fresh sequential id.
+    """
+    by_id: Dict[int, Valve] = {v.id: v for v in valves}
+    if len(by_id) != len(valves):
+        raise ValueError("valve ids must be unique")
+
+    clusters: List[Cluster] = []
+    in_lm: Set[int] = set()
+    for group in lm_groups:
+        members = []
+        for vid in group:
+            if vid not in by_id:
+                raise ValueError(f"length-matching group references unknown valve {vid}")
+            if vid in in_lm:
+                raise ValueError(f"valve {vid} appears in two length-matching groups")
+            in_lm.add(vid)
+            members.append(by_id[vid])
+        clusters.append(Cluster(len(clusters), members, length_matching=True))
+
+    free_valves = [v for v in valves if v.id not in in_lm]
+    for group in greedy_clique_partition(free_valves):
+        clusters.append(Cluster(len(clusters), group, length_matching=False))
+    return clusters

@@ -1,0 +1,44 @@
+"""Valve compatibility graph construction."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import networkx as nx
+
+from repro.valves.valve import Valve
+
+
+def pairwise_compatible(valves: Iterable[Valve]) -> bool:
+    """Return True when every pair of ``valves`` is compatible.
+
+    Uses the merge-signature property of activation sequences: a set is
+    pairwise compatible iff the running merge succeeds and every member is
+    compatible with it, which this incremental check realises in one pass.
+    """
+    merged = None
+    for valve in valves:
+        if merged is None:
+            merged = valve.sequence
+        else:
+            if not merged.compatible(valve.sequence):
+                return False
+            merged = merged.merge(valve.sequence)
+    return True
+
+
+def compatibility_graph(valves: Sequence[Valve]) -> nx.Graph:
+    """Return the compatibility graph over ``valves``.
+
+    Nodes are valve ids; an edge joins two valves whose activation
+    sequences are compatible (Def. 4).  A clique in this graph is a set of
+    valves that may legally share one control pin.
+    """
+    graph = nx.Graph()
+    graph.add_nodes_from(v.id for v in valves)
+    items: List[Valve] = list(valves)
+    for i, a in enumerate(items):
+        for b in items[i + 1 :]:
+            if a.compatible(b):
+                graph.add_edge(a.id, b.id)
+    return graph

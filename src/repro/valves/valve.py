@@ -1,0 +1,30 @@
+"""The valve entity: a grid position plus an activation sequence."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.point import Point
+from repro.valves.activation import ActivationSequence
+
+
+@dataclass(frozen=True)
+class Valve:
+    """A control-layer valve.
+
+    Attributes:
+        id: unique integer id within a design.
+        position: grid cell of the valve's control-layer terminal.
+        sequence: the valve's activation sequence from scheduling.
+    """
+
+    id: int
+    position: Point
+    sequence: ActivationSequence
+
+    def compatible(self, other: "Valve") -> bool:
+        """Return True when the two valves may share a control pin (Def. 4)."""
+        return self.sequence.compatible(other.sequence)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Valve({self.id}@{self.position})"

@@ -1,0 +1,12 @@
+"""Visualisation of designs and routed solutions.
+
+* :func:`render_ascii` — terminal rendering of a design or routed result
+  (valves, pins, obstacles, channels).
+* :func:`render_svg` — standalone SVG string (no external dependencies)
+  with channels drawn as polylines per net.
+"""
+
+from repro.viz.ascii_art import render_ascii
+from repro.viz.svg import render_svg
+
+__all__ = ["render_ascii", "render_svg"]

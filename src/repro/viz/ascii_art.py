@@ -1,0 +1,38 @@
+"""ASCII rendering of designs and routed solutions.
+
+Legend: ``.`` free, ``#`` obstacle, ``V`` valve, ``P`` candidate pin,
+``@`` assigned pin, digits/letters = channel cells of a net (net id
+modulo 36).  Intended for small designs and debugging; rows are rendered
+with y growing downward.
+"""
+
+from __future__ import annotations
+
+import string
+from typing import Optional
+
+from repro.core.result import PacorResult
+from repro.designs.design import Design
+
+_NET_GLYPHS = string.digits + string.ascii_lowercase
+
+
+def render_ascii(design: Design, result: Optional[PacorResult] = None) -> str:
+    """Render ``design`` (and optionally a routed ``result``) as text."""
+    grid = design.grid
+    rows = [["."] * grid.width for _ in range(grid.height)]
+    for p in grid.obstacle_cells():
+        rows[p.y][p.x] = "#"
+    for pin in design.control_pins:
+        rows[pin.y][pin.x] = "P"
+    if result is not None:
+        for net in result.nets:
+            glyph = _NET_GLYPHS[net.net_id % len(_NET_GLYPHS)]
+            for cell in net.cells:
+                rows[cell.y][cell.x] = glyph
+        for net in result.nets:
+            if net.pin is not None:
+                rows[net.pin.y][net.pin.x] = "@"
+    for valve in design.valves:
+        rows[valve.position.y][valve.position.x] = "V"
+    return "\n".join("".join(row) for row in rows)

@@ -1,0 +1,99 @@
+"""Standalone SVG rendering of routed solutions (no dependencies)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.result import PacorResult
+from repro.designs.design import Design
+
+_PALETTE = [
+    "#4e79a7",
+    "#f28e2b",
+    "#e15759",
+    "#76b7b2",
+    "#59a14f",
+    "#edc948",
+    "#b07aa1",
+    "#ff9da7",
+    "#9c755f",
+    "#bab0ac",
+]
+
+
+def render_svg(
+    design: Design,
+    result: Optional[PacorResult] = None,
+    *,
+    cell: int = 6,
+    flow=None,
+) -> str:
+    """Return an SVG document showing obstacles, valves, pins and channels.
+
+    Channels are drawn as one polyline per drawn segment chain; each net
+    gets a palette colour (cycled).  ``cell`` is the pixel size per grid
+    cell.  Pass a :class:`~repro.flowlayer.channels.FlowLayer` as
+    ``flow`` to draw the flow channels underneath in light blue (the
+    two-layer view of Fig. 1).
+    """
+    grid = design.grid
+    width = grid.width * cell
+    height = grid.height * cell
+
+    def centre(p) -> str:
+        return f"{p.x * cell + cell / 2:.1f},{p.y * cell + cell / 2:.1f}"
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="#ffffff"/>',
+    ]
+    if flow is not None:
+        for channel in flow.channels:
+            for p in channel.cells:
+                parts.append(
+                    f'<rect x="{p.x * cell}" y="{p.y * cell}" width="{cell}" '
+                    f'height="{cell}" fill="#bcd9f2"/>'
+                )
+    for p in grid.obstacle_cells():
+        if flow is not None and any(
+            p in c.cell_set() for c in flow.channels
+        ):
+            continue  # drawn as a flow cell already
+        parts.append(
+            f'<rect x="{p.x * cell}" y="{p.y * cell}" width="{cell}" '
+            f'height="{cell}" fill="#333333"/>'
+        )
+    if result is not None:
+        for net in result.nets:
+            colour = _PALETTE[net.net_id % len(_PALETTE)]
+            for a, b in sorted(net.segments):
+                parts.append(
+                    f'<line x1="{a.x * cell + cell / 2:.1f}" '
+                    f'y1="{a.y * cell + cell / 2:.1f}" '
+                    f'x2="{b.x * cell + cell / 2:.1f}" '
+                    f'y2="{b.y * cell + cell / 2:.1f}" '
+                    f'stroke="{colour}" stroke-width="{max(cell / 3, 1):.1f}" '
+                    f'stroke-linecap="round"/>'
+                )
+            if net.pin is not None:
+                parts.append(
+                    f'<circle cx="{net.pin.x * cell + cell / 2:.1f}" '
+                    f'cy="{net.pin.y * cell + cell / 2:.1f}" r="{cell / 2:.1f}" '
+                    f'fill="none" stroke="{colour}" stroke-width="1.5"/>'
+                )
+    for pin in design.control_pins:
+        parts.append(
+            f'<rect x="{pin.x * cell + cell / 4:.1f}" '
+            f'y="{pin.y * cell + cell / 4:.1f}" '
+            f'width="{cell / 2:.1f}" height="{cell / 2:.1f}" fill="#cccccc"/>'
+        )
+    for valve in design.valves:
+        p = valve.position
+        parts.append(
+            f'<circle cx="{p.x * cell + cell / 2:.1f}" '
+            f'cy="{p.y * cell + cell / 2:.1f}" r="{cell / 2.5:.1f}" '
+            f'fill="#d62728"/>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)

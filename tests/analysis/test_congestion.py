@@ -1,0 +1,61 @@
+"""Tests for congestion analysis."""
+
+import pytest
+
+from repro import run_pacor, s1, s3
+from repro.analysis.congestion import congestion_map, congestion_svg
+
+
+def test_tile_validation():
+    design = s1()
+    result = run_pacor(design)
+    with pytest.raises(ValueError):
+        congestion_map(design, result, tile=0)
+
+
+def test_map_dimensions():
+    design = s1()  # 12x12
+    result = run_pacor(design)
+    cmap = congestion_map(design, result, tile=8)
+    assert (cmap.tiles_x, cmap.tiles_y) == (2, 2)
+    assert set(cmap.occupancy) == {(0, 0), (1, 0), (0, 1), (1, 1)}
+
+
+def test_occupancy_in_unit_range():
+    design = s3()
+    result = run_pacor(design)
+    cmap = congestion_map(design, result, tile=8)
+    for value in cmap.occupancy.values():
+        assert 0.0 <= value <= 1.0
+    assert 0.0 < cmap.utilisation < 1.0
+
+
+def test_utilisation_counts_all_net_cells():
+    design = s1()
+    result = run_pacor(design)
+    cmap = congestion_map(design, result, tile=12)  # one tile
+    total_cells = sum(len(n.cells) for n in result.nets)
+    free = sum(
+        1
+        for c in design.grid.extent().cells()
+        if design.grid.is_free(c)
+    )
+    assert cmap.utilisation == pytest.approx(total_cells / free)
+
+
+def test_hotspots_sorted_desc():
+    design = s3()
+    result = run_pacor(design)
+    cmap = congestion_map(design, result, tile=8)
+    hot = cmap.hotspots(threshold=0.0)
+    values = [cmap.occupancy[t] for t in hot]
+    assert values == sorted(values, reverse=True)
+    assert cmap.max_occupancy() == (values[0] if values else 0.0)
+
+
+def test_svg_renders():
+    design = s3()
+    result = run_pacor(design)
+    svg = congestion_svg(design, result)
+    assert svg.startswith("<svg")
+    assert "rgb(255," in svg

@@ -1,0 +1,78 @@
+"""Tests for the pressure-propagation delay model."""
+
+import pytest
+
+from repro import run_pacor, s1, s3
+from repro.analysis import DelayModel, cluster_skews, worst_skew
+from repro.core import PacorConfig
+
+
+class TestDelayModel:
+    def test_default_is_quadratic(self):
+        model = DelayModel(tau0=1.0)
+        assert model.delay(0) == 0.0
+        assert model.delay(3) == 9.0
+        assert model.delay(10) == 100.0
+
+    def test_linear_limit(self):
+        model = DelayModel(tau0=2.0, alpha=1.0)
+        assert model.delay(5) == 10.0
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            DelayModel().delay(-1)
+
+    def test_monotone_in_length(self):
+        model = DelayModel()
+        delays = [model.delay(n) for n in range(20)]
+        assert delays == sorted(delays)
+
+
+class TestClusterSkews:
+    def test_matched_clusters_have_tiny_skew(self):
+        design = s1()
+        result = run_pacor(design)
+        model = DelayModel(tau0=1.0, alpha=1.0)
+        skews = cluster_skews(design, result, model)
+        assert skews  # S1 has two multi-valve clusters
+        for skew in skews:
+            if skew.matched:
+                # Linear model: skew == length mismatch <= delta.
+                assert skew.skew <= result.delta
+
+    def test_quadratic_model_amplifies_long_channels(self):
+        design = s3()
+        result = run_pacor(design)
+        linear = worst_skew(design, result, DelayModel(tau0=1.0, alpha=1.0))
+        quadratic = worst_skew(design, result, DelayModel(tau0=1.0, alpha=2.0))
+        # With channels longer than one unit, quadratic skew dominates.
+        assert quadratic >= linear
+
+    def test_arrival_per_valve(self):
+        design = s1()
+        result = run_pacor(design)
+        skews = cluster_skews(design, result)
+        for skew in skews:
+            net = next(n for n in result.nets if n.net_id == skew.net_id)
+            assert set(skew.arrival) == set(net.valve_ids)
+            assert all(t >= 0 for t in skew.arrival.values())
+
+    def test_matched_clusters_beat_unmatched_on_skew(self):
+        """The point of the paper: matching bounds switching skew."""
+        design = s3()
+        matched_result = run_pacor(design)
+        unmatched_result = run_pacor(design, PacorConfig(detour_stage="none"))
+        model = DelayModel(tau0=1.0, alpha=1.0)
+        matched_sk = worst_skew(design, matched_result, model, matched_only=True)
+        # Matched clusters are within delta=1 by construction.
+        assert matched_sk <= 1.0
+
+    def test_singletons_ignored(self):
+        design = s1()
+        result = run_pacor(design)
+        skews = cluster_skews(design, result)
+        net_ids = {s.net_id for s in skews}
+        singleton_nets = {
+            n.net_id for n in result.nets if len(n.valve_ids) == 1
+        }
+        assert not net_ids & singleton_nets

@@ -1,0 +1,83 @@
+"""Tests for wirelength lower bounds and the quality ratio."""
+
+import pytest
+
+from repro import run_pacor, s1, s3
+from repro.analysis.stats import (
+    design_lower_bounds,
+    escape_lower_bound,
+    quality_ratio,
+    steiner_lower_bound,
+)
+from repro.geometry import Point
+
+
+class TestSteinerLowerBound:
+    def test_degenerate(self):
+        assert steiner_lower_bound([]) == 0
+        assert steiner_lower_bound([Point(3, 3)]) == 0
+
+    def test_two_points_is_distance(self):
+        assert steiner_lower_bound([Point(0, 0), Point(4, 3)]) == 7
+
+    def test_collinear_points(self):
+        points = [Point(0, 0), Point(5, 0), Point(10, 0)]
+        assert steiner_lower_bound(points) == 10
+
+    def test_square_corners(self):
+        # RSMT of a 4x4 square's corners is 12; bound must not exceed it.
+        points = [Point(0, 0), Point(4, 0), Point(0, 4), Point(4, 4)]
+        bound = steiner_lower_bound(points)
+        assert 8 <= bound <= 12
+
+    def test_bound_never_exceeds_mst(self):
+        import random
+
+        rng = random.Random(5)
+        for _ in range(20):
+            points = [
+                Point(rng.randrange(30), rng.randrange(30)) for _ in range(6)
+            ]
+            points = list(dict.fromkeys(points))
+            from repro.routing.mst import manhattan_mst
+            from repro.geometry.point import manhattan
+
+            mst = sum(
+                manhattan(points[a], points[b])
+                for a, b in manhattan_mst(points)
+            )
+            assert steiner_lower_bound(points) <= mst
+
+
+class TestEscapeLowerBound:
+    def test_empty(self):
+        assert escape_lower_bound([], [Point(0, 0)]) == 0
+        assert escape_lower_bound([Point(1, 1)], []) == 0
+
+    def test_nearest_pin_wins(self):
+        points = [Point(5, 5)]
+        pins = [Point(0, 5), Point(9, 5), Point(5, 6)]
+        assert escape_lower_bound(points, pins) == 1
+
+
+class TestDesignBounds:
+    def test_s1_bounds_positive(self):
+        bounds = design_lower_bounds(s1())
+        assert bounds.total > 0
+        assert all(v >= 0 for v in bounds.internal.values())
+        assert all(v >= 0 for v in bounds.escape.values())
+
+    def test_actual_solution_respects_bound(self):
+        design = s1()
+        result = run_pacor(design)
+        assert result.completion_rate == 1.0
+        bounds = design_lower_bounds(design)
+        assert result.total_length >= bounds.total
+
+    def test_quality_ratio_at_least_one_when_complete(self):
+        design = s3()
+        result = run_pacor(design)
+        assert result.completion_rate == 1.0
+        ratio = quality_ratio(design, result)
+        assert ratio >= 1.0
+        assert ratio < 6.0  # sanity: not wildly wasteful

@@ -1,0 +1,134 @@
+"""Tests for the command-line front-end."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_route_s1(capsys):
+    assert main(["route", "S1", "--verify"]) == 0
+    out = capsys.readouterr().out
+    assert "S1" in out
+    assert "completion=100.0%" in out
+    assert "verification OK" in out
+
+
+def test_route_with_method(capsys):
+    assert main(["route", "S1", "--method", "w/o Sel"]) == 0
+    assert "w/o Sel" in capsys.readouterr().out
+
+
+def test_route_events_and_ascii(capsys):
+    assert main(["route", "S1", "--events", "--ascii"]) == 0
+    out = capsys.readouterr().out
+    assert "clustering" in out
+    assert "V" in out
+
+
+def test_route_svg_export(tmp_path, capsys):
+    svg_path = tmp_path / "s1.svg"
+    assert main(["route", "S1", "--svg", str(svg_path)]) == 0
+    assert svg_path.exists()
+    assert svg_path.read_text().startswith("<svg")
+
+
+def test_table1(capsys):
+    assert main(["table1", "--no-chips"]) == 0
+    out = capsys.readouterr().out
+    assert "S1" in out and "12x12" in out
+    assert "Chip1" not in out
+
+
+def test_table2_single_design(capsys):
+    assert main(["table2", "--designs", "S1"]) == 0
+    out = capsys.readouterr().out
+    assert "#Matched(PACOR)" in out
+    assert "S1" in out
+
+
+def test_generate_and_route_roundtrip(tmp_path, capsys):
+    out_file = tmp_path / "custom.json"
+    assert (
+        main(
+            [
+                "generate",
+                str(out_file),
+                "--width",
+                "25",
+                "--height",
+                "25",
+                "--cluster-sizes",
+                "2",
+                "3",
+                "--singletons",
+                "2",
+                "--pins",
+                "16",
+                "--obstacles",
+                "8",
+                "--seed",
+                "4",
+            ]
+        )
+        == 0
+    )
+    doc = json.loads(out_file.read_text())
+    assert doc["width"] == 25
+    capsys.readouterr()
+    assert main(["route", str(out_file), "--verify"]) == 0
+    assert "verification OK" in capsys.readouterr().out
+
+
+def test_unknown_design_errors():
+    with pytest.raises(ValueError):
+        main(["route", "S99"])
+
+
+def test_skew_command(capsys):
+    assert main(["skew", "S1"]) == 0
+    out = capsys.readouterr().out
+    assert "switching skew" in out
+    assert "quality ratio" in out
+
+
+def test_skew_command_linear_model(capsys):
+    assert main(["skew", "S1", "--alpha", "1.0", "--tau0", "1.0"]) == 0
+    out = capsys.readouterr().out
+    assert "alpha=1" in out
+
+
+def test_route_json_export(tmp_path, capsys):
+    out = tmp_path / "s1_result.json"
+    assert main(["route", "S1", "--json", str(out)]) == 0
+    doc = json.loads(out.read_text())
+    assert doc["summary"]["design"] == "S1"
+    assert doc["summary"]["completion"] == 1.0
+    assert len(doc["nets"]) >= 3
+    assert all("segments" in n for n in doc["nets"])
+
+
+def test_show_saved_results(tmp_path, capsys):
+    rows = [
+        {
+            "design": "S1",
+            "method": "PACOR",
+            "n_clusters": 2,
+            "matched_clusters": 2,
+            "total_matched_length": 14,
+            "total_length": 17,
+            "completion": 1.0,
+            "runtime_s": 0.01,
+        }
+    ]
+    path = tmp_path / "rows.json"
+    path.write_text(json.dumps(rows))
+    assert main(["show", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "PACOR" in out and "100%" in out

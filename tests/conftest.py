@@ -1,0 +1,23 @@
+"""Shared fixtures for the PACOR reproduction test suite."""
+
+import pytest
+
+from repro.grid import Occupancy, RoutingGrid
+
+
+@pytest.fixture
+def grid10():
+    """An empty 10x10 routing grid."""
+    return RoutingGrid(10, 10)
+
+
+@pytest.fixture
+def grid20():
+    """An empty 20x20 routing grid."""
+    return RoutingGrid(20, 20)
+
+
+@pytest.fixture
+def occupancy10(grid10):
+    """A fresh occupancy overlay on the 10x10 grid."""
+    return Occupancy(grid10)

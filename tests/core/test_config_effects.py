@@ -1,0 +1,101 @@
+"""Tests for less-travelled PacorConfig switches."""
+
+import pytest
+
+from repro import PacorConfig, PacorRouter, run_pacor
+from repro.analysis import verify_result
+from repro.designs import ClusterPlan, generate_design
+from repro.geometry import Point
+
+
+def make_design(seed=21):
+    return generate_design(
+        "cfg",
+        34,
+        34,
+        clusters=[ClusterPlan(3), ClusterPlan(2)],
+        n_singletons=2,
+        n_pins=24,
+        n_obstacles=12,
+        seed=seed,
+    )
+
+
+class TestMatchAllClusters:
+    def test_disabled_only_declared_groups_match(self):
+        # Two compatible singletons will be clustered together; with
+        # match_all_clusters=False that pair is ordinary (never matched).
+        from repro.designs import Design
+        from repro.grid import RoutingGrid
+        from repro.valves import ActivationSequence, Valve
+
+        grid = RoutingGrid(20, 20)
+        valves = [
+            Valve(0, Point(4, 10), ActivationSequence("00")),
+            Valve(1, Point(9, 10), ActivationSequence("00")),
+            Valve(2, Point(14, 10), ActivationSequence("11")),
+        ]
+        design = Design(
+            "pairless", grid, valves, lm_groups=[],
+            control_pins=[Point(0, 0), Point(19, 0), Point(0, 19)],
+        )
+        strict = PacorRouter(
+            design, PacorConfig(match_all_clusters=False)
+        ).run()
+        assert strict.matched_clusters == 0
+        assert all(n.matched is None for n in strict.nets)
+        default = PacorRouter(design, PacorConfig()).run()
+        assert default.n_lm_clusters == 1
+        assert default.matched_clusters == 1
+
+    def test_declared_groups_always_lm(self):
+        design = make_design()
+        result = run_pacor(design, PacorConfig(match_all_clusters=False))
+        lm_nets = [n for n in result.nets if n.length_matching]
+        declared = {frozenset(g) for g in design.lm_groups}
+        covered = {frozenset(n.valve_ids) for n in lm_nets}
+        assert covered <= declared | {
+            frozenset(g) for n in lm_nets for g in [n.valve_ids]
+        }
+        assert len(lm_nets) >= len(design.lm_groups) - 1  # de-clustering slack
+
+
+class TestBoundedSkewFlow:
+    def test_end_to_end_verifies(self):
+        design = make_design()
+        result = run_pacor(design, PacorConfig(bounded_skew_dme=True))
+        assert result.completion_rate == 1.0
+        verify_result(design, result)
+
+    def test_matched_quality_comparable(self):
+        design = make_design()
+        zero = run_pacor(design)
+        bounded = run_pacor(design, PacorConfig(bounded_skew_dme=True))
+        assert bounded.matched_clusters >= zero.matched_clusters - 1
+
+
+class TestRipupBudget:
+    def test_zero_ripup_rounds_still_completes_easy_designs(self):
+        design = make_design()
+        result = run_pacor(design, PacorConfig(max_ripup_rounds=0))
+        verify_result(design, result)
+        assert result.completion_rate == 1.0
+
+    def test_gamma_one_disables_negotiation_iterations(self):
+        design = make_design()
+        result = run_pacor(design, PacorConfig(gamma=1))
+        verify_result(design, result)
+        assert result.completion_rate == 1.0
+
+
+class TestDeltaOverride:
+    def test_generous_delta_matches_without_detours(self):
+        design = make_design()
+        result = run_pacor(design, PacorConfig(delta=50))
+        assert result.matched_clusters == result.n_lm_clusters
+        assert not any("detour" in e for e in result.events)
+
+    def test_delta_recorded_in_result(self):
+        design = make_design()
+        assert run_pacor(design, PacorConfig(delta=3)).delta == 3
+        assert run_pacor(design).delta == design.delta

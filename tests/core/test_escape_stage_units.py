@@ -1,0 +1,92 @@
+"""Unit tests for escape-stage bookkeeping in PacorRouter."""
+
+import pytest
+
+from repro.core.config import PacorConfig
+from repro.core.pacor import PacorRouter
+from repro.designs import Design
+from repro.geometry import Point
+from repro.grid import RoutingGrid
+from repro.routing import Path, astar_route
+from repro.valves import ActivationSequence, Valve
+
+
+def make_router():
+    grid = RoutingGrid(14, 14)
+    valves = [
+        Valve(0, Point(3, 7), ActivationSequence("00")),
+        Valve(1, Point(9, 7), ActivationSequence("00")),
+        Valve(2, Point(6, 3), ActivationSequence("11")),
+    ]
+    design = Design(
+        "esc",
+        grid,
+        valves,
+        lm_groups=[[0, 1]],
+        control_pins=[Point(0, 0), Point(13, 0), Point(0, 13), Point(13, 13)],
+    )
+    router = PacorRouter(design, PacorConfig())
+    clusters = router._stage_clustering()
+    router._stage_lm_routing(clusters)
+    return router
+
+
+def test_commit_escape_claims_new_cells_only():
+    router = make_router()
+    net = router.nets[0]
+    root = net.tree.root
+    before = set(router.occupancy.cells_of(0))
+    # A legal escape path: root to any pin, avoiding other nets.
+    path = astar_route(
+        router.grid,
+        [root],
+        router.design.control_pins,
+        net=0,
+        occupancy=router.occupancy,
+    )
+    assert path is not None
+    router._commit_escape(net, path, path.target)
+    after = set(router.occupancy.cells_of(0))
+    assert net.routed and net.pin == path.target
+    assert net.tree.escape_path == path
+    assert after == before | set(path.cells)
+
+
+def test_uncommit_escape_restores_internal_cells():
+    router = make_router()
+    net = router.nets[0]
+    internal = set(router.occupancy.cells_of(0))
+    path = astar_route(
+        router.grid,
+        [net.tree.root],
+        router.design.control_pins,
+        net=0,
+        occupancy=router.occupancy,
+    )
+    assert path is not None
+    router._commit_escape(net, path, path.target)
+    pending = set()
+    router._uncommit_escape(net, pending)
+    assert not net.routed and net.pin is None
+    assert net.tree.escape_path is None
+    assert set(router.occupancy.cells_of(0)) == internal
+    assert pending == {0}
+
+
+def test_full_escape_stage_routes_everything():
+    router = make_router()
+    router._stage_mst_routing()
+    router._stage_escape()
+    assert all(n.routed for n in router.nets.values())
+    pins = [n.pin for n in router.nets.values()]
+    assert len(pins) == len(set(pins))
+
+
+def test_escape_taps_match_kinds():
+    router = make_router()
+    for net in router.nets.values():
+        taps = router._escape_taps(net)
+        if net.tree is not None:
+            assert taps == (net.tree.root,)
+        else:
+            assert set(taps) == router.occupancy.cells_of(net.net_id)

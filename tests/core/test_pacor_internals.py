@@ -1,0 +1,147 @@
+"""Unit tests for PacorRouter's internal stages."""
+
+import pytest
+
+from repro.core.config import PacorConfig
+from repro.core.pacor import PacorRouter
+from repro.designs import Design, generate_design
+from repro.designs.generator import ClusterPlan
+from repro.geometry import Point
+from repro.grid import RoutingGrid
+from repro.valves import ActivationSequence, Valve
+
+
+def tiny_design():
+    grid = RoutingGrid(16, 16)
+    valves = [
+        Valve(0, Point(3, 8), ActivationSequence("00")),
+        Valve(1, Point(9, 8), ActivationSequence("00")),
+        Valve(2, Point(6, 3), ActivationSequence("11")),
+    ]
+    return Design(
+        name="tiny",
+        grid=grid,
+        valves=valves,
+        lm_groups=[[0, 1]],
+        control_pins=[Point(0, 0), Point(15, 0), Point(0, 15), Point(15, 15)],
+    )
+
+
+class TestClusteringStage:
+    def test_valve_cells_occupied_by_their_nets(self):
+        router = PacorRouter(tiny_design())
+        clusters = router._stage_clustering()
+        assert len(clusters) == 2
+        for cluster in clusters:
+            for valve in cluster.valves:
+                assert router.occupancy.owner(valve.position) == cluster.id
+
+    def test_net_kinds(self):
+        router = PacorRouter(tiny_design())
+        router._stage_clustering()
+        kinds = sorted(n.kind for n in router.nets.values())
+        assert kinds == ["lm-pair", "singleton"]
+
+
+class TestLmRouting:
+    def test_pair_routed_as_tree(self):
+        router = PacorRouter(tiny_design())
+        clusters = router._stage_clustering()
+        router._stage_lm_routing(clusters)
+        pair = next(n for n in router.nets.values() if n.kind == "lm-pair")
+        assert pair.tree is not None
+        assert pair.tree.mismatch() <= 1
+        # The routed channel covers both valves.
+        cells = router.occupancy.cells_of(pair.net_id)
+        assert Point(3, 8) in cells and Point(9, 8) in cells
+
+    def test_demote_releases_channels_keeps_valves(self):
+        router = PacorRouter(tiny_design())
+        clusters = router._stage_clustering()
+        router._stage_lm_routing(clusters)
+        pair = next(n for n in router.nets.values() if n.tree is not None)
+        before = router.occupancy.cells_of(pair.net_id)
+        assert len(before) > 2
+        router._demote_lm(pair, reason="test")
+        after = router.occupancy.cells_of(pair.net_id)
+        assert after == {Point(3, 8), Point(9, 8)}
+        assert pair.tree is None
+        assert pair.demoted
+        assert pair.kind == "ordinary"
+
+
+class TestEscapeTaps:
+    def test_tree_net_taps_at_root(self):
+        router = PacorRouter(tiny_design())
+        clusters = router._stage_clustering()
+        router._stage_lm_routing(clusters)
+        pair = next(n for n in router.nets.values() if n.tree is not None)
+        assert router._escape_taps(pair) == (pair.tree.root,)
+
+    def test_singleton_taps_at_valve(self):
+        router = PacorRouter(tiny_design())
+        router._stage_clustering()
+        single = next(n for n in router.nets.values() if n.kind == "singleton")
+        assert router._escape_taps(single) == (Point(6, 3),)
+
+    def test_ordinary_taps_are_all_cells(self):
+        router = PacorRouter(tiny_design())
+        clusters = router._stage_clustering()
+        router._stage_lm_routing(clusters)
+        pair = next(n for n in router.nets.values() if n.tree is not None)
+        router._demote_lm(pair, reason="test")
+        router._stage_mst_routing()
+        taps = router._escape_taps(pair)
+        assert set(taps) == router.occupancy.cells_of(pair.net_id)
+        assert len(taps) > 2
+
+
+class TestSpawnSingleton:
+    def test_ownership_transferred(self):
+        router = PacorRouter(tiny_design())
+        router._stage_clustering()
+        parent = next(n for n in router.nets.values() if n.kind == "lm-pair")
+        valve = parent.valves[1]
+        router._spawn_singleton(parent, valve)
+        new = router.nets[max(router.nets)]
+        assert new.valves == [valve]
+        assert new.origin_cluster == parent.origin_cluster
+        assert router.occupancy.owner(valve.position) == new.net_id
+
+    def test_joins_escape_pending_when_active(self):
+        router = PacorRouter(tiny_design())
+        router._stage_clustering()
+        parent = next(n for n in router.nets.values() if n.kind == "lm-pair")
+        pending = set()
+        router._escape_pending = pending
+        router._spawn_singleton(parent, parent.valves[1])
+        assert max(router.nets) in pending
+
+
+class TestFullRunBookkeeping:
+    def test_every_valve_in_exactly_one_net(self):
+        design = generate_design(
+            "bk",
+            30,
+            30,
+            clusters=[ClusterPlan(3), ClusterPlan(2)],
+            n_singletons=3,
+            n_pins=20,
+            n_obstacles=10,
+            seed=13,
+        )
+        result = PacorRouter(design).run()
+        seen = sorted(v for n in result.nets for v in n.valve_ids)
+        assert seen == sorted(v.id for v in design.valves)
+
+    def test_occupancy_matches_reported_cells(self):
+        design = tiny_design()
+        router = PacorRouter(design)
+        result = router.run()
+        for net in result.nets:
+            assert net.cells == frozenset(router.occupancy.cells_of(net.net_id))
+
+    def test_method_name_recorded(self):
+        router = PacorRouter(tiny_design())
+        router._method_name = "custom"
+        assert router.run().method == "custom"

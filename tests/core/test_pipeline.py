@@ -1,0 +1,166 @@
+"""End-to-end integration tests of the PACOR flow (Fig. 2)."""
+
+import pytest
+
+from repro import (
+    PacorConfig,
+    PacorRouter,
+    design_by_name,
+    generate_design,
+    run_detour_first,
+    run_method,
+    run_pacor,
+    run_without_selection,
+)
+from repro.analysis import verify_result
+from repro.core import METHODS
+from repro.designs import ClusterPlan
+
+
+@pytest.fixture(scope="module")
+def s1_design():
+    return design_by_name("S1")
+
+
+@pytest.fixture(scope="module")
+def s3_design():
+    return design_by_name("S3")
+
+
+class TestPacorOnSuite:
+    def test_s1_full_completion_and_matching(self, s1_design):
+        result = run_pacor(s1_design)
+        assert result.completion_rate == 1.0
+        assert result.matched_clusters == result.n_lm_clusters == 2
+        verify_result(s1_design, result)
+
+    def test_s3_full_completion(self, s3_design):
+        result = run_pacor(s3_design)
+        assert result.completion_rate == 1.0
+        assert result.matched_clusters >= 4
+        verify_result(s3_design, result)
+
+    def test_every_routed_net_has_distinct_pin(self, s3_design):
+        result = run_pacor(s3_design)
+        pins = [n.pin for n in result.nets if n.routed]
+        assert len(pins) == len(set(pins))
+
+    def test_method_names(self, s1_design):
+        assert run_pacor(s1_design).method == "PACOR"
+        assert run_without_selection(s1_design).method == "w/o Sel"
+        assert run_detour_first(s1_design).method == "Detour First"
+
+    def test_run_method_dispatch(self, s1_design):
+        for name in METHODS:
+            result = run_method(s1_design, name)
+            assert result.method == name
+
+    def test_run_method_unknown(self, s1_design):
+        with pytest.raises(ValueError):
+            run_method(s1_design, "Gurobi")
+
+    def test_determinism(self, s3_design):
+        a = run_pacor(design_by_name("S3"))
+        b = run_pacor(design_by_name("S3"))
+        assert a.total_length == b.total_length
+        assert a.matched_clusters == b.matched_clusters
+        assert [n.pin for n in a.nets] == [n.pin for n in b.nets]
+
+    def test_events_logged(self, s1_design):
+        result = run_pacor(s1_design)
+        assert any("clustering" in e for e in result.events)
+        assert any("escape" in e for e in result.events)
+
+
+class TestPacorConfigEffects:
+    def test_selection_disabled_in_baseline(self, s3_design):
+        result = run_without_selection(s3_design)
+        assert any("selection: disabled" in e for e in result.events)
+
+    def test_selection_enabled_in_pacor(self, s3_design):
+        result = run_pacor(s3_design)
+        assert any("selection: exact" in e for e in result.events)
+
+    def test_alternative_selection_solvers(self, s3_design):
+        for solver in ("greedy", "local"):
+            result = run_pacor(
+                s3_design, PacorConfig(selection_solver=solver)
+            )
+            assert result.completion_rate == 1.0
+
+    def test_detour_none_may_reduce_matching(self, s3_design):
+        result = PacorRouter(
+            s3_design, PacorConfig(detour_stage="none")
+        ).run()
+        full = run_pacor(s3_design)
+        assert result.matched_clusters <= full.matched_clusters
+
+    def test_delta_zero_is_harder(self, s3_design):
+        strict = run_pacor(s3_design, PacorConfig(delta=0))
+        loose = run_pacor(s3_design, PacorConfig(delta=5))
+        assert strict.matched_clusters <= loose.matched_clusters
+
+    def test_k_candidates_one_still_routes(self, s3_design):
+        result = run_pacor(s3_design, PacorConfig(k_candidates=1))
+        assert result.completion_rate == 1.0
+
+
+class TestSmallCustomDesigns:
+    def test_design_without_lm_groups(self):
+        design = generate_design(
+            "nolm",
+            20,
+            20,
+            clusters=[],
+            n_singletons=4,
+            n_pins=12,
+            n_obstacles=5,
+            seed=3,
+        )
+        result = run_pacor(design)
+        assert result.n_lm_clusters == 0
+        assert result.matched_clusters == 0
+        assert result.completion_rate == 1.0
+        verify_result(design, result)
+
+    def test_single_large_cluster(self):
+        design = generate_design(
+            "big",
+            40,
+            40,
+            clusters=[ClusterPlan(6)],
+            n_singletons=0,
+            n_pins=20,
+            n_obstacles=0,
+            seed=5,
+        )
+        result = run_pacor(design)
+        assert result.completion_rate == 1.0
+        verify_result(design, result)
+        net = result.nets[0]
+        assert net.routed
+        if net.matched:
+            assert net.mismatch <= design.delta
+
+    def test_crowded_design_verifies(self):
+        design = generate_design(
+            "crowded",
+            30,
+            30,
+            clusters=[ClusterPlan(2)] * 4,
+            n_singletons=3,
+            n_pins=24,
+            n_obstacles=40,
+            seed=9,
+        )
+        result = run_pacor(design)
+        verify_result(design, result)
+        assert result.completion_rate == 1.0
+
+    def test_sink_lengths_within_delta_for_matched(self):
+        design = design_by_name("S4")
+        result = run_pacor(design)
+        for net in result.nets:
+            if net.matched:
+                values = list(net.sink_lengths.values())
+                assert max(values) - min(values) <= result.delta

@@ -1,0 +1,124 @@
+"""Tests for NetReport/PacorResult metrics (Table-2 aggregates)."""
+
+import pytest
+
+from repro.core.result import NetReport, PacorResult, segments_of_path
+from repro.geometry import Point
+
+
+def report(net_id, origin, valves, lm, routed, matched=None, length=0, pin=None):
+    return NetReport(
+        net_id=net_id,
+        origin_cluster=origin,
+        valve_ids=valves,
+        length_matching=lm,
+        routed=routed,
+        matched=matched,
+        channel_length=length,
+        pin=pin,
+    )
+
+
+def make_result(nets, n_valves=6, n_lm=2):
+    return PacorResult(
+        design_name="T",
+        method="PACOR",
+        delta=1,
+        n_valves=n_valves,
+        n_lm_clusters=n_lm,
+        nets=nets,
+    )
+
+
+def test_segments_of_path_normalised():
+    segs = segments_of_path([Point(1, 0), Point(0, 0), Point(0, 1)])
+    assert segs == [(Point(0, 0), Point(1, 0)), (Point(0, 0), Point(0, 1))]
+
+
+def test_matched_clusters_counts_only_intact_matched():
+    nets = [
+        report(0, 0, [0, 1], True, True, matched=True, length=10),
+        report(1, 1, [2, 3], True, True, matched=False, length=8),
+        report(2, 2, [4], False, True, length=3),
+    ]
+    result = make_result(nets)
+    assert result.matched_clusters == 1
+    assert result.total_matched_length == 10
+    assert result.total_length == 21
+
+
+def test_declustered_lm_cluster_never_matched():
+    # Origin cluster 0 split into two nets: cannot count as matched.
+    nets = [
+        report(0, 0, [0], True, True, matched=None, length=4),
+        report(5, 0, [1], True, True, matched=None, length=4),
+    ]
+    result = make_result(nets, n_valves=2, n_lm=1)
+    assert result.matched_clusters == 0
+
+
+def test_completion_rate():
+    nets = [
+        report(0, 0, [0, 1], True, True, matched=True, length=9),
+        report(1, 1, [2], False, False),
+    ]
+    result = make_result(nets, n_valves=3)
+    assert result.routed_valves == 2
+    assert result.completion_rate == pytest.approx(2 / 3)
+
+
+def test_completion_rate_empty_design():
+    result = make_result([], n_valves=0)
+    assert result.completion_rate == 1.0
+
+
+def test_unrouted_net_contributes_no_length():
+    nets = [report(0, 0, [0, 1], True, False, matched=False, length=0)]
+    result = make_result(nets)
+    assert result.total_length == 0
+
+
+def test_pins_used():
+    nets = [
+        report(0, 0, [0], False, True, length=2, pin=Point(0, 0)),
+        report(1, 1, [1], False, False),
+    ]
+    result = make_result(nets, n_valves=2)
+    assert result.pins_used == 1
+
+
+def test_summary_row_keys():
+    result = make_result([])
+    row = result.summary_row()
+    assert set(row) == {
+        "design",
+        "method",
+        "n_clusters",
+        "matched_clusters",
+        "total_matched_length",
+        "total_length",
+        "completion",
+        "runtime_s",
+    }
+
+
+def test_lm_cluster_count():
+    nets = [
+        report(0, 0, [0, 1], True, True, matched=True),
+        report(1, 1, [2, 3], True, True, matched=True),
+        report(2, 2, [4], False, True),
+    ]
+    assert make_result(nets).lm_cluster_count() == 2
+
+
+def test_to_json_roundtrips_through_json_module():
+    import json
+
+    from repro import run_pacor, s1
+
+    result = run_pacor(s1())
+    doc = json.loads(json.dumps(result.to_json()))
+    assert doc["summary"]["matched_clusters"] == result.matched_clusters
+    assert doc["delta"] == result.delta
+    net_doc = doc["nets"][0]
+    assert set(net_doc) >= {"net_id", "cells", "segments", "routed", "pin"}

@@ -1,0 +1,125 @@
+"""Tests for the Design model and its validation."""
+
+import pytest
+
+from repro.designs import Design
+from repro.geometry import Point
+from repro.grid import RoutingGrid
+from repro.valves import ActivationSequence, Valve
+
+
+def valve(vid, x, y, seq="01"):
+    return Valve(vid, Point(x, y), ActivationSequence(seq))
+
+
+def make_design(**overrides):
+    grid = RoutingGrid(10, 10)
+    base = dict(
+        name="T",
+        grid=grid,
+        valves=[valve(0, 2, 2), valve(1, 5, 5)],
+        lm_groups=[[0, 1]],
+        control_pins=[Point(0, 0)],
+        delta=1,
+    )
+    base.update(overrides)
+    return Design(**base)
+
+
+def test_valid_design_passes():
+    make_design().validate()
+
+
+def test_duplicate_valve_ids_rejected():
+    d = make_design(valves=[valve(0, 2, 2), valve(0, 3, 3)], lm_groups=[])
+    with pytest.raises(ValueError, match="duplicate"):
+        d.validate()
+
+
+def test_shared_valve_cell_rejected():
+    d = make_design(valves=[valve(0, 2, 2), valve(1, 2, 2)], lm_groups=[])
+    with pytest.raises(ValueError, match="share"):
+        d.validate()
+
+
+def test_valve_on_obstacle_rejected():
+    d = make_design()
+    d.grid.set_obstacle(Point(2, 2))
+    with pytest.raises(ValueError, match="obstacle"):
+        d.validate()
+
+
+def test_lm_group_of_one_rejected():
+    d = make_design(lm_groups=[[0]])
+    with pytest.raises(ValueError, match="two valves"):
+        d.validate()
+
+
+def test_lm_group_unknown_valve_rejected():
+    d = make_design(lm_groups=[[0, 99]])
+    with pytest.raises(ValueError, match="references"):
+        d.validate()
+
+
+def test_lm_group_overlap_rejected():
+    grid = RoutingGrid(10, 10)
+    d = make_design(
+        grid=grid,
+        valves=[valve(0, 2, 2), valve(1, 5, 5), valve(2, 7, 7)],
+        lm_groups=[[0, 1], [1, 2]],
+    )
+    with pytest.raises(ValueError, match="two length-matching"):
+        d.validate()
+
+
+def test_pin_on_obstacle_rejected():
+    d = make_design()
+    d.grid.set_obstacle(Point(0, 0))
+    with pytest.raises(ValueError, match="pin"):
+        d.validate()
+
+
+def test_pin_on_valve_rejected():
+    d = make_design(control_pins=[Point(2, 2)])
+    with pytest.raises(ValueError, match="coincides"):
+        d.validate()
+
+
+def test_negative_delta_rejected():
+    d = make_design(delta=-1)
+    with pytest.raises(ValueError, match="delta"):
+        d.validate()
+
+
+def test_stats_and_size_label():
+    d = make_design()
+    d.grid.set_obstacle(Point(9, 9))
+    stats = d.stats()
+    assert stats["design"] == "T"
+    assert stats["size"] == "10x10"
+    assert d.size_label == "10x10"
+    assert stats["n_valves"] == 2
+    assert stats["n_control_pins"] == 1
+    assert stats["n_obstacles"] == 1
+
+
+def test_valve_by_id():
+    d = make_design()
+    table = d.valve_by_id()
+    assert table[0].position == Point(2, 2)
+    assert table[1].position == Point(5, 5)
+
+
+def test_mixed_sequence_lengths_rejected():
+    grid = RoutingGrid(10, 10)
+    d = Design(
+        name="T",
+        grid=grid,
+        valves=[
+            Valve(0, Point(2, 2), ActivationSequence("01")),
+            Valve(1, Point(5, 5), ActivationSequence("011")),
+        ],
+        control_pins=[Point(0, 0)],
+    )
+    with pytest.raises(ValueError, match="mixed lengths"):
+        d.validate()

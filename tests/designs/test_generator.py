@@ -1,0 +1,114 @@
+"""Tests for the synthetic design generator."""
+
+import pytest
+
+from repro.designs import ClusterPlan, generate_design
+from repro.designs.generator import _base_sequences
+from repro.valves import cluster_valves
+
+
+def small_design(seed=7, **overrides):
+    params = dict(
+        clusters=[ClusterPlan(2), ClusterPlan(3)],
+        n_singletons=2,
+        n_pins=10,
+        n_obstacles=6,
+        seed=seed,
+    )
+    params.update(overrides)
+    return generate_design("G", 30, 30, **params)
+
+
+def test_cluster_plan_validates_size():
+    with pytest.raises(ValueError):
+        ClusterPlan(1)
+
+
+def test_base_sequences_pairwise_incompatible():
+    seqs = _base_sequences(8, 10)
+    assert len(seqs) == 8
+    for i, a in enumerate(seqs):
+        for b in seqs[i + 1 :]:
+            assert not a.compatible(b)
+
+
+def test_base_sequences_capacity_check():
+    with pytest.raises(ValueError):
+        _base_sequences(5, 2)
+
+
+def test_generated_design_validates():
+    design = small_design()
+    design.validate()
+
+
+def test_generated_counts():
+    design = small_design()
+    assert len(design.valves) == 2 + 3 + 2
+    assert len(design.lm_groups) == 2
+    assert sorted(len(g) for g in design.lm_groups) == [2, 3]
+    assert len(design.control_pins) == 10
+    assert design.grid.obstacle_count() == 6
+
+
+def test_determinism():
+    a = small_design(seed=11)
+    b = small_design(seed=11)
+    assert [v.position for v in a.valves] == [v.position for v in b.valves]
+    assert a.control_pins == b.control_pins
+    assert set(a.grid.obstacle_cells()) == set(b.grid.obstacle_cells())
+
+
+def test_different_seeds_differ():
+    a = small_design(seed=11)
+    b = small_design(seed=12)
+    assert [v.position for v in a.valves] != [v.position for v in b.valves]
+
+
+def test_pins_on_boundary_and_free():
+    design = small_design()
+    for pin in design.control_pins:
+        assert design.grid.is_boundary(pin)
+        assert design.grid.is_free(pin)
+
+
+def test_cluster_members_are_colocated():
+    design = small_design()
+    by_id = design.valve_by_id()
+    for group in design.lm_groups:
+        positions = [by_id[v].position for v in group]
+        for a in positions:
+            for b in positions:
+                assert a.manhattan(b) <= 4 * (3 * len(group))
+
+
+def test_clustering_recovers_planned_clusters():
+    """The clustering stage must reproduce exactly the planned groups."""
+    design = small_design()
+    clusters = cluster_valves(design.valves, design.lm_groups)
+    multi = [c for c in clusters if c.size >= 2]
+    singles = [c for c in clusters if c.size == 1]
+    assert len(multi) == 2
+    assert len(singles) == 2
+    lm_ids = {frozenset(g) for g in design.lm_groups}
+    assert {frozenset(c.valve_ids()) for c in multi} == lm_ids
+
+
+def test_obstacle_margin_keeps_boundary_clear():
+    design = small_design(n_obstacles=40)
+    for p in design.grid.boundary_cells():
+        assert not design.grid.is_obstacle(p)
+
+
+def test_too_many_pins_rejected():
+    with pytest.raises(ValueError):
+        generate_design(
+            "tiny",
+            6,
+            6,
+            clusters=[],
+            n_singletons=1,
+            n_pins=100,
+            n_obstacles=0,
+            seed=1,
+        )

@@ -1,0 +1,74 @@
+"""Tests for design JSON round-tripping."""
+
+import json
+
+import pytest
+
+from repro.designs import (
+    design_from_json,
+    design_to_json,
+    load_design,
+    s1,
+    save_design,
+)
+
+
+def test_roundtrip_in_memory():
+    design = s1()
+    doc = design_to_json(design)
+    rebuilt = design_from_json(doc)
+    assert rebuilt.name == design.name
+    assert rebuilt.grid.width == design.grid.width
+    assert rebuilt.grid.height == design.grid.height
+    assert set(rebuilt.grid.obstacle_cells()) == set(design.grid.obstacle_cells())
+    assert [v.id for v in rebuilt.valves] == [v.id for v in design.valves]
+    assert [v.position for v in rebuilt.valves] == [
+        v.position for v in design.valves
+    ]
+    assert [v.sequence for v in rebuilt.valves] == [
+        v.sequence for v in design.valves
+    ]
+    assert rebuilt.lm_groups == design.lm_groups
+    assert rebuilt.control_pins == design.control_pins
+    assert rebuilt.delta == design.delta
+
+
+def test_roundtrip_on_disk(tmp_path):
+    design = s1()
+    path = tmp_path / "s1.json"
+    save_design(design, path)
+    rebuilt = load_design(path)
+    assert rebuilt.name == design.name
+    assert len(rebuilt.valves) == len(design.valves)
+
+
+def test_json_document_is_plain(tmp_path):
+    design = s1()
+    path = tmp_path / "s1.json"
+    save_design(design, path)
+    with open(path) as handle:
+        doc = json.load(handle)
+    assert doc["name"] == "S1"
+    assert isinstance(doc["valves"][0]["sequence"], str)
+    assert isinstance(doc["obstacles"], list)
+
+
+def test_from_json_validates():
+    doc = design_to_json(s1())
+    doc["valves"][0]["x"] = doc["valves"][1]["x"]
+    doc["valves"][0]["y"] = doc["valves"][1]["y"]
+    with pytest.raises(ValueError):
+        design_from_json(doc)
+
+
+def test_defaults_for_optional_fields():
+    doc = {
+        "name": "mini",
+        "width": 5,
+        "height": 5,
+        "valves": [{"id": 0, "x": 2, "y": 2, "sequence": "01"}],
+    }
+    design = design_from_json(doc)
+    assert design.lm_groups == []
+    assert design.control_pins == []
+    assert design.delta == 1

@@ -1,0 +1,90 @@
+"""Tests for design perturbation utilities."""
+
+import pytest
+
+from repro.designs import s3
+from repro.designs.perturb import (
+    add_obstacle_noise,
+    jitter_valves,
+    perturbation_family,
+)
+
+
+def test_jitter_returns_valid_independent_copy():
+    base = s3()
+    jittered = jitter_valves(base, seed=1)
+    jittered.validate()
+    # Original untouched.
+    assert [v.position for v in s3().valves] == [v.position for v in base.valves]
+    assert len(jittered.valves) == len(base.valves)
+    assert [v.id for v in jittered.valves] == [v.id for v in base.valves]
+
+
+def test_jitter_moves_some_valves():
+    base = s3()
+    jittered = jitter_valves(base, seed=1, fraction=1.0)
+    moved = sum(
+        1
+        for a, b in zip(base.valves, jittered.valves)
+        if a.position != b.position
+    )
+    assert moved >= 1
+
+
+def test_jitter_respects_spacing():
+    jittered = jitter_valves(s3(), seed=3, fraction=1.0)
+    positions = [v.position for v in jittered.valves]
+    for i, a in enumerate(positions):
+        for b in positions[i + 1 :]:
+            assert a.manhattan(b) >= 2
+
+
+def test_jitter_zero_shift_is_identity():
+    base = s3()
+    same = jitter_valves(base, max_shift=0, seed=5)
+    assert [v.position for v in same.valves] == [v.position for v in base.valves]
+
+
+def test_jitter_parameter_validation():
+    with pytest.raises(ValueError):
+        jitter_valves(s3(), max_shift=-1)
+    with pytest.raises(ValueError):
+        jitter_valves(s3(), fraction=2.0)
+
+
+def test_obstacle_noise_adds_exactly_n():
+    base = s3()
+    noisy = add_obstacle_noise(base, n_cells=12, seed=2)
+    assert noisy.grid.obstacle_count() == base.grid.obstacle_count() + 12
+    noisy.validate()
+
+
+def test_obstacle_noise_keeps_margin_to_valves():
+    noisy = add_obstacle_noise(s3(), n_cells=20, seed=4, margin=2)
+    valve_cells = {v.position for v in noisy.valves}
+    for cell in noisy.grid.obstacle_cells():
+        assert all(cell.manhattan(v) > 2 for v in valve_cells)
+
+
+def test_obstacle_noise_validation():
+    with pytest.raises(ValueError):
+        add_obstacle_noise(s3(), n_cells=-1)
+
+
+def test_family_is_deterministic_and_distinct():
+    a = perturbation_family(s3(), count=3, seed=50)
+    b = perturbation_family(s3(), count=3, seed=50)
+    for x, y in zip(a, b):
+        assert [v.position for v in x.valves] == [v.position for v in y.valves]
+    names = [d.name for d in a]
+    assert len(set(names)) == 3
+
+
+def test_perturbed_designs_still_route():
+    from repro.core import run_pacor
+    from repro.analysis import verify_result
+
+    for variant in perturbation_family(s3(), count=2, seed=60):
+        result = run_pacor(variant)
+        verify_result(variant, result)
+        assert result.completion_rate == 1.0

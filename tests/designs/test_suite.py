@@ -1,0 +1,70 @@
+"""Tests for the Table-1 benchmark suite (parameters must match the paper)."""
+
+import pytest
+
+from repro.designs import TABLE1_PARAMETERS, design_by_name, s1, table1_suite
+from repro.valves import cluster_valves
+
+EXPECTED_CLUSTERS = {
+    "Chip1": 40,
+    "Chip2": 22,
+    "S1": 2,
+    "S2": 2,
+    "S3": 5,
+    "S4": 7,
+    "S5": 13,
+}
+
+
+@pytest.mark.parametrize("name", ["S1", "S2", "S3", "S4", "S5"])
+def test_synthetic_design_matches_table1(name):
+    design = design_by_name(name)
+    params = TABLE1_PARAMETERS[name]
+    assert (design.grid.width, design.grid.height) == params["size"]
+    assert len(design.valves) == params["n_valves"]
+    assert len(design.control_pins) == params["n_pins"]
+    assert design.grid.obstacle_count() == params["n_obs"]
+    assert design.delta == 1
+    design.validate()
+
+
+@pytest.mark.parametrize("name", ["S1", "S2", "S3", "S4", "S5"])
+def test_cluster_counts_match_table2(name):
+    design = design_by_name(name)
+    clusters = cluster_valves(design.valves, design.lm_groups)
+    multi = [c for c in clusters if c.size >= 2]
+    assert len(multi) == EXPECTED_CLUSTERS[name]
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", ["Chip1", "Chip2"])
+def test_chip_designs_match_table1(name):
+    design = design_by_name(name)
+    params = TABLE1_PARAMETERS[name]
+    assert (design.grid.width, design.grid.height) == params["size"]
+    assert len(design.valves) == params["n_valves"]
+    assert len(design.control_pins) == params["n_pins"]
+    assert design.grid.obstacle_count() == params["n_obs"]
+    clusters = cluster_valves(design.valves, design.lm_groups)
+    multi = [c for c in clusters if c.size >= 2]
+    assert len(multi) == EXPECTED_CLUSTERS[name]
+    design.validate()
+
+
+def test_chip2_has_only_two_valve_clusters():
+    design = design_by_name("Chip2")
+    assert all(len(g) == 2 for g in design.lm_groups)
+
+
+def test_unknown_design_name():
+    with pytest.raises(ValueError):
+        design_by_name("Chip9")
+
+
+def test_suite_without_chips():
+    suite = table1_suite(include_chips=False)
+    assert [d.name for d in suite] == ["S1", "S2", "S3", "S4", "S5"]
+
+
+def test_suite_determinism():
+    assert [v.position for v in s1().valves] == [v.position for v in s1().valves]

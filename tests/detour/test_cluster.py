@@ -1,0 +1,124 @@
+"""Tests for the routed-tree model of length-matching clusters."""
+
+import pytest
+
+from repro.detour import RoutedTree, routed_tree_from_pair
+from repro.detour.cluster import routed_tree_from_candidate
+from repro.dme.tree import CandidateTree, TopologyNode
+from repro.geometry import Point
+from repro.routing import Path
+
+
+def straight(a, b):
+    """A straight path between two collinear points."""
+    (ax, ay), (bx, by) = a, b
+    cells = []
+    if ay == by:
+        step = 1 if bx >= ax else -1
+        cells = [Point(x, ay) for x in range(ax, bx + step, step)]
+    else:
+        step = 1 if by >= ay else -1
+        cells = [Point(ax, y) for y in range(ay, by + step, step)]
+    return Path(cells)
+
+
+class TestRoutedTreeFromPair:
+    def test_even_length_split(self):
+        path = straight((0, 0), (4, 0))
+        tree = routed_tree_from_pair(5, path)
+        assert tree.cluster_id == 5
+        assert tree.root == Point(2, 0)
+        assert tree.full_length(0) == 2
+        assert tree.full_length(1) == 2
+        assert tree.mismatch() == 0
+
+    def test_odd_length_split_off_by_one(self):
+        path = straight((0, 0), (5, 0))
+        tree = routed_tree_from_pair(1, path)
+        lengths = tree.full_lengths()
+        assert sorted(lengths.values()) == [2, 3]
+        assert tree.mismatch() == 1
+
+    def test_edges_run_child_to_parent(self):
+        path = straight((0, 0), (4, 0))
+        tree = routed_tree_from_pair(0, path)
+        assert tree.edge_paths[0].source == Point(0, 0)
+        assert tree.edge_paths[0].target == tree.root
+        assert tree.edge_paths[1].source == Point(4, 0)
+        assert tree.edge_paths[1].target == tree.root
+
+    def test_all_cells_union(self):
+        path = straight((0, 0), (4, 0))
+        tree = routed_tree_from_pair(0, path)
+        assert tree.all_cells() == set(path.cells)
+
+    def test_escape_path_adds_to_all_sinks(self):
+        path = straight((0, 0), (4, 0))
+        tree = routed_tree_from_pair(0, path)
+        before = tree.full_lengths()
+        tree.escape_path = straight((2, 0), (2, 5))
+        after = tree.full_lengths()
+        assert all(after[s] == before[s] + 5 for s in before)
+        assert tree.mismatch() == 0
+        assert tree.total_length() == 4 + 5
+
+
+class TestRoutedTreeFromCandidate:
+    def make_candidate(self):
+        leaf_a = TopologyNode(sink=0, position=Point(0, 0))
+        leaf_b = TopologyNode(sink=1, position=Point(4, 0))
+        leaf_c = TopologyNode(sink=2, position=Point(0, 4))
+        leaf_d = TopologyNode(sink=3, position=Point(4, 4))
+        m1 = TopologyNode(children=[leaf_a, leaf_b], position=Point(2, 0))
+        m2 = TopologyNode(children=[leaf_c, leaf_d], position=Point(2, 4))
+        root = TopologyNode(children=[m1, m2], position=Point(2, 2))
+        return CandidateTree(9, root)
+
+    def routed(self):
+        tree = self.make_candidate()
+        edges = tree.edges()
+        paths = {}
+        for idx, edge in enumerate(edges):
+            if edge.parent.x == edge.child.x or edge.parent.y == edge.child.y:
+                paths[idx] = straight(edge.child, edge.parent)
+            else:
+                raise AssertionError("unexpected non-straight edge")
+        return tree, routed_tree_from_candidate(tree, paths)
+
+    def test_sequences_are_leaf_first(self):
+        candidate, routed = self.routed()
+        for sink, seq in routed.sequences.items():
+            assert len(seq) == 2
+            first = routed.edge_paths[seq[0]]
+            # The first path of the sequence touches the sink's position.
+            sink_pos = candidate.sink_positions()[sink]
+            assert first.source == sink_pos
+            last = routed.edge_paths[seq[1]]
+            assert last.target == routed.root
+
+    def test_full_lengths_balanced(self):
+        _, routed = self.routed()
+        lengths = routed.full_lengths()
+        assert set(lengths.values()) == {4}
+        assert routed.mismatch() == 0
+
+    def test_missing_edge_path_rejected(self):
+        tree = self.make_candidate()
+        with pytest.raises(ValueError):
+            routed_tree_from_candidate(tree, {0: straight((0, 0), (2, 0))})
+
+    def test_reversed_input_paths_normalised(self):
+        tree = self.make_candidate()
+        edges = tree.edges()
+        paths = {
+            idx: straight(edge.parent, edge.child)  # deliberately reversed
+            for idx, edge in enumerate(edges)
+        }
+        routed = routed_tree_from_candidate(tree, paths)
+        for sink, seq in routed.sequences.items():
+            sink_pos = tree.sink_positions()[sink]
+            assert routed.edge_paths[seq[0]].source == sink_pos
+
+    def test_total_length(self):
+        _, routed = self.routed()
+        assert routed.total_length() == 4 * 2 + 2 * 2  # 4 leaf edges + 2 spines

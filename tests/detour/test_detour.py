@@ -1,0 +1,149 @@
+"""Tests for Algorithm 2: check_equal and detour_cluster."""
+
+import pytest
+
+from repro.detour import check_equal, detour_cluster, routed_tree_from_pair
+from repro.detour.cluster import RoutedTree
+from repro.geometry import Point
+from repro.grid import Occupancy, RoutingGrid
+from repro.routing import Path
+
+
+def straight(a, b):
+    (ax, ay), (bx, by) = a, b
+    if ay == by:
+        step = 1 if bx >= ax else -1
+        return Path([Point(x, ay) for x in range(ax, bx + step, step)])
+    step = 1 if by >= ay else -1
+    return Path([Point(ax, y) for y in range(ay, by + step, step)])
+
+
+def unbalanced_tree(cluster_id=1):
+    """Two sinks joined at a root that is closer to sink 0."""
+    return RoutedTree(
+        cluster_id=cluster_id,
+        edge_paths={0: straight((2, 5), (4, 5)), 1: straight((10, 5), (4, 5))},
+        sequences={0: [0], 1: [1]},
+        root=Point(4, 5),
+    )
+
+
+class TestCheckEqual:
+    def test_balanced_tree_equal(self):
+        tree = routed_tree_from_pair(0, straight((0, 0), (4, 0)))
+        equal, max_length, shorts = check_equal(tree, delta=0)
+        assert equal
+        assert max_length == 2
+        assert shorts == []
+
+    def test_unbalanced_tree_reports_short_sink(self):
+        tree = unbalanced_tree()
+        equal, max_length, shorts = check_equal(tree, delta=1)
+        assert not equal
+        assert max_length == 6
+        assert shorts == [0]
+
+    def test_delta_window_tolerates_small_spread(self):
+        tree = routed_tree_from_pair(0, straight((0, 0), (5, 0)))  # 2 vs 3
+        equal, _, _ = check_equal(tree, delta=1)
+        assert equal
+        equal0, _, shorts0 = check_equal(tree, delta=0)
+        assert not equal0
+        assert len(shorts0) == 1
+
+
+class TestDetourCluster:
+    def test_already_matched_is_noop(self):
+        grid = RoutingGrid(20, 20)
+        occupancy = Occupancy(grid)
+        tree = routed_tree_from_pair(1, straight((0, 0), (4, 0)))
+        occupancy.occupy(tree.all_cells(), 1)
+        result = detour_cluster(grid, occupancy, tree, delta=1)
+        assert result.matched
+        assert result.iterations == 0
+        assert result.detoured_edges == 0
+
+    def test_detours_short_edge_to_match(self):
+        grid = RoutingGrid(20, 20)
+        occupancy = Occupancy(grid)
+        tree = unbalanced_tree()
+        occupancy.occupy(tree.all_cells(), tree.cluster_id)
+        result = detour_cluster(grid, occupancy, tree, delta=1)
+        assert result.matched
+        assert result.detoured_edges >= 1
+        assert tree.mismatch() <= 1
+        # Occupancy mirrors the tree.
+        assert occupancy.cells_of(tree.cluster_id) == tree.all_cells()
+
+    def test_detoured_paths_still_connect_endpoints(self):
+        grid = RoutingGrid(20, 20)
+        occupancy = Occupancy(grid)
+        tree = unbalanced_tree()
+        occupancy.occupy(tree.all_cells(), tree.cluster_id)
+        detour_cluster(grid, occupancy, tree, delta=1)
+        assert tree.edge_paths[0].source == Point(2, 5)
+        assert tree.edge_paths[0].target == Point(4, 5)
+        assert tree.edge_paths[1] == straight((10, 5), (4, 5))
+
+    def test_failure_restores_original_paths(self):
+        # Fence in the short edge so no detour space exists.
+        grid = RoutingGrid(20, 20)
+        occupancy = Occupancy(grid)
+        tree = unbalanced_tree()
+        occupancy.occupy(tree.all_cells(), tree.cluster_id)
+        fence = [Point(x, 4) for x in range(0, 12)] + [
+            Point(x, 6) for x in range(0, 12)
+        ]
+        fence += [Point(0, 5), Point(1, 5), Point(11, 5)]
+        occupancy.occupy(fence, 99)
+        original = dict(tree.edge_paths)
+        result = detour_cluster(grid, occupancy, tree, delta=1)
+        assert not result.matched
+        assert tree.edge_paths == original
+        assert occupancy.cells_of(tree.cluster_id) == tree.all_cells()
+
+    def test_respects_other_nets(self):
+        grid = RoutingGrid(20, 20)
+        occupancy = Occupancy(grid)
+        tree = unbalanced_tree()
+        occupancy.occupy(tree.all_cells(), tree.cluster_id)
+        # A foreign channel just above the short edge.
+        foreign = [Point(x, 4) for x in range(0, 12)]
+        occupancy.occupy(foreign, 50)
+        result = detour_cluster(grid, occupancy, tree, delta=1)
+        assert result.matched
+        for path in tree.edge_paths.values():
+            assert all(c not in set(foreign) for c in path.cells)
+
+    def test_three_sink_tree_with_shared_edge(self):
+        # Sinks 0/1 hang off an internal node; sink 2 is far away, so 0
+        # and 1 both need lengthening.
+        grid = RoutingGrid(30, 30)
+        occupancy = Occupancy(grid)
+        tree = RoutedTree(
+            cluster_id=3,
+            edge_paths={
+                0: straight((8, 10), (10, 10)),  # sink 0 -> m
+                1: straight((12, 10), (10, 10)),  # sink 1 -> m
+                2: straight((10, 10), (10, 14)),  # m -> root
+                3: straight((24, 14), (10, 14)),  # sink 2 -> root
+            },
+            sequences={0: [0, 2], 1: [1, 2], 2: [3]},
+            root=Point(10, 14),
+        )
+        occupancy.occupy(tree.all_cells(), 3)
+        result = detour_cluster(grid, occupancy, tree, delta=1)
+        assert result.matched
+        lengths = tree.full_lengths()
+        assert max(lengths.values()) - min(lengths.values()) <= 1
+
+    def test_escape_path_preserved(self):
+        grid = RoutingGrid(20, 20)
+        occupancy = Occupancy(grid)
+        tree = unbalanced_tree()
+        tree.escape_path = straight((4, 5), (4, 0))
+        occupancy.occupy(tree.all_cells(), tree.cluster_id)
+        result = detour_cluster(grid, occupancy, tree, delta=1)
+        assert result.matched
+        assert tree.escape_path == straight((4, 5), (4, 0))
+        assert occupancy.cells_of(tree.cluster_id) == tree.all_cells()

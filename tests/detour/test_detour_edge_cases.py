@@ -1,0 +1,121 @@
+"""Edge-case tests for the detour stage."""
+
+import pytest
+
+from repro.detour import check_equal, detour_cluster, routed_tree_from_pair
+from repro.detour.cluster import RoutedTree
+from repro.geometry import Point
+from repro.grid import Occupancy, RoutingGrid
+from repro.routing import Path
+
+
+def straight(a, b):
+    (ax, ay), (bx, by) = a, b
+    if ay == by:
+        step = 1 if bx >= ax else -1
+        return Path([Point(x, ay) for x in range(ax, bx + step, step)])
+    step = 1 if by >= ay else -1
+    return Path([Point(ax, y) for y in range(ay, by + step, step)])
+
+
+def test_delta_zero_requires_exact_match():
+    tree = routed_tree_from_pair(0, straight((0, 0), (4, 0)))  # 2/2
+    equal, _, shorts = check_equal(tree, delta=0)
+    assert equal and shorts == []
+
+
+def test_huge_delta_trivially_matched():
+    grid = RoutingGrid(20, 20)
+    occupancy = Occupancy(grid)
+    tree = RoutedTree(
+        cluster_id=1,
+        edge_paths={0: straight((2, 5), (4, 5)), 1: straight((14, 5), (4, 5))},
+        sequences={0: [0], 1: [1]},
+        root=Point(4, 5),
+    )
+    occupancy.occupy(tree.all_cells(), 1)
+    result = detour_cluster(grid, occupancy, tree, delta=100)
+    assert result.matched
+    assert result.detoured_edges == 0
+
+
+def test_large_deficit_needs_multiple_rounds():
+    """One detour attempt covers one window; big gaps may need several."""
+    grid = RoutingGrid(40, 40)
+    occupancy = Occupancy(grid)
+    tree = RoutedTree(
+        cluster_id=2,
+        edge_paths={
+            0: straight((18, 20), (20, 20)),  # length 2
+            1: straight((38, 20), (20, 20)),  # length 18
+        },
+        sequences={0: [0], 1: [1]},
+        root=Point(20, 20),
+    )
+    occupancy.occupy(tree.all_cells(), 2)
+    result = detour_cluster(grid, occupancy, tree, delta=1)
+    assert result.matched
+    assert tree.mismatch() <= 1
+    assert occupancy.cells_of(2) == tree.all_cells()
+
+
+def test_theta_limits_rounds():
+    grid = RoutingGrid(40, 40)
+    occupancy = Occupancy(grid)
+    tree = RoutedTree(
+        cluster_id=3,
+        edge_paths={
+            0: straight((18, 20), (20, 20)),
+            1: straight((38, 20), (20, 20)),
+        },
+        sequences={0: [0], 1: [1]},
+        root=Point(20, 20),
+    )
+    occupancy.occupy(tree.all_cells(), 3)
+    result = detour_cluster(grid, occupancy, tree, delta=1, theta=1)
+    # One round may or may not finish; iterations never exceed theta.
+    assert result.iterations <= 1
+
+
+def test_detour_with_even_parity_window():
+    """delta=0 with an odd deficit is parity-infeasible on one edge but
+    solvable across rounds (each detour changes maxL)."""
+    grid = RoutingGrid(30, 30)
+    occupancy = Occupancy(grid)
+    tree = RoutedTree(
+        cluster_id=4,
+        edge_paths={
+            0: straight((10, 15), (13, 15)),  # length 3
+            1: straight((19, 15), (13, 15)),  # length 6
+        },
+        sequences={0: [0], 1: [1]},
+        root=Point(13, 15),
+    )
+    occupancy.occupy(tree.all_cells(), 4)
+    result = detour_cluster(grid, occupancy, tree, delta=1)
+    assert result.matched
+    assert tree.mismatch() <= 1
+
+
+def test_detoured_tree_with_escape_keeps_pin_connection():
+    grid = RoutingGrid(30, 30)
+    occupancy = Occupancy(grid)
+    tree = RoutedTree(
+        cluster_id=5,
+        edge_paths={
+            0: straight((10, 15), (12, 15)),
+            1: straight((20, 15), (12, 15)),
+        },
+        sequences={0: [0], 1: [1]},
+        root=Point(12, 15),
+    )
+    tree.escape_path = straight((12, 15), (12, 0))
+    occupancy.occupy(tree.all_cells(), 5)
+    result = detour_cluster(grid, occupancy, tree, delta=1)
+    assert result.matched
+    # Escape path untouched; pin end preserved.
+    assert tree.escape_path.target == Point(12, 0)
+    # Detoured edges avoid the escape channel cells.
+    escape_cells = set(tree.escape_path.cells) - {tree.root}
+    for path in tree.edge_paths.values():
+        assert not (set(path.cells) - {tree.root}) & escape_cells

@@ -1,0 +1,120 @@
+"""Tests for candidate Steiner-tree enumeration and CandidateTree."""
+
+import pytest
+
+from repro.dme import generate_candidates
+from repro.dme.candidates import _clone_topology
+from repro.dme.tree import CandidateTree, TopologyNode
+from repro.geometry import Point
+from repro.grid import RoutingGrid
+
+
+def test_empty_cluster_rejected():
+    grid = RoutingGrid(10, 10)
+    with pytest.raises(ValueError):
+        generate_candidates(grid, 0, [])
+
+
+def test_single_valve_cluster_single_candidate():
+    grid = RoutingGrid(10, 10)
+    cands = generate_candidates(grid, 0, [Point(4, 4)])
+    assert len(cands) == 1
+    assert cands[0].root_position == Point(4, 4)
+    assert cands[0].edges() == []
+    assert cands[0].mismatch() == 0
+
+
+def test_two_valve_cluster_candidates_balanced():
+    grid = RoutingGrid(20, 20)
+    cands = generate_candidates(grid, 1, [Point(2, 2), Point(10, 2)], k=4)
+    assert cands
+    for tree in cands:
+        lengths = tree.full_path_lengths()
+        assert abs(lengths[0] - lengths[1]) <= 1
+
+
+def test_four_valve_candidates_distinct_and_low_mismatch():
+    grid = RoutingGrid(40, 40)
+    points = [Point(5, 5), Point(30, 6), Point(6, 30), Point(32, 33)]
+    cands = generate_candidates(grid, 2, points, k=6)
+    assert len(cands) >= 2
+    sigs = {t.signature() for t in cands}
+    assert len(sigs) == len(cands)
+    for tree in cands:
+        # DME rounding allows only a small mismatch on an empty grid.
+        assert tree.mismatch() <= len(points) * 2
+
+
+def test_candidates_sorted_by_mismatch_then_length():
+    grid = RoutingGrid(40, 40)
+    points = [Point(5, 5), Point(30, 6), Point(6, 30), Point(32, 33)]
+    cands = generate_candidates(grid, 0, points, k=6)
+    keys = [(t.mismatch(), t.total_estimated_length()) for t in cands]
+    assert keys == sorted(keys)
+
+
+def test_k_limits_candidate_count():
+    grid = RoutingGrid(40, 40)
+    points = [Point(5, 5), Point(30, 6), Point(6, 30), Point(32, 33)]
+    assert len(generate_candidates(grid, 0, points, k=2)) <= 2
+
+
+def test_blocked_cells_not_used_for_internal_nodes():
+    grid = RoutingGrid(30, 30)
+    points = [Point(0, 14), Point(28, 14)]
+    blocked = {Point(14, 14), Point(13, 14), Point(15, 14)}
+    cands = generate_candidates(grid, 0, points, k=3, blocked=blocked)
+    for tree in cands:
+        for node in tree.root.walk():
+            if not node.is_leaf():
+                assert node.position not in blocked
+
+
+def test_candidate_tree_requires_full_embedding():
+    leaf_a = TopologyNode(sink=0, position=Point(0, 0))
+    leaf_b = TopologyNode(sink=1, position=Point(2, 0))
+    root = TopologyNode(children=[leaf_a, leaf_b])  # no root position
+    with pytest.raises(ValueError):
+        CandidateTree(0, root)
+
+
+def test_candidate_tree_edges_and_boxes():
+    leaf_a = TopologyNode(sink=0, position=Point(0, 0))
+    leaf_b = TopologyNode(sink=1, position=Point(4, 0))
+    root = TopologyNode(children=[leaf_a, leaf_b], position=Point(2, 0))
+    tree = CandidateTree(7, root)
+    edges = tree.edges()
+    assert len(edges) == 2
+    assert {e.child for e in edges} == {Point(0, 0), Point(4, 0)}
+    assert all(e.parent == Point(2, 0) for e in edges)
+    assert tree.mismatch() == 0
+    assert tree.total_estimated_length() == 4
+    box = edges[0].bounding_box()
+    assert box.contains(edges[0].parent) and box.contains(edges[0].child)
+
+
+def test_required_length_honours_extension():
+    # edge_h forces a longer-than-Manhattan edge (snaking requirement).
+    leaf_a = TopologyNode(sink=0, position=Point(0, 0), edge_h=20)
+    leaf_b = TopologyNode(sink=1, position=Point(2, 0), edge_h=0)
+    root = TopologyNode(children=[leaf_a, leaf_b], position=Point(1, 0))
+    tree = CandidateTree(0, root)
+    by_child = {e.child: e for e in tree.edges()}
+    assert by_child[Point(0, 0)].required_length == 10  # 20 half units
+    assert by_child[Point(2, 0)].required_length == 1
+
+
+def test_clone_topology_is_deep():
+    leaf = TopologyNode(sink=0, position=Point(1, 1))
+    root = TopologyNode(children=[leaf, TopologyNode(sink=1, position=Point(3, 1))])
+    clone = _clone_topology(root)
+    clone.children[0].position = Point(9, 9)
+    assert root.children[0].position == Point(1, 1)
+
+
+def test_sink_positions_map():
+    grid = RoutingGrid(20, 20)
+    points = [Point(2, 2), Point(10, 2)]
+    cands = generate_candidates(grid, 0, points, k=1)
+    positions = cands[0].sink_positions()
+    assert positions == {0: Point(2, 2), 1: Point(10, 2)}

@@ -1,0 +1,116 @@
+"""Edge-case tests for the DME pipeline (degenerate clusters, tight grids)."""
+
+import pytest
+
+from repro.dme import (
+    balanced_bipartition_topology,
+    compute_merging_regions,
+    embed_tree,
+    generate_candidates,
+)
+from repro.geometry import Point
+from repro.grid import RoutingGrid
+
+
+class TestDegenerateClusters:
+    def test_two_adjacent_valves(self):
+        grid = RoutingGrid(10, 10)
+        cands = generate_candidates(grid, 0, [Point(4, 4), Point(5, 4)])
+        assert cands
+        tree = cands[0]
+        lengths = tree.full_path_lengths()
+        # Distance 1 (odd): the best achievable split is 0/1.
+        assert abs(lengths[0] - lengths[1]) <= 1
+
+    def test_collinear_valves(self):
+        grid = RoutingGrid(30, 10)
+        points = [Point(2, 5), Point(12, 5), Point(22, 5)]
+        cands = generate_candidates(grid, 0, points, k=4)
+        assert cands
+        for tree in cands:
+            lengths = tree.full_path_lengths()
+            assert max(lengths.values()) - min(lengths.values()) <= 2 * len(points)
+
+    def test_coincident_merge_region_with_sink_blocked(self):
+        """Internal nodes must not be embedded on blocked sink cells."""
+        grid = RoutingGrid(20, 20)
+        points = [Point(5, 5), Point(5, 9), Point(5, 13)]
+        blocked = set(points)
+        cands = generate_candidates(grid, 0, points, k=3, blocked=blocked)
+        for tree in cands:
+            for node in tree.root.walk():
+                if not node.is_leaf():
+                    assert node.position not in blocked
+
+    def test_duplicate_positions_still_embed(self):
+        # Two valves on neighbouring cells plus a clone cluster elsewhere.
+        grid = RoutingGrid(12, 12)
+        cands = generate_candidates(grid, 0, [Point(2, 2), Point(2, 3)])
+        assert cands
+        assert cands[0].mismatch() <= 1
+
+
+class TestTightGrids:
+    def test_embedding_on_narrow_corridor(self):
+        grid = RoutingGrid(30, 3)
+        points = [Point(2, 1), Point(27, 1)]
+        cands = generate_candidates(grid, 0, points, k=2)
+        assert cands
+        for tree in cands:
+            for node in tree.root.walk():
+                assert grid.in_bounds(node.position)
+
+    def test_heavily_obstructed_grid_may_yield_fewer_candidates(self):
+        grid = RoutingGrid(20, 20)
+        # Block everything except a thin frame and the sink cells.
+        for x in range(2, 18):
+            for y in range(2, 18):
+                grid.set_obstacle(Point(x, y))
+        points = [Point(0, 0), Point(19, 19)]
+        cands = generate_candidates(grid, 0, points, k=4)
+        # Merging nodes land on the frame; candidates may be few but valid.
+        for tree in cands:
+            for node in tree.root.walk():
+                if not node.is_leaf():
+                    assert grid.is_free(node.position)
+
+
+class TestLargeClusters:
+    def test_eight_sinks_balanced(self):
+        grid = RoutingGrid(60, 60)
+        points = [
+            Point(5, 5),
+            Point(50, 8),
+            Point(8, 48),
+            Point(52, 50),
+            Point(28, 5),
+            Point(5, 30),
+            Point(55, 28),
+            Point(30, 55),
+        ]
+        cands = generate_candidates(grid, 0, points, k=4)
+        assert cands
+        tree = cands[0]
+        lengths = tree.full_path_lengths()
+        assert set(lengths) == set(range(8))
+        assert max(lengths.values()) - min(lengths.values()) <= 2 * len(points)
+
+    def test_odd_cluster_size_seven(self):
+        grid = RoutingGrid(50, 50)
+        points = [Point(5 + 6 * i, 5 + (i * 11) % 37) for i in range(7)]
+        cands = generate_candidates(grid, 3, points, k=3)
+        assert cands
+        assert all(t.cluster_id == 3 for t in cands)
+
+
+class TestEmbedIdempotence:
+    def test_embedding_twice_is_stable(self):
+        grid = RoutingGrid(30, 30)
+        points = [Point(3, 3), Point(25, 4), Point(5, 24), Point(26, 26)]
+        root = balanced_bipartition_topology(points)
+        compute_merging_regions(root)
+        embed_tree(grid, root)
+        first = [n.position for n in root.walk()]
+        embed_tree(grid, root)
+        second = [n.position for n in root.walk()]
+        assert first == second

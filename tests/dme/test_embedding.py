@@ -1,0 +1,140 @@
+"""Tests for top-down merging-node embedding."""
+
+import pytest
+
+from repro.dme import (
+    balanced_bipartition_topology,
+    compute_merging_regions,
+    embed_tree,
+)
+from repro.dme.embedding import EmbeddingError, find_free_cell_near, _ring
+from repro.geometry import Point
+from repro.grid import RoutingGrid
+
+
+def merged_topology(points):
+    root = balanced_bipartition_topology(points)
+    compute_merging_regions(root)
+    return root
+
+
+class TestRing:
+    def test_radius_zero(self):
+        assert list(_ring(Point(5, 5), 0)) == [Point(5, 5)]
+
+    def test_ring_cells_at_exact_distance(self):
+        center = Point(5, 5)
+        for radius in (1, 2, 3):
+            cells = list(_ring(center, radius))
+            assert cells
+            assert all(center.manhattan(c) == radius for c in cells)
+            assert len(set(cells)) == len(cells)
+            assert len(cells) == 4 * radius
+
+
+class TestFindFreeCellNear:
+    def test_free_target_returned(self):
+        grid = RoutingGrid(10, 10)
+        assert find_free_cell_near(grid, Point(4, 4)) == Point(4, 4)
+
+    def test_blocked_target_moves_to_neighbor(self):
+        grid = RoutingGrid(10, 10)
+        grid.set_obstacle(Point(4, 4))
+        found = found = find_free_cell_near(grid, Point(4, 4))
+        assert found.manhattan(Point(4, 4)) == 1
+        assert grid.is_free(found)
+
+    def test_extra_blocked_cells_avoided(self):
+        grid = RoutingGrid(10, 10)
+        blocked = {Point(4, 4)}
+        found = find_free_cell_near(grid, Point(4, 4), blocked)
+        assert found != Point(4, 4)
+
+    def test_fully_blocked_raises(self):
+        grid = RoutingGrid(3, 3)
+        for cell in grid.extent().cells():
+            grid.set_obstacle(cell)
+        with pytest.raises(EmbeddingError):
+            find_free_cell_near(grid, Point(1, 1))
+
+    def test_off_chip_target_still_finds_on_chip_cell(self):
+        grid = RoutingGrid(5, 5)
+        found = find_free_cell_near(grid, Point(-3, 2))
+        assert grid.in_bounds(found)
+
+
+class TestEmbedTree:
+    def test_requires_merging_regions(self):
+        grid = RoutingGrid(20, 20)
+        root = balanced_bipartition_topology([Point(0, 0), Point(4, 0)])
+        with pytest.raises(ValueError):
+            embed_tree(grid, root)
+
+    def test_single_leaf_noop(self):
+        grid = RoutingGrid(20, 20)
+        root = merged_topology([Point(3, 3)])
+        embed_tree(grid, root)
+        assert root.position == Point(3, 3)
+
+    def test_two_sinks_root_is_equidistant(self):
+        grid = RoutingGrid(20, 20)
+        root = merged_topology([Point(2, 2), Point(10, 2)])
+        embed_tree(grid, root)
+        assert root.position is not None
+        da = root.position.manhattan(Point(2, 2))
+        db = root.position.manhattan(Point(10, 2))
+        assert abs(da - db) <= 1  # rounding tolerance only
+
+
+    def test_all_nodes_embedded_and_free(self):
+        grid = RoutingGrid(30, 30)
+        grid.add_obstacles([Point(15, y) for y in range(10, 20)])
+        points = [Point(2, 2), Point(28, 3), Point(5, 25), Point(27, 27)]
+        root = merged_topology(points)
+        embed_tree(grid, root)
+        for node in root.walk():
+            assert node.position is not None
+            assert grid.in_bounds(node.position)
+            if not node.is_leaf():
+                assert grid.is_free(node.position)
+
+    def test_obstacle_displaces_merging_node(self):
+        grid = RoutingGrid(21, 21)
+        root_free = merged_topology([Point(0, 10), Point(20, 10)])
+        embed_tree(grid, root_free)
+        free_pos = root_free.position
+
+        blocked_grid = RoutingGrid(21, 21)
+        blocked_grid.add_obstacles(
+            [Point(free_pos.x + dx, free_pos.y + dy)
+             for dx in (-1, 0, 1) for dy in (-1, 0, 1)]
+        )
+        root_blocked = merged_topology([Point(0, 10), Point(20, 10)])
+        embed_tree(blocked_grid, root_blocked)
+        assert root_blocked.position != free_pos
+        assert blocked_grid.is_free(root_blocked.position)
+        assert root_blocked.snap_h > 0
+
+    def test_root_choice_respected_when_free(self):
+        grid = RoutingGrid(20, 20)
+        root = merged_topology([Point(0, 0), Point(8, 0)])
+        samples = root.merge_region.sample_grid_points(limit=4)
+        assert samples
+        choice = samples[0]
+        embed_tree(grid, root, root_choice=choice)
+        assert root.position == choice
+
+    def test_policies_produce_valid_embeddings(self):
+        grid = RoutingGrid(30, 30)
+        points = [Point(1, 1), Point(25, 2), Point(3, 24), Point(26, 27)]
+        for policy in ("nearest", "lo", "hi"):
+            root = merged_topology(points)
+            embed_tree(grid, root, policy=policy)
+            assert all(n.position is not None for n in root.walk())
+
+    def test_unknown_policy_raises(self):
+        grid = RoutingGrid(30, 30)
+        points = [Point(1, 1), Point(25, 2), Point(3, 24), Point(26, 27)]
+        root = merged_topology(points)
+        with pytest.raises(ValueError):
+            embed_tree(grid, root, policy="bogus")

@@ -1,0 +1,115 @@
+"""Tests for the bottom-up merging-segment phase."""
+
+import pytest
+
+from repro.dme import balanced_bipartition_topology, compute_merging_regions
+from repro.geometry import Point
+
+
+def build(points):
+    root = balanced_bipartition_topology(points)
+    compute_merging_regions(root)
+    return root
+
+
+def test_leaf_region_is_its_position():
+    root = build([Point(3, 4)])
+    assert root.merge_region is not None
+    pts = list(root.merge_region.grid_points())
+    assert pts == [Point(3, 4)]
+    assert root.delay_h == 0
+
+
+def test_two_sinks_even_distance_balanced():
+    root = build([Point(0, 0), Point(4, 0)])
+    a, b = root.children
+    assert a.edge_h + b.edge_h == 8  # distance 4 in half units
+    assert a.delay_h + a.edge_h == b.delay_h + b.edge_h
+    assert root.delay_h == 4  # two grid units to either sink
+    for p in root.merge_region.grid_points():
+        assert p.manhattan(Point(0, 0)) == 2
+        assert p.manhattan(Point(4, 0)) == 2
+
+
+def test_two_sinks_odd_distance_rounding():
+    root = build([Point(0, 0), Point(3, 0)])
+    a, b = root.children
+    # Odd split: edges differ by at most one half unit.
+    assert abs((a.delay_h + a.edge_h) - (b.delay_h + b.edge_h)) <= 1
+    assert a.edge_h + b.edge_h == 6
+
+
+def test_four_sinks_square_zero_mismatch():
+    points = [Point(0, 0), Point(8, 0), Point(0, 8), Point(8, 8)]
+    root = build(points)
+    # All four sinks are symmetric: every sink's balanced distance from
+    # the root equals the root delay.
+    for leaf in root.leaves():
+        depth_h = 0
+        # Walk up is implicit: collect each leaf's path length through
+        # edge_h annotations by traversing from root.
+    # delay equality holds by construction; check the tree's own invariant
+    def check(node):
+        if node.is_leaf():
+            return 0
+        depths = []
+        for child in node.children:
+            depths.append(check(child) + child.edge_h)
+        assert abs(depths[0] - depths[1]) <= 1  # rounding tolerance
+        return max(depths)
+
+    total = check(root)
+    assert total == root.delay_h
+
+
+def test_detour_case_extends_shallow_edge():
+    # Three collinear sinks: pair (0,0)-(20,0) merges deep, then merges
+    # with nearby (22, 0) whose subtree is much shallower.
+    root = build([Point(0, 0), Point(20, 0), Point(22, 0)])
+
+    def check(node):
+        if node.is_leaf():
+            return 0
+        depths = [check(c) + c.edge_h for c in node.children]
+        assert abs(depths[0] - depths[1]) <= 1
+        return max(depths)
+
+    check(root)
+    # Some edge must be longer than its geometric span (snaking).
+    def has_extension(node):
+        if node.is_leaf():
+            return False
+        for child in node.children:
+            if child.merge_region is not None and node.merge_region is not None:
+                pass
+        return any(has_extension(c) for c in node.children) or any(
+            c.edge_h > 0 for c in node.children
+        )
+
+    assert has_extension(root)
+
+
+def test_balanced_distances_for_random_cluster():
+    points = [Point(2, 3), Point(14, 5), Point(7, 11), Point(1, 9)]
+    root = build(points)
+
+    def depths(node):
+        if node.is_leaf():
+            return [0]
+        out = []
+        for child in node.children:
+            out.extend(d + child.edge_h for d in depths(child))
+        return out
+
+    ds = depths(root)
+    # Each level rounds by at most one half unit; with n sinks the total
+    # spread is bounded by the tree height.
+    assert max(ds) - min(ds) <= 2 * len(points)
+
+
+def test_merge_requires_validated_topology():
+    from repro.dme.tree import TopologyNode
+
+    bad = TopologyNode(children=[TopologyNode(sink=0, position=Point(0, 0))])
+    with pytest.raises(ValueError):
+        compute_merging_regions(bad)

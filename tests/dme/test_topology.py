@@ -1,0 +1,67 @@
+"""Tests for the balanced-bipartition topology."""
+
+import pytest
+
+from repro.dme import balanced_bipartition_topology
+from repro.dme.topology import _diameter
+from repro.geometry import Point
+
+
+def sinks_of(node):
+    return sorted(leaf.sink for leaf in node.leaves())
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        balanced_bipartition_topology([])
+
+
+def test_single_point_is_leaf():
+    root = balanced_bipartition_topology([Point(3, 3)])
+    assert root.is_leaf()
+    assert root.sink == 0
+    assert root.position == Point(3, 3)
+
+
+def test_two_points():
+    root = balanced_bipartition_topology([Point(0, 0), Point(4, 0)])
+    assert not root.is_leaf()
+    assert sinks_of(root) == [0, 1]
+    assert all(c.is_leaf() for c in root.children)
+
+
+def test_even_cluster_is_balanced_binary_tree():
+    points = [Point(0, 0), Point(8, 0), Point(0, 8), Point(8, 8)]
+    root = balanced_bipartition_topology(points)
+    assert sinks_of(root) == [0, 1, 2, 3]
+    left, right = root.children
+    assert len(list(left.leaves())) == 2
+    assert len(list(right.leaves())) == 2
+
+
+def test_bipartition_separates_far_groups():
+    # Two tight pairs far apart must be split pair-vs-pair.
+    points = [Point(0, 0), Point(1, 0), Point(50, 50), Point(51, 50)]
+    root = balanced_bipartition_topology(points)
+    groups = [sinks_of(c) for c in root.children]
+    assert sorted(groups) == [[0, 1], [2, 3]]
+
+
+def test_odd_cluster_partition_sizes():
+    points = [Point(x, 0) for x in range(5)]
+    root = balanced_bipartition_topology(points)
+    sizes = sorted(len(list(c.leaves())) for c in root.children)
+    assert sizes == [2, 3]
+    assert sinks_of(root) == [0, 1, 2, 3, 4]
+
+
+def test_every_sink_appears_exactly_once():
+    points = [Point(i * 3 % 17, i * 7 % 13) for i in range(9)]
+    root = balanced_bipartition_topology(points)
+    assert sinks_of(root) == list(range(9))
+
+
+def test_diameter_helper():
+    assert _diameter([]) == 0
+    assert _diameter([Point(0, 0)]) == 0
+    assert _diameter([Point(0, 0), Point(3, 4)]) == 7

@@ -1,0 +1,119 @@
+"""Tests that our escape solutions satisfy the paper's constraints (6)-(12)."""
+
+import random
+
+import pytest
+
+from repro.escape import EscapeSource, solve_escape, solve_escape_sequential
+from repro.escape.constraints import ConstraintViolation, check_paper_constraints
+from repro.escape.mcf import EscapeResult
+from repro.geometry import Point
+from repro.grid import RoutingGrid
+from repro.routing import Path
+
+
+def test_simple_instance_satisfies_constraints(grid10):
+    source = EscapeSource(1, (Point(5, 5),))
+    pins = [Point(0, 5), Point(9, 5)]
+    result = solve_escape(grid10, [source], pins)
+    stats = check_paper_constraints(grid10, [source], pins, set(), result)
+    assert stats["routed"] == 1
+    assert stats["arcs"] == result.paths[1].length
+
+
+def test_multi_source_instance(grid10):
+    sources = [EscapeSource(i, (Point(3 + i, 4),)) for i in range(4)]
+    pins = [Point(x, 9) for x in (1, 3, 6, 8)]
+    blocked = {Point(3 + i, 4) for i in range(4)}
+    result = solve_escape(grid10, sources, pins, blocked)
+    check_paper_constraints(grid10, sources, pins, blocked, result)
+
+
+def test_random_instances_always_legal():
+    rng = random.Random(17)
+    for trial in range(8):
+        grid = RoutingGrid(18, 18)
+        for _ in range(rng.randrange(0, 15)):
+            grid.set_obstacle(
+                Point(rng.randrange(2, 16), rng.randrange(2, 16))
+            )
+        taps = set()
+        while len(taps) < 4:
+            p = Point(rng.randrange(3, 15), rng.randrange(3, 15))
+            if grid.is_free(p):
+                taps.add(p)
+        sources = [EscapeSource(i, (t,)) for i, t in enumerate(sorted(taps))]
+        pins = [Point(x, 0) for x in range(1, 18, 3)]
+        result = solve_escape(grid, sources, pins)
+        check_paper_constraints(grid, sources, pins, set(), result)
+
+
+def test_sequential_solutions_also_legal(grid10):
+    sources = [EscapeSource(i, (Point(3 + i, 4),)) for i in range(3)]
+    pins = [Point(x, 9) for x in (1, 4, 8)]
+    blocked = {Point(3 + i, 4) for i in range(3)}
+    result = solve_escape_sequential(grid10, sources, pins, blocked)
+    check_paper_constraints(grid10, sources, pins, blocked, result)
+
+
+class TestViolationsDetected:
+    def _base(self, grid10):
+        source = EscapeSource(1, (Point(5, 5),))
+        pins = [Point(9, 5)]
+        result = solve_escape(grid10, [source], pins)
+        return source, pins, result
+
+    def test_crossing_paths_detected(self, grid10):
+        # Two fabricated paths sharing a cell: cell carries 4 units.
+        sources = [
+            EscapeSource(1, (Point(0, 5),)),
+            EscapeSource(2, (Point(5, 0),)),
+        ]
+        pins = [Point(9, 5), Point(5, 9)]
+        fake = EscapeResult()
+        fake.paths[1] = Path([Point(x, 5) for x in range(10)])
+        fake.pin_of[1] = Point(9, 5)
+        fake.paths[2] = Path([Point(5, y) for y in range(10)])
+        fake.pin_of[2] = Point(5, 9)
+        with pytest.raises(ConstraintViolation, match="incident"):
+            check_paper_constraints(grid10, sources, pins, set(), fake)
+
+    def test_off_pin_termination_detected(self, grid10):
+        source = EscapeSource(1, (Point(0, 5),))
+        fake = EscapeResult()
+        fake.paths[1] = Path([Point(x, 5) for x in range(4)])
+        fake.pin_of[1] = Point(3, 5)
+        with pytest.raises(ConstraintViolation, match="off-pin"):
+            check_paper_constraints(grid10, [source], [Point(9, 5)], set(), fake)
+
+    def test_obstacle_crossing_detected(self, grid10):
+        grid10.set_obstacle(Point(4, 5))
+        source = EscapeSource(1, (Point(0, 5),))
+        fake = EscapeResult()
+        fake.paths[1] = Path([Point(x, 5) for x in range(10)])
+        fake.pin_of[1] = Point(9, 5)
+        with pytest.raises(ConstraintViolation, match="obstacle"):
+            check_paper_constraints(grid10, [source], [Point(9, 5)], set(), fake)
+
+    def test_wrong_start_detected(self, grid10):
+        source = EscapeSource(1, (Point(0, 0),))
+        fake = EscapeResult()
+        fake.paths[1] = Path([Point(x, 5) for x in range(10)])
+        fake.pin_of[1] = Point(9, 5)
+        with pytest.raises(ConstraintViolation, match="tap"):
+            check_paper_constraints(grid10, [source], [Point(9, 5)], set(), fake)
+
+    def test_inflow_into_tap_detected(self, grid10):
+        # A path that loops back adjacent *into* another source's tap.
+        sources = [
+            EscapeSource(1, (Point(0, 5),)),
+            EscapeSource(2, (Point(3, 5),)),
+        ]
+        fake = EscapeResult()
+        # Path of source 1 walks right through source 2's tap cell.
+        fake.paths[1] = Path([Point(x, 5) for x in range(10)])
+        fake.pin_of[1] = Point(9, 5)
+        with pytest.raises(ConstraintViolation, match="tap"):
+            check_paper_constraints(
+                grid10, sources, [Point(9, 5)], set(), fake
+            )

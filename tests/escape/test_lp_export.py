@@ -1,0 +1,126 @@
+"""Tests for the LP export of the Section-5 formulation."""
+
+import re
+
+import pytest
+
+from repro.escape import EscapeSource, solve_escape
+from repro.escape.lp_export import export_escape_lp, write_escape_lp
+from repro.geometry import Point
+from repro.grid import RoutingGrid
+
+
+@pytest.fixture
+def small_instance():
+    grid = RoutingGrid(6, 6)
+    grid.set_obstacle(Point(3, 3))
+    sources = [EscapeSource(1, (Point(2, 2),)), EscapeSource(2, (Point(4, 4),))]
+    pins = [Point(0, 0), Point(5, 5), Point(0, 5)]
+    return grid, sources, pins
+
+
+def test_structure(small_instance):
+    grid, sources, pins = small_instance
+    lp = export_escape_lp(grid, sources, pins)
+    assert lp.startswith("\\ Escape routing LP")
+    assert "Minimize" in lp
+    assert "Subject To" in lp
+    assert "Bounds" in lp
+    assert lp.rstrip().endswith("End")
+
+
+def test_one_source_constraint_per_cluster(small_instance):
+    grid, sources, pins = small_instance
+    lp = export_escape_lp(grid, sources, pins)
+    assert " c6_1:" in lp
+    assert " c6_2:" in lp
+    assert "xs_1" in lp and "xs_2" in lp
+
+
+def test_objective_rewards_routing(small_instance):
+    grid, sources, pins = small_instance
+    lp = export_escape_lp(grid, sources, pins, beta=5000.0)
+    obj = lp.split("Subject To")[0]
+    assert "- 5000.0 xs_1" in obj
+    assert "- 5000.0 xs_2" in obj
+
+
+def test_obstacle_cells_absent(small_instance):
+    grid, sources, pins = small_instance
+    lp = export_escape_lp(grid, sources, pins)
+    assert "f_3_3_" not in lp
+    assert "_3_3 " not in lp.replace("c12_3_3", "").replace("c9_3_3", "")
+
+
+def test_conservation_rows_cover_non_pin_cells(small_instance):
+    grid, sources, pins = small_instance
+    lp = export_escape_lp(grid, sources, pins)
+    # Pins have no conservation row.
+    assert " c9_0_0:" not in lp
+    assert " c9_5_5:" not in lp
+    # An ordinary interior cell does.
+    assert " c9_1_1:" in lp
+
+
+def test_capacity_rows_bound_two(small_instance):
+    grid, sources, pins = small_instance
+    lp = export_escape_lp(grid, sources, pins)
+    rows = [l for l in lp.splitlines() if l.startswith(" c12_")]
+    assert rows
+    assert all(row.endswith("<= 2") for row in rows)
+
+
+def test_variables_are_bounded_unit(small_instance):
+    grid, sources, pins = small_instance
+    lp = export_escape_lp(grid, sources, pins)
+    bounds = lp.split("Bounds")[1]
+    assert " 0 <= xs_1 <= 1" in bounds
+    assert re.search(r" 0 <= f_\d+_\d+_\d+_\d+ <= 1", bounds)
+
+
+def test_write_to_disk(tmp_path, small_instance):
+    grid, sources, pins = small_instance
+    path = tmp_path / "escape.lp"
+    write_escape_lp(str(path), grid, sources, pins)
+    text = path.read_text()
+    assert text.startswith("\\ Escape routing LP")
+
+
+def test_our_solution_is_lp_feasible(small_instance):
+    """The min-cost-flow solution satisfies every exported constraint.
+
+    We parse the LP's c6/c9/c12 rows and evaluate them under the arc
+    flows induced by our solver's decomposed paths — a full circle check
+    that the substitution solves the paper's model.
+    """
+    grid, sources, pins = small_instance
+    blocked = {Point(2, 2), Point(4, 4)}
+    result = solve_escape(grid, sources, pins, blocked)
+    assert result.complete
+
+    # Induced variable assignment.
+    values = {}
+    for cid, path in result.paths.items():
+        cells = path.cells
+        first_free = cells[1] if cells[0] in blocked else cells[0]
+        values[f"e_{cid}_{first_free.x}_{first_free.y}"] = 1
+        values[f"xs_{cid}"] = 1
+        start = 1 if cells[0] in blocked else 0
+        for a, b in zip(cells[start:], cells[start + 1 :]):
+            values[f"f_{a.x}_{a.y}_{b.x}_{b.y}"] = 1
+
+    lp = export_escape_lp(grid, sources, pins, blocked)
+    for line in lp.splitlines():
+        line = line.strip()
+        match = re.match(r"^(c\d+[\w]*): (.*) (<=|=) (-?\d+)$", line)
+        if not match:
+            continue
+        _, expr, op, rhs = match.groups()
+        total = 0
+        for sign, var in re.findall(r"([+-]?)\s*([A-Za-z_][\w]*)", expr):
+            coeff = -1 if sign == "-" else 1
+            total += coeff * values.get(var, 0)
+        if op == "=":
+            assert total == int(rhs), line
+        else:
+            assert total <= int(rhs), line

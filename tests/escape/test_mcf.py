@@ -1,0 +1,141 @@
+"""Tests for min-cost-flow escape routing."""
+
+import pytest
+
+from repro.escape import EscapeSource, solve_escape
+from repro.geometry import Point
+from repro.grid import RoutingGrid
+
+
+def test_source_requires_tap_cells():
+    with pytest.raises(ValueError):
+        EscapeSource(0, ())
+
+
+def test_no_sources_trivially_complete(grid10):
+    result = solve_escape(grid10, [], [Point(0, 0)])
+    assert result.complete
+    assert result.flow_value == 0
+
+
+def test_no_pins_routes_nothing(grid10):
+    source = EscapeSource(1, (Point(5, 5),))
+    result = solve_escape(grid10, [source], [])
+    assert result.unrouted == [1]
+
+
+def test_singleton_valve_routes_to_nearest_pin(grid10):
+    # Valve at (5, 5); pins on the left and right edges.
+    source = EscapeSource(1, (Point(5, 5),))
+    pins = [Point(0, 5), Point(9, 5)]
+    result = solve_escape(grid10, [source], pins)
+    assert result.complete
+    path = result.paths[1]
+    assert path.source == Point(5, 5)
+    assert path.target in pins
+    assert path.length == 4  # (9,5) is nearer
+    assert result.pin_of[1] == Point(9, 5)
+
+
+def test_tap_cell_blocked_cluster_channel(grid10):
+    # A routed cluster channel occupies a row; escape must start on a
+    # free neighbour of the tap and include the tap as the first cell.
+    channel = [Point(x, 5) for x in range(3, 7)]
+    source = EscapeSource(2, tuple(channel))
+    result = solve_escape(grid10, [source], [Point(0, 0)], blocked=set(channel))
+    assert result.complete
+    path = result.paths[2]
+    assert path.source in channel
+    assert path.cells[1] not in channel
+    assert path.target == Point(0, 0)
+
+
+def test_two_sources_get_distinct_pins(grid10):
+    sources = [
+        EscapeSource(1, (Point(2, 5),)),
+        EscapeSource(2, (Point(7, 5),)),
+    ]
+    pins = [Point(0, 5), Point(9, 5)]
+    result = solve_escape(grid10, sources, pins)
+    assert result.complete
+    assert result.pin_of[1] != result.pin_of[2]
+    cells_1 = set(result.paths[1].cells)
+    cells_2 = set(result.paths[2].cells)
+    assert not cells_1 & cells_2
+
+
+def test_paths_never_cross(grid10):
+    # Four sources racing to four pins through the middle.
+    sources = [EscapeSource(i, (Point(3 + i, 4),)) for i in range(4)]
+    pins = [Point(x, 9) for x in (1, 3, 6, 8)]
+    result = solve_escape(
+        grid10, sources, pins, blocked={Point(3 + i, 4) for i in range(4)}
+    )
+    assert result.complete
+    all_cells = []
+    for path in result.paths.values():
+        all_cells.extend(path.cells[1:])  # taps excluded (they're blocked)
+    assert len(all_cells) == len(set(all_cells))
+
+
+def test_flow_maximises_routed_count_over_length():
+    """One source must take a long detour so the other can route at all."""
+    grid = RoutingGrid(7, 5)
+    # Corridor: wall except two gaps.
+    for x in range(7):
+        if x not in (1, 5):
+            grid.set_obstacle(Point(x, 2))
+    sources = [
+        EscapeSource(1, (Point(1, 1),)),
+        EscapeSource(2, (Point(2, 1),)),
+    ]
+    pins = [Point(1, 4), Point(5, 4)]
+    result = solve_escape(grid, sources, pins, blocked={Point(1, 1), Point(2, 1)})
+    assert result.complete
+    assert result.pin_of[1] != result.pin_of[2]
+
+
+def test_unroutable_source_reported():
+    grid = RoutingGrid(9, 9)
+    # Box in the source completely.
+    walls = [Point(3, y) for y in range(3, 7)] + [Point(6, y) for y in range(3, 7)]
+    walls += [Point(x, 3) for x in range(3, 7)] + [Point(x, 6) for x in range(3, 7)]
+    grid.add_obstacles(walls)
+    inner = EscapeSource(1, (Point(4, 4),))
+    outer = EscapeSource(2, (Point(1, 1),))
+    result = solve_escape(grid, [inner, outer], [Point(8, 8), Point(0, 8)])
+    assert result.unrouted == [1]
+    assert 2 in result.paths
+
+
+def test_total_cost_equals_sum_of_lengths(grid10):
+    sources = [
+        EscapeSource(1, (Point(2, 2),)),
+        EscapeSource(2, (Point(7, 7),)),
+    ]
+    pins = [Point(0, 0), Point(9, 9)]
+    result = solve_escape(grid10, sources, pins)
+    assert result.complete
+    assert result.total_cost == sum(p.length for p in result.paths.values())
+
+
+def test_more_sources_than_pins(grid10):
+    sources = [EscapeSource(i, (Point(2 + 2 * i, 5),)) for i in range(3)]
+    pins = [Point(0, 0), Point(9, 9)]
+    result = solve_escape(grid10, sources, pins)
+    assert result.flow_value == 2
+    assert len(result.unrouted) == 1
+
+
+def test_blocked_cells_not_traversed(grid10):
+    blocked = {Point(x, 3) for x in range(10) if x != 9}
+    source = EscapeSource(1, (Point(5, 5),))
+    result = solve_escape(grid10, [source], [Point(5, 0)], blocked=blocked)
+    assert result.complete
+    assert all(c not in blocked for c in result.paths[1].cells)
+
+
+def test_duplicate_pins_collapse(grid10):
+    source = EscapeSource(1, (Point(5, 5),))
+    result = solve_escape(grid10, [source], [Point(0, 5), Point(0, 5)])
+    assert result.complete

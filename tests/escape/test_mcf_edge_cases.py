@@ -1,0 +1,74 @@
+"""Edge-case tests for the escape-routing network builder."""
+
+import pytest
+
+from repro.escape import EscapeSource, solve_escape
+from repro.geometry import Point
+from repro.grid import RoutingGrid
+
+
+def test_tap_with_no_free_neighbors_unrouted():
+    grid = RoutingGrid(7, 7)
+    # Tap boxed in by obstacles.
+    for q in Point(3, 3).neighbors4():
+        grid.set_obstacle(q)
+    source = EscapeSource(1, (Point(3, 3),))
+    result = solve_escape(grid, [source], [Point(0, 0)], blocked={Point(3, 3)})
+    assert result.unrouted == [1]
+
+
+def test_pin_equal_to_tap_neighbor():
+    grid = RoutingGrid(5, 5)
+    source = EscapeSource(1, (Point(1, 0),))
+    result = solve_escape(grid, [source], [Point(0, 0)], blocked={Point(1, 0)})
+    assert result.complete
+    assert result.paths[1].length == 1  # tap -> pin directly
+
+
+def test_free_tap_on_pin_cell():
+    """A singleton valve adjacent to its own pin routes with length 1."""
+    grid = RoutingGrid(5, 5)
+    source = EscapeSource(1, (Point(0, 1),))
+    result = solve_escape(grid, [source], [Point(0, 0)])
+    assert result.complete
+    assert result.paths[1].cells == (Point(0, 1), Point(0, 0))
+
+
+def test_obstructed_pins_ignored():
+    grid = RoutingGrid(6, 6)
+    grid.set_obstacle(Point(0, 0))
+    source = EscapeSource(1, (Point(3, 3),))
+    result = solve_escape(grid, [source], [Point(0, 0), Point(5, 5)])
+    assert result.complete
+    assert result.pin_of[1] == Point(5, 5)
+
+
+def test_many_taps_single_entry_per_cell():
+    """Duplicate tap-adjacent entries collapse to one arc per cell."""
+    grid = RoutingGrid(8, 8)
+    taps = (Point(3, 3), Point(3, 4))  # share the neighbour (3, 3±1) side
+    source = EscapeSource(1, taps)
+    result = solve_escape(grid, [source], [Point(0, 0)], blocked=set(taps))
+    assert result.complete
+    path = result.paths[1]
+    assert path.source in taps
+
+
+def test_crowded_pins_one_per_cluster():
+    grid = RoutingGrid(9, 9)
+    sources = [EscapeSource(i, (Point(2 + i, 4),)) for i in range(4)]
+    pins = [Point(x, 0) for x in range(9)]
+    result = solve_escape(
+        grid, sources, pins, blocked={Point(2 + i, 4) for i in range(4)}
+    )
+    assert result.complete
+    assert len(set(result.pin_of.values())) == 4
+
+
+def test_flow_value_matches_paths():
+    grid = RoutingGrid(9, 9)
+    sources = [EscapeSource(i, (Point(2 + 2 * i, 4),)) for i in range(3)]
+    pins = [Point(0, 0)]
+    result = solve_escape(grid, sources, pins)
+    assert result.flow_value == len(result.paths) == 1
+    assert len(result.unrouted) == 2

@@ -1,0 +1,100 @@
+"""Tests for blocking-net diagnosis."""
+
+import pytest
+
+from repro.escape import find_blocking_nets
+from repro.geometry import Point
+from repro.grid import Occupancy, RoutingGrid
+
+
+def ring_occupancy(grid, net):
+    """Occupy a ring around the centre with `net`."""
+    occupancy = Occupancy(grid)
+    ring = [Point(3, y) for y in range(3, 7)] + [Point(6, y) for y in range(3, 7)]
+    ring += [Point(x, 3) for x in range(4, 6)] + [Point(x, 6) for x in range(4, 6)]
+    occupancy.occupy(ring, net)
+    return occupancy
+
+
+def test_unblocked_source_returns_empty_set(grid10):
+    occupancy = Occupancy(grid10)
+    result = find_blocking_nets(
+        grid10, occupancy, [Point(5, 5)], [Point(0, 0)], rippable=set()
+    )
+    assert result is not None
+    assert result.nets == set()
+    assert result.length == 10  # Manhattan distance
+
+
+def test_walled_in_by_rippable_net(grid10):
+    occupancy = ring_occupancy(grid10, net=7)
+    result = find_blocking_nets(
+        grid10, occupancy, [Point(4, 4)], [Point(0, 0)], rippable={7}
+    )
+    assert result is not None
+    assert result.nets == {7}
+    assert 7 in result.crossed_cells
+    assert result.crossed_cells[7]
+
+
+def test_walled_in_by_protected_net_returns_none(grid10):
+    occupancy = ring_occupancy(grid10, net=7)
+    result = find_blocking_nets(
+        grid10, occupancy, [Point(4, 4)], [Point(0, 0)], rippable=set()
+    )
+    assert result is None
+
+
+def test_prefers_cheaper_blocking_net(grid10):
+    """With two concentric walls on one side and a single wall on the
+    other, the probe should cross the single wall."""
+    occupancy = Occupancy(grid10)
+    # Wall of net 1 to the left of the source, wall of net 2 to the right;
+    # pins on both sides.
+    occupancy.occupy([Point(2, y) for y in range(10)], net=1)
+    occupancy.occupy([Point(7, y) for y in range(10)], net=2)
+    occupancy.occupy([Point(8, y) for y in range(10)], net=3)
+    result = find_blocking_nets(
+        grid10,
+        occupancy,
+        [Point(5, 5)],
+        [Point(0, 5), Point(9, 5)],
+        rippable={1, 2, 3},
+    )
+    assert result is not None
+    assert result.nets == {1}  # one crossing beats two
+
+
+def test_rip_cost_weights_choice(grid10):
+    """A high rip cost (e.g. an LM cluster) diverts the probe."""
+    occupancy = Occupancy(grid10)
+    occupancy.occupy([Point(2, y) for y in range(10)], net=1)  # LM wall
+    occupancy.occupy([Point(7, y) for y in range(10)], net=2)  # ordinary
+    result = find_blocking_nets(
+        grid10,
+        occupancy,
+        [Point(5, 5)],
+        [Point(0, 5), Point(9, 5)],
+        rippable={1, 2},
+        rip_cost={1: 10.0, 2: 1.0},
+    )
+    assert result is not None
+    assert result.nets == {2}
+
+
+def test_no_pins_returns_none(grid10):
+    occupancy = Occupancy(grid10)
+    assert (
+        find_blocking_nets(grid10, occupancy, [Point(5, 5)], [], rippable=set())
+        is None
+    )
+
+
+def test_obstacles_block_probe(grid10):
+    occupancy = Occupancy(grid10)
+    for y in range(10):
+        grid10.set_obstacle(Point(5, y))
+    result = find_blocking_nets(
+        grid10, occupancy, [Point(7, 5)], [Point(0, 5)], rippable=set()
+    )
+    assert result is None

@@ -1,0 +1,123 @@
+"""Tests for the sequential escape baseline and its comparison to MCF."""
+
+import pytest
+
+from repro.escape import EscapeSource, solve_escape, solve_escape_sequential
+from repro.geometry import Point
+from repro.grid import RoutingGrid
+
+
+def test_empty_sources(grid10):
+    result = solve_escape_sequential(grid10, [], [Point(0, 0)])
+    assert result.complete
+
+
+def test_single_source_routes_like_mcf(grid10):
+    source = EscapeSource(1, (Point(5, 5),))
+    pins = [Point(0, 5), Point(9, 5)]
+    sequential = solve_escape_sequential(grid10, [source], pins)
+    flow = solve_escape(grid10, [source], pins)
+    assert sequential.complete and flow.complete
+    assert sequential.paths[1].length == flow.paths[1].length
+
+
+def test_blocked_tap_prepends_tap_cell(grid10):
+    channel = [Point(x, 5) for x in range(3, 7)]
+    source = EscapeSource(2, tuple(channel))
+    result = solve_escape_sequential(
+        grid10, [source], [Point(0, 0)], blocked=set(channel)
+    )
+    assert result.complete
+    path = result.paths[2]
+    assert path.source in channel
+    assert path.cells[1] not in channel
+
+
+def test_pins_not_reused(grid10):
+    sources = [
+        EscapeSource(1, (Point(2, 5),)),
+        EscapeSource(2, (Point(7, 5),)),
+    ]
+    pins = [Point(0, 5), Point(9, 5)]
+    result = solve_escape_sequential(grid10, sources, pins)
+    assert result.complete
+    assert result.pin_of[1] != result.pin_of[2]
+
+
+def test_later_sources_blocked_by_earlier_paths(grid10):
+    # First source's straight path cuts the grid; the second must detour
+    # or fail — either way its path never crosses the first.
+    sources = [
+        EscapeSource(1, (Point(5, 1),)),
+        EscapeSource(2, (Point(5, 8),)),
+    ]
+    pins = [Point(0, 4), Point(9, 4)]
+    result = solve_escape_sequential(grid10, sources, pins)
+    if result.complete:
+        cells_1 = set(result.paths[1].cells)
+        cells_2 = set(result.paths[2].cells)
+        assert not cells_1 & cells_2
+
+
+def test_ordering_matters_where_flow_does_not():
+    """The classic failure: greedy steals the corridor MCF would share."""
+    grid = RoutingGrid(7, 5)
+    for x in range(7):
+        if x not in (1, 5):
+            grid.set_obstacle(Point(x, 2))
+    sources = [
+        EscapeSource(1, (Point(1, 1),)),
+        EscapeSource(2, (Point(2, 1),)),
+    ]
+    pins = [Point(1, 4), Point(5, 4)]
+    blocked = {Point(1, 1), Point(2, 1)}
+    flow = solve_escape(grid, sources, pins, blocked)
+    assert flow.complete  # the global formulation always finds the split
+    sequential = solve_escape_sequential(grid, sources, pins, blocked)
+    # Greedy may or may not complete, but never beats the flow's cost.
+    if sequential.complete:
+        assert sequential.total_cost >= flow.total_cost
+
+
+def test_near_order_heuristic(grid10):
+    sources = [
+        EscapeSource(1, (Point(5, 5),)),
+        EscapeSource(2, (Point(1, 1),)),
+    ]
+    pins = [Point(0, 0), Point(9, 9)]
+    result = solve_escape_sequential(grid10, sources, pins, order="near")
+    assert result.complete
+
+
+def test_unknown_order_rejected(grid10):
+    with pytest.raises(ValueError):
+        solve_escape_sequential(
+            grid10, [EscapeSource(1, (Point(5, 5),))], [Point(0, 0)], order="bogus"
+        )
+
+
+def test_cost_equals_sum_of_lengths(grid10):
+    sources = [
+        EscapeSource(1, (Point(2, 2),)),
+        EscapeSource(2, (Point(7, 7),)),
+    ]
+    pins = [Point(0, 0), Point(9, 9)]
+    result = solve_escape_sequential(grid10, sources, pins)
+    assert result.total_cost == sum(p.length for p in result.paths.values())
+
+
+def test_mcf_never_worse_on_random_instances():
+    import random
+
+    rng = random.Random(3)
+    for _ in range(5):
+        grid = RoutingGrid(20, 20)
+        cells = [Point(rng.randrange(4, 16), rng.randrange(4, 16)) for _ in range(4)]
+        cells = list(dict.fromkeys(cells))
+        sources = [EscapeSource(i, (c,)) for i, c in enumerate(cells)]
+        pins = [Point(x, 0) for x in range(1, 20, 3)]
+        flow = solve_escape(grid, sources, pins)
+        sequential = solve_escape_sequential(grid, sources, pins)
+        assert flow.flow_value >= sequential.flow_value
+        if flow.flow_value == sequential.flow_value:
+            assert flow.total_cost <= sequential.total_cost + 1e-9

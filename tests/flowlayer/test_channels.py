@@ -1,0 +1,141 @@
+"""Tests for the flow-layer model and its control-layer projection."""
+
+import pytest
+
+from repro.flowlayer import (
+    FlowChannel,
+    FlowLayer,
+    control_obstacles,
+    multiplexer_tree,
+    rotary_ring,
+    straight_channel,
+)
+from repro.geometry import Point
+from repro.grid import RoutingGrid
+
+
+class TestFlowChannel:
+    def test_requires_cells(self):
+        with pytest.raises(ValueError, match="no cells"):
+            FlowChannel("c", [])
+
+    def test_adjacency_validated(self):
+        with pytest.raises(ValueError, match="not adjacent"):
+            FlowChannel("c", [Point(0, 0), Point(2, 0)])
+
+    def test_closed_loop_validated(self):
+        with pytest.raises(ValueError, match="does not loop"):
+            FlowChannel("c", [Point(0, 0), Point(1, 0), Point(2, 0)], closed=True)
+
+    def test_accepts_tuples(self):
+        c = FlowChannel("c", [(0, 0), (1, 0)])
+        assert c.cells[0] == Point(0, 0)
+
+
+class TestFlowLayer:
+    def test_duplicate_names_rejected(self):
+        layer = FlowLayer()
+        layer.add(FlowChannel("a", [Point(0, 0)]))
+        with pytest.raises(ValueError, match="duplicate"):
+            layer.add(FlowChannel("a", [Point(5, 5)]))
+
+    def test_valve_site_must_be_on_channel(self):
+        layer = FlowLayer()
+        layer.add(FlowChannel("a", [Point(0, 0), Point(1, 0)]))
+        layer.add_valve_site(Point(1, 0))
+        with pytest.raises(ValueError, match="not on any"):
+            layer.add_valve_site(Point(5, 5))
+
+    def test_validate_against_grid(self):
+        layer = FlowLayer()
+        layer.add(FlowChannel("a", [Point(8, 8), Point(9, 8), Point(10, 8)]))
+        with pytest.raises(ValueError, match="leaves the chip"):
+            layer.validate(RoutingGrid(10, 10))
+
+    def test_control_obstacles_exclude_valve_sites(self):
+        layer = FlowLayer()
+        layer.add(FlowChannel("a", [Point(0, 0), Point(1, 0), Point(2, 0)]))
+        layer.add_valve_site(Point(1, 0))
+        obstacles = control_obstacles(layer)
+        assert obstacles == {Point(0, 0), Point(2, 0)}
+
+
+class TestGeometry:
+    def test_straight_channel_l_shape(self):
+        c = straight_channel("c", Point(0, 0), Point(3, 2))
+        assert c.cells[0] == Point(0, 0)
+        assert c.cells[-1] == Point(3, 2)
+        # 4 horizontal + 2 vertical cells.
+        assert len(c.cells) == 6
+
+    def test_straight_channel_horizontal_only(self):
+        c = straight_channel("c", Point(2, 5), Point(6, 5))
+        assert len(c.cells) == 5
+        assert all(p.y == 5 for p in c.cells)
+
+    def test_straight_channel_reverse_direction(self):
+        c = straight_channel("c", Point(6, 5), Point(2, 3))
+        assert c.cells[0] == Point(6, 5)
+        assert c.cells[-1] == Point(2, 3)
+
+    def test_rotary_ring_is_closed_loop(self):
+        ring = rotary_ring("r", Point(5, 5), 4)
+        assert ring.closed
+        assert len(ring.cells) == 12  # perimeter of 4x4 = 4*4 - 4
+        assert len(set(ring.cells)) == len(ring.cells)
+
+    def test_rotary_ring_minimum_size(self):
+        with pytest.raises(ValueError):
+            rotary_ring("r", Point(0, 0), 2)
+
+    def test_multiplexer_tree_structure(self):
+        channels = multiplexer_tree("m", Point(5, 10), 4, pitch=2)
+        assert len(channels) == 5  # trunk + 4 leaves
+        names = {c.name for c in channels}
+        assert "m.trunk" in names
+        assert "m.leaf3" in names
+        trunk = channels[0]
+        assert len(trunk.cells) == 7  # (4-1)*2 + 1
+
+    def test_multiplexer_needs_two_leaves(self):
+        with pytest.raises(ValueError):
+            multiplexer_tree("m", Point(0, 0), 1)
+
+
+class TestIntegrationWithRouting:
+    def test_flow_obstacles_route_around(self):
+        """Control channels avoid flow channels except at valve sites."""
+        from repro import run_pacor
+        from repro.analysis import verify_result
+        from repro.designs import Design
+        from repro.valves import ActivationSequence, Valve
+
+        grid = RoutingGrid(20, 20)
+        layer = FlowLayer()
+        ring = layer.add(rotary_ring("mix", Point(7, 7), 6))
+        # Two valve sites on the ring: a length-matched pair.
+        site_a, site_b = ring.cells[0], ring.cells[6]
+        layer.add_valve_site(site_a)
+        layer.add_valve_site(site_b)
+        layer.validate(grid)
+        grid.add_obstacles(control_obstacles(layer))
+
+        valves = [
+            Valve(0, site_a, ActivationSequence("01")),
+            Valve(1, site_b, ActivationSequence("01")),
+        ]
+        design = Design(
+            name="flowdemo",
+            grid=grid,
+            valves=valves,
+            lm_groups=[[0, 1]],
+            control_pins=[p for p in grid.boundary_cells()][::6],
+        )
+        design.validate()
+        result = run_pacor(design)
+        assert result.completion_rate == 1.0
+        verify_result(design, result)
+        # No control cell sits on a flow cell other than the valve sites.
+        flow_cells = layer.all_cells() - layer.valve_sites
+        for net in result.nets:
+            assert not net.cells & flow_cells

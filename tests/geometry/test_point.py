@@ -1,0 +1,41 @@
+"""Tests for Point and the Manhattan metric."""
+
+import pytest
+
+from repro.geometry import Point, manhattan
+
+
+def test_manhattan_symmetric():
+    a, b = Point(1, 2), Point(4, 6)
+    assert a.manhattan(b) == 7
+    assert b.manhattan(a) == 7
+    assert manhattan(a, b) == 7
+
+
+def test_manhattan_zero_for_same_point():
+    p = Point(3, 3)
+    assert p.manhattan(p) == 0
+
+
+def test_point_is_tuple_like():
+    p = Point(2, 5)
+    x, y = p
+    assert (x, y) == (2, 5)
+    assert p == (2, 5)
+    assert hash(p) == hash((2, 5))
+
+
+def test_neighbors4_are_at_distance_one():
+    p = Point(0, 0)
+    neighbors = list(p.neighbors4())
+    assert len(neighbors) == 4
+    assert all(p.manhattan(q) == 1 for q in neighbors)
+    assert len(set(neighbors)) == 4
+
+
+def test_translated():
+    assert Point(1, 1).translated(2, -3) == Point(3, -2)
+
+
+def test_manhattan_accepts_plain_tuples():
+    assert manhattan((0, 0), (3, 4)) == 7

@@ -1,0 +1,60 @@
+"""Tests for inclusive integer rectangles."""
+
+import pytest
+
+from repro.geometry import Point, Rect
+
+
+def test_single_cell_rect():
+    r = Rect(2, 3, 2, 3)
+    assert r.width == 1
+    assert r.height == 1
+    assert r.area == 1
+    assert r.contains(Point(2, 3))
+    assert not r.contains(Point(3, 3))
+
+
+def test_from_points_bounding_box():
+    r = Rect.from_points([Point(1, 5), Point(4, 2), Point(3, 3)])
+    assert r == Rect(1, 2, 4, 5)
+
+
+def test_from_points_empty_raises():
+    with pytest.raises(ValueError):
+        Rect.from_points([])
+
+
+def test_intersect_overlapping():
+    a = Rect(0, 0, 4, 4)
+    b = Rect(2, 2, 6, 6)
+    assert a.intersect(b) == Rect(2, 2, 4, 4)
+    assert a.overlap_area(b) == 9
+
+
+def test_intersect_disjoint_returns_none():
+    a = Rect(0, 0, 1, 1)
+    b = Rect(3, 3, 4, 4)
+    assert a.intersect(b) is None
+    assert a.overlap_area(b) == 0
+
+
+def test_intersect_touching_edge_counts():
+    a = Rect(0, 0, 2, 2)
+    b = Rect(2, 0, 4, 2)
+    assert a.intersect(b) == Rect(2, 0, 2, 2)
+    assert a.overlap_area(b) == 3
+
+
+def test_inflated():
+    assert Rect(1, 1, 2, 2).inflated(1) == Rect(0, 0, 3, 3)
+
+
+def test_cells_enumeration():
+    cells = list(Rect(0, 0, 1, 1).cells())
+    assert len(cells) == 4
+    assert set(cells) == {Point(0, 0), Point(1, 0), Point(0, 1), Point(1, 1)}
+
+
+def test_area_matches_cell_count():
+    r = Rect(2, 1, 5, 3)
+    assert r.area == len(list(r.cells()))

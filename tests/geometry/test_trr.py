@@ -1,0 +1,113 @@
+"""Tests for tilted rectangle regions in rotated half-unit coordinates."""
+
+import pytest
+
+from repro.geometry import TRR, Point, from_rotated, is_grid_rotated, to_rotated
+
+
+def test_rotation_roundtrip():
+    for p in [Point(0, 0), Point(3, 5), Point(7, 2), Point(1, 1)]:
+        u, v = to_rotated(p)
+        assert is_grid_rotated(u, v)
+        assert from_rotated(u, v) == p
+
+
+def test_off_grid_rotated_point_rejected():
+    # (u, v) = (1, 1) corresponds to a quarter-unit point.
+    assert not is_grid_rotated(1, 1)
+    with pytest.raises(ValueError):
+        from_rotated(1, 1)
+
+
+def test_manhattan_becomes_chebyshev():
+    a, b = Point(1, 2), Point(5, 3)
+    ua, va = to_rotated(a)
+    ub, vb = to_rotated(b)
+    # Half units are doubled, so Chebyshev distance is 2x Manhattan.
+    assert max(abs(ua - ub), abs(va - vb)) == 2 * a.manhattan(b)
+
+
+def test_point_region_distance():
+    ta = TRR.from_point(Point(0, 0))
+    tb = TRR.from_point(Point(3, 4))
+    assert ta.distance(tb) == 2 * 7  # half units
+    assert ta.distance(ta) == 0
+
+
+def test_expand_and_intersect_is_merging_segment():
+    # Classic DME merge: two sinks at Manhattan distance 4 merge with
+    # radii 2 + 2; the merging segment must be equidistant from both.
+    a, b = Point(0, 0), Point(4, 0)
+    ta, tb = TRR.from_point(a), TRR.from_point(b)
+    dist = ta.distance(tb)
+    assert dist == 8
+    ms = ta.expanded(dist // 2).intersect(tb.expanded(dist // 2))
+    assert ms is not None
+    points = list(ms.grid_points())
+    assert points, "merging segment contains on-grid points"
+    for p in points:
+        assert p.manhattan(a) == 2
+        assert p.manhattan(b) == 2
+
+
+def test_expanded_negative_radius_rejected():
+    with pytest.raises(ValueError):
+        TRR.from_point(Point(0, 0)).expanded(-1)
+
+
+def test_disjoint_intersection_is_none():
+    ta = TRR.from_point(Point(0, 0))
+    tb = TRR.from_point(Point(9, 9))
+    assert ta.intersect(tb) is None
+
+
+def test_grid_points_of_ball():
+    # Manhattan ball of radius 1 around (5, 5): centre + 4 neighbours.
+    ball = TRR.from_point(Point(5, 5)).expanded(2)
+    points = set(ball.grid_points())
+    assert points == {
+        Point(5, 5),
+        Point(4, 5),
+        Point(6, 5),
+        Point(5, 4),
+        Point(5, 6),
+    }
+
+
+def test_nearest_grid_point_inside_region():
+    ball = TRR.from_point(Point(5, 5)).expanded(4)
+    p, snap = ball.nearest_grid_point(Point(5, 5))
+    assert p == Point(5, 5)
+    assert snap == 0
+
+
+def test_nearest_grid_point_snaps_off_grid_segment():
+    # Sinks at odd distance: merging segment is off-grid (Lemma 1).
+    a, b = Point(0, 0), Point(3, 0)
+    ta, tb = TRR.from_point(a), TRR.from_point(b)
+    dist = ta.distance(tb)
+    assert dist == 6  # odd Manhattan distance 3
+    ms = ta.expanded(3).intersect(tb.expanded(3))
+    assert ms is not None
+    assert not list(ms.grid_points())  # truly off-grid
+    p, snap = ms.nearest_grid_point(Point(0, 0))
+    assert snap > 0
+    # Snapped point is within one unit of perfectly balanced.
+    assert abs(p.manhattan(a) - p.manhattan(b)) <= 1
+
+
+def test_sample_grid_points_spread_and_unique():
+    a, b = Point(0, 0), Point(8, 0)
+    ms = TRR.from_point(a).expanded(8).intersect(TRR.from_point(b).expanded(8))
+    samples = ms.sample_grid_points(limit=8)
+    assert samples
+    assert len(samples) == len(set(samples))
+    for p in samples:
+        assert p.manhattan(a) == 4
+        assert p.manhattan(b) == 4
+
+
+def test_nearest_rotated_clamps():
+    t = TRR(0, 4, 0, 4)
+    assert t.nearest_rotated(10, -3) == (4, 0)
+    assert t.nearest_rotated(2, 2) == (2, 2)

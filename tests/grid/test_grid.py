@@ -1,0 +1,90 @@
+"""Tests for the routing grid and obstacle map."""
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.grid import RoutingGrid
+
+
+def test_dimensions_validated():
+    with pytest.raises(ValueError):
+        RoutingGrid(0, 5)
+    with pytest.raises(ValueError):
+        RoutingGrid(5, -1)
+
+
+def test_index_point_roundtrip(grid10):
+    for p in [Point(0, 0), Point(9, 9), Point(3, 7)]:
+        assert grid10.point(grid10.index(p)) == p
+
+
+def test_in_bounds(grid10):
+    assert grid10.in_bounds(Point(0, 0))
+    assert grid10.in_bounds(Point(9, 9))
+    assert not grid10.in_bounds(Point(10, 0))
+    assert not grid10.in_bounds(Point(0, -1))
+
+
+def test_obstacle_set_and_query(grid10):
+    p = Point(4, 4)
+    assert grid10.is_free(p)
+    grid10.set_obstacle(p)
+    assert grid10.is_obstacle(p)
+    assert not grid10.is_free(p)
+    grid10.set_obstacle(p, False)
+    assert grid10.is_free(p)
+
+
+def test_set_obstacle_out_of_bounds_raises(grid10):
+    with pytest.raises(ValueError):
+        grid10.set_obstacle(Point(10, 10))
+
+
+def test_off_grid_is_not_free(grid10):
+    assert not grid10.is_free(Point(-1, 0))
+
+
+def test_rect_obstacle_clipped(grid10):
+    grid10.add_rect_obstacle(Rect(8, 8, 15, 15))
+    assert grid10.obstacle_count() == 4  # only the on-chip 2x2 corner
+    assert grid10.is_obstacle(Point(9, 9))
+
+
+def test_obstacle_cells_iteration(grid10):
+    cells = {Point(1, 1), Point(2, 2)}
+    grid10.add_obstacles(cells)
+    assert set(grid10.obstacle_cells()) == cells
+
+
+def test_free_neighbors_respects_obstacles(grid10):
+    grid10.set_obstacle(Point(1, 0))
+    neighbors = set(grid10.free_neighbors(Point(0, 0)))
+    assert neighbors == {Point(0, 1)}
+
+
+def test_boundary_cells_count_and_membership(grid10):
+    boundary = grid10.boundary_cells()
+    assert len(boundary) == 4 * 10 - 4
+    assert len(set(boundary)) == len(boundary)
+    assert all(grid10.is_boundary(p) for p in boundary)
+    assert not grid10.is_boundary(Point(5, 5))
+
+
+def test_boundary_cells_degenerate_grids():
+    line = RoutingGrid(5, 1)
+    assert len(set(line.boundary_cells())) == 5
+    column = RoutingGrid(1, 4)
+    assert len(set(column.boundary_cells())) == 4
+
+
+def test_copy_is_independent(grid10):
+    grid10.set_obstacle(Point(3, 3))
+    clone = grid10.copy()
+    clone.set_obstacle(Point(4, 4))
+    assert grid10.is_obstacle(Point(3, 3))
+    assert not grid10.is_obstacle(Point(4, 4))
+    assert clone.is_obstacle(Point(3, 3))
+
+
+def test_extent(grid10):
+    assert grid10.extent() == Rect(0, 0, 9, 9)

@@ -1,0 +1,74 @@
+"""Tests for the per-net occupancy overlay."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.grid import FREE, Occupancy
+
+
+def test_initially_free(occupancy10):
+    assert occupancy10.owner(Point(0, 0)) == FREE
+    assert occupancy10.is_free(Point(5, 5))
+    assert occupancy10.occupied_count() == 0
+
+
+def test_occupy_and_owner(occupancy10):
+    cells = [Point(1, 1), Point(1, 2)]
+    occupancy10.occupy(cells, net=7)
+    assert occupancy10.owner(Point(1, 1)) == 7
+    assert occupancy10.cells_of(7) == set(cells)
+    assert occupancy10.occupied_count() == 2
+
+
+def test_occupy_conflict_raises(occupancy10):
+    occupancy10.occupy([Point(2, 2)], net=1)
+    with pytest.raises(ValueError):
+        occupancy10.occupy([Point(2, 2)], net=2)
+
+
+def test_occupy_same_net_is_idempotent(occupancy10):
+    occupancy10.occupy([Point(2, 2)], net=1)
+    occupancy10.occupy([Point(2, 2)], net=1)
+    assert occupancy10.occupied_count() == 1
+
+
+def test_occupy_with_free_sentinel_rejected(occupancy10):
+    with pytest.raises(ValueError):
+        occupancy10.occupy([Point(0, 0)], net=FREE)
+
+
+def test_release_returns_cells(occupancy10):
+    cells = {Point(3, 3), Point(3, 4)}
+    occupancy10.occupy(cells, net=5)
+    released = occupancy10.release(5)
+    assert released == cells
+    assert occupancy10.is_free(Point(3, 3))
+    assert occupancy10.occupied_count() == 0
+
+
+def test_release_unknown_net_is_noop(occupancy10):
+    assert occupancy10.release(99) == set()
+
+
+def test_release_cells_partial(occupancy10):
+    occupancy10.occupy([Point(1, 1), Point(1, 2)], net=3)
+    occupancy10.release_cells([Point(1, 1)])
+    assert occupancy10.is_free(Point(1, 1))
+    assert occupancy10.owner(Point(1, 2)) == 3
+    assert occupancy10.cells_of(3) == {Point(1, 2)}
+
+
+def test_is_routable_semantics(grid10, occupancy10):
+    grid10.set_obstacle(Point(4, 4))
+    occupancy10.occupy([Point(5, 5)], net=1)
+    assert not occupancy10.is_routable(Point(4, 4), net=1)  # static obstacle
+    assert occupancy10.is_routable(Point(5, 5), net=1)  # own net
+    assert not occupancy10.is_routable(Point(5, 5), net=2)  # other net
+    assert occupancy10.is_routable(Point(6, 6), net=2)  # free
+
+
+def test_nets_iteration(occupancy10):
+    occupancy10.occupy([Point(0, 0)], net=1)
+    occupancy10.occupy([Point(1, 0)], net=2)
+    occupancy10.release(1)
+    assert set(occupancy10.nets()) == {2}

@@ -1,0 +1,82 @@
+"""Property-based tests for design JSON round-tripping."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.designs import design_from_json, design_to_json
+from repro.designs.design import Design
+from repro.geometry import Point
+from repro.grid import RoutingGrid
+from repro.valves import ActivationSequence, Valve
+
+
+@st.composite
+def designs(draw):
+    width = draw(st.integers(8, 24))
+    height = draw(st.integers(8, 24))
+    grid = RoutingGrid(width, height)
+    interior = st.tuples(
+        st.integers(1, width - 2), st.integers(1, height - 2)
+    )
+    n_valves = draw(st.integers(1, 8))
+    positions = draw(
+        st.lists(interior, min_size=n_valves, max_size=n_valves, unique=True)
+    )
+    seqs = draw(
+        st.lists(
+            st.text(alphabet="01X", min_size=4, max_size=4),
+            min_size=n_valves,
+            max_size=n_valves,
+        )
+    )
+    valves = [
+        Valve(i, Point(*positions[i]), ActivationSequence(seqs[i]))
+        for i in range(n_valves)
+    ]
+    taken = set(positions)
+    obstacle_candidates = draw(st.sets(interior, max_size=10))
+    for x, y in obstacle_candidates - taken:
+        grid.set_obstacle(Point(x, y))
+    # Pins on the boundary (always free: obstacles are interior).
+    n_pins = draw(st.integers(1, 6))
+    boundary = grid.boundary_cells()
+    step = max(1, len(boundary) // n_pins)
+    pins = boundary[::step][:n_pins]
+    # A compatible LM pair when possible.
+    lm_groups = []
+    if n_valves >= 2 and valves[0].compatible(valves[1]):
+        lm_groups = [[0, 1]]
+    design = Design(
+        name="prop",
+        grid=grid,
+        valves=valves,
+        lm_groups=lm_groups,
+        control_pins=pins,
+        delta=draw(st.integers(0, 3)),
+    )
+    design.validate()
+    return design
+
+
+@given(designs())
+@settings(max_examples=30, deadline=None)
+def test_json_roundtrip_preserves_everything(design):
+    rebuilt = design_from_json(design_to_json(design))
+    assert rebuilt.name == design.name
+    assert rebuilt.grid.width == design.grid.width
+    assert rebuilt.grid.height == design.grid.height
+    assert set(rebuilt.grid.obstacle_cells()) == set(design.grid.obstacle_cells())
+    assert [(v.id, v.position, v.sequence) for v in rebuilt.valves] == [
+        (v.id, v.position, v.sequence) for v in design.valves
+    ]
+    assert rebuilt.lm_groups == design.lm_groups
+    assert rebuilt.control_pins == design.control_pins
+    assert rebuilt.delta == design.delta
+
+
+@given(designs())
+@settings(max_examples=15, deadline=None)
+def test_roundtrip_is_idempotent(design):
+    doc1 = design_to_json(design)
+    doc2 = design_to_json(design_from_json(doc1))
+    assert doc1 == doc2

@@ -1,0 +1,78 @@
+"""Property-based tests for DME merging, bounded skew, and selection."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.dme import (
+    balanced_bipartition_topology,
+    compute_merging_regions,
+    compute_merging_regions_bounded,
+    generate_candidates,
+)
+from repro.geometry import Point
+from repro.grid import RoutingGrid
+
+sink_sets = st.sets(
+    st.builds(Point, st.integers(1, 28), st.integers(1, 28)),
+    min_size=2,
+    max_size=6,
+)
+
+
+def sink_depths(node):
+    if node.is_leaf():
+        return [0]
+    out = []
+    for child in node.children:
+        out.extend(d + child.edge_h for d in sink_depths(child))
+    return out
+
+
+@given(sink_sets)
+@settings(max_examples=50, deadline=None)
+def test_zero_skew_merging_balances_within_rounding(points):
+    points = sorted(points)
+    root = balanced_bipartition_topology(points)
+    compute_merging_regions(root)
+    depths = sink_depths(root)
+    # One half unit of rounding per merge level at most.
+    assert max(depths) - min(depths) <= 2 * len(points)
+    assert root.delay_h == max(depths)
+
+
+@given(sink_sets, st.integers(0, 8))
+@settings(max_examples=50, deadline=None)
+def test_bounded_skew_respects_budget(points, skew_h):
+    points = sorted(points)
+    root = balanced_bipartition_topology(points)
+    compute_merging_regions_bounded(root, skew_h)
+    depths = sink_depths(root)
+    assert max(depths) - min(depths) <= max(skew_h, 2 * len(points))
+    if skew_h == 0:
+        assert max(depths) - min(depths) <= 2 * len(points)
+
+
+@given(sink_sets)
+@settings(max_examples=25, deadline=None)
+def test_candidates_always_balanced_on_empty_grid(points):
+    points = sorted(points)
+    grid = RoutingGrid(30, 30)
+    candidates = generate_candidates(grid, 0, points, k=4)
+    assume(candidates)
+    for tree in candidates:
+        lengths = tree.full_path_lengths()
+        assert set(lengths) == set(range(len(points)))
+        assert max(lengths.values()) - min(lengths.values()) <= 2 * len(points)
+        # Internal nodes are on-grid and distinct from sinks when blocked.
+        for node in tree.root.walk():
+            assert grid.in_bounds(node.position)
+
+
+@given(sink_sets, st.integers(1, 4))
+@settings(max_examples=20, deadline=None)
+def test_candidate_count_respects_k(points, k):
+    grid = RoutingGrid(30, 30)
+    candidates = generate_candidates(grid, 0, sorted(points), k=k)
+    assert len(candidates) <= k
+    signatures = {t.signature() for t in candidates}
+    assert len(signatures) == len(candidates)

@@ -1,0 +1,115 @@
+"""Property-based end-to-end tests: random designs through the full flow.
+
+Each example synthesizes a random (but valid) design, runs PACOR and
+checks the solution with the independent verifier — the strongest
+invariant the library offers.  Example counts are modest because each
+example routes a whole chip.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import verify_result
+from repro.core import PacorConfig, run_pacor
+from repro.designs import ClusterPlan, generate_design
+from repro.escape import EscapeSource, check_paper_constraints, solve_escape
+from repro.geometry import Point
+from repro.grid import RoutingGrid
+
+_FLOW_SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def design_specs(draw):
+    n_clusters = draw(st.integers(0, 3))
+    sizes = [draw(st.integers(2, 4)) for _ in range(n_clusters)]
+    return {
+        "sizes": sizes,
+        "singletons": draw(st.integers(0 if n_clusters else 1, 4)),
+        "obstacles": draw(st.integers(0, 25)),
+        "seed": draw(st.integers(0, 10_000)),
+    }
+
+
+@given(design_specs())
+@_FLOW_SETTINGS
+def test_random_designs_route_and_verify(spec):
+    design = generate_design(
+        "prop-flow",
+        36,
+        36,
+        clusters=[ClusterPlan(s) for s in spec["sizes"]],
+        n_singletons=spec["singletons"],
+        n_pins=24,
+        n_obstacles=spec["obstacles"],
+        seed=spec["seed"],
+    )
+    result = run_pacor(design)
+    # Verification raises on any hard violation (crossings, obstacle
+    # hits, bad pins, incompatible valves, false matching claims).
+    verify_result(design, result)
+    # On these roomy instances, completion is always total.
+    assert result.completion_rate == 1.0
+    # Every matched net's reported mismatch honours delta.
+    for net in result.nets:
+        if net.matched:
+            assert net.mismatch is not None and net.mismatch <= design.delta
+
+
+@given(design_specs(), st.sampled_from(["w/o Sel", "Detour First"]))
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_baselines_also_verify(spec, method):
+    from repro.core import run_method
+
+    design = generate_design(
+        "prop-base",
+        30,
+        30,
+        clusters=[ClusterPlan(s) for s in spec["sizes"]],
+        n_singletons=spec["singletons"],
+        n_pins=20,
+        n_obstacles=min(spec["obstacles"], 15),
+        seed=spec["seed"],
+    )
+    result = run_method(design, method)
+    verify_result(design, result)
+
+
+@st.composite
+def escape_instances(draw):
+    grid = RoutingGrid(16, 16)
+    n_obstacles = draw(st.integers(0, 12))
+    for _ in range(n_obstacles):
+        grid.set_obstacle(
+            Point(draw(st.integers(2, 13)), draw(st.integers(2, 13)))
+        )
+    taps = draw(
+        st.sets(
+            st.builds(Point, st.integers(3, 12), st.integers(3, 12)),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    taps = {t for t in taps if grid.is_free(t)}
+    if not taps:
+        taps = {Point(8, 8)}
+        grid.set_obstacle(Point(8, 8), False)
+    sources = [EscapeSource(i, (t,)) for i, t in enumerate(sorted(taps))]
+    pins = [Point(x, 0) for x in range(1, 16, 3)]
+    return grid, sources, pins
+
+
+@given(escape_instances())
+@settings(max_examples=25, deadline=None)
+def test_escape_solutions_satisfy_paper_constraints(instance):
+    grid, sources, pins = instance
+    result = solve_escape(grid, sources, pins)
+    check_paper_constraints(grid, sources, pins, set(), result)
+    # Routed paths end on distinct pins.
+    pins_used = [result.pin_of[c] for c in result.paths]
+    assert len(pins_used) == len(set(pins_used))

@@ -1,0 +1,95 @@
+"""Property-based tests for geometry invariants (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import TRR, Point, Rect, from_rotated, is_grid_rotated, to_rotated
+
+coords = st.integers(min_value=-200, max_value=200)
+points = st.builds(Point, coords, coords)
+small_radius = st.integers(min_value=0, max_value=40)
+
+
+@given(points, points)
+def test_manhattan_symmetry_and_triangle(a, b):
+    assert a.manhattan(b) == b.manhattan(a)
+    assert a.manhattan(b) >= 0
+    assert (a.manhattan(b) == 0) == (a == b)
+
+
+@given(points, points, points)
+def test_manhattan_triangle_inequality(a, b, c):
+    assert a.manhattan(c) <= a.manhattan(b) + b.manhattan(c)
+
+
+@given(points)
+def test_rotation_roundtrip(p):
+    u, v = to_rotated(p)
+    assert is_grid_rotated(u, v)
+    assert from_rotated(u, v) == p
+
+
+@given(points, points)
+def test_rotated_chebyshev_equals_doubled_manhattan(a, b):
+    ua, va = to_rotated(a)
+    ub, vb = to_rotated(b)
+    assert max(abs(ua - ub), abs(va - vb)) == 2 * a.manhattan(b)
+
+
+@given(points, points)
+def test_trr_distance_matches_point_distance(a, b):
+    ta, tb = TRR.from_point(a), TRR.from_point(b)
+    assert ta.distance(tb) == 2 * a.manhattan(b)
+    assert tb.distance(ta) == ta.distance(tb)
+
+
+@given(points, small_radius)
+def test_ball_contains_exactly_manhattan_disk(center, radius):
+    ball = TRR.from_point(center).expanded(2 * radius)
+    inside = set(ball.grid_points())
+    for p in inside:
+        assert center.manhattan(p) <= radius
+    # The extreme points of the disk are present.
+    assert center.translated(radius, 0) in inside
+    assert center.translated(-radius, 0) in inside
+
+
+@given(points, points)
+def test_merging_segment_is_equidistant(a, b):
+    """The DME merge of two sinks balances distances within rounding."""
+    ta, tb = TRR.from_point(a), TRR.from_point(b)
+    dist = ta.distance(tb)
+    ea = dist // 2
+    eb = dist - ea
+    region = ta.expanded(ea).intersect(tb.expanded(eb))
+    assert region is not None
+    for p in list(region.grid_points())[:20]:
+        da, db = p.manhattan(a), p.manhattan(b)
+        # Each distance is within half a unit of the target radius.
+        assert abs(2 * da - ea) <= 1
+        assert abs(2 * db - eb) <= 1
+
+
+@given(points, small_radius, small_radius)
+def test_expansion_is_monotone(p, r1, r2):
+    lo, hi = sorted((r1, r2))
+    small = TRR.from_point(p).expanded(lo)
+    big = TRR.from_point(p).expanded(hi)
+    assert big.intersect(small) == small
+
+
+@given(
+    st.integers(0, 50), st.integers(0, 50), st.integers(0, 50), st.integers(0, 50)
+)
+def test_rect_intersection_commutative(x1, y1, x2, y2):
+    a = Rect(min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2))
+    b = Rect(min(y1, x2), min(x1, y2), max(y1, x2), max(x1, y2))
+    assert a.intersect(b) == b.intersect(a)
+    assert a.overlap_area(b) == b.overlap_area(a)
+
+
+@given(st.lists(points, min_size=1, max_size=20))
+def test_bounding_box_contains_all(pts):
+    box = Rect.from_points(pts)
+    assert all(box.contains(p) for p in pts)
+    assert box.area >= len(set(pts))

@@ -1,0 +1,114 @@
+"""Property-based tests for the routers."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point, manhattan
+from repro.grid import Occupancy, RoutingGrid
+from repro.routing import (
+    Path,
+    astar_route,
+    bounded_length_route,
+    extend_path_with_bumps,
+    manhattan_mst,
+    route_cluster_mst,
+)
+
+grid_points = st.builds(
+    Point, st.integers(0, 19), st.integers(0, 19)
+)
+obstacle_sets = st.sets(grid_points, max_size=40)
+
+
+def make_grid(obstacles):
+    grid = RoutingGrid(20, 20)
+    grid.add_obstacles(obstacles)
+    return grid
+
+
+@given(grid_points, grid_points, obstacle_sets)
+@settings(max_examples=60, deadline=None)
+def test_astar_path_valid_and_optimal_lower_bound(src, dst, obstacles):
+    obstacles -= {src, dst}
+    grid = make_grid(obstacles)
+    path = astar_route(grid, [src], [dst])
+    if path is None:
+        return
+    assert path.source == src
+    assert path.target == dst
+    assert path.length >= manhattan(src, dst)
+    assert all(grid.is_free(c) for c in path.cells)
+    # A* with unit costs is optimal: no shorter free path can exist when
+    # the straight-line corridor is clear.
+    if not obstacles:
+        assert path.length == manhattan(src, dst)
+
+
+@given(grid_points, grid_points)
+@settings(max_examples=40, deadline=None)
+def test_astar_on_empty_grid_is_exact(src, dst):
+    grid = RoutingGrid(20, 20)
+    path = astar_route(grid, [src], [dst])
+    assert path is not None
+    assert path.length == manhattan(src, dst)
+
+
+@given(grid_points, grid_points, st.integers(0, 10))
+@settings(max_examples=40, deadline=None)
+def test_bounded_route_respects_window(src, dst, extra):
+    assume(src != dst)
+    grid = RoutingGrid(20, 20)
+    base = manhattan(src, dst)
+    lo = base + extra
+    hi = lo + 1
+    path = bounded_length_route(grid, src, dst, lo, hi, max_states=30_000)
+    if path is not None:
+        assert lo <= path.length <= hi
+        assert path.is_simple()
+        assert path.source == src and path.target == dst
+
+
+@given(st.integers(2, 15), st.integers(0, 8))
+@settings(max_examples=40, deadline=None)
+def test_bump_extension_exact(length, bumps):
+    grid = RoutingGrid(40, 40)
+    path = Path([Point(5 + i, 20) for i in range(length + 1)])
+    extended = extend_path_with_bumps(grid, path, 2 * bumps)
+    assert extended is not None
+    assert extended.length == path.length + 2 * bumps
+    assert extended.is_simple()
+    assert extended.source == path.source
+    assert extended.target == path.target
+
+
+@given(st.lists(grid_points, min_size=1, max_size=10, unique=True))
+@settings(max_examples=40, deadline=None)
+def test_mst_edge_count_and_symmetry(points):
+    edges = manhattan_mst(points)
+    assert len(edges) == len(points) - 1
+    # Every index appears; the edge set spans all points.
+    seen = {0}
+    for parent, child in edges:
+        assert parent in seen
+        seen.add(child)
+    assert seen == set(range(len(points)))
+
+
+@given(st.lists(grid_points, min_size=2, max_size=6, unique=True))
+@settings(max_examples=30, deadline=None)
+def test_route_cluster_mst_connects_on_empty_grid(terminals):
+    grid = RoutingGrid(20, 20)
+    occupancy = Occupancy(grid)
+    result = route_cluster_mst(grid, occupancy, 1, terminals)
+    assert result.success
+    cells = occupancy.cells_of(1)
+    # BFS connectivity across the net's cells (MST paths are contiguous).
+    frontier = [terminals[0]]
+    seen = {terminals[0]}
+    while frontier:
+        p = frontier.pop()
+        for q in p.neighbors4():
+            if q in cells and q not in seen:
+                seen.add(q)
+                frontier.append(q)
+    assert all(t in seen for t in terminals)

@@ -1,0 +1,74 @@
+"""Property-based tests for activation sequences and clustering."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Point
+from repro.valves import ActivationSequence, Valve, greedy_clique_partition
+from repro.valves.compatibility import pairwise_compatible
+
+statuses = st.sampled_from("01X")
+sequences = st.text(alphabet="01X", min_size=1, max_size=12).map(ActivationSequence)
+fixed_sequences = st.text(alphabet="01X", min_size=6, max_size=6).map(
+    ActivationSequence
+)
+
+
+@given(sequences, sequences)
+def test_compatibility_symmetric(a, b):
+    assert a.compatible(b) == b.compatible(a)
+
+
+@given(sequences)
+def test_compatibility_reflexive(a):
+    assert a.compatible(a)
+
+
+@given(fixed_sequences, fixed_sequences)
+def test_merge_commutative_when_compatible(a, b):
+    if a.compatible(b):
+        assert a.merge(b) == b.merge(a)
+
+
+@given(fixed_sequences, fixed_sequences)
+def test_merge_absorbs_dont_cares(a, b):
+    if a.compatible(b):
+        merged = a.merge(b)
+        assert merged.compatible(a)
+        assert merged.compatible(b)
+        # The merge is at least as constrained as both inputs.
+        assert merged.steps.count("X") <= a.steps.count("X")
+        assert merged.steps.count("X") <= b.steps.count("X")
+
+
+@given(fixed_sequences, fixed_sequences, fixed_sequences)
+def test_merge_signature_is_exact(a, b, probe):
+    """probe is compatible with merge(a, b) iff compatible with both."""
+    if not a.compatible(b):
+        return
+    merged = a.merge(b)
+    assert merged.compatible(probe) == (a.compatible(probe) and b.compatible(probe))
+
+
+@given(st.lists(fixed_sequences, min_size=1, max_size=15))
+def test_greedy_partition_covers_with_true_cliques(seqs):
+    valves = [Valve(i, Point(i, 0), s) for i, s in enumerate(seqs)]
+    groups = greedy_clique_partition(valves)
+    covered = sorted(v.id for g in groups for v in g)
+    assert covered == list(range(len(valves)))
+    for group in groups:
+        assert pairwise_compatible(group)
+
+
+@given(st.lists(fixed_sequences, min_size=2, max_size=12))
+def test_greedy_partition_not_worse_than_singletons(seqs):
+    valves = [Valve(i, Point(i, 0), s) for i, s in enumerate(seqs)]
+    groups = greedy_clique_partition(valves)
+    assert len(groups) <= len(valves)
+    # If any two valves are compatible, greedy must do better than all-singletons.
+    if any(
+        valves[i].compatible(valves[j])
+        for i in range(len(valves))
+        for j in range(i + 1, len(valves))
+    ):
+        assert len(groups) < len(valves)

@@ -1,0 +1,112 @@
+"""Tests for the A* routing engine."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.grid import Occupancy, RoutingGrid
+from repro.routing import Path, astar_route
+
+
+def test_point_to_point_shortest(grid10):
+    path = astar_route(grid10, [Point(0, 0)], [Point(5, 0)])
+    assert path is not None
+    assert path.length == 5
+    assert path.source == Point(0, 0)
+    assert path.target == Point(5, 0)
+
+
+def test_source_equals_target(grid10):
+    path = astar_route(grid10, [Point(3, 3)], [Point(3, 3)])
+    assert path == Path([Point(3, 3)])
+
+
+def test_routes_around_obstacle_wall(grid10):
+    # Vertical wall with one gap at y = 9.
+    for y in range(9):
+        grid10.set_obstacle(Point(5, y))
+    path = astar_route(grid10, [Point(0, 0)], [Point(9, 0)])
+    assert path is not None
+    assert any(cell == Point(5, 9) for cell in path)
+    assert path.length > 9
+
+
+def test_unroutable_returns_none(grid10):
+    for y in range(10):
+        grid10.set_obstacle(Point(5, y))
+    assert astar_route(grid10, [Point(0, 0)], [Point(9, 0)]) is None
+
+
+def test_blocked_source_or_target_returns_none(grid10):
+    grid10.set_obstacle(Point(0, 0))
+    assert astar_route(grid10, [Point(0, 0)], [Point(5, 5)]) is None
+    grid10.set_obstacle(Point(0, 0), False)
+    grid10.set_obstacle(Point(5, 5))
+    assert astar_route(grid10, [Point(0, 0)], [Point(5, 5)]) is None
+
+
+def test_point_to_path_targets_any_member(grid10):
+    targets = [Point(9, y) for y in range(10)]
+    path = astar_route(grid10, [Point(0, 5)], targets)
+    assert path is not None
+    assert path.length == 9
+    assert path.target == Point(9, 5)
+
+
+def test_path_to_path_multiple_sources(grid10):
+    sources = [Point(0, 0), Point(0, 9)]
+    targets = [Point(9, 9)]
+    path = astar_route(grid10, sources, targets)
+    assert path is not None
+    assert path.source == Point(0, 9)
+    assert path.length == 9
+
+
+def test_occupancy_blocks_other_nets(grid10):
+    occupancy = Occupancy(grid10)
+    occupancy.occupy([Point(5, y) for y in range(10)], net=1)
+    path = astar_route(grid10, [Point(0, 0)], [Point(9, 0)], net=2, occupancy=occupancy)
+    assert path is None
+
+
+def test_occupancy_allows_same_net(grid10):
+    occupancy = Occupancy(grid10)
+    occupancy.occupy([Point(5, y) for y in range(10)], net=1)
+    path = astar_route(grid10, [Point(0, 0)], [Point(9, 0)], net=1, occupancy=occupancy)
+    assert path is not None
+    assert path.length == 9
+
+
+def test_history_cost_steers_away(grid10):
+    # Make the straight corridor expensive; A* should detour around it.
+    history = [0.0] * (grid10.width * grid10.height)
+    for x in range(1, 9):
+        history[grid10.index(Point(x, 0))] = 10.0
+    path = astar_route(grid10, [Point(0, 0)], [Point(9, 0)], history=history)
+    assert path is not None
+    middle = [c for c in path.cells if 0 < c.x < 9]
+    assert all(c.y > 0 for c in middle)
+
+
+def test_extra_obstacles_are_respected(grid10):
+    extra = {Point(x, 0) for x in range(1, 10)}
+    extra |= {Point(x, 1) for x in range(0, 9)}
+    path = astar_route(grid10, [Point(0, 0)], [Point(9, 0)], extra_obstacles=extra)
+    assert path is None or all(c not in extra for c in path.cells)
+
+
+def test_max_expansions_aborts(grid10):
+    path = astar_route(grid10, [Point(0, 0)], [Point(9, 9)], max_expansions=2)
+    assert path is None
+
+
+def test_empty_sources_or_targets(grid10):
+    assert astar_route(grid10, [], [Point(1, 1)]) is None
+    assert astar_route(grid10, [Point(1, 1)], []) is None
+
+
+def test_path_cells_are_free_and_adjacent(grid10):
+    grid10.add_obstacles([Point(3, y) for y in range(1, 10)])
+    path = astar_route(grid10, [Point(0, 9)], [Point(9, 9)])
+    assert path is not None
+    for cell in path:
+        assert grid10.is_free(cell)

@@ -1,0 +1,111 @@
+"""Tests for minimum-length bounded routing and serpentine extension."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.grid import Occupancy, RoutingGrid
+from repro.routing import Path, bounded_length_route, extend_path_with_bumps
+
+
+class TestBoundedLengthRoute:
+    def test_exact_shortest_when_bound_allows(self, grid20):
+        path = bounded_length_route(grid20, Point(0, 0), Point(5, 0), 5, 7)
+        assert path is not None
+        assert 5 <= path.length <= 7
+        assert path.is_simple()
+
+    def test_detours_to_meet_lower_bound(self, grid20):
+        path = bounded_length_route(grid20, Point(0, 0), Point(5, 0), 9, 11)
+        assert path is not None
+        assert 9 <= path.length <= 11
+        assert path.is_simple()
+
+    def test_parity_infeasible_window_returns_none(self, grid20):
+        # Manhattan distance 5 (odd); an even-only window is unreachable.
+        assert bounded_length_route(grid20, Point(0, 0), Point(5, 0), 6, 6) is None
+
+    def test_min_above_max_raises(self, grid20):
+        with pytest.raises(ValueError):
+            bounded_length_route(grid20, Point(0, 0), Point(5, 0), 8, 6)
+
+    def test_target_too_far_returns_none(self, grid20):
+        assert bounded_length_route(grid20, Point(0, 0), Point(9, 9), 3, 5) is None
+
+    def test_respects_obstacles(self, grid20):
+        for y in range(19):
+            grid20.set_obstacle(Point(10, y))
+        path = bounded_length_route(grid20, Point(0, 0), Point(19, 0), 37, 39)
+        if path is not None:
+            assert all(grid20.is_free(c) for c in path.cells)
+            assert 37 <= path.length <= 39
+
+    def test_respects_occupancy(self, grid20):
+        occupancy = Occupancy(grid20)
+        occupancy.occupy([Point(3, y) for y in range(20)], net=9)
+        path = bounded_length_route(
+            grid20, Point(0, 0), Point(1, 0), 3, 5, net=1, occupancy=occupancy
+        )
+        assert path is not None
+        assert all(occupancy.owner(c) != 9 for c in path.cells)
+
+    def test_blocked_endpoint_returns_none(self, grid20):
+        grid20.set_obstacle(Point(0, 0))
+        assert bounded_length_route(grid20, Point(0, 0), Point(5, 0), 5, 5) is None
+
+    def test_long_detour_in_open_space(self, grid20):
+        path = bounded_length_route(grid20, Point(0, 0), Point(2, 0), 20, 22)
+        assert path is not None
+        assert 20 <= path.length <= 22
+        assert path.is_simple()
+
+
+class TestExtendPathWithBumps:
+    def test_zero_extra_returns_same_path(self, grid20):
+        p = Path([Point(0, 0), Point(1, 0)])
+        assert extend_path_with_bumps(grid20, p, 0) is p
+
+    def test_odd_or_negative_extra_rejected(self, grid20):
+        p = Path([Point(0, 0), Point(1, 0)])
+        assert extend_path_with_bumps(grid20, p, 3) is None
+        assert extend_path_with_bumps(grid20, p, -2) is None
+
+    def test_single_bump_adds_two(self, grid20):
+        p = Path([Point(5, 5), Point(6, 5), Point(7, 5)])
+        extended = extend_path_with_bumps(grid20, p, 2)
+        assert extended is not None
+        assert extended.length == p.length + 2
+        assert extended.source == p.source
+        assert extended.target == p.target
+        assert extended.is_simple()
+
+    def test_large_extension_nests_bumps(self, grid20):
+        p = Path([Point(5, 10), Point(6, 10), Point(7, 10)])
+        extended = extend_path_with_bumps(grid20, p, 20)
+        assert extended is not None
+        assert extended.length == p.length + 20
+        assert extended.is_simple()
+
+    def test_extension_fails_in_tight_corridor(self):
+        grid = RoutingGrid(10, 1)  # one-row chip: no perpendicular room
+        p = Path([Point(0, 0), Point(1, 0), Point(2, 0)])
+        assert extend_path_with_bumps(grid, p, 2) is None
+
+    def test_extension_respects_occupancy(self, grid20):
+        occupancy = Occupancy(grid20)
+        p = Path([Point(5, 5), Point(6, 5), Point(7, 5)])
+        occupancy.occupy(p.cells, net=1)
+        # Fence the path rows above and below with another net.
+        fence = [Point(x, 4) for x in range(4, 9)] + [Point(x, 6) for x in range(4, 9)]
+        occupancy.occupy(fence, net=2)
+        assert (
+            extend_path_with_bumps(grid20, p, 2, net=1, occupancy=occupancy) is None
+        )
+
+    def test_extension_new_cells_free(self, grid20):
+        occupancy = Occupancy(grid20)
+        p = Path([Point(5, 5), Point(6, 5), Point(7, 5)])
+        occupancy.occupy(p.cells, net=1)
+        extended = extend_path_with_bumps(grid20, p, 4, net=1, occupancy=occupancy)
+        assert extended is not None
+        for cell in extended.cells:
+            assert occupancy.is_routable(cell, net=1)

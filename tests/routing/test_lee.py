@@ -1,0 +1,88 @@
+"""Tests for the Lee maze router, including A* cross-validation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point, manhattan
+from repro.grid import Occupancy, RoutingGrid
+from repro.routing import astar_route, lee_route
+
+
+def test_point_to_point(grid10):
+    path = lee_route(grid10, [Point(0, 0)], [Point(7, 3)])
+    assert path is not None
+    assert path.length == 10
+
+
+def test_source_is_target(grid10):
+    path = lee_route(grid10, [Point(3, 3)], [Point(3, 3)])
+    assert path is not None
+    assert path.length == 0
+
+
+def test_unreachable(grid10):
+    for y in range(10):
+        grid10.set_obstacle(Point(5, y))
+    assert lee_route(grid10, [Point(0, 0)], [Point(9, 0)]) is None
+
+
+def test_blocked_endpoints(grid10):
+    grid10.set_obstacle(Point(0, 0))
+    assert lee_route(grid10, [Point(0, 0)], [Point(5, 5)]) is None
+
+
+def test_multi_source_multi_target(grid10):
+    path = lee_route(grid10, [Point(0, 0), Point(0, 9)], [Point(9, 9), Point(9, 0)])
+    assert path is not None
+    assert path.length == 9
+
+
+def test_respects_occupancy(grid10):
+    occupancy = Occupancy(grid10)
+    occupancy.occupy([Point(5, y) for y in range(10)], net=7)
+    assert (
+        lee_route(grid10, [Point(0, 0)], [Point(9, 0)], net=1, occupancy=occupancy)
+        is None
+    )
+    path = lee_route(
+        grid10, [Point(0, 0)], [Point(9, 0)], net=7, occupancy=occupancy
+    )
+    assert path is not None
+
+
+def test_empty_inputs(grid10):
+    assert lee_route(grid10, [], [Point(0, 0)]) is None
+    assert lee_route(grid10, [Point(0, 0)], []) is None
+
+
+def test_lee_matches_astar_on_random_mazes():
+    """Both routers are exact on unit costs: lengths must agree."""
+    rng = random.Random(23)
+    for _ in range(25):
+        grid = RoutingGrid(15, 15)
+        for _ in range(rng.randrange(0, 50)):
+            grid.set_obstacle(Point(rng.randrange(15), rng.randrange(15)))
+        free = [p for p in grid.extent().cells() if grid.is_free(p)]
+        if len(free) < 2:
+            continue
+        src, dst = rng.sample(free, 2)
+        a = astar_route(grid, [src], [dst])
+        b = lee_route(grid, [src], [dst])
+        assert (a is None) == (b is None)
+        if a is not None:
+            assert a.length == b.length
+
+
+@given(
+    st.tuples(st.integers(0, 11), st.integers(0, 11)),
+    st.tuples(st.integers(0, 11), st.integers(0, 11)),
+)
+@settings(max_examples=40, deadline=None)
+def test_lee_optimal_on_empty_grid(src, dst):
+    grid = RoutingGrid(12, 12)
+    path = lee_route(grid, [Point(*src)], [Point(*dst)])
+    assert path is not None
+    assert path.length == manhattan(src, dst)

@@ -1,0 +1,111 @@
+"""Tests for MST-based cluster routing."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.grid import Occupancy, RoutingGrid
+from repro.routing import manhattan_mst, route_cluster_mst
+
+
+class TestManhattanMst:
+    def test_empty_and_singleton(self):
+        assert manhattan_mst([]) == []
+        assert manhattan_mst([Point(0, 0)]) == []
+
+    def test_two_points(self):
+        assert manhattan_mst([Point(0, 0), Point(3, 0)]) == [(0, 1)]
+
+    def test_collinear_chain(self):
+        points = [Point(0, 0), Point(10, 0), Point(5, 0)]
+        edges = manhattan_mst(points)
+        total = sum(points[a].manhattan(points[b]) for a, b in edges)
+        assert total == 10  # chain, not star
+
+    def test_edge_count(self):
+        points = [Point(x, x % 3) for x in range(7)]
+        assert len(manhattan_mst(points)) == 6
+
+    def test_mst_weight_is_minimal_small_case(self):
+        import itertools
+
+        points = [Point(0, 0), Point(4, 0), Point(0, 4), Point(4, 4), Point(2, 2)]
+        edges = manhattan_mst(points)
+        weight = sum(points[a].manhattan(points[b]) for a, b in edges)
+        # Brute-force all spanning trees via Kruskal over all edge subsets
+        # is overkill; compare against networkx.
+        import networkx as nx
+
+        g = nx.Graph()
+        for i, j in itertools.combinations(range(len(points)), 2):
+            g.add_edge(i, j, weight=points[i].manhattan(points[j]))
+        expected = sum(
+            d["weight"] for _, _, d in nx.minimum_spanning_tree(g).edges(data=True)
+        )
+        assert weight == expected
+
+
+class TestRouteClusterMst:
+    def test_empty_terminals(self, grid10):
+        result = route_cluster_mst(grid10, Occupancy(grid10), 1, [])
+        assert result.success
+
+    def test_single_terminal(self, grid10):
+        occupancy = Occupancy(grid10)
+        result = route_cluster_mst(grid10, occupancy, 1, [Point(4, 4)])
+        assert result.success
+        assert occupancy.owner(Point(4, 4)) == 1
+
+    def test_connects_three_terminals(self, grid10):
+        occupancy = Occupancy(grid10)
+        terminals = [Point(0, 0), Point(9, 0), Point(0, 9)]
+        result = route_cluster_mst(grid10, occupancy, 1, terminals)
+        assert result.success
+        cells = occupancy.cells_of(1)
+        assert all(t in cells for t in terminals)
+        # Connectivity: BFS within the net's cells reaches all terminals.
+        frontier = [terminals[0]]
+        seen = {terminals[0]}
+        while frontier:
+            p = frontier.pop()
+            for q in p.neighbors4():
+                if q in cells and q not in seen:
+                    seen.add(q)
+                    frontier.append(q)
+        assert all(t in seen for t in terminals)
+
+    def test_point_to_path_taps_existing_channel(self, grid10):
+        occupancy = Occupancy(grid10)
+        terminals = [Point(0, 5), Point(9, 5), Point(5, 0)]
+        result = route_cluster_mst(grid10, occupancy, 1, terminals)
+        assert result.success
+        # The tap from (5, 0) should reach the horizontal channel in 5 steps.
+        lengths = sorted(p.length for p in result.paths)
+        assert lengths[0] == 5
+
+    def test_failure_declusters_unreachable_terminal(self):
+        grid = RoutingGrid(10, 10)
+        # Wall isolating the right column.
+        for y in range(10):
+            grid.set_obstacle(Point(8, y))
+        occupancy = Occupancy(grid)
+        terminals = [Point(0, 0), Point(9, 5)]
+        result = route_cluster_mst(grid, occupancy, 1, terminals)
+        assert not result.success
+        assert result.failed == [1]
+        assert 0 in result.connected
+
+    def test_blocked_seed_fails_everything(self):
+        grid = RoutingGrid(5, 5)
+        grid.set_obstacle(Point(0, 0))
+        result = route_cluster_mst(grid, Occupancy(grid), 1, [Point(0, 0), Point(4, 4)])
+        assert not result.success
+        assert result.failed == [0, 1]
+
+    def test_respects_other_nets(self, grid10):
+        occupancy = Occupancy(grid10)
+        occupancy.occupy([Point(5, y) for y in range(10)], net=99)
+        terminals = [Point(0, 0), Point(3, 3)]
+        result = route_cluster_mst(grid10, occupancy, 1, terminals)
+        assert result.success
+        for path in result.paths:
+            assert all(occupancy.owner(c) == 1 for c in path.cells)

@@ -1,0 +1,134 @@
+"""Tests for negotiation-based routing (Algorithm 1)."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.grid import Occupancy, RoutingGrid
+from repro.routing import NegotiationRouter, RouteRequest
+
+
+def request(edge_id, net, src, dst):
+    return RouteRequest(edge_id, net, (Point(*src),), (Point(*dst),))
+
+
+def test_empty_request_list_succeeds(grid10):
+    router = NegotiationRouter(grid10)
+    result = router.route([], Occupancy(grid10))
+    assert result.success
+    assert result.paths == {}
+
+
+def test_single_edge_routes(grid10):
+    router = NegotiationRouter(grid10)
+    occupancy = Occupancy(grid10)
+    result = router.route([request(0, 1, (0, 0), (9, 0))], occupancy)
+    assert result.success
+    assert result.iterations == 1
+    assert result.paths[0].length == 9
+    assert occupancy.cells_of(1) == set(result.paths[0].cells)
+
+
+def test_non_conflicting_edges_route_first_iteration(grid10):
+    router = NegotiationRouter(grid10)
+    occupancy = Occupancy(grid10)
+    reqs = [
+        request(0, 1, (0, 0), (9, 0)),
+        request(1, 2, (0, 9), (9, 9)),
+    ]
+    result = router.route(reqs, occupancy)
+    assert result.success
+    assert result.iterations == 1
+
+
+def test_negotiation_resolves_crossing_demand():
+    """Two nets whose straight routes cross must negotiate shared cells.
+
+    The horizontal net stops short of the right edge, so the vertical net
+    can legally detour around its end (a full-width horizontal channel
+    would make any vertical crossing infeasible on a single layer).
+    """
+    grid = RoutingGrid(9, 9)
+    router = NegotiationRouter(grid)
+    occupancy = Occupancy(grid)
+    reqs = [
+        request(0, 1, (0, 4), (6, 4)),
+        request(1, 2, (4, 0), (4, 8)),
+    ]
+    result = router.route(reqs, occupancy)
+    assert result.success
+    cells_a = set(result.paths[0].cells)
+    cells_b = set(result.paths[1].cells)
+    assert not cells_a & cells_b
+
+
+def test_same_net_edges_may_share_cells(grid10):
+    router = NegotiationRouter(grid10)
+    occupancy = Occupancy(grid10)
+    reqs = [
+        request(0, 1, (0, 0), (9, 0)),
+        request(1, 1, (0, 0), (9, 0)),
+    ]
+    result = router.route(reqs, occupancy)
+    assert result.success
+
+
+def test_unroutable_edge_reports_failure():
+    grid = RoutingGrid(5, 5)
+    for y in range(5):
+        grid.set_obstacle(Point(2, y))
+    router = NegotiationRouter(grid, gamma=3)
+    occupancy = Occupancy(grid)
+    result = router.route([request(0, 1, (0, 0), (4, 0))], occupancy)
+    assert not result.success
+    assert result.failed_edges == [0]
+    assert result.iterations == 3
+
+
+def test_partial_failure_keeps_final_paths():
+    grid = RoutingGrid(5, 5)
+    for y in range(5):
+        grid.set_obstacle(Point(2, y))
+    router = NegotiationRouter(grid, gamma=2)
+    occupancy = Occupancy(grid)
+    reqs = [
+        request(0, 1, (0, 0), (0, 4)),  # routable, left of the wall
+        request(1, 2, (0, 1), (4, 1)),  # blocked by the wall
+    ]
+    result = router.route(reqs, occupancy)
+    assert not result.success
+    assert 0 in result.paths
+    assert result.failed_edges == [1]
+    assert occupancy.cells_of(1) == set(result.paths[0].cells)
+
+
+def test_preoccupied_terminals_survive_ripup():
+    """Cells a net owned before routing must not be released by rip-up."""
+    grid = RoutingGrid(7, 7)
+    occupancy = Occupancy(grid)
+    occupancy.occupy([Point(0, 3)], net=1)
+    # Force at least one rip-up round: two nets compete for a 1-wide slot.
+    for y in list(range(0, 3)) + list(range(4, 7)):
+        grid.set_obstacle(Point(3, y))
+    router = NegotiationRouter(grid, gamma=4)
+    reqs = [
+        request(0, 1, (0, 3), (6, 3)),
+        request(1, 2, (0, 2), (6, 2)),
+    ]
+    result = router.route(reqs, occupancy)
+    # Whatever the outcome, the pre-occupied terminal stays owned by net 1.
+    assert occupancy.owner(Point(0, 3)) == 1
+
+
+def test_history_cost_grows_on_contention():
+    grid = RoutingGrid(9, 3)
+    # Single corridor row y=1 plus detours via y=0/y=2; two nets contend.
+    router = NegotiationRouter(grid)
+    occupancy = Occupancy(grid)
+    reqs = [
+        request(0, 1, (0, 1), (8, 1)),
+        request(1, 2, (0, 0), (8, 0)),
+    ]
+    result = router.route(reqs, occupancy)
+    assert result.success
+    # No crossing in the final solution.
+    assert not set(result.paths[0].cells) & set(result.paths[1].cells)

@@ -1,0 +1,75 @@
+"""Tests for the exclusive-within-net semantics of the negotiation router.
+
+Steiner-tree edges of one net must meet only at their shared endpoint
+nodes: riding along a sibling edge would physically splice the channels
+and silently change the matched lengths.  These tests pin that contract.
+"""
+
+import pytest
+
+from repro.geometry import Point
+from repro.grid import Occupancy, RoutingGrid
+from repro.routing import NegotiationRouter, RouteRequest
+
+
+def test_same_net_edges_share_only_endpoints():
+    grid = RoutingGrid(15, 15)
+    occupancy = Occupancy(grid)
+    # Y-shaped tree: two leaves joining a root.
+    root = Point(7, 7)
+    reqs = [
+        RouteRequest(0, 1, (Point(2, 7),), (root,)),
+        RouteRequest(1, 1, (Point(12, 7),), (root,)),
+        RouteRequest(2, 1, (Point(7, 2),), (root,)),
+    ]
+    result = NegotiationRouter(grid).route(reqs, occupancy)
+    assert result.success
+    cell_claims = {}
+    for eid, path in result.paths.items():
+        for cell in path.cells:
+            cell_claims.setdefault(cell, set()).add(eid)
+    shared = {cell for cell, eids in cell_claims.items() if len(eids) > 1}
+    assert shared == {root}
+
+
+def test_exclusivity_can_be_disabled():
+    grid = RoutingGrid(9, 3)
+    occupancy = Occupancy(grid)
+    # Two identical requests for the same net through a one-row corridor.
+    for y in (0, 2):
+        for x in range(9):
+            grid.set_obstacle(Point(x, y))
+    reqs = [
+        RouteRequest(0, 1, (Point(0, 1),), (Point(8, 1),)),
+        RouteRequest(1, 1, (Point(0, 1),), (Point(8, 1),)),
+    ]
+    strict = NegotiationRouter(grid, gamma=2).route(reqs, Occupancy(grid))
+    assert not strict.success  # second edge may not ride the first
+    relaxed = NegotiationRouter(
+        grid, gamma=2, exclusive_within_net=False
+    ).route(reqs, Occupancy(grid))
+    assert relaxed.success
+
+
+def test_pre_occupied_terminals_are_enterable_endpoints():
+    grid = RoutingGrid(10, 10)
+    occupancy = Occupancy(grid)
+    occupancy.occupy([Point(1, 5), Point(8, 5)], net=3)
+    reqs = [RouteRequest(0, 3, (Point(1, 5),), (Point(8, 5),))]
+    result = NegotiationRouter(grid).route(reqs, occupancy)
+    assert result.success
+    assert result.paths[0].source == Point(1, 5)
+    assert result.paths[0].target == Point(8, 5)
+
+
+def test_other_net_terminals_still_block():
+    grid = RoutingGrid(7, 3)
+    occupancy = Occupancy(grid)
+    # A foreign terminal sits mid-corridor.
+    for y in (0, 2):
+        for x in range(7):
+            grid.set_obstacle(Point(x, y))
+    occupancy.occupy([Point(3, 1)], net=99)
+    reqs = [RouteRequest(0, 1, (Point(0, 1),), (Point(6, 1),))]
+    result = NegotiationRouter(grid, gamma=2).route(reqs, occupancy)
+    assert not result.success

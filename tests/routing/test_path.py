@@ -1,0 +1,86 @@
+"""Tests for routed path objects."""
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.routing import Path
+from repro.routing.path import collect_cells, total_length
+
+
+def test_single_cell_path():
+    p = Path([Point(2, 2)])
+    assert p.length == 0
+    assert p.source == p.target == Point(2, 2)
+
+
+def test_adjacency_validated():
+    with pytest.raises(ValueError):
+        Path([Point(0, 0), Point(2, 0)])
+    with pytest.raises(ValueError):
+        Path([Point(0, 0), Point(1, 1)])  # diagonal
+
+
+def test_empty_path_rejected():
+    with pytest.raises(ValueError):
+        Path([])
+
+
+def test_length_counts_steps():
+    p = Path([Point(0, 0), Point(1, 0), Point(1, 1)])
+    assert p.length == 2
+    assert len(p) == 3
+
+
+def test_is_simple():
+    assert Path([Point(0, 0), Point(1, 0)]).is_simple()
+    loop = Path(
+        [Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1), Point(0, 0)]
+    )
+    assert not loop.is_simple()
+
+
+def test_reversed():
+    p = Path([Point(0, 0), Point(0, 1), Point(1, 1)])
+    r = p.reversed()
+    assert r.source == p.target
+    assert r.target == p.source
+    assert r.length == p.length
+
+
+def test_concat():
+    a = Path([Point(0, 0), Point(1, 0)])
+    b = Path([Point(1, 0), Point(1, 1)])
+    joined = a.concat(b)
+    assert joined.cells == (Point(0, 0), Point(1, 0), Point(1, 1))
+    assert joined.length == 2
+
+
+def test_concat_mismatched_raises():
+    a = Path([Point(0, 0), Point(1, 0)])
+    b = Path([Point(5, 5)])
+    with pytest.raises(ValueError):
+        a.concat(b)
+
+
+def test_bounding_box():
+    p = Path([Point(1, 1), Point(2, 1), Point(2, 2)])
+    assert p.bounding_box() == Rect(1, 1, 2, 2)
+
+
+def test_accepts_tuple_cells():
+    p = Path([(0, 0), (0, 1)])
+    assert p.source == Point(0, 0)
+
+
+def test_total_length_and_collect_cells():
+    a = Path([Point(0, 0), Point(1, 0)])
+    b = Path([Point(1, 0), Point(1, 1)])
+    assert total_length([a, b]) == 2
+    assert collect_cells([a, b]) == [Point(0, 0), Point(1, 0), Point(1, 1)]
+
+
+def test_path_equality_and_hash():
+    a = Path([Point(0, 0), Point(1, 0)])
+    b = Path([(0, 0), (1, 0)])
+    assert a == b
+    assert hash(a) == hash(b)

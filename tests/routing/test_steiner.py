@@ -1,0 +1,106 @@
+"""Tests for the iterated 1-Steiner heuristic."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point, manhattan
+from repro.routing.steiner import (
+    hanan_points,
+    mst_weight,
+    rectilinear_steiner_tree,
+    steiner_heuristic_length,
+)
+
+
+class TestHananPoints:
+    def test_two_diagonal_points(self):
+        pts = hanan_points([Point(0, 0), Point(3, 4)])
+        assert set(pts) == {Point(0, 4), Point(3, 0)}
+
+    def test_collinear_points_have_no_extra(self):
+        assert hanan_points([Point(0, 0), Point(5, 0), Point(9, 0)]) == []
+
+    def test_excludes_terminals(self):
+        pts = hanan_points([Point(0, 0), Point(2, 2), Point(0, 2)])
+        assert Point(0, 0) not in pts
+        assert Point(2, 0) in pts
+
+
+class TestSteinerTree:
+    def test_degenerate(self):
+        nodes, edges, weight = rectilinear_steiner_tree([])
+        assert weight == 0
+        nodes, edges, weight = rectilinear_steiner_tree([Point(3, 3)])
+        assert weight == 0 and edges == []
+
+    def test_two_points_no_steiner(self):
+        nodes, edges, weight = rectilinear_steiner_tree([Point(0, 0), Point(3, 4)])
+        assert weight == 7
+        assert len(nodes) == 2
+
+    def test_classic_t_shape_saves_wire(self):
+        # Three corners of a square: MST = 2*4 = 8; Steiner point at the
+        # corner joins them with... also 8 here; use the plus shape:
+        points = [Point(0, 2), Point(4, 2), Point(2, 0), Point(2, 4)]
+        mst = mst_weight(points)
+        steiner = steiner_heuristic_length(points)
+        assert steiner <= mst
+        assert steiner == 8  # the centre point joins all four arms
+
+    def test_never_worse_than_mst(self):
+        rng = random.Random(2)
+        for _ in range(15):
+            points = list(
+                {
+                    Point(rng.randrange(20), rng.randrange(20))
+                    for _ in range(rng.randrange(2, 8))
+                }
+            )
+            assert steiner_heuristic_length(points) <= mst_weight(points)
+
+    def test_weight_at_least_two_thirds_mst(self):
+        """The rectilinear Steiner ratio bounds any valid tree."""
+        rng = random.Random(5)
+        for _ in range(10):
+            points = list(
+                {
+                    Point(rng.randrange(30), rng.randrange(30))
+                    for _ in range(6)
+                }
+            )
+            steiner = steiner_heuristic_length(points)
+            assert 3 * steiner >= 2 * mst_weight(points)
+
+    def test_edges_span_all_terminals(self):
+        points = [Point(1, 1), Point(9, 2), Point(4, 8), Point(7, 7)]
+        nodes, edges, _ = rectilinear_steiner_tree(points)
+        assert len(edges) == len(nodes) - 1
+        seen = {0}
+        for a, b in edges:
+            seen.add(a)
+            seen.add(b)
+        assert seen == set(range(len(nodes)))
+        for p in points:
+            assert p in nodes
+
+
+@given(
+    st.sets(
+        st.builds(Point, st.integers(0, 15), st.integers(0, 15)),
+        min_size=2,
+        max_size=6,
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_steiner_sandwiched_between_bounds(points):
+    points = sorted(points)
+    steiner = steiner_heuristic_length(points)
+    mst = mst_weight(points)
+    assert steiner <= mst
+    # Lower bound: bounding-box semiperimeter.
+    xs = [p.x for p in points]
+    ys = [p.y for p in points]
+    assert steiner >= (max(xs) - min(xs)) + (max(ys) - min(ys))

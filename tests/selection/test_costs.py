@@ -1,0 +1,88 @@
+"""Tests for selection costs (Eqs. 2-4)."""
+
+import pytest
+
+from repro.dme.tree import CandidateTree, TopologyNode, TreeEdge
+from repro.geometry import Point
+from repro.selection import edge_overlap_cost, mismatch_costs, tree_overlap_cost
+
+
+def straight_tree(cluster_id, a, b, root):
+    """A two-sink tree with the root between the sinks."""
+    leaf_a = TopologyNode(sink=0, position=Point(*a))
+    leaf_b = TopologyNode(sink=1, position=Point(*b))
+    node = TopologyNode(children=[leaf_a, leaf_b], position=Point(*root))
+    return CandidateTree(cluster_id, node)
+
+
+class TestMismatchCosts:
+    def test_zero_mismatch_everywhere(self):
+        t = straight_tree(0, (0, 0), (4, 0), (2, 0))
+        assert mismatch_costs([t, t]) == [0.0, 0.0]
+
+    def test_normalised_to_worst(self):
+        balanced = straight_tree(0, (0, 0), (4, 0), (2, 0))  # dL = 0
+        skewed = straight_tree(1, (0, 0), (4, 0), (1, 0))  # dL = 2
+        costs = mismatch_costs([balanced, skewed], lam=0.1)
+        assert costs[0] == 0.0
+        assert costs[1] == pytest.approx(-0.1)
+
+    def test_intermediate_mismatch_scales_linearly(self):
+        t0 = straight_tree(0, (0, 0), (8, 0), (4, 0))  # dL = 0
+        t1 = straight_tree(1, (0, 0), (8, 0), (3, 0))  # dL = 2
+        t2 = straight_tree(2, (0, 0), (8, 0), (2, 0))  # dL = 4
+        costs = mismatch_costs([t0, t1, t2], lam=0.1)
+        assert costs == [0.0, pytest.approx(-0.05), pytest.approx(-0.1)]
+
+    def test_empty_input(self):
+        assert mismatch_costs([]) == []
+
+
+class TestEdgeOverlapCost:
+    def test_disjoint_edges_zero(self):
+        a = TreeEdge(Point(0, 0), Point(2, 0), 2)
+        b = TreeEdge(Point(0, 5), Point(2, 5), 2)
+        assert edge_overlap_cost(a, b) == 0.0
+
+    def test_identical_edges_cost_one(self):
+        a = TreeEdge(Point(0, 0), Point(3, 0), 3)
+        assert edge_overlap_cost(a, a) == pytest.approx(1.0)
+
+    def test_contained_edge_normalised_by_smaller(self):
+        big = TreeEdge(Point(0, 0), Point(9, 9), 18)
+        small = TreeEdge(Point(2, 2), Point(4, 2), 2)
+        # small's bb (3 cells) lies fully inside big's bb.
+        assert edge_overlap_cost(big, small) == pytest.approx(1.0)
+
+    def test_partial_overlap_fraction(self):
+        a = TreeEdge(Point(0, 0), Point(3, 0), 3)  # bb 4 cells
+        b = TreeEdge(Point(2, 0), Point(5, 0), 3)  # bb 4 cells, 2 shared
+        assert edge_overlap_cost(a, b) == pytest.approx(0.5)
+
+    def test_symmetry(self):
+        a = TreeEdge(Point(0, 0), Point(5, 3), 8)
+        b = TreeEdge(Point(3, 1), Point(8, 2), 6)
+        assert edge_overlap_cost(a, b) == pytest.approx(edge_overlap_cost(b, a))
+
+
+class TestTreeOverlapCost:
+    def test_disjoint_trees_zero(self):
+        a = straight_tree(0, (0, 0), (4, 0), (2, 0))
+        b = straight_tree(1, (0, 10), (4, 10), (2, 10))
+        assert tree_overlap_cost(a, b) == 0.0
+
+    def test_overlapping_trees_negative(self):
+        a = straight_tree(0, (0, 0), (4, 0), (2, 0))
+        b = straight_tree(1, (0, 0), (4, 0), (2, 0))
+        cost = tree_overlap_cost(a, b, lam=0.1)
+        assert cost < 0
+        # Identical pairs contribute 1.0 each; the two cross pairs share
+        # only the root cell of a 3-cell box: 2 * 1.0 + 2 * (1/3).
+        assert cost == pytest.approx(-(1 - 0.1) * (2.0 + 2.0 / 3.0))
+
+    def test_lambda_weighting(self):
+        a = straight_tree(0, (0, 0), (4, 0), (2, 0))
+        b = straight_tree(1, (2, 0), (6, 0), (4, 0))
+        c01 = tree_overlap_cost(a, b, lam=0.1)
+        c05 = tree_overlap_cost(a, b, lam=0.5)
+        assert c01 < c05 < 0

@@ -1,0 +1,97 @@
+"""Tests for the QUBO formulation and annealing solver."""
+
+import numpy as np
+import pytest
+
+from repro.dme.tree import CandidateTree, TopologyNode
+from repro.geometry import Point
+from repro.selection import (
+    SelectionInstance,
+    build_qubo,
+    solve_exact,
+    solve_qubo_annealing,
+)
+from repro.selection.qubo import _PICK_REWARD, _SAME_CLUSTER_PENALTY, _energy
+
+
+def tree(cluster_id, a, b, root):
+    leaf_a = TopologyNode(sink=0, position=Point(*a))
+    leaf_b = TopologyNode(sink=1, position=Point(*b))
+    return CandidateTree(
+        cluster_id, TopologyNode(children=[leaf_a, leaf_b], position=Point(*root))
+    )
+
+
+@pytest.fixture
+def instance():
+    c0 = [tree(0, (0, 0), (8, 0), (4, 0))]
+    c1 = [
+        tree(1, (0, 0), (8, 0), (4, 0)),  # collides with c0's candidate
+        tree(1, (0, 10), (8, 10), (4, 10)),  # disjoint
+    ]
+    return SelectionInstance([c0, c1])
+
+
+class TestBuildQubo:
+    def test_matrix_shape_and_symmetry(self, instance):
+        q = build_qubo(instance)
+        n = len(instance.trees)
+        assert q.shape == (n, n)
+        assert np.allclose(q, q.T)
+
+    def test_diagonal_has_pick_reward(self, instance):
+        q = build_qubo(instance)
+        for i in range(len(instance.trees)):
+            assert q[i, i] == pytest.approx(
+                _PICK_REWARD + float(instance.node_weight[i])
+            )
+
+    def test_same_cluster_penalty(self, instance):
+        q = build_qubo(instance)
+        # Candidates 1 and 2 belong to cluster 1.
+        assert q[1, 2] == pytest.approx(-_SAME_CLUSTER_PENALTY / 2)
+
+    def test_feasible_state_beats_infeasible(self, instance):
+        q = build_qubo(instance)
+        feasible = np.array([1.0, 0.0, 1.0])
+        double_pick = np.array([1.0, 1.0, 1.0])
+        empty = np.zeros(3)
+        assert _energy(q, feasible) > _energy(q, double_pick)
+        assert _energy(q, feasible) > _energy(q, empty)
+
+
+class TestAnnealing:
+    def test_returns_feasible_selection(self, instance):
+        result = solve_qubo_annealing(instance, seed=1)
+        assert len(result.choice) == instance.n_clusters
+        for ci, a in enumerate(result.choice):
+            assert 0 <= a < len(instance.clusters[ci])
+
+    def test_finds_the_obvious_optimum(self, instance):
+        result = solve_qubo_annealing(instance, seed=2)
+        assert result.choice == [0, 1]
+        assert result.objective == pytest.approx(0.0)
+
+    def test_close_to_exact_on_random_instances(self):
+        import random
+
+        rng = random.Random(4)
+        clusters = []
+        for ci in range(5):
+            cands = []
+            for _ in range(3):
+                x, y = rng.randrange(12), rng.randrange(12)
+                cands.append(tree(ci, (x, y), (x + 6, y), (x + 3, y)))
+            clusters.append(cands)
+        inst = SelectionInstance(clusters)
+        exact = solve_exact(inst)
+        annealed = solve_qubo_annealing(inst, seed=7, sweeps=400)
+        assert annealed.objective <= exact.objective + 1e-9
+        # The annealer should land within 20% of optimal penalty.
+        assert annealed.objective >= exact.objective * 1.2 - 1e-9
+
+    def test_deterministic_for_fixed_seed(self, instance):
+        a = solve_qubo_annealing(instance, seed=3)
+        b = solve_qubo_annealing(instance, seed=3)
+        assert a.choice == b.choice
+        assert a.objective == b.objective

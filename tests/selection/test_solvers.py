@@ -1,0 +1,154 @@
+"""Tests for the MWCP instance and its three solvers."""
+
+import itertools
+
+import pytest
+
+from repro.dme.tree import CandidateTree, TopologyNode
+from repro.geometry import Point
+from repro.selection import (
+    SelectionInstance,
+    build_clique_graph,
+    solve_exact,
+    solve_greedy,
+    solve_local_search,
+)
+
+
+def tree(cluster_id, a, b, root):
+    leaf_a = TopologyNode(sink=0, position=Point(*a))
+    leaf_b = TopologyNode(sink=1, position=Point(*b))
+    return CandidateTree(
+        cluster_id, TopologyNode(children=[leaf_a, leaf_b], position=Point(*root))
+    )
+
+
+@pytest.fixture
+def two_cluster_instance():
+    """Two clusters, each with an 'overlapping' and an 'avoiding' candidate.
+
+    Cluster 0 sits on row 0; cluster 1's first candidate collides with it,
+    the second candidate lives on row 10 (zero overlap).
+    """
+    c0 = [tree(0, (0, 0), (8, 0), (4, 0))]
+    c1 = [
+        tree(1, (0, 0), (8, 0), (4, 0)),  # full collision with c0
+        tree(1, (0, 10), (8, 10), (4, 10)),  # disjoint
+    ]
+    return SelectionInstance([c0, c1])
+
+
+def brute_force_optimum(instance):
+    ranges = [range(len(c)) for c in instance.clusters]
+    return max(
+        (instance.objective(list(choice)), list(choice))
+        for choice in itertools.product(*ranges)
+    )
+
+
+def test_instance_rejects_empty_cluster():
+    with pytest.raises(ValueError):
+        SelectionInstance([[]])
+
+
+def test_objective_requires_full_choice(two_cluster_instance):
+    with pytest.raises(ValueError):
+        two_cluster_instance.objective([0])
+
+
+def test_objective_counts_node_and_pair_weights(two_cluster_instance):
+    inst = two_cluster_instance
+    collide = inst.objective([0, 0])
+    avoid = inst.objective([0, 1])
+    assert avoid > collide
+    assert avoid == pytest.approx(0.0)
+
+
+def test_greedy_picks_disjoint_candidate(two_cluster_instance):
+    result = solve_greedy(two_cluster_instance)
+    assert result.choice == [0, 1]
+
+
+def test_local_search_improves_bad_start(two_cluster_instance):
+    result = solve_local_search(two_cluster_instance, start=[0, 0])
+    assert result.choice == [0, 1]
+    assert result.objective == pytest.approx(0.0)
+
+
+def test_exact_matches_brute_force_small_random():
+    # Three clusters x three candidates in a crowded strip.
+    rows = [0, 3, 6]
+    clusters = []
+    for ci, row in enumerate(rows):
+        cands = [
+            tree(ci, (0, row), (8, row), (4, row)),
+            tree(ci, (0, row + 1), (8, row + 1), (4, row + 1)),
+            tree(ci, (2, row + 2), (10, row + 2), (6, row + 2)),
+        ]
+        clusters.append(cands)
+    inst = SelectionInstance(clusters)
+    result = solve_exact(inst)
+    assert result.optimal
+    best_value, _ = brute_force_optimum(inst)
+    assert result.objective == pytest.approx(best_value)
+
+
+def test_exact_at_least_as_good_as_heuristics(two_cluster_instance):
+    exact = solve_exact(two_cluster_instance)
+    greedy = solve_greedy(two_cluster_instance)
+    local = solve_local_search(two_cluster_instance)
+    assert exact.objective >= greedy.objective - 1e-9
+    assert exact.objective >= local.objective - 1e-9
+
+
+def test_exact_respects_node_budget(two_cluster_instance):
+    result = solve_exact(two_cluster_instance, max_nodes=0)
+    assert not result.optimal
+    assert len(result.choice) == 2  # still returns the incumbent
+
+
+def test_selected_trees_roundtrip(two_cluster_instance):
+    result = solve_exact(two_cluster_instance)
+    trees = two_cluster_instance.selected_trees(result.choice)
+    assert [t.cluster_id for t in trees] == [0, 1]
+
+
+def test_clique_graph_structure(two_cluster_instance):
+    g = build_clique_graph(two_cluster_instance)
+    assert g.number_of_nodes() == 3
+    # Candidates of the same cluster are never adjacent.
+    assert not g.has_edge(1, 2)
+    assert g.has_edge(0, 1) and g.has_edge(0, 2)
+    assert g.nodes[0]["cluster"] == 0
+    assert g.edges[0, 1]["weight"] < 0
+    assert g.edges[0, 2]["weight"] == pytest.approx(0.0)
+
+
+def test_single_cluster_trivial():
+    inst = SelectionInstance([[tree(0, (0, 0), (4, 0), (2, 0))]])
+    for solver in (solve_exact, solve_greedy, solve_local_search):
+        result = solver(inst)
+        assert result.choice == [0]
+        assert result.objective == pytest.approx(0.0)
+
+
+def test_exact_on_larger_instance_beats_greedy_or_ties():
+    # A grid of clusters with randomised candidate placements.
+    import random
+
+    rng = random.Random(7)
+    clusters = []
+    for ci in range(6):
+        cands = []
+        for _ in range(3):
+            x = rng.randrange(0, 12)
+            y = rng.randrange(0, 12)
+            cands.append(tree(ci, (x, y), (x + 6, y), (x + 3, y)))
+        clusters.append(cands)
+    inst = SelectionInstance(clusters)
+    exact = solve_exact(inst)
+    greedy = solve_greedy(inst)
+    assert exact.optimal
+    assert exact.objective >= greedy.objective - 1e-9
+    value, choice = brute_force_optimum(inst)
+    assert exact.objective == pytest.approx(value)

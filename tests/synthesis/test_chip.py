@@ -1,0 +1,94 @@
+"""Tests for the assay-to-design front-end, through to routing."""
+
+import pytest
+
+from repro import run_pacor
+from repro.analysis import verify_result
+from repro.synthesis import (
+    AssaySchedule,
+    GuardBank,
+    InputSelector,
+    Multiplexer,
+    Operation,
+    RotaryMixer,
+    assay_to_design,
+)
+
+
+def small_assay():
+    mixer = RotaryMixer("mixer")
+    bank = GuardBank("guard", 3)
+    return AssaySchedule(
+        components=[mixer, bank],
+        operations=[
+            Operation("guard", "release", start=0),
+            Operation("mixer", "load", start=0),
+            Operation("mixer", "mix", start=2, repeats=2),
+            Operation("mixer", "flush", start=14),
+            Operation("guard", "seal", start=15),
+        ],
+    )
+
+
+def test_design_is_valid_and_complete():
+    design = assay_to_design(small_assay(), name="demo")
+    assert design.name == "demo"
+    assert len(design.valves) == 6 + 3
+    # LM groups: the mixer inlet pair plus the whole guard bank.
+    sizes = sorted(len(g) for g in design.lm_groups)
+    assert sizes == [2, 3]
+    design.validate()
+
+
+def test_valves_carry_compiled_sequences():
+    design = assay_to_design(small_assay())
+    lengths = {len(v.sequence) for v in design.valves}
+    assert lengths == {16}
+
+
+def test_custom_grid_and_origins():
+    design = assay_to_design(
+        small_assay(),
+        grid_size=(40, 40),
+        component_origins={"mixer": (5, 5), "guard": (25, 25)},
+    )
+    assert design.grid.width == 40
+    xs = [v.position.x for v in design.valves]
+    assert min(xs) == 5
+
+
+def test_valve_off_chip_rejected():
+    with pytest.raises(ValueError, match="falls off"):
+        assay_to_design(
+            small_assay(),
+            grid_size=(10, 10),
+            component_origins={"mixer": (5, 5), "guard": (9, 9)},
+        )
+
+
+def test_pin_count_override():
+    design = assay_to_design(small_assay(), n_pins=12)
+    assert len(design.control_pins) == 12
+
+
+def test_assay_chip_routes_with_pacor():
+    """End to end: synthesize, route, verify — the library's full stack."""
+    design = assay_to_design(small_assay())
+    result = run_pacor(design)
+    assert result.completion_rate == 1.0
+    verify_result(design, result)
+    # Both LM clusters should be matched on this small, open chip.
+    assert result.matched_clusters == result.n_lm_clusters == 2
+
+
+def test_mux_chip_needs_one_pin_per_line():
+    mux = Multiplexer("mux", 4)
+    schedule = AssaySchedule(
+        [mux],
+        [Operation("mux", f"select:{k}", start=k) for k in range(4)],
+    )
+    design = assay_to_design(schedule)
+    result = run_pacor(design)
+    assert result.completion_rate == 1.0
+    # Every control line is its own net: 2*log2(4) = 4 pins.
+    assert result.pins_used == 4

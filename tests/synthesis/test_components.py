@@ -1,0 +1,100 @@
+"""Tests for the flow-layer component models."""
+
+import pytest
+
+from repro.synthesis import GuardBank, InputSelector, Multiplexer, RotaryMixer
+from repro.valves import compatible_status
+
+
+class TestRotaryMixer:
+    def test_valves_and_operations(self):
+        mixer = RotaryMixer("m")
+        assert len(mixer.valve_names()) == 6
+        assert set(mixer.operations()) == {"load", "mix", "flush"}
+
+    def test_unknown_operation(self):
+        with pytest.raises(ValueError, match="does not support"):
+            RotaryMixer("m").phases("spin")
+
+    def test_mix_is_full_peristaltic_rotation(self):
+        phases = RotaryMixer("m").phases("mix")
+        assert len(phases) == 6
+        for step in phases:
+            # Chamber sealed during mixing.
+            assert step["in_a"] == "1"
+            assert step["in_b"] == "1"
+            assert step["out"] == "1"
+        # Consecutive ring patterns differ (the wave moves).
+        rings = [
+            "".join(step[f"ring{i}"] for i in range(3)) for step in phases
+        ]
+        assert len(set(rings)) == 6
+
+    def test_inlets_are_lm_pair(self):
+        assert RotaryMixer("m").lm_groups() == [["in_a", "in_b"]]
+
+    def test_load_opens_inlets_seals_outlet(self):
+        step = RotaryMixer("m").phases("load")[0]
+        assert step["in_a"] == step["in_b"] == "0"
+        assert step["out"] == "1"
+
+
+class TestMultiplexer:
+    def test_line_count_is_2log2(self):
+        assert len(Multiplexer("x", 4).valve_names()) == 4
+        assert len(Multiplexer("x", 8).valve_names()) == 6
+        assert len(Multiplexer("x", 5).valve_names()) == 6  # ceil(log2 5) = 3
+
+    def test_too_few_inputs(self):
+        with pytest.raises(ValueError):
+            Multiplexer("x", 1)
+
+    def test_select_opens_matching_lines(self):
+        mux = Multiplexer("x", 4)
+        step = mux.phases("select:2")[0]  # binary 10
+        assert step["bit0_0"] == "0" and step["bit0_1"] == "1"
+        assert step["bit1_1"] == "0" and step["bit1_0"] == "1"
+
+    def test_select_out_of_range(self):
+        with pytest.raises(ValueError):
+            Multiplexer("x", 4).phases("select:7")
+
+    def test_complementary_lines_conflict(self):
+        """Complementary mux lines can never share a pin."""
+        mux = Multiplexer("x", 2)
+        a = mux.phases("select:0")[0]
+        assert not compatible_status(a["bit0_0"], a["bit0_1"])
+
+    def test_no_lm_groups(self):
+        assert Multiplexer("x", 4).lm_groups() == []
+
+
+class TestInputSelector:
+    def test_open_one(self):
+        sel = InputSelector("s", 3)
+        step = sel.phases("open:1")[0]
+        assert step["in1"] == "0"
+        assert step["in0"] == step["in2"] == "1"
+
+    def test_close_all(self):
+        step = InputSelector("s", 3).phases("close_all")[0]
+        assert set(step.values()) == {"1"}
+
+    def test_bad_index(self):
+        with pytest.raises(ValueError):
+            InputSelector("s", 2).phases("open:5")
+
+
+class TestGuardBank:
+    def test_seal_and_release(self):
+        bank = GuardBank("g", 4)
+        assert set(bank.phases("seal")[0].values()) == {"1"}
+        assert set(bank.phases("release")[0].values()) == {"0"}
+
+    def test_whole_bank_is_lm_group(self):
+        bank = GuardBank("g", 4)
+        assert bank.lm_groups() == [["g0", "g1", "g2", "g3"]]
+
+    def test_needs_two_valves(self):
+        with pytest.raises(ValueError):
+            GuardBank("g", 1)

@@ -1,0 +1,61 @@
+"""Tests for the flow-layer-aware demo chip."""
+
+import pytest
+
+from repro import run_pacor
+from repro.analysis import verify_result
+from repro.flowlayer import control_obstacles
+from repro.synthesis.flowchip import mixer_chip_design
+
+
+@pytest.fixture(scope="module")
+def chip():
+    return mixer_chip_design()
+
+
+def test_design_validates(chip):
+    design, flow = chip
+    design.validate()
+    flow.validate(design.grid)
+
+
+def test_minimum_grid_enforced():
+    with pytest.raises(ValueError):
+        mixer_chip_design(grid_side=20)
+
+
+def test_obstacles_are_flow_projection(chip):
+    design, flow = chip
+    assert set(design.grid.obstacle_cells()) == control_obstacles(flow)
+
+
+def test_valves_sit_on_flow_channels(chip):
+    design, flow = chip
+    flow_cells = flow.all_cells()
+    for valve in design.valves:
+        assert valve.position in flow_cells
+        assert valve.position in flow.valve_sites
+
+
+def test_component_lm_groups_carried_over(chip):
+    design, _ = chip
+    sizes = sorted(len(g) for g in design.lm_groups)
+    assert sizes == [2, 3]  # mixer inlet pair + guard bank
+
+
+def test_routes_to_full_completion(chip):
+    design, flow = chip
+    result = run_pacor(design)
+    assert result.completion_rate == 1.0
+    verify_result(design, result)
+    # Control channels never cross flow channels off the valve sites.
+    forbidden = flow.all_cells() - flow.valve_sites
+    for net in result.nets:
+        assert not net.cells & forbidden
+
+
+def test_mixer_inlet_pair_matched(chip):
+    design, _ = chip
+    result = run_pacor(design)
+    pair_net = next(n for n in result.nets if sorted(n.valve_ids) == [0, 1])
+    assert pair_net.matched is True

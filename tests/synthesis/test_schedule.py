@@ -1,0 +1,131 @@
+"""Tests for schedule compilation into activation tables."""
+
+import pytest
+
+from repro.synthesis import (
+    AssaySchedule,
+    GuardBank,
+    InputSelector,
+    Multiplexer,
+    Operation,
+    RotaryMixer,
+    compile_sequences,
+)
+from repro.valves.compatibility import pairwise_compatible
+from repro.valves.valve import Valve
+from repro.geometry import Point
+
+
+def mixer_schedule():
+    mixer = RotaryMixer("m")
+    return AssaySchedule(
+        components=[mixer],
+        operations=[
+            Operation("m", "load", start=0),
+            Operation("m", "mix", start=2, repeats=2),
+            Operation("m", "flush", start=14),
+        ],
+    )
+
+
+class TestCompileSequences:
+    def test_horizon_is_last_end(self):
+        table = compile_sequences(mixer_schedule())
+        assert all(len(seq) == 16 for seq in table.values())
+
+    def test_idle_steps_are_dont_care(self):
+        mixer = RotaryMixer("m")
+        schedule = AssaySchedule([mixer], [Operation("m", "load", start=3)])
+        table = compile_sequences(schedule)
+        seq = table[("m", "in_a")]
+        assert seq.steps[:3] == "XXX"
+        assert seq.steps[3:5] == "00"
+
+    def test_repeats_tile_phases(self):
+        mixer = RotaryMixer("m")
+        schedule = AssaySchedule([mixer], [Operation("m", "mix", start=0, repeats=3)])
+        table = compile_sequences(schedule)
+        ring = table[("m", "ring0")].steps
+        assert len(ring) == 18
+        assert ring[:6] == ring[6:12] == ring[12:18]
+
+    def test_overlap_rejected(self):
+        mixer = RotaryMixer("m")
+        schedule = AssaySchedule(
+            [mixer],
+            [Operation("m", "load", start=0), Operation("m", "mix", start=1)],
+        )
+        with pytest.raises(ValueError, match="overlap"):
+            compile_sequences(schedule)
+
+    def test_unknown_component_rejected(self):
+        schedule = AssaySchedule([RotaryMixer("m")], [Operation("q", "load", 0)])
+        with pytest.raises(ValueError, match="unknown component"):
+            compile_sequences(schedule)
+
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            compile_sequences(AssaySchedule([RotaryMixer("m")], []))
+
+    def test_duplicate_component_names_rejected(self):
+        schedule = AssaySchedule(
+            [RotaryMixer("m"), GuardBank("m", 2)],
+            [Operation("m", "seal", 0)],
+        )
+        with pytest.raises(ValueError, match="unique"):
+            compile_sequences(schedule)
+
+    def test_operation_validation(self):
+        with pytest.raises(ValueError):
+            Operation("m", "load", start=-1)
+        with pytest.raises(ValueError):
+            Operation("m", "load", start=0, repeats=0)
+
+
+class TestCompatibilityStructure:
+    def test_mixer_inlets_stay_compatible(self):
+        """The LM pair (in_a, in_b) always actuates together."""
+        table = compile_sequences(mixer_schedule())
+        a = Valve(0, Point(0, 0), table[("m", "in_a")])
+        b = Valve(1, Point(1, 0), table[("m", "in_b")])
+        assert pairwise_compatible([a, b])
+
+    def test_ring_valves_pairwise_incompatible(self):
+        table = compile_sequences(mixer_schedule())
+        rings = [table[("m", f"ring{i}")] for i in range(3)]
+        for i in range(3):
+            for j in range(i + 1, 3):
+                assert not rings[i].compatible(rings[j])
+
+    def test_mux_complement_lines_incompatible(self):
+        mux = Multiplexer("x", 4)
+        schedule = AssaySchedule(
+            [mux],
+            [Operation("x", f"select:{k}", start=k) for k in range(4)],
+        )
+        table = compile_sequences(schedule)
+        assert not table[("x", "bit0_0")].compatible(table[("x", "bit0_1")])
+
+    def test_guard_bank_members_identical(self):
+        bank = GuardBank("g", 3)
+        schedule = AssaySchedule(
+            [bank],
+            [Operation("g", "release", 0), Operation("g", "seal", 5)],
+        )
+        table = compile_sequences(schedule)
+        seqs = {table[("g", f"g{i}")].steps for i in range(3)}
+        assert len(seqs) == 1
+
+    def test_independent_components_dont_interfere(self):
+        schedule = AssaySchedule(
+            [RotaryMixer("m"), InputSelector("s", 2)],
+            [
+                Operation("m", "mix", start=0),
+                Operation("s", "open:0", start=2),
+            ],
+        )
+        table = compile_sequences(schedule)
+        # The selector is idle except step 2.
+        seq = table[("s", "in1")]
+        assert seq.steps[2] == "1"
+        assert set(seq.steps[:2]) | set(seq.steps[3:]) <= {"X"}

@@ -1,0 +1,97 @@
+"""Tests for activation sequences and status compatibility (Defs 1-3)."""
+
+import pytest
+
+from repro.valves import ActivationSequence, compatible_status, merge_status
+from repro.valves.activation import merge_all
+
+
+class TestStatusCompatibility:
+    def test_equal_statuses_compatible(self):
+        assert compatible_status("0", "0")
+        assert compatible_status("1", "1")
+        assert compatible_status("X", "X")
+
+    def test_dont_care_compatible_with_anything(self):
+        assert compatible_status("X", "0")
+        assert compatible_status("1", "X")
+
+    def test_conflicting_statuses_incompatible(self):
+        assert not compatible_status("0", "1")
+        assert not compatible_status("1", "0")
+
+
+class TestMergeStatus:
+    def test_merge_with_dont_care(self):
+        assert merge_status("X", "1") == "1"
+        assert merge_status("0", "X") == "0"
+        assert merge_status("X", "X") == "X"
+
+    def test_merge_equal(self):
+        assert merge_status("1", "1") == "1"
+
+    def test_merge_conflict_raises(self):
+        with pytest.raises(ValueError):
+            merge_status("0", "1")
+
+
+class TestActivationSequence:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ActivationSequence("")
+        with pytest.raises(ValueError):
+            ActivationSequence("012")
+
+    def test_compatibility_definition(self):
+        a = ActivationSequence("01X")
+        b = ActivationSequence("0XX")
+        c = ActivationSequence("11X")
+        d = ActivationSequence("X1X")
+        assert a.compatible(b)
+        assert b.compatible(a)
+        assert not a.compatible(c)
+        assert not b.compatible(c)  # "0" vs "1" conflict at step 0
+        assert b.compatible(d)  # X tolerates both sides
+
+    def test_different_lengths_incompatible(self):
+        assert not ActivationSequence("01").compatible(ActivationSequence("011"))
+
+    def test_merge_is_most_constrained(self):
+        a = ActivationSequence("0XX1")
+        b = ActivationSequence("X1X1")
+        assert a.merge(b) == ActivationSequence("01X1")
+
+    def test_merge_incompatible_raises(self):
+        with pytest.raises(ValueError):
+            ActivationSequence("0").merge(ActivationSequence("1"))
+
+    def test_merge_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ActivationSequence("01").merge(ActivationSequence("011"))
+
+    def test_merge_signature_property(self):
+        """Compatibility with the merge equals compatibility with all members."""
+        members = [ActivationSequence(s) for s in ("0X1", "0XX", "XX1")]
+        merged = merge_all(members)
+        assert merged == ActivationSequence("0X1")
+        probe_ok = ActivationSequence("0X1")
+        probe_bad = ActivationSequence("1X1")
+        assert merged.compatible(probe_ok)
+        assert all(m.compatible(probe_ok) for m in members)
+        assert not merged.compatible(probe_bad)
+        assert any(not m.compatible(probe_bad) for m in members)
+
+    def test_sequence_equality_and_hash(self):
+        assert ActivationSequence("01X") == ActivationSequence("01X")
+        assert hash(ActivationSequence("01X")) == hash(ActivationSequence("01X"))
+        assert ActivationSequence("01X") != ActivationSequence("011")
+
+    def test_indexing(self):
+        seq = ActivationSequence("01X")
+        assert seq[0] == "0"
+        assert seq[2] == "X"
+        assert len(seq) == 3
+
+
+def test_merge_all_empty_returns_none():
+    assert merge_all([]) is None

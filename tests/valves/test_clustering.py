@@ -1,0 +1,106 @@
+"""Tests for valve clustering (minimum clique cover heuristic)."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.valves import (
+    ActivationSequence,
+    Cluster,
+    Valve,
+    cluster_valves,
+    greedy_clique_partition,
+)
+from repro.valves.compatibility import pairwise_compatible
+
+
+def make_valve(vid, seq, x=0, y=0):
+    return Valve(vid, Point(x, y), ActivationSequence(seq))
+
+
+def test_cluster_requires_valves():
+    with pytest.raises(ValueError):
+        Cluster(0, [])
+
+
+def test_cluster_rejects_incompatible_members():
+    with pytest.raises(ValueError):
+        Cluster(0, [make_valve(0, "0"), make_valve(1, "1")])
+
+
+def test_cluster_size_and_ids():
+    c = Cluster(3, [make_valve(5, "0X"), make_valve(7, "00")], length_matching=True)
+    assert c.size == 2
+    assert c.valve_ids() == [5, 7]
+    assert c.length_matching
+
+
+def test_greedy_partition_groups_identical_sequences():
+    valves = [make_valve(i, "01") for i in range(3)] + [
+        make_valve(i + 3, "10") for i in range(2)
+    ]
+    groups = greedy_clique_partition(valves)
+    assert len(groups) == 2
+    sizes = sorted(len(g) for g in groups)
+    assert sizes == [2, 3]
+
+
+def test_greedy_partition_produces_true_cliques():
+    valves = [
+        make_valve(0, "0X"),
+        make_valve(1, "X0"),
+        make_valve(2, "1X"),
+        make_valve(3, "X1"),
+        make_valve(4, "XX"),
+    ]
+    groups = greedy_clique_partition(valves)
+    for group in groups:
+        assert pairwise_compatible(group)
+    covered = sorted(v.id for g in groups for v in g)
+    assert covered == [0, 1, 2, 3, 4]
+
+
+def test_greedy_partition_empty():
+    assert greedy_clique_partition([]) == []
+
+
+def test_cluster_valves_preserves_lm_groups():
+    valves = [make_valve(i, "0X") for i in range(4)]
+    clusters = cluster_valves(valves, lm_groups=[[0, 1]])
+    lm = [c for c in clusters if c.length_matching]
+    assert len(lm) == 1
+    assert lm[0].valve_ids() == [0, 1]
+    remaining = sorted(
+        vid for c in clusters if not c.length_matching for vid in c.valve_ids()
+    )
+    assert remaining == [2, 3]
+
+
+def test_cluster_valves_rejects_unknown_valve_in_lm_group():
+    with pytest.raises(ValueError):
+        cluster_valves([make_valve(0, "0")], lm_groups=[[0, 99]])
+
+
+def test_cluster_valves_rejects_duplicated_lm_membership():
+    valves = [make_valve(i, "XX") for i in range(3)]
+    with pytest.raises(ValueError):
+        cluster_valves(valves, lm_groups=[[0, 1], [1, 2]])
+
+
+def test_cluster_valves_rejects_duplicate_valve_ids():
+    valves = [make_valve(0, "0"), make_valve(0, "0")]
+    with pytest.raises(ValueError):
+        cluster_valves(valves)
+
+
+def test_cluster_valves_ids_are_sequential():
+    valves = [make_valve(i, "0X") for i in range(5)]
+    clusters = cluster_valves(valves, lm_groups=[[0, 1], [2, 3]])
+    assert [c.id for c in clusters] == list(range(len(clusters)))
+
+
+def test_cluster_valves_minimises_reasonably():
+    # 6 valves with identical sequences must form a single cluster.
+    valves = [make_valve(i, "01X") for i in range(6)]
+    clusters = cluster_valves(valves)
+    assert len(clusters) == 1
+    assert clusters[0].size == 6

@@ -1,0 +1,65 @@
+"""Tests for the valve compatibility graph."""
+
+from repro.geometry import Point
+from repro.valves import (
+    ActivationSequence,
+    Valve,
+    compatibility_graph,
+    pairwise_compatible,
+)
+
+
+def make_valve(vid, seq, x=0, y=0):
+    return Valve(vid, Point(x, y), ActivationSequence(seq))
+
+
+def test_valve_compatible_follows_sequences():
+    a = make_valve(0, "0X1")
+    b = make_valve(1, "0XX")
+    c = make_valve(2, "1X1")
+    assert a.compatible(b)
+    assert not a.compatible(c)
+
+
+def test_pairwise_compatible_true_set():
+    valves = [make_valve(i, s) for i, s in enumerate(("0X1", "0XX", "XX1"))]
+    assert pairwise_compatible(valves)
+
+
+def test_pairwise_compatible_detects_hidden_conflict():
+    # a~b and b~c pairwise, but a and c conflict at step 0.
+    a = make_valve(0, "0X")
+    b = make_valve(1, "XX")
+    c = make_valve(2, "1X")
+    assert a.compatible(b) and b.compatible(c)
+    assert not pairwise_compatible([a, b, c])
+
+
+def test_pairwise_compatible_empty_and_singleton():
+    assert pairwise_compatible([])
+    assert pairwise_compatible([make_valve(0, "01")])
+
+
+def test_compatibility_graph_edges():
+    valves = [
+        make_valve(0, "00"),
+        make_valve(1, "0X"),
+        make_valve(2, "11"),
+    ]
+    g = compatibility_graph(valves)
+    assert set(g.nodes) == {0, 1, 2}
+    assert g.has_edge(0, 1)
+    assert not g.has_edge(0, 2)
+    assert not g.has_edge(1, 2)  # "0X" vs "11" conflict at step 0
+
+
+def test_compatibility_graph_clique_is_legal_pin_group():
+    valves = [
+        make_valve(0, "X0"),
+        make_valve(1, "00"),
+        make_valve(2, "0X"),
+        make_valve(3, "11"),
+    ]
+    g = compatibility_graph(valves)
+    assert g.has_edge(0, 1) and g.has_edge(1, 2) and g.has_edge(0, 2)
+    assert g.degree[3] == 0

@@ -1,0 +1,48 @@
+"""Tests for ASCII/SVG rendering."""
+
+from repro import run_pacor, s1
+from repro.viz import render_ascii, render_svg
+
+
+def test_ascii_design_only():
+    design = s1()
+    art = render_ascii(design)
+    lines = art.splitlines()
+    assert len(lines) == design.grid.height
+    assert all(len(line) == design.grid.width for line in lines)
+    assert art.count("V") == len(design.valves)
+    assert "#" in art  # obstacles present
+    assert "P" in art  # pins present
+
+
+def test_ascii_with_result_marks_channels_and_pins():
+    design = s1()
+    result = run_pacor(design)
+    art = render_ascii(design, result)
+    assert "@" in art  # assigned pins
+    assert art.count("V") == len(design.valves)
+
+
+def test_svg_well_formed():
+    design = s1()
+    result = run_pacor(design)
+    svg = render_svg(design, result)
+    assert svg.startswith("<svg")
+    assert svg.endswith("</svg>")
+    assert svg.count("<circle") >= len(design.valves)
+    assert "<line" in svg  # channels drawn
+
+
+def test_svg_design_only_has_no_lines():
+    design = s1()
+    svg = render_svg(design)
+    assert "<line" not in svg
+    assert "<rect" in svg
+
+
+def test_svg_scales_with_cell_size():
+    design = s1()
+    small = render_svg(design, cell=4)
+    large = render_svg(design, cell=10)
+    assert 'width="48"' in small  # 12 * 4
+    assert 'width="120"' in large  # 12 * 10
