@@ -39,6 +39,12 @@ from repro.designs import (
     save_design,
     table1_suite,
 )
+from repro.robustness import (
+    Budget,
+    BudgetExceeded,
+    DesignFormatError,
+    PacorError,
+)
 
 __version__ = "1.0.0"
 
@@ -50,6 +56,10 @@ __all__ = [
     "run_without_selection",
     "run_detour_first",
     "run_method",
+    "PacorError",
+    "DesignFormatError",
+    "BudgetExceeded",
+    "Budget",
     "Design",
     "generate_design",
     "save_design",

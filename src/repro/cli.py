@@ -33,6 +33,7 @@ from repro.designs import (
     save_design,
     table1_suite,
 )
+from repro.robustness.errors import DesignFormatError
 from repro.viz import render_ascii, render_svg
 
 
@@ -44,7 +45,15 @@ def _resolve_design(token: str):
 
 def _cmd_route(args: argparse.Namespace) -> int:
     design = _resolve_design(args.design)
-    config = PacorConfig(k_candidates=args.candidates)
+    try:
+        config = PacorConfig(
+            k_candidates=args.candidates,
+            wall_clock_budget_s=args.budget_s,
+            astar_expansion_budget=args.expansion_budget,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     result = run_method(design, args.method, config)
     row = result.summary_row()
     print(
@@ -55,6 +64,19 @@ def _cmd_route(args: argparse.Namespace) -> int:
         f"completion={row['completion']:.1%} "
         f"runtime={row['runtime_s']:.2f}s"
     )
+    if result.degraded:
+        print("warning: degraded result", file=sys.stderr)
+        for incident in result.incidents:
+            print(
+                f"  [{incident.stage}] {incident.kind}: {incident.message}",
+                file=sys.stderr,
+            )
+        for net in result.nets:
+            if not net.routed and net.failure_reason:
+                print(
+                    f"  net {net.net_id} unrouted: {net.failure_reason}",
+                    file=sys.stderr,
+                )
     if args.verify:
         notes = verify_result(design, result)
         print(f"verification OK ({len(notes)} notes)")
@@ -179,6 +201,20 @@ def build_parser() -> argparse.ArgumentParser:
     route.add_argument("design", help="suite name (S1..S5, Chip1, Chip2) or .json file")
     route.add_argument("--method", choices=list(METHODS), default="PACOR")
     route.add_argument("--candidates", type=int, default=4, help="DME candidates per cluster")
+    route.add_argument(
+        "--budget-s",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget; on exhaustion a partial result is returned",
+    )
+    route.add_argument(
+        "--expansion-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="total A* expansion budget for the whole run",
+    )
     route.add_argument("--verify", action="store_true", help="verify the solution")
     route.add_argument("--svg", metavar="FILE", help="write an SVG rendering")
     route.add_argument("--json", metavar="FILE", help="write the full result as JSON")
@@ -224,10 +260,21 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    Malformed inputs exit with code 2 and a one-line diagnosis naming
+    the file and field instead of a raw traceback.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except DesignFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc.filename or exc}: file not found", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -10,7 +10,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.robustness.budget import Budget
 
 
 class SelectionSolver(str, enum.Enum):
@@ -58,7 +61,17 @@ class PacorConfig:
         lm_rippable_after: rip-up round from which length-matching
             clusters may be ripped too (the paper's "higher rip-up cost").
         lm_rip_cost: probe penalty multiplier for LM clusters.
+        protected_rip_cost: probe penalty for crossing a net the
+            force-completion pass already routed; prohibitive so only the
+            literally unavoidable blocker is ripped.
         max_astar_expansions: safety cap per A* query (None = unbounded).
+        wall_clock_budget_s: wall-clock budget for one whole run; when it
+            runs out the flow stops spending and returns a partial result
+            flagged ``degraded`` (None = unbounded).
+        astar_expansion_budget: total A* cells settled across the whole
+            run (None = unbounded).
+        rip_round_budget: total escape rip-up / force-completion
+            iterations across the whole run (None = unbounded).
     """
 
     delta: Optional[int] = None
@@ -76,7 +89,11 @@ class PacorConfig:
     max_ripup_rounds: int = 8
     lm_rippable_after: int = 4
     lm_rip_cost: float = 25.0
+    protected_rip_cost: float = 50.0
     max_astar_expansions: Optional[int] = None
+    wall_clock_budget_s: Optional[float] = None
+    astar_expansion_budget: Optional[int] = None
+    rip_round_budget: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.delta is not None and self.delta < 0:
@@ -89,8 +106,31 @@ class PacorConfig:
             raise ValueError("k_candidates must be at least 1")
         if self.max_ripup_rounds < 0:
             raise ValueError("max_ripup_rounds must be non-negative")
+        if self.protected_rip_cost <= 0:
+            raise ValueError("protected_rip_cost must be positive")
+        if self.wall_clock_budget_s is not None and self.wall_clock_budget_s <= 0:
+            raise ValueError("wall_clock_budget_s must be positive")
+        if (
+            self.astar_expansion_budget is not None
+            and self.astar_expansion_budget < 0
+        ):
+            raise ValueError("astar_expansion_budget must be non-negative")
+        if self.rip_round_budget is not None and self.rip_round_budget < 0:
+            raise ValueError("rip_round_budget must be non-negative")
         self.selection_solver = SelectionSolver(self.selection_solver)
         self.detour_stage = DetourStage(self.detour_stage)
+
+    def make_budget(self, **overrides: object) -> "Budget":
+        """Build the per-run :class:`~repro.robustness.budget.Budget`."""
+        from repro.robustness.budget import Budget
+
+        kwargs = {
+            "wall_clock_s": self.wall_clock_budget_s,
+            "astar_expansions": self.astar_expansion_budget,
+            "rip_rounds": self.rip_round_budget,
+        }
+        kwargs.update(overrides)
+        return Budget(**kwargs)  # type: ignore[arg-type]
 
     def resolved_delta(self, design_delta: int) -> int:
         """Return the δ to use for a given design."""

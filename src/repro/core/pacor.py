@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.config import DetourStage, PacorConfig, SelectionSolver
 from repro.core.result import NetReport, PacorResult, segments_of_path
@@ -33,9 +33,17 @@ from repro.detour.cluster import (
 )
 from repro.dme import generate_candidates
 from repro.dme.tree import CandidateTree
-from repro.escape import EscapeSource, find_blocking_nets, solve_escape
+from repro.escape import (
+    EscapeSource,
+    find_blocking_nets,
+    solve_escape,
+    solve_escape_sequential,
+)
 from repro.geometry.point import Point
 from repro.grid.occupancy import Occupancy
+from repro.robustness.budget import Budget
+from repro.robustness.errors import BudgetExceeded, PacorError, RouterStuck
+from repro.robustness.incidents import Incident, Severity
 from repro.routing.astar import astar_route
 from repro.routing.mst import route_cluster_mst
 from repro.routing.negotiation import NegotiationRouter, RouteRequest
@@ -84,7 +92,13 @@ class _Net:
 class PacorRouter:
     """Runs the full control-layer routing flow on one design."""
 
-    def __init__(self, design: Design, config: Optional[PacorConfig] = None) -> None:
+    def __init__(
+        self,
+        design: Design,
+        config: Optional[PacorConfig] = None,
+        *,
+        budget: Optional[Budget] = None,
+    ) -> None:
         design.validate()
         self.design = design
         self.config = config or PacorConfig()
@@ -92,9 +106,12 @@ class PacorRouter:
         self.occupancy = Occupancy(self.grid)
         self.delta = self.config.resolved_delta(design.delta)
         self.events: List[str] = []
+        self.incidents: List[Incident] = []
+        self.budget = budget if budget is not None else self.config.make_budget()
         self.nets: Dict[int, _Net] = {}
         self._next_net_id = 0
         self._method_name = "PACOR"
+        self._failure_reasons: Dict[int, str] = {}
         # During escape routing, newly de-clustered singletons must join
         # the pending-escape queue; _spawn_singleton registers them here.
         self._escape_pending: Optional[Set[int]] = None
@@ -102,18 +119,111 @@ class PacorRouter:
     # -- public API ---------------------------------------------------------
 
     def run(self) -> PacorResult:
-        """Execute every stage and return the aggregated result."""
+        """Execute every stage and return the aggregated result.
+
+        Every stage runs under a supervisor: an exception or exhausted
+        compute budget inside one stage records an
+        :class:`~repro.robustness.incidents.Incident`, degrades the
+        affected nets, and lets the remaining stages continue — the
+        method always returns a (possibly ``degraded``) result instead
+        of raising or hanging.
+        """
         started = time.perf_counter()
-        clusters = self._stage_clustering()
-        self._stage_lm_routing(clusters)
-        if self.config.detour_stage is DetourStage.AFTER_NEGOTIATION:
-            self._stage_detour()
-        self._stage_mst_routing()
-        self._stage_escape()
-        if self.config.detour_stage is DetourStage.FINAL:
-            self._stage_detour()
-        result = self._collect(clusters, time.perf_counter() - started)
-        return result
+        self.budget.start()
+        clusters = self._supervised("clustering", self._stage_clustering) or []
+        if clusters:
+            self._supervised("lm-routing", self._stage_lm_routing, clusters)
+            self._check_occupancy("lm-routing")
+            if self.config.detour_stage is DetourStage.AFTER_NEGOTIATION:
+                self._supervised("detour", self._stage_detour)
+                self._check_occupancy("detour")
+            self._supervised("mst-routing", self._stage_mst_routing)
+            self._check_occupancy("mst-routing")
+            self._supervised("escape", self._stage_escape)
+            self._check_occupancy("escape")
+            if self.config.detour_stage is DetourStage.FINAL:
+                self._supervised("detour", self._stage_detour)
+                self._check_occupancy("detour")
+        return self._collect(clusters, time.perf_counter() - started)
+
+    # -- stage supervision ----------------------------------------------------
+
+    def _supervised(self, stage: str, fn: Callable, *args):
+        """Run one stage, turning any escape of control into an incident.
+
+        Stages handle their *expected* failures internally (demotion,
+        de-clustering, solver fallback); whatever still escapes —
+        exhausted budgets, structured errors, foreign exceptions — is
+        recorded here and the flow moves on with what it has.
+        """
+        try:
+            return fn(*args)
+        except BudgetExceeded as exc:
+            self._incident(stage, "budget-exceeded", str(exc))
+        except PacorError as exc:
+            self._incident(
+                stage, "stage-failure", str(exc), severity=Severity.FATAL
+            )
+            self.occupancy.repair()
+        except Exception as exc:  # noqa: BLE001 - fault isolation boundary
+            self._incident(
+                stage,
+                "stage-failure",
+                f"unexpected {type(exc).__name__}: {exc}",
+                severity=Severity.FATAL,
+            )
+            self.occupancy.repair()
+        return None
+
+    def _incident(
+        self,
+        stage: str,
+        kind: str,
+        message: str,
+        *,
+        net_id: Optional[int] = None,
+        severity: Severity = Severity.DEGRADED,
+    ) -> None:
+        """Record a structured incident (and mirror it into the log)."""
+        self.incidents.append(
+            Incident(
+                stage=stage,
+                kind=kind,
+                message=message,
+                net_id=net_id,
+                severity=severity,
+            )
+        )
+        self._log(f"[{stage}] {kind}: {message}")
+
+    def _check_occupancy(self, stage: str) -> None:
+        """Detect (and repair) corrupted occupancy bookkeeping."""
+        bad = self.occupancy.repair()
+        if bad:
+            self._incident(
+                stage,
+                "occupancy-corruption",
+                f"occupancy bookkeeping inconsistent at {len(bad)} cells; "
+                f"rebuilt net buckets from the owner array",
+            )
+
+    def _isolate_net_fault(self, stage: str, net: _Net, exc: Exception) -> None:
+        """Contain a per-net fault: strip the net's routing, keep going."""
+        self._incident(
+            stage,
+            "net-failure",
+            f"{type(exc).__name__}: {exc}",
+            net_id=net.net_id,
+        )
+        valve_cells = {v.position for v in net.valves}
+        self.occupancy.release_cells(
+            self.occupancy.cells_of(net.net_id) - valve_cells
+        )
+        net.paths = []
+        net.tree = None
+        self._failure_reasons[net.net_id] = (
+            f"isolated fault during {stage}: {type(exc).__name__}"
+        )
 
     # -- stage 1: clustering --------------------------------------------------
 
@@ -174,16 +284,27 @@ class PacorRouter:
             # balanced tree into a physical loop (the sink would sit at
             # zero distance from the node while the model assumes the
             # full balanced length).
-            cands = generate_candidates(
-                self.grid,
-                net.net_id,
-                [v.position for v in net.valves],
-                k=self.config.k_candidates,
-                blocked=all_valve_cells | critical_access,
-                skew_bound_h=(
-                    2 * self.delta if self.config.bounded_skew_dme else 0
-                ),
-            )
+            try:
+                cands = generate_candidates(
+                    self.grid,
+                    net.net_id,
+                    [v.position for v in net.valves],
+                    k=self.config.k_candidates,
+                    blocked=all_valve_cells | critical_access,
+                    skew_bound_h=(
+                        2 * self.delta if self.config.bounded_skew_dme else 0
+                    ),
+                )
+            except Exception as exc:  # noqa: BLE001 - per-net fault isolation
+                self._incident(
+                    "lm-routing",
+                    "net-failure",
+                    f"candidate generation failed "
+                    f"({type(exc).__name__}: {exc})",
+                    net_id=net.net_id,
+                )
+                self._demote_lm(net, reason="candidate generation failed")
+                continue
             if cands:
                 candidate_sets[net.net_id] = cands
             else:
@@ -238,11 +359,18 @@ class PacorRouter:
             gamma=self.config.gamma,
             max_expansions=self.config.max_astar_expansions,
         )
-        outcome = router.route(requests, self.occupancy)
+        outcome = router.route(requests, self.occupancy, budget=self.budget)
         self._log(
             f"negotiation: {len(requests)} edges, {outcome.iterations} iterations, "
             f"{len(outcome.failed_edges)} failed"
         )
+        if outcome.aborted:
+            self._incident(
+                "lm-routing",
+                "budget-exceeded",
+                "negotiation aborted: compute budget exhausted; "
+                "unrouted clusters demoted to MST routing",
+            )
 
         failed_nets = {edge_owner[e][0] for e in outcome.failed_edges}
         for cid, tree in chosen.items():
@@ -250,8 +378,11 @@ class PacorRouter:
             if cid in failed_nets:
                 # The paper reconstructs the DME tree when negotiation
                 # gives up: retry the cluster's remaining candidates
-                # one at a time before demoting to MST routing.
-                if self._retry_candidates(net, candidate_sets.get(cid, []), tree):
+                # one at a time before demoting to MST routing (skipped
+                # when the budget is already gone).
+                if not outcome.aborted and self._retry_candidates(
+                    net, candidate_sets.get(cid, []), tree
+                ):
                     continue
                 self._demote_lm(net, reason="negotiation failure")
                 continue
@@ -300,7 +431,9 @@ class PacorRouter:
                 gamma=max(2, self.config.gamma // 3),
                 max_expansions=self.config.max_astar_expansions,
             )
-            outcome = router.route(requests, self.occupancy)
+            outcome = router.route(requests, self.occupancy, budget=self.budget)
+            if outcome.aborted:
+                break
             if outcome.success:
                 net.tree = routed_tree_from_candidate(candidate, outcome.paths)
                 self._log(
@@ -330,7 +463,15 @@ class PacorRouter:
     def _stage_mst_routing(self, history: Optional[List[float]] = None) -> None:
         for net in list(self.nets.values()):
             if net.kind == "ordinary" and net.tree is None:
-                self._route_ordinary(net, history)
+                # A spent budget fast-fails the whole stage (supervised);
+                # any other per-net fault is contained to that net.
+                self.budget.check("mst-routing")
+                try:
+                    self._route_ordinary(net, history)
+                except BudgetExceeded:
+                    raise
+                except Exception as exc:  # noqa: BLE001 - net isolation
+                    self._isolate_net_fault("mst-routing", net, exc)
 
     def _route_ordinary(self, net: _Net, history: Optional[List[float]]) -> None:
         terminals = [v.position for v in net.valves]
@@ -341,6 +482,7 @@ class PacorRouter:
             terminals,
             history=history,
             max_expansions=self.config.max_astar_expansions,
+            budget=self.budget,
         )
         net.paths = list(outcome.paths)
         if outcome.failed:
@@ -391,16 +533,52 @@ class PacorRouter:
         previously committed escape path (when only that path blocks) or
         rip a net's internal channels (demoting LM clusters).  Per-net
         rip counters stop oscillation.
+
+        The stage is budget-supervised: an exhausted compute budget stops
+        the rounds, and whatever is still pending is reported unrouted
+        with a per-net failure reason instead of hanging the flow.
         """
         pins = list(self.design.control_pins)
+        # A multi-valve net that never got internal channels (its routing
+        # stage was cut short by the budget or a fault) must not escape as
+        # one net: the pin would reach a single valve while the report
+        # claimed the whole net routed.  Split it so each valve escapes
+        # on its own.
+        for net in list(self.nets.values()):
+            if len(net.valves) >= 2 and net.tree is None and not net.paths:
+                self._log(
+                    f"decluster net {net.net_id}: no internal channels "
+                    f"before escape"
+                )
+                for valve in net.valves[1:]:
+                    self._spawn_singleton(net, valve)
+                net.valves = net.valves[:1]
+                net.kind = "singleton"
         pending: Set[int] = set(self.nets)
         self._escape_pending = pending
+        try:
+            self._escape_rounds(pending, pins)
+            if pending:
+                self._force_completion(pending, pins)
+        except BudgetExceeded as exc:
+            self._incident("escape", "budget-exceeded", str(exc))
+        finally:
+            self._escape_pending = None
+            for net_id in pending:
+                self.nets[net_id].routed = False
+                self._failure_reasons.setdefault(
+                    net_id, "escape routing gave up before reaching a control pin"
+                )
+
+    def _escape_rounds(self, pending: Set[int], pins: Sequence[Point]) -> None:
+        """The min-cost-flow escape rounds with rip-up in between."""
         rip_counts: Dict[int, int] = {}
         fail_counts: Dict[int, int] = {}
         rounds = self.config.max_ripup_rounds
         for round_idx in range(rounds + 1):
             if not pending:
                 break
+            self.budget.charge_rip_round("escape")
             sources = [
                 EscapeSource(nid, self._escape_taps(self.nets[nid]))
                 for nid in sorted(pending)
@@ -412,7 +590,19 @@ class PacorRouter:
             blocked: Set[Point] = set()
             for nid in self.occupancy.nets():
                 blocked |= self.occupancy.cells_of(nid)
-            result = solve_escape(self.grid, sources, available_pins, blocked)
+            try:
+                result = solve_escape(self.grid, sources, available_pins, blocked)
+            except Exception as exc:  # noqa: BLE001 - solver fault isolation
+                self._incident(
+                    "escape",
+                    "solver-fallback",
+                    f"min-cost-flow solver failed "
+                    f"({type(exc).__name__}: {exc}); "
+                    f"falling back to sequential escape routing",
+                )
+                result = solve_escape_sequential(
+                    self.grid, sources, available_pins, blocked
+                )
             self._log(
                 f"escape round {round_idx}: {result.flow_value}/{len(sources)} "
                 f"routed, cost {result.total_cost:.0f}"
@@ -439,11 +629,6 @@ class PacorRouter:
             if not (self_ripped or blockers_ripped):
                 self._log("escape: nothing left to rip up; accepting partial result")
                 break
-        if pending:
-            self._force_completion(pending, pins)
-        self._escape_pending = None
-        for net_id in pending:
-            self.nets[net_id].routed = False
 
     def _force_completion(self, pending: Set[int], pins: Sequence[Point]) -> None:
         """Last-resort sequential escape for nets the flow rounds starved.
@@ -468,8 +653,23 @@ class PacorRouter:
         permanent_nets: Set[int] = set()
         valve_cells = {v.position for v in self.design.valves}
         guard = 0
-        while pending - hopeless and guard < 10 * len(self.nets):
+        guard_limit = 10 * max(1, len(self.nets))
+        while pending - hopeless:
             guard += 1
+            if guard > guard_limit:
+                stuck = sorted(pending - hopeless)
+                error = RouterStuck(
+                    f"no convergence after {guard_limit} force-route attempts",
+                    stage="force-completion",
+                    pending=stuck,
+                )
+                self._incident("force-completion", "router-stuck", str(error))
+                for nid in stuck:
+                    self._failure_reasons.setdefault(
+                        nid, "force-completion rip-up loop stopped converging"
+                    )
+                break
+            self.budget.charge_rip_round("force-completion")
             net_id = min(pending - hopeless)
             net = self.nets[net_id]
             taps = self._escape_taps(net)
@@ -498,7 +698,7 @@ class PacorRouter:
                 # prohibitive cost so only the unavoidable one is ripped.
                 rip_cost = dict(rip_cost)
                 for nid in protected:
-                    rip_cost[nid] = 50.0
+                    rip_cost[nid] = self.config.protected_rip_cost
                 probe = find_blocking_nets(
                     self.grid,
                     self.occupancy,
@@ -512,7 +712,15 @@ class PacorRouter:
                 if net.tree is not None:
                     self._rip_and_reroute(net, pending)
                     continue
-                self._log(f"escape: net {net_id} is walled in; giving up")
+                self._incident(
+                    "force-completion",
+                    "net-failure",
+                    "walled in by unrippable channels; giving up",
+                    net_id=net_id,
+                )
+                self._failure_reasons[net_id] = (
+                    "walled in by unrippable channels"
+                )
                 hopeless.add(net_id)
                 continue
             # Release the blockers but re-route them only after the victim
@@ -540,6 +748,7 @@ class PacorRouter:
                 net=net_id,
                 occupancy=self.occupancy,
                 extra_obstacles=own_non_tap or None,
+                budget=self.budget,
             )
             if path is not None:
                 self._commit_escape(net, path, path.target)
@@ -689,13 +898,26 @@ class PacorRouter:
         for net in sorted(self.nets.values(), key=lambda n: n.net_id):
             if net.tree is None:
                 continue
-            outcome = detour_cluster(
-                self.grid,
-                self.occupancy,
-                net.tree,
-                self.delta,
-                theta=self.config.theta,
-            )
+            self.budget.check_wall_clock("detour")
+            try:
+                outcome = detour_cluster(
+                    self.grid,
+                    self.occupancy,
+                    net.tree,
+                    self.delta,
+                    theta=self.config.theta,
+                )
+            except Exception as exc:  # noqa: BLE001 - per-net fault isolation
+                # The tree stays routed (possibly unmatched); detouring
+                # is an improvement pass, so the fault costs matching
+                # quality only, never completion.
+                self._incident(
+                    "detour",
+                    "net-failure",
+                    f"{type(exc).__name__}: {exc}",
+                    net_id=net.net_id,
+                )
+                continue
             if outcome.detoured_edges:
                 self._log(
                     f"detour cluster {net.net_id}: {outcome.detoured_edges} edges "
@@ -706,6 +928,7 @@ class PacorRouter:
 
     def _collect(self, clusters: Sequence[Cluster], runtime: float) -> PacorResult:
         n_lm = sum(1 for c in clusters if c.size >= 2)
+        unrouted = sum(1 for n in self.nets.values() if not n.routed)
         result = PacorResult(
             design_name=self.design.name,
             method=self._method_name,
@@ -714,6 +937,11 @@ class PacorRouter:
             n_lm_clusters=n_lm,
             runtime_s=runtime,
             events=list(self.events),
+            incidents=list(self.incidents),
+            degraded=(
+                unrouted > 0
+                or any(i.severity is not Severity.INFO for i in self.incidents)
+            ),
         )
         for net in sorted(self.nets.values(), key=lambda n: n.net_id):
             cells = frozenset(self.occupancy.cells_of(net.net_id))
@@ -750,6 +978,14 @@ class PacorRouter:
                     matched=matched,
                     mismatch=mismatch,
                     sink_lengths=sink_lengths,
+                    failure_reason=(
+                        None
+                        if net.routed
+                        else self._failure_reasons.get(
+                            net.net_id,
+                            "escape routing did not reach a control pin",
+                        )
+                    ),
                 )
             )
         return result

@@ -71,5 +71,9 @@ def run_method(
     try:
         runner = METHODS[method]
     except KeyError:
-        raise ValueError(f"unknown method {method!r}; choose from {list(METHODS)}")
+        # The internal KeyError is an implementation detail; `from None`
+        # keeps it out of the user's traceback.
+        raise ValueError(
+            f"unknown method {method!r}; choose from {list(METHODS)}"
+        ) from None
     return runner(design, config)

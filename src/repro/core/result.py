@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.geometry.point import Point
+from repro.robustness.incidents import Incident
 
 Segment = Tuple[Point, Point]
 """One drawn channel step between two adjacent cells (endpoint-sorted)."""
@@ -45,6 +46,7 @@ class NetReport:
         mismatch: final max-min spread of valve-to-pin lengths (LM nets).
         sink_lengths: valve id -> routed channel length to the pin
             (LM nets only).
+        failure_reason: why the net ended unrouted (None when routed).
     """
 
     net_id: int
@@ -59,6 +61,7 @@ class NetReport:
     matched: Optional[bool] = None
     mismatch: Optional[int] = None
     sink_lengths: Dict[int, int] = field(default_factory=dict)
+    failure_reason: Optional[str] = None
 
 
 @dataclass
@@ -74,6 +77,10 @@ class PacorResult:
         nets: per-net reports.
         runtime_s: wall-clock seconds of the run.
         events: human-readable stage log.
+        degraded: True when the run gave something up — a stage failed,
+            a budget ran out, or a net could not be completed; the
+            routed subset is still verified-consistent.
+        incidents: structured records of everything that degraded.
     """
 
     design_name: str
@@ -84,6 +91,8 @@ class PacorResult:
     nets: List[NetReport] = field(default_factory=list)
     runtime_s: float = 0.0
     events: List[str] = field(default_factory=list)
+    degraded: bool = False
+    incidents: List[Incident] = field(default_factory=list)
 
     # -- Table 2 metrics ----------------------------------------------------
 
@@ -166,6 +175,8 @@ class PacorResult:
             "summary": self.summary_row(),
             "delta": self.delta,
             "events": list(self.events),
+            "degraded": self.degraded,
+            "incidents": [i.to_json() for i in self.incidents],
             "nets": [
                 {
                     "net_id": n.net_id,
@@ -177,6 +188,7 @@ class PacorResult:
                     "matched": n.matched,
                     "mismatch": n.mismatch,
                     "channel_length": n.channel_length,
+                    "failure_reason": n.failure_reason,
                     "sink_lengths": {
                         str(k): v for k, v in n.sink_lengths.items()
                     },

@@ -19,11 +19,12 @@ from __future__ import annotations
 
 import json
 from pathlib import Path as FilePath
-from typing import Any, Dict, Union
+from typing import Any, Dict, List, Optional, Union
 
 from repro.designs.design import Design
 from repro.geometry.point import Point
 from repro.grid.grid import RoutingGrid
+from repro.robustness.errors import DesignFormatError
 from repro.valves.activation import ActivationSequence
 from repro.valves.valve import Valve
 
@@ -45,23 +46,160 @@ def design_to_json(design: Design) -> Dict[str, Any]:
     }
 
 
-def design_from_json(doc: Dict[str, Any]) -> Design:
-    """Rebuild a :class:`Design` from its JSON document (validated)."""
-    grid = RoutingGrid(doc["width"], doc["height"])
-    grid.add_obstacles(Point(x, y) for x, y in doc.get("obstacles", []))
-    valves = [
-        Valve(item["id"], Point(item["x"], item["y"]), ActivationSequence(item["sequence"]))
-        for item in doc["valves"]
-    ]
+def _field(
+    doc: Dict[str, Any],
+    name: str,
+    source: Optional[str],
+    label: Optional[str] = None,
+) -> Any:
+    """Fetch a required field, diagnosing its absence precisely."""
+    try:
+        return doc[name]
+    except (KeyError, TypeError) as exc:
+        raise DesignFormatError(
+            "missing required field", field=label or name, path=source
+        ) from exc
+
+
+def _int_field(
+    doc: Dict[str, Any],
+    name: str,
+    source: Optional[str],
+    label: Optional[str] = None,
+) -> int:
+    value = _field(doc, name, source, label)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise DesignFormatError(
+            f"expected an integer, got {type(value).__name__}",
+            field=label or name,
+            path=source,
+        )
+    return value
+
+
+def _point_list(value: Any, name: str, source: Optional[str]) -> List[Point]:
+    points: List[Point] = []
+    try:
+        for pair in value:
+            x, y = pair
+            points.append(Point(int(x), int(y)))
+    except (TypeError, ValueError) as exc:
+        raise DesignFormatError(
+            "expected a list of [x, y] pairs",
+            field=f"{name}[{len(points)}]",
+            path=source,
+        ) from exc
+    return points
+
+
+def design_from_json(
+    doc: Dict[str, Any], *, source: Optional[str] = None
+) -> Design:
+    """Rebuild a :class:`Design` from its JSON document (validated).
+
+    Args:
+        doc: the parsed JSON document.
+        source: originating file path, named in error messages.
+
+    Raises:
+        DesignFormatError: the document is malformed — the error names
+            the offending field (and ``source``, when given) instead of
+            surfacing a raw ``KeyError``/``TypeError``.
+    """
+    if not isinstance(doc, dict):
+        raise DesignFormatError(
+            f"design document must be a JSON object, "
+            f"got {type(doc).__name__}",
+            path=source,
+        )
+    try:
+        grid = RoutingGrid(
+            _int_field(doc, "width", source), _int_field(doc, "height", source)
+        )
+    except ValueError as exc:
+        if isinstance(exc, DesignFormatError):
+            raise
+        raise DesignFormatError(
+            str(exc), field="width/height", path=source
+        ) from exc
+    try:
+        grid.add_obstacles(
+            _point_list(doc.get("obstacles", []), "obstacles", source)
+        )
+    except ValueError as exc:
+        if isinstance(exc, DesignFormatError):
+            raise
+        raise DesignFormatError(str(exc), field="obstacles", path=source) from exc
+    valve_docs = _field(doc, "valves", source)
+    if not isinstance(valve_docs, list):
+        raise DesignFormatError(
+            f"expected a list of valve objects, got {type(valve_docs).__name__}",
+            field="valves",
+            path=source,
+        )
+    valves = []
+    for idx, item in enumerate(valve_docs):
+        label = f"valves[{idx}]"
+        if not isinstance(item, dict):
+            raise DesignFormatError(
+                f"expected a valve object, got {type(item).__name__}",
+                field=label,
+                path=source,
+            )
+        try:
+            valves.append(
+                Valve(
+                    _int_field(item, "id", source, f"{label}.id"),
+                    Point(
+                        _int_field(item, "x", source, f"{label}.x"),
+                        _int_field(item, "y", source, f"{label}.y"),
+                    ),
+                    ActivationSequence(
+                        _field(item, "sequence", source, f"{label}.sequence")
+                    ),
+                )
+            )
+        except DesignFormatError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DesignFormatError(
+                f"malformed valve entry ({exc})", field=label, path=source
+            ) from exc
+    name = _field(doc, "name", source)
+    if not isinstance(name, str):
+        raise DesignFormatError(
+            f"expected a string, got {type(name).__name__}",
+            field="name",
+            path=source,
+        )
+    try:
+        lm_groups = [list(g) for g in doc.get("lm_groups", [])]
+    except TypeError as exc:
+        raise DesignFormatError(
+            "expected a list of valve-id lists", field="lm_groups", path=source
+        ) from exc
+    try:
+        delta = int(doc.get("delta", 1))
+    except (TypeError, ValueError) as exc:
+        raise DesignFormatError(
+            "expected an integer", field="delta", path=source
+        ) from exc
     design = Design(
-        name=doc["name"],
+        name=name,
         grid=grid,
         valves=valves,
-        lm_groups=[list(g) for g in doc.get("lm_groups", [])],
-        control_pins=[Point(x, y) for x, y in doc.get("control_pins", [])],
-        delta=int(doc.get("delta", 1)),
+        lm_groups=lm_groups,
+        control_pins=_point_list(
+            doc.get("control_pins", []), "control_pins", source
+        ),
+        delta=delta,
     )
-    design.validate()
+    try:
+        design.validate()
+    except DesignFormatError:
+        raise
+    except (TypeError, ValueError, KeyError) as exc:
+        raise DesignFormatError(f"invalid design: {exc}", path=source) from exc
     return design
 
 
@@ -72,6 +210,17 @@ def save_design(design: Design, path: Union[str, FilePath]) -> None:
 
 
 def load_design(path: Union[str, FilePath]) -> Design:
-    """Read a design back from JSON."""
+    """Read a design back from JSON.
+
+    Raises:
+        DesignFormatError: the file is not valid JSON or the document is
+            malformed; the error names the file and offending field.
+    """
     with open(path, "r", encoding="utf-8") as handle:
-        return design_from_json(json.load(handle))
+        try:
+            doc = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise DesignFormatError(
+                f"not valid JSON ({exc})", path=str(path)
+            ) from exc
+    return design_from_json(doc, source=str(path))

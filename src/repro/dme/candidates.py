@@ -17,6 +17,7 @@ from repro.dme.merging import compute_merging_regions
 from repro.dme.topology import balanced_bipartition_topology, n_root_bipartitions
 from repro.dme.tree import CandidateTree, TopologyNode
 from repro.geometry.point import Point
+from repro.robustness import faults
 
 _POLICIES = ("nearest", "lo", "hi")
 
@@ -62,6 +63,10 @@ def generate_candidates(
     """
     if not sink_points:
         raise ValueError("a cluster needs at least one sink")
+    if faults.fires("candidate_generation_empty"):
+        # Chaos-suite hook: behave exactly like a fully obstructed
+        # neighbourhood, where no candidate tree can be embedded.
+        return []
 
     # Topology variants give distinct trees even when embedding choices
     # degenerate (collinear sinks ⇒ point merging segments).  Variant-0

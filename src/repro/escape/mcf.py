@@ -23,6 +23,8 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.flownet.mincostflow import MinCostFlow
 from repro.geometry.point import Point
 from repro.grid.grid import RoutingGrid
+from repro.robustness import faults
+from repro.robustness.faults import FaultInjected
 from repro.routing.path import Path
 
 
@@ -93,6 +95,8 @@ def solve_escape(
     Returns:
         The decomposed routing; crossings are impossible by construction.
     """
+    if faults.fires("mcf_solver_raise"):
+        raise FaultInjected("injected min-cost-flow solver failure")
     blocked = blocked or set()
     result = EscapeResult()
     if not sources:

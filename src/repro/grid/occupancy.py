@@ -12,6 +12,7 @@ from typing import Dict, Iterable, Iterator, List, Set
 
 from repro.geometry.point import Point
 from repro.grid.grid import RoutingGrid
+from repro.robustness import faults
 
 FREE = -1
 """Sentinel net id for an unoccupied cell."""
@@ -64,6 +65,11 @@ class Occupancy:
                 raise ValueError(f"cell {p} already occupied by net {current}")
             self._owner[idx] = net
             bucket.add(p)
+        if bucket and faults.fires("occupancy_corruption"):
+            # Chaos-suite hook: orphan one owner entry (owner array says
+            # occupied, bucket disagrees) so the between-stage consistency
+            # check has something real to detect and repair.
+            bucket.discard(min(bucket))
 
     def release(self, net: int) -> Set[Point]:
         """Free every cell of ``net`` and return the released cells."""
@@ -94,3 +100,42 @@ class Occupancy:
     def occupied_count(self) -> int:
         """Return the total number of occupied cells."""
         return sum(len(c) for c in self._cells.values())
+
+    def find_inconsistencies(self) -> List[Point]:
+        """Return cells where the owner array and net buckets disagree.
+
+        An empty list means the two views of the occupancy agree; any
+        entry is evidence of corrupted bookkeeping (e.g. a net's bucket
+        lost a cell the owner array still assigns to it, or vice versa).
+        """
+        bad: List[Point] = []
+        from_buckets: Dict[Point, int] = {}
+        for net, cells in self._cells.items():
+            for p in cells:
+                from_buckets[p] = net
+        for y in range(self.grid.height):
+            for x in range(self.grid.width):
+                p = Point(x, y)
+                owner = self._owner[self.grid.index(p)]
+                if from_buckets.get(p, FREE) != owner:
+                    bad.append(p)
+        return bad
+
+    def repair(self) -> List[Point]:
+        """Rebuild the net buckets from the owner array; return fixes.
+
+        The owner array is the source of truth (it is what routability
+        checks consult), so repair reconstitutes every net's cell bucket
+        from it.  Returns the cells whose bookkeeping changed.
+        """
+        bad = self.find_inconsistencies()
+        if bad:
+            rebuilt: Dict[int, Set[Point]] = {}
+            for y in range(self.grid.height):
+                for x in range(self.grid.width):
+                    p = Point(x, y)
+                    owner = self._owner[self.grid.index(p)]
+                    if owner != FREE:
+                        rebuilt.setdefault(owner, set()).add(p)
+            self._cells = rebuilt
+        return bad

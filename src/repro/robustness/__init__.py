@@ -1,0 +1,49 @@
+"""Fault tolerance for the PACOR flow.
+
+Three cooperating pieces keep one pathological cluster or malformed
+design from killing or hanging a whole run:
+
+* :mod:`repro.robustness.errors` — the structured error taxonomy
+  (:class:`PacorError` and friends) replacing bare exceptions.
+* :mod:`repro.robustness.budget` — per-run compute budgets (wall clock,
+  A* expansions, rip-up rounds) threaded down to the search inner loops.
+* :mod:`repro.robustness.incidents` — machine-readable records of what
+  degraded, carried on the :class:`~repro.core.result.PacorResult`.
+* :mod:`repro.robustness.faults` — the deterministic, seeded
+  fault-injection harness behind ``tests/robustness/``.
+"""
+
+from repro.robustness.budget import Budget
+from repro.robustness.errors import (
+    BudgetExceeded,
+    DesignFormatError,
+    OccupancyCorruption,
+    PacorError,
+    RouterStuck,
+    StageFailure,
+)
+from repro.robustness.faults import (
+    INJECTION_POINTS,
+    FaultInjected,
+    FaultInjector,
+    FaultRecord,
+    FaultSpec,
+)
+from repro.robustness.incidents import Incident, Severity
+
+__all__ = [
+    "PacorError",
+    "DesignFormatError",
+    "StageFailure",
+    "BudgetExceeded",
+    "RouterStuck",
+    "OccupancyCorruption",
+    "Budget",
+    "Incident",
+    "Severity",
+    "FaultSpec",
+    "FaultRecord",
+    "FaultInjector",
+    "FaultInjected",
+    "INJECTION_POINTS",
+]

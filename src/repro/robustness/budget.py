@@ -1,0 +1,157 @@
+"""Per-run compute budgets (wall clock, A* expansions, rip-up rounds).
+
+One :class:`Budget` object is created per :class:`~repro.core.pacor.PacorRouter`
+run and threaded through every stage down to the A* inner loop.  Charging
+a spent budget raises :class:`~repro.robustness.errors.BudgetExceeded`,
+which the stage supervisors catch to degrade gracefully instead of
+letting a pathological design hang the process.
+
+The clock is injectable so tests can exhaust the wall-clock budget
+deterministically without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from repro.robustness.errors import BudgetExceeded
+
+_WALL_CHECK_EVERY = 64
+"""Expansions between wall-clock checks in the A* hot loop."""
+
+
+class Budget:
+    """Tracks and enforces the compute budgets of one flow run.
+
+    Every limit is optional; a limit of None never trips.  All charging
+    methods raise :class:`BudgetExceeded` the moment a limit is crossed.
+
+    Attributes:
+        wall_clock_s: wall-clock limit in seconds, from :meth:`start`.
+        astar_expansions: total A* cells settled across the whole run.
+        rip_rounds: total escape rip-up/force-completion iterations.
+        clock: monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        *,
+        wall_clock_s: Optional[float] = None,
+        astar_expansions: Optional[int] = None,
+        rip_rounds: Optional[int] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if wall_clock_s is not None and wall_clock_s <= 0:
+            raise ValueError("wall_clock_s must be positive")
+        if astar_expansions is not None and astar_expansions < 0:
+            raise ValueError("astar_expansions must be non-negative")
+        if rip_rounds is not None and rip_rounds < 0:
+            raise ValueError("rip_rounds must be non-negative")
+        self.wall_clock_s = wall_clock_s
+        self.astar_expansions = astar_expansions
+        self.rip_rounds = rip_rounds
+        self.clock = clock
+        self.expansions_used = 0
+        self.rip_rounds_used = 0
+        self._started: Optional[float] = None
+
+    @property
+    def unlimited(self) -> bool:
+        """Return True when no limit is configured at all."""
+        return (
+            self.wall_clock_s is None
+            and self.astar_expansions is None
+            and self.rip_rounds is None
+        )
+
+    def start(self) -> None:
+        """Anchor the wall clock; charging before start never trips it."""
+        self._started = self.clock()
+
+    def elapsed(self) -> float:
+        """Return seconds since :meth:`start` (0.0 before start)."""
+        if self._started is None:
+            return 0.0
+        return self.clock() - self._started
+
+    def remaining_wall_clock(self) -> Optional[float]:
+        """Return remaining seconds, or None when unlimited."""
+        if self.wall_clock_s is None:
+            return None
+        return max(0.0, self.wall_clock_s - self.elapsed())
+
+    def check(self, stage: Optional[str] = None) -> None:
+        """Raise :class:`BudgetExceeded` when any limit is already spent.
+
+        Unlike the charging methods this consumes nothing; stages call it
+        before starting more work so an already-exhausted budget fails
+        fast instead of being rediscovered one A* expansion later.
+        """
+        self.check_wall_clock(stage)
+        if (
+            self.astar_expansions is not None
+            and self.expansions_used > self.astar_expansions
+        ):
+            raise BudgetExceeded(
+                "search effort exhausted",
+                kind="astar-expansions",
+                limit=self.astar_expansions,
+                used=self.expansions_used,
+                stage=stage,
+            )
+        if self.rip_rounds is not None and self.rip_rounds_used > self.rip_rounds:
+            raise BudgetExceeded(
+                "rip-up effort exhausted",
+                kind="rip-rounds",
+                limit=self.rip_rounds,
+                used=self.rip_rounds_used,
+                stage=stage,
+            )
+
+    def check_wall_clock(self, stage: Optional[str] = None) -> None:
+        """Raise :class:`BudgetExceeded` when the wall clock has run out."""
+        if self.wall_clock_s is None or self._started is None:
+            return
+        elapsed = self.elapsed()
+        if elapsed > self.wall_clock_s:
+            raise BudgetExceeded(
+                "run out of time",
+                kind="wall-clock",
+                limit=self.wall_clock_s,
+                used=elapsed,
+                stage=stage,
+            )
+
+    def charge_expansions(self, n: int = 1, stage: str = "astar") -> None:
+        """Charge ``n`` A* expansions; periodically re-check the clock."""
+        self.expansions_used += n
+        if (
+            self.astar_expansions is not None
+            and self.expansions_used > self.astar_expansions
+        ):
+            raise BudgetExceeded(
+                "search effort exhausted",
+                kind="astar-expansions",
+                limit=self.astar_expansions,
+                used=self.expansions_used,
+                stage=stage,
+            )
+        if (
+            self.wall_clock_s is not None
+            and self.expansions_used % _WALL_CHECK_EVERY < n
+        ):
+            self.check_wall_clock(stage)
+
+    def charge_rip_round(self, stage: str = "escape") -> None:
+        """Charge one rip-up round; also re-checks the wall clock."""
+        self.rip_rounds_used += 1
+        if self.rip_rounds is not None and self.rip_rounds_used > self.rip_rounds:
+            raise BudgetExceeded(
+                "rip-up effort exhausted",
+                kind="rip-rounds",
+                limit=self.rip_rounds,
+                used=self.rip_rounds_used,
+                stage=stage,
+            )
+        self.check_wall_clock(stage)

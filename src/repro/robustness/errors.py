@@ -1,0 +1,139 @@
+"""Structured error taxonomy for the PACOR flow.
+
+Every failure the flow can diagnose is expressed as a subclass of
+:class:`PacorError` carrying machine-readable context (stage, net id,
+budget kind, offending field ...) instead of a bare ``KeyError`` or a
+silently exhausted guard counter.  The orchestrator's stage supervisor
+keys its degradation decisions off this hierarchy:
+
+* :class:`DesignFormatError` — the input document is malformed; fatal,
+  but reported with the offending field and file so the CLI can print a
+  one-line diagnosis instead of a traceback.
+* :class:`StageFailure` — one flow stage failed for one net or cluster;
+  the supervisor demotes the net and continues.
+* :class:`BudgetExceeded` — a compute budget (wall clock, A* expansions,
+  rip-up rounds) ran out; the flow stops spending and returns a partial,
+  ``degraded`` result.
+* :class:`RouterStuck` — a rip-up loop stopped making progress (the
+  condition the seed code hid behind a silent ``guard`` counter).
+* :class:`OccupancyCorruption` — the per-net occupancy bookkeeping
+  disagrees with itself; detected between stages and repaired.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+
+class PacorError(Exception):
+    """Base class of every structured error raised by the reproduction."""
+
+
+class DesignFormatError(PacorError, ValueError):
+    """A design document is malformed.
+
+    Also a :class:`ValueError` so callers that predate the taxonomy
+    (``except ValueError``) keep working.
+
+    Attributes:
+        field: dotted path of the offending field (e.g. ``valves[3].x``),
+            or None when the document as a whole is unusable.
+        path: source file the document was read from, when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        field: Optional[str] = None,
+        path: Optional[str] = None,
+    ) -> None:
+        self.field = field
+        self.path = path
+        parts = []
+        if path is not None:
+            parts.append(f"{path}: ")
+        parts.append(message)
+        if field is not None:
+            parts.append(f" (field {field!r})")
+        super().__init__("".join(parts))
+
+
+class StageFailure(PacorError):
+    """One flow stage failed — for the whole stage or a single net.
+
+    Attributes:
+        stage: name of the failing stage (``"lm-routing"``, ``"escape"``,
+            ...).
+        net_id: the affected net, or None for a stage-wide failure.
+    """
+
+    def __init__(
+        self, message: str, *, stage: str, net_id: Optional[int] = None
+    ) -> None:
+        self.stage = stage
+        self.net_id = net_id
+        where = stage if net_id is None else f"{stage}, net {net_id}"
+        super().__init__(f"[{where}] {message}")
+
+
+class BudgetExceeded(PacorError):
+    """A compute budget ran out.
+
+    Attributes:
+        kind: which budget — ``"wall-clock"``, ``"astar-expansions"`` or
+            ``"rip-rounds"``.
+        limit: the configured limit.
+        used: the amount consumed when the budget tripped.
+        stage: the stage charging the budget when it tripped, when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        kind: str,
+        limit: float,
+        used: float,
+        stage: Optional[str] = None,
+    ) -> None:
+        self.kind = kind
+        self.limit = limit
+        self.used = used
+        self.stage = stage
+        where = f" during {stage}" if stage else ""
+        super().__init__(
+            f"{message}{where}: {kind} budget exhausted ({used:g} > {limit:g})"
+        )
+
+
+class RouterStuck(PacorError):
+    """A rip-up/reroute loop stopped making progress.
+
+    Attributes:
+        stage: the looping stage.
+        pending: net ids still unrouted when the loop gave up.
+    """
+
+    def __init__(
+        self, message: str, *, stage: str, pending: Sequence[int] = ()
+    ) -> None:
+        self.stage = stage
+        self.pending = tuple(pending)
+        suffix = f" (pending nets: {sorted(self.pending)})" if pending else ""
+        super().__init__(f"[{stage}] {message}{suffix}")
+
+
+class OccupancyCorruption(PacorError):
+    """The occupancy owner array and per-net buckets disagree.
+
+    Attributes:
+        cells: the inconsistent cells (as ``(x, y)`` tuples).
+    """
+
+    def __init__(
+        self, message: str, *, cells: Sequence[Tuple[int, int]] = ()
+    ) -> None:
+        self.cells = tuple(cells)
+        suffix = f" at {sorted(self.cells)}" if cells else ""
+        super().__init__(f"{message}{suffix}")

@@ -1,0 +1,173 @@
+"""Deterministic, seeded fault injection for the chaos suite.
+
+Production code declares *named injection points* by calling
+:func:`fires` at the places where real faults occur (a solver raising, a
+search running out of budget, corrupted bookkeeping, ...).  When no
+injector is installed — the normal case — :func:`fires` is a single
+``None`` check.  Tests install a :class:`FaultInjector` (usually via the
+:func:`inject` context manager) that decides, deterministically from the
+seed and per-point call counts, which calls fail.
+
+Determinism contract: with the same specs and seed, the n-th call to a
+point always gets the same answer, so a whole flow run under injection is
+reproducible bit for bit.
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+INJECTION_POINTS = (
+    "candidate_generation_empty",
+    "negotiation_edge_failure",
+    "mcf_solver_raise",
+    "astar_budget_exhaustion",
+    "occupancy_corruption",
+)
+"""Every named injection point wired into the flow."""
+
+
+class FaultInjected(RuntimeError):
+    """Raised by injection points that simulate a crashing component.
+
+    Deliberately *not* a :class:`~repro.robustness.errors.PacorError`:
+    injected crashes must exercise the supervisor's handling of foreign,
+    unexpected exceptions.
+    """
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """When one injection point fires.
+
+    Attributes:
+        point: injection-point name (one of :data:`INJECTION_POINTS`).
+        probability: chance each call fires (drawn from the injector's
+            seeded RNG); 1.0 fires every eligible call.
+        max_fires: stop firing after this many hits (None = unlimited).
+        fire_on_calls: explicit 1-based call indices that fire; when set,
+            ``probability`` is ignored.
+    """
+
+    point: str
+    probability: float = 1.0
+    max_fires: Optional[int] = None
+    fire_on_calls: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.point not in INJECTION_POINTS:
+            raise ValueError(
+                f"unknown injection point {self.point!r}; "
+                f"choose from {list(INJECTION_POINTS)}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must lie in [0, 1]")
+        if self.max_fires is not None and self.max_fires < 0:
+            raise ValueError("max_fires must be non-negative")
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One fault that actually fired: the point and its call index."""
+
+    point: str
+    call_index: int
+
+
+@dataclass
+class FaultInjector:
+    """Seeded decision engine behind the injection points.
+
+    Attributes:
+        specs: one :class:`FaultSpec` per armed point.
+        seed: RNG seed for probabilistic specs.
+        calls: calls seen per point (fired or not).
+        fired: every fault that fired, in order.
+    """
+
+    specs: Dict[str, FaultSpec]
+    seed: int = 0
+    calls: Dict[str, int] = field(default_factory=dict)
+    fired: List[FaultRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    @classmethod
+    def of(cls, *specs: FaultSpec, seed: int = 0) -> "FaultInjector":
+        """Build an injector from specs, rejecting duplicate points."""
+        by_point: Dict[str, FaultSpec] = {}
+        for spec in specs:
+            if spec.point in by_point:
+                raise ValueError(f"duplicate spec for point {spec.point!r}")
+            by_point[spec.point] = spec
+        return cls(specs=by_point, seed=seed)
+
+    def fires(self, point: str) -> bool:
+        """Record one call to ``point`` and decide whether it fails."""
+        count = self.calls.get(point, 0) + 1
+        self.calls[point] = count
+        spec = self.specs.get(point)
+        if spec is None:
+            return False
+        fired_here = sum(1 for r in self.fired if r.point == point)
+        if spec.max_fires is not None and fired_here >= spec.max_fires:
+            return False
+        if spec.fire_on_calls is not None:
+            hit = count in spec.fire_on_calls
+        elif spec.probability >= 1.0:
+            hit = True
+        else:
+            hit = self._rng.random() < spec.probability
+        if hit:
+            self.fired.append(FaultRecord(point, count))
+        return hit
+
+    def fire_count(self, point: str) -> int:
+        """Return how many times ``point`` has fired so far."""
+        return sum(1 for r in self.fired if r.point == point)
+
+
+_ACTIVE: Optional[FaultInjector] = None
+
+
+def install(injector: FaultInjector) -> None:
+    """Arm ``injector`` process-wide (tests only; remember to :func:`clear`)."""
+    global _ACTIVE
+    _ACTIVE = injector
+
+
+def clear() -> None:
+    """Disarm fault injection."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active() -> Optional[FaultInjector]:
+    """Return the armed injector, if any."""
+    return _ACTIVE
+
+
+def fires(point: str) -> bool:
+    """Injection point hook: True when the armed injector fails this call.
+
+    A near-no-op (one global ``None`` check) when nothing is armed, so
+    production code may call it unconditionally on hot-ish paths.
+    """
+    if _ACTIVE is None:
+        return False
+    return _ACTIVE.fires(point)
+
+
+@contextmanager
+def inject(*specs: FaultSpec, seed: int = 0) -> Iterator[FaultInjector]:
+    """Arm an injector for the duration of a ``with`` block."""
+    injector = FaultInjector.of(*specs, seed=seed)
+    install(injector)
+    try:
+        yield injector
+    finally:
+        clear()

@@ -1,0 +1,53 @@
+"""Structured incident records for degraded-but-successful runs.
+
+The seed orchestrator logged free-form strings; anything abnormal — a
+stage failure, an exhausted budget, a net given up on — now additionally
+produces an :class:`Incident` that survives into the
+:class:`~repro.core.result.PacorResult` (and its JSON export), so callers
+can react to *what* degraded without parsing log text.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+class Severity(str, enum.Enum):
+    """How bad an incident is for the run's outcome."""
+
+    INFO = "info"  # noteworthy but the result is unaffected
+    DEGRADED = "degraded"  # partial result: something was given up
+    FATAL = "fatal"  # a whole stage was lost
+
+
+@dataclass(frozen=True)
+class Incident:
+    """One structured abnormal event of a flow run.
+
+    Attributes:
+        stage: flow stage that recorded the incident.
+        kind: stable machine-readable kind (``"budget-exceeded"``,
+            ``"stage-failure"``, ``"solver-fallback"``, ``"router-stuck"``,
+            ``"occupancy-corruption"``, ``"net-failure"``).
+        message: human-readable diagnosis.
+        net_id: affected net, when the incident is net-scoped.
+        severity: impact on the result.
+    """
+
+    stage: str
+    kind: str
+    message: str
+    net_id: Optional[int] = None
+    severity: Severity = Severity.DEGRADED
+
+    def to_json(self) -> Dict[str, object]:
+        """Return a JSON-serialisable document of the incident."""
+        return {
+            "stage": self.stage,
+            "kind": self.kind,
+            "message": self.message,
+            "net_id": self.net_id,
+            "severity": self.severity.value,
+        }

@@ -17,6 +17,9 @@ from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.grid.grid import RoutingGrid
 from repro.grid.occupancy import FREE, Occupancy
+from repro.robustness import faults
+from repro.robustness.budget import Budget
+from repro.robustness.errors import BudgetExceeded
 from repro.routing.path import Path
 
 
@@ -55,6 +58,7 @@ def astar_route(
     history: Optional[Sequence[float]] = None,
     extra_obstacles: Optional[Set[Point]] = None,
     max_expansions: Optional[int] = None,
+    budget: Optional[Budget] = None,
 ) -> Optional[Path]:
     """Route from any source cell to any target cell.
 
@@ -70,13 +74,28 @@ def astar_route(
         history: per-cell negotiation history cost (flat array indexed by
             ``grid.index``); added to the step cost when entering a cell.
         extra_obstacles: additional blocked cells for this query only.
-        max_expansions: optional cap on settled cells (safety valve).
+        max_expansions: optional cap on settled cells (safety valve);
+            unlike ``budget`` this is per-query and fails soft (None).
+        budget: run-wide compute budget; every settled cell is charged
+            and exhaustion raises
+            :class:`~repro.robustness.errors.BudgetExceeded`.
 
     Returns:
         The cheapest :class:`Path` from a source to a target, or None when
         no route exists.  Source and target cells themselves must be
         routable.
+
+    Raises:
+        BudgetExceeded: the run-wide ``budget`` ran out mid-search.
     """
+    if budget is not None and faults.fires("astar_budget_exhaustion"):
+        raise BudgetExceeded(
+            "injected search-budget exhaustion",
+            kind="astar-expansions",
+            limit=budget.expansions_used,
+            used=budget.expansions_used,
+            stage="astar",
+        )
     target_set = {Point(t[0], t[1]) for t in targets}
     source_list = [Point(s[0], s[1]) for s in sources]
     if not target_set or not source_list:
@@ -120,6 +139,8 @@ def astar_route(
         expansions += 1
         if max_expansions is not None and expansions > max_expansions:
             return None
+        if budget is not None:
+            budget.charge_expansions(1)
         for q in p.neighbors4():
             if not grid.in_bounds(q) or not routable(q):
                 continue

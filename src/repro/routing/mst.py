@@ -16,6 +16,8 @@ from typing import List, Optional, Sequence, Set, Tuple
 from repro.geometry.point import Point, manhattan
 from repro.grid.grid import RoutingGrid
 from repro.grid.occupancy import Occupancy
+from repro.robustness.budget import Budget
+from repro.robustness.errors import BudgetExceeded
 from repro.routing.astar import astar_route
 from repro.routing.path import Path
 
@@ -60,12 +62,15 @@ class MstRoutingResult:
         paths: routed attachment paths, in attachment order.
         connected: indices (into the terminal list) that were connected.
         failed: indices that could not be attached (de-cluster these).
+        aborted: True when the compute budget ran out mid-cluster; the
+            remaining unattached terminals are reported in ``failed``.
     """
 
     success: bool
     paths: List[Path] = field(default_factory=list)
     connected: List[int] = field(default_factory=list)
     failed: List[int] = field(default_factory=list)
+    aborted: bool = False
 
 
 def route_cluster_mst(
@@ -76,6 +81,7 @@ def route_cluster_mst(
     *,
     history: Optional[Sequence[float]] = None,
     max_expansions: Optional[int] = None,
+    budget: Optional[Budget] = None,
 ) -> MstRoutingResult:
     """Connect ``terminals`` into one net following the MST attach order.
 
@@ -100,17 +106,26 @@ def route_cluster_mst(
     result.connected.append(0)
 
     order = [child for _, child in manhattan_mst(list(terminals))]
-    for idx in order:
+    for pos, idx in enumerate(order):
         terminal = terminals[idx]
-        path = astar_route(
-            grid,
-            [terminal],
-            component,
-            net=net,
-            occupancy=occupancy,
-            history=history,
-            max_expansions=max_expansions,
-        )
+        try:
+            path = astar_route(
+                grid,
+                [terminal],
+                component,
+                net=net,
+                occupancy=occupancy,
+                history=history,
+                max_expansions=max_expansions,
+                budget=budget,
+            )
+        except BudgetExceeded:
+            # Out of budget: fail this and every remaining attachment
+            # softly so the caller can de-cluster and move on.
+            result.aborted = True
+            result.success = False
+            result.failed.extend(order[pos:])
+            break
         if path is None:
             result.failed.append(idx)
             result.success = False

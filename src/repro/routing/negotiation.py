@@ -17,6 +17,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.geometry.point import Point
 from repro.grid.grid import RoutingGrid
 from repro.grid.occupancy import Occupancy
+from repro.robustness import faults
+from repro.robustness.budget import Budget
+from repro.robustness.errors import BudgetExceeded
 from repro.routing.astar import astar_route
 from repro.routing.path import Path
 
@@ -49,12 +52,16 @@ class NegotiationResult:
         failed_edges: edge ids that remained unroutable in the final
             iteration.
         iterations: number of rip-up/reroute rounds performed.
+        aborted: True when a compute budget ran out mid-negotiation; the
+            paths routed so far stay committed and every remaining edge
+            is reported failed.
     """
 
     success: bool
     paths: Dict[int, Path] = field(default_factory=dict)
     failed_edges: List[int] = field(default_factory=list)
     iterations: int = 0
+    aborted: bool = False
 
 
 class NegotiationRouter:
@@ -90,6 +97,8 @@ class NegotiationRouter:
         self,
         requests: Sequence[RouteRequest],
         occupancy: Occupancy,
+        *,
+        budget: Optional[Budget] = None,
     ) -> NegotiationResult:
         """Route every request, negotiating shared cells across iterations.
 
@@ -99,6 +108,11 @@ class NegotiationRouter:
         iteration stay occupied and the failed edge ids are reported, so
         the caller can demote the affected clusters (the paper rebuilds
         the DME tree or re-designs valve positions in that case).
+
+        When ``budget`` runs out mid-negotiation the router aborts
+        instead of raising: the current iteration's routed paths stay
+        committed, every edge not routed in it is reported failed, and
+        ``aborted`` is set so the caller can skip further repair work.
         """
         result = NegotiationResult(success=False)
         if not requests:
@@ -119,18 +133,36 @@ class NegotiationRouter:
                 if self.exclusive_within_net:
                     extra = occupancy.cells_of(request.net)
                     extra -= set(request.sources) | set(request.targets)
-                path = astar_route(
-                    self.grid,
-                    request.sources,
-                    request.targets,
-                    net=request.net,
-                    occupancy=occupancy,
-                    history=self.history,
-                    extra_obstacles=extra or None,
-                    max_expansions=self.max_expansions,
-                )
+                try:
+                    path = astar_route(
+                        self.grid,
+                        request.sources,
+                        request.targets,
+                        net=request.net,
+                        occupancy=occupancy,
+                        history=self.history,
+                        extra_obstacles=extra or None,
+                        max_expansions=self.max_expansions,
+                        budget=budget,
+                    )
+                except BudgetExceeded:
+                    result.aborted = True
+                    path = None
+                if path is not None and faults.fires("negotiation_edge_failure"):
+                    path = None
                 if path is None:
                     failed.append(request.edge_id)
+                    if result.aborted:
+                        # Out of budget: every not-yet-routed edge of
+                        # this iteration fails without further search.
+                        routed = set(paths)
+                        failed.extend(
+                            r.edge_id
+                            for r in requests
+                            if r.edge_id not in routed
+                            and r.edge_id not in failed
+                        )
+                        break
                     continue
                 paths[request.edge_id] = path
                 new_cells = [c for c in path.cells if occupancy.owner(c) != request.net]
@@ -143,7 +175,7 @@ class NegotiationRouter:
                 result.failed_edges = []
                 return result
 
-            if iteration >= self.gamma:
+            if result.aborted or iteration >= self.gamma:
                 # Give up: keep the final partial solution for the caller.
                 result.paths = paths
                 result.failed_edges = failed

@@ -11,6 +11,7 @@ from repro.designs import (
     s1,
     save_design,
 )
+from repro.robustness.errors import DesignFormatError
 
 
 def test_roundtrip_in_memory():
@@ -59,6 +60,54 @@ def test_from_json_validates():
     doc["valves"][0]["y"] = doc["valves"][1]["y"]
     with pytest.raises(ValueError):
         design_from_json(doc)
+
+
+def _mini_doc(**overrides):
+    doc = {
+        "name": "mini",
+        "width": 10,
+        "height": 10,
+        "valves": [{"id": 0, "x": 2, "y": 2, "sequence": "01"}],
+        "control_pins": [[0, 0]],
+    }
+    doc.update(overrides)
+    return doc
+
+
+@pytest.mark.parametrize(
+    "overrides, field",
+    [
+        ({"valves": [{"id": 0, "x": "three", "y": 4, "sequence": "01"}]}, "valves[0].x"),
+        ({"valves": [{"id": 0, "x": 3, "y": 4}]}, "valves[0].sequence"),
+        ({"valves": [17]}, "valves[0]"),
+        ({"width": -5}, "width/height"),
+        ({"obstacles": [[50, 50]]}, "obstacles"),
+        ({"name": 7}, "name"),
+    ],
+)
+def test_malformed_documents_name_the_field(overrides, field):
+    with pytest.raises(DesignFormatError) as info:
+        design_from_json(_mini_doc(**overrides), source="d.json")
+    assert info.value.field == field
+    assert info.value.path == "d.json"
+    assert "d.json" in str(info.value)
+
+
+def test_missing_required_field_is_diagnosed():
+    doc = _mini_doc()
+    del doc["width"]
+    with pytest.raises(DesignFormatError) as info:
+        design_from_json(doc)
+    assert info.value.field == "width"
+
+
+def test_load_design_rejects_invalid_json(tmp_path):
+    path = tmp_path / "garbage.json"
+    path.write_text("not json at all")
+    with pytest.raises(DesignFormatError) as info:
+        load_design(path)
+    assert info.value.path == str(path)
+    assert "not valid JSON" in str(info.value)
 
 
 def test_defaults_for_optional_fields():

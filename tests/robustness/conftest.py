@@ -1,0 +1,13 @@
+"""Shared fixtures for the robustness/chaos suite."""
+
+import pytest
+
+from repro.robustness import faults
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_faults():
+    """Guarantee no injector leaks across tests, even on failure."""
+    faults.clear()
+    yield
+    faults.clear()

@@ -1,0 +1,153 @@
+"""Budget: limit validation, each limit kind, and the A* integration."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.grid.grid import RoutingGrid
+from repro.robustness.budget import Budget
+from repro.robustness.errors import BudgetExceeded
+from repro.routing.astar import astar_route
+
+
+class FakeClock:
+    """Manually advanced monotonic clock for deterministic wall-clock tests."""
+
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def test_rejects_nonsensical_limits():
+    with pytest.raises(ValueError):
+        Budget(wall_clock_s=0.0)
+    with pytest.raises(ValueError):
+        Budget(wall_clock_s=-1.0)
+    with pytest.raises(ValueError):
+        Budget(astar_expansions=-1)
+    with pytest.raises(ValueError):
+        Budget(rip_rounds=-5)
+
+
+def test_unlimited_property():
+    assert Budget().unlimited
+    assert not Budget(wall_clock_s=1.0).unlimited
+    assert not Budget(astar_expansions=10).unlimited
+    assert not Budget(rip_rounds=3).unlimited
+
+
+def test_unlimited_budget_never_trips():
+    budget = Budget()
+    budget.start()
+    for _ in range(1000):
+        budget.charge_expansions(1)
+    for _ in range(100):
+        budget.charge_rip_round()
+    budget.check("anywhere")
+
+
+def test_wall_clock_charges_nothing_before_start():
+    clock = FakeClock()
+    budget = Budget(wall_clock_s=1.0, clock=clock)
+    clock.advance(100.0)
+    budget.check_wall_clock("early")  # not started -> never trips
+    assert budget.elapsed() == 0.0
+
+
+def test_wall_clock_trips_with_fake_clock():
+    clock = FakeClock()
+    budget = Budget(wall_clock_s=2.0, clock=clock)
+    budget.start()
+    clock.advance(1.5)
+    budget.check_wall_clock("mid")
+    assert budget.remaining_wall_clock() == pytest.approx(0.5)
+    clock.advance(1.0)
+    with pytest.raises(BudgetExceeded) as info:
+        budget.check_wall_clock("escape")
+    assert info.value.kind == "wall-clock"
+    assert info.value.stage == "escape"
+    assert budget.remaining_wall_clock() == 0.0
+
+
+def test_expansion_budget_trips_on_charge():
+    budget = Budget(astar_expansions=3)
+    budget.start()
+    for _ in range(3):
+        budget.charge_expansions(1)
+    with pytest.raises(BudgetExceeded) as info:
+        budget.charge_expansions(1)
+    assert info.value.kind == "astar-expansions"
+    assert info.value.limit == 3
+    assert info.value.used == 4
+
+
+def test_charge_expansions_rechecks_wall_clock_in_batches():
+    clock = FakeClock()
+    budget = Budget(wall_clock_s=1.0, clock=clock)
+    budget.start()
+    clock.advance(5.0)  # already over, but only batch boundaries notice
+    fired_at = None
+    for i in range(1, 200):
+        try:
+            budget.charge_expansions(1)
+        except BudgetExceeded as exc:
+            assert exc.kind == "wall-clock"
+            fired_at = i
+            break
+    assert fired_at == 64  # the batched check, not every call
+
+
+def test_rip_round_budget_trips():
+    budget = Budget(rip_rounds=2)
+    budget.start()
+    budget.charge_rip_round()
+    budget.charge_rip_round()
+    with pytest.raises(BudgetExceeded) as info:
+        budget.charge_rip_round("force-completion")
+    assert info.value.kind == "rip-rounds"
+    assert info.value.stage == "force-completion"
+
+
+def test_check_fails_fast_once_spent():
+    budget = Budget(astar_expansions=1)
+    budget.start()
+    budget.charge_expansions(1)
+    with pytest.raises(BudgetExceeded):
+        budget.charge_expansions(1)
+    before = budget.expansions_used
+    # check() consumes nothing, and keeps failing for every later stage.
+    for stage in ("mst-routing", "escape", "detour"):
+        with pytest.raises(BudgetExceeded):
+            budget.check(stage)
+    assert budget.expansions_used == before
+
+
+def test_astar_charges_and_raises_through_budget():
+    grid = RoutingGrid(20, 20)
+    budget = Budget(astar_expansions=5)
+    budget.start()
+    with pytest.raises(BudgetExceeded):
+        astar_route(
+            grid, [Point(0, 0)], [Point(19, 19)], budget=budget
+        )
+    assert budget.expansions_used == 6
+
+
+def test_astar_without_budget_is_uncapped():
+    grid = RoutingGrid(20, 20)
+    path = astar_route(grid, [Point(0, 0)], [Point(19, 19)])
+    assert path is not None
+    assert path.length == 38
+
+
+def test_astar_max_expansions_still_fails_soft():
+    # The per-query safety valve returns None; only the run-wide budget raises.
+    grid = RoutingGrid(20, 20)
+    path = astar_route(
+        grid, [Point(0, 0)], [Point(19, 19)], max_expansions=3
+    )
+    assert path is None

@@ -1,0 +1,163 @@
+"""Chaos suite: the full flow under injected faults.
+
+Acceptance criteria, per named injection point:
+
+* ``run_pacor`` returns a structured (possibly ``degraded``)
+  :class:`PacorResult` — no unhandled exception, no hang;
+* the routed subset still passes :func:`verify_result`;
+* results are bit-identical across repeated runs with the same fault
+  seed (compared as ``to_json()`` with the runtime popped).
+"""
+
+import pytest
+
+from repro.analysis import verify_result
+from repro.core import PacorConfig, run_pacor
+from repro.core.pacor import PacorRouter
+from repro.designs import design_by_name
+from repro.robustness import faults
+from repro.robustness.budget import Budget
+from repro.robustness.faults import INJECTION_POINTS, FaultSpec
+
+
+def _canonical(result):
+    """Result JSON with the only nondeterministic field (runtime) removed."""
+    doc = result.to_json()
+    doc["summary"].pop("runtime_s")
+    return doc
+
+
+def _run_under_faults(specs, seed=0, design_name="S1"):
+    design = design_by_name(design_name)
+    with faults.inject(*specs, seed=seed):
+        result = run_pacor(design)
+    verify_result(design, result)
+    return design, result
+
+
+@pytest.mark.parametrize("point", INJECTION_POINTS)
+def test_every_point_survives_and_verifies(point):
+    _, result = _run_under_faults([FaultSpec(point, max_fires=2)])
+    assert result.design_name == "S1"
+    # A fault that actually disturbed the flow must be visible as an
+    # incident or an unrouted net — never silently swallowed.
+    if result.degraded:
+        assert result.incidents or any(not n.routed for n in result.nets)
+    for net in result.nets:
+        if not net.routed:
+            assert net.failure_reason
+
+
+@pytest.mark.parametrize("point", INJECTION_POINTS)
+def test_bit_identical_across_runs_with_same_seed(point):
+    specs = [FaultSpec(point, probability=0.5, max_fires=3)]
+    _, first = _run_under_faults(specs, seed=42)
+    _, second = _run_under_faults(specs, seed=42)
+    assert _canonical(first) == _canonical(second)
+
+
+def test_all_points_at_once_still_returns_a_result():
+    specs = [FaultSpec(p, probability=0.3) for p in INJECTION_POINTS]
+    _, result = _run_under_faults(specs, seed=7)
+    assert result.summary_row()["design"] == "S1"
+    _, again = _run_under_faults(specs, seed=7)
+    assert _canonical(result) == _canonical(again)
+
+
+def test_mcf_solver_crash_falls_back_to_sequential():
+    _, result = _run_under_faults([FaultSpec("mcf_solver_raise")])
+    kinds = {i.kind for i in result.incidents}
+    assert "solver-fallback" in kinds
+    # The sequential fallback still routes S1 completely.
+    assert all(net.routed for net in result.nets)
+
+
+def test_candidate_generation_empty_demotes_not_crashes():
+    # S2 has a three-valve cluster, the only kind that generates DME
+    # candidates (pairs route as a direct edge).
+    design, result = _run_under_faults(
+        [FaultSpec("candidate_generation_empty")], design_name="S2"
+    )
+    # The demoted cluster loses its match but the flow still completes.
+    trees = [n for n in result.nets if n.length_matching and len(n.valve_ids) >= 3]
+    assert trees
+    assert not any(net.matched for net in trees)
+    assert all(net.routed for net in result.nets)
+
+
+def test_occupancy_corruption_is_detected_and_repaired():
+    _, result = _run_under_faults(
+        [FaultSpec("occupancy_corruption", fire_on_calls=(1,))]
+    )
+    kinds = {i.kind for i in result.incidents}
+    assert "occupancy-corruption" in kinds
+    assert result.degraded
+
+
+def test_astar_budget_exhaustion_degrades_gracefully():
+    _, result = _run_under_faults(
+        [FaultSpec("astar_budget_exhaustion", probability=0.5, max_fires=4)],
+        seed=3,
+    )
+    assert result.design_name == "S1"  # returned, did not raise
+
+
+def test_healthy_run_is_clean():
+    design = design_by_name("S1")
+    result = run_pacor(design)
+    verify_result(design, result)
+    assert not result.degraded
+    assert result.incidents == []
+    assert all(net.failure_reason is None for net in result.nets)
+
+
+def test_spent_wall_clock_budget_returns_partial_result():
+    # A budget that is over the moment it starts: every stage fails fast,
+    # records one budget-exceeded incident, and the run still returns.
+    design = design_by_name("S1")
+    clock_value = [0.0]
+
+    def clock():
+        clock_value[0] += 10.0  # each reading jumps far past the limit
+        return clock_value[0]
+
+    router = PacorRouter(
+        design, budget=Budget(wall_clock_s=1e-6, clock=clock)
+    )
+    result = router.run()
+    verify_result(design, result)
+    assert result.degraded
+    assert any(i.kind == "budget-exceeded" for i in result.incidents)
+    assert any(not net.routed for net in result.nets)
+
+
+def test_expansion_budget_via_config_returns_partial_result():
+    design = design_by_name("S1")
+    config = PacorConfig(astar_expansion_budget=10)
+    router = PacorRouter(design, config)
+    result = router.run()
+    verify_result(design, result)
+    assert result.degraded
+    assert any(i.kind == "budget-exceeded" for i in result.incidents)
+    # Determinism holds for budget-degraded runs too.
+    again = PacorRouter(design, PacorConfig(astar_expansion_budget=10)).run()
+    assert _canonical(result) == _canonical(again)
+
+
+def test_rip_round_budget_caps_escape_effort():
+    design = design_by_name("S1")
+    config = PacorConfig(rip_round_budget=1)
+    result = PacorRouter(design, config).run()
+    verify_result(design, result)
+    assert result.summary_row()["design"] == "S1"
+
+
+def test_wall_clock_budget_is_respected():
+    # Generous budget: the run must finish inside it (S1 routes in
+    # milliseconds) and come out clean.
+    design = design_by_name("S1")
+    budget = Budget(wall_clock_s=60.0)
+    router = PacorRouter(design, budget=budget)
+    result = router.run()
+    assert budget.elapsed() < 60.0
+    assert not result.degraded

@@ -1,0 +1,65 @@
+"""The structured error taxonomy."""
+
+import pytest
+
+from repro.robustness.errors import (
+    BudgetExceeded,
+    DesignFormatError,
+    OccupancyCorruption,
+    PacorError,
+    RouterStuck,
+    StageFailure,
+)
+
+
+@pytest.mark.parametrize(
+    "cls",
+    [DesignFormatError, StageFailure, BudgetExceeded, RouterStuck, OccupancyCorruption],
+)
+def test_taxonomy_roots_at_pacor_error(cls):
+    assert issubclass(cls, PacorError)
+    assert issubclass(cls, Exception)
+
+
+def test_design_format_error_is_also_a_value_error():
+    # Pre-taxonomy callers catch ValueError; both spellings must work.
+    with pytest.raises(ValueError):
+        raise DesignFormatError("bad document")
+    with pytest.raises(PacorError):
+        raise DesignFormatError("bad document")
+
+
+def test_design_format_error_names_field_and_path():
+    err = DesignFormatError("missing required field", field="valves[2].x", path="d.json")
+    assert err.field == "valves[2].x"
+    assert err.path == "d.json"
+    assert "d.json" in str(err)
+    assert "valves[2].x" in str(err)
+
+
+def test_stage_failure_carries_stage_and_net():
+    err = StageFailure("negotiation blew up", stage="lm-routing", net_id=7)
+    assert err.stage == "lm-routing"
+    assert err.net_id == 7
+    assert "lm-routing" in str(err) and "net 7" in str(err)
+
+
+def test_budget_exceeded_reports_kind_and_amounts():
+    err = BudgetExceeded(
+        "run out of time", kind="wall-clock", limit=2.0, used=2.5, stage="escape"
+    )
+    assert err.kind == "wall-clock"
+    assert err.limit == 2.0 and err.used == 2.5
+    assert "wall-clock" in str(err) and "escape" in str(err)
+
+
+def test_router_stuck_lists_pending_nets():
+    err = RouterStuck("no progress", stage="force-completion", pending=[4, 2])
+    assert err.pending == (4, 2)
+    assert "[2, 4]" in str(err)
+
+
+def test_occupancy_corruption_lists_cells():
+    err = OccupancyCorruption("owner/bucket mismatch", cells=[(3, 4)])
+    assert err.cells == ((3, 4),)
+    assert "(3, 4)" in str(err)

@@ -1,0 +1,112 @@
+"""The fault-injection harness itself: specs, determinism, arming."""
+
+import pytest
+
+from repro.robustness.faults import (
+    INJECTION_POINTS,
+    FaultInjected,
+    FaultInjector,
+    FaultSpec,
+    active,
+    clear,
+    fires,
+    inject,
+    install,
+)
+
+
+def test_spec_rejects_unknown_point():
+    with pytest.raises(ValueError, match="unknown injection point"):
+        FaultSpec("no_such_point")
+
+
+def test_spec_rejects_bad_probability_and_max_fires():
+    with pytest.raises(ValueError):
+        FaultSpec("mcf_solver_raise", probability=1.5)
+    with pytest.raises(ValueError):
+        FaultSpec("mcf_solver_raise", probability=-0.1)
+    with pytest.raises(ValueError):
+        FaultSpec("mcf_solver_raise", max_fires=-1)
+
+
+def test_injector_rejects_duplicate_points():
+    with pytest.raises(ValueError, match="duplicate spec"):
+        FaultInjector.of(
+            FaultSpec("mcf_solver_raise"), FaultSpec("mcf_solver_raise")
+        )
+
+
+def test_disarmed_fires_is_false():
+    assert active() is None
+    for point in INJECTION_POINTS:
+        assert fires(point) is False
+
+
+def test_unarmed_point_never_fires():
+    with inject(FaultSpec("mcf_solver_raise")):
+        assert fires("candidate_generation_empty") is False
+        assert fires("mcf_solver_raise") is True
+
+
+def test_fire_on_calls_hits_exact_indices():
+    with inject(
+        FaultSpec("negotiation_edge_failure", fire_on_calls=(2, 4))
+    ) as inj:
+        hits = [fires("negotiation_edge_failure") for _ in range(5)]
+    assert hits == [False, True, False, True, False]
+    assert inj.fire_count("negotiation_edge_failure") == 2
+    assert [r.call_index for r in inj.fired] == [2, 4]
+
+
+def test_max_fires_caps_hits():
+    with inject(FaultSpec("mcf_solver_raise", max_fires=2)) as inj:
+        hits = [fires("mcf_solver_raise") for _ in range(5)]
+    assert hits == [True, True, False, False, False]
+    assert inj.fire_count("mcf_solver_raise") == 2
+
+
+def test_probabilistic_firing_is_seed_deterministic():
+    def run(seed):
+        with inject(
+            FaultSpec("astar_budget_exhaustion", probability=0.5), seed=seed
+        ):
+            return [fires("astar_budget_exhaustion") for _ in range(50)]
+
+    a = run(7)
+    b = run(7)
+    c = run(8)
+    assert a == b
+    assert a != c  # 50 coin flips colliding across seeds is ~1 in 2^50
+    assert any(a) and not all(a)
+
+
+def test_inject_contextmanager_clears_even_on_error():
+    with pytest.raises(FaultInjected):
+        with inject(FaultSpec("mcf_solver_raise")):
+            assert active() is not None
+            raise FaultInjected("boom")
+    assert active() is None
+
+
+def test_install_and_clear():
+    injector = FaultInjector.of(FaultSpec("occupancy_corruption"))
+    install(injector)
+    assert active() is injector
+    assert fires("occupancy_corruption") is True
+    clear()
+    assert active() is None
+
+
+def test_calls_counted_even_when_not_armed_for_point():
+    with inject(FaultSpec("mcf_solver_raise")) as inj:
+        fires("candidate_generation_empty")
+        fires("candidate_generation_empty")
+    assert inj.calls["candidate_generation_empty"] == 2
+    assert inj.fire_count("candidate_generation_empty") == 0
+
+
+def test_fault_injected_is_not_a_pacor_error():
+    from repro.robustness.errors import PacorError
+
+    assert not issubclass(FaultInjected, PacorError)
+    assert issubclass(FaultInjected, RuntimeError)
