@@ -4,6 +4,10 @@ Commands:
 
 * ``pacor route S3`` — run a method on a suite design (or a JSON design
   file), print the Table-2 row and optionally export SVG/ASCII art.
+  With ``--checkpoint ckpt.json``, a budget-interrupted run writes its
+  resumable snapshot there instead of throwing the work away.
+* ``pacor resume ckpt.json`` — continue an interrupted run from its
+  checkpoint with a fresh budget.
 * ``pacor table1`` — print the benchmark-parameter table.
 * ``pacor table2 --designs S1 S2`` — run the three-method comparison.
 * ``pacor generate out.json --width 40 ...`` — synthesize a new design.
@@ -33,28 +37,31 @@ from repro.designs import (
     save_design,
     table1_suite,
 )
-from repro.robustness.errors import DesignFormatError
+from repro.robustness.checkpoint import Checkpoint
+from repro.robustness.errors import CheckpointFormatError, DesignFormatError
 from repro.viz import render_ascii, render_svg
 
 
 def _resolve_design(token: str):
-    if token.endswith(".json"):
-        return load_design(token)
-    return design_by_name(token)
+    """Resolve a design token (suite name or .json path), diagnosably.
 
-
-def _cmd_route(args: argparse.Namespace) -> int:
-    design = _resolve_design(args.design)
+    Every subcommand resolves its design through here; any malformed or
+    unknown input surfaces as :class:`DesignFormatError`, which
+    :func:`main` turns into a one-line exit-2 diagnosis instead of a
+    traceback.
+    """
     try:
-        config = PacorConfig(
-            k_candidates=args.candidates,
-            wall_clock_budget_s=args.budget_s,
-            astar_expansion_budget=args.expansion_budget,
-        )
+        if token.endswith(".json"):
+            return load_design(token)
+        return design_by_name(token)
+    except DesignFormatError:
+        raise
     except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    result = run_method(design, args.method, config)
+        raise DesignFormatError(str(exc)) from None
+
+
+def _report_result(design, result, args: argparse.Namespace) -> int:
+    """Print a run's summary/diagnostics and honour the export flags."""
     row = result.summary_row()
     print(
         f"{row['design']}: method={row['method']} "
@@ -77,6 +84,18 @@ def _cmd_route(args: argparse.Namespace) -> int:
                     f"  net {net.net_id} unrouted: {net.failure_reason}",
                     file=sys.stderr,
                 )
+    if args.checkpoint:
+        if result.checkpoint is not None:
+            Checkpoint.from_json(result.checkpoint).save(args.checkpoint)
+            print(
+                f"wrote {args.checkpoint} (resume with: "
+                f"pacor resume {args.checkpoint})"
+            )
+        else:
+            print(
+                "note: no budget interruption, no checkpoint written",
+                file=sys.stderr,
+            )
     if args.verify:
         notes = verify_result(design, result)
         print(f"verification OK ({len(notes)} notes)")
@@ -98,6 +117,53 @@ def _cmd_route(args: argparse.Namespace) -> int:
         for event in result.events:
             print(f"  {event}")
     return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    design = _resolve_design(args.design)
+    try:
+        config = PacorConfig(
+            k_candidates=args.candidates,
+            wall_clock_budget_s=args.budget_s,
+            astar_expansion_budget=args.expansion_budget,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = run_method(design, args.method, config)
+    return _report_result(design, result, args)
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    from repro.core.pacor import PacorRouter
+    from repro.designs import design_from_json
+    from repro.robustness.budget import Budget
+
+    checkpoint = Checkpoint.load(args.checkpoint_file)
+    design = design_from_json(checkpoint.design)
+    # No budget flags means "finish the run": an unlimited fresh budget,
+    # not the small one that interrupted the original run (which the
+    # checkpointed config would otherwise recreate).
+    try:
+        budget = Budget(
+            wall_clock_s=args.budget_s,
+            astar_expansions=args.expansion_budget,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"resuming {checkpoint.design_name} at stage "
+        f"{checkpoint.stage!r} (completed: "
+        f"{', '.join(checkpoint.completed_stages) or 'none'})"
+    )
+    result = PacorRouter.resume(
+        design,
+        checkpoint,
+        budget=budget,
+        carry_counters=args.carry_counters,
+    )
+    return _report_result(design, result, args)
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -215,12 +281,55 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="total A* expansion budget for the whole run",
     )
+    route.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        help="write a resumable snapshot here when a budget interrupts the run",
+    )
     route.add_argument("--verify", action="store_true", help="verify the solution")
     route.add_argument("--svg", metavar="FILE", help="write an SVG rendering")
     route.add_argument("--json", metavar="FILE", help="write the full result as JSON")
     route.add_argument("--ascii", action="store_true", help="print ASCII art")
     route.add_argument("--events", action="store_true", help="print the stage log")
     route.set_defaults(func=_cmd_route)
+
+    resume = sub.add_parser(
+        "resume", help="continue an interrupted run from its checkpoint"
+    )
+    resume.add_argument(
+        "checkpoint_file", help="checkpoint written by route --checkpoint"
+    )
+    resume.add_argument(
+        "--budget-s",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="fresh wall-clock budget for the continuation",
+    )
+    resume.add_argument(
+        "--expansion-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fresh A* expansion budget for the continuation",
+    )
+    resume.add_argument(
+        "--carry-counters",
+        action="store_true",
+        help="count the interrupted run's spend against the new budget "
+        "(limits bound the total across attempts)",
+    )
+    resume.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        help="write a new snapshot here if the continuation is interrupted too",
+    )
+    resume.add_argument("--verify", action="store_true", help="verify the solution")
+    resume.add_argument("--svg", metavar="FILE", help="write an SVG rendering")
+    resume.add_argument("--json", metavar="FILE", help="write the full result as JSON")
+    resume.add_argument("--ascii", action="store_true", help="print ASCII art")
+    resume.add_argument("--events", action="store_true", help="print the stage log")
+    resume.set_defaults(func=_cmd_resume)
 
     table1 = sub.add_parser("table1", help="print the benchmark parameters")
     table1.add_argument("--no-chips", dest="chips", action="store_false")
@@ -269,7 +378,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except DesignFormatError as exc:
+    except (CheckpointFormatError, DesignFormatError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except FileNotFoundError as exc:

@@ -8,6 +8,7 @@ and length-matching threshold δ = 1 in all experiments.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
@@ -119,6 +120,27 @@ class PacorConfig:
             raise ValueError("rip_round_budget must be non-negative")
         self.selection_solver = SelectionSolver(self.selection_solver)
         self.detour_stage = DetourStage(self.detour_stage)
+
+    def to_json(self) -> dict:
+        """Return a JSON-serialisable document of every tunable."""
+        doc = dataclasses.asdict(self)
+        doc["selection_solver"] = self.selection_solver.value
+        doc["detour_stage"] = self.detour_stage.value
+        return doc
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "PacorConfig":
+        """Rebuild a config from :meth:`to_json` output (validated).
+
+        Unknown keys raise :class:`ValueError` so a checkpoint written
+        by a newer format version fails loudly instead of silently
+        dropping a tunable.
+        """
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(doc) - known)
+        if unknown:
+            raise ValueError(f"unknown config fields: {unknown}")
+        return cls(**doc)
 
     def make_budget(self, **overrides: object) -> "Budget":
         """Build the per-run :class:`~repro.robustness.budget.Budget`."""

@@ -25,6 +25,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 from repro.core.config import DetourStage, PacorConfig, SelectionSolver
 from repro.core.result import NetReport, PacorResult, segments_of_path
 from repro.designs.design import Design
+from repro.designs.io import design_to_json
 from repro.detour import check_equal, detour_cluster
 from repro.detour.cluster import (
     RoutedTree,
@@ -42,7 +43,13 @@ from repro.escape import (
 from repro.geometry.point import Point
 from repro.grid.occupancy import Occupancy
 from repro.robustness.budget import Budget
-from repro.robustness.errors import BudgetExceeded, PacorError, RouterStuck
+from repro.robustness.checkpoint import Checkpoint
+from repro.robustness.errors import (
+    BudgetExceeded,
+    CheckpointFormatError,
+    PacorError,
+    RouterStuck,
+)
 from repro.robustness.incidents import Incident, Severity
 from repro.routing.astar import astar_route
 from repro.routing.mst import route_cluster_mst
@@ -76,6 +83,10 @@ class _Net:
     escape_path: Optional[Path] = None
     routed: bool = False
     demoted: bool = False
+    # True when the demotion was forced by an exhausted compute budget
+    # rather than a real routability failure; a resumed run reverts such
+    # nets to LM routing and retries them with the fresh budget.
+    budget_demoted: bool = False
 
     def drawn_paths(self) -> List[Path]:
         """Return every drawn channel path of the net (escape included)."""
@@ -115,8 +126,37 @@ class PacorRouter:
         # During escape routing, newly de-clustered singletons must join
         # the pending-escape queue; _spawn_singleton registers them here.
         self._escape_pending: Optional[Set[int]] = None
+        # Checkpoint/resume state.  ``checkpoints`` holds the snapshot
+        # taken after each executed stage (keyed by stage name);
+        # ``interrupt_checkpoint`` is the first snapshot whose stage was
+        # cut short by an exhausted budget — the one a resume should
+        # start from.
+        self._n_multi_clusters = 0
+        self._resume_stage: Optional[str] = None
+        self._last_escape_pending: Optional[List[int]] = None
+        self.checkpoints: Dict[str, Checkpoint] = {}
+        self.interrupt_checkpoint: Optional[Checkpoint] = None
 
     # -- public API ---------------------------------------------------------
+
+    def _stage_sequence(self) -> List[str]:
+        """Return the ordered stage names this config executes."""
+        sequence = ["clustering", "lm-routing"]
+        if self.config.detour_stage is DetourStage.AFTER_NEGOTIATION:
+            sequence.append("detour")
+        sequence.extend(["mst-routing", "escape"])
+        if self.config.detour_stage is DetourStage.FINAL:
+            sequence.append("detour")
+        return sequence
+
+    def _stage_fn(self, stage: str) -> Callable:
+        return {
+            "clustering": self._stage_clustering,
+            "lm-routing": self._stage_lm_routing,
+            "mst-routing": self._stage_mst_routing,
+            "escape": self._stage_escape,
+            "detour": self._stage_detour,
+        }[stage]
 
     def run(self) -> PacorResult:
         """Execute every stage and return the aggregated result.
@@ -127,24 +167,285 @@ class PacorRouter:
         affected nets, and lets the remaining stages continue — the
         method always returns a (possibly ``degraded``) result instead
         of raising or hanging.
+
+        After each stage a :class:`~repro.robustness.checkpoint.Checkpoint`
+        of the full mid-flow state is captured (``self.checkpoints``); the
+        first stage a budget interruption cuts short additionally pins
+        ``self.interrupt_checkpoint`` (mirrored on
+        ``result.checkpoint``), from which :meth:`resume` re-enters the
+        flow with a fresh budget, skipping the completed stages.
         """
         started = time.perf_counter()
         self.budget.start()
-        clusters = self._supervised("clustering", self._stage_clustering) or []
-        if clusters:
-            self._supervised("lm-routing", self._stage_lm_routing, clusters)
-            self._check_occupancy("lm-routing")
-            if self.config.detour_stage is DetourStage.AFTER_NEGOTIATION:
-                self._supervised("detour", self._stage_detour)
-                self._check_occupancy("detour")
-            self._supervised("mst-routing", self._stage_mst_routing)
-            self._check_occupancy("mst-routing")
-            self._supervised("escape", self._stage_escape)
-            self._check_occupancy("escape")
-            if self.config.detour_stage is DetourStage.FINAL:
-                self._supervised("detour", self._stage_detour)
-                self._check_occupancy("detour")
-        return self._collect(clusters, time.perf_counter() - started)
+        sequence = self._stage_sequence()
+        start_idx = sequence.index(self._resume_stage) if self._resume_stage else 0
+        for idx in range(start_idx, len(sequence)):
+            stage = sequence[idx]
+            incidents_before = len(self.incidents)
+            self._supervised(stage, self._stage_fn(stage))
+            # Every checkpoint below must snapshot a *consistent* overlay,
+            # so the repair check runs after each stage, clustering
+            # included.
+            self._check_occupancy(stage)
+            if stage == "clustering" and not self.nets:
+                break  # nothing to route; skip the remaining stages
+            interrupted = any(
+                i.kind == "budget-exceeded"
+                for i in self.incidents[incidents_before:]
+            )
+            cursor_idx = idx if interrupted else idx + 1
+            if cursor_idx < len(sequence):
+                snapshot = self._capture_checkpoint(
+                    sequence[cursor_idx], completed=sequence[:cursor_idx]
+                )
+                self.checkpoints[stage] = snapshot
+                if interrupted and self.interrupt_checkpoint is None:
+                    self.interrupt_checkpoint = snapshot
+        return self._collect(time.perf_counter() - started)
+
+    # -- checkpoint/resume ----------------------------------------------------
+
+    @classmethod
+    def resume(
+        cls,
+        design: Design,
+        checkpoint: Checkpoint,
+        *,
+        budget: Optional[Budget] = None,
+        carry_counters: bool = False,
+    ) -> PacorResult:
+        """Rehydrate ``checkpoint`` and re-enter the flow where it stopped.
+
+        The interrupted stage is re-executed on the restored state —
+        already-routed nets are kept and skipped, only the unfinished
+        work is retried — and the remaining stages follow.  A run
+        interrupted exactly at a stage boundary therefore produces the
+        same result as the uninterrupted run.
+
+        Args:
+            design: the design the checkpoint was taken on (validated
+                against the snapshot's embedded design document).
+            checkpoint: the snapshot to resume from.
+            budget: the fresh compute budget for the continuation; when
+                None the checkpointed config's budget limits are
+                recreated (with zeroed counters).
+            carry_counters: restore the consumed expansion/rip-round
+                counters into ``budget``, so the limits bound the total
+                spend across all attempts instead of per attempt.
+        """
+        router = cls.from_checkpoint(
+            design, checkpoint, budget=budget, carry_counters=carry_counters
+        )
+        return router.run()
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        design: Design,
+        checkpoint: Checkpoint,
+        *,
+        budget: Optional[Budget] = None,
+        carry_counters: bool = False,
+    ) -> "PacorRouter":
+        """Build a router with ``checkpoint``'s state restored, unrun.
+
+        Raises:
+            CheckpointFormatError: the snapshot does not fit ``design``
+                (different design document), names an unknown stage, or
+                references valves/cells the design does not have.
+        """
+        if design_to_json(design) != checkpoint.design:
+            raise CheckpointFormatError(
+                f"checkpoint was taken on design "
+                f"{checkpoint.design_name!r} and does not match the "
+                f"design {design.name!r} being resumed",
+                field="design",
+            )
+        try:
+            config = PacorConfig.from_json(dict(checkpoint.config))
+        except (TypeError, ValueError) as exc:
+            raise CheckpointFormatError(
+                f"invalid config document ({exc})", field="config"
+            ) from exc
+        router = cls(design, config, budget=budget)
+        if carry_counters:
+            router.budget.restore_counters(checkpoint.budget)
+        if checkpoint.stage not in router._stage_sequence():
+            raise CheckpointFormatError(
+                f"unknown resume stage {checkpoint.stage!r} for this "
+                f"config (expected one of {router._stage_sequence()})",
+                field="stage",
+            )
+        router._method_name = checkpoint.method
+        router._n_multi_clusters = checkpoint.n_multi_clusters
+        router._next_net_id = checkpoint.next_net_id
+        router.events = list(checkpoint.events)
+        router.incidents = [
+            Incident.from_json(doc) for doc in checkpoint.incidents
+        ]
+        router._failure_reasons = {
+            int(net_id): reason
+            for net_id, reason in checkpoint.failure_reasons.items()
+        }
+        valve_by_id = design.valve_by_id()
+        for doc in checkpoint.nets:
+            net = router._net_from_doc(doc, valve_by_id)
+            router.nets[net.net_id] = net
+        try:
+            router.occupancy.import_state(checkpoint.occupancy)
+        except (TypeError, ValueError, KeyError) as exc:
+            raise CheckpointFormatError(
+                f"invalid occupancy snapshot ({exc})", field="occupancy"
+            ) from exc
+        if checkpoint.stage == "lm-routing":
+            # Clusters the exhausted budget demoted never really failed;
+            # give them their LM status back so the re-entered stage
+            # retries them with the fresh budget.
+            for net in router.nets.values():
+                if net.budget_demoted and len(net.valves) >= 2:
+                    net.demoted = False
+                    net.budget_demoted = False
+                    net.kind = "lm-pair" if len(net.valves) == 2 else "lm-tree"
+                    net.tree = None
+                    net.paths = []
+        router._resume_stage = checkpoint.stage
+        return router
+
+    def _capture_checkpoint(
+        self, cursor: str, completed: Sequence[str]
+    ) -> Checkpoint:
+        """Snapshot the full mid-flow state; ``cursor`` runs next on resume."""
+        budget_doc: Dict[str, object] = dict(self.budget.export_counters())
+        budget_doc.update(
+            {
+                "wall_clock_s": self.budget.wall_clock_s,
+                "astar_expansions": self.budget.astar_expansions,
+                "rip_rounds": self.budget.rip_rounds,
+            }
+        )
+        return Checkpoint(
+            design=design_to_json(self.design),
+            method=self._method_name,
+            config=self.config.to_json(),
+            stage=cursor,
+            completed_stages=list(completed),
+            n_multi_clusters=self._n_multi_clusters,
+            next_net_id=self._next_net_id,
+            nets=[
+                self._net_to_doc(net)
+                for net in sorted(self.nets.values(), key=lambda n: n.net_id)
+            ],
+            occupancy=self.occupancy.export_state(),
+            pending_escape=(
+                list(self._last_escape_pending)
+                if cursor == "escape" and self._last_escape_pending is not None
+                else None
+            ),
+            budget=budget_doc,
+            events=list(self.events),
+            incidents=[incident.to_json() for incident in self.incidents],
+            failure_reasons={
+                str(net_id): reason
+                for net_id, reason in self._failure_reasons.items()
+            },
+        )
+
+    @staticmethod
+    def _path_doc(path: Path) -> List[List[int]]:
+        return [[c.x, c.y] for c in path.cells]
+
+    @staticmethod
+    def _path_from_doc(doc: Sequence[Sequence[int]]) -> Path:
+        return Path([Point(int(x), int(y)) for x, y in doc])
+
+    def _net_to_doc(self, net: _Net) -> Dict[str, object]:
+        tree_doc: Optional[Dict[str, object]] = None
+        if net.tree is not None:
+            tree_doc = {
+                "cluster_id": net.tree.cluster_id,
+                "edge_paths": {
+                    str(key): self._path_doc(path)
+                    for key, path in net.tree.edge_paths.items()
+                },
+                "sequences": {
+                    str(sink): list(keys)
+                    for sink, keys in net.tree.sequences.items()
+                },
+                "root": [net.tree.root.x, net.tree.root.y],
+            }
+        return {
+            "net_id": net.net_id,
+            "origin_cluster": net.origin_cluster,
+            "valve_ids": [v.id for v in net.valves],
+            "length_matching": net.length_matching,
+            "kind": net.kind,
+            "tree": tree_doc,
+            "paths": [self._path_doc(p) for p in net.paths],
+            "pin": [net.pin.x, net.pin.y] if net.pin is not None else None,
+            "escape_path": (
+                self._path_doc(net.escape_path)
+                if net.escape_path is not None
+                else None
+            ),
+            "routed": net.routed,
+            "demoted": net.demoted,
+            "budget_demoted": net.budget_demoted,
+        }
+
+    def _net_from_doc(
+        self, doc: Dict[str, object], valve_by_id: Dict[int, Valve]
+    ) -> _Net:
+        try:
+            valves = [valve_by_id[int(vid)] for vid in doc["valve_ids"]]  # type: ignore[union-attr]
+        except KeyError as exc:
+            raise CheckpointFormatError(
+                f"net {doc.get('net_id')} references unknown valve {exc}",
+                field="nets",
+            ) from None
+        escape_path = (
+            self._path_from_doc(doc["escape_path"])  # type: ignore[arg-type]
+            if doc.get("escape_path") is not None
+            else None
+        )
+        tree: Optional[RoutedTree] = None
+        tree_doc = doc.get("tree")
+        if tree_doc is not None:
+            tree = RoutedTree(
+                cluster_id=int(tree_doc["cluster_id"]),  # type: ignore[index]
+                edge_paths={
+                    int(key): self._path_from_doc(path_doc)
+                    for key, path_doc in tree_doc["edge_paths"].items()  # type: ignore[index]
+                },
+                sequences={
+                    int(sink): [int(k) for k in keys]
+                    for sink, keys in tree_doc["sequences"].items()  # type: ignore[index]
+                },
+                root=Point(*tree_doc["root"]),  # type: ignore[index]
+                escape_path=escape_path,
+            )
+        pin_doc = doc.get("pin")
+        return _Net(
+            net_id=int(doc["net_id"]),  # type: ignore[arg-type]
+            origin_cluster=int(doc["origin_cluster"]),  # type: ignore[arg-type]
+            valves=valves,
+            length_matching=bool(doc["length_matching"]),
+            kind=str(doc["kind"]),
+            tree=tree,
+            paths=[self._path_from_doc(p) for p in doc.get("paths", [])],  # type: ignore[union-attr]
+            pin=Point(int(pin_doc[0]), int(pin_doc[1])) if pin_doc else None,
+            escape_path=escape_path,
+            routed=bool(doc["routed"]),
+            demoted=bool(doc["demoted"]),
+            budget_demoted=bool(doc.get("budget_demoted", False)),
+        )
+
+    def _budget_spent(self) -> bool:
+        """Return True when any configured budget limit is exhausted."""
+        try:
+            self.budget.check()
+        except BudgetExceeded:
+            return True
+        return False
 
     # -- stage supervision ----------------------------------------------------
 
@@ -248,16 +549,24 @@ class PacorRouter:
                 length_matching=lm,
                 kind=kind,
             )
+        self._n_multi_clusters = sum(1 for c in clusters if c.size >= 2)
         self._log(
             f"clustering: {len(clusters)} clusters "
-            f"({sum(1 for c in clusters if c.size >= 2)} multi-valve)"
+            f"({self._n_multi_clusters} multi-valve)"
         )
         return clusters
 
     # -- stage 2: length-matching routing -------------------------------------
 
-    def _stage_lm_routing(self, clusters: Sequence[Cluster]) -> None:
-        lm_nets = [n for n in self.nets.values() if n.kind in ("lm-tree", "lm-pair")]
+    def _stage_lm_routing(self) -> None:
+        # Nets that already carry a routed tree (possible only when the
+        # stage is re-entered by a resumed run) are complete; only the
+        # still-unrouted LM clusters go through candidates/negotiation.
+        lm_nets = [
+            n
+            for n in self.nets.values()
+            if n.kind in ("lm-tree", "lm-pair") and n.tree is None
+        ]
         if not lm_nets:
             return
 
@@ -385,6 +694,8 @@ class PacorRouter:
                 ):
                     continue
                 self._demote_lm(net, reason="negotiation failure")
+                if outcome.aborted or self._budget_spent():
+                    net.budget_demoted = True
                 continue
             paths = {
                 edge_idx: outcome.paths[eid]
@@ -398,8 +709,18 @@ class PacorRouter:
             eids = [e for e, (owner, _) in edge_owner.items() if owner == net.net_id]
             if not eids or net.net_id in failed_nets:
                 self._demote_lm(net, reason="negotiation failure")
+                if outcome.aborted or self._budget_spent():
+                    net.budget_demoted = True
                 continue
             net.tree = routed_tree_from_pair(net.net_id, outcome.paths[eids[0]])
+        if not outcome.aborted:
+            # A budget that died inside candidate retries (or right at the
+            # end of negotiation) never set ``aborted``; surface it here so
+            # the run's resume cursor stays on this stage.
+            try:
+                self.budget.check("lm-routing")
+            except BudgetExceeded as exc:
+                self._incident("lm-routing", "budget-exceeded", str(exc))
 
     def _retry_candidates(
         self,
@@ -462,7 +783,9 @@ class PacorRouter:
 
     def _stage_mst_routing(self, history: Optional[List[float]] = None) -> None:
         for net in list(self.nets.values()):
-            if net.kind == "ordinary" and net.tree is None:
+            # A net that already has internal channels was routed before
+            # an interruption; a resumed run must not route it twice.
+            if net.kind == "ordinary" and net.tree is None and not net.paths:
                 # A spent budget fast-fails the whole stage (supervised);
                 # any other per-net fault is contained to that net.
                 self.budget.check("mst-routing")
@@ -554,13 +877,20 @@ class PacorRouter:
                     self._spawn_singleton(net, valve)
                 net.valves = net.valves[:1]
                 net.kind = "singleton"
-        pending: Set[int] = set(self.nets)
+        # Fresh runs start with every net pending; a resumed run keeps
+        # the escapes committed before the interruption and re-queues
+        # only what is still unrouted.
+        pending: Set[int] = {
+            net_id for net_id, net in self.nets.items() if not net.routed
+        }
         self._escape_pending = pending
+        self._last_escape_pending = None
         try:
             self._escape_rounds(pending, pins)
             if pending:
                 self._force_completion(pending, pins)
         except BudgetExceeded as exc:
+            self._last_escape_pending = sorted(pending)
             self._incident("escape", "budget-exceeded", str(exc))
         finally:
             self._escape_pending = None
@@ -926,21 +1256,25 @@ class PacorRouter:
 
     # -- result -------------------------------------------------------------------
 
-    def _collect(self, clusters: Sequence[Cluster], runtime: float) -> PacorResult:
-        n_lm = sum(1 for c in clusters if c.size >= 2)
+    def _collect(self, runtime: float) -> PacorResult:
         unrouted = sum(1 for n in self.nets.values() if not n.routed)
         result = PacorResult(
             design_name=self.design.name,
             method=self._method_name,
             delta=self.delta,
             n_valves=len(self.design.valves),
-            n_lm_clusters=n_lm,
+            n_lm_clusters=self._n_multi_clusters,
             runtime_s=runtime,
             events=list(self.events),
             incidents=list(self.incidents),
             degraded=(
                 unrouted > 0
                 or any(i.severity is not Severity.INFO for i in self.incidents)
+            ),
+            checkpoint=(
+                self.interrupt_checkpoint.to_json()
+                if self.interrupt_checkpoint is not None
+                else None
             ),
         )
         for net in sorted(self.nets.values(), key=lambda n: n.net_id):

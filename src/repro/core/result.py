@@ -81,6 +81,11 @@ class PacorResult:
             a budget ran out, or a net could not be completed; the
             routed subset is still verified-consistent.
         incidents: structured records of everything that degraded.
+        checkpoint: snapshot document of the first budget interruption
+            (``Checkpoint.to_json`` format), or None when no budget
+            tripped.  Deliberately excluded from :meth:`to_json` — the
+            snapshot embeds wall-clock counters, and the result export
+            must stay bit-stable for identical routing work.
     """
 
     design_name: str
@@ -93,6 +98,7 @@ class PacorResult:
     events: List[str] = field(default_factory=list)
     degraded: bool = False
     incidents: List[Incident] = field(default_factory=list)
+    checkpoint: Optional[Dict[str, object]] = None
 
     # -- Table 2 metrics ----------------------------------------------------
 

@@ -155,12 +155,17 @@ def detour_cluster(
                     detoured_this_round.add(edge_key)
                     result.detoured_edges += 1
                     success = True
+                    # A detour on an edge shared with the longest path
+                    # lengthens that path too; later sinks this round must
+                    # aim at the *new* maximum or their windows undershoot.
+                    max_length = max(tree.full_lengths().values())
                     break
                 _recommit(occupancy, tree)  # restore released cells
             if not success:
                 tree.edge_paths = original_paths
                 _recommit(occupancy, tree)
                 result.matched = False
+                result.detoured_edges = 0  # every detour was rolled back
                 return result
 
         equal, max_length, shorts = check_equal(tree, delta)
@@ -169,4 +174,5 @@ def detour_cluster(
     if not equal:
         tree.edge_paths = original_paths
         _recommit(occupancy, tree)
+        result.detoured_edges = 0  # every detour was rolled back
     return result

@@ -101,6 +101,54 @@ class Occupancy:
         """Return the total number of occupied cells."""
         return sum(len(c) for c in self._cells.values())
 
+    def export_state(self) -> Dict[str, object]:
+        """Return a JSON-serialisable snapshot of the full overlay state.
+
+        Both views are exported — the per-net buckets *and* the owner
+        array (sparsely, as ``[x, y, net]`` triples) — so a snapshot is
+        faithful even when the two disagree: restoring a corrupted
+        overlay reproduces the same :meth:`find_inconsistencies` report,
+        and a snapshot taken after :meth:`repair` restores clean.
+        """
+        owner_cells: List[List[int]] = []
+        for y in range(self.grid.height):
+            for x in range(self.grid.width):
+                owner = self._owner[self.grid.index(Point(x, y))]
+                if owner != FREE:
+                    owner_cells.append([x, y, owner])
+        return {
+            "nets": {
+                str(net): sorted([p.x, p.y] for p in cells)
+                for net, cells in self._cells.items()
+                if cells
+            },
+            "owner_cells": owner_cells,
+        }
+
+    def import_state(self, state: Dict[str, object]) -> None:
+        """Restore a snapshot produced by :meth:`export_state`.
+
+        Replaces the whole overlay; cells outside the grid raise
+        :class:`ValueError` (the snapshot belongs to a different grid).
+        """
+        nets = state.get("nets", {})
+        owner_cells = state.get("owner_cells", [])
+        self._owner = [FREE] * (self.grid.width * self.grid.height)
+        self._cells = {}
+        for x, y, owner in owner_cells:  # type: ignore[misc]
+            p = Point(int(x), int(y))
+            if not self.grid.in_bounds(p):
+                raise ValueError(f"snapshot cell {p} is off-grid")
+            self._owner[self.grid.index(p)] = int(owner)
+        for net_key, cells in nets.items():  # type: ignore[union-attr]
+            bucket: Set[Point] = set()
+            for x, y in cells:
+                p = Point(int(x), int(y))
+                if not self.grid.in_bounds(p):
+                    raise ValueError(f"snapshot cell {p} is off-grid")
+                bucket.add(p)
+            self._cells[int(net_key)] = bucket
+
     def find_inconsistencies(self) -> List[Point]:
         """Return cells where the owner array and net buckets disagree.
 

@@ -11,11 +11,16 @@ design from killing or hanging a whole run:
   degraded, carried on the :class:`~repro.core.result.PacorResult`.
 * :mod:`repro.robustness.faults` — the deterministic, seeded
   fault-injection harness behind ``tests/robustness/``.
+* :mod:`repro.robustness.checkpoint` — serialisable snapshots of the
+  mid-flow router state, so a budget-interrupted run can be resumed
+  with a fresh budget instead of restarted.
 """
 
 from repro.robustness.budget import Budget
+from repro.robustness.checkpoint import CHECKPOINT_VERSION, Checkpoint
 from repro.robustness.errors import (
     BudgetExceeded,
+    CheckpointFormatError,
     DesignFormatError,
     OccupancyCorruption,
     PacorError,
@@ -34,6 +39,9 @@ from repro.robustness.incidents import Incident, Severity
 __all__ = [
     "PacorError",
     "DesignFormatError",
+    "CheckpointFormatError",
+    "Checkpoint",
+    "CHECKPOINT_VERSION",
     "StageFailure",
     "BudgetExceeded",
     "RouterStuck",

@@ -13,7 +13,7 @@ deterministically without sleeping.
 from __future__ import annotations
 
 import time
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional
 
 from repro.robustness.errors import BudgetExceeded
 
@@ -68,6 +68,32 @@ class Budget:
     def start(self) -> None:
         """Anchor the wall clock; charging before start never trips it."""
         self._started = self.clock()
+
+    # -- resumable counters -------------------------------------------------
+
+    def export_counters(self) -> Dict[str, float]:
+        """Return the consumed-so-far counters for checkpointing.
+
+        ``elapsed_s`` records wall-clock spend for the record; restoring
+        it is meaningless across processes, so :meth:`restore_counters`
+        ignores it.
+        """
+        return {
+            "expansions_used": self.expansions_used,
+            "rip_rounds_used": self.rip_rounds_used,
+            "elapsed_s": self.elapsed(),
+        }
+
+    def restore_counters(self, counters: Dict[str, float]) -> None:
+        """Resume with previously consumed counters (checkpoint restore).
+
+        A *fresh* budget for a resumed run simply skips this call; a
+        caller continuing one cumulative accounting across interruptions
+        restores the checkpointed counters first, so the limits bound the
+        total spend of all attempts together.
+        """
+        self.expansions_used = int(counters.get("expansions_used", 0))
+        self.rip_rounds_used = int(counters.get("rip_rounds_used", 0))
 
     def elapsed(self) -> float:
         """Return seconds since :meth:`start` (0.0 before start)."""

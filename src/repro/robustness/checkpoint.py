@@ -1,0 +1,218 @@
+"""Checkpoint/resume for budget-limited runs.
+
+A :class:`Checkpoint` is a JSON-serialisable snapshot of the full
+mid-flow router state: the design document itself, the occupancy overlay
+(owner array *and* per-net buckets, so a snapshot composes with
+:meth:`~repro.grid.occupancy.Occupancy.repair`), every net's routing
+(tree edge paths, MST paths, escape path, pin, demotion flags), the
+pending-escape queue, the budget counters, the completed-stage cursor
+and the incident/event logs.
+
+:class:`~repro.core.pacor.PacorRouter` captures one at every stage
+boundary and at the moment a compute budget interrupts a stage; a
+`BudgetExceeded` run therefore never throws its routing work away — the
+CLI writes the snapshot (``pacor route S3 --expansion-budget N
+--checkpoint ckpt.json``) and ``pacor resume ckpt.json --budget-s M``
+rehydrates the state and re-enters the flow at the interrupted stage
+with a fresh budget, skipping the completed ones.
+
+This module is deliberately free of router imports: the router owns the
+conversion between its internal net bookkeeping and the plain documents
+stored here, so the checkpoint format stays a standalone, versioned
+contract (see ``docs/robustness.md``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path as FilePath
+from typing import Any, Dict, List, Optional, Union
+
+from repro.robustness.errors import CheckpointFormatError
+
+CHECKPOINT_VERSION = 1
+"""Current format version; bumped on any incompatible change."""
+
+_REQUIRED_FIELDS = (
+    "version",
+    "design",
+    "method",
+    "config",
+    "stage",
+    "completed_stages",
+    "n_multi_clusters",
+    "next_net_id",
+    "nets",
+    "occupancy",
+    "budget",
+    "events",
+    "incidents",
+    "failure_reasons",
+)
+
+
+@dataclass
+class Checkpoint:
+    """One serialisable snapshot of a mid-flow router state.
+
+    Attributes:
+        design: the full design document (``design_to_json`` format), so
+            a checkpoint file is self-contained and resumable without
+            access to the original input file.
+        method: Table-2 method name of the interrupted run.
+        config: the run's :meth:`~repro.core.config.PacorConfig.to_json`
+            document — a resume reproduces every tunable, overriding
+            only the budget.
+        stage: the next stage to execute on resume — the interrupted
+            stage itself after a budget interruption, the following
+            stage at a clean boundary.
+        completed_stages: stages that finished before the snapshot.
+        n_multi_clusters: the clustering stage's multi-valve cluster
+            count (Table-2 "#Clusters"), fixed at clustering time.
+        next_net_id: the router's net-id allocator cursor.
+        nets: per-net documents (the router owns the format).
+        occupancy: :meth:`~repro.grid.occupancy.Occupancy.export_state`
+            snapshot.
+        pending_escape: net ids still queued for escape routing when the
+            snapshot was taken mid-escape; None outside the stage.
+        budget: consumed budget counters (``expansions_used``,
+            ``rip_rounds_used``, ``elapsed_s``) and the tripped limits,
+            for the record and for cumulative-accounting resumes.
+        events: the stage log up to the snapshot.
+        incidents: structured incident documents up to the snapshot.
+        failure_reasons: per-net failure reasons recorded so far.
+    """
+
+    design: Dict[str, Any]
+    method: str
+    config: Dict[str, Any]
+    stage: str
+    completed_stages: List[str]
+    n_multi_clusters: int
+    next_net_id: int
+    nets: List[Dict[str, Any]]
+    occupancy: Dict[str, Any]
+    budget: Dict[str, Any]
+    events: List[str] = field(default_factory=list)
+    incidents: List[Dict[str, Any]] = field(default_factory=list)
+    failure_reasons: Dict[str, str] = field(default_factory=dict)
+    pending_escape: Optional[List[int]] = None
+    version: int = CHECKPOINT_VERSION
+
+    @property
+    def design_name(self) -> str:
+        """Return the snapshot design's name."""
+        return str(self.design.get("name", "?"))
+
+    def to_json(self) -> Dict[str, Any]:
+        """Return the versioned JSON document of the snapshot."""
+        return {
+            "version": self.version,
+            "design": self.design,
+            "method": self.method,
+            "config": self.config,
+            "stage": self.stage,
+            "completed_stages": list(self.completed_stages),
+            "n_multi_clusters": self.n_multi_clusters,
+            "next_net_id": self.next_net_id,
+            "nets": list(self.nets),
+            "occupancy": self.occupancy,
+            "pending_escape": (
+                list(self.pending_escape)
+                if self.pending_escape is not None
+                else None
+            ),
+            "budget": self.budget,
+            "events": list(self.events),
+            "incidents": list(self.incidents),
+            "failure_reasons": dict(self.failure_reasons),
+        }
+
+    @classmethod
+    def from_json(
+        cls, doc: Dict[str, Any], *, source: Optional[str] = None
+    ) -> "Checkpoint":
+        """Rebuild a checkpoint from its document (validated).
+
+        Raises:
+            CheckpointFormatError: the document is not a checkpoint, its
+                version is unknown, or a required field is missing — the
+                error names the field (and ``source``, when given).
+        """
+        if not isinstance(doc, dict):
+            raise CheckpointFormatError(
+                f"checkpoint document must be a JSON object, "
+                f"got {type(doc).__name__}",
+                path=source,
+            )
+        for name in _REQUIRED_FIELDS:
+            if name not in doc:
+                raise CheckpointFormatError(
+                    "missing required field", field=name, path=source
+                )
+        version = doc["version"]
+        if version != CHECKPOINT_VERSION:
+            raise CheckpointFormatError(
+                f"unsupported checkpoint version {version!r} "
+                f"(this build reads version {CHECKPOINT_VERSION})",
+                field="version",
+                path=source,
+            )
+        if not isinstance(doc["stage"], str):
+            raise CheckpointFormatError(
+                f"expected a stage name, got {type(doc['stage']).__name__}",
+                field="stage",
+                path=source,
+            )
+        if not isinstance(doc["nets"], list):
+            raise CheckpointFormatError(
+                f"expected a list of net documents, "
+                f"got {type(doc['nets']).__name__}",
+                field="nets",
+                path=source,
+            )
+        pending = doc.get("pending_escape")
+        return cls(
+            design=doc["design"],
+            method=str(doc["method"]),
+            config=doc["config"],
+            stage=doc["stage"],
+            completed_stages=[str(s) for s in doc["completed_stages"]],
+            n_multi_clusters=int(doc["n_multi_clusters"]),
+            next_net_id=int(doc["next_net_id"]),
+            nets=doc["nets"],
+            occupancy=doc["occupancy"],
+            budget=doc["budget"],
+            events=[str(e) for e in doc["events"]],
+            incidents=list(doc["incidents"]),
+            failure_reasons={
+                str(k): str(v) for k, v in doc["failure_reasons"].items()
+            },
+            pending_escape=(
+                [int(n) for n in pending] if pending is not None else None
+            ),
+            version=int(version),
+        )
+
+    def save(self, path: Union[str, FilePath]) -> None:
+        """Write the snapshot to ``path`` as JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_json(), handle, indent=1)
+
+    @classmethod
+    def load(cls, path: Union[str, FilePath]) -> "Checkpoint":
+        """Read a snapshot back from JSON (validated).
+
+        Raises:
+            CheckpointFormatError: the file is not valid JSON or the
+                document is malformed; the error names the file.
+        """
+        with open(path, "r", encoding="utf-8") as handle:
+            try:
+                doc = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise CheckpointFormatError(
+                    f"not valid JSON ({exc})", path=str(path)
+                ) from exc
+        return cls.from_json(doc, source=str(path))

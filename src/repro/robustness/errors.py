@@ -59,6 +59,37 @@ class DesignFormatError(PacorError, ValueError):
         super().__init__("".join(parts))
 
 
+class CheckpointFormatError(PacorError, ValueError):
+    """A checkpoint document is malformed or does not fit the input.
+
+    Raised when loading a snapshot whose version is unknown, whose
+    required fields are missing, or whose recorded design does not match
+    the design a resume was asked to continue.  Also a
+    :class:`ValueError` for symmetry with :class:`DesignFormatError`.
+
+    Attributes:
+        field: the offending field, when one can be named.
+        path: source file the checkpoint was read from, when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        field: Optional[str] = None,
+        path: Optional[str] = None,
+    ) -> None:
+        self.field = field
+        self.path = path
+        parts = []
+        if path is not None:
+            parts.append(f"{path}: ")
+        parts.append(message)
+        if field is not None:
+            parts.append(f" (field {field!r})")
+        super().__init__("".join(parts))
+
+
 class StageFailure(PacorError):
     """One flow stage failed — for the whole stage or a single net.
 

@@ -51,3 +51,14 @@ class Incident:
             "net_id": self.net_id,
             "severity": self.severity.value,
         }
+
+    @classmethod
+    def from_json(cls, doc: Dict[str, object]) -> "Incident":
+        """Rebuild an incident from :meth:`to_json` output."""
+        return cls(
+            stage=str(doc["stage"]),
+            kind=str(doc["kind"]),
+            message=str(doc["message"]),
+            net_id=doc.get("net_id"),  # type: ignore[arg-type]
+            severity=Severity(doc.get("severity", Severity.DEGRADED.value)),
+        )

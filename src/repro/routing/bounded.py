@@ -31,6 +31,40 @@ _PENALTY_WEIGHT = 2.0
 """F-value penalty per missing length unit below the bound."""
 
 
+class _OwnCells:
+    """Immutable cells-on-this-path set, extended in O(1) amortised.
+
+    Each A* state must know its own path's cells to keep every
+    reconstructed path simple.  Rebuilding that set per expansion walks
+    the whole parent chain (O(path length) each time — quadratic over a
+    long detour), so states share a frozen ``base`` set plus a short
+    tuple of recent cells; the tuple is folded into a new base once it
+    grows past ``_FLATTEN_AT``, keeping both membership tests and
+    extension cheap while sibling states still share their prefix.
+    """
+
+    __slots__ = ("_base", "_extra")
+
+    _FLATTEN_AT = 16
+
+    def __init__(self, base: frozenset, extra: Tuple[Point, ...]) -> None:
+        self._base = base
+        self._extra = extra
+
+    @classmethod
+    def single(cls, cell: Point) -> "_OwnCells":
+        return cls(frozenset((cell,)), ())
+
+    def extended(self, cell: Point) -> "_OwnCells":
+        extra = self._extra + (cell,)
+        if len(extra) >= self._FLATTEN_AT:
+            return _OwnCells(self._base.union(extra), ())
+        return _OwnCells(self._base, extra)
+
+    def __contains__(self, cell: Point) -> bool:
+        return cell in self._base or cell in self._extra
+
+
 def bounded_length_route(
     grid: RoutingGrid,
     source: Point,
@@ -76,8 +110,12 @@ def bounded_length_route(
         return None
 
     # States are (cell, g); parents reconstruct one simple path per state.
+    # ``own_of`` carries each state's cells-on-path set, built
+    # incrementally so expansions stay O(1) amortised instead of
+    # re-walking the parent chain.
     start = (source, 0)
     parent: Dict[Tuple[Point, int], Optional[Tuple[Point, int]]] = {start: None}
+    own_of: Dict[Tuple[Point, int], _OwnCells] = {start: _OwnCells.single(source)}
     heap: List[Tuple[float, int, Tuple[Point, int]]] = []
     tie = count()
 
@@ -116,7 +154,7 @@ def bounded_length_route(
             continue
         # Cells already on this state's own path are forbidden so every
         # reconstructed path stays simple.
-        own = set(reconstruct(state))
+        own = own_of[state]
         for q in p.neighbors4():
             if not grid.in_bounds(q) or not routable(q) or q in own:
                 continue
@@ -127,6 +165,7 @@ def bounded_length_route(
             if nstate in parent:
                 continue
             parent[nstate] = state
+            own_of[nstate] = own.extended(q)
             heapq.heappush(heap, (f_value(q, ng), next(tie), nstate))
     return None
 

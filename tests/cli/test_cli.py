@@ -86,9 +86,23 @@ def test_generate_and_route_roundtrip(tmp_path, capsys):
     assert "verification OK" in capsys.readouterr().out
 
 
-def test_unknown_design_errors():
-    with pytest.raises(ValueError):
-        main(["route", "S99"])
+def test_unknown_design_exits_2_with_one_line_diagnosis(capsys):
+    # Regression: this used to escape as a raw ValueError traceback
+    # because _resolve_design ran outside main()'s try block.
+    assert main(["route", "S99"]) == 2
+    err = capsys.readouterr().err
+    assert "error: unknown design 'S99'" in err
+    assert "Traceback" not in err
+
+
+def test_unknown_design_exits_2_in_every_subcommand(capsys):
+    for argv in (
+        ["route", "NOPE"],
+        ["table2", "--designs", "NOPE"],
+        ["skew", "NOPE"],
+    ):
+        assert main(argv) == 2, argv
+        assert "error:" in capsys.readouterr().err
 
 
 def test_skew_command(capsys):
@@ -112,6 +126,62 @@ def test_route_json_export(tmp_path, capsys):
     assert doc["summary"]["completion"] == 1.0
     assert len(doc["nets"]) >= 3
     assert all("segments" in n for n in doc["nets"])
+
+
+def test_route_checkpoint_written_on_budget_exhaustion(tmp_path, capsys):
+    ckpt = tmp_path / "ckpt.json"
+    assert (
+        main(
+            [
+                "route",
+                "S3",
+                "--expansion-budget",
+                "200",
+                "--checkpoint",
+                str(ckpt),
+            ]
+        )
+        == 0
+    )
+    captured = capsys.readouterr()
+    assert "degraded" in captured.err
+    assert f"wrote {ckpt}" in captured.out
+    doc = json.loads(ckpt.read_text())
+    assert doc["version"] == 1
+    assert doc["design"]["name"] == "S3"
+
+
+def test_route_checkpoint_not_written_without_interruption(tmp_path, capsys):
+    ckpt = tmp_path / "ckpt.json"
+    assert main(["route", "S1", "--checkpoint", str(ckpt)]) == 0
+    captured = capsys.readouterr()
+    assert not ckpt.exists()
+    assert "no budget interruption" in captured.err
+
+
+def test_resume_completes_an_interrupted_run(tmp_path, capsys):
+    ckpt = tmp_path / "ckpt.json"
+    main(["route", "S3", "--expansion-budget", "200", "--checkpoint", str(ckpt)])
+    capsys.readouterr()
+    assert main(["resume", str(ckpt), "--verify"]) == 0
+    out = capsys.readouterr().out
+    assert "resuming S3" in out
+    assert "completion=100.0%" in out
+    assert "verification OK" in out
+
+
+def test_resume_malformed_checkpoint_exits_2(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"bogus": 1}')
+    assert main(["resume", str(bad)]) == 2
+    err = capsys.readouterr().err
+    assert "missing required field" in err
+    assert "Traceback" not in err
+
+
+def test_resume_missing_file_exits_2(tmp_path, capsys):
+    assert main(["resume", str(tmp_path / "nope.json")]) == 2
+    assert "file not found" in capsys.readouterr().err
 
 
 def test_show_saved_results(tmp_path, capsys):

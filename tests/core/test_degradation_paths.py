@@ -143,7 +143,7 @@ def test_walled_in_net_yields_degraded_result_end_to_end():
     router = make_walled_in_router()
     router._stage_mst_routing()
     router._stage_escape()
-    result = router._collect([], runtime=0.0)
+    result = router._collect(runtime=0.0)
     assert result.degraded
     report = result.nets[0]
     assert not report.routed

@@ -27,7 +27,7 @@ def make_router():
     )
     router = PacorRouter(design, PacorConfig())
     clusters = router._stage_clustering()
-    router._stage_lm_routing(clusters)
+    router._stage_lm_routing()
     return router
 
 

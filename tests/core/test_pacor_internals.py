@@ -47,7 +47,7 @@ class TestLmRouting:
     def test_pair_routed_as_tree(self):
         router = PacorRouter(tiny_design())
         clusters = router._stage_clustering()
-        router._stage_lm_routing(clusters)
+        router._stage_lm_routing()
         pair = next(n for n in router.nets.values() if n.kind == "lm-pair")
         assert pair.tree is not None
         assert pair.tree.mismatch() <= 1
@@ -58,7 +58,7 @@ class TestLmRouting:
     def test_demote_releases_channels_keeps_valves(self):
         router = PacorRouter(tiny_design())
         clusters = router._stage_clustering()
-        router._stage_lm_routing(clusters)
+        router._stage_lm_routing()
         pair = next(n for n in router.nets.values() if n.tree is not None)
         before = router.occupancy.cells_of(pair.net_id)
         assert len(before) > 2
@@ -74,7 +74,7 @@ class TestEscapeTaps:
     def test_tree_net_taps_at_root(self):
         router = PacorRouter(tiny_design())
         clusters = router._stage_clustering()
-        router._stage_lm_routing(clusters)
+        router._stage_lm_routing()
         pair = next(n for n in router.nets.values() if n.tree is not None)
         assert router._escape_taps(pair) == (pair.tree.root,)
 
@@ -87,7 +87,7 @@ class TestEscapeTaps:
     def test_ordinary_taps_are_all_cells(self):
         router = PacorRouter(tiny_design())
         clusters = router._stage_clustering()
-        router._stage_lm_routing(clusters)
+        router._stage_lm_routing()
         pair = next(n for n in router.nets.values() if n.tree is not None)
         router._demote_lm(pair, reason="test")
         router._stage_mst_routing()

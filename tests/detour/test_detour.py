@@ -137,6 +137,79 @@ class TestDetourCluster:
         lengths = tree.full_lengths()
         assert max(lengths.values()) - min(lengths.values()) <= 1
 
+    def test_shared_edge_detour_refreshes_max_within_round(self):
+        # Regression for the stale-max_length bug: sink 0 cannot detour
+        # its own fenced edge and lengthens the shared edge 2 instead,
+        # which also lengthens sink 1 — the cluster's longest path moves
+        # *mid-round*.  Sink 3's window must aim at the new maximum;
+        # against the stale one it undershoots (parity pins every detour
+        # length, so the undershoot is deterministic) and a second round
+        # was needed.
+        grid = RoutingGrid(30, 30)
+        occupancy = Occupancy(grid)
+        tree = RoutedTree(
+            cluster_id=7,
+            edge_paths={
+                0: straight((11, 16), (15, 16)),  # sink 0 -> m   (len 4)
+                1: straight((15, 11), (15, 16)),  # sink 1 -> m   (len 5)
+                2: straight((15, 16), (15, 20)),  # m -> root     (len 4)
+                3: straight((25, 20), (15, 20)),  # sink 2 -> root (len 10)
+                4: straight((8, 20), (15, 20)),  # sink 3 -> root (len 7)
+            },
+            sequences={0: [0, 2], 1: [1, 2], 2: [3], 3: [4]},
+            root=Point(15, 20),
+        )
+        occupancy.occupy(tree.all_cells(), 7)
+        # Fence edge 0 into its corridor so sink 0 must use edge 2.
+        fence = [Point(x, 15) for x in range(10, 15)] + [
+            Point(x, 17) for x in range(10, 15)
+        ]
+        occupancy.occupy(fence, 99)
+        # Lengths: sink0=8, sink1=9, sink2=10 (max), sink3=7; delta=1
+        # makes sinks 0 and 3 short.  Sink 0's +2 on edge 2 pushes sink 1
+        # to 11 — the new max — before sink 3 is processed.
+        assert tree.full_lengths() == {0: 8, 1: 9, 2: 10, 3: 7}
+        result = detour_cluster(grid, occupancy, tree, delta=1)
+        assert result.matched
+        assert result.iterations == 1, (
+            "stale max_length: sink 3 undershot and needed a second round"
+        )
+        lengths = tree.full_lengths()
+        assert max(lengths.values()) - min(lengths.values()) <= 1
+        assert occupancy.cells_of(7) == tree.all_cells()
+
+    def test_rollback_resets_detoured_edges_counter(self):
+        # Regression: sink 0's successful detour was still counted after
+        # sink 1's failure rolled every path back.
+        grid = RoutingGrid(20, 20)
+        occupancy = Occupancy(grid)
+        tree = RoutedTree(
+            cluster_id=5,
+            edge_paths={
+                0: straight((6, 10), (10, 10)),  # sink 0 -> root (len 4)
+                1: straight((14, 10), (10, 10)),  # sink 1 -> root (len 4)
+                2: straight((10, 2), (10, 10)),  # sink 2 -> root (len 8)
+            },
+            sequences={0: [0], 1: [1], 2: [2]},
+            root=Point(10, 10),
+        )
+        occupancy.occupy(tree.all_cells(), 5)
+        # Sink 0 has room to detour; sink 1 is fenced in completely.
+        fence = (
+            [Point(x, 9) for x in range(11, 16)]
+            + [Point(x, 11) for x in range(11, 16)]
+            + [Point(15, 10)]
+        )
+        occupancy.occupy(fence, 99)
+        original = dict(tree.edge_paths)
+        result = detour_cluster(grid, occupancy, tree, delta=1)
+        assert not result.matched
+        assert result.detoured_edges == 0, (
+            "rolled-back detours must not be reported as work done"
+        )
+        assert tree.edge_paths == original
+        assert occupancy.cells_of(5) == tree.all_cells()
+
     def test_escape_path_preserved(self):
         grid = RoutingGrid(20, 20)
         occupancy = Occupancy(grid)

@@ -1,0 +1,304 @@
+"""Checkpoint/resume suite: format round-trips and resume fidelity.
+
+Covers the three contracts of ``repro.robustness.checkpoint``:
+
+* the snapshot format round-trips through JSON (and through a file)
+  without loss, and malformed documents are rejected with a named field;
+* the occupancy export is faithful — even for a corrupted overlay — and
+  a snapshot taken after :meth:`Occupancy.repair` restores clean;
+* a resumed run continues the flow correctly: resuming from a clean
+  stage-boundary snapshot is bit-identical to never stopping, and a
+  budget-interrupted run resumed with a fresh budget reaches the
+  uninterrupted result.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import verify_result
+from repro.core.config import PacorConfig
+from repro.core.pacor import PacorRouter
+from repro.designs import design_by_name
+from repro.geometry.point import Point
+from repro.grid.grid import RoutingGrid
+from repro.grid.occupancy import Occupancy
+from repro.robustness import faults
+from repro.robustness.budget import Budget
+from repro.robustness.checkpoint import CHECKPOINT_VERSION, Checkpoint
+from repro.robustness.errors import CheckpointFormatError
+from repro.robustness.faults import FaultSpec
+from repro.robustness.incidents import Incident, Severity
+
+
+def _canonical(result):
+    doc = result.to_json()
+    doc["summary"].pop("runtime_s")
+    return json.dumps(doc, sort_keys=True)
+
+
+def _interrupted_run(design_name="S3", expansions=200):
+    design = design_by_name(design_name)
+    router = PacorRouter(design, budget=Budget(astar_expansions=expansions))
+    result = router.run()
+    assert result.checkpoint is not None, "budget never tripped"
+    return design, router, result
+
+
+# -- format round-trips -------------------------------------------------------
+
+
+class TestCheckpointFormat:
+    def _any_checkpoint(self):
+        design = design_by_name("S1")
+        router = PacorRouter(design)
+        router.run()
+        return router.checkpoints["lm-routing"]
+
+    def test_json_round_trip_is_lossless(self):
+        ck = self._any_checkpoint()
+        doc = ck.to_json()
+        again = Checkpoint.from_json(doc)
+        assert again.to_json() == doc
+        assert again == ck
+
+    def test_file_round_trip(self, tmp_path):
+        ck = self._any_checkpoint()
+        path = tmp_path / "ckpt.json"
+        ck.save(path)
+        assert Checkpoint.load(path) == ck
+
+    def test_document_survives_plain_json_serialisation(self):
+        ck = self._any_checkpoint()
+        rehydrated = json.loads(json.dumps(ck.to_json()))
+        assert Checkpoint.from_json(rehydrated) == ck
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(CheckpointFormatError, match="JSON object"):
+            Checkpoint.from_json([1, 2, 3])
+
+    def test_missing_field_named(self):
+        doc = self._any_checkpoint().to_json()
+        doc.pop("occupancy")
+        with pytest.raises(CheckpointFormatError, match="occupancy"):
+            Checkpoint.from_json(doc)
+
+    def test_unknown_version_rejected(self):
+        doc = self._any_checkpoint().to_json()
+        doc["version"] = CHECKPOINT_VERSION + 1
+        with pytest.raises(CheckpointFormatError, match="version"):
+            Checkpoint.from_json(doc)
+
+    def test_load_names_the_file_on_bad_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(CheckpointFormatError, match="broken.json"):
+            Checkpoint.load(path)
+
+    def test_design_name_property(self):
+        ck = self._any_checkpoint()
+        assert ck.design_name == "S1"
+
+
+class TestIncidentRoundTrip:
+    def test_incident_round_trip(self):
+        incident = Incident(
+            stage="escape",
+            kind="budget-exceeded",
+            message="ran out",
+            net_id=3,
+            severity=Severity.DEGRADED,
+        )
+        assert Incident.from_json(incident.to_json()) == incident
+
+    def test_config_round_trip(self):
+        config = PacorConfig(k_candidates=2, astar_expansion_budget=500)
+        again = PacorConfig.from_json(config.to_json())
+        assert again.to_json() == config.to_json()
+
+    def test_config_unknown_key_rejected(self):
+        doc = PacorConfig().to_json()
+        doc["no_such_knob"] = 1
+        with pytest.raises(ValueError, match="no_such_knob"):
+            PacorConfig.from_json(doc)
+
+    def test_budget_counters_round_trip(self):
+        budget = Budget(astar_expansions=100)
+        budget.expansions_used = 42
+        budget.rip_rounds_used = 3
+        fresh = Budget(astar_expansions=100)
+        fresh.restore_counters(budget.export_counters())
+        assert fresh.expansions_used == 42
+        assert fresh.rip_rounds_used == 3
+
+
+# -- occupancy snapshots ------------------------------------------------------
+
+
+class TestOccupancySnapshot:
+    def _occupancy(self):
+        grid = RoutingGrid(8, 8)
+        occ = Occupancy(grid)
+        occ.occupy([Point(1, 1), Point(1, 2)], 0)
+        occ.occupy([Point(5, 5)], 3)
+        return grid, occ
+
+    def test_round_trip_preserves_both_views(self):
+        grid, occ = self._occupancy()
+        restored = Occupancy(grid)
+        restored.import_state(occ.export_state())
+        assert restored.cells_of(0) == occ.cells_of(0)
+        assert restored.cells_of(3) == occ.cells_of(3)
+        assert restored.owner(Point(1, 2)) == 0
+        assert restored.find_inconsistencies() == []
+
+    def test_off_grid_snapshot_rejected(self):
+        grid, occ = self._occupancy()
+        state = occ.export_state()
+        state["owner_cells"].append([99, 99, 1])
+        with pytest.raises(ValueError, match="off-grid"):
+            Occupancy(grid).import_state(state)
+
+    def test_corrupted_overlay_exports_faithfully(self):
+        # A snapshot must not paper over corruption: restoring a
+        # corrupted overlay reproduces the same inconsistency report.
+        grid, occ = self._occupancy()
+        occ._cells[0].discard(Point(1, 1))  # orphan one owner entry
+        bad = occ.find_inconsistencies()
+        assert bad == [Point(1, 1)]
+        restored = Occupancy(grid)
+        restored.import_state(occ.export_state())
+        assert restored.find_inconsistencies() == bad
+
+    def test_snapshot_after_repair_restores_clean(self):
+        grid, occ = self._occupancy()
+        occ._cells[0].discard(Point(1, 1))
+        assert occ.repair() == [Point(1, 1)]
+        restored = Occupancy(grid)
+        restored.import_state(occ.export_state())
+        assert restored.find_inconsistencies() == []
+        assert restored.cells_of(0) == {Point(1, 1), Point(1, 2)}
+
+    def test_checkpoint_after_chaos_corruption_restores_clean(self):
+        # End-to-end: a chaos-injected corruption is repaired by the
+        # router's between-stage check; every checkpoint is captured
+        # after that check, so restoring any of them yields a consistent
+        # overlay.
+        design = design_by_name("S1")
+        with faults.inject(
+            FaultSpec("occupancy_corruption", max_fires=2), seed=3
+        ):
+            router = PacorRouter(design)
+            result = router.run()
+        assert any(
+            i.kind == "occupancy-corruption" for i in result.incidents
+        ), "fault never fired"
+        assert router.checkpoints
+        for stage, ck in router.checkpoints.items():
+            restored = PacorRouter.from_checkpoint(design, ck)
+            assert restored.occupancy.find_inconsistencies() == [], stage
+
+
+# -- resume fidelity ----------------------------------------------------------
+
+
+class TestResumeFidelity:
+    def test_stage_boundary_resume_is_bit_identical(self):
+        design = design_by_name("S3")
+        router = PacorRouter(design)
+        base = _canonical(router.run())
+        assert set(router.checkpoints) == {
+            "clustering",
+            "lm-routing",
+            "mst-routing",
+            "escape",
+        }
+        for stage, ck in router.checkpoints.items():
+            resumed = PacorRouter.resume(design, ck)
+            assert _canonical(resumed) == base, f"diverged from {stage}"
+
+    def test_interrupted_run_resumes_to_uninterrupted_result(self):
+        design, _, interrupted = _interrupted_run("S3")
+        baseline = design_by_name("S3")
+        base = PacorRouter(baseline).run()
+        resumed = PacorRouter.resume(
+            design, Checkpoint.from_json(interrupted.checkpoint)
+        )
+        assert verify_result(design, resumed) == []
+        row, base_row = resumed.summary_row(), base.summary_row()
+        row.pop("runtime_s"), base_row.pop("runtime_s")
+        assert row == base_row
+        assert resumed.completion_rate == 1.0
+
+    def test_interrupt_reverts_budget_demotions_on_resume(self):
+        design, router, interrupted = _interrupted_run("S3")
+        ck = Checkpoint.from_json(interrupted.checkpoint)
+        assert ck.stage == "lm-routing"
+        demoted = [n for n in ck.nets if n["budget_demoted"]]
+        assert demoted, "expected budget-forced demotions in the snapshot"
+        resumed = PacorRouter.resume(design, ck)
+        # The fresh budget lets the reverted clusters match again.
+        assert resumed.matched_clusters == 4
+
+    def test_resume_with_design_mismatch_rejected(self):
+        _, router, interrupted = _interrupted_run("S3")
+        other = design_by_name("S1")
+        with pytest.raises(CheckpointFormatError, match="does not match"):
+            PacorRouter.resume(
+                other, Checkpoint.from_json(interrupted.checkpoint)
+            )
+
+    def test_resume_with_unknown_stage_rejected(self):
+        design, _, interrupted = _interrupted_run("S3")
+        doc = dict(interrupted.checkpoint)
+        doc["stage"] = "teleportation"
+        with pytest.raises(CheckpointFormatError, match="teleportation"):
+            PacorRouter.resume(design, Checkpoint.from_json(doc))
+
+    def test_carry_counters_keeps_cumulative_accounting(self):
+        design, _, interrupted = _interrupted_run("S3")
+        ck = Checkpoint.from_json(interrupted.checkpoint)
+        spent = int(ck.budget["expansions_used"])
+        assert spent > 0
+        # The same limit with carried counters is already exhausted, so
+        # the continuation degrades again instead of spending afresh.
+        resumed = PacorRouter.resume(
+            design,
+            ck,
+            budget=Budget(astar_expansions=spent),
+            carry_counters=True,
+        )
+        assert any(
+            i.kind == "budget-exceeded"
+            for i in resumed.incidents[len(ck.incidents):]
+        )
+
+    def test_interrupted_result_checkpoint_excluded_from_json(self):
+        _, _, interrupted = _interrupted_run("S3")
+        assert interrupted.checkpoint is not None
+        assert "checkpoint" not in interrupted.to_json()
+
+    def test_mid_escape_interrupt_records_pending_queue(self):
+        design = design_by_name("S3")
+        router = PacorRouter(design, budget=Budget(rip_rounds=1))
+        result = router.run()
+        ck = Checkpoint.from_json(result.checkpoint)
+        assert ck.stage == "escape"
+        assert ck.pending_escape, "interrupted escape left no pending nets"
+        resumed = PacorRouter.resume(design, ck)
+        assert verify_result(design, resumed) == []
+        assert resumed.completion_rate == 1.0
+
+
+@pytest.mark.slow
+def test_chip1_interrupt_and_resume_completes_and_verifies():
+    design, _, interrupted = _interrupted_run("Chip1", expansions=2000)
+    assert interrupted.degraded
+    resumed = PacorRouter.resume(
+        design, Checkpoint.from_json(interrupted.checkpoint)
+    )
+    assert verify_result(design, resumed) == []
+    assert resumed.completion_rate == 1.0
+    # The fresh budget recovers matches the interrupted run had to give
+    # up when its LM clusters were force-demoted.
+    assert resumed.matched_clusters > interrupted.matched_clusters

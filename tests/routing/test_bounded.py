@@ -1,8 +1,12 @@
 """Tests for minimum-length bounded routing and serpentine extension."""
 
+import heapq
+from itertools import count
+
 import pytest
 
 from repro.geometry import Point
+from repro.geometry.point import manhattan
 from repro.grid import Occupancy, RoutingGrid
 from repro.routing import Path, bounded_length_route, extend_path_with_bumps
 
@@ -57,6 +61,123 @@ class TestBoundedLengthRoute:
         assert path is not None
         assert 20 <= path.length <= 22
         assert path.is_simple()
+
+
+def _reference_bounded_route(
+    grid, source, target, min_length, max_length, *, extra_obstacles=None
+):
+    """The pre-optimisation router: own-cells rebuilt per expansion.
+
+    Byte-for-byte the same search order as :func:`bounded_length_route`
+    (same F values, same tie-breaking counter, same state keys) — only
+    the own-cells bookkeeping differs.  The equivalence tests below pin
+    the optimised implementation to this behaviour.
+    """
+    if min_length > max_length:
+        raise ValueError("min_length must not exceed max_length")
+    base = manhattan(source, target)
+    if base > max_length:
+        return None
+    if not any(
+        (length - base) % 2 == 0
+        for length in range(min_length, max_length + 1)
+    ):
+        return None
+
+    def routable(p):
+        if extra_obstacles is not None and p in extra_obstacles:
+            return False
+        return grid.is_free(p)
+
+    if not routable(source) or not routable(target):
+        return None
+    start = (source, 0)
+    parent = {start: None}
+    heap = []
+    tie = count()
+
+    def f_value(p, g):
+        estimate = g + manhattan(p, target)
+        f = float(estimate)
+        if estimate < min_length:
+            f += 2.0 * (min_length - estimate)
+        return f
+
+    def reconstruct(state):
+        cells = []
+        node = state
+        while node is not None:
+            cells.append(node[0])
+            node = parent[node]
+        cells.reverse()
+        return cells
+
+    heapq.heappush(heap, (f_value(source, 0), next(tie), start))
+    while heap:
+        _, _, state = heapq.heappop(heap)
+        p, g = state
+        if p == target and min_length <= g <= max_length:
+            path = Path(reconstruct(state))
+            if path.is_simple():
+                return path
+            continue
+        if g >= max_length:
+            continue
+        own = set(reconstruct(state))
+        for q in p.neighbors4():
+            if not grid.in_bounds(q) or not routable(q) or q in own:
+                continue
+            ng = g + 1
+            if ng + manhattan(q, target) > max_length:
+                continue
+            nstate = (q, ng)
+            if nstate in parent:
+                continue
+            parent[nstate] = state
+            heapq.heappush(heap, (f_value(q, ng), next(tie), nstate))
+    return None
+
+
+class TestIncrementalOwnCellsEquivalence:
+    """The O(1) own-cells optimisation must not change any result."""
+
+    CASES = [
+        # (source, target, min_length, max_length)
+        ((0, 0), (5, 0), 5, 7),
+        ((0, 0), (5, 0), 9, 11),
+        ((0, 0), (5, 0), 6, 6),  # parity-infeasible
+        ((0, 0), (2, 0), 20, 22),  # long detour, exercises flattening
+        ((3, 3), (3, 3), 4, 6),
+        ((0, 0), (19, 19), 38, 40),
+        ((1, 1), (2, 1), 41, 43),  # detour far above _FLATTEN_AT
+    ]
+
+    @pytest.mark.parametrize("case", CASES)
+    def test_identical_to_reference(self, grid20, case):
+        (sx, sy), (tx, ty), lo, hi = case
+        fast = bounded_length_route(grid20, Point(sx, sy), Point(tx, ty), lo, hi)
+        slow = _reference_bounded_route(
+            grid20, Point(sx, sy), Point(tx, ty), lo, hi
+        )
+        if slow is None:
+            assert fast is None
+        else:
+            assert fast is not None
+            assert fast.cells == slow.cells
+
+    def test_identical_with_obstacles(self, grid20):
+        for y in range(15):
+            grid20.set_obstacle(Point(10, y))
+        obstacles = {Point(x, 8) for x in range(3, 9)}
+        fast = bounded_length_route(
+            grid20, Point(0, 0), Point(18, 2), 24, 26, extra_obstacles=obstacles
+        )
+        slow = _reference_bounded_route(
+            grid20, Point(0, 0), Point(18, 2), 24, 26, extra_obstacles=obstacles
+        )
+        assert (fast is None) == (slow is None)
+        if fast is not None:
+            assert fast.cells == slow.cells
 
 
 class TestExtendPathWithBumps:
