@@ -9,7 +9,7 @@ variants and reports the spread of matched clusters and completion.
 import pytest
 
 from repro.analysis import verify_result
-from repro.core import run_pacor
+from repro.core import PacorConfig, run_pacor
 from repro.designs import design_by_name
 from repro.designs.perturb import perturbation_family
 
@@ -32,6 +32,47 @@ def test_perturbation_family(benchmark, name):
     benchmark.extra_info["n_clusters"] = results[0].n_lm_clusters
     # Matching never collapses entirely under mild perturbation.
     assert min(matched) >= results[0].n_lm_clusters - 2
+
+
+_BUDGETS_S = [None, 1.0, 0.4, 0.15, 0.05]
+"""Wall-clock budgets for the completion-vs-budget sweep (None = unlimited)."""
+
+
+@pytest.mark.parametrize("name", ["S3", "S4"])
+def test_wall_clock_budget_sweep(benchmark, name):
+    """Graceful degradation: completion as the wall-clock budget shrinks.
+
+    Runs the same design under per-run wall-clock budgets from unlimited
+    down to 50 ms and records the (budget, completion, matched) points in
+    ``extra_info`` — the degradation curve the robustness docs plot.  The
+    flow must stay total: every budgeted run returns a result rather than
+    hanging, and an unlimited run completes fully.
+    """
+    design = design_by_name(name)
+
+    def sweep():
+        points = []
+        for budget_s in _BUDGETS_S:
+            config = PacorConfig(wall_clock_budget_s=budget_s)
+            result = run_pacor(design, config)
+            points.append(
+                {
+                    "budget_s": budget_s,
+                    "completion": result.completion_rate,
+                    "matched": result.matched_clusters,
+                    "degraded": result.degraded,
+                }
+            )
+        return points
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info["completion_vs_budget"] = points
+    # Unlimited budget must complete fully; budgeted runs may degrade
+    # but must still return sane, bounded numbers.
+    assert points[0]["completion"] == 1.0
+    assert not points[0]["degraded"]
+    for point in points:
+        assert 0.0 <= point["completion"] <= 1.0
 
 
 def test_baseline_vs_perturbed_matching_close():

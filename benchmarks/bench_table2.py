@@ -40,7 +40,7 @@ def _record(benchmark, result):
 
 @pytest.mark.parametrize("name", _SMALL)
 @pytest.mark.parametrize("method", list(METHODS), ids=list(_METHOD_IDS.values()))
-def test_table2_synthetic(benchmark, name, method):
+def test_table2_synthetic(benchmark, effort, name, method):
     design = design_by_name(name)
     result = benchmark.pedantic(
         _run_and_verify, args=(design, method), rounds=1, iterations=1
@@ -53,7 +53,7 @@ def test_table2_synthetic(benchmark, name, method):
 @pytest.mark.chips
 @pytest.mark.parametrize("name", _CHIPS)
 @pytest.mark.parametrize("method", list(METHODS), ids=list(_METHOD_IDS.values()))
-def test_table2_chips(benchmark, name, method):
+def test_table2_chips(benchmark, effort, name, method):
     design = design_by_name(name)
     result = benchmark.pedantic(
         _run_and_verify, args=(design, method), rounds=1, iterations=1

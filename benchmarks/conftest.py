@@ -12,3 +12,21 @@ def pytest_configure(config):
     config.addinivalue_line(
         "markers", "chips: chip-scale benchmark rows (Chip1/Chip2, slow)"
     )
+
+
+@pytest.fixture
+def effort(benchmark):
+    """Install a metrics registry and record its counters per benchmark.
+
+    Routers constructed while the fixture is active pick the registry up
+    from the observability context; after the benchmark the counter
+    values (A* expansions, MCF augmenting paths, rip-up rounds, ...) land
+    in ``benchmark.extra_info["counters"]``, so saved benchmark JSON
+    explains *why* a row's runtime moved, not just that it did.
+    """
+    from repro.observability import Metrics, use
+
+    registry = Metrics()
+    with use(metrics=registry):
+        yield registry
+    benchmark.extra_info["counters"] = registry.counter_values()

@@ -8,6 +8,10 @@ Commands:
   resumable snapshot there instead of throwing the work away.
 * ``pacor resume ckpt.json`` — continue an interrupted run from its
   checkpoint with a fresh budget.
+* ``pacor route S3 --trace t.jsonl --metrics m.json`` — additionally
+  record a nested span trace and the kernel effort counters; ``pacor
+  profile t.jsonl`` then prints the per-stage time table and the top
+  nets by A* expansions.
 * ``pacor table1`` — print the benchmark-parameter table.
 * ``pacor table2 --designs S1 S2`` — run the three-method comparison.
 * ``pacor generate out.json --width 40 ...`` — synthesize a new design.
@@ -37,6 +41,7 @@ from repro.designs import (
     save_design,
     table1_suite,
 )
+from repro.observability import Metrics, Tracer
 from repro.robustness.checkpoint import Checkpoint
 from repro.robustness.errors import CheckpointFormatError, DesignFormatError
 from repro.viz import render_ascii, render_svg
@@ -60,7 +65,14 @@ def _resolve_design(token: str):
         raise DesignFormatError(str(exc)) from None
 
 
-def _report_result(design, result, args: argparse.Namespace) -> int:
+def _report_result(
+    design,
+    result,
+    args: argparse.Namespace,
+    *,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[Metrics] = None,
+) -> int:
     """Print a run's summary/diagnostics and honour the export flags."""
     row = result.summary_row()
     print(
@@ -71,6 +83,13 @@ def _report_result(design, result, args: argparse.Namespace) -> int:
         f"completion={row['completion']:.1%} "
         f"runtime={row['runtime_s']:.2f}s"
     )
+    if result.incidents:
+        counts = [
+            (severity, sum(1 for i in result.incidents if i.severity.value == severity))
+            for severity in ("info", "degraded", "fatal")
+        ]
+        summary = ", ".join(f"{n} {sev}" for sev, n in counts if n)
+        print(f"incidents: {summary}")
     if result.degraded:
         print("warning: degraded result", file=sys.stderr)
         for incident in result.incidents:
@@ -111,6 +130,21 @@ def _report_result(design, result, args: argparse.Namespace) -> int:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(result.to_json(), handle, indent=1)
         print(f"wrote {args.json}")
+    # Observability exports exist only on route/resume; getattr keeps
+    # this helper reusable by subcommands without the flags.
+    if getattr(args, "trace", None) and tracer is not None:
+        n_spans = tracer.export_jsonl(args.trace)
+        print(f"wrote {args.trace} ({n_spans} spans)")
+    if getattr(args, "chrome_trace", None) and tracer is not None:
+        n_events = tracer.export_chrome(args.chrome_trace)
+        print(f"wrote {args.chrome_trace} ({n_events} trace events)")
+    if getattr(args, "metrics", None) and metrics is not None:
+        metrics.export_json(args.metrics)
+        doc = metrics.to_json()
+        print(
+            f"wrote {args.metrics} ({len(doc['counters'])} counters, "
+            f"{len(doc['gauges'])} gauges)"
+        )
     if args.ascii:
         print(render_ascii(design, result))
     if args.events:
@@ -130,8 +164,12 @@ def _cmd_route(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    result = run_method(design, args.method, config)
-    return _report_result(design, result, args)
+    tracer = Tracer() if (args.trace or args.chrome_trace) else None
+    metrics = Metrics() if args.metrics else None
+    result = run_method(
+        design, args.method, config, tracer=tracer, metrics=metrics
+    )
+    return _report_result(design, result, args, tracer=tracer, metrics=metrics)
 
 
 def _cmd_resume(args: argparse.Namespace) -> int:
@@ -157,13 +195,37 @@ def _cmd_resume(args: argparse.Namespace) -> int:
         f"{checkpoint.stage!r} (completed: "
         f"{', '.join(checkpoint.completed_stages) or 'none'})"
     )
-    result = PacorRouter.resume(
+    tracer = Tracer() if (args.trace or args.chrome_trace) else None
+    metrics = Metrics() if args.metrics else None
+    router = PacorRouter.from_checkpoint(
         design,
         checkpoint,
         budget=budget,
         carry_counters=args.carry_counters,
+        tracer=tracer,
+        metrics=metrics,
     )
-    return _report_result(design, result, args)
+    if router.carried_spans or router.carried_counters:
+        print(
+            f"carried over from the interrupted run: "
+            f"{router.carried_spans} trace spans stitched, "
+            f"{router.carried_counters} counters restored"
+        )
+    result = router.run()
+    return _report_result(design, result, args, tracer=tracer, metrics=metrics)
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Analyse a JSONL trace written by ``route --trace``."""
+    from repro.observability import format_profile, profile_trace_file
+
+    try:
+        profile = profile_trace_file(args.trace_file, top_k=args.top)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_profile(profile))
+    return 0
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -289,6 +351,21 @@ def build_parser() -> argparse.ArgumentParser:
     route.add_argument("--verify", action="store_true", help="verify the solution")
     route.add_argument("--svg", metavar="FILE", help="write an SVG rendering")
     route.add_argument("--json", metavar="FILE", help="write the full result as JSON")
+    route.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write a JSONL span trace (analyse with: pacor profile FILE)",
+    )
+    route.add_argument(
+        "--chrome-trace",
+        metavar="FILE",
+        help="write the trace in Chrome trace-event format (chrome://tracing)",
+    )
+    route.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help="write the kernel effort counters/gauges as JSON",
+    )
     route.add_argument("--ascii", action="store_true", help="print ASCII art")
     route.add_argument("--events", action="store_true", help="print the stage log")
     route.set_defaults(func=_cmd_route)
@@ -327,9 +404,35 @@ def build_parser() -> argparse.ArgumentParser:
     resume.add_argument("--verify", action="store_true", help="verify the solution")
     resume.add_argument("--svg", metavar="FILE", help="write an SVG rendering")
     resume.add_argument("--json", metavar="FILE", help="write the full result as JSON")
+    resume.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write a JSONL span trace; stitches onto the interrupted "
+        "run's trace when the checkpoint carries one",
+    )
+    resume.add_argument(
+        "--chrome-trace",
+        metavar="FILE",
+        help="write the trace in Chrome trace-event format",
+    )
+    resume.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help="write the kernel effort counters/gauges as JSON",
+    )
     resume.add_argument("--ascii", action="store_true", help="print ASCII art")
     resume.add_argument("--events", action="store_true", help="print the stage log")
     resume.set_defaults(func=_cmd_resume)
+
+    profile = sub.add_parser(
+        "profile", help="analyse a trace written by route --trace"
+    )
+    profile.add_argument("trace_file", help="JSONL trace file")
+    profile.add_argument(
+        "--top", type=int, default=5, metavar="N",
+        help="how many top nets by A* expansions to show",
+    )
+    profile.set_defaults(func=_cmd_profile)
 
     table1 = sub.add_parser("table1", help="print the benchmark parameters")
     table1.add_argument("--no-chips", dest="chips", action="store_false")

@@ -18,6 +18,7 @@ Stages, in order:
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
@@ -42,6 +43,9 @@ from repro.escape import (
 )
 from repro.geometry.point import Point
 from repro.grid.occupancy import Occupancy
+from repro.observability import context as obs
+from repro.observability.metrics import Metrics
+from repro.observability.tracing import Tracer
 from repro.robustness.budget import Budget
 from repro.robustness.checkpoint import Checkpoint
 from repro.robustness.errors import (
@@ -109,6 +113,8 @@ class PacorRouter:
         config: Optional[PacorConfig] = None,
         *,
         budget: Optional[Budget] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[Metrics] = None,
     ) -> None:
         design.validate()
         self.design = design
@@ -119,6 +125,18 @@ class PacorRouter:
         self.events: List[str] = []
         self.incidents: List[Incident] = []
         self.budget = budget if budget is not None else self.config.make_budget()
+        # Observability: an explicitly passed instrument wins; otherwise
+        # whatever the context module has installed (the no-op singletons
+        # by default).  The budget's expansion counter is adopted as the
+        # registry's ``astar.expansions``, so the compute limit and the
+        # exported metric can never disagree.
+        self.tracer = tracer if tracer is not None else obs.tracer()
+        self.metrics = metrics if metrics is not None else obs.metrics()
+        self.metrics.adopt("astar.expansions", self.budget.expansion_counter)
+        # Spans/counters carried over from an interrupted run's
+        # checkpoint; the CLI reports them on resume.
+        self.carried_spans = 0
+        self.carried_counters = 0
         self.nets: Dict[int, _Net] = {}
         self._next_net_id = 0
         self._method_name = "PACOR"
@@ -174,34 +192,54 @@ class PacorRouter:
         ``self.interrupt_checkpoint`` (mirrored on
         ``result.checkpoint``), from which :meth:`resume` re-enters the
         flow with a fresh budget, skipping the completed stages.
+
+        The whole run executes under the router's tracer/metrics pair
+        (installed process-wide for the duration, so the kernels see
+        them): one ``flow`` root span covers the run, one ``stage`` span
+        wraps each executed stage, and checkpoints taken at stage
+        boundaries carry the active trace/span id for resume stitching.
         """
         started = time.perf_counter()
         self.budget.start()
         sequence = self._stage_sequence()
         start_idx = sequence.index(self._resume_stage) if self._resume_stage else 0
-        for idx in range(start_idx, len(sequence)):
-            stage = sequence[idx]
-            incidents_before = len(self.incidents)
-            self._supervised(stage, self._stage_fn(stage))
-            # Every checkpoint below must snapshot a *consistent* overlay,
-            # so the repair check runs after each stage, clustering
-            # included.
-            self._check_occupancy(stage)
-            if stage == "clustering" and not self.nets:
-                break  # nothing to route; skip the remaining stages
-            interrupted = any(
-                i.kind == "budget-exceeded"
-                for i in self.incidents[incidents_before:]
-            )
-            cursor_idx = idx if interrupted else idx + 1
-            if cursor_idx < len(sequence):
-                snapshot = self._capture_checkpoint(
-                    sequence[cursor_idx], completed=sequence[:cursor_idx]
-                )
-                self.checkpoints[stage] = snapshot
-                if interrupted and self.interrupt_checkpoint is None:
-                    self.interrupt_checkpoint = snapshot
-        return self._collect(time.perf_counter() - started)
+        with obs.use(self.tracer, self.metrics):
+            with self.tracer.span(
+                "route",
+                category="flow",
+                design=self.design.name,
+                method=self._method_name,
+                resumed=self._resume_stage is not None,
+            ):
+                for idx in range(start_idx, len(sequence)):
+                    stage = sequence[idx]
+                    incidents_before = len(self.incidents)
+                    with self.tracer.span(stage, category="stage") as stage_span:
+                        self._supervised(stage, self._stage_fn(stage))
+                        # Every checkpoint below must snapshot a
+                        # *consistent* overlay, so the repair check runs
+                        # after each stage, clustering included.
+                        self._check_occupancy(stage)
+                        if stage == "clustering" and not self.nets:
+                            break  # nothing to route; skip the rest
+                        interrupted = any(
+                            i.kind == "budget-exceeded"
+                            for i in self.incidents[incidents_before:]
+                        )
+                        stage_span.set(
+                            incidents=len(self.incidents) - incidents_before,
+                            interrupted=interrupted,
+                        )
+                        cursor_idx = idx if interrupted else idx + 1
+                        if cursor_idx < len(sequence):
+                            snapshot = self._capture_checkpoint(
+                                sequence[cursor_idx],
+                                completed=sequence[:cursor_idx],
+                            )
+                            self.checkpoints[stage] = snapshot
+                            if interrupted and self.interrupt_checkpoint is None:
+                                self.interrupt_checkpoint = snapshot
+            return self._collect(time.perf_counter() - started)
 
     # -- checkpoint/resume ----------------------------------------------------
 
@@ -213,6 +251,8 @@ class PacorRouter:
         *,
         budget: Optional[Budget] = None,
         carry_counters: bool = False,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[Metrics] = None,
     ) -> PacorResult:
         """Rehydrate ``checkpoint`` and re-enter the flow where it stopped.
 
@@ -232,9 +272,20 @@ class PacorRouter:
             carry_counters: restore the consumed expansion/rip-round
                 counters into ``budget``, so the limits bound the total
                 spend across all attempts instead of per attempt.
+            tracer: tracer for the continuation; when the checkpoint
+                carries a trace id, the resumed spans stitch onto the
+                interrupted trace (same id, parented root).
+            metrics: metrics registry for the continuation; checkpointed
+                counter values are folded in so the exported totals
+                cover both attempts.
         """
         router = cls.from_checkpoint(
-            design, checkpoint, budget=budget, carry_counters=carry_counters
+            design,
+            checkpoint,
+            budget=budget,
+            carry_counters=carry_counters,
+            tracer=tracer,
+            metrics=metrics,
         )
         return router.run()
 
@@ -246,6 +297,8 @@ class PacorRouter:
         *,
         budget: Optional[Budget] = None,
         carry_counters: bool = False,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[Metrics] = None,
     ) -> "PacorRouter":
         """Build a router with ``checkpoint``'s state restored, unrun.
 
@@ -267,9 +320,25 @@ class PacorRouter:
             raise CheckpointFormatError(
                 f"invalid config document ({exc})", field="config"
             ) from exc
-        router = cls(design, config, budget=budget)
+        router = cls(design, config, budget=budget, tracer=tracer, metrics=metrics)
         if carry_counters:
             router.budget.restore_counters(checkpoint.budget)
+        obs_doc = checkpoint.observability
+        if obs_doc:
+            # ``astar.expansions`` is the budget's own counter: restoring
+            # it here would pre-charge the fresh budget's limit (and
+            # double-count under carry_counters, where the budget restore
+            # above already folded it in), so it stays excluded.
+            carried = {
+                str(name): value
+                for name, value in dict(obs_doc.get("counters") or {}).items()
+                if name != "astar.expansions"
+            }
+            router.carried_counters = router.metrics.restore_counters(carried)
+            trace_id = obs_doc.get("trace_id")
+            if trace_id and router.tracer.enabled:
+                router.tracer.link_resume(str(trace_id), obs_doc.get("span_id"))
+                router.carried_spans = int(obs_doc.get("spans_recorded") or 0)
         if checkpoint.stage not in router._stage_sequence():
             raise CheckpointFormatError(
                 f"unknown resume stage {checkpoint.stage!r} for this "
@@ -323,7 +392,19 @@ class PacorRouter:
                 "rip_rounds": self.budget.rip_rounds,
             }
         )
-        return Checkpoint(
+        observability: Optional[Dict[str, object]] = None
+        if self.tracer.enabled or self.metrics.enabled:
+            observability = {
+                "trace_id": self.tracer.trace_id if self.tracer.enabled else None,
+                "span_id": self.tracer.current_span_id(),
+                "spans_recorded": (
+                    len(self.tracer.spans) if self.tracer.enabled else 0
+                ),
+                "counters": (
+                    self.metrics.counter_values() if self.metrics.enabled else {}
+                ),
+            }
+        snapshot = Checkpoint(
             design=design_to_json(self.design),
             method=self._method_name,
             config=self.config.to_json(),
@@ -348,7 +429,16 @@ class PacorRouter:
                 str(net_id): reason
                 for net_id, reason in self._failure_reasons.items()
             },
+            observability=observability,
         )
+        if self.metrics.enabled:
+            # Snapshot size is worth watching (it scales with the design
+            # and the routed state), but measuring re-serialises the
+            # whole document — only done when metrics are on.
+            self.metrics.counter("checkpoint.bytes").inc(
+                len(json.dumps(snapshot.to_json()))
+            )
+        return snapshot
 
     @staticmethod
     def _path_doc(path: Path) -> List[List[int]]:
@@ -493,6 +583,7 @@ class PacorRouter:
                 message=message,
                 net_id=net_id,
                 severity=severity,
+                span_id=self.tracer.current_span_id(),
             )
         )
         self._log(f"[{stage}] {kind}: {message}")
@@ -586,38 +677,40 @@ class PacorRouter:
 
         # Candidate generation (clusters of 3+ valves).
         candidate_sets: Dict[int, List[CandidateTree]] = {}
-        for net in [n for n in lm_nets if n.kind == "lm-tree"]:
-            # Internal merging nodes must avoid every valve cell — other
-            # clusters' terminals for routability, and the cluster's own
-            # sinks because a merging node *on* a sink collapses the
-            # balanced tree into a physical loop (the sink would sit at
-            # zero distance from the node while the model assumes the
-            # full balanced length).
-            try:
-                cands = generate_candidates(
-                    self.grid,
-                    net.net_id,
-                    [v.position for v in net.valves],
-                    k=self.config.k_candidates,
-                    blocked=all_valve_cells | critical_access,
-                    skew_bound_h=(
-                        2 * self.delta if self.config.bounded_skew_dme else 0
-                    ),
-                )
-            except Exception as exc:  # noqa: BLE001 - per-net fault isolation
-                self._incident(
-                    "lm-routing",
-                    "net-failure",
-                    f"candidate generation failed "
-                    f"({type(exc).__name__}: {exc})",
-                    net_id=net.net_id,
-                )
-                self._demote_lm(net, reason="candidate generation failed")
-                continue
-            if cands:
-                candidate_sets[net.net_id] = cands
-            else:
-                self._demote_lm(net, reason="no embeddable DME candidate")
+        with self.tracer.span("dme-candidates", category="kernel") as cand_span:
+            for net in [n for n in lm_nets if n.kind == "lm-tree"]:
+                # Internal merging nodes must avoid every valve cell —
+                # other clusters' terminals for routability, and the
+                # cluster's own sinks because a merging node *on* a sink
+                # collapses the balanced tree into a physical loop (the
+                # sink would sit at zero distance from the node while the
+                # model assumes the full balanced length).
+                try:
+                    cands = generate_candidates(
+                        self.grid,
+                        net.net_id,
+                        [v.position for v in net.valves],
+                        k=self.config.k_candidates,
+                        blocked=all_valve_cells | critical_access,
+                        skew_bound_h=(
+                            2 * self.delta if self.config.bounded_skew_dme else 0
+                        ),
+                    )
+                except Exception as exc:  # noqa: BLE001 - per-net isolation
+                    self._incident(
+                        "lm-routing",
+                        "net-failure",
+                        f"candidate generation failed "
+                        f"({type(exc).__name__}: {exc})",
+                        net_id=net.net_id,
+                    )
+                    self._demote_lm(net, reason="candidate generation failed")
+                    continue
+                if cands:
+                    candidate_sets[net.net_id] = cands
+                else:
+                    self._demote_lm(net, reason="no embeddable DME candidate")
+            cand_span.set(clusters=len(candidate_sets))
 
         # Candidate selection (Section 4.2) — or first-candidate baseline.
         chosen: Dict[int, CandidateTree] = {}
@@ -632,7 +725,13 @@ class PacorRouter:
                     SelectionSolver.GREEDY: solve_greedy,
                     SelectionSolver.LOCAL: solve_local_search,
                 }[self.config.selection_solver]
-                selection = solver(instance)
+                with self.tracer.span(
+                    "mwcp-selection",
+                    category="kernel",
+                    solver=self.config.selection_solver.value,
+                    clusters=len(ordered_ids),
+                ):
+                    selection = solver(instance)
                 for idx, cid in enumerate(ordered_ids):
                     chosen[cid] = candidate_sets[cid][selection.choice[idx]]
                 self._log(
@@ -668,7 +767,15 @@ class PacorRouter:
             gamma=self.config.gamma,
             max_expansions=self.config.max_astar_expansions,
         )
-        outcome = router.route(requests, self.occupancy, budget=self.budget)
+        with self.tracer.span(
+            "negotiation", category="kernel", edges=len(requests)
+        ) as neg_span:
+            outcome = router.route(requests, self.occupancy, budget=self.budget)
+            neg_span.set(
+                iterations=outcome.iterations,
+                failed=len(outcome.failed_edges),
+                aborted=outcome.aborted,
+            )
         self._log(
             f"negotiation: {len(requests)} edges, {outcome.iterations} iterations, "
             f"{len(outcome.failed_edges)} failed"
@@ -798,15 +905,25 @@ class PacorRouter:
 
     def _route_ordinary(self, net: _Net, history: Optional[List[float]]) -> None:
         terminals = [v.position for v in net.valves]
-        outcome = route_cluster_mst(
-            self.grid,
-            self.occupancy,
-            net.net_id,
-            terminals,
-            history=history,
-            max_expansions=self.config.max_astar_expansions,
-            budget=self.budget,
-        )
+        spent_before = self.budget.expansion_counter.value
+        with self.tracer.span(
+            "mst-net", category="net", net_id=net.net_id, valves=len(terminals)
+        ) as net_span:
+            outcome = route_cluster_mst(
+                self.grid,
+                self.occupancy,
+                net.net_id,
+                terminals,
+                history=history,
+                max_expansions=self.config.max_astar_expansions,
+                budget=self.budget,
+            )
+            net_span.set(
+                astar_expansions=(
+                    self.budget.expansion_counter.value - spent_before
+                ),
+                failed_valves=len(outcome.failed),
+            )
         net.paths = list(outcome.paths)
         if outcome.failed:
             self._log(
@@ -909,56 +1026,77 @@ class PacorRouter:
             if not pending:
                 break
             self.budget.charge_rip_round("escape")
-            sources = [
-                EscapeSource(nid, self._escape_taps(self.nets[nid]))
-                for nid in sorted(pending)
-            ]
-            used_pins = {
-                n.pin for n in self.nets.values() if n.routed and n.pin is not None
-            }
-            available_pins = [p for p in pins if p not in used_pins]
-            blocked: Set[Point] = set()
-            for nid in self.occupancy.nets():
-                blocked |= self.occupancy.cells_of(nid)
-            try:
-                result = solve_escape(self.grid, sources, available_pins, blocked)
-            except Exception as exc:  # noqa: BLE001 - solver fault isolation
-                self._incident(
-                    "escape",
-                    "solver-fallback",
-                    f"min-cost-flow solver failed "
-                    f"({type(exc).__name__}: {exc}); "
-                    f"falling back to sequential escape routing",
+            obs.counter("escape.rounds").inc()
+            obs.counter("escape.rip_rounds").inc()
+            with self.tracer.span(
+                "escape-round",
+                category="round",
+                round=round_idx,
+                pending=len(pending),
+            ) as round_span:
+                sources = [
+                    EscapeSource(nid, self._escape_taps(self.nets[nid]))
+                    for nid in sorted(pending)
+                ]
+                used_pins = {
+                    n.pin
+                    for n in self.nets.values()
+                    if n.routed and n.pin is not None
+                }
+                available_pins = [p for p in pins if p not in used_pins]
+                blocked: Set[Point] = set()
+                for nid in self.occupancy.nets():
+                    blocked |= self.occupancy.cells_of(nid)
+                try:
+                    result = solve_escape(
+                        self.grid, sources, available_pins, blocked
+                    )
+                except Exception as exc:  # noqa: BLE001 - solver isolation
+                    self._incident(
+                        "escape",
+                        "solver-fallback",
+                        f"min-cost-flow solver failed "
+                        f"({type(exc).__name__}: {exc}); "
+                        f"falling back to sequential escape routing",
+                    )
+                    result = solve_escape_sequential(
+                        self.grid, sources, available_pins, blocked
+                    )
+                self._log(
+                    f"escape round {round_idx}: {result.flow_value}/"
+                    f"{len(sources)} routed, cost {result.total_cost:.0f}"
                 )
-                result = solve_escape_sequential(
-                    self.grid, sources, available_pins, blocked
+                round_span.set(
+                    routed=result.flow_value, unrouted=len(result.unrouted)
                 )
-            self._log(
-                f"escape round {round_idx}: {result.flow_value}/{len(sources)} "
-                f"routed, cost {result.total_cost:.0f}"
-            )
-            for net_id, path in result.paths.items():
-                self._commit_escape(self.nets[net_id], path, result.pin_of[net_id])
-                pending.discard(net_id)
-            if not result.unrouted or round_idx == rounds:
-                break
-            # A cluster whose single tap (tree root / pair midpoint) sits
-            # in a hopeless corridor will fail round after round while
-            # its blockers shuffle; after three failures demote it so any
-            # of its path cells can tap (completion beats matching).
-            self_ripped = False
-            for net_id in result.unrouted:
-                fail_counts[net_id] = fail_counts.get(net_id, 0) + 1
-                net = self.nets[net_id]
-                if fail_counts[net_id] >= 3 and net.tree is not None:
-                    self._rip_and_reroute(net, pending)
-                    self_ripped = True
-            blockers_ripped = self._ripup_round(
-                result.unrouted, round_idx, pins, pending, rip_counts
-            )
-            if not (self_ripped or blockers_ripped):
-                self._log("escape: nothing left to rip up; accepting partial result")
-                break
+                for net_id, path in result.paths.items():
+                    self._commit_escape(
+                        self.nets[net_id], path, result.pin_of[net_id]
+                    )
+                    pending.discard(net_id)
+                if not result.unrouted or round_idx == rounds:
+                    break
+                # A cluster whose single tap (tree root / pair midpoint)
+                # sits in a hopeless corridor will fail round after round
+                # while its blockers shuffle; after three failures demote
+                # it so any of its path cells can tap (completion beats
+                # matching).
+                self_ripped = False
+                for net_id in result.unrouted:
+                    fail_counts[net_id] = fail_counts.get(net_id, 0) + 1
+                    net = self.nets[net_id]
+                    if fail_counts[net_id] >= 3 and net.tree is not None:
+                        self._rip_and_reroute(net, pending)
+                        self_ripped = True
+                blockers_ripped = self._ripup_round(
+                    result.unrouted, round_idx, pins, pending, rip_counts
+                )
+                if not (self_ripped or blockers_ripped):
+                    self._log(
+                        "escape: nothing left to rip up; "
+                        "accepting partial result"
+                    )
+                    break
 
     def _force_completion(self, pending: Set[int], pins: Sequence[Point]) -> None:
         """Last-resort sequential escape for nets the flow rounds starved.
@@ -1000,6 +1138,7 @@ class PacorRouter:
                     )
                 break
             self.budget.charge_rip_round("force-completion")
+            obs.counter("escape.rip_rounds").inc()
             net_id = min(pending - hopeless)
             net = self.nets[net_id]
             taps = self._escape_taps(net)
@@ -1229,25 +1368,34 @@ class PacorRouter:
             if net.tree is None:
                 continue
             self.budget.check_wall_clock("detour")
-            try:
-                outcome = detour_cluster(
-                    self.grid,
-                    self.occupancy,
-                    net.tree,
-                    self.delta,
-                    theta=self.config.theta,
+            with self.tracer.span(
+                "detour-net", category="net", net_id=net.net_id
+            ) as net_span:
+                try:
+                    outcome = detour_cluster(
+                        self.grid,
+                        self.occupancy,
+                        net.tree,
+                        self.delta,
+                        theta=self.config.theta,
+                    )
+                except Exception as exc:  # noqa: BLE001 - per-net isolation
+                    # The tree stays routed (possibly unmatched);
+                    # detouring is an improvement pass, so the fault costs
+                    # matching quality only, never completion.
+                    net_span.set(error=f"{type(exc).__name__}: {exc}")
+                    self._incident(
+                        "detour",
+                        "net-failure",
+                        f"{type(exc).__name__}: {exc}",
+                        net_id=net.net_id,
+                    )
+                    continue
+                net_span.set(
+                    matched=outcome.matched,
+                    rounds=outcome.iterations,
+                    detoured_edges=outcome.detoured_edges,
                 )
-            except Exception as exc:  # noqa: BLE001 - per-net fault isolation
-                # The tree stays routed (possibly unmatched); detouring
-                # is an improvement pass, so the fault costs matching
-                # quality only, never completion.
-                self._incident(
-                    "detour",
-                    "net-failure",
-                    f"{type(exc).__name__}: {exc}",
-                    net_id=net.net_id,
-                )
-                continue
             if outcome.detoured_edges:
                 self._log(
                     f"detour cluster {net.net_id}: {outcome.detoured_edges} edges "
@@ -1258,6 +1406,11 @@ class PacorRouter:
 
     def _collect(self, runtime: float) -> PacorResult:
         unrouted = sum(1 for n in self.nets.values() if not n.routed)
+        if self.metrics.enabled:
+            self.metrics.gauge("nets.total").set(len(self.nets))
+            self.metrics.gauge("nets.unrouted").set(unrouted)
+            self.metrics.gauge("incidents.total").set(len(self.incidents))
+            self.metrics.gauge("runtime_s").set(runtime)
         result = PacorResult(
             design_name=self.design.name,
             method=self._method_name,

@@ -17,46 +17,69 @@ from repro.core.config import DetourStage, PacorConfig
 from repro.core.pacor import PacorRouter
 from repro.core.result import PacorResult
 from repro.designs.design import Design
+from repro.observability.metrics import Metrics
+from repro.observability.tracing import Tracer
 
 
-def _run(design: Design, config: PacorConfig, method: str) -> PacorResult:
-    router = PacorRouter(design, config)
+def _run(
+    design: Design,
+    config: PacorConfig,
+    method: str,
+    *,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[Metrics] = None,
+) -> PacorResult:
+    router = PacorRouter(design, config, tracer=tracer, metrics=metrics)
     router._method_name = method
     return router.run()
 
 
-def run_pacor(design: Design, config: Optional[PacorConfig] = None) -> PacorResult:
+def run_pacor(
+    design: Design,
+    config: Optional[PacorConfig] = None,
+    *,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[Metrics] = None,
+) -> PacorResult:
     """Run the full PACOR flow on ``design``."""
     config = config or PacorConfig()
     config = replace(
         config, enable_selection=True, detour_stage=DetourStage.FINAL
     )
-    return _run(design, config, "PACOR")
+    return _run(design, config, "PACOR", tracer=tracer, metrics=metrics)
 
 
 def run_without_selection(
-    design: Design, config: Optional[PacorConfig] = None
+    design: Design,
+    config: Optional[PacorConfig] = None,
+    *,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[Metrics] = None,
 ) -> PacorResult:
     """Run the "w/o Sel" baseline: no candidate-tree selection strategy."""
     config = config or PacorConfig()
     config = replace(
         config, enable_selection=False, detour_stage=DetourStage.FINAL
     )
-    return _run(design, config, "w/o Sel")
+    return _run(design, config, "w/o Sel", tracer=tracer, metrics=metrics)
 
 
 def run_detour_first(
-    design: Design, config: Optional[PacorConfig] = None
+    design: Design,
+    config: Optional[PacorConfig] = None,
+    *,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[Metrics] = None,
 ) -> PacorResult:
     """Run the "Detour First" baseline: detour right after negotiation."""
     config = config or PacorConfig()
     config = replace(
         config, enable_selection=True, detour_stage=DetourStage.AFTER_NEGOTIATION
     )
-    return _run(design, config, "Detour First")
+    return _run(design, config, "Detour First", tracer=tracer, metrics=metrics)
 
 
-METHODS: Dict[str, Callable[[Design, Optional[PacorConfig]], PacorResult]] = {
+METHODS: Dict[str, Callable[..., PacorResult]] = {
     "w/o Sel": run_without_selection,
     "Detour First": run_detour_first,
     "PACOR": run_pacor,
@@ -65,9 +88,14 @@ METHODS: Dict[str, Callable[[Design, Optional[PacorConfig]], PacorResult]] = {
 
 
 def run_method(
-    design: Design, method: str, config: Optional[PacorConfig] = None
+    design: Design,
+    method: str,
+    config: Optional[PacorConfig] = None,
+    *,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[Metrics] = None,
 ) -> PacorResult:
-    """Run one named Table-2 method."""
+    """Run one named Table-2 method, optionally instrumented."""
     try:
         runner = METHODS[method]
     except KeyError:
@@ -76,4 +104,4 @@ def run_method(
         raise ValueError(
             f"unknown method {method!r}; choose from {list(METHODS)}"
         ) from None
-    return runner(design, config)
+    return runner(design, config, tracer=tracer, metrics=metrics)

@@ -8,6 +8,7 @@ from typing import List, Optional, Set, Tuple
 from repro.detour.cluster import RoutedTree
 from repro.grid.grid import RoutingGrid
 from repro.grid.occupancy import Occupancy
+from repro.observability import context as obs
 from repro.routing.bounded import bounded_length_route, extend_path_with_bumps
 from repro.routing.path import Path
 
@@ -134,6 +135,9 @@ def detour_cluster(
         if result.iterations >= theta:
             break
         result.iterations += 1
+        # Effort counters: rounds and replacements count when the work
+        # happens, even if a later rollback discards the result.
+        obs.counter("detour.rounds").inc()
         detoured_this_round: Set[int] = set()
 
         for sink in shorts:
@@ -154,6 +158,7 @@ def detour_cluster(
                     _recommit(occupancy, tree)
                     detoured_this_round.add(edge_key)
                     result.detoured_edges += 1
+                    obs.counter("detour.edges").inc()
                     success = True
                     # A detour on an edge shared with the longest path
                     # lengthens that path too; later sinks this round must

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.flownet.mincostflow import MinCostFlow
 from repro.geometry.point import Point
 from repro.grid.grid import RoutingGrid
+from repro.observability import context as obs
 from repro.robustness import faults
 from repro.robustness.faults import FaultInjected
 from repro.routing.path import Path
@@ -97,6 +98,7 @@ def solve_escape(
     """
     if faults.fires("mcf_solver_raise"):
         raise FaultInjected("injected min-cost-flow solver failure")
+    obs.counter("escape.mcf_solves").inc()
     blocked = blocked or set()
     result = EscapeResult()
     if not sources:

@@ -12,6 +12,8 @@ from __future__ import annotations
 import heapq
 from typing import List, Optional, Tuple
 
+from repro.observability import context as obs
+
 _INF = float("inf")
 
 
@@ -82,6 +84,7 @@ class MinCostFlow:
         flow_value = 0
         total_cost = 0.0
         limit = max_flow if max_flow is not None else float("inf")
+        augmentations = 0
 
         while flow_value < limit:
             dist = [_INF] * self.n
@@ -109,6 +112,7 @@ class MinCostFlow:
                         heapq.heappush(heap, (nd, v))
             if not settled[sink]:
                 break
+            augmentations += 1
 
             # Update potentials for settled nodes; unsettled keep old ones
             # (standard early-exit variant: use dist[sink] for unreached).
@@ -135,4 +139,6 @@ class MinCostFlow:
                 total_cost += bottleneck * self._cost[arc_id]
                 v = self._to[arc_id ^ 1]
             flow_value += int(bottleneck)
+        if augmentations:
+            obs.counter("mcf.augmenting_paths").inc(augmentations)
         return flow_value, total_cost

@@ -1,0 +1,83 @@
+"""The process-wide active tracer/metrics pair.
+
+Kernels (A*, min-cost flow, bounded search, detour) sit several call
+layers below the :class:`~repro.core.pacor.PacorRouter` and do not take
+an explicit observability handle; they reach the active instruments
+through this module instead — the same pattern
+:mod:`repro.robustness.faults` uses for injection points.  By default
+the no-op singletons are installed, so uninstrumented runs pay one
+global read per instrument fetch and nothing per event.
+
+:class:`~repro.core.pacor.PacorRouter` resolves its tracer/metrics from
+here at construction (so ``with use(metrics=m): run_pacor(...)`` works
+without plumbing) and re-installs them around :meth:`run` (so an
+explicitly passed pair reaches the kernels too).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.observability.metrics import NULL_METRICS, Counter, Gauge, Metrics
+from repro.observability.tracing import NULL_TRACER, Tracer
+
+_tracer: Tracer = NULL_TRACER
+_metrics: Metrics = NULL_METRICS
+
+
+def install(
+    tracer: Optional[Tracer] = None, metrics: Optional[Metrics] = None
+) -> None:
+    """Install instruments process-wide; None leaves that slot unchanged."""
+    global _tracer, _metrics
+    if tracer is not None:
+        _tracer = tracer
+    if metrics is not None:
+        _metrics = metrics
+
+
+def clear() -> None:
+    """Reset both slots to the no-op singletons."""
+    global _tracer, _metrics
+    _tracer = NULL_TRACER
+    _metrics = NULL_METRICS
+
+
+@contextmanager
+def use(
+    tracer: Optional[Tracer] = None, metrics: Optional[Metrics] = None
+) -> Iterator[None]:
+    """Install instruments for a ``with`` block, then restore the previous."""
+    global _tracer, _metrics
+    saved = (_tracer, _metrics)
+    install(tracer, metrics)
+    try:
+        yield
+    finally:
+        _tracer, _metrics = saved
+
+
+def tracer() -> Tracer:
+    """Return the active tracer (the no-op singleton by default)."""
+    return _tracer
+
+
+def metrics() -> Metrics:
+    """Return the active metrics registry (no-op by default)."""
+    return _metrics
+
+
+def counter(name: str) -> Counter:
+    """Return the active registry's counter ``name``."""
+    return _metrics.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    """Return the active registry's gauge ``name``."""
+    return _metrics.gauge(name)
+
+
+def span(name: str, category: str = "span", **attrs: object):
+    """Open a span on the active tracer (no-op span when disabled)."""
+    return _tracer.span(name, category=category, **attrs)

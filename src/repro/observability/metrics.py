@@ -1,0 +1,179 @@
+"""Named effort counters and gauges for the PACOR flow.
+
+A :class:`Metrics` registry holds :class:`Counter` and :class:`Gauge`
+objects by dotted name (``astar.expansions``, ``mcf.augmenting_paths``,
+...).  Kernels obtain their counter once per call and increment a plain
+integer attribute, so enabled instrumentation is one attribute add per
+event; the module-level :data:`NULL_METRICS` singleton hands out shared
+no-op instruments, so disabled instrumentation costs a single dynamic
+dispatch at the *call site that fetches the instrument*, and nothing per
+event when the kernel batches (see ``repro.routing.astar``).
+
+The counter catalogue lives in ``docs/observability.md``; counters
+measure *effort spent*, not outcome — a detoured edge that is later
+rolled back still counted, because the work happened.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path as FilePath
+from typing import Dict, Union
+
+
+class Counter:
+    """One monotonically increasing effort counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` to the counter."""
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Gauge:
+    """One last-value-wins measurement (e.g. nets routed)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name!r}, value={self.value})"
+
+
+class _NullCounter(Counter):
+    """Shared do-nothing counter; its value is pinned at 0."""
+
+    __slots__ = ()
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    """Shared do-nothing gauge; its value is pinned at 0."""
+
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class Metrics:
+    """A registry of named counters and gauges for one flow run.
+
+    ``counter``/``gauge`` get-or-create, so callers never coordinate
+    registration; :meth:`adopt` registers an *existing* counter object
+    under a name, which is how the run's
+    :class:`~repro.robustness.budget.Budget` shares its expansion
+    counter with the registry instead of keeping a parallel tally.
+    """
+
+    enabled = True
+    """False only on the no-op singleton; guards costly attr computation."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Return the counter registered under ``name`` (creating it)."""
+        found = self._counters.get(name)
+        if found is None:
+            found = self._counters[name] = Counter(name)
+        return found
+
+    def gauge(self, name: str) -> Gauge:
+        """Return the gauge registered under ``name`` (creating it)."""
+        found = self._gauges.get(name)
+        if found is None:
+            found = self._gauges[name] = Gauge(name)
+        return found
+
+    def adopt(self, name: str, counter: Counter) -> Counter:
+        """Register an existing ``counter`` object under ``name``.
+
+        Any count already accumulated under that name is folded into the
+        adopted counter so restored checkpoint counters survive.
+        """
+        previous = self._counters.get(name)
+        if previous is not None and previous is not counter:
+            counter.value += previous.value
+        counter.name = name
+        self._counters[name] = counter
+        return counter
+
+    def counter_values(self) -> Dict[str, int]:
+        """Return the current counter values by name."""
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def gauge_values(self) -> Dict[str, float]:
+        """Return the current gauge values by name."""
+        return {name: g.value for name, g in sorted(self._gauges.items())}
+
+    def snapshot(self) -> Dict[str, float]:
+        """Return one flat name -> value mapping (counters and gauges)."""
+        out: Dict[str, float] = dict(self.counter_values())
+        out.update(self.gauge_values())
+        return out
+
+    def restore_counters(self, values: Dict[str, int]) -> int:
+        """Fold checkpointed counter values in; return how many carried."""
+        carried = 0
+        for name, value in values.items():
+            self.counter(str(name)).inc(int(value))
+            carried += 1
+        return carried
+
+    def to_json(self) -> Dict[str, object]:
+        """Return the JSON document of the registry (see validate.py)."""
+        return {
+            "counters": self.counter_values(),
+            "gauges": self.gauge_values(),
+        }
+
+    def export_json(self, path: Union[str, FilePath]) -> None:
+        """Write the registry document to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_json(), handle, indent=1, sort_keys=True)
+
+
+class NullMetrics(Metrics):
+    """The disabled registry: every instrument is a shared no-op."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._null_counter = _NullCounter("null")
+        self._null_gauge = _NullGauge("null")
+
+    def counter(self, name: str) -> Counter:
+        return self._null_counter
+
+    def gauge(self, name: str) -> Gauge:
+        return self._null_gauge
+
+    def adopt(self, name: str, counter: Counter) -> Counter:
+        return counter
+
+    def restore_counters(self, values: Dict[str, int]) -> int:
+        return 0
+
+
+NULL_METRICS = NullMetrics()
+"""The module-level no-op registry installed by default."""

@@ -1,0 +1,304 @@
+"""Nested wall-clock spans for the PACOR flow.
+
+A :class:`Tracer` records a tree of :class:`Span` objects — one ``flow``
+root per run, one ``stage`` span per executed stage, ``round`` spans for
+negotiation/escape iterations, ``net`` spans for per-net kernel work —
+and exports them as JSONL (one span object per line, the format
+``pacor profile`` and ``repro.observability.validate`` read) or as the
+Chrome trace-event format loadable in ``chrome://tracing`` / Perfetto.
+
+Spans are context managers::
+
+    with tracer.span("escape", category="stage") as sp:
+        ...
+        sp.set(routed=5)
+
+The :data:`NULL_TRACER` singleton returns one shared no-op span, so a
+``tracer.span(...)`` call with tracing disabled allocates nothing.
+
+Resume stitching: a resumed run calls :meth:`Tracer.link_resume` with
+the interrupted run's trace/span id (carried by the checkpoint); the
+resumed trace keeps the same ``trace_id`` and its root span is parented
+on the interrupted span, so the two JSONL files concatenate into one
+well-formed trace.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import uuid
+from pathlib import Path as FilePath
+from typing import Dict, Iterator, List, Optional, Union
+
+
+class Span:
+    """One timed, named, attributed interval of the flow.
+
+    Attributes:
+        span_id: unique id within the trace (``<trace_id>:<seq>``).
+        parent_id: enclosing span's id (None for the root).
+        name: human-readable label (stage name, ``escape-round``, ...).
+        category: coarse kind — ``flow``, ``stage``, ``round``, ``net``
+            or ``kernel`` — which is what the profiler groups by.
+        ts: epoch seconds at start.
+        duration_s: wall-clock length; None while the span is open.
+        attrs: free-form JSON-serialisable payload (net ids, counter
+            deltas, error flags).
+    """
+
+    __slots__ = (
+        "span_id",
+        "parent_id",
+        "name",
+        "category",
+        "ts",
+        "duration_s",
+        "attrs",
+        "_tracer",
+        "_start_perf",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        span_id: str,
+        parent_id: Optional[str],
+        name: str,
+        category: str,
+        ts: float,
+        start_perf: float,
+        attrs: Dict[str, object],
+    ) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.category = category
+        self.ts = ts
+        self.duration_s: Optional[float] = None
+        self.attrs = attrs
+        self._tracer = tracer
+        self._start_perf = start_perf
+
+    def set(self, **attrs: object) -> None:
+        """Attach attributes to the span (last write per key wins)."""
+        self.attrs.update(attrs)
+
+    @property
+    def closed(self) -> bool:
+        """Return True once the span has ended."""
+        return self.duration_s is not None
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc is not None:
+            self.attrs.setdefault("error", f"{type(exc).__name__}: {exc}")
+        self._tracer._close(self)
+        return False
+
+    def to_json(self) -> Dict[str, object]:
+        """Return the JSONL document of the span."""
+        return {
+            "trace_id": self._tracer.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "category": self.category,
+            "ts": self.ts,
+            "dur_s": self.duration_s,
+            "attrs": self.attrs,
+        }
+
+
+class _NullSpan:
+    """The shared do-nothing span handed out by :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    span_id = None
+
+    def set(self, **attrs: object) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Records one run's span tree.
+
+    Spans may be opened while others are open (they nest on a stack);
+    whichever span is innermost when an incident is recorded becomes the
+    incident's ``span_id``, which is how degraded runs tie diagnostics
+    to the phase that produced them.
+    """
+
+    enabled = True
+    """False only on the no-op singleton."""
+
+    def __init__(self, trace_id: Optional[str] = None) -> None:
+        self.trace_id = trace_id or uuid.uuid4().hex[:16]
+        self.spans: List[Span] = []
+        self._stack: List[Span] = []
+        self._seq = 0
+        self._seq_prefix = ""
+        self._resume_parent: Optional[str] = None
+        # One epoch anchor so ts values are epoch seconds but durations
+        # come from the monotonic performance clock.
+        self._epoch_anchor = time.time() - time.perf_counter()
+
+    # -- recording ----------------------------------------------------------
+
+    def span(self, name: str, category: str = "span", **attrs: object) -> Span:
+        """Open a new span as a child of the innermost open span."""
+        if self._stack:
+            parent_id: Optional[str] = self._stack[-1].span_id
+        else:
+            # A top-level span of a resumed run stitches onto the
+            # interrupted run's active span; the ``resumed_from`` attr
+            # tells the validator its parent lives in the other file.
+            parent_id = self._resume_parent
+            if parent_id is not None:
+                attrs = dict(attrs, resumed_from=parent_id)
+        self._seq += 1
+        start_perf = time.perf_counter()
+        span = Span(
+            tracer=self,
+            span_id=f"{self.trace_id}:{self._seq_prefix}{self._seq}",
+            parent_id=parent_id,
+            name=name,
+            category=category,
+            ts=self._epoch_anchor + start_perf,
+            start_perf=start_perf,
+            attrs=dict(attrs),
+        )
+        self.spans.append(span)
+        self._stack.append(span)
+        return span
+
+    def _close(self, span: Span) -> None:
+        span.duration_s = time.perf_counter() - span._start_perf
+        # Normal nesting pops the top; a span closed out of order (a
+        # fault path skipped an inner __exit__) also force-closes the
+        # orphans above it so the trace never contains dangling spans.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+            if top.duration_s is None:
+                top.duration_s = time.perf_counter() - top._start_perf
+                top.attrs.setdefault("force_closed", True)
+
+    def current_span_id(self) -> Optional[str]:
+        """Return the innermost open span's id, or None."""
+        return self._stack[-1].span_id if self._stack else None
+
+    def link_resume(self, trace_id: str, span_id: Optional[str]) -> None:
+        """Continue an interrupted trace: same id, parented root span.
+
+        This tracer's own (pre-link) random id becomes a span-id prefix,
+        so a resumed attempt's sequence numbers can never collide with
+        the interrupted run's ids — or another resume's — and the two
+        JSONL files concatenate into one valid trace.
+        """
+        self._seq_prefix = f"{self.trace_id[:8]}."
+        self.trace_id = str(trace_id)
+        self._resume_parent = span_id
+
+    # -- export -------------------------------------------------------------
+
+    def jsonl_lines(self) -> Iterator[str]:
+        """Yield one JSON line per recorded span (open spans included)."""
+        for span in self.spans:
+            yield json.dumps(span.to_json(), sort_keys=True)
+
+    def export_jsonl(self, path: Union[str, FilePath]) -> int:
+        """Write the trace as JSONL; return the number of spans written."""
+        n = 0
+        with open(path, "w", encoding="utf-8") as handle:
+            for line in self.jsonl_lines():
+                handle.write(line + "\n")
+                n += 1
+        return n
+
+    def chrome_trace(self) -> Dict[str, object]:
+        """Return the Chrome trace-event document of the trace.
+
+        Complete (``ph: "X"``) events with microsecond timestamps; load
+        the exported file in ``chrome://tracing`` or Perfetto.
+        """
+        events: List[Dict[str, object]] = []
+        for span in self.spans:
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.category,
+                    "ph": "X",
+                    "ts": span.ts * 1e6,
+                    "dur": (span.duration_s or 0.0) * 1e6,
+                    "pid": 1,
+                    "tid": 1,
+                    "args": dict(span.attrs, span_id=span.span_id),
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def export_chrome(self, path: Union[str, FilePath]) -> int:
+        """Write the Chrome trace-event file; return the event count."""
+        doc = self.chrome_trace()
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle)
+        return len(doc["traceEvents"])  # type: ignore[arg-type]
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: records nothing, allocates nothing per span."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(trace_id="null")
+
+    def span(self, name: str, category: str = "span", **attrs: object):
+        return _NULL_SPAN
+
+    def current_span_id(self) -> Optional[str]:
+        return None
+
+
+NULL_TRACER = NullTracer()
+"""The module-level no-op tracer installed by default."""
+
+
+def read_trace_jsonl(path: Union[str, FilePath]) -> List[Dict[str, object]]:
+    """Read a JSONL trace file back into span documents.
+
+    Raises:
+        ValueError: a line is not a JSON object (the error names the
+            1-based line number).
+    """
+    spans: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not valid JSON ({exc})")
+            if not isinstance(doc, dict):
+                raise ValueError(
+                    f"{path}:{lineno}: expected a span object, "
+                    f"got {type(doc).__name__}"
+                )
+            spans.append(doc)
+    return spans

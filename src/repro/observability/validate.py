@@ -1,0 +1,183 @@
+"""Schema validation for exported trace/metrics files (CI gate).
+
+``python -m repro.observability.validate trace.jsonl [metrics.json]``
+exits 0 when the files conform, 1 with a one-line diagnosis per problem
+otherwise.  CI runs this on a fresh ``pacor route --trace --metrics``
+export so a format regression fails the build instead of silently
+producing files ``pacor profile`` cannot read.
+
+Trace schema (one JSON object per line)::
+
+    {"trace_id": str, "span_id": str, "parent_id": str|null,
+     "name": str, "category": str, "ts": number,
+     "dur_s": number|null, "attrs": object}
+
+plus structural rules: span ids unique, every ``parent_id`` resolves
+within the file (except a resumed root, whose parent lives in the
+interrupted run's trace — flagged by a ``resumed_from`` attr), and at
+least one root span exists.
+
+Metrics schema::
+
+    {"counters": {str: int >= 0}, "gauges": {str: number}}
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.observability.tracing import read_trace_jsonl
+
+_SPAN_FIELDS = (
+    "trace_id",
+    "span_id",
+    "parent_id",
+    "name",
+    "category",
+    "ts",
+    "dur_s",
+    "attrs",
+)
+
+
+def validate_spans(spans: Sequence[Dict[str, object]]) -> List[str]:
+    """Return every schema violation in ``spans`` (empty = valid)."""
+    problems: List[str] = []
+    ids: Dict[str, int] = {}
+    for idx, doc in enumerate(spans):
+        where = f"span {idx + 1}"
+        for name in _SPAN_FIELDS:
+            if name not in doc:
+                problems.append(f"{where}: missing field {name!r}")
+        span_id = doc.get("span_id")
+        if not isinstance(span_id, str) or not span_id:
+            problems.append(f"{where}: span_id must be a non-empty string")
+        elif span_id in ids:
+            problems.append(
+                f"{where}: duplicate span_id {span_id!r} "
+                f"(first seen at span {ids[span_id] + 1})"
+            )
+        else:
+            ids[span_id] = idx
+        for name in ("trace_id", "name", "category"):
+            if name in doc and not isinstance(doc[name], str):
+                problems.append(f"{where}: {name} must be a string")
+        parent = doc.get("parent_id")
+        if parent is not None and not isinstance(parent, str):
+            problems.append(f"{where}: parent_id must be a string or null")
+        if "ts" in doc and not isinstance(doc["ts"], (int, float)):
+            problems.append(f"{where}: ts must be a number")
+        duration = doc.get("dur_s")
+        if duration is not None and not isinstance(duration, (int, float)):
+            problems.append(f"{where}: dur_s must be a number or null")
+        elif isinstance(duration, (int, float)) and duration < 0:
+            problems.append(f"{where}: dur_s must be non-negative")
+        if "attrs" in doc and not isinstance(doc["attrs"], dict):
+            problems.append(f"{where}: attrs must be an object")
+
+    roots = 0
+    for idx, doc in enumerate(spans):
+        parent = doc.get("parent_id")
+        if parent is None:
+            roots += 1
+            continue
+        if not isinstance(parent, str):
+            continue
+        if parent not in ids:
+            attrs = doc.get("attrs")
+            resumed = isinstance(attrs, dict) and "resumed_from" in attrs
+            if resumed:
+                roots += 1  # stitches onto the interrupted trace
+            else:
+                problems.append(
+                    f"span {idx + 1}: parent_id {parent!r} not in this "
+                    f"trace (and span is not marked resumed_from)"
+                )
+    if spans and roots == 0:
+        problems.append("trace has no root span (parent_id null)")
+    return problems
+
+
+def validate_metrics_doc(doc: object) -> List[str]:
+    """Return every schema violation in a metrics document."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"metrics document must be an object, got {type(doc).__name__}"]
+    for section in ("counters", "gauges"):
+        if section not in doc:
+            problems.append(f"missing section {section!r}")
+            continue
+        values = doc[section]
+        if not isinstance(values, dict):
+            problems.append(f"{section} must be an object")
+            continue
+        for name, value in values.items():
+            if not isinstance(name, str):
+                problems.append(f"{section}: non-string key {name!r}")
+            if section == "counters":
+                if not isinstance(value, int) or isinstance(value, bool):
+                    problems.append(
+                        f"counters[{name!r}]: must be an integer, "
+                        f"got {type(value).__name__}"
+                    )
+                elif value < 0:
+                    problems.append(f"counters[{name!r}]: negative ({value})")
+            elif not isinstance(value, (int, float)) or isinstance(value, bool):
+                problems.append(
+                    f"gauges[{name!r}]: must be a number, "
+                    f"got {type(value).__name__}"
+                )
+    return problems
+
+
+def validate_trace_file(path: str) -> List[str]:
+    """Validate a JSONL trace file; return its problems."""
+    try:
+        spans = read_trace_jsonl(path)
+    except (OSError, ValueError) as exc:
+        return [str(exc)]
+    if not spans:
+        return [f"{path}: trace is empty"]
+    return [f"{path}: {p}" for p in validate_spans(spans)]
+
+
+def validate_metrics_file(path: str) -> List[str]:
+    """Validate a metrics JSON file; return its problems."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except OSError as exc:
+        return [f"{path}: {exc}"]
+    except json.JSONDecodeError as exc:
+        return [f"{path}: not valid JSON ({exc})"]
+    return [f"{path}: {p}" for p in validate_metrics_doc(doc)]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point: validate a trace file and optionally a metrics file."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args or len(args) > 2:
+        print(
+            "usage: python -m repro.observability.validate "
+            "TRACE.jsonl [METRICS.json]",
+            file=sys.stderr,
+        )
+        return 2
+    problems = validate_trace_file(args[0])
+    if len(args) == 2:
+        problems += validate_metrics_file(args[1])
+    for problem in problems:
+        print(f"error: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    summary = f"OK: {args[0]} valid"
+    if len(args) == 2:
+        summary += f", {args[1]} valid"
+    print(summary)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

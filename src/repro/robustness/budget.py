@@ -15,6 +15,7 @@ from __future__ import annotations
 import time
 from typing import Callable, Dict, Optional
 
+from repro.observability.metrics import Counter
 from repro.robustness.errors import BudgetExceeded
 
 _WALL_CHECK_EVERY = 64
@@ -26,6 +27,12 @@ class Budget:
 
     Every limit is optional; a limit of None never trips.  All charging
     methods raise :class:`BudgetExceeded` the moment a limit is crossed.
+
+    Expansion spend lives in one :class:`~repro.observability.metrics.Counter`
+    (``expansion_counter``) rather than a private integer, so the limit
+    enforcement here and the ``astar.expansions`` effort metric read the
+    same tally — the router registers this counter with its
+    :class:`~repro.observability.metrics.Metrics` registry.
 
     Attributes:
         wall_clock_s: wall-clock limit in seconds, from :meth:`start`.
@@ -41,6 +48,7 @@ class Budget:
         astar_expansions: Optional[int] = None,
         rip_rounds: Optional[int] = None,
         clock: Callable[[], float] = time.monotonic,
+        expansion_counter: Optional[Counter] = None,
     ) -> None:
         if wall_clock_s is not None and wall_clock_s <= 0:
             raise ValueError("wall_clock_s must be positive")
@@ -52,9 +60,22 @@ class Budget:
         self.astar_expansions = astar_expansions
         self.rip_rounds = rip_rounds
         self.clock = clock
-        self.expansions_used = 0
+        self.expansion_counter = (
+            expansion_counter
+            if expansion_counter is not None
+            else Counter("astar.expansions")
+        )
         self.rip_rounds_used = 0
         self._started: Optional[float] = None
+
+    @property
+    def expansions_used(self) -> int:
+        """Return total A* cells settled (reads the shared counter)."""
+        return self.expansion_counter.value
+
+    @expansions_used.setter
+    def expansions_used(self, value: int) -> None:
+        self.expansion_counter.value = int(value)
 
     @property
     def unlimited(self) -> bool:
@@ -151,22 +172,17 @@ class Budget:
 
     def charge_expansions(self, n: int = 1, stage: str = "astar") -> None:
         """Charge ``n`` A* expansions; periodically re-check the clock."""
-        self.expansions_used += n
-        if (
-            self.astar_expansions is not None
-            and self.expansions_used > self.astar_expansions
-        ):
+        self.expansion_counter.inc(n)
+        used = self.expansion_counter.value
+        if self.astar_expansions is not None and used > self.astar_expansions:
             raise BudgetExceeded(
                 "search effort exhausted",
                 kind="astar-expansions",
                 limit=self.astar_expansions,
-                used=self.expansions_used,
+                used=used,
                 stage=stage,
             )
-        if (
-            self.wall_clock_s is not None
-            and self.expansions_used % _WALL_CHECK_EVERY < n
-        ):
+        if self.wall_clock_s is not None and used % _WALL_CHECK_EVERY < n:
             self.check_wall_clock(stage)
 
     def charge_rip_round(self, stage: str = "escape") -> None:

@@ -82,6 +82,11 @@ class Checkpoint:
         events: the stage log up to the snapshot.
         incidents: structured incident documents up to the snapshot.
         failure_reasons: per-net failure reasons recorded so far.
+        observability: optional trace/metrics linkage written by an
+            instrumented run (``trace_id``, ``span_id``,
+            ``spans_recorded``, ``counters``); a resume restores the
+            counters and stitches its spans onto the recorded trace.
+            Absent (None) on uninstrumented runs and older snapshots.
     """
 
     design: Dict[str, Any]
@@ -98,6 +103,7 @@ class Checkpoint:
     incidents: List[Dict[str, Any]] = field(default_factory=list)
     failure_reasons: Dict[str, str] = field(default_factory=dict)
     pending_escape: Optional[List[int]] = None
+    observability: Optional[Dict[str, Any]] = None
     version: int = CHECKPOINT_VERSION
 
     @property
@@ -127,6 +133,7 @@ class Checkpoint:
             "events": list(self.events),
             "incidents": list(self.incidents),
             "failure_reasons": dict(self.failure_reasons),
+            "observability": self.observability,
         }
 
     @classmethod
@@ -192,6 +199,7 @@ class Checkpoint:
             pending_escape=(
                 [int(n) for n in pending] if pending is not None else None
             ),
+            observability=doc.get("observability"),
             version=int(version),
         )
 

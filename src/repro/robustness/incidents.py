@@ -34,6 +34,9 @@ class Incident:
         message: human-readable diagnosis.
         net_id: affected net, when the incident is net-scoped.
         severity: impact on the result.
+        span_id: the trace span that was open when the incident was
+            recorded (None with tracing disabled), tying diagnostics to
+            the exact phase of the exported trace.
     """
 
     stage: str
@@ -41,6 +44,7 @@ class Incident:
     message: str
     net_id: Optional[int] = None
     severity: Severity = Severity.DEGRADED
+    span_id: Optional[str] = None
 
     def to_json(self) -> Dict[str, object]:
         """Return a JSON-serialisable document of the incident."""
@@ -50,6 +54,7 @@ class Incident:
             "message": self.message,
             "net_id": self.net_id,
             "severity": self.severity.value,
+            "span_id": self.span_id,
         }
 
     @classmethod
@@ -61,4 +66,5 @@ class Incident:
             message=str(doc["message"]),
             net_id=doc.get("net_id"),  # type: ignore[arg-type]
             severity=Severity(doc.get("severity", Severity.DEGRADED.value)),
+            span_id=doc.get("span_id"),  # type: ignore[arg-type]
         )

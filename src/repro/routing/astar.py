@@ -17,6 +17,7 @@ from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.grid.grid import RoutingGrid
 from repro.grid.occupancy import FREE, Occupancy
+from repro.observability import context as obs
 from repro.robustness import faults
 from repro.robustness.budget import Budget
 from repro.robustness.errors import BudgetExceeded
@@ -123,33 +124,54 @@ def astar_route(
         parent[s] = None
         heapq.heappush(heap, (heuristic(s), 0.0, next(tie), s))
 
+    # Expansion accounting is unified: with a budget, the budget's shared
+    # counter (registered as ``astar.expansions`` in the metrics registry
+    # by the router) is the single tally — ``max_expansions`` reads the
+    # per-query delta off it.  Without a budget a local count is kept and
+    # flushed to the active registry once per query, so the disabled-
+    # metrics hot loop stays free of instrument calls.
+    query_start = budget.expansions_used if budget is not None else 0
     expansions = 0
-    while heap:
-        f, g, _, p = heapq.heappop(heap)
-        if g > best_g.get(p, float("inf")):
-            continue
-        if p in target_set:
-            cells = [p]
-            back = parent[p]
-            while back is not None:
-                cells.append(back)
-                back = parent[back]
-            cells.reverse()
-            return Path(cells)
-        expansions += 1
-        if max_expansions is not None and expansions > max_expansions:
-            return None
-        if budget is not None:
-            budget.charge_expansions(1)
-        for q in p.neighbors4():
-            if not grid.in_bounds(q) or not routable(q):
+    pushes = len(heap)
+    try:
+        while heap:
+            f, g, _, p = heapq.heappop(heap)
+            if g > best_g.get(p, float("inf")):
                 continue
-            step = 1.0
-            if history is not None:
-                step += history[grid.index(q)]
-            ng = g + step
-            if ng < best_g.get(q, float("inf")):
-                best_g[q] = ng
-                parent[q] = p
-                heapq.heappush(heap, (ng + heuristic(q), ng, next(tie), q))
-    return None
+            if p in target_set:
+                cells = [p]
+                back = parent[p]
+                while back is not None:
+                    cells.append(back)
+                    back = parent[back]
+                cells.reverse()
+                return Path(cells)
+            if budget is not None:
+                budget.charge_expansions(1)
+                if (
+                    max_expansions is not None
+                    and budget.expansions_used - query_start > max_expansions
+                ):
+                    return None
+            else:
+                expansions += 1
+                if max_expansions is not None and expansions > max_expansions:
+                    return None
+            for q in p.neighbors4():
+                if not grid.in_bounds(q) or not routable(q):
+                    continue
+                step = 1.0
+                if history is not None:
+                    step += history[grid.index(q)]
+                ng = g + step
+                if ng < best_g.get(q, float("inf")):
+                    best_g[q] = ng
+                    parent[q] = p
+                    heapq.heappush(heap, (ng + heuristic(q), ng, next(tie), q))
+                    pushes += 1
+        return None
+    finally:
+        if budget is None and expansions:
+            obs.counter("astar.expansions").inc(expansions)
+        if pushes:
+            obs.counter("astar.heap_pushes").inc(pushes)

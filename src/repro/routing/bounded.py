@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.geometry.point import Point, manhattan
 from repro.grid.grid import RoutingGrid
 from repro.grid.occupancy import FREE, Occupancy
+from repro.observability import context as obs
 from repro.routing.path import Path
 
 _PENALTY_WEIGHT = 2.0
@@ -138,36 +139,40 @@ def bounded_length_route(
         cells.reverse()
         return cells
 
-    while heap:
-        _, _, state = heapq.heappop(heap)
-        p, g = state
-        if p == target and min_length <= g <= max_length:
-            cells = reconstruct(state)
-            path = Path(cells)
-            if path.is_simple():
-                return path
-            continue
-        states += 1
-        if states > max_states:
-            return None
-        if g >= max_length:
-            continue
-        # Cells already on this state's own path are forbidden so every
-        # reconstructed path stays simple.
-        own = own_of[state]
-        for q in p.neighbors4():
-            if not grid.in_bounds(q) or not routable(q) or q in own:
+    try:
+        while heap:
+            _, _, state = heapq.heappop(heap)
+            p, g = state
+            if p == target and min_length <= g <= max_length:
+                cells = reconstruct(state)
+                path = Path(cells)
+                if path.is_simple():
+                    return path
                 continue
-            ng = g + 1
-            if ng + manhattan(q, target) > max_length:
+            states += 1
+            if states > max_states:
+                return None
+            if g >= max_length:
                 continue
-            nstate = (q, ng)
-            if nstate in parent:
-                continue
-            parent[nstate] = state
-            own_of[nstate] = own.extended(q)
-            heapq.heappush(heap, (f_value(q, ng), next(tie), nstate))
-    return None
+            # Cells already on this state's own path are forbidden so every
+            # reconstructed path stays simple.
+            own = own_of[state]
+            for q in p.neighbors4():
+                if not grid.in_bounds(q) or not routable(q) or q in own:
+                    continue
+                ng = g + 1
+                if ng + manhattan(q, target) > max_length:
+                    continue
+                nstate = (q, ng)
+                if nstate in parent:
+                    continue
+                parent[nstate] = state
+                own_of[nstate] = own.extended(q)
+                heapq.heappush(heap, (f_value(q, ng), next(tie), nstate))
+        return None
+    finally:
+        if states:
+            obs.counter("bounded.states").inc(states)
 
 
 def _perpendicular(direction: Point) -> List[Point]:

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.geometry.point import Point
 from repro.grid.grid import RoutingGrid
 from repro.grid.occupancy import Occupancy
+from repro.observability import context as obs
 from repro.robustness import faults
 from repro.robustness.budget import Budget
 from repro.robustness.errors import BudgetExceeded
@@ -119,8 +120,17 @@ class NegotiationRouter:
             result.success = True
             return result
 
+        exp_counter = (
+            budget.expansion_counter
+            if budget is not None
+            else obs.counter("astar.expansions")
+        )
         for iteration in range(1, self.gamma + 1):
             result.iterations = iteration
+            obs.counter("negotiation.rounds").inc()
+            round_span = obs.span(
+                "negotiation-round", category="round", iteration=iteration
+            )
             paths: Dict[int, Path] = {}
             failed: List[int] = []
             # Cells newly claimed this iteration.  Cells a net owned before
@@ -128,46 +138,69 @@ class NegotiationRouter:
             # survive the rip-up, so only these are released.
             added_cells: List[Point] = []
 
-            for request in requests:
-                extra = None
-                if self.exclusive_within_net:
-                    extra = occupancy.cells_of(request.net)
-                    extra -= set(request.sources) | set(request.targets)
-                try:
-                    path = astar_route(
-                        self.grid,
-                        request.sources,
-                        request.targets,
-                        net=request.net,
-                        occupancy=occupancy,
-                        history=self.history,
-                        extra_obstacles=extra or None,
-                        max_expansions=self.max_expansions,
-                        budget=budget,
+            with round_span:
+                for request in requests:
+                    extra = None
+                    if self.exclusive_within_net:
+                        extra = occupancy.cells_of(request.net)
+                        extra -= set(request.sources) | set(request.targets)
+                    edge_span = obs.span(
+                        "negotiation-edge",
+                        category="net",
+                        net_id=request.net,
+                        edge_id=request.edge_id,
                     )
-                except BudgetExceeded:
-                    result.aborted = True
-                    path = None
-                if path is not None and faults.fires("negotiation_edge_failure"):
-                    path = None
-                if path is None:
-                    failed.append(request.edge_id)
-                    if result.aborted:
-                        # Out of budget: every not-yet-routed edge of
-                        # this iteration fails without further search.
-                        routed = set(paths)
-                        failed.extend(
-                            r.edge_id
-                            for r in requests
-                            if r.edge_id not in routed
-                            and r.edge_id not in failed
-                        )
-                        break
-                    continue
-                paths[request.edge_id] = path
-                new_cells = [c for c in path.cells if occupancy.owner(c) != request.net]
-                occupancy.occupy(new_cells, request.net)
-                added_cells.extend(new_cells)
+                    spent_before = exp_counter.value
+                    path: Optional[Path] = None
+                    with edge_span:
+                        try:
+                            path = astar_route(
+                                self.grid,
+                                request.sources,
+                                request.targets,
+                                net=request.net,
+                                occupancy=occupancy,
+                                history=self.history,
+                                extra_obstacles=extra or None,
+                                max_expansions=self.max_expansions,
+                                budget=budget,
+                            )
+                        except BudgetExceeded:
+                            result.aborted = True
+                            path = None
+                        finally:
+                            edge_span.set(
+                                astar_expansions=exp_counter.value
+                                - spent_before,
+                                routed=path is not None,
+                            )
+                    if path is not None and faults.fires(
+                        "negotiation_edge_failure"
+                    ):
+                        path = None
+                    if path is None:
+                        failed.append(request.edge_id)
+                        if result.aborted:
+                            # Out of budget: every not-yet-routed edge of
+                            # this iteration fails without further search.
+                            routed = set(paths)
+                            failed.extend(
+                                r.edge_id
+                                for r in requests
+                                if r.edge_id not in routed
+                                and r.edge_id not in failed
+                            )
+                            break
+                        continue
+                    paths[request.edge_id] = path
+                    new_cells = [
+                        c for c in path.cells if occupancy.owner(c) != request.net
+                    ]
+                    occupancy.occupy(new_cells, request.net)
+                    added_cells.extend(new_cells)
+                round_span.set(
+                    routed=len(paths), failed=len(failed), aborted=result.aborted
+                )
 
             if not failed:
                 result.success = True

@@ -202,3 +202,96 @@ def test_show_saved_results(tmp_path, capsys):
     assert main(["show", str(path)]) == 0
     out = capsys.readouterr().out
     assert "PACOR" in out and "100%" in out
+
+
+def test_route_trace_and_metrics_export(tmp_path, capsys):
+    trace = tmp_path / "t.jsonl"
+    metrics = tmp_path / "m.json"
+    chrome = tmp_path / "c.json"
+    assert (
+        main(
+            [
+                "route",
+                "S1",
+                "--trace",
+                str(trace),
+                "--metrics",
+                str(metrics),
+                "--chrome-trace",
+                str(chrome),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert f"wrote {trace}" in out
+    assert f"wrote {metrics}" in out
+    assert f"wrote {chrome}" in out
+    from repro.observability import (
+        read_trace_jsonl,
+        validate_metrics_doc,
+        validate_spans,
+    )
+
+    docs = read_trace_jsonl(trace)
+    assert validate_spans(docs) == []
+    assert any(d["category"] == "stage" for d in docs)
+    metrics_doc = json.loads(metrics.read_text())
+    assert validate_metrics_doc(metrics_doc) == []
+    assert metrics_doc["counters"]["astar.expansions"] > 0
+    chrome_doc = json.loads(chrome.read_text())
+    assert chrome_doc["traceEvents"][0]["ph"] == "X"
+
+
+def test_profile_command_prints_stage_table(tmp_path, capsys):
+    trace = tmp_path / "t.jsonl"
+    main(["route", "S1", "--trace", str(trace)])
+    capsys.readouterr()
+    assert main(["profile", str(trace), "--top", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "per-stage wall clock" in out
+    assert "lm-routing" in out
+    assert "nets by A* expansions" in out
+
+
+def test_profile_command_rejects_bad_file(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("not json\n")
+    assert main(["profile", str(bad)]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_route_reports_incident_summary(capsys):
+    assert main(["route", "S3", "--expansion-budget", "200"]) == 0
+    out = capsys.readouterr().out
+    assert "incidents:" in out
+    assert "degraded" in out
+
+
+def test_resume_reports_carried_observability(tmp_path, capsys):
+    ckpt = tmp_path / "ckpt.json"
+    trace1 = tmp_path / "t1.jsonl"
+    main(
+        [
+            "route",
+            "S3",
+            "--expansion-budget",
+            "200",
+            "--checkpoint",
+            str(ckpt),
+            "--trace",
+            str(trace1),
+        ]
+    )
+    capsys.readouterr()
+    trace2 = tmp_path / "t2.jsonl"
+    assert main(["resume", str(ckpt), "--trace", str(trace2)]) == 0
+    out = capsys.readouterr().out
+    assert "carried over from the interrupted run" in out
+    assert "trace spans stitched" in out
+    # The two trace files concatenate into one valid trace.
+    from repro.observability import read_trace_jsonl, validate_spans
+
+    combined = read_trace_jsonl(trace1) + read_trace_jsonl(trace2)
+    assert validate_spans(combined) == []
+    assert len({d["trace_id"] for d in combined}) == 1

@@ -1,0 +1,179 @@
+"""Observability wired through the full flow: spans, counters, resume."""
+
+import time
+
+from repro.core import PacorConfig
+from repro.core.pacor import PacorRouter
+from repro.designs import design_by_name
+from repro.observability import (
+    NULL_METRICS,
+    NULL_TRACER,
+    Metrics,
+    Tracer,
+    use,
+    validate_spans,
+)
+from repro.robustness.faults import FaultSpec, inject
+
+
+def _instrumented_run(name="S1", config=None):
+    tracer, metrics = Tracer(), Metrics()
+    router = PacorRouter(
+        design_by_name(name), config, tracer=tracer, metrics=metrics
+    )
+    result = router.run()
+    return router, result, tracer, metrics
+
+
+def test_run_produces_nested_closed_spans():
+    _, result, tracer, _ = _instrumented_run("S1")
+    assert result.completion_rate == 1.0
+    assert all(span.closed for span in tracer.spans)
+    assert validate_spans([s.to_json() for s in tracer.spans]) == []
+    root = tracer.spans[0]
+    assert root.category == "flow" and root.attrs["design"] == "S1"
+    stages = [s.name for s in tracer.spans if s.category == "stage"]
+    assert stages == ["clustering", "lm-routing", "mst-routing", "escape", "detour"]
+    assert all(
+        s.parent_id == root.span_id
+        for s in tracer.spans
+        if s.category == "stage"
+    )
+
+
+def test_run_populates_kernel_counters():
+    _, _, _, metrics = _instrumented_run("S1")
+    counters = metrics.counter_values()
+    assert counters["astar.expansions"] > 0
+    assert counters["astar.heap_pushes"] >= counters["astar.expansions"]
+    assert counters["negotiation.rounds"] >= 1
+    assert counters["escape.mcf_solves"] >= 1
+    assert counters["mcf.augmenting_paths"] >= 1
+    assert counters["escape.rounds"] >= 1
+    gauges = metrics.gauge_values()
+    assert gauges["nets.total"] >= 1
+    assert gauges["nets.unrouted"] == 0
+
+
+def test_budget_and_metrics_share_the_expansion_counter():
+    router, _, _, metrics = _instrumented_run("S2")
+    assert (
+        metrics.counter("astar.expansions")
+        is router.budget.expansion_counter
+    )
+    assert (
+        metrics.counter_values()["astar.expansions"]
+        == router.budget.expansions_used
+        > 0
+    )
+
+
+def test_context_installed_instruments_are_picked_up():
+    tracer, metrics = Tracer(), Metrics()
+    with use(tracer=tracer, metrics=metrics):
+        router = PacorRouter(design_by_name("S1"))
+        router.run()
+    assert router.tracer is tracer
+    assert router.metrics is metrics
+    assert tracer.spans
+    assert metrics.counter_values()["astar.expansions"] > 0
+
+
+def test_spans_survive_injected_stage_fault():
+    tracer, metrics = Tracer(), Metrics()
+    router = PacorRouter(
+        design_by_name("S1"), tracer=tracer, metrics=metrics
+    )
+    with inject(FaultSpec("mcf_solver_raise")):
+        result = router.run()
+    # The solver fault degrades to the sequential fallback; every span
+    # still closes and the trace stays structurally valid.
+    assert all(span.closed for span in tracer.spans)
+    assert validate_spans([s.to_json() for s in tracer.spans]) == []
+    assert any(i.kind == "solver-fallback" for i in result.incidents)
+
+
+def test_incidents_carry_the_active_span_id():
+    tracer, metrics = Tracer(), Metrics()
+    router = PacorRouter(
+        design_by_name("S1"), tracer=tracer, metrics=metrics
+    )
+    with inject(FaultSpec("mcf_solver_raise")):
+        result = router.run()
+    incident = next(i for i in result.incidents if i.kind == "solver-fallback")
+    span_ids = {s.span_id for s in tracer.spans}
+    assert incident.span_id in span_ids
+    # The incident survives a JSON round-trip with its span id.
+    from repro.robustness.incidents import Incident
+
+    assert Incident.from_json(incident.to_json()).span_id == incident.span_id
+
+
+def test_checkpoint_resume_stitches_one_trace():
+    config = PacorConfig(astar_expansion_budget=200)
+    router, result, tracer1, metrics1 = _instrumented_run("S3", config)
+    checkpoint = router.interrupt_checkpoint
+    assert checkpoint is not None
+    doc = checkpoint.observability
+    assert doc is not None
+    assert doc["trace_id"] == tracer1.trace_id
+    assert doc["span_id"] in {s.span_id for s in tracer1.spans}
+    assert doc["counters"]["astar.expansions"] > 0
+    assert metrics1.counter_values()["checkpoint.bytes"] > 0
+
+    tracer2, metrics2 = Tracer(), Metrics()
+    resumed = PacorRouter.from_checkpoint(
+        design_by_name("S3"), checkpoint, tracer=tracer2, metrics=metrics2
+    )
+    assert resumed.carried_spans == doc["spans_recorded"] > 0
+    assert resumed.carried_counters > 0
+    result2 = resumed.run()
+    assert result2.completion_rate == 1.0
+
+    # Same trace id; the resumed root is parented on the interrupted
+    # span; the concatenated files form one well-formed trace.
+    assert tracer2.trace_id == tracer1.trace_id
+    root2 = tracer2.spans[0]
+    assert root2.attrs.get("resumed_from") == doc["span_id"]
+    combined = [s.to_json() for s in tracer1.spans + tracer2.spans]
+    assert validate_spans(combined) == []
+    # Restored counters make the second registry cumulative for the
+    # kernel counters the budget does not own.
+    assert (
+        metrics2.counter_values()["escape.mcf_solves"]
+        >= doc["counters"].get("escape.mcf_solves", 0)
+    )
+
+
+def test_resume_without_observability_doc_is_fine():
+    config = PacorConfig(astar_expansion_budget=200)
+    router = PacorRouter(design_by_name("S3"), config)
+    router.run()
+    checkpoint = router.interrupt_checkpoint
+    assert checkpoint is not None
+    assert checkpoint.observability is None  # uninstrumented run
+    result = PacorRouter.resume(design_by_name("S3"), checkpoint)
+    assert result.completion_rate == 1.0
+
+
+def test_disabled_instrumentation_overhead_is_small():
+    design = design_by_name("S2")
+
+    def min_of_3(tracer, metrics):
+        best = float("inf")
+        for _ in range(3):
+            router = PacorRouter(design, tracer=tracer, metrics=metrics)
+            started = time.perf_counter()
+            router.run()
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    min_of_3(NULL_TRACER, NULL_METRICS)  # warm caches
+    disabled = min_of_3(NULL_TRACER, NULL_METRICS)
+    enabled = min_of_3(Tracer(), Metrics())
+    # The no-op path must not be slower than the instrumented one beyond
+    # scheduling noise (generous factor: CI machines are jittery).
+    assert disabled <= enabled * 1.5 + 0.05
+    # And it must record nothing.
+    assert NULL_TRACER.spans == []
+    assert NULL_METRICS.counter_values() == {}

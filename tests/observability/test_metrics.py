@@ -1,0 +1,113 @@
+"""The metrics registry: counters, gauges, adoption, restore, no-ops."""
+
+import json
+
+import pytest
+
+from repro.observability import (
+    NULL_METRICS,
+    Counter,
+    Metrics,
+    NullMetrics,
+    validate_metrics_doc,
+)
+
+
+def test_counter_increments():
+    counter = Counter("x")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+
+
+def test_registry_get_or_create_returns_same_object():
+    metrics = Metrics()
+    assert metrics.counter("a.b") is metrics.counter("a.b")
+    assert metrics.gauge("g") is metrics.gauge("g")
+    assert metrics.counter("a.b") is not metrics.counter("a.c")
+
+
+def test_gauge_last_value_wins():
+    metrics = Metrics()
+    metrics.gauge("g").set(3)
+    metrics.gauge("g").set(7.5)
+    assert metrics.gauge_values() == {"g": 7.5}
+
+
+def test_adopt_registers_external_counter():
+    metrics = Metrics()
+    external = Counter()
+    adopted = metrics.adopt("astar.expansions", external)
+    assert adopted is external
+    assert external.name == "astar.expansions"
+    external.inc(9)
+    assert metrics.counter_values()["astar.expansions"] == 9
+    # Subsequent lookups hand back the adopted object itself.
+    assert metrics.counter("astar.expansions") is external
+
+
+def test_adopt_folds_prior_count_into_adoptee():
+    metrics = Metrics()
+    metrics.counter("n").inc(5)
+    external = Counter()
+    external.inc(2)
+    metrics.adopt("n", external)
+    assert external.value == 7
+    assert metrics.counter_values() == {"n": 7}
+
+
+def test_restore_counters_folds_values_in():
+    metrics = Metrics()
+    metrics.counter("a").inc(1)
+    carried = metrics.restore_counters({"a": 10, "b": 3})
+    assert carried == 2
+    assert metrics.counter_values() == {"a": 11, "b": 3}
+
+
+def test_snapshot_merges_counters_and_gauges():
+    metrics = Metrics()
+    metrics.counter("c").inc(2)
+    metrics.gauge("g").set(1.5)
+    assert metrics.snapshot() == {"c": 2, "g": 1.5}
+
+
+def test_to_json_is_schema_valid():
+    metrics = Metrics()
+    metrics.counter("a.b").inc(3)
+    metrics.gauge("nets.total").set(4)
+    assert validate_metrics_doc(metrics.to_json()) == []
+
+
+def test_export_json_roundtrip(tmp_path):
+    metrics = Metrics()
+    metrics.counter("k").inc(12)
+    path = tmp_path / "m.json"
+    metrics.export_json(path)
+    doc = json.loads(path.read_text())
+    assert doc["counters"] == {"k": 12}
+
+
+@pytest.mark.parametrize("registry", [NULL_METRICS, NullMetrics()])
+def test_null_metrics_is_inert(registry):
+    assert registry.enabled is False
+    counter = registry.counter("anything")
+    counter.inc(100)
+    assert counter.value == 0
+    gauge = registry.gauge("g")
+    gauge.set(9)
+    assert gauge.value == 0
+    assert registry.counter_values() == {}
+    assert registry.restore_counters({"a": 5}) == 0
+
+
+def test_null_metrics_shares_one_instrument():
+    assert NULL_METRICS.counter("a") is NULL_METRICS.counter("b")
+    assert NULL_METRICS.gauge("a") is NULL_METRICS.gauge("b")
+
+
+def test_null_adopt_leaves_counter_alone():
+    external = Counter("mine")
+    external.inc(3)
+    assert NULL_METRICS.adopt("other", external) is external
+    assert external.value == 3
+    assert NULL_METRICS.counter_values() == {}

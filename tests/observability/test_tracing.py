@@ -1,0 +1,152 @@
+"""The tracer: nesting, closing, resume stitching, exports."""
+
+import json
+
+import pytest
+
+from repro.observability import (
+    NULL_TRACER,
+    Tracer,
+    read_trace_jsonl,
+    validate_spans,
+)
+
+
+def test_spans_nest_on_the_stack():
+    tracer = Tracer()
+    with tracer.span("root", category="flow") as root:
+        with tracer.span("stage-a", category="stage") as a:
+            assert a.parent_id == root.span_id
+        with tracer.span("stage-b", category="stage") as b:
+            assert b.parent_id == root.span_id
+            with tracer.span("inner", category="net") as inner:
+                assert inner.parent_id == b.span_id
+    assert root.parent_id is None
+    assert all(s.closed for s in tracer.spans)
+    assert [s.name for s in tracer.spans] == ["root", "stage-a", "stage-b", "inner"]
+
+
+def test_span_ids_unique_within_trace():
+    tracer = Tracer()
+    with tracer.span("a"):
+        with tracer.span("b"):
+            pass
+    with tracer.span("c"):
+        pass
+    ids = [s.span_id for s in tracer.spans]
+    assert len(ids) == len(set(ids))
+    assert all(i.startswith(tracer.trace_id + ":") for i in ids)
+
+
+def test_exception_records_error_attr_and_closes():
+    tracer = Tracer()
+    with pytest.raises(ValueError):
+        with tracer.span("boom"):
+            raise ValueError("it broke")
+    (span,) = tracer.spans
+    assert span.closed
+    assert span.attrs["error"] == "ValueError: it broke"
+
+
+def test_out_of_order_close_force_closes_orphans():
+    tracer = Tracer()
+    outer = tracer.span("outer")
+    tracer.span("orphan")  # never explicitly closed
+    outer.__exit__(None, None, None)
+    orphan = next(s for s in tracer.spans if s.name == "orphan")
+    assert orphan.closed
+    assert orphan.attrs.get("force_closed") is True
+    assert not tracer._stack
+
+
+def test_current_span_id_tracks_innermost():
+    tracer = Tracer()
+    assert tracer.current_span_id() is None
+    with tracer.span("a") as a:
+        assert tracer.current_span_id() == a.span_id
+        with tracer.span("b") as b:
+            assert tracer.current_span_id() == b.span_id
+        assert tracer.current_span_id() == a.span_id
+    assert tracer.current_span_id() is None
+
+
+def test_set_attaches_attributes():
+    tracer = Tracer()
+    with tracer.span("s", category="net", net_id=3) as span:
+        span.set(routed=True, net_id=4)
+    assert span.attrs == {"net_id": 4, "routed": True}
+
+
+def test_export_jsonl_roundtrip(tmp_path):
+    tracer = Tracer()
+    with tracer.span("root", category="flow", design="S1"):
+        with tracer.span("stage", category="stage"):
+            pass
+    path = tmp_path / "t.jsonl"
+    assert tracer.export_jsonl(path) == 2
+    docs = read_trace_jsonl(path)
+    assert validate_spans(docs) == []
+    assert [d["name"] for d in docs] == ["root", "stage"]
+    assert docs[0]["attrs"] == {"design": "S1"}
+    assert docs[1]["parent_id"] == docs[0]["span_id"]
+
+
+def test_read_trace_jsonl_diagnoses_bad_lines(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"span_id": "a"}\nnot json\n')
+    with pytest.raises(ValueError, match="2"):
+        read_trace_jsonl(path)
+
+
+def test_chrome_trace_format(tmp_path):
+    tracer = Tracer()
+    with tracer.span("root", category="flow"):
+        pass
+    doc = tracer.chrome_trace()
+    assert doc["displayTimeUnit"] == "ms"
+    (event,) = doc["traceEvents"]
+    assert event["ph"] == "X"
+    assert event["name"] == "root"
+    assert event["dur"] >= 0
+    path = tmp_path / "c.json"
+    assert tracer.export_chrome(path) == 1
+    assert json.loads(path.read_text())["traceEvents"][0]["cat"] == "flow"
+
+
+def test_link_resume_stitches_and_avoids_id_collisions():
+    first = Tracer()
+    with first.span("route", category="flow"):
+        with first.span("lm-routing", category="stage") as interrupted:
+            carried = (first.trace_id, interrupted.span_id)
+    resumed = Tracer()
+    resumed.link_resume(*carried)
+    with resumed.span("route", category="flow"):
+        with resumed.span("lm-routing", category="stage"):
+            pass
+    assert resumed.trace_id == first.trace_id
+    root = resumed.spans[0]
+    assert root.parent_id == interrupted.span_id
+    assert root.attrs["resumed_from"] == interrupted.span_id
+    # Concatenating both traces yields one valid trace: no duplicate
+    # ids, every parent resolves (or is marked resumed_from).
+    both = [s.to_json() for s in first.spans + resumed.spans]
+    assert validate_spans(both) == []
+
+
+def test_resumed_trace_validates_standalone():
+    resumed = Tracer()
+    resumed.link_resume("sometrace", "sometrace:3")
+    with resumed.span("route", category="flow"):
+        pass
+    assert validate_spans([s.to_json() for s in resumed.spans]) == []
+
+
+def test_null_tracer_allocates_nothing():
+    span_a = NULL_TRACER.span("anything", category="flow", net_id=1)
+    span_b = NULL_TRACER.span("else")
+    assert span_a is span_b  # one shared no-op span
+    with span_a as entered:
+        entered.set(ignored=True)
+    assert NULL_TRACER.spans == []
+    assert NULL_TRACER.current_span_id() is None
+    assert NULL_TRACER.enabled is False
