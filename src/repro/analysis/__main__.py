@@ -1,0 +1,8 @@
+"""``python -m repro.analysis`` runs pacorlint (see docs/static_analysis.md)."""
+
+import sys
+
+from repro.analysis.lint.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""pacorlint — AST-based invariant checker for the PACOR flow.
+
+Run it as ``python -m repro.analysis src/repro`` or ``pacor lint``; see
+``docs/static_analysis.md`` for the rule catalogue and suppression
+syntax, and :mod:`repro.analysis.lint.core` for the framework.
+"""
+
+from repro.analysis.lint.core import (
+    FileRule,
+    LintResult,
+    ParsedFile,
+    ProjectRule,
+    Rule,
+    Suppressions,
+    Violation,
+    collect_files,
+    parse_suppressions,
+    register,
+    registered_rules,
+    run_lint,
+)
+from repro.analysis.lint.reporters import (
+    render_human,
+    render_json,
+    render_rule_list,
+)
+from repro.analysis.lint.runner import main
+
+__all__ = [
+    "Rule",
+    "FileRule",
+    "ProjectRule",
+    "Violation",
+    "Suppressions",
+    "ParsedFile",
+    "LintResult",
+    "register",
+    "registered_rules",
+    "parse_suppressions",
+    "collect_files",
+    "run_lint",
+    "render_human",
+    "render_json",
+    "render_rule_list",
+    "main",
+]

@@ -1,0 +1,327 @@
+"""pacorlint engine: rule registry, suppression handling, file walking.
+
+The PACOR flow is only correct if cross-cutting invariants hold
+everywhere — kernels must be deterministic and replayable, failures
+must surface through the :class:`~repro.robustness.errors.PacorError`
+taxonomy, kernels must report through the observability counters.  Like
+a DRC deck for physical design rules, ``pacorlint`` enforces those
+invariants mechanically over the AST instead of relying on review.
+
+Two rule kinds exist:
+
+* :class:`FileRule` — checks one parsed module at a time (most rules).
+* :class:`ProjectRule` — sees every parsed module plus the repo root at
+  once, for cross-file contracts (counter coverage, schema drift).
+
+Suppressions are comments:
+
+* ``# pacorlint: disable=RULE`` trailing a code line suppresses the
+  named rule(s) on that line;
+* the same comment standing alone on its own line suppresses the
+  rule(s) for the whole file.
+
+``RULE`` may be a comma-separated list, or ``all``.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Type
+
+_SUPPRESS_MARKER = "pacorlint:"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule hit at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def to_json(self) -> Dict[str, object]:
+        """Return the reporter document of this violation."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Suppressions:
+    """Parsed suppression comments of one file."""
+
+    file_rules: Set[str] = field(default_factory=set)
+    line_rules: Dict[int, Set[str]] = field(default_factory=dict)
+
+    def suppresses(self, rule: str, line: int) -> bool:
+        """Return True when ``rule`` is disabled at ``line``."""
+        if "all" in self.file_rules or rule in self.file_rules:
+            return True
+        at_line = self.line_rules.get(line, ())
+        return "all" in at_line or rule in at_line
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract ``# pacorlint: disable=...`` comments from ``source``.
+
+    Comment tokens are read with :mod:`tokenize`, so markers inside
+    string literals are ignored.  A comment that is the only token on
+    its physical line is file-level; a trailing comment is line-level.
+    """
+    out = Suppressions()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):
+        return out
+    lines = source.splitlines()
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        comment = tok.string.lstrip("#").strip()
+        if not comment.startswith(_SUPPRESS_MARKER):
+            continue
+        directive = comment[len(_SUPPRESS_MARKER) :].strip()
+        if not directive.startswith("disable="):
+            continue
+        rules = {
+            name.strip()
+            for name in directive[len("disable=") :].split(",")
+            if name.strip()
+        }
+        if not rules:
+            continue
+        lineno = tok.start[0]
+        before = lines[lineno - 1][: tok.start[1]] if lineno <= len(lines) else ""
+        if before.strip():
+            out.line_rules.setdefault(lineno, set()).update(rules)
+        else:
+            out.file_rules.update(rules)
+    return out
+
+
+@dataclass
+class ParsedFile:
+    """One source file with its AST, source lines and suppressions."""
+
+    path: Path
+    rel: str
+    source: str
+    tree: ast.Module
+    suppressions: Suppressions
+
+    @property
+    def module(self) -> str:
+        """Return the dotted module name (``repro.routing.astar``)."""
+        parts = list(Path(self.rel).with_suffix("").parts)
+        if parts and parts[0] == "src":
+            parts = parts[1:]
+        if parts and parts[-1] == "__init__":
+            parts = parts[:-1]
+        return ".".join(parts)
+
+
+class Rule:
+    """Base class of every pacorlint rule.
+
+    Subclasses set :attr:`id` (``DET001`` ...) and :attr:`rationale`
+    (one line, shown by ``--list-rules``) and implement one of the
+    check hooks below.
+    """
+
+    id: str = ""
+    rationale: str = ""
+
+
+class FileRule(Rule):
+    """A rule checked one file at a time."""
+
+    def check(self, parsed: ParsedFile) -> Iterator[Violation]:
+        """Yield violations found in ``parsed``."""
+        raise NotImplementedError
+
+
+class ProjectRule(Rule):
+    """A rule checked once over the whole parsed project."""
+
+    def check_project(
+        self, files: Sequence[ParsedFile], root: Path
+    ) -> Iterator[Violation]:
+        """Yield violations found across ``files`` (repo root ``root``)."""
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding ``rule_cls`` to the global registry."""
+    if not rule_cls.id:
+        raise ValueError(f"rule {rule_cls.__name__} has no id")
+    if rule_cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_cls.id}")
+    _REGISTRY[rule_cls.id] = rule_cls
+    return rule_cls
+
+
+def registered_rules() -> Dict[str, Type[Rule]]:
+    """Return the registry (id -> rule class), importing the built-ins."""
+    # Imported here so `register` decorators run exactly once, after the
+    # registry exists.
+    from repro.analysis.lint import rules as _rules  # noqa: F401
+
+    return dict(_REGISTRY)
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    violations: List[Violation]
+    files_checked: int
+    suppressed: int
+    rules: List[str]
+
+    @property
+    def clean(self) -> bool:
+        """Return True when no unsuppressed violation was found."""
+        return not self.violations
+
+    def to_json(self) -> Dict[str, object]:
+        """Return the JSON reporter document (schema version 1)."""
+        return {
+            "schema_version": 1,
+            "tool": "pacorlint",
+            "files_checked": self.files_checked,
+            "rules": list(self.rules),
+            "suppressed": self.suppressed,
+            "violations": [v.to_json() for v in self.violations],
+        }
+
+
+def collect_files(paths: Iterable[Path], root: Path) -> List[ParsedFile]:
+    """Parse every ``*.py`` file under ``paths`` (files or directories).
+
+    Files that fail to parse are skipped here; the runner reports them
+    separately as internal errors.
+
+    Raises:
+        FileNotFoundError: a requested path does not exist.
+    """
+    seen: Set[Path] = set()
+    ordered: List[Path] = []
+    for p in paths:
+        p = p.resolve()
+        if not p.exists():
+            # Usage error surfaced by the runner as exit 2, not a flow
+            # failure.
+            raise FileNotFoundError(  # pacorlint: disable=ERR001
+                f"no such file or directory: {p}"
+            )
+        candidates = sorted(p.rglob("*.py")) if p.is_dir() else [p]
+        for c in candidates:
+            if c not in seen:
+                seen.add(c)
+                ordered.append(c)
+    out: List[ParsedFile] = []
+    for path in ordered:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        try:
+            rel = str(path.relative_to(root.resolve()))
+        except ValueError:
+            rel = str(path)
+        out.append(
+            ParsedFile(
+                path=path,
+                rel=rel,
+                source=source,
+                tree=tree,
+                suppressions=parse_suppressions(source),
+            )
+        )
+    return out
+
+
+def run_lint(
+    paths: Sequence[Path],
+    *,
+    root: Optional[Path] = None,
+    rule_ids: Optional[Sequence[str]] = None,
+) -> LintResult:
+    """Run pacorlint over ``paths`` and return the result.
+
+    Args:
+        paths: files or directories to check.
+        root: repo root used for relative paths and for project rules
+            that read ``docs/``; defaults to the common parent guessed
+            from ``paths``.
+        rule_ids: subset of rule ids to run; all registered rules when
+            None.
+
+    Raises:
+        ValueError: an unknown rule id was requested.
+        FileNotFoundError: a requested path does not exist.
+        SyntaxError: a checked file does not parse.
+    """
+    registry = registered_rules()
+    if rule_ids is None:
+        selected = sorted(registry)
+    else:
+        unknown = sorted(set(rule_ids) - set(registry))
+        if unknown:
+            raise ValueError(
+                f"unknown rule ids: {unknown}; known: {sorted(registry)}"
+            )
+        selected = sorted(set(rule_ids))
+    if root is None:
+        root = _guess_root(paths)
+    files = collect_files(paths, root)
+
+    raw: List[Violation] = []
+    for rule_id in selected:
+        rule = registry[rule_id]()
+        if isinstance(rule, FileRule):
+            for parsed in files:
+                raw.extend(rule.check(parsed))
+        elif isinstance(rule, ProjectRule):
+            raw.extend(rule.check_project(files, root))
+
+    by_rel = {parsed.rel: parsed for parsed in files}
+    kept: List[Violation] = []
+    suppressed = 0
+    for violation in raw:
+        parsed = by_rel.get(violation.path)
+        if parsed is not None and parsed.suppressions.suppresses(
+            violation.rule, violation.line
+        ):
+            suppressed += 1
+        else:
+            kept.append(violation)
+    kept.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return LintResult(
+        violations=kept,
+        files_checked=len(files),
+        suppressed=suppressed,
+        rules=selected,
+    )
+
+
+def _guess_root(paths: Sequence[Path]) -> Path:
+    """Return the repo root: nearest ancestor holding ``pyproject.toml``."""
+    start = Path(paths[0]).resolve() if paths else Path.cwd()
+    if start.is_file():
+        start = start.parent
+    for candidate in (start, *start.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return start

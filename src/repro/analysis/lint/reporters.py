@@ -1,0 +1,39 @@
+"""pacorlint output: human-readable and JSON reporters."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional, Type
+
+from repro.analysis.lint.core import LintResult, Rule, registered_rules
+
+
+def render_human(result: LintResult) -> str:
+    """Return the terminal report: one line per violation plus a summary."""
+    lines = [
+        f"{v.path}:{v.line}:{v.col}: {v.rule} {v.message}"
+        for v in result.violations
+    ]
+    noun = "violation" if len(result.violations) == 1 else "violations"
+    summary = (
+        f"pacorlint: {len(result.violations)} {noun} "
+        f"({result.suppressed} suppressed) in {result.files_checked} files "
+        f"[rules: {', '.join(result.rules)}]"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Return the JSON report (schema version 1), indented and sorted."""
+    return json.dumps(result.to_json(), indent=2, sort_keys=True)
+
+
+def render_rule_list(registry: Optional[Dict[str, Type[Rule]]] = None) -> str:
+    """Return the ``--list-rules`` catalogue."""
+    if registry is None:
+        registry = registered_rules()
+    lines = []
+    for rule_id in sorted(registry):
+        lines.append(f"{rule_id}  {registry[rule_id].rationale}")
+    return "\n".join(lines)

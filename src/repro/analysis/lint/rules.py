@@ -1,0 +1,754 @@
+"""Built-in pacorlint rules (the PACOR invariant deck).
+
+Rule ids are stable and documented in ``docs/static_analysis.md``:
+
+* ``DET001`` — no module-level (shared-state) ``random`` / ``numpy.random``
+  calls; randomness must come from a seeded ``random.Random`` instance.
+* ``DET002`` — no wall-clock reads outside the budget/tracing whitelist;
+  anything else breaks bit-identical checkpoint replay.
+* ``DET003`` — no iteration over bare sets in routing/DME/detour/escape
+  kernels; unordered iteration feeds nondeterministic tie-breaks.
+* ``ERR001`` — raises in flow-stage packages use the
+  :class:`~repro.robustness.errors.PacorError` taxonomy.
+* ``OBS001`` — every kernel named in the counter↔algorithm table of
+  ``docs/paper_mapping.md`` increments its counters.
+* ``CHK001`` — serialized dataclasses keep ``to_json``/``from_json`` in
+  sync with their field list (static schema-drift detection).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.lint.core import (
+    FileRule,
+    ParsedFile,
+    ProjectRule,
+    Violation,
+    register,
+)
+
+# --------------------------------------------------------------------------
+# Shared helpers
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """Return the dotted name of a Name/Attribute chain, or None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _repro_package(parsed: ParsedFile) -> Optional[str]:
+    """Return the top-level package under ``repro`` (``routing`` ...).
+
+    Returns ``""`` for ``repro`` top-level modules (``cli`` ...) and
+    None for files outside the ``repro`` namespace.
+    """
+    module = parsed.module
+    if module == "repro":
+        return ""
+    prefix = "repro."
+    idx = module.find(prefix)
+    if idx == -1:
+        return None
+    rest = module[idx + len(prefix) :]
+    return rest.split(".", 1)[0] if "." in rest else rest
+
+
+# --------------------------------------------------------------------------
+# DET001 — unseeded randomness
+
+
+@register
+class UnseededRandomRule(FileRule):
+    """Flag shared-state ``random`` / ``numpy.random`` module calls."""
+
+    id = "DET001"
+    rationale = (
+        "module-level random.*/numpy.random calls draw from shared global "
+        "state; use a seeded random.Random instance so runs replay"
+    )
+
+    _ALLOWED_ATTRS = {"Random", "SystemRandom"}
+    _ALLOWED_NUMPY = {"default_rng", "Generator", "RandomState", "SeedSequence"}
+
+    def check(self, parsed: ParsedFile) -> Iterator[Violation]:
+        """Yield one violation per offending reference."""
+        random_aliases: Set[str] = set()
+        np_aliases: Set[str] = set()
+        direct_names: Set[str] = set()
+        for node in ast.walk(parsed.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        random_aliases.add(alias.asname or alias.name)
+                    if alias.name == "numpy":
+                        np_aliases.add(alias.asname or alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    for alias in node.names:
+                        if alias.name not in self._ALLOWED_ATTRS:
+                            direct_names.add(alias.asname or alias.name)
+                elif node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            random_aliases.add(alias.asname or alias.name)
+        for node in ast.walk(parsed.tree):
+            if isinstance(node, ast.Attribute):
+                base = _dotted(node.value)
+                if (
+                    base in random_aliases
+                    and node.attr not in self._ALLOWED_ATTRS
+                ):
+                    yield self._violation(parsed, node, f"random.{node.attr}")
+                elif (
+                    base is not None
+                    and "." in base
+                    and base.split(".")[0] in np_aliases
+                    and base.split(".")[-1] == "random"
+                    and node.attr not in self._ALLOWED_NUMPY
+                ):
+                    name = _dotted(node) or node.attr
+                    yield self._violation(parsed, node, name)
+            elif isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id in direct_names
+                ):
+                    yield self._violation(
+                        parsed, node, f"random.{node.func.id}"
+                    )
+
+    def _violation(
+        self, parsed: ParsedFile, node: ast.AST, name: str
+    ) -> Violation:
+        return Violation(
+            rule=self.id,
+            path=parsed.rel,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=(
+                f"{name} uses shared global RNG state; construct a seeded "
+                f"random.Random(seed) and thread it through"
+            ),
+        )
+
+
+# --------------------------------------------------------------------------
+# DET002 — wall-clock reads outside the whitelist
+
+
+@register
+class WallClockRule(FileRule):
+    """Flag wall-clock reads that would break checkpoint replay."""
+
+    id = "DET002"
+    rationale = (
+        "wall-clock reads outside robustness.budget/observability.tracing "
+        "feed nondeterminism into resumable runs"
+    )
+
+    # Modules allowed to read clocks: the budget (decision clock, threaded
+    # explicitly) and the tracer (measurement epoch).  time.perf_counter is
+    # deliberately NOT forbidden: pure duration measurement never feeds
+    # routing decisions, while time/monotonic/now-style absolute clocks can.
+    _WHITELIST = {
+        "repro.robustness.budget",
+        "repro.observability.tracing",
+    }
+    _FORBIDDEN = {
+        "time.time",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.time_ns",
+        "time.localtime",
+        "time.gmtime",
+        "time.ctime",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "date.today",
+    }
+
+    def check(self, parsed: ParsedFile) -> Iterator[Violation]:
+        """Yield one violation per forbidden clock reference."""
+        module = parsed.module
+        if any(module.endswith(allowed) for allowed in self._WHITELIST):
+            return
+        direct: Set[str] = set()
+        for node in ast.walk(parsed.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if f"time.{alias.name}" in self._FORBIDDEN:
+                        direct.add(alias.asname or alias.name)
+        for node in ast.walk(parsed.tree):
+            if isinstance(node, ast.Attribute):
+                name = _dotted(node)
+                if name in self._FORBIDDEN:
+                    yield Violation(
+                        rule=self.id,
+                        path=parsed.rel,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"{name} reads the wall clock; only "
+                            f"robustness.budget and observability.tracing "
+                            f"may (checkpoint replay must be bit-identical)"
+                        ),
+                    )
+            elif isinstance(node, ast.Name) and node.id in direct:
+                yield Violation(
+                    rule=self.id,
+                    path=parsed.rel,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"time.{node.id} reads the wall clock; only "
+                        f"robustness.budget and observability.tracing may "
+                        f"(checkpoint replay must be bit-identical)"
+                    ),
+                )
+
+
+# --------------------------------------------------------------------------
+# DET003 — set iteration in kernels
+
+
+_KERNEL_PACKAGES = {"routing", "dme", "detour", "escape"}
+
+_SET_METHODS = {"union", "intersection", "difference", "symmetric_difference"}
+_SET_ANNOTATIONS = {"set", "frozenset", "Set", "FrozenSet", "MutableSet"}
+
+
+@register
+class SetIterationRule(FileRule):
+    """Flag iteration over bare sets in routing/DME/detour/escape kernels."""
+
+    id = "DET003"
+    rationale = (
+        "set iteration order is arbitrary and feeds tie-breaks in routing/"
+        "DME/detour kernels; iterate sorted(...) with an explicit key"
+    )
+
+    def check(self, parsed: ParsedFile) -> Iterator[Violation]:
+        """Yield one violation per set-valued iteration site."""
+        if _repro_package(parsed) not in _KERNEL_PACKAGES:
+            return
+        for scope in ast.walk(parsed.tree):
+            if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_scope(parsed, scope)
+
+    def _check_scope(
+        self, parsed: ParsedFile, scope: ast.AST
+    ) -> Iterator[Violation]:
+        set_names, tainted = self._set_bindings(scope)
+        set_names -= tainted
+
+        def is_set_expr(node: ast.AST) -> bool:
+            if isinstance(node, (ast.Set, ast.SetComp)):
+                return True
+            if isinstance(node, ast.Call):
+                if isinstance(node.func, ast.Name) and node.func.id in (
+                    "set",
+                    "frozenset",
+                ):
+                    return True
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _SET_METHODS
+                    and is_set_expr(node.func.value)
+                ):
+                    return True
+                return False
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+            ):
+                return is_set_expr(node.left) or is_set_expr(node.right)
+            if isinstance(node, ast.Name):
+                return node.id in set_names
+            return False
+
+        def visit(node: ast.AST, inner_scope: bool) -> Iterator[Violation]:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ) and not inner_scope:
+                    # Nested defs get their own scope pass.
+                    continue
+                if isinstance(child, ast.For) and is_set_expr(child.iter):
+                    yield self._violation(parsed, child.iter)
+                if isinstance(
+                    child,
+                    (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp),
+                ):
+                    for gen in child.generators:
+                        if is_set_expr(gen.iter):
+                            yield self._violation(parsed, gen.iter)
+                if (
+                    isinstance(child, ast.Call)
+                    and isinstance(child.func, ast.Name)
+                    and child.func.id in ("list", "tuple")
+                    and len(child.args) == 1
+                    and is_set_expr(child.args[0])
+                ):
+                    yield self._violation(parsed, child.args[0])
+                yield from visit(child, inner_scope)
+            return
+
+        yield from visit(scope, inner_scope=False)
+
+    def _set_bindings(self, scope: ast.AST) -> Tuple[Set[str], Set[str]]:
+        """Return (names bound to sets, names also bound to non-sets)."""
+        set_names: Set[str] = set()
+        tainted: Set[str] = set()
+
+        def literal_is_set(node: ast.AST) -> bool:
+            if isinstance(node, (ast.Set, ast.SetComp)):
+                return True
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                return node.func.id in ("set", "frozenset")
+            return False
+
+        for node in ast.walk(scope):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        if literal_is_set(node.value):
+                            set_names.add(target.id)
+                        else:
+                            tainted.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                ann = node.annotation
+                base = ann.value if isinstance(ann, ast.Subscript) else ann
+                name = _dotted(base)
+                short = name.split(".")[-1] if name else ""
+                if short in _SET_ANNOTATIONS:
+                    set_names.add(node.target.id)
+                elif node.value is not None and literal_is_set(node.value):
+                    set_names.add(node.target.id)
+                else:
+                    tainted.add(node.target.id)
+        return set_names, tainted
+
+    def _violation(self, parsed: ParsedFile, node: ast.AST) -> Violation:
+        return Violation(
+            rule=self.id,
+            path=parsed.rel,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=(
+                "iterating a set in a kernel: ordering is arbitrary and "
+                "feeds tie-breaks; iterate sorted(...) with a deterministic "
+                "key instead"
+            ),
+        )
+
+
+# --------------------------------------------------------------------------
+# ERR001 — PacorError taxonomy
+
+
+# Packages whose TypeError/ValueError raises are accepted as pure
+# geometry/data-model argument validation (the issue's whitelist); flow
+# stages (core, routing, dme, detour, escape, robustness, observability,
+# cli) must use the taxonomy.
+_VALIDATION_PACKAGES = {
+    "geometry",
+    "designs",
+    "valves",
+    "flowlayer",
+    "flownet",
+    "synthesis",
+    "selection",
+    "grid",
+    "analysis",
+    "viz",
+}
+
+# The canonical taxonomy (kept in sync by tests/analysis).
+_TAXONOMY_NAMES = {
+    "PacorError",
+    "DesignFormatError",
+    "CheckpointFormatError",
+    "ConfigError",
+    "KernelPreconditionError",
+    "FlowDecompositionError",
+    "GenerationError",
+    "TraceFormatError",
+    "StageFailure",
+    "BudgetExceeded",
+    "RouterStuck",
+    "OccupancyCorruption",
+    "FaultInjected",
+}
+
+_GLOBALLY_ALLOWED = {"NotImplementedError", "StopIteration", "KeyboardInterrupt"}
+_VALIDATION_ALLOWED = {"ValueError", "TypeError"}
+
+
+@register
+class TaxonomyRaiseRule(FileRule):
+    """Require PacorError subclasses for raises in flow-stage packages."""
+
+    id = "ERR001"
+    rationale = (
+        "flow stages must raise PacorError subclasses so the stage "
+        "supervisor can classify failures; bare builtins escape degradation"
+    )
+
+    def check(self, parsed: ParsedFile) -> Iterator[Violation]:
+        """Yield one violation per non-taxonomy raise."""
+        package = _repro_package(parsed)
+        if package is None:
+            package = ""
+        in_validation = package in _VALIDATION_PACKAGES
+        allowed = set(_TAXONOMY_NAMES) | _GLOBALLY_ALLOWED
+        allowed |= self._local_subclasses(parsed.tree, allowed)
+        for node in ast.walk(parsed.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            name = self._exception_name(node.exc)
+            if name is None:
+                continue  # re-raise of a bound variable or factory call
+            short = name.split(".")[-1]
+            if short in allowed:
+                continue
+            if short in _VALIDATION_ALLOWED and in_validation:
+                continue
+            hint = (
+                "KernelPreconditionError keeps except-ValueError callers "
+                "working"
+                if short in _VALIDATION_ALLOWED
+                else "pick or add a PacorError subclass"
+            )
+            yield Violation(
+                rule=self.id,
+                path=parsed.rel,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"raise {short} in flow-stage package "
+                    f"{package or 'repro'!r}: use the PacorError taxonomy "
+                    f"({hint})"
+                ),
+            )
+
+    def _exception_name(self, exc: ast.AST) -> Optional[str]:
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        name = _dotted(exc)
+        if name is None:
+            return None
+        short = name.split(".")[-1]
+        # Only classify identifiers that look like exception classes; a
+        # lowercase name is a bound exception variable or factory helper.
+        if not short[:1].isupper():
+            return None
+        return name
+
+    def _local_subclasses(
+        self, tree: ast.Module, allowed: Set[str]
+    ) -> Set[str]:
+        """Return file-local classes whose base chain reaches the taxonomy."""
+        classes: Dict[str, List[str]] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                bases = [
+                    (_dotted(b) or "").split(".")[-1] for b in node.bases
+                ]
+                classes[node.name] = [b for b in bases if b]
+        local: Set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for name, bases in classes.items():
+                if name in local:
+                    continue
+                if any(b in allowed or b in local for b in bases):
+                    local.add(name)
+                    changed = True
+        return local
+
+
+# --------------------------------------------------------------------------
+# OBS001 — counter coverage of the paper-mapping table
+
+
+_TABLE_HEADING = "Kernel counters"
+_BACKTICK = re.compile(r"`([^`]+)`")
+
+
+@register
+class CounterCoverageRule(ProjectRule):
+    """Check the counter↔algorithm table against actual instrumentation."""
+
+    id = "OBS001"
+    rationale = (
+        "every kernel named in docs/paper_mapping.md's counter table must "
+        "increment its Metrics counters, or effort profiles silently lie"
+    )
+
+    def check_project(
+        self, files: Sequence[ParsedFile], root: Path
+    ) -> Iterator[Violation]:
+        """Yield one violation per missing counter or uninstrumented kernel."""
+        doc_path = root / "docs" / "paper_mapping.md"
+        rel_doc = "docs/paper_mapping.md"
+        if not doc_path.is_file():
+            yield Violation(
+                rule=self.id,
+                path=rel_doc,
+                line=1,
+                col=0,
+                message="docs/paper_mapping.md not found; the counter "
+                "table is the OBS001 contract",
+            )
+            return
+        rows = self._table_rows(doc_path.read_text(encoding="utf-8"))
+        if not rows:
+            yield Violation(
+                rule=self.id,
+                path=rel_doc,
+                line=1,
+                col=0,
+                message=f"no counter table under a {_TABLE_HEADING!r} "
+                "heading in docs/paper_mapping.md",
+            )
+            return
+        increments = self._counter_sites(files)
+        for lineno, counters, refs in rows:
+            for counter in counters:
+                sites = increments.get(counter, [])
+                if not sites:
+                    yield Violation(
+                        rule=self.id,
+                        path=rel_doc,
+                        line=lineno,
+                        col=0,
+                        message=(
+                            f"counter {counter!r} is documented but never "
+                            f"incremented under src/repro"
+                        ),
+                    )
+            for ref in refs:
+                if not self._ref_instrumented(ref, counters, files):
+                    yield Violation(
+                        rule=self.id,
+                        path=rel_doc,
+                        line=lineno,
+                        col=0,
+                        message=(
+                            f"kernel {ref} is named in the counter table "
+                            f"but contains no increment of {sorted(counters)}"
+                        ),
+                    )
+
+    def _table_rows(
+        self, text: str
+    ) -> List[Tuple[int, Set[str], List[str]]]:
+        rows: List[Tuple[int, Set[str], List[str]]] = []
+        in_section = False
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if line.startswith("#"):
+                in_section = _TABLE_HEADING in line
+                continue
+            if not in_section or not line.lstrip().startswith("|"):
+                continue
+            cells = [c.strip() for c in line.strip().strip("|").split("|")]
+            if not cells or set(cells[0]) <= {"-", " ", ":"}:
+                continue
+            counters = {
+                tok
+                for tok in _BACKTICK.findall(cells[0])
+                if "." in tok and not tok.startswith("repro.")
+            }
+            if not counters:
+                continue  # header row
+            refs = [
+                tok
+                for cell in cells[1:]
+                for tok in _BACKTICK.findall(cell)
+                if tok.startswith("repro.")
+            ]
+            rows.append((lineno, counters, refs))
+        return rows
+
+    def _counter_sites(
+        self, files: Sequence[ParsedFile]
+    ) -> Dict[str, List[Tuple[str, int]]]:
+        """Map counter name -> [(module, line)] of ``.counter("name")``."""
+        out: Dict[str, List[Tuple[str, int]]] = {}
+        for parsed in files:
+            for node in ast.walk(parsed.tree):
+                name = self._counter_name(node)
+                if name is not None:
+                    out.setdefault(name, []).append(
+                        (parsed.module, node.lineno)
+                    )
+        return out
+
+    @staticmethod
+    def _counter_name(node: ast.AST) -> Optional[str]:
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("counter", "adopt")
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            return node.args[0].value
+        return None
+
+    def _ref_instrumented(
+        self,
+        ref: str,
+        counters: Set[str],
+        files: Sequence[ParsedFile],
+    ) -> bool:
+        """Return True when ``ref``'s scope increments one of ``counters``."""
+        prefix, _, symbol = ref.rpartition(".")
+        for parsed in files:
+            scope: Optional[ast.AST] = None
+            if parsed.module == ref:
+                scope = parsed.tree
+            elif prefix and (
+                parsed.module == prefix
+                # Re-export: `repro.flownet.MinCostFlow` is defined in
+                # `repro.flownet.mincostflow`, a submodule of the prefix.
+                or parsed.module.startswith(prefix + ".")
+            ):
+                for node in ast.walk(parsed.tree):
+                    if (
+                        isinstance(
+                            node,
+                            (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+                        )
+                        and node.name == symbol
+                    ):
+                        scope = node
+                        break
+                if scope is None:
+                    continue
+            if scope is None:
+                continue
+            for node in ast.walk(scope):
+                name = self._counter_name(node)
+                if name in counters:
+                    return True
+        return False
+
+
+# --------------------------------------------------------------------------
+# CHK001 — serialized dataclass schema drift
+
+
+@register
+class SerializedDataclassRule(FileRule):
+    """Check to_json/from_json field coverage of serialized dataclasses."""
+
+    id = "CHK001"
+    rationale = (
+        "a dataclass field missing from to_json or from_json silently "
+        "drops state across a checkpoint round-trip"
+    )
+
+    def check(self, parsed: ParsedFile) -> Iterator[Violation]:
+        """Yield one violation per field missing from either path."""
+        for node in ast.walk(parsed.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not self._is_dataclass(node):
+                continue
+            methods = {
+                item.name: item
+                for item in node.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            to_json = methods.get("to_json")
+            from_json = methods.get("from_json")
+            if to_json is None or from_json is None:
+                continue
+            fields = self._field_names(node)
+            for direction, method in (("to_json", to_json), ("from_json", from_json)):
+                if self._covers_everything(method):
+                    continue
+                mentioned = self._mentioned_names(method)
+                for name in fields:
+                    if name not in mentioned:
+                        yield Violation(
+                            rule=self.id,
+                            path=parsed.rel,
+                            line=method.lineno,
+                            col=method.col_offset,
+                            message=(
+                                f"dataclass {node.name}: field {name!r} "
+                                f"does not appear in {direction}; schema "
+                                f"drift would drop it on round-trip"
+                            ),
+                        )
+
+    @staticmethod
+    def _is_dataclass(node: ast.ClassDef) -> bool:
+        for deco in node.decorator_list:
+            target = deco.func if isinstance(deco, ast.Call) else deco
+            name = _dotted(target)
+            if name and name.split(".")[-1] == "dataclass":
+                return True
+        return False
+
+    @staticmethod
+    def _field_names(node: ast.ClassDef) -> List[str]:
+        out: List[str] = []
+        for item in node.body:
+            if isinstance(item, ast.AnnAssign) and isinstance(
+                item.target, ast.Name
+            ):
+                ann = item.annotation
+                base = ann.value if isinstance(ann, ast.Subscript) else ann
+                name = _dotted(base) or ""
+                if name.split(".")[-1] == "ClassVar":
+                    continue
+                out.append(item.target.id)
+        return out
+
+    @staticmethod
+    def _covers_everything(method: ast.AST) -> bool:
+        """Return True for asdict(self)/cls(**doc)-style full coverage."""
+        for node in ast.walk(method):
+            if isinstance(node, ast.Call):
+                name = (_dotted(node.func) or "").split(".")[-1]
+                if name == "asdict":
+                    return True
+                if any(kw.arg is None for kw in node.keywords):
+                    return True
+        return False
+
+    @staticmethod
+    def _mentioned_names(method: ast.AST) -> Set[str]:
+        out: Set[str] = set()
+        for node in ast.walk(method):
+            if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                out.add(node.value)
+            elif isinstance(node, ast.Attribute):
+                out.add(node.attr)
+            elif isinstance(node, ast.keyword) and node.arg:
+                out.add(node.arg)
+            elif isinstance(node, ast.Name):
+                out.add(node.id)
+        return out

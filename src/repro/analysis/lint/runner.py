@@ -1,0 +1,81 @@
+"""pacorlint command-line entry point.
+
+Exit codes follow the repo's CLI conventions: 0 clean, 1 unsuppressed
+violations found, 2 internal error / bad usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.lint.core import registered_rules, run_lint
+from repro.analysis.lint.reporters import (
+    render_human,
+    render_json,
+    render_rule_list,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Return the pacorlint argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="pacorlint",
+        description="AST-based invariant checker for the PACOR flow "
+        "(see docs/static_analysis.md)",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to check (default: src/repro)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the JSON report instead of the human one",
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="ID[,ID...]",
+        help="comma-separated subset of rule ids to run",
+    )
+    parser.add_argument(
+        "--root",
+        metavar="DIR",
+        help="repo root (default: nearest ancestor with pyproject.toml)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run pacorlint; return the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(render_rule_list(registered_rules()))
+        return 0
+    rule_ids = None
+    if args.rules:
+        rule_ids = [r.strip() for r in args.rules.split(",") if r.strip()]
+    try:
+        result = run_lint(
+            [Path(p) for p in args.paths],
+            root=Path(args.root) if args.root else None,
+            rule_ids=rule_ids,
+        )
+    except (ValueError, FileNotFoundError, SyntaxError) as exc:
+        print(f"pacorlint: error: {exc}", file=sys.stderr)
+        return 2
+    print(render_json(result) if args.json else render_human(result))
+    return 0 if result.clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

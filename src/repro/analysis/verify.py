@@ -16,10 +16,11 @@ from typing import Dict, Iterable, List, Optional, Set
 from repro.core.result import NetReport, PacorResult, Segment
 from repro.designs.design import Design
 from repro.geometry.point import Point
+from repro.robustness.errors import PacorError
 from repro.valves.compatibility import pairwise_compatible
 
 
-class VerificationError(AssertionError):
+class VerificationError(PacorError, AssertionError):
     """Raised when a routed solution violates a hard constraint."""
 
 

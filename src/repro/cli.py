@@ -15,6 +15,9 @@ Commands:
 * ``pacor table1`` — print the benchmark-parameter table.
 * ``pacor table2 --designs S1 S2`` — run the three-method comparison.
 * ``pacor generate out.json --width 40 ...`` — synthesize a new design.
+* ``pacor lint [paths...]`` — run pacorlint, the AST-based invariant
+  checker (exit 1 on violations, 2 on internal error; see
+  ``docs/static_analysis.md``).
 """
 
 from __future__ import annotations
@@ -228,6 +231,20 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run pacorlint (see docs/static_analysis.md)."""
+    from repro.analysis.lint.runner import main as lint_main
+
+    argv: List[str] = list(args.paths)
+    if args.json:
+        argv.append("--json")
+    if args.rules:
+        argv.extend(["--rules", args.rules])
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv)
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     designs = table1_suite(include_chips=args.chips)
     headers = ["Design", "Size", "#Valves", "#Control pin", "#Obs"]
@@ -433,6 +450,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="how many top nets by A* expansions to show",
     )
     profile.set_defaults(func=_cmd_profile)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run pacorlint, the AST-based invariant checker",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to check (default: src/repro)",
+    )
+    lint.add_argument("--json", action="store_true", help="JSON report")
+    lint.add_argument(
+        "--rules", metavar="ID[,ID...]", help="subset of rule ids to run"
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     table1 = sub.add_parser("table1", help="print the benchmark parameters")
     table1.add_argument("--no-chips", dest="chips", action="store_false")

@@ -13,6 +13,8 @@ import enum
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
+from repro.robustness.errors import ConfigError
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.robustness.budget import Budget
 
@@ -98,26 +100,26 @@ class PacorConfig:
 
     def __post_init__(self) -> None:
         if self.delta is not None and self.delta < 0:
-            raise ValueError("delta must be non-negative")
+            raise ConfigError("delta must be non-negative", field="delta")
         if not 0.0 <= self.lam <= 1.0:
-            raise ValueError("lam must lie in [0, 1]")
+            raise ConfigError("lam must lie in [0, 1]", field="lam")
         if self.gamma < 1 or self.theta < 1:
-            raise ValueError("gamma and theta must be at least 1")
+            raise ConfigError("gamma and theta must be at least 1", field="gamma")
         if self.k_candidates < 1:
-            raise ValueError("k_candidates must be at least 1")
+            raise ConfigError("k_candidates must be at least 1", field="k_candidates")
         if self.max_ripup_rounds < 0:
-            raise ValueError("max_ripup_rounds must be non-negative")
+            raise ConfigError("max_ripup_rounds must be non-negative", field="max_ripup_rounds")
         if self.protected_rip_cost <= 0:
-            raise ValueError("protected_rip_cost must be positive")
+            raise ConfigError("protected_rip_cost must be positive", field="protected_rip_cost")
         if self.wall_clock_budget_s is not None and self.wall_clock_budget_s <= 0:
-            raise ValueError("wall_clock_budget_s must be positive")
+            raise ConfigError("wall_clock_budget_s must be positive", field="wall_clock_budget_s")
         if (
             self.astar_expansion_budget is not None
             and self.astar_expansion_budget < 0
         ):
-            raise ValueError("astar_expansion_budget must be non-negative")
+            raise ConfigError("astar_expansion_budget must be non-negative", field="astar_expansion_budget")
         if self.rip_round_budget is not None and self.rip_round_budget < 0:
-            raise ValueError("rip_round_budget must be non-negative")
+            raise ConfigError("rip_round_budget must be non-negative", field="rip_round_budget")
         self.selection_solver = SelectionSolver(self.selection_solver)
         self.detour_stage = DetourStage(self.detour_stage)
 
@@ -132,14 +134,14 @@ class PacorConfig:
     def from_json(cls, doc: dict) -> "PacorConfig":
         """Rebuild a config from :meth:`to_json` output (validated).
 
-        Unknown keys raise :class:`ValueError` so a checkpoint written
+        Unknown keys raise :class:`~repro.robustness.errors.ConfigError` so a checkpoint written
         by a newer format version fails loudly instead of silently
         dropping a tunable.
         """
         known = {f.name for f in dataclasses.fields(cls)}
         unknown = sorted(set(doc) - known)
         if unknown:
-            raise ValueError(f"unknown config fields: {unknown}")
+            raise ConfigError(f"unknown config fields: {unknown}")
         return cls(**doc)
 
     def make_budget(self, **overrides: object) -> "Budget":

@@ -19,6 +19,7 @@ from repro.core.result import PacorResult
 from repro.designs.design import Design
 from repro.observability.metrics import Metrics
 from repro.observability.tracing import Tracer
+from repro.robustness.errors import ConfigError
 
 
 def _run(
@@ -101,7 +102,8 @@ def run_method(
     except KeyError:
         # The internal KeyError is an implementation detail; `from None`
         # keeps it out of the user's traceback.
-        raise ValueError(
-            f"unknown method {method!r}; choose from {list(METHODS)}"
+        raise ConfigError(
+            f"unknown method {method!r}; choose from {list(METHODS)}",
+            field="method",
         ) from None
     return runner(design, config, tracer=tracer, metrics=metrics)

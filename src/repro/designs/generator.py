@@ -20,6 +20,7 @@ from repro.designs.design import Design
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.grid.grid import RoutingGrid
+from repro.robustness.errors import GenerationError
 from repro.valves.activation import ActivationSequence
 from repro.valves.valve import Valve
 
@@ -102,7 +103,7 @@ def _place_obstacles(
             grid.set_obstacle(cell)
             placed += 1
     if placed < n_cells:
-        raise RuntimeError(f"could not place {n_cells} obstacle cells")
+        raise GenerationError(f"could not place {n_cells} obstacle cells")
 
 
 def _pick_free_cell(
@@ -208,7 +209,7 @@ def generate_design(
                     next_id += 1
                 break
         else:
-            raise RuntimeError(f"could not place cluster {ci} of design {name}")
+            raise GenerationError(f"could not place cluster {ci} of design {name}")
         if plan.length_matching:
             lm_groups.append(members)
 
@@ -216,7 +217,9 @@ def generate_design(
         seq = sequences[len(clusters) + si]
         p = _pick_free_cell(grid, rng, taken)
         if p is None:
-            raise RuntimeError(f"could not place singleton valve in design {name}")
+            raise GenerationError(
+                f"could not place singleton valve in design {name}"
+            )
         valves.append(Valve(next_id, p, seq))
         taken.add(p)
         next_id += 1

@@ -10,7 +10,7 @@ how stable PACOR's matching and completion are under such noise.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Set
+from typing import List, Set
 
 from repro.designs.design import Design
 from repro.designs.io import design_from_json, design_to_json

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.dme.tree import CandidateTree, TopologyNode
 from repro.geometry.point import Point
+from repro.robustness.errors import KernelPreconditionError
 from repro.routing.path import Path
 
 
@@ -95,7 +96,10 @@ def routed_tree_from_candidate(
     """
     edges = tree.edges()
     if set(paths_by_edge) != set(range(len(edges))):
-        raise ValueError("paths_by_edge must cover every tree edge exactly")
+        raise KernelPreconditionError(
+            "paths_by_edge must cover every tree edge exactly",
+            kernel="repro.detour.cluster",
+        )
 
     edge_paths: Dict[int, Path] = {}
     for idx, edge in enumerate(edges):

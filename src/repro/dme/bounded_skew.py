@@ -25,6 +25,7 @@ from typing import Optional, Tuple
 
 from repro.dme.tree import TopologyNode
 from repro.geometry.trr import TRR
+from repro.robustness.errors import KernelPreconditionError
 
 
 def compute_merging_regions_bounded(root: TopologyNode, skew_h: int) -> None:
@@ -41,7 +42,7 @@ def compute_merging_regions_bounded(root: TopologyNode, skew_h: int) -> None:
     sink distance, and the auxiliary ``snap_h`` is left untouched.
     """
     if skew_h < 0:
-        raise ValueError("skew budget must be non-negative")
+        raise KernelPreconditionError("skew budget must be non-negative")
     root.validate()
     _merge(root, skew_h)
 

@@ -18,6 +18,7 @@ from repro.dme.topology import balanced_bipartition_topology, n_root_bipartition
 from repro.dme.tree import CandidateTree, TopologyNode
 from repro.geometry.point import Point
 from repro.robustness import faults
+from repro.robustness.errors import KernelPreconditionError
 
 _POLICIES = ("nearest", "lo", "hi")
 
@@ -62,7 +63,7 @@ def generate_candidates(
         every embedding attempt fails (fully obstructed neighbourhood).
     """
     if not sink_points:
-        raise ValueError("a cluster needs at least one sink")
+        raise KernelPreconditionError("a cluster needs at least one sink")
     if faults.fires("candidate_generation_empty"):
         # Chaos-suite hook: behave exactly like a fully obstructed
         # neighbourhood, where no candidate tree can be embedded.

@@ -21,9 +21,10 @@ from repro.dme.tree import TopologyNode
 from repro.geometry.point import Point
 from repro.geometry.trr import TRR
 from repro.grid.grid import RoutingGrid
+from repro.robustness.errors import KernelPreconditionError, PacorError
 
 
-class EmbeddingError(RuntimeError):
+class EmbeddingError(PacorError, RuntimeError):
     """Raised when no valid merging-node position exists on the chip."""
 
 
@@ -87,7 +88,7 @@ def _choose_in_region(
         return min(samples)
     if policy == "hi":
         return max(samples)
-    raise ValueError(f"unknown embedding policy {policy!r}")
+    raise KernelPreconditionError(f"unknown embedding policy {policy!r}")
 
 
 def embed_tree(
@@ -114,7 +115,7 @@ def embed_tree(
         EmbeddingError: when some node cannot be placed on a free cell.
     """
     if root.merge_region is None:
-        raise ValueError("run compute_merging_regions before embedding")
+        raise KernelPreconditionError("run compute_merging_regions before embedding")
 
     if root.is_leaf():
         return  # single-valve cluster: the leaf position is the tree

@@ -17,6 +17,7 @@ from typing import Callable, List, Sequence, Tuple
 
 from repro.geometry.point import Point, manhattan
 from repro.dme.tree import TopologyNode
+from repro.robustness.errors import KernelPreconditionError
 
 _SWEEPS: Tuple[Callable[[Point], Tuple[int, int]], ...] = (
     lambda p: (p[0], p[1]),
@@ -87,9 +88,9 @@ def balanced_bipartition_topology(
     Out-of-range variants clamp to the last available cut.
     """
     if not points:
-        raise ValueError("cannot build a topology over zero sinks")
+        raise KernelPreconditionError("cannot build a topology over zero sinks")
     if variant < 0:
-        raise ValueError("variant must be non-negative")
+        raise KernelPreconditionError("variant must be non-negative")
 
     def build(indices: List[int], pick: int) -> TopologyNode:
         if len(indices) == 1:

@@ -17,6 +17,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 from repro.geometry.point import Point, manhattan
 from repro.geometry.rect import Rect
 from repro.geometry.trr import TRR
+from repro.robustness.errors import KernelPreconditionError
 
 
 @dataclass
@@ -47,12 +48,12 @@ class TopologyNode:
         """Check the leaf/internal invariants recursively."""
         if self.is_leaf():
             if self.children:
-                raise ValueError("leaf topology nodes must not have children")
+                raise KernelPreconditionError("leaf topology nodes must not have children")
             if self.position is None:
-                raise ValueError("leaf topology nodes need a valve position")
+                raise KernelPreconditionError("leaf topology nodes need a valve position")
         else:
             if len(self.children) != 2:
-                raise ValueError("internal topology nodes need exactly two children")
+                raise KernelPreconditionError("internal topology nodes need exactly two children")
             for child in self.children:
                 child.validate()
 
@@ -110,7 +111,7 @@ class CandidateTree:
         self.root = root
         for node in root.walk():
             if node.position is None:
-                raise ValueError("candidate trees must be fully embedded")
+                raise KernelPreconditionError("candidate trees must be fully embedded")
 
     @property
     def root_position(self) -> Point:

@@ -25,9 +25,10 @@ from typing import Dict, Sequence, Set, Tuple
 from repro.escape.mcf import EscapeResult, EscapeSource
 from repro.geometry.point import Point
 from repro.grid.grid import RoutingGrid
+from repro.robustness.errors import PacorError
 
 
-class ConstraintViolation(AssertionError):
+class ConstraintViolation(PacorError, AssertionError):
     """Raised when a decomposed escape solution breaks (6)-(12)."""
 
 
@@ -85,7 +86,7 @@ def check_paper_constraints(
                 f"cluster {cluster_id} sends {units} units (x_q <= 1 violated)"
             )
 
-    for cell in set(inflow) | set(outflow):
+    for cell in sorted(set(inflow) | set(outflow)):
         # (8): no flow on obstacles; blocked cells only as tap starts.
         if not grid.in_bounds(cell):
             raise ConstraintViolation(f"flow leaves the chip at {cell}")

@@ -26,6 +26,10 @@ from repro.grid.grid import RoutingGrid
 from repro.observability import context as obs
 from repro.robustness import faults
 from repro.robustness.faults import FaultInjected
+from repro.robustness.errors import (
+    FlowDecompositionError,
+    KernelPreconditionError,
+)
 from repro.routing.path import Path
 
 
@@ -46,7 +50,7 @@ class EscapeSource:
 
     def __post_init__(self) -> None:
         if not self.tap_cells:
-            raise ValueError("an escape source needs at least one tap cell")
+            raise KernelPreconditionError("an escape source needs at least one tap cell")
 
 
 @dataclass
@@ -214,7 +218,7 @@ def solve_escape(
         while pin is None:
             guard += 1
             if guard > 4 * n_cells:  # pragma: no cover - defensive
-                raise RuntimeError("flow decomposition failed to terminate")
+                raise FlowDecompositionError("flow decomposition failed to terminate")
             pin_entry = pin_arc_of_cell.get(current)
             if pin_entry is not None and net.flow_on(pin_entry[0]) > 0:
                 pin = pin_entry[1]
@@ -228,7 +232,7 @@ def solve_escape(
                 None,
             )
             if step is None:  # pragma: no cover - defensive
-                raise RuntimeError("flow decomposition hit a dead end")
+                raise FlowDecompositionError("flow decomposition hit a dead end")
             _, q = step
             cells.append(q)
             current = usable[q]

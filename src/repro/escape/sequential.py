@@ -17,6 +17,7 @@ from typing import List, Optional, Sequence, Set
 from repro.escape.mcf import EscapeResult, EscapeSource
 from repro.geometry.point import Point
 from repro.grid.grid import RoutingGrid
+from repro.robustness.errors import KernelPreconditionError
 from repro.routing.astar import astar_route
 from repro.routing.path import Path
 
@@ -68,7 +69,7 @@ def solve_escape_sequential(
 
         ordered.sort(key=nearest_pin_distance)
     elif order != "input":
-        raise ValueError(f"unknown order {order!r}")
+        raise KernelPreconditionError(f"unknown order {order!r}")
 
     used_pins: Set[Point] = set()
     for source in ordered:

@@ -20,7 +20,7 @@ from contextlib import contextmanager
 from typing import Iterator, Optional
 
 from repro.observability.metrics import NULL_METRICS, Counter, Gauge, Metrics
-from repro.observability.tracing import NULL_TRACER, Tracer
+from repro.observability.tracing import NULL_TRACER, Span, Tracer
 
 _tracer: Tracer = NULL_TRACER
 _metrics: Metrics = NULL_METRICS
@@ -78,6 +78,6 @@ def gauge(name: str) -> Gauge:
     return _metrics.gauge(name)
 
 
-def span(name: str, category: str = "span", **attrs: object):
+def span(name: str, category: str = "span", **attrs: object) -> Span:
     """Open a span on the active tracer (no-op span when disabled)."""
     return _tracer.span(name, category=category, **attrs)

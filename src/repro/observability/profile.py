@@ -53,7 +53,7 @@ class TraceProfile:
     designs: List[str] = field(default_factory=list)
 
 
-def _attr(doc: Dict[str, object], key: str):
+def _attr(doc: Dict[str, object], key: str) -> object:
     attrs = doc.get("attrs")
     return attrs.get(key) if isinstance(attrs, dict) else None
 

@@ -29,7 +29,10 @@ import json
 import time
 import uuid
 from pathlib import Path as FilePath
+from types import TracebackType
 from typing import Dict, Iterator, List, Optional, Union
+
+from repro.robustness.errors import TraceFormatError
 
 
 class Span:
@@ -92,10 +95,16 @@ class Span:
     def __enter__(self) -> "Span":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: Optional[type],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
         if exc is not None:
             self.attrs.setdefault("error", f"{type(exc).__name__}: {exc}")
         self._tracer._close(self)
+        return False
         return False
 
     def to_json(self) -> Dict[str, object]:
@@ -125,11 +134,17 @@ class _NullSpan:
     def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: Optional[type],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
         return False
 
 
-_NULL_SPAN = _NullSpan()
+# The singleton duck-types Span (enter/exit/set) without its storage.
+_NULL_SPAN: Span = _NullSpan()  # type: ignore[assignment]
 
 
 class Tracer:
@@ -267,7 +282,7 @@ class NullTracer(Tracer):
     def __init__(self) -> None:
         super().__init__(trace_id="null")
 
-    def span(self, name: str, category: str = "span", **attrs: object):
+    def span(self, name: str, category: str = "span", **attrs: object) -> Span:
         return _NULL_SPAN
 
     def current_span_id(self) -> Optional[str]:
@@ -294,11 +309,14 @@ def read_trace_jsonl(path: Union[str, FilePath]) -> List[Dict[str, object]]:
             try:
                 doc = json.loads(line)
             except json.JSONDecodeError as exc:
-                raise ValueError(f"{path}:{lineno}: not valid JSON ({exc})")
+                raise TraceFormatError(
+                    f"not valid JSON at line {lineno} ({exc})", path=str(path)
+                )
             if not isinstance(doc, dict):
-                raise ValueError(
-                    f"{path}:{lineno}: expected a span object, "
-                    f"got {type(doc).__name__}"
+                raise TraceFormatError(
+                    f"expected a span object at line {lineno}, "
+                    f"got {type(doc).__name__}",
+                    path=str(path),
                 )
             spans.append(doc)
     return spans

@@ -21,11 +21,16 @@ from repro.robustness.checkpoint import CHECKPOINT_VERSION, Checkpoint
 from repro.robustness.errors import (
     BudgetExceeded,
     CheckpointFormatError,
+    ConfigError,
     DesignFormatError,
+    FlowDecompositionError,
+    GenerationError,
+    KernelPreconditionError,
     OccupancyCorruption,
     PacorError,
     RouterStuck,
     StageFailure,
+    TraceFormatError,
 )
 from repro.robustness.faults import (
     INJECTION_POINTS,
@@ -38,8 +43,13 @@ from repro.robustness.incidents import Incident, Severity
 
 __all__ = [
     "PacorError",
+    "ConfigError",
     "DesignFormatError",
     "CheckpointFormatError",
+    "FlowDecompositionError",
+    "GenerationError",
+    "KernelPreconditionError",
+    "TraceFormatError",
     "Checkpoint",
     "CHECKPOINT_VERSION",
     "StageFailure",

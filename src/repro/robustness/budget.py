@@ -16,7 +16,7 @@ import time
 from typing import Callable, Dict, Optional
 
 from repro.observability.metrics import Counter
-from repro.robustness.errors import BudgetExceeded
+from repro.robustness.errors import BudgetExceeded, ConfigError
 
 _WALL_CHECK_EVERY = 64
 """Expansions between wall-clock checks in the A* hot loop."""
@@ -51,11 +51,11 @@ class Budget:
         expansion_counter: Optional[Counter] = None,
     ) -> None:
         if wall_clock_s is not None and wall_clock_s <= 0:
-            raise ValueError("wall_clock_s must be positive")
+            raise ConfigError("wall_clock_s must be positive", field="wall_clock_s")
         if astar_expansions is not None and astar_expansions < 0:
-            raise ValueError("astar_expansions must be non-negative")
+            raise ConfigError("astar_expansions must be non-negative", field="astar_expansions")
         if rip_rounds is not None and rip_rounds < 0:
-            raise ValueError("rip_rounds must be non-negative")
+            raise ConfigError("rip_rounds must be non-negative", field="rip_rounds")
         self.wall_clock_s = wall_clock_s
         self.astar_expansions = astar_expansions
         self.rip_rounds = rip_rounds

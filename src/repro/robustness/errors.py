@@ -90,6 +90,75 @@ class CheckpointFormatError(PacorError, ValueError):
         super().__init__("".join(parts))
 
 
+class ConfigError(PacorError, ValueError):
+    """A run tunable (config field, budget limit, fault spec) is invalid.
+
+    Also a :class:`ValueError` so callers that predate the taxonomy
+    (``except ValueError``) keep working.
+
+    Attributes:
+        field: the offending tunable, when one can be named.
+    """
+
+    def __init__(self, message: str, *, field: Optional[str] = None) -> None:
+        self.field = field
+        suffix = f" (field {field!r})" if field is not None else ""
+        super().__init__(f"{message}{suffix}")
+
+
+class KernelPreconditionError(PacorError, ValueError):
+    """A routing/DME/detour/escape kernel was called with invalid arguments.
+
+    Raised by kernel entry-point validation (guard clauses), as opposed
+    to :class:`StageFailure` which reports a stage failing on legal
+    input.  Also a :class:`ValueError` for backward compatibility.
+
+    Attributes:
+        kernel: dotted name of the kernel that rejected its arguments,
+            when known.
+    """
+
+    def __init__(self, message: str, *, kernel: Optional[str] = None) -> None:
+        self.kernel = kernel
+        prefix = f"[{kernel}] " if kernel is not None else ""
+        super().__init__(f"{prefix}{message}")
+
+
+class FlowDecompositionError(PacorError, RuntimeError):
+    """Min-cost-flow decomposition violated an internal invariant.
+
+    The escape stage decomposes an integral flow into vertex-disjoint
+    paths; by Theorem 1 this always terminates on a feasible flow, so
+    this error marks solver-state corruption, not bad input.  Also a
+    :class:`RuntimeError` for backward compatibility.
+    """
+
+
+class GenerationError(PacorError, RuntimeError):
+    """Synthetic design generation could not satisfy its constraints.
+
+    Raised by :mod:`repro.designs.generator` when obstacle/cluster/pin
+    placement is infeasible for the requested parameters.  Also a
+    :class:`RuntimeError` for backward compatibility.
+    """
+
+
+class TraceFormatError(PacorError, ValueError):
+    """A trace/metrics document is not in the expected format.
+
+    Raised when reading back JSONL span files or metrics snapshots.
+    Also a :class:`ValueError` for backward compatibility.
+
+    Attributes:
+        path: source file the document was read from, when known.
+    """
+
+    def __init__(self, message: str, *, path: Optional[str] = None) -> None:
+        self.path = path
+        prefix = f"{path}: " if path is not None else ""
+        super().__init__(f"{prefix}{message}")
+
+
 class StageFailure(PacorError):
     """One flow stage failed — for the whole stage or a single net.
 

@@ -20,6 +20,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.robustness.errors import ConfigError
+
 INJECTION_POINTS = (
     "candidate_generation_empty",
     "negotiation_edge_failure",
@@ -59,14 +61,15 @@ class FaultSpec:
 
     def __post_init__(self) -> None:
         if self.point not in INJECTION_POINTS:
-            raise ValueError(
+            raise ConfigError(
                 f"unknown injection point {self.point!r}; "
-                f"choose from {list(INJECTION_POINTS)}"
+                f"choose from {list(INJECTION_POINTS)}",
+                field="point",
             )
         if not 0.0 <= self.probability <= 1.0:
-            raise ValueError("probability must lie in [0, 1]")
+            raise ConfigError("probability must lie in [0, 1]", field="probability")
         if self.max_fires is not None and self.max_fires < 0:
-            raise ValueError("max_fires must be non-negative")
+            raise ConfigError("max_fires must be non-negative", field="max_fires")
 
 
 @dataclass(frozen=True)
@@ -102,7 +105,7 @@ class FaultInjector:
         by_point: Dict[str, FaultSpec] = {}
         for spec in specs:
             if spec.point in by_point:
-                raise ValueError(f"duplicate spec for point {spec.point!r}")
+                raise ConfigError(f"duplicate spec for point {spec.point!r}")
             by_point[spec.point] = spec
         return cls(specs=by_point, seed=seed)
 

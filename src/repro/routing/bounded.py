@@ -26,6 +26,7 @@ from repro.geometry.point import Point, manhattan
 from repro.grid.grid import RoutingGrid
 from repro.grid.occupancy import FREE, Occupancy
 from repro.observability import context as obs
+from repro.robustness.errors import KernelPreconditionError
 from repro.routing.path import Path
 
 _PENALTY_WEIGHT = 2.0
@@ -86,7 +87,10 @@ def bounded_length_route(
     :func:`extend_path_with_bumps` on an existing path.
     """
     if min_length > max_length:
-        raise ValueError("min_length must not exceed max_length")
+        raise KernelPreconditionError(
+            "min_length must not exceed max_length",
+            kernel="repro.routing.bounded.bounded_length_route",
+        )
     base = manhattan(source, target)
     if base > max_length:
         return None

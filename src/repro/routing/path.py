@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator, List, Sequence, Tuple
 
 from repro.geometry.point import Point
+from repro.robustness.errors import KernelPreconditionError
 from repro.geometry.rect import Rect
 
 
@@ -21,11 +22,13 @@ class Path:
 
     def __init__(self, cells: Sequence[Point]) -> None:
         if not cells:
-            raise ValueError("a path must contain at least one cell")
+            raise KernelPreconditionError("a path must contain at least one cell")
         cells = [Point(c[0], c[1]) for c in cells]
         for a, b in zip(cells, cells[1:]):
             if a.manhattan(b) != 1:
-                raise ValueError(f"path cells {a} and {b} are not 4-adjacent")
+                raise KernelPreconditionError(
+                    f"path cells {a} and {b} are not 4-adjacent"
+                )
         self._cells: Tuple[Point, ...] = tuple(cells)
 
     @property
@@ -63,7 +66,7 @@ class Path:
     def concat(self, other: "Path") -> "Path":
         """Join two paths sharing an endpoint cell (``self.target == other.source``)."""
         if self.target != other.source:
-            raise ValueError(
+            raise KernelPreconditionError(
                 f"paths do not share an endpoint: {self.target} != {other.source}"
             )
         return Path(self._cells + other._cells[1:])

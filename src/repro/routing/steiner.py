@@ -15,7 +15,7 @@ available as a topology provider for connectivity-only routing.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Set, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.geometry.point import Point, manhattan
 from repro.routing.mst import manhattan_mst

@@ -10,7 +10,7 @@ candidate control pins along the boundary — producing a
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.designs.design import Design
 from repro.geometry.point import Point

@@ -11,7 +11,7 @@ what gives the compatibility graph its structure.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from repro.synthesis.components import Component
 from repro.valves.activation import ActivationSequence

@@ -1,0 +1,38 @@
+"""Fixtures for the pacorlint test suite.
+
+``make_project`` builds a throwaway mini-repo under ``tmp_path`` whose
+layout mirrors the real one (``src/repro/<pkg>/...`` plus optional
+``docs/paper_mapping.md``), because the rules scope themselves by the
+dotted module name derived from that layout.
+"""
+
+import textwrap
+from typing import Callable, Dict, Optional
+
+import pytest
+
+
+@pytest.fixture
+def make_project(tmp_path) -> Callable:
+    """Return a builder writing fixture files into a fresh repo root."""
+
+    def _make(
+        files: Dict[str, str],
+        mapping: Optional[str] = None,
+    ):
+        (tmp_path / "pyproject.toml").write_text(
+            '[project]\nname = "fixture"\n', encoding="utf-8"
+        )
+        for rel, body in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(body), encoding="utf-8")
+        if mapping is not None:
+            docs = tmp_path / "docs"
+            docs.mkdir(exist_ok=True)
+            (docs / "paper_mapping.md").write_text(
+                textwrap.dedent(mapping), encoding="utf-8"
+            )
+        return tmp_path
+
+    return _make

@@ -1,0 +1,153 @@
+"""pacorlint framework behaviour: suppressions, reporters, exit codes."""
+
+import json
+
+import pytest
+
+from repro.analysis.lint import (
+    registered_rules,
+    render_human,
+    render_json,
+    run_lint,
+)
+from repro.analysis.lint.runner import main
+
+_VIOLATING = """\
+import time
+
+def stamp():
+    return time.time()
+"""
+
+
+def _write(make_project, body=_VIOLATING, rel="src/repro/routing/timing.py"):
+    return make_project({rel: body})
+
+
+def test_line_suppression(make_project):
+    root = _write(
+        make_project,
+        """\
+        import time
+
+        def stamp():
+            return time.time()  # pacorlint: disable=DET002
+        """,
+    )
+    result = run_lint([root / "src"], root=root, rule_ids=["DET002"])
+    assert result.clean
+    assert result.suppressed == 1
+
+
+def test_file_suppression(make_project):
+    root = _write(
+        make_project,
+        """\
+        # pacorlint: disable=DET002
+        import time
+
+        def stamp():
+            return time.time() + time.monotonic()
+        """,
+    )
+    result = run_lint([root / "src"], root=root, rule_ids=["DET002"])
+    assert result.clean
+    assert result.suppressed == 2
+
+
+def test_disable_all_and_comma_lists(make_project):
+    root = _write(
+        make_project,
+        """\
+        import time
+
+        def stamp():
+            if True:
+                raise ValueError("x")  # pacorlint: disable=ERR001,DET003
+            return time.time()  # pacorlint: disable=all
+        """,
+    )
+    result = run_lint(
+        [root / "src"], root=root, rule_ids=["DET002", "ERR001"]
+    )
+    assert result.clean
+    assert result.suppressed == 2
+
+
+def test_suppression_marker_in_string_is_ignored(make_project):
+    root = _write(
+        make_project,
+        """\
+        import time
+
+        def stamp():
+            note = "# pacorlint: disable=DET002"
+            return time.time(), note
+        """,
+    )
+    result = run_lint([root / "src"], root=root, rule_ids=["DET002"])
+    assert len(result.violations) == 1
+
+
+def test_json_report_schema(make_project):
+    root = _write(make_project)
+    result = run_lint([root / "src"], root=root, rule_ids=["DET002"])
+    doc = json.loads(render_json(result))
+    assert doc["schema_version"] == 1
+    assert doc["tool"] == "pacorlint"
+    assert doc["files_checked"] == 1
+    assert doc["rules"] == ["DET002"]
+    assert doc["suppressed"] == 0
+    (violation,) = doc["violations"]
+    assert set(violation) == {"rule", "path", "line", "col", "message"}
+    assert violation["rule"] == "DET002"
+    assert violation["path"].endswith("timing.py")
+    assert violation["line"] == 4
+
+
+def test_human_report_format(make_project):
+    root = _write(make_project)
+    result = run_lint([root / "src"], root=root, rule_ids=["DET002"])
+    text = render_human(result)
+    assert "DET002" in text
+    assert "timing.py:4:" in text
+    assert "1 violation" in text
+
+
+def test_unknown_rule_id_raises(make_project):
+    root = _write(make_project)
+    with pytest.raises(ValueError, match="unknown rule ids"):
+        run_lint([root / "src"], root=root, rule_ids=["NOPE999"])
+
+
+def test_runner_exit_codes(make_project, capsys):
+    root = _write(make_project)
+    target = str(root / "src")
+    # 1: violations found.
+    assert main([target, "--root", str(root), "--rules", "DET002"]) == 1
+    # 0: clean (a rule the fixture cannot trip).
+    assert main([target, "--root", str(root), "--rules", "CHK001"]) == 0
+    # 2: usage/internal error (missing path, unknown rule).
+    assert main([str(root / "nope"), "--root", str(root)]) == 2
+    assert main([target, "--root", str(root), "--rules", "NOPE999"]) == 2
+    capsys.readouterr()
+
+
+def test_runner_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in registered_rules():
+        assert rule_id in out
+
+
+def test_cli_lint_subcommand(make_project, capsys, monkeypatch):
+    from repro.cli import main as cli_main
+
+    root = _write(make_project)
+    monkeypatch.chdir(root)
+    code = cli_main(["lint", "src", "--rules", "DET002", "--json"])
+    doc = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert doc["violations"][0]["rule"] == "DET002"
+    assert cli_main(["lint", "--list-rules"]) == 0
+    capsys.readouterr()

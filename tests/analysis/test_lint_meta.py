@@ -1,0 +1,56 @@
+"""Meta-checks: the real tree is violation-free and rule metadata is sane."""
+
+from pathlib import Path
+
+import pytest
+
+import repro.robustness as robustness
+from repro.analysis.lint import FileRule, ProjectRule, registered_rules, run_lint
+from repro.analysis.lint.rules import _TAXONOMY_NAMES
+from repro.robustness.errors import PacorError
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+EXPECTED_RULES = {"DET001", "DET002", "DET003", "ERR001", "OBS001", "CHK001"}
+
+
+def test_registry_holds_the_documented_rules():
+    registry = registered_rules()
+    assert set(registry) == EXPECTED_RULES
+    for rule_id, rule_cls in registry.items():
+        assert rule_cls.id == rule_id
+        assert rule_cls.rationale
+        assert issubclass(rule_cls, (FileRule, ProjectRule))
+
+
+def test_src_repro_is_violation_free():
+    src = REPO_ROOT / "src" / "repro"
+    assert src.is_dir()
+    result = run_lint([src], root=REPO_ROOT)
+    report = "\n".join(
+        f"{v.path}:{v.line}: {v.rule} {v.message}" for v in result.violations
+    )
+    assert result.clean, f"pacorlint violations in src/repro:\n{report}"
+    assert result.files_checked > 50
+
+
+def test_taxonomy_names_match_robustness_package():
+    for name in sorted(_TAXONOMY_NAMES):
+        cls = getattr(robustness, name, None)
+        assert cls is not None, f"ERR001 whitelists unknown class {name}"
+        if name != "FaultInjected":  # deliberately outside the taxonomy
+            assert issubclass(cls, PacorError), name
+
+
+def test_rules_are_documented():
+    doc = (REPO_ROOT / "docs" / "static_analysis.md").read_text(
+        encoding="utf-8"
+    )
+    for rule_id in EXPECTED_RULES:
+        assert rule_id in doc, f"{rule_id} missing from docs/static_analysis.md"
+
+
+@pytest.mark.parametrize("rule_id", sorted(EXPECTED_RULES))
+def test_every_rule_instantiates(rule_id):
+    rule = registered_rules()[rule_id]()
+    assert rule.id == rule_id

@@ -1,0 +1,358 @@
+"""Positive and negative fixtures for every pacorlint rule."""
+
+from repro.analysis.lint import run_lint
+
+
+def _lint(root, rule):
+    return run_lint([root / "src"], root=root, rule_ids=[rule])
+
+
+# --------------------------------------------------------------------------
+# DET001 — unseeded randomness
+
+
+def test_det001_flags_module_level_random(make_project):
+    root = make_project(
+        {
+            "src/repro/designs/gen.py": """\
+            import random
+
+            def jitter(xs):
+                random.shuffle(xs)
+                return xs
+            """
+        }
+    )
+    result = _lint(root, "DET001")
+    assert [v.rule for v in result.violations] == ["DET001"]
+    assert "random.shuffle" in result.violations[0].message
+
+
+def test_det001_flags_from_import_and_numpy(make_project):
+    root = make_project(
+        {
+            "src/repro/designs/gen.py": """\
+            import numpy as np
+            from random import shuffle
+
+            def jitter(xs):
+                shuffle(xs)
+                return np.random.rand(3)
+            """
+        }
+    )
+    result = _lint(root, "DET001")
+    assert len(result.violations) == 2
+
+
+def test_det001_allows_seeded_instances(make_project):
+    root = make_project(
+        {
+            "src/repro/designs/gen.py": """\
+            import random
+
+            import numpy as np
+
+            def jitter(xs, seed):
+                rng = random.Random(seed)
+                rng.shuffle(xs)
+                return np.random.default_rng(seed).random(3)
+            """
+        }
+    )
+    assert _lint(root, "DET001").clean
+
+
+# --------------------------------------------------------------------------
+# DET002 — wall-clock reads
+
+
+def test_det002_flags_wall_clock_in_flow_code(make_project):
+    root = make_project(
+        {
+            "src/repro/routing/timing.py": """\
+            import time
+            from time import monotonic
+
+            def stamp():
+                return time.time() + monotonic()
+            """
+        }
+    )
+    result = _lint(root, "DET002")
+    assert len(result.violations) == 2
+    assert all(v.rule == "DET002" for v in result.violations)
+
+
+def test_det002_flags_datetime_now(make_project):
+    root = make_project(
+        {
+            "src/repro/core/run.py": """\
+            from datetime import datetime
+
+            def stamp():
+                return datetime.now()
+            """
+        }
+    )
+    assert len(_lint(root, "DET002").violations) == 1
+
+
+def test_det002_allows_whitelisted_modules_and_perf_counter(make_project):
+    root = make_project(
+        {
+            # The budget module is the designated decision clock...
+            "src/repro/robustness/budget.py": """\
+            import time
+
+            def now():
+                return time.monotonic()
+            """,
+            # ...and perf_counter (pure duration measurement) is fine
+            # anywhere.
+            "src/repro/routing/timing.py": """\
+            import time
+
+            def measure():
+                return time.perf_counter()
+            """,
+        }
+    )
+    assert _lint(root, "DET002").clean
+
+
+# --------------------------------------------------------------------------
+# DET003 — set iteration in kernels
+
+
+def test_det003_flags_set_iteration_in_kernel(make_project):
+    root = make_project(
+        {
+            "src/repro/routing/kern.py": """\
+            def pick(cells):
+                frontier = set(cells)
+                for cell in frontier:
+                    yield cell
+            """
+        }
+    )
+    result = _lint(root, "DET003")
+    assert [v.rule for v in result.violations] == ["DET003"]
+
+
+def test_det003_flags_list_of_set_and_comprehensions(make_project):
+    root = make_project(
+        {
+            "src/repro/dme/kern.py": """\
+            def order(a, b):
+                merged = list(set(a) | set(b))
+                squares = [x * x for x in {1, 2, 3}]
+                return merged, squares
+            """
+        }
+    )
+    assert len(_lint(root, "DET003").violations) == 2
+
+
+def test_det003_allows_sorted_iteration_and_non_kernels(make_project):
+    root = make_project(
+        {
+            "src/repro/routing/kern.py": """\
+            def pick(cells):
+                frontier = set(cells)
+                for cell in sorted(frontier):
+                    yield cell
+            """,
+            # geometry is not a kernel package: bare set iteration is
+            # out of DET003's scope there.
+            "src/repro/geometry/hull.py": """\
+            def corners(points):
+                uniq = set(points)
+                return [p for p in uniq]
+            """,
+        }
+    )
+    assert _lint(root, "DET003").clean
+
+
+# --------------------------------------------------------------------------
+# ERR001 — PacorError taxonomy
+
+
+def test_err001_flags_bare_valueerror_in_flow_stage(make_project):
+    root = make_project(
+        {
+            "src/repro/routing/astar.py": """\
+            def route(net):
+                if net is None:
+                    raise ValueError("no net")
+            """
+        }
+    )
+    result = _lint(root, "ERR001")
+    assert [v.rule for v in result.violations] == ["ERR001"]
+    assert "PacorError taxonomy" in result.violations[0].message
+
+
+def test_err001_allows_taxonomy_validation_and_reraise(make_project):
+    root = make_project(
+        {
+            # Flow stage using the taxonomy, a local subclass, and a
+            # bound re-raise: all fine.
+            "src/repro/routing/astar.py": """\
+            from repro.robustness.errors import KernelPreconditionError, PacorError
+
+            class AStarError(PacorError):
+                pass
+
+            def route(net):
+                if net is None:
+                    raise KernelPreconditionError("no net")
+                try:
+                    return net.pins
+                except AttributeError as err:
+                    raise err
+
+            def fail():
+                raise AStarError("local subclass is fine")
+            """,
+            # geometry is a validation package: ValueError/TypeError ok.
+            "src/repro/geometry/point.py": """\
+            def scale(p, k):
+                if k <= 0:
+                    raise ValueError("k must be positive")
+                if not isinstance(p, tuple):
+                    raise TypeError("p must be a tuple")
+                return (p[0] * k, p[1] * k)
+            """,
+        }
+    )
+    assert _lint(root, "ERR001").clean
+
+
+# --------------------------------------------------------------------------
+# OBS001 — counter coverage
+
+
+_MAPPING = """\
+# Paper mapping
+
+## Kernel counters
+
+| Counter | Kernel |
+| --- | --- |
+| `astar.expansions` | `repro.routing.astar` |
+"""
+
+
+def test_obs001_flags_missing_increment(make_project):
+    root = make_project(
+        {
+            "src/repro/routing/astar.py": """\
+            def route(net):
+                return net
+            """
+        },
+        mapping=_MAPPING,
+    )
+    result = _lint(root, "OBS001")
+    messages = " ".join(v.message for v in result.violations)
+    assert "astar.expansions" in messages
+    assert "repro.routing.astar" in messages
+    assert all(v.path == "docs/paper_mapping.md" for v in result.violations)
+
+
+def test_obs001_accepts_instrumented_kernel(make_project):
+    root = make_project(
+        {
+            "src/repro/routing/astar.py": """\
+            def route(net, metrics):
+                metrics.counter("astar.expansions").add(1)
+                return net
+            """
+        },
+        mapping=_MAPPING,
+    )
+    assert _lint(root, "OBS001").clean
+
+
+def test_obs001_resolves_reexported_symbols(make_project):
+    mapping = """\
+    # Paper mapping
+
+    ## Kernel counters
+
+    | Counter | Kernel |
+    | --- | --- |
+    | `mcf.pushes` | `repro.flownet.MinCostFlow` |
+    """
+    root = make_project(
+        {
+            # The symbol lives in a submodule of the ref's prefix, as
+            # with re-exports through __init__.
+            "src/repro/flownet/impl.py": """\
+            class MinCostFlow:
+                def solve(self, metrics):
+                    metrics.counter("mcf.pushes").add(1)
+            """
+        },
+        mapping=mapping,
+    )
+    assert _lint(root, "OBS001").clean
+
+
+# --------------------------------------------------------------------------
+# CHK001 — serialized dataclass schema drift
+
+
+def test_chk001_flags_field_missing_from_to_json(make_project):
+    root = make_project(
+        {
+            "src/repro/robustness/snap.py": """\
+            from dataclasses import dataclass
+
+            @dataclass
+            class Snap:
+                a: int
+                b: int
+
+                def to_json(self):
+                    return {"a": self.a}
+
+                @classmethod
+                def from_json(cls, doc):
+                    return cls(a=doc["a"], b=doc["b"])
+            """
+        }
+    )
+    result = _lint(root, "CHK001")
+    assert [v.rule for v in result.violations] == ["CHK001"]
+    assert "'b'" in result.violations[0].message
+    assert "to_json" in result.violations[0].message
+
+
+def test_chk001_accepts_asdict_and_splat(make_project):
+    root = make_project(
+        {
+            "src/repro/robustness/snap.py": """\
+            from dataclasses import asdict, dataclass
+
+            @dataclass
+            class Snap:
+                a: int
+                b: int
+
+                def to_json(self):
+                    return asdict(self)
+
+                @classmethod
+                def from_json(cls, doc):
+                    return cls(**doc)
+
+            @dataclass
+            class NotSerialized:
+                c: int
+            """
+        }
+    )
+    assert _lint(root, "CHK001").clean
