@@ -7,7 +7,12 @@ Rule ids are stable and documented in ``docs/static_analysis.md``:
 * ``DET002`` — no wall-clock reads outside the budget/tracing whitelist;
   anything else breaks bit-identical checkpoint replay.
 * ``DET003`` — no iteration over bare sets in routing/DME/detour/escape
-  kernels; unordered iteration feeds nondeterministic tie-breaks.
+  kernels; unordered iteration feeds nondeterministic tie-breaks.  The
+  kernel core (``repro.routing.core``) is exempt: its set iterations
+  feed only order-insensitive reductions.
+* ``PERF001`` — no Point-keyed dict/set search state in kernel hot
+  loops; per-visit tuple hashing is the overhead the flat cell-id core
+  removes.
 * ``ERR001`` — raises in flow-stage packages use the
   :class:`~repro.robustness.errors.PacorError` taxonomy.
 * ``OBS001`` — every kernel named in the counter↔algorithm table of
@@ -232,6 +237,13 @@ _KERNEL_PACKAGES = {"routing", "dme", "detour", "escape"}
 _SET_METHODS = {"union", "intersection", "difference", "symmetric_difference"}
 _SET_ANNOTATIONS = {"set", "frozenset", "Set", "FrozenSet", "MutableSet"}
 
+# The kernel core is exempt from DET003: its set iterations feed only
+# order-insensitive reductions — bounding-box min/max over target cells
+# and idempotent byte writes into the fused blocked-mask — so iteration
+# order can never reach a tie-break.  The property tests in
+# tests/routing/test_core.py pin that equivalence.
+_DET003_EXEMPT = "repro.routing.core"
+
 
 @register
 class SetIterationRule(FileRule):
@@ -246,6 +258,9 @@ class SetIterationRule(FileRule):
     def check(self, parsed: ParsedFile) -> Iterator[Violation]:
         """Yield one violation per set-valued iteration site."""
         if _repro_package(parsed) not in _KERNEL_PACKAGES:
+            return
+        module = parsed.module
+        if module == _DET003_EXEMPT or module.startswith(_DET003_EXEMPT + "."):
             return
         for scope in ast.walk(parsed.tree):
             if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
@@ -357,6 +372,124 @@ class SetIterationRule(FileRule):
                 "key instead"
             ),
         )
+
+
+# --------------------------------------------------------------------------
+# PERF001 — Point-keyed search state in kernel hot loops
+
+
+_HOT_MARKERS = {"heappush", "heappop", "heappushpop", "popleft"}
+_DICT_ANNOTATIONS = {
+    "dict",
+    "Dict",
+    "DefaultDict",
+    "defaultdict",
+    "MutableMapping",
+    "Counter",
+    "OrderedDict",
+}
+_PERF_SET_ANNOTATIONS = _SET_ANNOTATIONS
+
+
+@register
+class PointKeyedHotStateRule(FileRule):
+    """Flag Point-keyed dict/set search state in kernel hot loops.
+
+    The kernel core (:mod:`repro.routing.core`) exists so the per-visit
+    bookkeeping of search loops — frontier membership, parent maps, cost
+    maps, blocked sets — runs on flat ``int`` cell ids instead of
+    ``Point`` tuples.  A ``Dict`` keyed by ``Point`` (or a ``Set`` of
+    ``Point``) declared inside a hot kernel function pays tuple hashing
+    on every cell visit, which is exactly the overhead the core removed;
+    this rule keeps it from creeping back.
+
+    A function counts as *hot* when it contains a ``while`` loop or
+    references heap/deque primitives (``heappush``, ``heappop``,
+    ``popleft``) — the signature of a per-cell search loop.  Cold
+    helpers and one-shot construction passes may keep Point-keyed maps;
+    they are not flagged.
+    """
+
+    id = "PERF001"
+    rationale = (
+        "Point-keyed dict/set state in kernel hot loops re-hashes tuples "
+        "per visited cell; key by flat grid.index cell ids "
+        "(repro.routing.core) instead"
+    )
+
+    def check(self, parsed: ParsedFile) -> Iterator[Violation]:
+        """Yield one violation per Point-keyed hot-loop container."""
+        if _repro_package(parsed) not in _KERNEL_PACKAGES:
+            return
+        for scope in ast.walk(parsed.tree):
+            if isinstance(
+                scope, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ) and self._is_hot(scope):
+                yield from self._check_scope(parsed, scope)
+
+    @staticmethod
+    def _is_hot(scope: ast.AST) -> bool:
+        for node in ast.walk(scope):
+            if isinstance(node, ast.While):
+                return True
+            if isinstance(node, ast.Attribute) and node.attr in _HOT_MARKERS:
+                return True
+            if isinstance(node, ast.Name) and node.id in _HOT_MARKERS:
+                return True
+        return False
+
+    def _check_scope(
+        self, parsed: ParsedFile, scope: ast.AST
+    ) -> Iterator[Violation]:
+        for child in ast.iter_child_nodes(scope):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Nested defs get their own hotness decision.
+                continue
+            if isinstance(child, ast.AnnAssign) and isinstance(
+                child.target, ast.Name
+            ):
+                kind = self._point_keyed_kind(child.annotation)
+                if kind is not None:
+                    yield Violation(
+                        rule=self.id,
+                        path=parsed.rel,
+                        line=child.lineno,
+                        col=child.col_offset,
+                        message=(
+                            f"{child.target.id!r} is a Point-keyed {kind} in "
+                            f"a kernel hot loop; per-visit Point hashing is "
+                            f"the overhead repro.routing.core removes — key "
+                            f"by flat grid.index cell ids"
+                        ),
+                    )
+            yield from self._check_scope(parsed, child)
+
+    def _point_keyed_kind(self, ann: ast.AST) -> Optional[str]:
+        """Return 'dict'/'set' when ``ann`` is a Point-keyed container."""
+        if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+            try:
+                ann = ast.parse(ann.value, mode="eval").body
+            except SyntaxError:
+                return None
+        if not isinstance(ann, ast.Subscript):
+            return None
+        short = (_dotted(ann.value) or "").split(".")[-1]
+        if short in _DICT_ANNOTATIONS:
+            sl = ann.slice
+            key = sl.elts[0] if isinstance(sl, ast.Tuple) and sl.elts else sl
+            return "dict" if self._mentions_point(key) else None
+        if short in _PERF_SET_ANNOTATIONS:
+            return "set" if self._mentions_point(ann.slice) else None
+        return None
+
+    @staticmethod
+    def _mentions_point(node: ast.AST) -> bool:
+        for n in ast.walk(node):
+            if isinstance(n, ast.Name) and n.id == "Point":
+                return True
+            if isinstance(n, ast.Attribute) and n.attr == "Point":
+                return True
+        return False
 
 
 # --------------------------------------------------------------------------

@@ -73,6 +73,20 @@ class RoutedTree:
             cells.update(self.escape_path.cells)
         return cells
 
+    def all_cell_ids(self, width: int) -> Set[int]:
+        """Return every channel cell as a flat cell id (escape included).
+
+        The id-set twin of :meth:`all_cells` for a ``width``-wide grid —
+        what the detour stage feeds straight into occupancy buckets and
+        :class:`~repro.routing.core.space.SearchSpace` extra obstacles.
+        """
+        ids: Set[int] = set()
+        for path in self.edge_paths.values():
+            ids.update(path.cell_ids(width))
+        if self.escape_path is not None:
+            ids.update(self.escape_path.cell_ids(width))
+        return ids
+
     def total_length(self) -> int:
         """Return the summed channel length (tree edges + escape)."""
         total = sum(p.length for p in self.edge_paths.values())

@@ -46,8 +46,10 @@ class DetourResult:
 
 def _recommit(occupancy: Occupancy, tree: RoutedTree) -> None:
     """Synchronise the occupancy overlay with the tree's current cells."""
-    occupancy.release(tree.cluster_id)
-    occupancy.occupy(tree.all_cells(), tree.cluster_id)
+    occupancy.release_ids(tree.cluster_id)
+    occupancy.occupy_ids(
+        tree.all_cell_ids(occupancy.grid.width), tree.cluster_id
+    )
 
 
 def _detour_edge(
@@ -68,42 +70,40 @@ def _detour_edge(
     lo = old.length + extra[0]
     hi = old.length + extra[1]
 
-    own_cells = set(old.cells)
-    other_cells = tree.all_cells() - own_cells
-    endpoints = {old.source, old.target}
-    forbidden = other_cells - endpoints
+    width = grid.width
+    own_ids = set(old.cell_ids(width))
+    other_ids = tree.all_cell_ids(width) - own_ids
+    endpoint_ids = {grid.index(old.source), grid.index(old.target)}
+    forbidden_ids = other_ids - endpoint_ids
 
     # Free the old path in the overlay so the router may reuse its cells;
     # cells shared with sibling edges keep their protection via forbidden.
-    occupancy.release_cells(own_cells - other_cells)
-    try:
-        new_path = bounded_length_route(
-            grid,
-            old.source,
-            old.target,
-            max(lo, old.source.manhattan(old.target)),
-            hi,
-            net=tree.cluster_id,
-            occupancy=occupancy,
-            extra_obstacles=forbidden,
-        )
-        if new_path is None:
-            # Serpentine fallback: bump the existing path.
-            want = extra[1] if extra[1] % 2 == 0 else extra[1] - 1
-            if want >= max(extra[0], 2):
-                new_path = extend_path_with_bumps(
-                    grid,
-                    old,
-                    want,
-                    net=tree.cluster_id,
-                    occupancy=occupancy,
-                    extra_obstacles=forbidden,
-                )
-        return new_path
-    finally:
-        # The caller rewrites edge_paths and recommits; restore the overlay
-        # to a consistent state here regardless of outcome.
-        pass
+    occupancy.release_cell_ids(own_ids - other_ids)
+    new_path = bounded_length_route(
+        grid,
+        old.source,
+        old.target,
+        max(lo, old.source.manhattan(old.target)),
+        hi,
+        net=tree.cluster_id,
+        occupancy=occupancy,
+        extra_obstacle_ids=forbidden_ids,
+    )
+    if new_path is None:
+        # Serpentine fallback: bump the existing path.
+        want = extra[1] if extra[1] % 2 == 0 else extra[1] - 1
+        if want >= max(extra[0], 2):
+            new_path = extend_path_with_bumps(
+                grid,
+                old,
+                want,
+                net=tree.cluster_id,
+                occupancy=occupancy,
+                extra_obstacle_ids=forbidden_ids,
+            )
+    # The caller rewrites edge_paths and recommits, restoring the overlay
+    # to a consistent state regardless of outcome.
+    return new_path
 
 
 def detour_cluster(

@@ -111,20 +111,23 @@ def solve_escape(
         result.unrouted = [s.cluster_id for s in sources]
         return result
 
-    usable: Dict[Point, int] = {}
+    width = grid.width
+    height = grid.height
+    size = width * height
+    obstacles = grid.obstacle_mask()
+    blocked_ids = {
+        p[1] * width + p[0]
+        for p in blocked
+        if 0 <= p[0] < width and 0 <= p[1] < height
+    }
 
-    def usable_index(p: Point) -> Optional[int]:
-        if p in usable:
-            return usable[p]
-        if not grid.is_free(p) or p in blocked:
-            return None
-        usable[p] = len(usable)
-        return usable[p]
-
-    # First pass: register cells (deterministic order).
-    for y in range(grid.height):
-        for x in range(grid.width):
-            usable_index(Point(x, y))
+    # First pass: register usable cells in deterministic row-major order,
+    # keyed by flat cell id (the kernel core's representation — the flow
+    # decomposition below walks cells per step, so lookups stay int-keyed).
+    usable: Dict[int, int] = {}
+    for cid in range(size):
+        if not obstacles[cid] and cid not in blocked_ids:
+            usable[cid] = len(usable)
 
     n_cells = len(usable)
     # Node layout: in(k) = 2k, out(k) = 2k + 1, then S, T, selectors.
@@ -138,15 +141,22 @@ def solve_escape(
     def out_node(k: int) -> int:
         return 2 * k + 1
 
-    # Cell splitting and adjacency.
-    cells_by_index: List[Point] = [None] * n_cells  # type: ignore[list-item]
-    for p, k in usable.items():
-        cells_by_index[k] = p
-    for p, k in usable.items():
+    # Cell splitting and adjacency (neighbour order East, West, South,
+    # North — the canonical ``neighbors4`` order, so arc insertion order
+    # and therefore the solved flow are unchanged by the id keying).
+    for k in usable.values():
         net.add_arc(in_node(k), out_node(k), 1, 0.0)
-    adjacency_arc: Dict[int, List[Tuple[int, Point]]] = {}
-    for p, k in usable.items():
-        for q in p.neighbors4():
+    adjacency_arc: Dict[int, List[Tuple[int, int]]] = {}
+    for cid, k in usable.items():
+        xp = cid % width
+        for q in (
+            cid + 1 if xp + 1 < width else -1,
+            cid - 1 if xp else -1,
+            cid + width,
+            cid - width,
+        ):
+            if q < 0 or q >= size:
+                continue
             kq = usable.get(q)
             if kq is None:
                 continue
@@ -155,43 +165,51 @@ def solve_escape(
 
     # Control pins.
     pin_arc_of_cell: Dict[int, Tuple[int, Point]] = {}
-    seen_pins: Set[Point] = set()
+    seen_pins: Set[int] = set()
     for pin in pins:
-        pin = Point(pin[0], pin[1])
-        if pin in seen_pins:
+        x, y = pin[0], pin[1]
+        if not (0 <= x < width and 0 <= y < height):
+            continue  # an off-chip pin can never be usable
+        pid = y * width + x
+        if pid in seen_pins:
             continue
-        seen_pins.add(pin)
-        k = usable.get(pin)
+        seen_pins.add(pid)
+        k = usable.get(pid)
         if k is None:
             continue
         arc = net.add_arc(out_node(k), t_node, 1, 0.0)
-        pin_arc_of_cell[k] = (arc, pin)
+        pin_arc_of_cell[k] = (arc, Point(x, y))
 
     # Sources.
-    tap_arcs: Dict[int, List[Tuple[int, Point, Point]]] = {}
+    tap_arcs: Dict[int, List[Tuple[int, Point, int]]] = {}
     for si, source in enumerate(sources):
         selector = 2 * n_cells + 2 + si
         net.add_arc(s_node, selector, 1, 0.0)
-        entries: List[Tuple[int, Point, Point]] = []
-        seen_entry: Set[Point] = set()
+        entries: List[Tuple[int, Point, int]] = []
+        seen_entry: Set[int] = set()
         for tap in source.tap_cells:
             tap = Point(tap[0], tap[1])
-            k_tap = usable.get(tap)
+            on_chip = 0 <= tap[0] < width and 0 <= tap[1] < height
+            tid = tap[1] * width + tap[0] if on_chip else -1
+            k_tap = usable.get(tid) if on_chip else None
             if k_tap is not None:
                 # The tap cell itself is routable (singleton valve case):
                 # the path starts on it at zero cost.
-                if tap not in seen_entry:
+                if tid not in seen_entry:
                     arc = net.add_arc(selector, in_node(k_tap), 1, 0.0)
-                    entries.append((arc, tap, tap))
-                    seen_entry.add(tap)
+                    entries.append((arc, tap, tid))
+                    seen_entry.add(tid)
                 continue
             for v in tap.neighbors4():
-                kv = usable.get(v)
-                if kv is None or v in seen_entry:
+                if not (0 <= v[0] < width and 0 <= v[1] < height):
+                    continue
+                vid = v[1] * width + v[0]
+                kv = usable.get(vid)
+                if kv is None or vid in seen_entry:
                     continue
                 arc = net.add_arc(selector, in_node(kv), 1, 1.0)
-                entries.append((arc, tap, v))
-                seen_entry.add(v)
+                entries.append((arc, tap, vid))
+                seen_entry.add(vid)
         tap_arcs[si] = entries
 
     flow_value, total_cost = net.max_flow_min_cost(
@@ -209,9 +227,10 @@ def solve_escape(
         if entry is None:
             result.unrouted.append(source.cluster_id)
             continue
-        _, tap, v = entry
+        _, tap, vid = entry
+        v = Point(vid % width, vid // width)
         cells: List[Point] = [tap] if tap != v else []
-        current = usable[v]
+        current = usable[vid]
         cells.append(v)
         pin: Optional[Point] = None
         guard = 0
@@ -234,7 +253,7 @@ def solve_escape(
             if step is None:  # pragma: no cover - defensive
                 raise FlowDecompositionError("flow decomposition hit a dead end")
             _, q = step
-            cells.append(q)
+            cells.append(Point(q % width, q // width))
             current = usable[q]
         result.paths[source.cluster_id] = Path(cells)
         result.pin_of[source.cluster_id] = pin

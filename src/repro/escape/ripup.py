@@ -70,43 +70,71 @@ def find_blocking_nets(
         rippable cells (the source is walled in by obstacles or protected
         nets).
     """
-    pin_set = {Point(p[0], p[1]) for p in pins}
-    if not pin_set or not tap_cells:
+    width = grid.width
+    height = grid.height
+    size = width * height
+    pin_ids = {
+        p[1] * width + p[0]
+        for p in pins
+        if 0 <= p[0] < width and 0 <= p[1] < height
+    }
+    if not pin_ids or not tap_cells:
         return None
     rip_cost = rip_cost or {}
+    obstacles = grid.obstacle_mask()
+    permanent_ids = (
+        {
+            p[1] * width + p[0]
+            for p in permanent
+            if 0 <= p[0] < width and 0 <= p[1] < height
+        }
+        if permanent is not None
+        else None
+    )
 
-    def step_cost(p: Point) -> Optional[float]:
-        if not grid.is_free(p):
+    def step_cost(cid: int) -> Optional[float]:
+        if obstacles[cid]:
             return None
-        owner = occupancy.owner(p)
+        owner = occupancy.owner_id(cid)
         if owner == FREE:
             return 1.0
-        if permanent is not None and p in permanent:
+        if permanent_ids is not None and cid in permanent_ids:
             return None
         if owner in rippable:
             return 1.0 + _RIP_PENALTY * rip_cost.get(owner, 1.0)
         return None
 
-    best: Dict[Point, float] = {}
-    parent: Dict[Point, Optional[Point]] = {}
-    heap: List[Tuple[float, int, Point]] = []
+    best: Dict[int, float] = {}
+    parent: Dict[int, int] = {}
+    heap: List[Tuple[float, int, int]] = []
     tie = count()
     for tap in tap_cells:
-        tap = Point(tap[0], tap[1])
-        best[tap] = 0.0
-        parent[tap] = None
-        heapq.heappush(heap, (0.0, next(tie), tap))
+        x, y = tap[0], tap[1]
+        if not (0 <= x < width and 0 <= y < height):
+            continue
+        cid = y * width + x
+        best[cid] = 0.0
+        parent[cid] = -1
+        heapq.heappush(heap, (0.0, next(tie), cid))
 
-    goal: Optional[Point] = None
+    goal = -1
     while heap:
         d, _, p = heapq.heappop(heap)
         if d > best.get(p, float("inf")):
             continue
-        if p in pin_set and parent[p] is not None:
+        if p in pin_ids and parent[p] >= 0:
             goal = p
             break
-        for q in p.neighbors4():
-            if not grid.in_bounds(q):
+        xp = p % width
+        # Neighbour order East, West, South, North, as everywhere in the
+        # kernel core (-1 marks an off-chip East/West step).
+        for q in (
+            p + 1 if xp + 1 < width else -1,
+            p - 1 if xp else -1,
+            p + width,
+            p - width,
+        ):
+            if q < 0 or q >= size:
                 continue
             cost = step_cost(q)
             if cost is None:
@@ -116,16 +144,18 @@ def find_blocking_nets(
                 best[q] = nd
                 parent[q] = p
                 heapq.heappush(heap, (nd, next(tie), q))
-    if goal is None:
+    if goal < 0:
         return None
 
     result = ProbeResult(nets=set(), length=-1)
-    node: Optional[Point] = goal
-    while node is not None:
-        owner = occupancy.owner(node)
+    node = goal
+    while node >= 0:
+        owner = occupancy.owner_id(node)
         if owner != FREE and owner in rippable:
             result.nets.add(owner)
-            result.crossed_cells.setdefault(owner, set()).add(node)
+            result.crossed_cells.setdefault(owner, set()).add(
+                Point(node % width, node // width)
+            )
         node = parent[node]
         result.length += 1
     return result

@@ -18,7 +18,7 @@ from repro.escape.mcf import EscapeResult, EscapeSource
 from repro.geometry.point import Point
 from repro.grid.grid import RoutingGrid
 from repro.robustness.errors import KernelPreconditionError
-from repro.routing.astar import astar_route
+from repro.routing.core import SearchSpace, astar_search
 from repro.routing.path import Path
 
 
@@ -46,7 +46,15 @@ def solve_escape_sequential(
         ones, so both completion and total cost can only be worse than
         (or equal to) the global min-cost-flow formulation.
     """
-    blocked = set(blocked) if blocked else set()
+    # Track no-go cells as flat ids; each routed path joins the set, so
+    # the per-source SearchSpace below sees earlier paths as obstacles.
+    width = grid.width
+    height = grid.height
+    blocked_ids: Set[int] = set()
+    if blocked:
+        for p in blocked:
+            if 0 <= p[0] < width and 0 <= p[1] < height:
+                blocked_ids.add(p[1] * width + p[0])
     result = EscapeResult()
     if not sources:
         return result
@@ -73,28 +81,29 @@ def solve_escape_sequential(
 
     used_pins: Set[Point] = set()
     for source in ordered:
+        space = SearchSpace(grid, extra_obstacle_ids=blocked_ids)
         taps = [Point(t[0], t[1]) for t in source.tap_cells]
         # Entry cells: free neighbours of the taps (or the tap itself if
         # it is unoccupied — singleton valves).
         entries: List[Point] = []
         entry_tap = {}
         for tap in taps:
-            if grid.is_free(tap) and tap not in blocked:
+            if space.routable(tap):
                 entries.append(tap)
                 entry_tap[tap] = tap
                 continue
             for v in tap.neighbors4():
-                if grid.is_free(v) and v not in blocked and v not in entry_tap:
+                if space.routable(v) and v not in entry_tap:
                     entries.append(v)
                     entry_tap[v] = tap
         targets = [
-            p for p in pin_cells
-            if p not in used_pins and grid.is_free(p) and p not in blocked
+            p for p in pin_cells if p not in used_pins and space.routable(p)
         ]
-        path = astar_route(grid, entries, targets, extra_obstacles=blocked)
-        if path is None:
+        ids = astar_search(space, entries, targets)
+        if ids is None:
             result.unrouted.append(source.cluster_id)
             continue
+        path = space.materialize(ids)
         tap = entry_tap[path.source]
         cells = list(path.cells) if tap == path.source else [tap] + list(path.cells)
         full = Path(cells)
@@ -103,5 +112,5 @@ def solve_escape_sequential(
         result.flow_value += 1
         result.total_cost += full.length
         used_pins.add(full.target)
-        blocked |= set(full.cells)
+        blocked_ids.update(full.cell_ids(width))
     return result

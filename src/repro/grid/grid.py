@@ -65,6 +65,15 @@ class RoutingGrid:
         if clipped is not None:
             self.add_obstacles(clipped.cells())
 
+    def obstacle_mask(self) -> bytearray:
+        """Return the live flat obstacle mask (``1`` = blocked).
+
+        Indexed by :meth:`index` cell ids.  This is the seed layer of a
+        :class:`~repro.routing.core.space.SearchSpace` blocked-mask;
+        callers must copy before mutating.
+        """
+        return self._obstacles
+
     def obstacle_count(self) -> int:
         """Return the number of blocked cells."""
         return sum(self._obstacles)

@@ -4,11 +4,19 @@ Routed control channels become obstacles for every other net; the rip-up
 stages additionally need to know *which* net blocks a cell so that the
 blocking paths can be ripped up selectively.  ``Occupancy`` therefore maps
 every cell to the integer id of the net occupying it (or :data:`FREE`).
+
+The flat owner array (indexed by ``grid.index`` cell ids) is the single
+source of truth; the per-net buckets are an inverted index of cell *ids*
+kept alongside it so that releasing a net and overlaying the occupancy
+onto a :class:`~repro.routing.core.space.SearchSpace` blocked-mask are
+O(cells of that net), not O(grid).  ``Point``-based accessors remain the
+public face; id-based variants (``*_ids``) serve the kernel core, which
+never leaves integer-land mid-search.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Set
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
 
 from repro.geometry.point import Point
 from repro.grid.grid import RoutingGrid
@@ -22,17 +30,24 @@ class Occupancy:
     """Tracks which net occupies each grid cell.
 
     The overlay never includes the grid's static obstacles; callers check
-    both :meth:`RoutingGrid.is_free` and :meth:`owner`.
+    both :meth:`RoutingGrid.is_free` and :meth:`owner` (or build a fused
+    :class:`~repro.routing.core.space.SearchSpace` which composes both).
     """
 
     def __init__(self, grid: RoutingGrid) -> None:
         self.grid = grid
         self._owner: List[int] = [FREE] * (grid.width * grid.height)
-        self._cells: Dict[int, Set[Point]] = {}
+        self._cells: Dict[int, Set[int]] = {}
+
+    # -- queries -----------------------------------------------------------
 
     def owner(self, p: Point) -> int:
         """Return the net id occupying ``p`` or :data:`FREE`."""
         return self._owner[self.grid.index(p)]
+
+    def owner_id(self, cid: int) -> int:
+        """Return the net id occupying cell id ``cid`` or :data:`FREE`."""
+        return self._owner[cid]
 
     def is_free(self, p: Point) -> bool:
         """Return True when no net occupies ``p`` (obstacles not checked)."""
@@ -49,47 +64,93 @@ class Occupancy:
         owner = self._owner[self.grid.index(p)]
         return owner == FREE or owner == net
 
+    # -- mutation ----------------------------------------------------------
+
     def occupy(self, cells: Iterable[Point], net: int) -> None:
         """Assign every cell in ``cells`` to ``net``.
 
         Raises :class:`ValueError` when a cell is already owned by a
         different net — the routers must never create crossings.
         """
+        self.occupy_ids((self.grid.index(p) for p in cells), net)
+
+    def occupy_ids(self, cids: Iterable[int], net: int) -> None:
+        """Assign every cell id in ``cids`` to ``net`` (see :meth:`occupy`)."""
         if net == FREE:
             raise ValueError("cannot occupy cells with the FREE sentinel id")
+        owner = self._owner
+        width = self.grid.width
         bucket = self._cells.setdefault(net, set())
-        for p in cells:
-            idx = self.grid.index(p)
-            current = self._owner[idx]
+        for cid in cids:
+            current = owner[cid]
             if current != FREE and current != net:
-                raise ValueError(f"cell {p} already occupied by net {current}")
-            self._owner[idx] = net
-            bucket.add(p)
+                y, x = divmod(cid, width)
+                raise ValueError(
+                    f"cell {Point(x, y)} already occupied by net {current}"
+                )
+            owner[cid] = net
+            bucket.add(cid)
         if bucket and faults.fires("occupancy_corruption"):
             # Chaos-suite hook: orphan one owner entry (owner array says
             # occupied, bucket disagrees) so the between-stage consistency
-            # check has something real to detect and repair.
-            bucket.discard(min(bucket))
+            # check has something real to detect and repair.  The dropped
+            # cell is the (x, y)-minimal one, as it was when buckets held
+            # Points — keyed, not raw id order (which would be (y, x)).
+            bucket.discard(min(bucket, key=lambda c: (c % width, c // width)))
 
     def release(self, net: int) -> Set[Point]:
         """Free every cell of ``net`` and return the released cells."""
-        cells = self._cells.pop(net, set())
-        for p in cells:
-            self._owner[self.grid.index(p)] = FREE
-        return cells
+        width = self.grid.width
+        return {
+            Point(cid % width, cid // width) for cid in self.release_ids(net)
+        }
+
+    def release_ids(self, net: int) -> Set[int]:
+        """Free every cell of ``net`` and return the released cell ids."""
+        cids = self._cells.pop(net, set())
+        owner = self._owner
+        for cid in cids:
+            owner[cid] = FREE
+        return cids
 
     def release_cells(self, cells: Iterable[Point]) -> None:
         """Free specific cells regardless of owner."""
-        for p in cells:
-            idx = self.grid.index(p)
-            owner = self._owner[idx]
-            if owner != FREE:
-                self._owner[idx] = FREE
-                self._cells.get(owner, set()).discard(p)
+        index = self.grid.index
+        self.release_cell_ids(index(p) for p in cells)
+
+    def release_cell_ids(self, cids: Iterable[int]) -> None:
+        """Free specific cell ids regardless of owner."""
+        owner = self._owner
+        for cid in cids:
+            net = owner[cid]
+            if net != FREE:
+                owner[cid] = FREE
+                self._cells.get(net, set()).discard(cid)
+
+    # -- bulk views --------------------------------------------------------
 
     def cells_of(self, net: int) -> Set[Point]:
         """Return (a copy of) the cells currently owned by ``net``."""
-        return set(self._cells.get(net, set()))
+        width = self.grid.width
+        return {
+            Point(cid % width, cid // width)
+            for cid in self._cells.get(net, ())
+        }
+
+    def cells_of_ids(self, net: int) -> Set[int]:
+        """Return (a copy of) the cell ids currently owned by ``net``."""
+        return set(self._cells.get(net, ()))
+
+    def id_buckets(self) -> Iterator[Tuple[int, Set[int]]]:
+        """Yield ``(net, cell-id bucket)`` for every non-empty net.
+
+        The buckets are the live sets — callers must not mutate them.
+        This is the sparse overlay source for
+        :class:`~repro.routing.core.space.SearchSpace`.
+        """
+        for net, cids in self._cells.items():
+            if cids:
+                yield net, cids
 
     def nets(self) -> Iterator[int]:
         """Yield the ids of nets that currently own at least one cell."""
@@ -101,6 +162,8 @@ class Occupancy:
         """Return the total number of occupied cells."""
         return sum(len(c) for c in self._cells.values())
 
+    # -- snapshots and consistency -----------------------------------------
+
     def export_state(self) -> Dict[str, object]:
         """Return a JSON-serialisable snapshot of the full overlay state.
 
@@ -109,18 +172,22 @@ class Occupancy:
         faithful even when the two disagree: restoring a corrupted
         overlay reproduces the same :meth:`find_inconsistencies` report,
         and a snapshot taken after :meth:`repair` restores clean.
+
+        One flat pass over the owner array; coordinates come from
+        ``divmod``, never from per-cell ``Point``/``grid.index``
+        round-trips.
         """
+        width = self.grid.width
         owner_cells: List[List[int]] = []
-        for y in range(self.grid.height):
-            for x in range(self.grid.width):
-                owner = self._owner[self.grid.index(Point(x, y))]
-                if owner != FREE:
-                    owner_cells.append([x, y, owner])
+        for cid, net in enumerate(self._owner):
+            if net != FREE:
+                y, x = divmod(cid, width)
+                owner_cells.append([x, y, net])
         return {
             "nets": {
-                str(net): sorted([p.x, p.y] for p in cells)
-                for net, cells in self._cells.items()
-                if cells
+                str(net): sorted([cid % width, cid // width] for cid in cids)
+                for net, cids in self._cells.items()
+                if cids
             },
             "owner_cells": owner_cells,
         }
@@ -133,20 +200,22 @@ class Occupancy:
         """
         nets = state.get("nets", {})
         owner_cells = state.get("owner_cells", [])
-        self._owner = [FREE] * (self.grid.width * self.grid.height)
+        width = self.grid.width
+        height = self.grid.height
+        self._owner = [FREE] * (width * height)
         self._cells = {}
         for x, y, owner in owner_cells:  # type: ignore[misc]
-            p = Point(int(x), int(y))
-            if not self.grid.in_bounds(p):
-                raise ValueError(f"snapshot cell {p} is off-grid")
-            self._owner[self.grid.index(p)] = int(owner)
+            x, y = int(x), int(y)
+            if not (0 <= x < width and 0 <= y < height):
+                raise ValueError(f"snapshot cell {Point(x, y)} is off-grid")
+            self._owner[y * width + x] = int(owner)
         for net_key, cells in nets.items():  # type: ignore[union-attr]
-            bucket: Set[Point] = set()
+            bucket: Set[int] = set()
             for x, y in cells:
-                p = Point(int(x), int(y))
-                if not self.grid.in_bounds(p):
-                    raise ValueError(f"snapshot cell {p} is off-grid")
-                bucket.add(p)
+                x, y = int(x), int(y)
+                if not (0 <= x < width and 0 <= y < height):
+                    raise ValueError(f"snapshot cell {Point(x, y)} is off-grid")
+                bucket.add(y * width + x)
             self._cells[int(net_key)] = bucket
 
     def find_inconsistencies(self) -> List[Point]:
@@ -155,18 +224,19 @@ class Occupancy:
         An empty list means the two views of the occupancy agree; any
         entry is evidence of corrupted bookkeeping (e.g. a net's bucket
         lost a cell the owner array still assigns to it, or vice versa).
+
+        Single flat pass over the owner array plus one pass over the
+        buckets — O(grid + occupied), no per-cell object construction.
         """
+        width = self.grid.width
+        from_buckets: Dict[int, int] = {}
+        for net, cids in self._cells.items():
+            for cid in cids:
+                from_buckets[cid] = net
         bad: List[Point] = []
-        from_buckets: Dict[Point, int] = {}
-        for net, cells in self._cells.items():
-            for p in cells:
-                from_buckets[p] = net
-        for y in range(self.grid.height):
-            for x in range(self.grid.width):
-                p = Point(x, y)
-                owner = self._owner[self.grid.index(p)]
-                if from_buckets.get(p, FREE) != owner:
-                    bad.append(p)
+        for cid, owner in enumerate(self._owner):
+            if from_buckets.get(cid, FREE) != owner:
+                bad.append(Point(cid % width, cid // width))
         return bad
 
     def repair(self) -> List[Point]:
@@ -178,12 +248,9 @@ class Occupancy:
         """
         bad = self.find_inconsistencies()
         if bad:
-            rebuilt: Dict[int, Set[Point]] = {}
-            for y in range(self.grid.height):
-                for x in range(self.grid.width):
-                    p = Point(x, y)
-                    owner = self._owner[self.grid.index(p)]
-                    if owner != FREE:
-                        rebuilt.setdefault(owner, set()).add(p)
+            rebuilt: Dict[int, Set[int]] = {}
+            for cid, owner in enumerate(self._owner):
+                if owner != FREE:
+                    rebuilt.setdefault(owner, set()).add(cid)
             self._cells = rebuilt
         return bad

@@ -5,48 +5,22 @@ point-to-point, point-to-path and path-to-path routing — ``sources`` and
 ``targets`` are both cell collections.  Step cost is the grid length (1)
 plus the negotiation history cost of the cell being entered, which is how
 Algorithm 1 plugs in.
+
+The search itself runs in :mod:`repro.routing.core`: this module fuses
+the query's routability sources into a :class:`SearchSpace` blocked-mask
+and materialises the engine's cell-id path back into a :class:`Path`.
 """
 
 from __future__ import annotations
 
-import heapq
-from itertools import count
-from typing import Dict, Iterable, Optional, Sequence, Set
+from typing import Iterable, Optional, Sequence, Set
 
 from repro.geometry.point import Point
-from repro.geometry.rect import Rect
 from repro.grid.grid import RoutingGrid
 from repro.grid.occupancy import FREE, Occupancy
-from repro.observability import context as obs
-from repro.robustness import faults
 from repro.robustness.budget import Budget
-from repro.robustness.errors import BudgetExceeded
+from repro.routing.core import SearchSpace, astar_search
 from repro.routing.path import Path
-
-
-def _target_heuristic(targets: Set[Point]):
-    """Return an admissible L1 heuristic towards a target set.
-
-    For a single target this is the exact Manhattan distance; for a set we
-    use the distance to the bounding box, which never overestimates the
-    distance to the nearest member.
-    """
-    if len(targets) == 1:
-        (t,) = targets
-
-        def single(p: Point) -> int:
-            return abs(p[0] - t[0]) + abs(p[1] - t[1])
-
-        return single
-
-    box = Rect.from_points(targets)
-
-    def boxed(p: Point) -> int:
-        dx = max(box.xlo - p[0], 0, p[0] - box.xhi)
-        dy = max(box.ylo - p[1], 0, p[1] - box.yhi)
-        return dx + dy
-
-    return boxed
 
 
 def astar_route(
@@ -89,89 +63,17 @@ def astar_route(
     Raises:
         BudgetExceeded: the run-wide ``budget`` ran out mid-search.
     """
-    if budget is not None and faults.fires("astar_budget_exhaustion"):
-        raise BudgetExceeded(
-            "injected search-budget exhaustion",
-            kind="astar-expansions",
-            limit=budget.expansions_used,
-            used=budget.expansions_used,
-            stage="astar",
-        )
-    target_set = {Point(t[0], t[1]) for t in targets}
-    source_list = [Point(s[0], s[1]) for s in sources]
-    if not target_set or not source_list:
+    space = SearchSpace(
+        grid, net=net, occupancy=occupancy, extra_obstacles=extra_obstacles
+    )
+    ids = astar_search(
+        space,
+        sources,
+        targets,
+        history=history,
+        max_expansions=max_expansions,
+        budget=budget,
+    )
+    if ids is None:
         return None
-
-    def routable(p: Point) -> bool:
-        if extra_obstacles is not None and p in extra_obstacles:
-            return False
-        if occupancy is not None:
-            return occupancy.is_routable(p, net)
-        return grid.is_free(p)
-
-    heuristic = _target_heuristic(target_set)
-    best_g: Dict[Point, float] = {}
-    parent: Dict[Point, Optional[Point]] = {}
-    heap = []
-    tie = count()
-
-    for s in source_list:
-        if not routable(s):
-            continue
-        if s in target_set:
-            return Path([s])
-        best_g[s] = 0.0
-        parent[s] = None
-        heapq.heappush(heap, (heuristic(s), 0.0, next(tie), s))
-
-    # Expansion accounting is unified: with a budget, the budget's shared
-    # counter (registered as ``astar.expansions`` in the metrics registry
-    # by the router) is the single tally — ``max_expansions`` reads the
-    # per-query delta off it.  Without a budget a local count is kept and
-    # flushed to the active registry once per query, so the disabled-
-    # metrics hot loop stays free of instrument calls.
-    query_start = budget.expansions_used if budget is not None else 0
-    expansions = 0
-    pushes = len(heap)
-    try:
-        while heap:
-            f, g, _, p = heapq.heappop(heap)
-            if g > best_g.get(p, float("inf")):
-                continue
-            if p in target_set:
-                cells = [p]
-                back = parent[p]
-                while back is not None:
-                    cells.append(back)
-                    back = parent[back]
-                cells.reverse()
-                return Path(cells)
-            if budget is not None:
-                budget.charge_expansions(1)
-                if (
-                    max_expansions is not None
-                    and budget.expansions_used - query_start > max_expansions
-                ):
-                    return None
-            else:
-                expansions += 1
-                if max_expansions is not None and expansions > max_expansions:
-                    return None
-            for q in p.neighbors4():
-                if not grid.in_bounds(q) or not routable(q):
-                    continue
-                step = 1.0
-                if history is not None:
-                    step += history[grid.index(q)]
-                ng = g + step
-                if ng < best_g.get(q, float("inf")):
-                    best_g[q] = ng
-                    parent[q] = p
-                    heapq.heappush(heap, (ng + heuristic(q), ng, next(tie), q))
-                    pushes += 1
-        return None
-    finally:
-        if budget is None and expansions:
-            obs.counter("astar.expansions").inc(expansions)
-        if pushes:
-            obs.counter("astar.heap_pushes").inc(pushes)
+    return space.materialize(ids)

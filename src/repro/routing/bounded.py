@@ -9,7 +9,9 @@ the threshold window ``[maxL - delta, maxL]``).  Two engines are provided:
   penalty whenever the estimated total length falls below the bound, which
   steers the search towards longer paths.  States are keyed by
   ``(cell, g)`` so a cell may be revisited at a larger G (the paper's
-  "G can only be updated when increased").
+  "G can only be updated when increased").  The state exploration runs in
+  :func:`repro.routing.core.bounded_search` on flat cell ids; this module
+  keeps the feasibility pre-checks and the serpentine fallback.
 * :func:`extend_path_with_bumps` — a serpentine fallback: each U-shaped
   bump inserted into an existing path adds exactly 2 grid units, matching
   the parity of achievable rectilinear path lengths.  Bumps may nest, so
@@ -18,53 +20,14 @@ the threshold window ``[maxL - delta, maxL]``).  Two engines are provided:
 
 from __future__ import annotations
 
-import heapq
-from itertools import count
-from typing import Dict, List, Optional, Set, Tuple
+from typing import List, Optional, Set
 
 from repro.geometry.point import Point, manhattan
 from repro.grid.grid import RoutingGrid
 from repro.grid.occupancy import FREE, Occupancy
-from repro.observability import context as obs
 from repro.robustness.errors import KernelPreconditionError
+from repro.routing.core import SearchSpace, bounded_search
 from repro.routing.path import Path
-
-_PENALTY_WEIGHT = 2.0
-"""F-value penalty per missing length unit below the bound."""
-
-
-class _OwnCells:
-    """Immutable cells-on-this-path set, extended in O(1) amortised.
-
-    Each A* state must know its own path's cells to keep every
-    reconstructed path simple.  Rebuilding that set per expansion walks
-    the whole parent chain (O(path length) each time — quadratic over a
-    long detour), so states share a frozen ``base`` set plus a short
-    tuple of recent cells; the tuple is folded into a new base once it
-    grows past ``_FLATTEN_AT``, keeping both membership tests and
-    extension cheap while sibling states still share their prefix.
-    """
-
-    __slots__ = ("_base", "_extra")
-
-    _FLATTEN_AT = 16
-
-    def __init__(self, base: frozenset, extra: Tuple[Point, ...]) -> None:
-        self._base = base
-        self._extra = extra
-
-    @classmethod
-    def single(cls, cell: Point) -> "_OwnCells":
-        return cls(frozenset((cell,)), ())
-
-    def extended(self, cell: Point) -> "_OwnCells":
-        extra = self._extra + (cell,)
-        if len(extra) >= self._FLATTEN_AT:
-            return _OwnCells(self._base.union(extra), ())
-        return _OwnCells(self._base, extra)
-
-    def __contains__(self, cell: Point) -> bool:
-        return cell in self._base or cell in self._extra
 
 
 def bounded_length_route(
@@ -77,6 +40,7 @@ def bounded_length_route(
     net: int = FREE,
     occupancy: Optional[Occupancy] = None,
     extra_obstacles: Optional[Set[Point]] = None,
+    extra_obstacle_ids: Optional[Set[int]] = None,
     max_states: int = 50_000,
 ) -> Optional[Path]:
     """Find a simple path from ``source`` to ``target`` with bounded length.
@@ -104,86 +68,22 @@ def bounded_length_route(
     if not feasible:
         return None
 
-    def routable(p: Point) -> bool:
-        if extra_obstacles is not None and p in extra_obstacles:
-            return False
-        if occupancy is not None:
-            return occupancy.is_routable(p, net)
-        return grid.is_free(p)
-
-    if not routable(source) or not routable(target):
+    space = SearchSpace(
+        grid,
+        net=net,
+        occupancy=occupancy,
+        extra_obstacles=extra_obstacles,
+        extra_obstacle_ids=extra_obstacle_ids,
+    )
+    if not space.routable(source) or not space.routable(target):
         return None
 
-    # States are (cell, g); parents reconstruct one simple path per state.
-    # ``own_of`` carries each state's cells-on-path set, built
-    # incrementally so expansions stay O(1) amortised instead of
-    # re-walking the parent chain.
-    start = (source, 0)
-    parent: Dict[Tuple[Point, int], Optional[Tuple[Point, int]]] = {start: None}
-    own_of: Dict[Tuple[Point, int], _OwnCells] = {start: _OwnCells.single(source)}
-    heap: List[Tuple[float, int, Tuple[Point, int]]] = []
-    tie = count()
-
-    def f_value(p: Point, g: int) -> float:
-        estimate = g + manhattan(p, target)
-        f = float(estimate)
-        if estimate < min_length:
-            f += _PENALTY_WEIGHT * (min_length - estimate)
-        return f
-
-    heapq.heappush(heap, (f_value(source, 0), next(tie), start))
-    states = 0
-
-    def reconstruct(state: Tuple[Point, int]) -> List[Point]:
-        cells: List[Point] = []
-        node: Optional[Tuple[Point, int]] = state
-        while node is not None:
-            cells.append(node[0])
-            node = parent[node]
-        cells.reverse()
-        return cells
-
-    try:
-        while heap:
-            _, _, state = heapq.heappop(heap)
-            p, g = state
-            if p == target and min_length <= g <= max_length:
-                cells = reconstruct(state)
-                path = Path(cells)
-                if path.is_simple():
-                    return path
-                continue
-            states += 1
-            if states > max_states:
-                return None
-            if g >= max_length:
-                continue
-            # Cells already on this state's own path are forbidden so every
-            # reconstructed path stays simple.
-            own = own_of[state]
-            for q in p.neighbors4():
-                if not grid.in_bounds(q) or not routable(q) or q in own:
-                    continue
-                ng = g + 1
-                if ng + manhattan(q, target) > max_length:
-                    continue
-                nstate = (q, ng)
-                if nstate in parent:
-                    continue
-                parent[nstate] = state
-                own_of[nstate] = own.extended(q)
-                heapq.heappush(heap, (f_value(q, ng), next(tie), nstate))
+    ids = bounded_search(
+        space, source, target, min_length, max_length, max_states=max_states
+    )
+    if ids is None:
         return None
-    finally:
-        if states:
-            obs.counter("bounded.states").inc(states)
-
-
-def _perpendicular(direction: Point) -> List[Point]:
-    """Return the two unit vectors perpendicular to ``direction``."""
-    if direction[0] != 0:
-        return [Point(0, 1), Point(0, -1)]
-    return [Point(1, 0), Point(-1, 0)]
+    return space.materialize(ids)
 
 
 def extend_path_with_bumps(
@@ -194,6 +94,7 @@ def extend_path_with_bumps(
     net: int = FREE,
     occupancy: Optional[Occupancy] = None,
     extra_obstacles: Optional[Set[Point]] = None,
+    extra_obstacle_ids: Optional[Set[int]] = None,
 ) -> Optional[Path]:
     """Lengthen ``path`` by exactly ``extra`` grid units using serpentines.
 
@@ -211,31 +112,50 @@ def extend_path_with_bumps(
     if extra == 0:
         return path
 
-    def routable(p: Point) -> bool:
-        if extra_obstacles is not None and p in extra_obstacles:
-            return False
-        if occupancy is not None:
-            # The current path's own cells are owned by `net`; new bump
-            # cells must be claimable by the same net.
-            return occupancy.is_routable(p, net)
-        return grid.is_free(p)
+    # The current path's own cells are owned by `net`; new bump cells
+    # must be claimable by the same net, which the fused mask encodes.
+    space = SearchSpace(
+        grid,
+        net=net,
+        occupancy=occupancy,
+        extra_obstacles=extra_obstacles,
+        extra_obstacle_ids=extra_obstacle_ids,
+    )
+    width = space.width
+    size = space.size
+    blocked = space.blocked
 
-    cells: List[Point] = list(path.cells)
-    used: Set[Point] = set(cells)
+    cells: List[int] = [space.index(p) for p in path.cells]
+    used: Set[int] = set(cells)
     remaining = extra
     while remaining > 0:
         inserted = False
         for i in range(len(cells) - 1):
             a, b = cells[i], cells[i + 1]
-            step = Point(b[0] - a[0], b[1] - a[1])
-            for n in _perpendicular(step):
-                an = Point(a[0] + n[0], a[1] + n[1])
-                bn = Point(b[0] + n[0], b[1] + n[1])
+            # Perpendicular offsets to the step a -> b, in the same
+            # probe order the Point-based fallback used: for a
+            # horizontal step try South (+width) then North (-width),
+            # for a vertical step East (+1) then West (-1).  A None
+            # marks an off-chip probe (column edge for East/West; the
+            # row bound check below handles South/North).
+            if b == a + 1 or b == a - 1:
+                perps = (width, -width)
+            else:
+                xa = a % width
+                perps = (
+                    1 if xa + 1 < width else None,
+                    -1 if xa else None,
+                )
+            for n in perps:
+                if n is None:
+                    continue
+                an = a + n
+                bn = b + n
+                if not (0 <= an < size and 0 <= bn < size):
+                    continue
                 if an in used or bn in used:
                     continue
-                if not grid.in_bounds(an) or not grid.in_bounds(bn):
-                    continue
-                if not routable(an) or not routable(bn):
+                if blocked[an] or blocked[bn]:
                     continue
                 cells[i + 1 : i + 1] = [an, bn]
                 used.update((an, bn))
@@ -246,4 +166,4 @@ def extend_path_with_bumps(
                 break
         if not inserted:
             return None
-    return Path(cells)
+    return space.materialize(cells)

@@ -1,0 +1,17 @@
+"""Flat cell-index kernel core shared by every search kernel.
+
+``SearchSpace`` fuses static obstacles, the dynamic occupancy overlay
+and per-query extra obstacles into one flat blocked-mask; the engine
+functions search over it on ``int`` cell ids.  See
+``docs/architecture.md`` ("Kernel core") for the design.
+"""
+
+from repro.routing.core.engine import astar_search, bfs_search, bounded_search
+from repro.routing.core.space import SearchSpace
+
+__all__ = [
+    "SearchSpace",
+    "astar_search",
+    "bfs_search",
+    "bounded_search",
+]

@@ -1,0 +1,388 @@
+"""The shared search engine under all four routing kernels.
+
+One frontier/parent/cost substrate serves Section 3's point/point,
+point/path and path/path A* (and Algorithm 1's inner search, which adds
+negotiation history costs), the Lee wave-propagation oracle, and §6's
+bounded-length modified A*.  Every search here operates purely on
+``int`` cell ids over a :class:`~repro.routing.core.space.SearchSpace`
+blocked-mask — neighbours are ``±1`` / ``±width`` arithmetic, routability
+is one byte read, and ``Point`` objects only reappear when the caller
+materialises the returned id path.
+
+Semantics are pinned to the pre-refactor kernels:
+
+* neighbour order is East, West, South, North (the order
+  ``Point.neighbors4`` yielded), so tie-breaks — and therefore the
+  returned paths — are bit-identical;
+* ``astar.expansions`` charges one per settled non-target cell, through
+  :meth:`~repro.robustness.budget.Budget.charge_expansions` when a
+  budget is present (the budget's shared counter stays the single
+  tally) and flushed to the active metrics registry once per query
+  otherwise;
+* ``astar.heap_pushes`` counts real heap pushes — initial source seeds
+  are *not* pushes (they were miscounted before this engine existed,
+  skewing multi-source queries);
+* ``bounded.states`` counts states popped past the target check,
+  exactly as before.
+
+The id sets used here only feed order-insensitive reductions (bounding
+boxes, membership tests, idempotent mask writes), which is why this
+package is whitelisted by pacorlint's DET003 set-iteration rule.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from itertools import count
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.observability import context as obs
+from repro.robustness import faults
+from repro.robustness.budget import Budget
+from repro.robustness.errors import BudgetExceeded
+from repro.routing.core.space import SearchSpace
+
+_INF = float("inf")
+
+_PENALTY_WEIGHT = 2.0
+"""Bounded search: F-value penalty per missing length unit below the bound."""
+
+Cell = Tuple[int, int]
+"""An ``(x, y)`` cell at the engine boundary (``Point`` unpacks to one)."""
+
+
+def astar_search(
+    space: SearchSpace,
+    sources: Iterable[Cell],
+    targets: Iterable[Cell],
+    *,
+    history: Optional[Sequence[float]] = None,
+    max_expansions: Optional[int] = None,
+    budget: Optional[Budget] = None,
+) -> Optional[List[int]]:
+    """A*-route from any source cell to any target cell, on cell ids.
+
+    Args:
+        space: the query's fused routability view.
+        sources: starting cells; each routable one seeds the search
+            with cost 0.
+        targets: goal cells; the search stops at the first one settled.
+            The admissible L1 heuristic aims at the target bounding box
+            (exact for a single target).
+        history: per-cell negotiation history cost, flat array indexed
+            by cell id; added to the step cost when entering a cell.
+        max_expansions: optional per-query cap on settled cells; fails
+            soft (returns None).
+        budget: run-wide compute budget; every settled cell is charged
+            and exhaustion raises :class:`BudgetExceeded`.
+
+    Returns:
+        The cheapest source-to-target path as a cell-id list, or None.
+
+    Raises:
+        BudgetExceeded: the run-wide ``budget`` ran out mid-search.
+    """
+    if budget is not None and faults.fires("astar_budget_exhaustion"):
+        raise BudgetExceeded(
+            "injected search-budget exhaustion",
+            kind="astar-expansions",
+            limit=budget.expansions_used,
+            used=budget.expansions_used,
+            stage="astar",
+        )
+    width = space.width
+    height = space.height
+    size = space.size
+    blocked = space.blocked
+
+    target_xy = {(t[0], t[1]) for t in targets}
+    source_list = [(s[0], s[1]) for s in sources]
+    if not target_xy or not source_list:
+        return None
+    # Membership is tested on settled (on-chip) cells only, so off-chip
+    # targets never match — but they do stretch the heuristic bounding
+    # box, exactly as they did pre-refactor.
+    target_ids = {
+        y * width + x for x, y in target_xy if 0 <= x < width and 0 <= y < height
+    }
+    xlo = min(t[0] for t in target_xy)
+    xhi = max(t[0] for t in target_xy)
+    ylo = min(t[1] for t in target_xy)
+    yhi = max(t[1] for t in target_xy)
+
+    best_g: Dict[int, float] = {}
+    parent: Dict[int, int] = {}
+    heap: List[Tuple[float, float, int, int]] = []
+    tie = count()
+
+    for x, y in source_list:
+        if not (0 <= x < width and 0 <= y < height):
+            continue
+        s = y * width + x
+        if blocked[s]:
+            continue
+        if (x, y) in target_xy:
+            return [s]
+        best_g[s] = 0.0
+        parent[s] = -1
+        h = (
+            (xlo - x if x < xlo else (x - xhi if x > xhi else 0))
+            + (ylo - y if y < ylo else (y - yhi if y > yhi else 0))
+        )
+        heapq.heappush(heap, (h, 0.0, next(tie), s))
+
+    # Expansion accounting is unified: with a budget, the budget's shared
+    # counter (registered as ``astar.expansions`` in the metrics registry
+    # by the router) is the single tally — ``max_expansions`` reads the
+    # per-query delta off it.  Without a budget a local count is kept and
+    # flushed to the active registry once per query, so the disabled-
+    # metrics hot loop stays free of instrument calls.
+    query_start = budget.expansions_used if budget is not None else 0
+    expansions = 0
+    pushes = 0
+    push = heapq.heappush
+    pop = heapq.heappop
+    try:
+        while heap:
+            f, g, _, p = pop(heap)
+            if g > best_g.get(p, _INF):
+                continue
+            if p in target_ids:
+                ids = [p]
+                back = parent[p]
+                while back >= 0:
+                    ids.append(back)
+                    back = parent[back]
+                ids.reverse()
+                return ids
+            if budget is not None:
+                budget.charge_expansions(1)
+                if (
+                    max_expansions is not None
+                    and budget.expansions_used - query_start > max_expansions
+                ):
+                    return None
+            else:
+                expansions += 1
+                if max_expansions is not None and expansions > max_expansions:
+                    return None
+            xp = p % width
+            # Neighbour order East, West, South, North (-1 flags an
+            # off-chip East/West step; the bounds test below drops it).
+            for q in (
+                p + 1 if xp + 1 < width else -1,
+                p - 1 if xp else -1,
+                p + width,
+                p - width,
+            ):
+                if q < 0 or q >= size or blocked[q]:
+                    continue
+                ng = g + (1.0 if history is None else 1.0 + history[q])
+                if ng < best_g.get(q, _INF):
+                    best_g[q] = ng
+                    parent[q] = p
+                    yq, xq = divmod(q, width)
+                    h = (
+                        (xlo - xq if xq < xlo else (xq - xhi if xq > xhi else 0))
+                        + (ylo - yq if yq < ylo else (yq - yhi if yq > yhi else 0))
+                    )
+                    push(heap, (ng + h, ng, next(tie), q))
+                    pushes += 1
+        return None
+    finally:
+        if budget is None and expansions:
+            obs.counter("astar.expansions").inc(expansions)
+        if pushes:
+            obs.counter("astar.heap_pushes").inc(pushes)
+
+
+def bfs_search(
+    space: SearchSpace,
+    sources: Iterable[Cell],
+    targets: Iterable[Cell],
+) -> Optional[List[int]]:
+    """BFS-route (Lee wave propagation) on cell ids, unit step costs.
+
+    Same blocking rules and multi-source/multi-target interface as
+    :func:`astar_search` with no history costs; the returned path has
+    guaranteed-minimum length.
+    """
+    width = space.width
+    height = space.height
+    size = space.size
+    blocked = space.blocked
+
+    target_xy = {(t[0], t[1]) for t in targets}
+    source_list = [(s[0], s[1]) for s in sources]
+    if not target_xy or not source_list:
+        return None
+    target_ids = {
+        y * width + x for x, y in target_xy if 0 <= x < width and 0 <= y < height
+    }
+
+    parent: Dict[int, int] = {}
+    queue: deque = deque()
+    for x, y in source_list:
+        if not (0 <= x < width and 0 <= y < height):
+            continue
+        s = y * width + x
+        if blocked[s] or s in parent:
+            continue
+        parent[s] = -1
+        if (x, y) in target_xy:
+            return [s]
+        queue.append(s)
+
+    while queue:
+        p = queue.popleft()
+        xp = p % width
+        for q in (
+            p + 1 if xp + 1 < width else -1,
+            p - 1 if xp else -1,
+            p + width,
+            p - width,
+        ):
+            if q < 0 or q >= size or q in parent or blocked[q]:
+                continue
+            parent[q] = p
+            if q in target_ids:
+                ids = [q]
+                back = p
+                while back >= 0:
+                    ids.append(back)
+                    back = parent[back]
+                ids.reverse()
+                return ids
+            queue.append(q)
+    return None
+
+
+class _OwnCells:
+    """Immutable cells-on-this-path id set, extended in O(1) amortised.
+
+    Each bounded-search state must know its own path's cells to keep
+    every reconstructed path simple.  Rebuilding that set per expansion
+    walks the whole parent chain (O(path length) each time — quadratic
+    over a long detour), so states share a frozen ``base`` set plus a
+    short tuple of recent cell ids; the tuple is folded into a new base
+    once it grows past ``_FLATTEN_AT``, keeping both membership tests
+    and extension cheap while sibling states still share their prefix.
+    """
+
+    __slots__ = ("_base", "_extra")
+
+    _FLATTEN_AT = 16
+
+    def __init__(self, base: frozenset, extra: Tuple[int, ...]) -> None:
+        self._base = base
+        self._extra = extra
+
+    @classmethod
+    def single(cls, cid: int) -> "_OwnCells":
+        return cls(frozenset((cid,)), ())
+
+    def extended(self, cid: int) -> "_OwnCells":
+        extra = self._extra + (cid,)
+        if len(extra) >= self._FLATTEN_AT:
+            return _OwnCells(self._base.union(extra), ())
+        return _OwnCells(self._base, extra)
+
+    def __contains__(self, cid: int) -> bool:
+        return cid in self._base or cid in self._extra
+
+
+def bounded_search(
+    space: SearchSpace,
+    source: Cell,
+    target: Cell,
+    min_length: int,
+    max_length: int,
+    *,
+    max_states: int = 50_000,
+) -> Optional[List[int]]:
+    """Find a simple path with length in ``[min_length, max_length]``.
+
+    The paper's modified A* (§6) on cell ids: the G value of a state
+    records the path length from the source, the F value adds a penalty
+    whenever the estimated total length falls below the bound, and
+    states are keyed by ``(cell, g)`` so a cell may be revisited at a
+    larger G.  Callers pre-check source/target routability and parity
+    feasibility; this engine only explores.
+
+    Returns the found cell-id path, or None when the search gives up
+    (state budget exhausted or no such simple path exists).
+    """
+    width = space.width
+    size = space.size
+    blocked = space.blocked
+    sx, sy = source[0], source[1]
+    tx, ty = target[0], target[1]
+    sid = sy * width + sx
+    tid = ty * width + tx
+
+    # States are (cell id, g); parents reconstruct one simple path per
+    # state, ``own_of`` carries each state's cells-on-path set.
+    start = (sid, 0)
+    parent: Dict[Tuple[int, int], Optional[Tuple[int, int]]] = {start: None}
+    own_of: Dict[Tuple[int, int], _OwnCells] = {start: _OwnCells.single(sid)}
+    heap: List[Tuple[float, int, Tuple[int, int]]] = []
+    tie = count()
+
+    estimate = abs(sx - tx) + abs(sy - ty)
+    f0 = float(estimate)
+    if estimate < min_length:
+        f0 += _PENALTY_WEIGHT * (min_length - estimate)
+    heapq.heappush(heap, (f0, next(tie), start))
+    states = 0
+
+    try:
+        while heap:
+            _, _, state = heapq.heappop(heap)
+            p, g = state
+            if p == tid and min_length <= g <= max_length:
+                ids: List[int] = []
+                node: Optional[Tuple[int, int]] = state
+                while node is not None:
+                    ids.append(node[0])
+                    node = parent[node]
+                ids.reverse()
+                if len(set(ids)) == len(ids):  # simple path only
+                    return ids
+                continue
+            states += 1
+            if states > max_states:
+                return None
+            if g >= max_length:
+                continue
+            # Cells already on this state's own path are forbidden so
+            # every reconstructed path stays simple.
+            own = own_of[state]
+            ng = g + 1
+            xp = p % width
+            for q in (
+                p + 1 if xp + 1 < width else -1,
+                p - 1 if xp else -1,
+                p + width,
+                p - width,
+            ):
+                if q < 0 or q >= size or blocked[q] or q in own:
+                    continue
+                yq, xq = divmod(q, width)
+                remaining = abs(xq - tx) + abs(yq - ty)
+                if ng + remaining > max_length:
+                    continue
+                nstate = (q, ng)
+                if nstate in parent:
+                    continue
+                parent[nstate] = state
+                own_of[nstate] = own.extended(q)
+                estimate = ng + remaining
+                f = float(estimate)
+                if estimate < min_length:
+                    f += _PENALTY_WEIGHT * (min_length - estimate)
+                heapq.heappush(heap, (f, next(tie), nstate))
+        return None
+    finally:
+        if states:
+            obs.counter("bounded.states").inc(states)

@@ -1,0 +1,137 @@
+"""The fused routability view every search kernel runs on.
+
+All four search kernels (A*, Lee, bounded-length, and the negotiation
+loop's inner A*) answer the same per-cell question in their hot loops:
+*may this net enter this cell?*  Before the kernel core existed, each
+kernel re-composed the answer per visited cell from three sources —
+static obstacles (:class:`~repro.grid.grid.RoutingGrid`), the dynamic
+per-net overlay (:class:`~repro.grid.occupancy.Occupancy`) and the
+query's extra obstacles — through a chain of `Point` allocations, dict
+lookups and method calls.
+
+:class:`SearchSpace` fuses the three sources **once per query** into a
+flat ``bytearray`` blocked-mask indexed by ``grid.index`` cell ids
+(``cid = y * width + x``).  The static obstacle mask is copied at C
+speed, the sparse occupancy buckets of *other* nets are overlaid on top
+(cells owned by the querying net stay routable — point-to-path queries
+rely on this), and extra obstacles are marked last.  The kernels in
+:mod:`repro.routing.core.engine` then test routability with a single
+``blocked[cid]`` byte read and never touch a ``Point`` until the found
+path is materialised.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.geometry.point import Point
+from repro.grid.grid import RoutingGrid
+from repro.grid.occupancy import FREE, Occupancy
+from repro.routing.path import Path
+
+
+class SearchSpace:
+    """One query's fused routability view over flat cell ids.
+
+    A cell is routable exactly when the pre-refactor composition said
+    so: on-chip, not a static obstacle, not owned by a *different* net
+    in ``occupancy``, and not an extra obstacle of this query.  The
+    equivalence is pinned by the property tests in
+    ``tests/routing/test_core.py``.
+
+    The mask is a snapshot: mutations of the grid or the occupancy
+    after construction are not reflected.  Build one ``SearchSpace``
+    per query (construction is a C-speed ``bytearray`` copy plus one
+    byte write per occupied/extra cell).
+
+    Attributes:
+        grid: the underlying routing grid (for materialisation).
+        width, height, size: grid dimensions and cell count.
+        net: the querying net id (:data:`~repro.grid.occupancy.FREE`
+            for net-less queries).
+        blocked: the fused mask; ``blocked[cid]`` is truthy when the
+            cell may not be entered.
+    """
+
+    __slots__ = ("grid", "width", "height", "size", "net", "blocked")
+
+    def __init__(
+        self,
+        grid: RoutingGrid,
+        *,
+        net: int = FREE,
+        occupancy: Optional[Occupancy] = None,
+        extra_obstacles: Optional[Iterable[Point]] = None,
+        extra_obstacle_ids: Optional[Iterable[int]] = None,
+    ) -> None:
+        self.grid = grid
+        width = grid.width
+        self.width = width
+        self.height = grid.height
+        self.size = width * grid.height
+        self.net = net
+        # Static obstacles: one C-level copy of the grid's flat mask.
+        blocked = bytearray(grid.obstacle_mask())
+        if occupancy is not None:
+            # Overlay the sparse per-net buckets of every *other* net;
+            # marking is idempotent, so bucket iteration order is
+            # irrelevant (DET003-whitelisted for exactly this reason).
+            for owner_net, bucket in occupancy.id_buckets():
+                if owner_net != net:
+                    for cid in bucket:
+                        blocked[cid] = 1
+        if extra_obstacles is not None:
+            height = self.height
+            for p in extra_obstacles:
+                x, y = p[0], p[1]
+                # Off-chip extra obstacles were no-ops before the fused
+                # mask (no on-chip cell ever compared equal to them);
+                # skip them so negative coordinates cannot wrap.
+                if 0 <= x < width and 0 <= y < height:
+                    blocked[y * width + x] = 1
+        if extra_obstacle_ids is not None:
+            for cid in extra_obstacle_ids:
+                blocked[cid] = 1
+        self.blocked = blocked
+
+    # -- routability -------------------------------------------------------
+
+    def routable_id(self, cid: int) -> bool:
+        """Return True when in-bounds cell id ``cid`` may be entered."""
+        return not self.blocked[cid]
+
+    def routable(self, p: Point) -> bool:
+        """Return True when cell ``p`` is on-chip and may be entered."""
+        x, y = p[0], p[1]
+        return (
+            0 <= x < self.width
+            and 0 <= y < self.height
+            and not self.blocked[y * self.width + x]
+        )
+
+    # -- representation boundary ------------------------------------------
+
+    def index(self, p: Point) -> int:
+        """Return the flat cell id of on-chip cell ``p``."""
+        return p[1] * self.width + p[0]
+
+    def point(self, cid: int) -> Point:
+        """Return the cell of flat id ``cid`` (divmod reconstruction)."""
+        y, x = divmod(cid, self.width)
+        return Point(x, y)
+
+    def materialize(self, ids: List[int]) -> Path:
+        """Return the :class:`Path` of a cell-id sequence.
+
+        This is the single place the engine's integer world turns back
+        into :class:`~repro.geometry.point.Point` — path materialisation
+        time, as late as possible.
+        """
+        width = self.width
+        return Path([Point(cid % width, cid // width) for cid in ids])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SearchSpace({self.width}x{self.height}, net={self.net}, "
+            f"{sum(self.blocked)} blocked)"
+        )

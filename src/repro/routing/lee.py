@@ -8,16 +8,19 @@ two purposes here:
   paths of identical length, which the test suite exploits;
 * a reference implementation of the algorithm the original detailed
   routers in this literature are built on.
+
+The wave propagation itself is :func:`repro.routing.core.bfs_search` on
+the same fused blocked-mask the A* kernel uses.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Dict, Iterable, Optional, Set
+from typing import Iterable, Optional, Set
 
 from repro.geometry.point import Point
 from repro.grid.grid import RoutingGrid
 from repro.grid.occupancy import FREE, Occupancy
+from repro.routing.core import SearchSpace, bfs_search
 from repro.routing.path import Path
 
 
@@ -36,41 +39,10 @@ def lee_route(
     history costs: same blocking rules, same multi-source/multi-target
     interface, guaranteed-minimum path length.
     """
-    target_set = {Point(t[0], t[1]) for t in targets}
-    source_list = [Point(s[0], s[1]) for s in sources]
-    if not target_set or not source_list:
+    space = SearchSpace(
+        grid, net=net, occupancy=occupancy, extra_obstacles=extra_obstacles
+    )
+    ids = bfs_search(space, sources, targets)
+    if ids is None:
         return None
-
-    def routable(p: Point) -> bool:
-        if extra_obstacles is not None and p in extra_obstacles:
-            return False
-        if occupancy is not None:
-            return occupancy.is_routable(p, net)
-        return grid.is_free(p)
-
-    parent: Dict[Point, Optional[Point]] = {}
-    queue = deque()
-    for s in source_list:
-        if not routable(s) or s in parent:
-            continue
-        parent[s] = None
-        if s in target_set:
-            return Path([s])
-        queue.append(s)
-
-    while queue:
-        p = queue.popleft()
-        for q in p.neighbors4():
-            if not grid.in_bounds(q) or q in parent or not routable(q):
-                continue
-            parent[q] = p
-            if q in target_set:
-                cells = [q]
-                back: Optional[Point] = p
-                while back is not None:
-                    cells.append(back)
-                    back = parent[back]
-                cells.reverse()
-                return Path(cells)
-            queue.append(q)
-    return None
+    return space.materialize(ids)

@@ -7,6 +7,12 @@ when some edge fails, the history cost of every cell used in this
 iteration is raised (Eq. 5), all paths are ripped up, and the next
 iteration re-routes everything — cells with high history cost are then
 avoided unless no alternative exists.
+
+The per-edge search runs directly on the kernel core: one fused
+:class:`SearchSpace` per edge query, the flat history array plugged into
+:func:`repro.routing.core.astar_search` as the per-cell step surcharge,
+and all bookkeeping (claimed cells, history updates, rip-up) on cell ids
+— paths are only materialised into :class:`Path` objects for the result.
 """
 
 from __future__ import annotations
@@ -21,7 +27,7 @@ from repro.observability import context as obs
 from repro.robustness import faults
 from repro.robustness.budget import Budget
 from repro.robustness.errors import BudgetExceeded
-from repro.routing.astar import astar_route
+from repro.routing.core import SearchSpace, astar_search
 from repro.routing.path import Path
 
 
@@ -120,6 +126,8 @@ class NegotiationRouter:
             result.success = True
             return result
 
+        grid = self.grid
+        gindex = grid.index
         exp_counter = (
             budget.expansion_counter
             if budget is not None
@@ -131,19 +139,31 @@ class NegotiationRouter:
             round_span = obs.span(
                 "negotiation-round", category="round", iteration=iteration
             )
-            paths: Dict[int, Path] = {}
+            id_paths: Dict[int, List[int]] = {}
             failed: List[int] = []
-            # Cells newly claimed this iteration.  Cells a net owned before
-            # this router ran (e.g. pre-occupied valve terminals) must
-            # survive the rip-up, so only these are released.
-            added_cells: List[Point] = []
+            # Cell ids newly claimed this iteration.  Cells a net owned
+            # before this router ran (e.g. pre-occupied valve terminals)
+            # must survive the rip-up, so only these are released.
+            added_ids: List[int] = []
 
             with round_span:
                 for request in requests:
-                    extra = None
+                    extra_ids = None
                     if self.exclusive_within_net:
-                        extra = occupancy.cells_of(request.net)
-                        extra -= set(request.sources) | set(request.targets)
+                        extra_ids = occupancy.cells_of_ids(request.net)
+                        # Endpoint ids only exist for on-chip pins; an
+                        # off-chip pin can never match an occupied cell.
+                        extra_ids -= {
+                            gindex(p)
+                            for p in request.sources + request.targets
+                            if grid.in_bounds(p)
+                        }
+                    space = SearchSpace(
+                        grid,
+                        net=request.net,
+                        occupancy=occupancy,
+                        extra_obstacle_ids=extra_ids or None,
+                    )
                     edge_span = obs.span(
                         "negotiation-edge",
                         category="net",
@@ -151,39 +171,36 @@ class NegotiationRouter:
                         edge_id=request.edge_id,
                     )
                     spent_before = exp_counter.value
-                    path: Optional[Path] = None
+                    ids: Optional[List[int]] = None
                     with edge_span:
                         try:
-                            path = astar_route(
-                                self.grid,
+                            ids = astar_search(
+                                space,
                                 request.sources,
                                 request.targets,
-                                net=request.net,
-                                occupancy=occupancy,
                                 history=self.history,
-                                extra_obstacles=extra or None,
                                 max_expansions=self.max_expansions,
                                 budget=budget,
                             )
                         except BudgetExceeded:
                             result.aborted = True
-                            path = None
+                            ids = None
                         finally:
                             edge_span.set(
                                 astar_expansions=exp_counter.value
                                 - spent_before,
-                                routed=path is not None,
+                                routed=ids is not None,
                             )
-                    if path is not None and faults.fires(
+                    if ids is not None and faults.fires(
                         "negotiation_edge_failure"
                     ):
-                        path = None
-                    if path is None:
+                        ids = None
+                    if ids is None:
                         failed.append(request.edge_id)
                         if result.aborted:
                             # Out of budget: every not-yet-routed edge of
                             # this iteration fails without further search.
-                            routed = set(paths)
+                            routed = set(id_paths)
                             failed.extend(
                                 r.edge_id
                                 for r in requests
@@ -192,34 +209,46 @@ class NegotiationRouter:
                             )
                             break
                         continue
-                    paths[request.edge_id] = path
-                    new_cells = [
-                        c for c in path.cells if occupancy.owner(c) != request.net
+                    id_paths[request.edge_id] = ids
+                    new_ids = [
+                        cid
+                        for cid in ids
+                        if occupancy.owner_id(cid) != request.net
                     ]
-                    occupancy.occupy(new_cells, request.net)
-                    added_cells.extend(new_cells)
+                    occupancy.occupy_ids(new_ids, request.net)
+                    added_ids.extend(new_ids)
                 round_span.set(
-                    routed=len(paths), failed=len(failed), aborted=result.aborted
+                    routed=len(id_paths),
+                    failed=len(failed),
+                    aborted=result.aborted,
                 )
 
             if not failed:
                 result.success = True
-                result.paths = paths
+                result.paths = self._materialize(id_paths)
                 result.failed_edges = []
                 return result
 
             if result.aborted or iteration >= self.gamma:
                 # Give up: keep the final partial solution for the caller.
-                result.paths = paths
+                result.paths = self._materialize(id_paths)
                 result.failed_edges = failed
                 return result
 
             # Raise history cost along every path used this iteration
             # (Eq. 5), then rip everything up and try again.
-            for path in paths.values():
-                for cell in path:
-                    idx = self.grid.index(cell)
-                    self.history[idx] = self.base_cost + self.alpha * self.history[idx]
-            occupancy.release_cells(added_cells)
+            history = self.history
+            for ids in id_paths.values():
+                for cid in ids:
+                    history[cid] = self.base_cost + self.alpha * history[cid]
+            occupancy.release_cell_ids(added_ids)
 
         return result  # pragma: no cover - loop always returns earlier
+
+    def _materialize(self, id_paths: Dict[int, List[int]]) -> Dict[int, Path]:
+        """Turn per-edge cell-id paths back into :class:`Path` objects."""
+        width = self.grid.width
+        return {
+            edge_id: Path([Point(cid % width, cid // width) for cid in ids])
+            for edge_id, ids in id_paths.items()
+        }

@@ -75,6 +75,14 @@ class Path:
         """Return the cells as a frozen set (for occupancy bookkeeping)."""
         return frozenset(self._cells)
 
+    def cell_ids(self, width: int) -> List[int]:
+        """Return the flat ``grid.index`` cell ids of a ``width``-wide grid.
+
+        The bridge from materialised paths back into the kernel core's
+        integer representation (occupancy buckets, blocked-masks).
+        """
+        return [c[1] * width + c[0] for c in self._cells]
+
     def __iter__(self) -> Iterator[Point]:
         return iter(self._cells)
 

@@ -11,7 +11,15 @@ from repro.robustness.errors import PacorError
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
-EXPECTED_RULES = {"DET001", "DET002", "DET003", "ERR001", "OBS001", "CHK001"}
+EXPECTED_RULES = {
+    "DET001",
+    "DET002",
+    "DET003",
+    "ERR001",
+    "OBS001",
+    "CHK001",
+    "PERF001",
+}
 
 
 def test_registry_holds_the_documented_rules():

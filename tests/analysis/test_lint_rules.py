@@ -356,3 +356,96 @@ def test_chk001_accepts_asdict_and_splat(make_project):
         }
     )
     assert _lint(root, "CHK001").clean
+
+
+# --------------------------------------------------------------------------
+# PERF001 — Point-keyed search state in kernel hot loops
+
+
+def test_perf001_flags_point_keyed_state_in_hot_loop(make_project):
+    root = make_project(
+        {
+            "src/repro/routing/hot.py": """\
+            import heapq
+            from typing import Dict, Set, Tuple
+
+            from repro.geometry.point import Point
+
+            def search(start):
+                best: Dict[Point, float] = {}
+                seen: Set[Point] = set()
+                states: "Dict[Tuple[Point, int], int]" = {}
+                heap = [start]
+                while heap:
+                    heapq.heappop(heap)
+            """
+        }
+    )
+    result = _lint(root, "PERF001")
+    assert [v.rule for v in result.violations] == ["PERF001"] * 3
+    flagged = {v.message.split("'")[1] for v in result.violations}
+    assert flagged == {"best", "seen", "states"}
+
+
+def test_perf001_allows_cold_passes_and_non_kernel_packages(make_project):
+    root = make_project(
+        {
+            # One-shot construction pass: no while loop, no heap/deque.
+            "src/repro/routing/build.py": """\
+            from typing import Dict
+
+            from repro.geometry.point import Point
+
+            def build(cells):
+                lookup: Dict[Point, int] = {}
+                for i, p in enumerate(cells):
+                    lookup[p] = i
+                return lookup
+            """,
+            # Hot loop, but outside the kernel packages.
+            "src/repro/analysis/sweep.py": """\
+            import heapq
+            from typing import Dict
+
+            from repro.geometry.point import Point
+
+            def sweep(heap):
+                rank: Dict[Point, int] = {}
+                while heap:
+                    heapq.heappop(heap)
+                return rank
+            """,
+            # Hot loop with int-keyed state: the fixed idiom.
+            "src/repro/routing/cold.py": """\
+            import heapq
+            from typing import Dict
+
+            def search(heap):
+                best: Dict[int, float] = {}
+                while heap:
+                    heapq.heappop(heap)
+                return best
+            """,
+        }
+    )
+    assert _lint(root, "PERF001").clean
+
+
+def test_perf001_respects_line_suppression(make_project):
+    root = make_project(
+        {
+            "src/repro/routing/hot.py": """\
+            import heapq
+            from typing import Dict
+
+            from repro.geometry.point import Point
+
+            def search(heap):
+                crossings: Dict[Point, int] = {}  # pacorlint: disable=PERF001
+                while heap:
+                    heapq.heappop(heap)
+                return crossings
+            """
+        }
+    )
+    assert _lint(root, "PERF001").clean

@@ -72,3 +72,48 @@ def test_nets_iteration(occupancy10):
     occupancy10.occupy([Point(1, 0)], net=2)
     occupancy10.release(1)
     assert set(occupancy10.nets()) == {2}
+
+
+# --------------------------------------------------------------------------
+# Single-pass snapshot/consistency walks (cell-id refactor regression)
+
+
+def test_snapshot_walks_never_round_trip_through_grid_index(monkeypatch):
+    """export/find/repair run one flat owner-array pass, no grid.index.
+
+    Before the cell-id refactor these walks called ``grid.index`` once
+    per grid cell per net bucket; on a 512x512 grid with a sparse
+    overlay that is hundreds of thousands of needless Point round-trips.
+    """
+    from repro.grid import RoutingGrid
+
+    grid = RoutingGrid(512, 512)
+    occupancy = Occupancy(grid)
+    occupancy.occupy([Point(5, 7), Point(6, 7), Point(7, 7)], net=1)
+    occupancy.occupy_ids([100_000, 200_000], net=2)
+    # Manufacture an inconsistency so repair() has real work to do.
+    occupancy._owner[250_000] = 3
+
+    calls = {"n": 0}
+    original = RoutingGrid.index
+
+    def counting_index(self, p):
+        calls["n"] += 1
+        return original(self, p)
+
+    monkeypatch.setattr(RoutingGrid, "index", counting_index)
+
+    state = occupancy.export_state()
+    assert state["nets"] == {
+        "1": [[5, 7], [6, 7], [7, 7]],
+        "2": [[100_000 % 512, 100_000 // 512], [200_000 % 512, 200_000 // 512]],
+    }
+    assert [250_000 % 512, 250_000 // 512, 3] in state["owner_cells"]
+
+    bad = occupancy.find_inconsistencies()
+    assert bad == [Point(250_000 % 512, 250_000 // 512)]
+    assert occupancy.repair() == bad
+    assert occupancy.find_inconsistencies() == []
+    assert occupancy.owner_id(250_000) == 3
+
+    assert calls["n"] == 0, "snapshot walks must stay on flat cell ids"

@@ -163,7 +163,7 @@ class TestOccupancySnapshot:
         # A snapshot must not paper over corruption: restoring a
         # corrupted overlay reproduces the same inconsistency report.
         grid, occ = self._occupancy()
-        occ._cells[0].discard(Point(1, 1))  # orphan one owner entry
+        occ._cells[0].discard(grid.index(Point(1, 1)))  # orphan one owner entry
         bad = occ.find_inconsistencies()
         assert bad == [Point(1, 1)]
         restored = Occupancy(grid)
@@ -172,7 +172,7 @@ class TestOccupancySnapshot:
 
     def test_snapshot_after_repair_restores_clean(self):
         grid, occ = self._occupancy()
-        occ._cells[0].discard(Point(1, 1))
+        occ._cells[0].discard(grid.index(Point(1, 1)))
         assert occ.repair() == [Point(1, 1)]
         restored = Occupancy(grid)
         restored.import_state(occ.export_state())

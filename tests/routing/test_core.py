@@ -1,0 +1,136 @@
+"""Tests for the flat cell-id kernel core (`repro.routing.core`).
+
+The property tests pin the tentpole invariant of the refactor: the fused
+:class:`SearchSpace` blocked-mask must agree cell-for-cell with the
+legacy per-cell composition the kernels used before — ``grid.is_free``
+AND ``occupancy.is_routable`` AND not-an-extra-obstacle — including the
+own-net-routable case.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.point import Point
+from repro.grid.grid import RoutingGrid
+from repro.grid.occupancy import FREE, Occupancy
+from repro.observability import Metrics, use
+from repro.routing.astar import astar_route
+from repro.routing.core import SearchSpace, astar_search, bfs_search
+
+
+def _random_scene(seed):
+    """Build a seeded grid + occupancy + extra obstacles."""
+    rng = random.Random(seed)
+    w, h = rng.randrange(4, 14), rng.randrange(4, 14)
+    grid = RoutingGrid(w, h)
+    for _ in range(rng.randrange(0, (w * h) // 3)):
+        grid.set_obstacle(Point(rng.randrange(w), rng.randrange(h)))
+    occupancy = Occupancy(grid)
+    for net in (1, 2, 3):
+        cells = {
+            Point(rng.randrange(w), rng.randrange(h))
+            for _ in range(rng.randrange(0, 8))
+        }
+        occupancy.occupy(
+            sorted(p for p in cells if occupancy.owner(p) == FREE), net
+        )
+    extra = {
+        Point(rng.randrange(w), rng.randrange(h))
+        for _ in range(rng.randrange(0, 6))
+    }
+    return grid, occupancy, extra
+
+
+@given(st.integers(0, 2**32 - 1))
+@settings(max_examples=30, deadline=None)
+def test_searchspace_matches_legacy_routability_composition(seed):
+    grid, occupancy, extra = _random_scene(seed)
+    for net in (FREE, 1, 2):  # net 1/2 exercise own-net-routable cells
+        space = SearchSpace(
+            grid, net=net, occupancy=occupancy, extra_obstacles=extra
+        )
+        for y in range(grid.height):
+            for x in range(grid.width):
+                p = Point(x, y)
+                legacy = (
+                    grid.is_free(p)
+                    and occupancy.is_routable(p, net)
+                    and p not in extra
+                )
+                assert space.routable(p) == legacy, (net, p)
+
+
+@given(st.integers(0, 2**32 - 1))
+@settings(max_examples=15, deadline=None)
+def test_extra_obstacle_ids_equal_extra_obstacle_points(seed):
+    grid, occupancy, extra = _random_scene(seed)
+    by_point = SearchSpace(
+        grid, net=1, occupancy=occupancy, extra_obstacles=extra
+    )
+    by_id = SearchSpace(
+        grid,
+        net=1,
+        occupancy=occupancy,
+        extra_obstacle_ids={grid.index(p) for p in extra},
+    )
+    assert bytes(by_point.blocked) == bytes(by_id.blocked)
+
+
+def test_searchspace_tolerates_off_chip_extra_obstacles():
+    grid = RoutingGrid(5, 5)
+    space = SearchSpace(grid, extra_obstacles={Point(-1, 0), Point(4, 17)})
+    assert space.routable(Point(0, 0))
+    assert not space.routable(Point(-1, 0))  # out of bounds is unroutable
+    assert not space.routable(Point(4, 17))
+
+
+def test_materialize_round_trips_ids():
+    grid = RoutingGrid(7, 3)
+    space = SearchSpace(grid)
+    cells = [Point(2, 1), Point(3, 1), Point(3, 2)]
+    ids = [space.index(p) for p in cells]
+    assert list(space.materialize(ids)) == cells
+    assert [space.point(i) for i in ids] == cells
+
+
+def test_engines_agree_on_path_length():
+    grid = RoutingGrid(12, 12)
+    for y in range(1, 12):
+        grid.set_obstacle(Point(6, y))
+    space = SearchSpace(grid)
+    a = astar_search(space, [Point(0, 11)], [Point(11, 11)])
+    b = bfs_search(space, [Point(0, 11)], [Point(11, 11)])
+    assert a is not None and b is not None
+    assert len(a) == len(b)
+
+
+# --------------------------------------------------------------------------
+# Counter semantics: source seeds are not heap pushes
+
+
+def test_heap_pushes_exclude_source_seeds():
+    """Seeding a source is not a push; only real frontier pushes count."""
+    grid = RoutingGrid(8, 8)
+    registry = Metrics()
+    with use(metrics=registry):
+        path = astar_route(grid, [Point(0, 0)], [Point(1, 0)])
+    assert path is not None and path.length == 1
+    # Expanding the single settled cell (0,0) pushes exactly its East and
+    # South neighbours; the pre-engine kernel also counted the seed (2+1).
+    assert registry.counter("astar.expansions").value == 1
+    assert registry.counter("astar.heap_pushes").value == 2
+
+
+def test_heap_pushes_exclude_every_source_of_a_multi_source_query():
+    grid = RoutingGrid(8, 8)
+    registry = Metrics()
+    with use(metrics=registry):
+        path = astar_route(
+            grid, [Point(0, 0), Point(7, 7), Point(0, 7)], [Point(1, 0)]
+        )
+    assert path is not None and path.length == 1
+    # Three seeds enter the heap unbilled; the one expansion ((0,0), the
+    # nearest seed) pushes its two in-bounds free neighbours.
+    assert registry.counter("astar.heap_pushes").value == 2
