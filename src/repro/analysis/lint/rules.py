@@ -19,6 +19,9 @@ Rule ids are stable and documented in ``docs/static_analysis.md``:
   ``docs/paper_mapping.md`` increments its counters.
 * ``CHK001`` — serialized dataclasses keep ``to_json``/``from_json`` in
   sync with their field list (static schema-drift detection).
+* ``FLT001`` — every named injection point in
+  :data:`repro.robustness.faults.INJECTION_POINTS` is exercised by at
+  least one test (dead chaos coverage is untested failure handling).
 """
 
 from __future__ import annotations
@@ -518,6 +521,7 @@ _TAXONOMY_NAMES = {
     "PacorError",
     "DesignFormatError",
     "CheckpointFormatError",
+    "FaultFormatError",
     "ConfigError",
     "KernelPreconditionError",
     "FlowDecompositionError",
@@ -885,3 +889,93 @@ class SerializedDataclassRule(FileRule):
             elif isinstance(node, ast.Name):
                 out.add(node.id)
         return out
+
+
+# --------------------------------------------------------------------------
+# FLT001 — chaos-suite injection-point coverage
+
+
+@register
+class InjectionCoverageRule(ProjectRule):
+    """Check every declared injection point is exercised by a test."""
+
+    id = "FLT001"
+    rationale = (
+        "an injection point nothing injects into is dead chaos coverage: "
+        "the failure path it guards ships untested"
+    )
+
+    _FAULTS_MODULE = "repro.robustness.faults"
+
+    def check_project(
+        self, files: Sequence[ParsedFile], root: Path
+    ) -> Iterator[Violation]:
+        """Yield one violation per injection point no test mentions."""
+        declared = self._declared_points(files)
+        if declared is None:
+            # The faults module is not part of this lint run (subset
+            # invocation); there is no contract to check.
+            return
+        path, lineno, points = declared
+        tests_dir = root / "tests"
+        if not tests_dir.is_dir():
+            yield Violation(
+                rule=self.id,
+                path=path,
+                line=lineno,
+                col=0,
+                message="tests/ directory not found; injection points "
+                "cannot be exercised",
+            )
+            return
+        covered: Set[str] = set()
+        for test_file in sorted(tests_dir.rglob("*.py")):
+            try:
+                text = test_file.read_text(encoding="utf-8")
+            except OSError:
+                continue
+            for point in points:
+                # A quoted mention is the coverage signal: every way a
+                # test arms a point (FaultSpec(point=...), fires(...))
+                # spells the name as a string literal.
+                if f'"{point}"' in text or f"'{point}'" in text:
+                    covered.add(point)
+        for point in points:
+            if point not in covered:
+                yield Violation(
+                    rule=self.id,
+                    path=path,
+                    line=lineno,
+                    col=0,
+                    message=(
+                        f"injection point {point!r} is declared in "
+                        f"INJECTION_POINTS but no test under tests/ "
+                        f"exercises it"
+                    ),
+                )
+
+    def _declared_points(
+        self, files: Sequence[ParsedFile]
+    ) -> Optional[Tuple[str, int, List[str]]]:
+        """Return (path, line, names) of the INJECTION_POINTS tuple."""
+        for parsed in files:
+            if parsed.module != self._FAULTS_MODULE:
+                continue
+            for node in ast.walk(parsed.tree):
+                if not isinstance(node, ast.Assign):
+                    continue
+                targets = [
+                    t.id for t in node.targets if isinstance(t, ast.Name)
+                ]
+                if "INJECTION_POINTS" not in targets:
+                    continue
+                if not isinstance(node.value, (ast.Tuple, ast.List)):
+                    continue
+                names = [
+                    elt.value
+                    for elt in node.value.elts
+                    if isinstance(elt, ast.Constant)
+                    and isinstance(elt.value, str)
+                ]
+                return (parsed.path, node.lineno, names)
+        return None

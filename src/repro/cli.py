@@ -8,6 +8,13 @@ Commands:
   resumable snapshot there instead of throwing the work away.
 * ``pacor resume ckpt.json`` — continue an interrupted run from its
   checkpoint with a fresh budget.
+* ``pacor route S3 --faults faults.json`` — route under a physical
+  fault map (blocked cells, stuck valves, timed mid-flow events); the
+  flow rips and repairs the damaged nets.
+* ``pacor repair result.json --faults faults.json`` — heal a finished
+  routing against a fault map, re-routing only the affected nets
+  through the escalation ladder.  Also accepts a mid-repair checkpoint
+  (written on budget exhaustion) to resume the remaining nets.
 * ``pacor route S3 --trace t.jsonl --metrics m.json`` — additionally
   record a nested span trace and the kernel effort counters; ``pacor
   profile t.jsonl`` then prints the per-stage time table and the top
@@ -46,7 +53,11 @@ from repro.designs import (
 )
 from repro.observability import Metrics, Tracer
 from repro.robustness.checkpoint import Checkpoint
-from repro.robustness.errors import CheckpointFormatError, DesignFormatError
+from repro.robustness.errors import (
+    CheckpointFormatError,
+    DesignFormatError,
+    FaultFormatError,
+)
 from repro.viz import render_ascii, render_svg
 
 
@@ -167,10 +178,20 @@ def _cmd_route(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    fault_map = None
+    if args.faults:
+        from repro.robustness.faultmap import FaultMap
+
+        fault_map = FaultMap.load(args.faults)
     tracer = Tracer() if (args.trace or args.chrome_trace) else None
     metrics = Metrics() if args.metrics else None
     result = run_method(
-        design, args.method, config, tracer=tracer, metrics=metrics
+        design,
+        args.method,
+        config,
+        tracer=tracer,
+        metrics=metrics,
+        fault_map=fault_map,
     )
     return _report_result(design, result, args, tracer=tracer, metrics=metrics)
 
@@ -216,6 +237,100 @@ def _cmd_resume(args: argparse.Namespace) -> int:
         )
     result = router.run()
     return _report_result(design, result, args, tracer=tracer, metrics=metrics)
+
+
+def _cmd_repair(args: argparse.Namespace) -> int:
+    """Heal a finished routing (or resume a mid-repair checkpoint)."""
+    import json
+
+    from repro.designs import design_from_json
+    from repro.robustness.budget import Budget
+    from repro.robustness.faultmap import FaultMap
+    from repro.robustness.repair import (
+        REPAIR_CHECKPOINT_KIND,
+        RepairCheckpoint,
+        repair_result,
+        repair_resume,
+    )
+
+    with open(args.result, "r", encoding="utf-8") as handle:
+        try:
+            doc = json.load(handle)
+        except json.JSONDecodeError as exc:
+            print(
+                f"error: {args.result}: not valid JSON ({exc})",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        budget = Budget(
+            wall_clock_s=args.budget_s,
+            astar_expansions=args.expansion_budget,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if isinstance(doc, dict) and doc.get("kind") == REPAIR_CHECKPOINT_KIND:
+        snapshot = RepairCheckpoint.from_json(doc, source=args.result)
+        design = design_from_json(snapshot.design)
+        print(
+            f"resuming repair of {design.name}: "
+            f"{len(snapshot.pending)} nets pending"
+        )
+        outcome = repair_resume(snapshot, budget=budget)
+    else:
+        if not args.faults:
+            print(
+                "error: --faults FILE is required when repairing a result "
+                "document (only repair checkpoints embed their fault map)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.design:
+            design = _resolve_design(args.design)
+        else:
+            name = ""
+            if isinstance(doc, dict):
+                name = str((doc.get("summary") or {}).get("design", ""))
+            if not name:
+                print(
+                    "error: the result document names no design; "
+                    "pass --design NAME_OR_FILE",
+                    file=sys.stderr,
+                )
+                return 2
+            design = _resolve_design(name)
+        fault_map = FaultMap.load(args.faults)
+        outcome = repair_result(design, doc, fault_map, budget=budget)
+    result = outcome.result
+    print(
+        f"{design.name}: {len(outcome.affected)} nets affected, "
+        f"{len(outcome.repaired)} repaired, "
+        f"{len(outcome.degraded_nets)} degraded, "
+        f"{len(outcome.dropped_valves)} valves lost"
+    )
+    for net_id in sorted(outcome.repaired):
+        print(f"  net {net_id}: repaired via {outcome.repaired[net_id]} rung")
+    for net_id in outcome.degraded_nets:
+        print(f"  net {net_id}: degraded", file=sys.stderr)
+    if outcome.checkpoint is not None:
+        if args.checkpoint:
+            with open(args.checkpoint, "w", encoding="utf-8") as handle:
+                json.dump(outcome.checkpoint.to_json(), handle, indent=1)
+            print(
+                f"wrote {args.checkpoint} (resume with: "
+                f"pacor repair {args.checkpoint})"
+            )
+        else:
+            print(
+                "note: budget exhausted mid-repair; rerun with "
+                "--checkpoint FILE to save the remaining work",
+                file=sys.stderr,
+            )
+    # The route/resume checkpoint branch of _report_result expects a
+    # *flow* checkpoint document; the repair snapshot was handled above.
+    args.checkpoint = None
+    return _report_result(design, result, args)
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -365,6 +480,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write a resumable snapshot here when a budget interrupts the run",
     )
+    route.add_argument(
+        "--faults",
+        metavar="FILE",
+        help="route under this physical fault map (JSON: blocked cells, "
+        "stuck valves, timed mid-flow events)",
+    )
     route.add_argument("--verify", action="store_true", help="verify the solution")
     route.add_argument("--svg", metavar="FILE", help="write an SVG rendering")
     route.add_argument("--json", metavar="FILE", help="write the full result as JSON")
@@ -440,6 +561,52 @@ def build_parser() -> argparse.ArgumentParser:
     resume.add_argument("--ascii", action="store_true", help="print ASCII art")
     resume.add_argument("--events", action="store_true", help="print the stage log")
     resume.set_defaults(func=_cmd_resume)
+
+    repair = sub.add_parser(
+        "repair",
+        help="re-route the nets of a finished result hit by physical faults",
+    )
+    repair.add_argument(
+        "result",
+        help="result JSON written by route --json, or a mid-repair "
+        "checkpoint written by repair --checkpoint",
+    )
+    repair.add_argument(
+        "--faults",
+        metavar="FILE",
+        help="fault map JSON (required unless resuming a repair checkpoint)",
+    )
+    repair.add_argument(
+        "--design",
+        metavar="NAME_OR_FILE",
+        help="design the result was routed on (default: the suite design "
+        "named in the result document)",
+    )
+    repair.add_argument(
+        "--budget-s",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget for the repair pass",
+    )
+    repair.add_argument(
+        "--expansion-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="A* expansion budget for the repair pass",
+    )
+    repair.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        help="write a mid-repair snapshot here when the budget trips",
+    )
+    repair.add_argument("--verify", action="store_true", help="verify the healed solution")
+    repair.add_argument("--svg", metavar="FILE", help="write an SVG rendering")
+    repair.add_argument("--json", metavar="FILE", help="write the healed result as JSON")
+    repair.add_argument("--ascii", action="store_true", help="print ASCII art")
+    repair.add_argument("--events", action="store_true", help="print the stage log")
+    repair.set_defaults(func=_cmd_repair)
 
     profile = sub.add_parser(
         "profile", help="analyse a trace written by route --trace"
@@ -517,7 +684,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except (CheckpointFormatError, DesignFormatError) as exc:
+    except (CheckpointFormatError, DesignFormatError, FaultFormatError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except FileNotFoundError as exc:

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import json
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.config import DetourStage, PacorConfig, SelectionSolver
@@ -42,18 +42,21 @@ from repro.escape import (
     solve_escape_sequential,
 )
 from repro.geometry.point import Point
-from repro.grid.occupancy import Occupancy
+from repro.grid.occupancy import FAULT_NET, FREE, Occupancy
 from repro.observability import context as obs
 from repro.observability.metrics import Metrics
 from repro.observability.tracing import Tracer
+from repro.robustness import faults
 from repro.robustness.budget import Budget
 from repro.robustness.checkpoint import Checkpoint
 from repro.robustness.errors import (
     BudgetExceeded,
     CheckpointFormatError,
+    FaultFormatError,
     PacorError,
     RouterStuck,
 )
+from repro.robustness.faultmap import FaultEvent, FaultMap
 from repro.robustness.incidents import Incident, Severity
 from repro.routing.astar import astar_route
 from repro.routing.mst import route_cluster_mst
@@ -91,6 +94,13 @@ class _Net:
     # rather than a real routability failure; a resumed run reverts such
     # nets to LM routing and retries them with the fresh budget.
     budget_demoted: bool = False
+    # True when a physical fault made the net unroutable for good (every
+    # valve stuck); dead nets are excluded from all further stages.
+    dead: bool = False
+    # Report produced by the post-flow repair pass; when set, _collect
+    # exports it verbatim instead of deriving one from the net state.
+    # Never serialised: repair runs after the last checkpointable stage.
+    repaired_report: Optional[NetReport] = None
 
     def drawn_paths(self) -> List[Path]:
         """Return every drawn channel path of the net (escape included)."""
@@ -115,6 +125,7 @@ class PacorRouter:
         budget: Optional[Budget] = None,
         tracer: Optional[Tracer] = None,
         metrics: Optional[Metrics] = None,
+        fault_map: Optional[FaultMap] = None,
     ) -> None:
         design.validate()
         self.design = design
@@ -122,6 +133,31 @@ class PacorRouter:
         self.grid = design.grid
         self.occupancy = Occupancy(self.grid)
         self.delta = self.config.resolved_delta(design.delta)
+        # Physical fault state.  The map is normalised against the design
+        # up front (faulty valve-position cells become stuck valves), its
+        # declared cells are mounted under the FAULT_NET pseudo-net so
+        # every stage's occupancy overlay blocks them, and timed events
+        # are popped at stage boundaries by _apply_fault_events.
+        self.fault_map = (
+            fault_map.normalized(design) if fault_map is not None else None
+        )
+        self._stuck_valves: Set[int] = (
+            set(self.fault_map.stuck_valves)
+            if self.fault_map is not None
+            else set()
+        )
+        # Nets ripped by a mid-flow fault, pending the post-flow repair
+        # pass: net id -> human-readable cause; released cell ids are
+        # remembered separately to seed the repair bounding box.
+        self._fault_damaged: Dict[int, str] = {}
+        self._fault_old_cells: Dict[int, Set[int]] = {}
+        if self.fault_map is not None:
+            mount = set(self.fault_map.cell_ids(self.grid.width))
+            valve_by_id = design.valve_by_id()
+            for vid in self.fault_map.stuck_valves:
+                mount.add(self.grid.index(valve_by_id[vid].position))
+            if mount:
+                self.occupancy.occupy_ids(mount, FAULT_NET)
         self.events: List[str] = []
         self.incidents: List[Incident] = []
         self.budget = budget if budget is not None else self.config.make_budget()
@@ -213,6 +249,11 @@ class PacorRouter:
             ):
                 for idx in range(start_idx, len(sequence)):
                     stage = sequence[idx]
+                    # Stage-boundary fault events fire *before* the stage
+                    # (and before its checkpoint cursor), so a resumed run
+                    # never re-applies them: the snapshot's fault map has
+                    # them popped already.
+                    self._apply_fault_events(stage)
                     incidents_before = len(self.incidents)
                     with self.tracer.span(stage, category="stage") as stage_span:
                         self._supervised(stage, self._stage_fn(stage))
@@ -239,6 +280,14 @@ class PacorRouter:
                             self.checkpoints[stage] = snapshot
                             if interrupted and self.interrupt_checkpoint is None:
                                 self.interrupt_checkpoint = snapshot
+                # Post-flow faults ("final" boundary) and the repair pass
+                # for every net a mid-flow fault ripped.  Supervised like
+                # a stage: a repair crash degrades, never raises.
+                self._apply_fault_events("final")
+                if self._fault_damaged:
+                    with self.tracer.span("repair", category="stage"):
+                        self._supervised("repair", self._repair_damaged)
+                        self._check_occupancy("repair")
             return self._collect(time.perf_counter() - started)
 
     # -- checkpoint/resume ----------------------------------------------------
@@ -356,6 +405,18 @@ class PacorRouter:
             int(net_id): reason
             for net_id, reason in checkpoint.failure_reasons.items()
         }
+        if checkpoint.fault_map is not None:
+            # Applied events were popped before the snapshot; re-arming
+            # the restored map fires only the not-yet-applied ones.  The
+            # mounted FAULT_NET cells travel in the occupancy snapshot,
+            # so no re-mount happens here.
+            try:
+                router.fault_map = FaultMap.from_json(checkpoint.fault_map)
+            except FaultFormatError as exc:
+                raise CheckpointFormatError(
+                    f"invalid fault map ({exc})", field="fault_map"
+                ) from exc
+            router._stuck_valves = set(router.fault_map.stuck_valves)
         valve_by_id = design.valve_by_id()
         for doc in checkpoint.nets:
             net = router._net_from_doc(doc, valve_by_id)
@@ -430,6 +491,9 @@ class PacorRouter:
                 for net_id, reason in self._failure_reasons.items()
             },
             observability=observability,
+            fault_map=(
+                self.fault_map.to_json() if self.fault_map is not None else None
+            ),
         )
         if self.metrics.enabled:
             # Snapshot size is worth watching (it scales with the design
@@ -480,13 +544,38 @@ class PacorRouter:
             "routed": net.routed,
             "demoted": net.demoted,
             "budget_demoted": net.budget_demoted,
+            "dead": net.dead,
         }
 
     def _net_from_doc(
         self, doc: Dict[str, object], valve_by_id: Dict[int, Valve]
     ) -> _Net:
+        # A truncated or hand-edited snapshot must surface as a one-line
+        # CheckpointFormatError (CLI exit 2), never a raw KeyError
+        # traceback — the whole parse runs under one trap.
         try:
-            valves = [valve_by_id[int(vid)] for vid in doc["valve_ids"]]  # type: ignore[union-attr]
+            return self._net_from_doc_unchecked(doc, valve_by_id)
+        except CheckpointFormatError:
+            raise
+        except KeyError as exc:
+            raise CheckpointFormatError(
+                f"net document {doc.get('net_id', '?')} is missing "
+                f"field {exc}",
+                field="nets",
+            ) from None
+        except (TypeError, ValueError, IndexError) as exc:
+            raise CheckpointFormatError(
+                f"net document {doc.get('net_id', '?')} is malformed "
+                f"({type(exc).__name__}: {exc})",
+                field="nets",
+            ) from None
+
+    def _net_from_doc_unchecked(
+        self, doc: Dict[str, object], valve_by_id: Dict[int, Valve]
+    ) -> _Net:
+        valve_ids = doc["valve_ids"]
+        try:
+            valves = [valve_by_id[int(vid)] for vid in valve_ids]  # type: ignore[union-attr]
         except KeyError as exc:
             raise CheckpointFormatError(
                 f"net {doc.get('net_id')} references unknown valve {exc}",
@@ -527,6 +616,7 @@ class PacorRouter:
             routed=bool(doc["routed"]),
             demoted=bool(doc["demoted"]),
             budget_demoted=bool(doc.get("budget_demoted", False)),
+            dead=bool(doc.get("dead", False)),
         )
 
     def _budget_spent(self) -> bool:
@@ -617,11 +707,301 @@ class PacorRouter:
             f"isolated fault during {stage}: {type(exc).__name__}"
         )
 
+    # -- physical faults -----------------------------------------------------
+
+    def _apply_fault_events(self, stage: str) -> None:
+        """Fire the physical faults due at this stage boundary.
+
+        Two sources feed the same application path: timed events of the
+        run's :class:`~repro.robustness.faultmap.FaultMap` whose stage
+        matches, and the seeded chaos injector's ``cell_blockage`` /
+        ``valve_stuck`` points (satellite of the fault model — the
+        injector picks deterministic victims, so a seeded storm run is
+        reproducible).  Fault-free runs take the two cheap early-outs
+        and touch nothing.
+        """
+        events: List[FaultEvent] = []
+        if self.fault_map is not None:
+            events.extend(self.fault_map.pop_events(stage))
+        events.extend(self._injected_events(stage))
+        for event in events:
+            if event.valve is not None:
+                self._apply_valve_stuck(stage, int(event.valve))
+            elif event.cell is not None:
+                self._apply_cell_fault(stage, event.cell)
+
+    def _injected_events(self, stage: str) -> List[FaultEvent]:
+        """Poll the chaos injector for physical faults at this boundary."""
+        out: List[FaultEvent] = []
+        if faults.fires("valve_stuck"):
+            victim = self._pick_stuck_victim()
+            if victim is not None:
+                out.append(FaultEvent(stage=stage, valve=victim))
+        if faults.fires("cell_blockage"):
+            cell = self._pick_blockage_victim()
+            if cell is not None:
+                out.append(FaultEvent(stage=stage, cell=cell))
+        return out
+
+    def _pick_stuck_victim(self) -> Optional[int]:
+        """Return the lowest-id valve that is not already stuck."""
+        for valve in sorted(self.design.valves, key=lambda v: v.id):
+            if valve.id not in self._stuck_valves:
+                return valve.id
+        return None
+
+    def _pick_blockage_victim(self) -> Optional[Point]:
+        """Return a deterministic cell for an injected blockage.
+
+        Preferably the minimal routed cell id owned by a live net (so the
+        fault actually damages something, exercising the repair path);
+        before any routing exists, the minimal free cell.  Valve
+        positions and pins are excluded — a valve hit is the
+        ``valve_stuck`` point's job.
+        """
+        width = self.grid.width
+        skip = {self.grid.index(v.position) for v in self.design.valves}
+        skip.update(
+            self.grid.index(n.pin)
+            for n in self.nets.values()
+            if n.pin is not None
+        )
+        best: Optional[int] = None
+        for net_id, bucket in self.occupancy.id_buckets():
+            if net_id == FAULT_NET:
+                continue
+            for cid in bucket:
+                if cid not in skip and (best is None or cid < best):
+                    best = cid
+        if best is None:
+            mask = self.grid.obstacle_mask()
+            for cid in range(width * self.grid.height):
+                if not mask[cid] and self.occupancy.owner_id(cid) == FREE:
+                    if cid not in skip:
+                        best = cid
+                        break
+        if best is None:
+            return None
+        return Point(best % width, best // width)
+
+    def _apply_cell_fault(self, stage: str, cell: Point) -> None:
+        """Block one cell mid-flow, ripping whatever routes through it."""
+        if not (
+            0 <= cell.x < self.grid.width and 0 <= cell.y < self.grid.height
+        ):
+            return
+        valve_at = next(
+            (v for v in self.design.valves if v.position == cell), None
+        )
+        if valve_at is not None:
+            # A fault on a valve seat is the valve failing, not a channel
+            # blockage — same normalisation FaultMap.normalized applies.
+            self._apply_valve_stuck(stage, valve_at.id)
+            return
+        cid = self.grid.index(cell)
+        if self.occupancy.owner_id(cid) == FAULT_NET:
+            return  # already faulty
+        if self.fault_map is None:
+            self.fault_map = FaultMap()
+        self.fault_map.add_cell(cell)
+        owner = self.occupancy.owner_id(cid)
+        if owner != FREE:
+            net = self.nets.get(owner)
+            if net is not None:
+                self._damage_net(
+                    stage, net, f"cell ({cell.x}, {cell.y}) blocked by fault"
+                )
+        self.occupancy.release_cell_ids([cid])
+        self.occupancy.occupy_ids([cid], FAULT_NET)
+        self._incident(
+            stage,
+            "physical-fault",
+            f"cell ({cell.x}, {cell.y}) blocked",
+            net_id=owner if owner >= 0 else None,
+            severity=Severity.INFO,
+        )
+
+    def _apply_valve_stuck(self, stage: str, vid: int) -> None:
+        """Mark one valve stuck mid-flow, shrinking or killing its net."""
+        if vid in self._stuck_valves:
+            return
+        valve = self.design.valve_by_id().get(vid)
+        if valve is None:
+            return
+        self._stuck_valves.add(vid)
+        if self.fault_map is None:
+            self.fault_map = FaultMap()
+        self.fault_map.add_valve(vid)
+        owner_net = next(
+            (
+                n
+                for n in self.nets.values()
+                if not n.dead and any(v.id == vid for v in n.valves)
+            ),
+            None,
+        )
+        if owner_net is not None:
+            survivors = [v for v in owner_net.valves if v.id != vid]
+            if survivors:
+                self._damage_net(
+                    stage, owner_net, f"valve {vid} stuck mid-flow"
+                )
+                owner_net.valves = survivors
+                if len(survivors) == 1:
+                    owner_net.kind = "singleton"
+            else:
+                self._kill_net(owner_net, vid)
+        # The stuck valve's seat becomes a faulty cell: nothing may ever
+        # route through an inoperable valve.
+        cid = self.grid.index(valve.position)
+        if self.occupancy.owner_id(cid) != FAULT_NET:
+            self.occupancy.release_cell_ids([cid])
+            self.occupancy.occupy_ids([cid], FAULT_NET)
+        self._incident(
+            stage,
+            "physical-fault",
+            f"valve {vid} stuck",
+            net_id=owner_net.net_id if owner_net is not None else None,
+            severity=Severity.INFO,
+        )
+
+    def _damage_net(self, stage: str, net: _Net, note: str) -> None:
+        """Rip a fault-hit net and queue it for the post-flow repair pass."""
+        if net.dead or net.net_id in self._fault_damaged:
+            return
+        valve_ids = {self.grid.index(v.position) for v in net.valves}
+        old_ids = set(self.occupancy.cells_of_ids(net.net_id))
+        self.occupancy.release_cell_ids(old_ids - valve_ids)
+        net.tree = None
+        net.paths = []
+        net.escape_path = None
+        net.routed = False
+        self._fault_damaged[net.net_id] = note
+        self._fault_old_cells[net.net_id] = old_ids
+        self._failure_reasons[net.net_id] = note
+        self._log(f"fault: net {net.net_id} damaged ({note})")
+
+    def _kill_net(self, net: _Net, vid: int) -> None:
+        """Retire a net whose last operable valve just failed."""
+        self.occupancy.release_ids(net.net_id)
+        net.tree = None
+        net.paths = []
+        net.escape_path = None
+        net.routed = False
+        net.dead = True
+        self._fault_damaged.pop(net.net_id, None)
+        self._fault_old_cells.pop(net.net_id, None)
+        self._failure_reasons[net.net_id] = (
+            f"valve {vid} stuck (physical fault)"
+        )
+        self._log(f"fault: net {net.net_id} dead (no operable valves left)")
+
+    def _repair_damaged(self) -> None:
+        """Heal every fault-damaged net through the repair ladder.
+
+        Runs once, after the last stage: the surviving occupancy is
+        final by then, so the ladder re-routes only the ripped nets
+        against it — the incremental alternative to a full re-route.
+        """
+        damaged = sorted(
+            nid for nid in self._fault_damaged if not self.nets[nid].dead
+        )
+        if not damaged:
+            return
+        # Imported lazily: repro.robustness must stay import-cycle-free
+        # (repair pulls in the routing stack, which imports occupancy,
+        # which imports the robustness package during initialisation).
+        from repro.robustness.repair import NetRepair, RepairEngine
+
+        engine = RepairEngine(self.design, budget=self.budget)
+        fault_cids = set(self.occupancy.cells_of_ids(FAULT_NET))
+        used_pins = {
+            n.pin for n in self.nets.values() if n.routed and n.pin is not None
+        }
+        for nid in damaged:
+            net = self.nets[nid]
+            candidates = (
+                []
+                if net.pin is not None
+                else [p for p in self.design.control_pins if p not in used_pins]
+            )
+            spec = NetRepair(
+                net_id=nid,
+                origin_cluster=net.origin_cluster,
+                valve_ids=[v.id for v in net.valves],
+                terminals=[v.position for v in net.valves],
+                pin=net.pin,
+                candidate_pins=candidates,
+                length_matching=net.length_matching and not net.demoted,
+                delta=self.delta,
+                old_cell_ids=set(self._fault_old_cells.get(nid, set())),
+                failure_note=self._fault_damaged[nid],
+            )
+            report, rung = engine.repair_net(self.occupancy, spec, fault_cids)
+            if report is None:
+                self._failure_reasons[nid] = (
+                    f"{self._fault_damaged[nid]}; repair ladder exhausted"
+                )
+                net.routed = False
+                # The failed ladder released the whole bucket; give the
+                # surviving valves their seats back.
+                self.occupancy.occupy([v.position for v in net.valves], nid)
+                self._incident(
+                    "repair",
+                    "net-failure",
+                    f"net {nid} could not be re-routed around the fault",
+                    net_id=nid,
+                )
+            else:
+                if net.length_matching and not spec.length_matching:
+                    # The net was demoted before the fault: report it
+                    # under the origin cluster's LM constraint, unmatched.
+                    report = replace(
+                        report, length_matching=True, matched=False
+                    )
+                net.routed = True
+                net.pin = spec.pin
+                if spec.pin is not None:
+                    used_pins.add(spec.pin)
+                net.repaired_report = report
+                self._log(f"repair: net {nid} re-routed via {rung} rung")
+
     # -- stage 1: clustering --------------------------------------------------
 
     def _stage_clustering(self) -> List[Cluster]:
-        clusters = cluster_valves(self.design.valves, self.design.lm_groups)
-        self._next_net_id = max(c.id for c in clusters) + 1
+        # Stuck valves cannot be actuated: they are filtered out of the
+        # clustering input (an LM group shrunk below two survivors simply
+        # yields smaller clusters) and each becomes a dead net so the
+        # result still accounts for it.
+        stuck = self._stuck_valves
+        live_valves = [v for v in self.design.valves if v.id not in stuck]
+        live_groups = [
+            kept
+            for group in self.design.lm_groups
+            if (kept := [vid for vid in group if vid not in stuck])
+        ]
+        if not live_valves:
+            self._log("clustering: every valve stuck; nothing to route")
+            clusters: List[Cluster] = []
+            self._next_net_id = 0
+        else:
+            clusters = cluster_valves(live_valves, live_groups)
+            self._next_net_id = max(c.id for c in clusters) + 1
+        valve_by_id = self.design.valve_by_id()
+        for vid in sorted(stuck):
+            net_id = self._next_net_id
+            self._next_net_id += 1
+            self.nets[net_id] = _Net(
+                net_id=net_id,
+                origin_cluster=net_id,
+                valves=[valve_by_id[vid]],
+                length_matching=False,
+                kind="singleton",
+                dead=True,
+            )
+            self._failure_reasons[net_id] = (
+                f"valve {vid} stuck (physical fault)"
+            )
         for cluster in clusters:
             self.occupancy.occupy([v.position for v in cluster.valves], cluster.id)
             lm = cluster.size >= 2 and (
@@ -892,6 +1272,9 @@ class PacorRouter:
         for net in list(self.nets.values()):
             # A net that already has internal channels was routed before
             # an interruption; a resumed run must not route it twice.
+            # Dead and fault-damaged nets are the repair pass's problem.
+            if net.dead or net.net_id in self._fault_damaged:
+                continue
             if net.kind == "ordinary" and net.tree is None and not net.paths:
                 # A spent budget fast-fails the whole stage (supervised);
                 # any other per-net fault is contained to that net.
@@ -985,6 +1368,8 @@ class PacorRouter:
         # claimed the whole net routed.  Split it so each valve escapes
         # on its own.
         for net in list(self.nets.values()):
+            if net.dead or net.net_id in self._fault_damaged:
+                continue
             if len(net.valves) >= 2 and net.tree is None and not net.paths:
                 self._log(
                     f"decluster net {net.net_id}: no internal channels "
@@ -998,7 +1383,11 @@ class PacorRouter:
         # the escapes committed before the interruption and re-queues
         # only what is still unrouted.
         pending: Set[int] = {
-            net_id for net_id, net in self.nets.items() if not net.routed
+            net_id
+            for net_id, net in self.nets.items()
+            if not net.routed
+            and not net.dead
+            and net_id not in self._fault_damaged
         }
         self._escape_pending = pending
         self._last_escape_pending = None
@@ -1348,7 +1737,10 @@ class PacorRouter:
         old_cells = self.occupancy.cells_of(net.net_id) - valve_cells
         self.occupancy.release_cells(old_cells)
         net.paths = []
-        pending.add(net.net_id)
+        # Dead and fault-damaged nets never re-enter the escape queue;
+        # the post-flow repair pass owns them.
+        if not net.dead and net.net_id not in self._fault_damaged:
+            pending.add(net.net_id)
         if reroute:
             self._reroute_internal(net, old_cells)
 
@@ -1431,6 +1823,11 @@ class PacorRouter:
             ),
         )
         for net in sorted(self.nets.values(), key=lambda n: n.net_id):
+            if net.repaired_report is not None:
+                # The repair pass already produced the honest report
+                # (cells, segments and matching of the re-route).
+                result.nets.append(net.repaired_report)
+                continue
             cells = frozenset(self.occupancy.cells_of(net.net_id))
             segments = frozenset(
                 seg

@@ -20,6 +20,7 @@ from repro.designs.design import Design
 from repro.observability.metrics import Metrics
 from repro.observability.tracing import Tracer
 from repro.robustness.errors import ConfigError
+from repro.robustness.faultmap import FaultMap
 
 
 def _run(
@@ -29,8 +30,11 @@ def _run(
     *,
     tracer: Optional[Tracer] = None,
     metrics: Optional[Metrics] = None,
+    fault_map: Optional[FaultMap] = None,
 ) -> PacorResult:
-    router = PacorRouter(design, config, tracer=tracer, metrics=metrics)
+    router = PacorRouter(
+        design, config, tracer=tracer, metrics=metrics, fault_map=fault_map
+    )
     router._method_name = method
     return router.run()
 
@@ -41,13 +45,21 @@ def run_pacor(
     *,
     tracer: Optional[Tracer] = None,
     metrics: Optional[Metrics] = None,
+    fault_map: Optional[FaultMap] = None,
 ) -> PacorResult:
     """Run the full PACOR flow on ``design``."""
     config = config or PacorConfig()
     config = replace(
         config, enable_selection=True, detour_stage=DetourStage.FINAL
     )
-    return _run(design, config, "PACOR", tracer=tracer, metrics=metrics)
+    return _run(
+        design,
+        config,
+        "PACOR",
+        tracer=tracer,
+        metrics=metrics,
+        fault_map=fault_map,
+    )
 
 
 def run_without_selection(
@@ -56,13 +68,21 @@ def run_without_selection(
     *,
     tracer: Optional[Tracer] = None,
     metrics: Optional[Metrics] = None,
+    fault_map: Optional[FaultMap] = None,
 ) -> PacorResult:
     """Run the "w/o Sel" baseline: no candidate-tree selection strategy."""
     config = config or PacorConfig()
     config = replace(
         config, enable_selection=False, detour_stage=DetourStage.FINAL
     )
-    return _run(design, config, "w/o Sel", tracer=tracer, metrics=metrics)
+    return _run(
+        design,
+        config,
+        "w/o Sel",
+        tracer=tracer,
+        metrics=metrics,
+        fault_map=fault_map,
+    )
 
 
 def run_detour_first(
@@ -71,13 +91,21 @@ def run_detour_first(
     *,
     tracer: Optional[Tracer] = None,
     metrics: Optional[Metrics] = None,
+    fault_map: Optional[FaultMap] = None,
 ) -> PacorResult:
     """Run the "Detour First" baseline: detour right after negotiation."""
     config = config or PacorConfig()
     config = replace(
         config, enable_selection=True, detour_stage=DetourStage.AFTER_NEGOTIATION
     )
-    return _run(design, config, "Detour First", tracer=tracer, metrics=metrics)
+    return _run(
+        design,
+        config,
+        "Detour First",
+        tracer=tracer,
+        metrics=metrics,
+        fault_map=fault_map,
+    )
 
 
 METHODS: Dict[str, Callable[..., PacorResult]] = {
@@ -95,6 +123,7 @@ def run_method(
     *,
     tracer: Optional[Tracer] = None,
     metrics: Optional[Metrics] = None,
+    fault_map: Optional[FaultMap] = None,
 ) -> PacorResult:
     """Run one named Table-2 method, optionally instrumented."""
     try:
@@ -106,4 +135,6 @@ def run_method(
             f"unknown method {method!r}; choose from {list(METHODS)}",
             field="method",
         ) from None
-    return runner(design, config, tracer=tracer, metrics=metrics)
+    return runner(
+        design, config, tracer=tracer, metrics=metrics, fault_map=fault_map
+    )

@@ -9,7 +9,11 @@ statistics; see DESIGN.md for the substitution rationale.
 """
 
 from repro.designs.design import Design
-from repro.designs.generator import ClusterPlan, generate_design
+from repro.designs.generator import (
+    ClusterPlan,
+    generate_design,
+    generate_fault_scenario,
+)
 from repro.designs.io import design_from_json, design_to_json, load_design, save_design
 from repro.designs.perturb import add_obstacle_noise, jitter_valves, perturbation_family
 from repro.designs.stress import CONTENTION_LEVELS, stress_design, stress_family
@@ -30,6 +34,7 @@ __all__ = [
     "Design",
     "ClusterPlan",
     "generate_design",
+    "generate_fault_scenario",
     "design_to_json",
     "design_from_json",
     "save_design",

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Set
+from typing import TYPE_CHECKING, List, Optional, Sequence, Set
 
 from repro.designs.design import Design
 from repro.geometry.point import Point
@@ -23,6 +23,9 @@ from repro.grid.grid import RoutingGrid
 from repro.robustness.errors import GenerationError
 from repro.valves.activation import ActivationSequence
 from repro.valves.valve import Valve
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.robustness.faultmap import FaultMap
 
 
 @dataclass(frozen=True)
@@ -246,3 +249,71 @@ def generate_design(
     )
     design.validate()
     return design
+
+
+def generate_fault_scenario(
+    design: Design,
+    *,
+    n_cell_faults: int,
+    n_stuck_valves: int = 0,
+    seed: int,
+    target_cells: Optional[Sequence[Point]] = None,
+    event_stage: Optional[str] = None,
+) -> "FaultMap":
+    """Generate a deterministic physical-fault scenario for ``design``.
+
+    Args:
+        design: the design the faults hit.
+        n_cell_faults: blocked-cell count.
+        n_stuck_valves: stuck-valve count.
+        seed: RNG seed — equal seeds give identical scenarios.
+        target_cells: cells to draw the blockages from (benchmarks pass a
+            result's routed cells here, so every fault is guaranteed to
+            damage something); valve positions are excluded either way.
+            When None, blockages are drawn from the free grid cells.
+        event_stage: when set, every fault becomes a timed
+            :class:`~repro.robustness.faultmap.FaultEvent` firing at this
+            stage boundary instead of a static (pre-routing) fault.
+
+    Returns:
+        A validated :class:`~repro.robustness.faultmap.FaultMap`.
+
+    Raises:
+        GenerationError: the design has too few candidate cells/valves.
+    """
+    from repro.robustness.faultmap import FaultEvent, FaultMap
+
+    rng = random.Random(seed)
+    valve_cells = {v.position for v in design.valves}
+    if target_cells is not None:
+        pool = [p for p in target_cells if p not in valve_cells]
+    else:
+        grid = design.grid
+        pool = [
+            p
+            for y in range(grid.height)
+            for x in range(grid.width)
+            if grid.is_free(p := Point(x, y)) and p not in valve_cells
+        ]
+    pool = sorted(set(pool))
+    if n_cell_faults > len(pool):
+        raise GenerationError(
+            f"design {design.name}: {n_cell_faults} cell faults exceed the "
+            f"{len(pool)} candidate cells"
+        )
+    valve_ids = sorted(v.id for v in design.valves)
+    if n_stuck_valves > len(valve_ids):
+        raise GenerationError(
+            f"design {design.name}: {n_stuck_valves} stuck valves exceed "
+            f"the {len(valve_ids)} valves"
+        )
+    cells = rng.sample(pool, n_cell_faults)
+    stuck = rng.sample(valve_ids, n_stuck_valves)
+    if event_stage is not None:
+        events = [FaultEvent(stage=event_stage, cell=p) for p in cells]
+        events += [FaultEvent(stage=event_stage, valve=v) for v in stuck]
+        fm = FaultMap(events=events)
+    else:
+        fm = FaultMap(faulty_cells=cells, stuck_valves=stuck)
+    fm.validate(design)
+    return fm

@@ -25,6 +25,18 @@ from repro.robustness import faults
 FREE = -1
 """Sentinel net id for an unoccupied cell."""
 
+FAULT_NET = -2
+"""Pseudo-net id owning physically faulty cells.
+
+Faulty cells (see :mod:`repro.robustness.faultmap`) are mounted into the
+occupancy under this id, which makes them flow through every existing
+blocked-cell composition for free: :class:`SearchSpace` overlays them as
+another net's bucket, escape routing's blocked sets include them, and
+the rip-up probes never rip them (``FAULT_NET`` is not in the router's
+net table).  It is never reported as a net — result collection iterates
+the router's real nets only.
+"""
+
 
 class Occupancy:
     """Tracks which net occupies each grid cell.

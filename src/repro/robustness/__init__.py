@@ -14,6 +14,13 @@ design from killing or hanging a whole run:
 * :mod:`repro.robustness.checkpoint` — serialisable snapshots of the
   mid-flow router state, so a budget-interrupted run can be resumed
   with a fresh budget instead of restarted.
+* :mod:`repro.robustness.faultmap` — the first-class physical fault
+  model (faulty cells, stuck valves, timed mid-flow fault events).
+* :mod:`repro.robustness.repair` — incremental damage assessment and
+  the re-routing escalation ladder that heals a routed design.  **Not**
+  re-exported here: it imports the routing stack, which imports this
+  package — import it directly (``from repro.robustness import
+  repair``) or lazily.
 """
 
 from repro.robustness.budget import Budget
@@ -23,6 +30,7 @@ from repro.robustness.errors import (
     CheckpointFormatError,
     ConfigError,
     DesignFormatError,
+    FaultFormatError,
     FlowDecompositionError,
     GenerationError,
     KernelPreconditionError,
@@ -39,6 +47,7 @@ from repro.robustness.faults import (
     FaultRecord,
     FaultSpec,
 )
+from repro.robustness.faultmap import FAULTMAP_VERSION, FaultEvent, FaultMap
 from repro.robustness.incidents import Incident, Severity
 
 __all__ = [
@@ -46,6 +55,7 @@ __all__ = [
     "ConfigError",
     "DesignFormatError",
     "CheckpointFormatError",
+    "FaultFormatError",
     "FlowDecompositionError",
     "GenerationError",
     "KernelPreconditionError",
@@ -64,4 +74,7 @@ __all__ = [
     "FaultInjector",
     "FaultInjected",
     "INJECTION_POINTS",
+    "FaultMap",
+    "FaultEvent",
+    "FAULTMAP_VERSION",
 ]

@@ -87,6 +87,12 @@ class Checkpoint:
             ``spans_recorded``, ``counters``); a resume restores the
             counters and stitches its spans onto the recorded trace.
             Absent (None) on uninstrumented runs and older snapshots.
+        fault_map: optional
+            :meth:`~repro.robustness.faultmap.FaultMap.to_json` document
+            of the run's physical faults, with already-applied timed
+            events popped — a resume re-arms exactly the faults that
+            have not fired yet.  Absent (None) on fault-free runs and
+            older snapshots.
     """
 
     design: Dict[str, Any]
@@ -104,6 +110,7 @@ class Checkpoint:
     failure_reasons: Dict[str, str] = field(default_factory=dict)
     pending_escape: Optional[List[int]] = None
     observability: Optional[Dict[str, Any]] = None
+    fault_map: Optional[Dict[str, Any]] = None
     version: int = CHECKPOINT_VERSION
 
     @property
@@ -134,6 +141,7 @@ class Checkpoint:
             "incidents": list(self.incidents),
             "failure_reasons": dict(self.failure_reasons),
             "observability": self.observability,
+            "fault_map": self.fault_map,
         }
 
     @classmethod
@@ -153,11 +161,14 @@ class Checkpoint:
                 f"got {type(doc).__name__}",
                 path=source,
             )
-        for name in _REQUIRED_FIELDS:
-            if name not in doc:
-                raise CheckpointFormatError(
-                    "missing required field", field=name, path=source
-                )
+        # The version gate comes before the required-field sweep: a
+        # future-version document legitimately carries different fields,
+        # and "unsupported version" is the actionable diagnosis there —
+        # not whichever v1 field it happens to lack.
+        if "version" not in doc:
+            raise CheckpointFormatError(
+                "missing required field", field="version", path=source
+            )
         version = doc["version"]
         if version != CHECKPOINT_VERSION:
             raise CheckpointFormatError(
@@ -166,6 +177,11 @@ class Checkpoint:
                 field="version",
                 path=source,
             )
+        for name in _REQUIRED_FIELDS:
+            if name not in doc:
+                raise CheckpointFormatError(
+                    "missing required field", field=name, path=source
+                )
         if not isinstance(doc["stage"], str):
             raise CheckpointFormatError(
                 f"expected a stage name, got {type(doc['stage']).__name__}",
@@ -200,6 +216,7 @@ class Checkpoint:
                 [int(n) for n in pending] if pending is not None else None
             ),
             observability=doc.get("observability"),
+            fault_map=doc.get("fault_map"),
             version=int(version),
         )
 

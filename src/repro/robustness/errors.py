@@ -90,6 +90,38 @@ class CheckpointFormatError(PacorError, ValueError):
         super().__init__("".join(parts))
 
 
+class FaultFormatError(PacorError, ValueError):
+    """A fault-map document is malformed or does not fit the design.
+
+    Raised when loading a :class:`~repro.robustness.faultmap.FaultMap`
+    whose version is unknown, whose fields are malformed, or whose
+    cells/valves do not exist on the design a repair was asked to run
+    against.  Also a :class:`ValueError` for symmetry with
+    :class:`CheckpointFormatError`.
+
+    Attributes:
+        field: the offending field, when one can be named.
+        path: source file the fault map was read from, when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        field: Optional[str] = None,
+        path: Optional[str] = None,
+    ) -> None:
+        self.field = field
+        self.path = path
+        parts = []
+        if path is not None:
+            parts.append(f"{path}: ")
+        parts.append(message)
+        if field is not None:
+            parts.append(f" (field {field!r})")
+        super().__init__("".join(parts))
+
+
 class ConfigError(PacorError, ValueError):
     """A run tunable (config field, budget limit, fault spec) is invalid.
 

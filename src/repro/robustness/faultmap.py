@@ -1,0 +1,369 @@
+"""First-class physical fault model: faulty cells and stuck valves.
+
+Fabricated biochips develop physical defects — channel cells that no
+longer seal (blocked for routing) and control valves stuck in one state
+(unusable as terminals).  A :class:`FaultMap` declares such defects so
+the flow can route *around* them and the repair engine
+(:mod:`repro.robustness.repair`) can heal an already-routed design when
+new defects arrive.
+
+Faults enter the flow three ways:
+
+* **Up front** — ``pacor route --faults faults.json``: the map's cells
+  are mounted into the occupancy under
+  :data:`~repro.grid.occupancy.FAULT_NET` before routing starts, so
+  every search avoids them by construction.
+* **Timed mid-flow** — :class:`FaultEvent`\\ s fire at a named stage
+  boundary; the router applies them between stages and repairs the
+  damage (see ``docs/robustness.md`` §5).
+* **Post-hoc** — ``pacor repair result.json --faults faults.json``
+  assesses the damage against a finished routing and re-routes only the
+  affected nets.
+
+This module is deliberately import-light (geometry + errors only) so it
+can be re-exported from :mod:`repro.robustness` without touching the
+routing import graph.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path as FilePath
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
+
+from repro.geometry.point import Point
+from repro.robustness.errors import ConfigError, FaultFormatError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.designs.design import Design
+
+FAULTMAP_VERSION = 1
+"""Current fault-map document version; bumped on incompatible change."""
+
+EVENT_STAGES = (
+    "clustering",
+    "lm-routing",
+    "mst-routing",
+    "escape",
+    "detour",
+    "final",
+)
+"""Stage boundaries at which a timed :class:`FaultEvent` may fire.
+
+``"final"`` fires after the last stage — damage there is healed by the
+post-flow repair pass instead of a re-entered stage.
+"""
+
+
+@dataclass
+class FaultEvent:
+    """One timed physical fault: a cell blocks or a valve sticks.
+
+    Attributes:
+        stage: the stage boundary the fault fires at (the fault is
+            applied *before* that stage runs; ``"final"`` fires after
+            the whole flow).
+        cell: the newly faulty channel cell (``cell_blockage``), or
+            None for a valve fault.
+        valve: the newly stuck valve id (``valve_stuck``), or None for
+            a cell fault.  Exactly one of ``cell``/``valve`` is set.
+    """
+
+    stage: str
+    cell: Optional[Point] = None
+    valve: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.stage not in EVENT_STAGES:
+            raise ConfigError(
+                f"unknown fault-event stage {self.stage!r}; "
+                f"choose from {list(EVENT_STAGES)}",
+                field="stage",
+            )
+        if (self.cell is None) == (self.valve is None):
+            raise ConfigError(
+                "a fault event names exactly one of cell/valve",
+                field="cell",
+            )
+
+    def to_json(self) -> Dict[str, Any]:
+        """Return the JSON document of this event."""
+        doc: Dict[str, Any] = {"stage": self.stage}
+        if self.cell is not None:
+            doc["cell"] = [self.cell.x, self.cell.y]
+        if self.valve is not None:
+            doc["valve"] = self.valve
+        return doc
+
+    @classmethod
+    def from_json(
+        cls, doc: Any, *, source: Optional[str] = None
+    ) -> "FaultEvent":
+        """Rebuild an event from its document (validated)."""
+        if not isinstance(doc, dict):
+            raise FaultFormatError(
+                f"fault event must be a JSON object, got {type(doc).__name__}",
+                field="events",
+                path=source,
+            )
+        stage = doc.get("stage")
+        if stage not in EVENT_STAGES:
+            raise FaultFormatError(
+                f"unknown fault-event stage {stage!r} "
+                f"(expected one of {list(EVENT_STAGES)})",
+                field="events",
+                path=source,
+            )
+        cell_doc = doc.get("cell")
+        valve_doc = doc.get("valve")
+        if (cell_doc is None) == (valve_doc is None):
+            raise FaultFormatError(
+                "a fault event names exactly one of cell/valve",
+                field="events",
+                path=source,
+            )
+        cell = _parse_cell(cell_doc, source) if cell_doc is not None else None
+        valve = int(valve_doc) if valve_doc is not None else None
+        return cls(stage=str(stage), cell=cell, valve=valve)
+
+
+def _parse_cell(doc: Any, source: Optional[str]) -> Point:
+    try:
+        x, y = doc
+        return Point(int(x), int(y))
+    except (TypeError, ValueError) as exc:
+        raise FaultFormatError(
+            f"malformed cell entry {doc!r} ({exc})",
+            field="faulty_cells",
+            path=source,
+        ) from None
+
+
+@dataclass
+class FaultMap:
+    """Declared physical faults of one chip.
+
+    Attributes:
+        faulty_cells: channel cells that may no longer carry a channel.
+        stuck_valves: valve ids stuck in one state (unusable terminals).
+        events: timed mid-flow faults, applied at stage boundaries in
+            list order.
+    """
+
+    faulty_cells: List[Point] = field(default_factory=list)
+    stuck_valves: List[int] = field(default_factory=list)
+    events: List[FaultEvent] = field(default_factory=list)
+
+    # -- queries -----------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        """Return True when no fault is declared at all."""
+        return not (self.faulty_cells or self.stuck_valves or self.events)
+
+    def cell_ids(self, width: int) -> List[int]:
+        """Return the faulty cells as sorted flat ``grid.index`` ids."""
+        return sorted(c.y * width + c.x for c in self.faulty_cells)
+
+    def copy(self) -> "FaultMap":
+        """Return an independent copy (events included)."""
+        return FaultMap(
+            faulty_cells=list(self.faulty_cells),
+            stuck_valves=list(self.stuck_valves),
+            events=[
+                FaultEvent(stage=e.stage, cell=e.cell, valve=e.valve)
+                for e in self.events
+            ],
+        )
+
+    # -- mutation ----------------------------------------------------------
+
+    def add_cell(self, cell: Point) -> None:
+        """Declare ``cell`` faulty (idempotent)."""
+        if cell not in self.faulty_cells:
+            self.faulty_cells.append(cell)
+
+    def add_valve(self, valve_id: int) -> None:
+        """Declare valve ``valve_id`` stuck (idempotent)."""
+        if valve_id not in self.stuck_valves:
+            self.stuck_valves.append(valve_id)
+
+    def pop_events(self, stage: str) -> List[FaultEvent]:
+        """Remove and return the events firing at ``stage``, in order."""
+        due = [e for e in self.events if e.stage == stage]
+        if due:
+            self.events = [e for e in self.events if e.stage != stage]
+        return due
+
+    # -- design fit --------------------------------------------------------
+
+    def validate(self, design: "Design") -> None:
+        """Check every declared fault exists on ``design``.
+
+        Raises:
+            FaultFormatError: a faulty cell is off-grid or a stuck
+                valve id is unknown to the design.
+        """
+        grid = design.grid
+        known = set(design.valve_by_id())
+        for cell in self.faulty_cells:
+            if not (0 <= cell.x < grid.width and 0 <= cell.y < grid.height):
+                raise FaultFormatError(
+                    f"faulty cell {cell} is off the {grid.width}x"
+                    f"{grid.height} grid of design {design.name!r}",
+                    field="faulty_cells",
+                )
+        for vid in self.stuck_valves:
+            if vid not in known:
+                raise FaultFormatError(
+                    f"stuck valve {vid} is unknown to design "
+                    f"{design.name!r}",
+                    field="stuck_valves",
+                )
+        for event in self.events:
+            if event.cell is not None:
+                cell = event.cell
+                if not (
+                    0 <= cell.x < grid.width and 0 <= cell.y < grid.height
+                ):
+                    raise FaultFormatError(
+                        f"fault-event cell {cell} is off-grid",
+                        field="events",
+                    )
+            if event.valve is not None and event.valve not in known:
+                raise FaultFormatError(
+                    f"fault-event valve {event.valve} is unknown to "
+                    f"design {design.name!r}",
+                    field="events",
+                )
+
+    def normalized(self, design: "Design") -> "FaultMap":
+        """Return a validated copy with valve-position faults canonical.
+
+        A faulty *cell* sitting exactly on a valve position means that
+        valve is unusable — the defect is re-expressed as a stuck valve
+        so clustering and damage assessment see it uniformly.  Cells and
+        valve ids are deduplicated; event order is preserved.
+        """
+        self.validate(design)
+        by_position = {v.position: v.id for v in design.valves}
+        out = FaultMap()
+        for vid in self.stuck_valves:
+            out.add_valve(vid)
+        for cell in self.faulty_cells:
+            vid = by_position.get(cell)
+            if vid is not None:
+                out.add_valve(vid)
+            else:
+                out.add_cell(cell)
+        for event in self.events:
+            if event.cell is not None and event.cell in by_position:
+                out.events.append(
+                    FaultEvent(
+                        stage=event.stage, valve=by_position[event.cell]
+                    )
+                )
+            else:
+                out.events.append(
+                    FaultEvent(
+                        stage=event.stage, cell=event.cell, valve=event.valve
+                    )
+                )
+        return out
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_json(self) -> Dict[str, Any]:
+        """Return the versioned JSON document of the fault map."""
+        return {
+            "version": FAULTMAP_VERSION,
+            "faulty_cells": sorted([c.x, c.y] for c in self.faulty_cells),
+            "stuck_valves": sorted(self.stuck_valves),
+            "events": [e.to_json() for e in self.events],
+        }
+
+    @classmethod
+    def from_json(
+        cls, doc: Any, *, source: Optional[str] = None
+    ) -> "FaultMap":
+        """Rebuild a fault map from its document (validated).
+
+        Raises:
+            FaultFormatError: the document is not a fault map, its
+                version is unknown, or a field is malformed — the error
+                names the field (and ``source``, when given).
+        """
+        if not isinstance(doc, dict):
+            raise FaultFormatError(
+                f"fault map must be a JSON object, got {type(doc).__name__}",
+                path=source,
+            )
+        version = doc.get("version")
+        if version != FAULTMAP_VERSION:
+            raise FaultFormatError(
+                f"unsupported fault-map version {version!r} "
+                f"(this build reads version {FAULTMAP_VERSION})",
+                field="version",
+                path=source,
+            )
+        cells_doc = doc.get("faulty_cells", [])
+        valves_doc = doc.get("stuck_valves", [])
+        events_doc = doc.get("events", [])
+        if not isinstance(cells_doc, list):
+            raise FaultFormatError(
+                f"expected a list of [x, y] cells, "
+                f"got {type(cells_doc).__name__}",
+                field="faulty_cells",
+                path=source,
+            )
+        if not isinstance(valves_doc, list):
+            raise FaultFormatError(
+                f"expected a list of valve ids, "
+                f"got {type(valves_doc).__name__}",
+                field="stuck_valves",
+                path=source,
+            )
+        if not isinstance(events_doc, list):
+            raise FaultFormatError(
+                f"expected a list of fault events, "
+                f"got {type(events_doc).__name__}",
+                field="events",
+                path=source,
+            )
+        try:
+            valves = [int(v) for v in valves_doc]
+        except (TypeError, ValueError) as exc:
+            raise FaultFormatError(
+                f"malformed valve id ({exc})",
+                field="stuck_valves",
+                path=source,
+            ) from None
+        return cls(
+            faulty_cells=[_parse_cell(c, source) for c in cells_doc],
+            stuck_valves=valves,
+            events=[
+                FaultEvent.from_json(e, source=source) for e in events_doc
+            ],
+        )
+
+    def save(self, path: Union[str, FilePath]) -> None:
+        """Write the fault map to ``path`` as JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_json(), handle, indent=1)
+
+    @classmethod
+    def load(cls, path: Union[str, FilePath]) -> "FaultMap":
+        """Read a fault map back from JSON (validated).
+
+        Raises:
+            FaultFormatError: the file is not valid JSON or the
+                document is malformed; the error names the file.
+        """
+        with open(path, "r", encoding="utf-8") as handle:
+            try:
+                doc = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise FaultFormatError(
+                    f"not valid JSON ({exc})", path=str(path)
+                ) from exc
+        return cls.from_json(doc, source=str(path))

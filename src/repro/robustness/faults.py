@@ -28,8 +28,19 @@ INJECTION_POINTS = (
     "mcf_solver_raise",
     "astar_budget_exhaustion",
     "occupancy_corruption",
+    "valve_stuck",
+    "cell_blockage",
 )
-"""Every named injection point wired into the flow."""
+"""Every named injection point wired into the flow.
+
+The first five simulate *software* faults (a component crashing or
+misbehaving); ``valve_stuck`` and ``cell_blockage`` simulate *physical*
+chip defects — a valve stuck closed or a channel cell blocked mid-flow.
+They are polled at stage boundaries by
+:meth:`~repro.core.pacor.PacorRouter._apply_fault_events` and turn into
+timed :class:`~repro.robustness.faultmap.FaultEvent`s handled by the
+repair machinery rather than exceptions.
+"""
 
 
 class FaultInjected(RuntimeError):

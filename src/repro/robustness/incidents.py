@@ -30,7 +30,8 @@ class Incident:
         stage: flow stage that recorded the incident.
         kind: stable machine-readable kind (``"budget-exceeded"``,
             ``"stage-failure"``, ``"solver-fallback"``, ``"router-stuck"``,
-            ``"occupancy-corruption"``, ``"net-failure"``).
+            ``"occupancy-corruption"``, ``"net-failure"``,
+            ``"physical-fault"``).
         message: human-readable diagnosis.
         net_id: affected net, when the incident is net-scoped.
         severity: impact on the result.

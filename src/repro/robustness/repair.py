@@ -1,0 +1,1222 @@
+"""Incremental damage assessment and self-healing repair of routed designs.
+
+A fabricated chip that developed new physical defects (a
+:class:`~repro.robustness.faultmap.FaultMap`) does not need a full
+re-route: most nets are untouched.  This module finds exactly the
+damaged nets with one flat sweep of the fault cell ids against the
+occupancy owner array (:func:`affected_nets`), rips up only those, and
+re-routes them against the *surviving* occupancy through an escalation
+ladder:
+
+1. **local** — bounded A* inside the damaged net's bounding box,
+   inflated geometrically round over round;
+2. **full** — unrestricted A* over the whole chip;
+3. **relaxed** — for length-matching nets only: serpentine extension of
+   untapped sink legs, then a geometrically widening δ window
+   (``matched`` is always reported against the *original* δ);
+4. **degraded** — the net is given up with a ``failure_reason`` and a
+   structured incident.
+
+Per-net effort is charged to a run-wide
+:class:`~repro.robustness.budget.Budget`; an exhausted budget snapshots
+the mid-repair state as a :class:`RepairCheckpoint` so ``pacor repair``
+can resume with a fresh budget.  Kernel counters
+(``repair.nets_affected``, ``repair.reroutes``, ``repair.escalations``)
+and tracing spans make repair cost observable; ``benchmarks/
+bench_repair.py`` measures it against a full re-route.
+
+Import note: this module imports the routing stack, which imports
+:mod:`repro.robustness` — so it is **not** re-exported from the package
+``__init__``; import it directly (``from repro.robustness import
+repair``) or lazily.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.core.result import (
+    NetReport,
+    PacorResult,
+    Segment,
+    segments_of_path,
+)
+from repro.designs.design import Design
+from repro.designs.io import design_from_json, design_to_json
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.grid.occupancy import FAULT_NET, FREE, Occupancy
+from repro.observability import context as obs
+from repro.robustness.budget import Budget
+from repro.robustness.errors import (
+    BudgetExceeded,
+    CheckpointFormatError,
+    ConfigError,
+)
+from repro.robustness.faultmap import FaultMap
+from repro.robustness.incidents import Incident, Severity
+from repro.routing.astar import astar_route
+from repro.routing.bounded import extend_path_with_bumps
+from repro.routing.path import Path
+
+REPAIR_CHECKPOINT_VERSION = 1
+"""Current mid-repair snapshot format version."""
+
+REPAIR_CHECKPOINT_KIND = "pacor-repair"
+"""The ``kind`` marker distinguishing repair snapshots from result files
+and route checkpoints (both are JSON objects too)."""
+
+LADDER = ("local", "full", "relaxed", "degraded")
+"""The escalation rungs, cheapest first."""
+
+
+@dataclass
+class RepairConfig:
+    """Tunables of the repair escalation ladder.
+
+    Attributes:
+        local_rounds: bounded re-route attempts before escalating; each
+            round inflates the bounding box.
+        local_margin: initial margin (cells) around the damaged net's
+            bounding box.
+        local_inflate: geometric growth factor of the margin per round.
+        local_expansions: per-leg A* expansion cap during local rounds
+            (the per-stage repair budget; the run-wide budget is charged
+            on top).
+        relax_rounds: δ-window widening attempts for length-matching
+            nets.
+        relax_factor: geometric growth factor of the δ window per relax
+            round.
+    """
+
+    local_rounds: int = 3
+    local_margin: int = 2
+    local_inflate: int = 2
+    local_expansions: int = 2000
+    relax_rounds: int = 3
+    relax_factor: int = 2
+
+    def __post_init__(self) -> None:
+        if self.local_rounds < 0 or self.relax_rounds < 0:
+            raise ConfigError(
+                "ladder round counts must be non-negative",
+                field="local_rounds",
+            )
+        if self.local_margin < 1:
+            raise ConfigError(
+                "local_margin must be at least 1", field="local_margin"
+            )
+        if self.local_inflate < 2 or self.relax_factor < 2:
+            raise ConfigError(
+                "inflation factors must be at least 2 "
+                "(the ladder must make progress)",
+                field="local_inflate",
+            )
+        if self.local_expansions < 1:
+            raise ConfigError(
+                "local_expansions must be positive", field="local_expansions"
+            )
+
+    def to_json(self) -> Dict[str, Any]:
+        """Return the JSON document of the config."""
+        return {
+            "local_rounds": self.local_rounds,
+            "local_margin": self.local_margin,
+            "local_inflate": self.local_inflate,
+            "local_expansions": self.local_expansions,
+            "relax_rounds": self.relax_rounds,
+            "relax_factor": self.relax_factor,
+        }
+
+    @classmethod
+    def from_json(cls, doc: Mapping[str, Any]) -> "RepairConfig":
+        """Rebuild a config from its document (missing keys = defaults)."""
+        base = cls()
+        return cls(
+            local_rounds=int(doc.get("local_rounds", base.local_rounds)),
+            local_margin=int(doc.get("local_margin", base.local_margin)),
+            local_inflate=int(doc.get("local_inflate", base.local_inflate)),
+            local_expansions=int(
+                doc.get("local_expansions", base.local_expansions)
+            ),
+            relax_rounds=int(doc.get("relax_rounds", base.relax_rounds)),
+            relax_factor=int(doc.get("relax_factor", base.relax_factor)),
+        )
+
+
+@dataclass
+class NetRepair:
+    """One damaged net, reduced to what re-routing needs.
+
+    Attributes:
+        net_id: the net's occupancy id.
+        origin_cluster: cluster the net descends from (report plumbing).
+        valve_ids: surviving valve ids (stuck valves already dropped).
+        terminals: the surviving valves' positions, aligned with
+            ``valve_ids``.
+        pin: the net's control pin, or None when the damage predates pin
+            assignment — the ladder then picks one from
+            ``candidate_pins``.
+        candidate_pins: free control pins the ladder may claim when
+            ``pin`` is None.
+        length_matching: True when the origin cluster carried the LM
+            constraint.
+        delta: the length-matching threshold δ.
+        old_cell_ids: the ripped route's flat cell ids (seed of the
+            local rung's bounding box).
+        failure_note: context prepended to the degraded-rung
+            ``failure_reason`` (e.g. which fault hit the net).
+    """
+
+    net_id: int
+    origin_cluster: int
+    valve_ids: List[int]
+    terminals: List[Point]
+    pin: Optional[Point] = None
+    candidate_pins: List[Point] = field(default_factory=list)
+    length_matching: bool = False
+    delta: int = 1
+    old_cell_ids: Set[int] = field(default_factory=set)
+    failure_note: str = "physical fault"
+
+    def to_json(self) -> Dict[str, Any]:
+        """Return the JSON document of the spec (for repair checkpoints)."""
+        return {
+            "net_id": self.net_id,
+            "origin_cluster": self.origin_cluster,
+            "valve_ids": list(self.valve_ids),
+            "terminals": [[p.x, p.y] for p in self.terminals],
+            "pin": [self.pin.x, self.pin.y] if self.pin else None,
+            "candidate_pins": [[p.x, p.y] for p in self.candidate_pins],
+            "length_matching": self.length_matching,
+            "delta": self.delta,
+            "old_cell_ids": sorted(self.old_cell_ids),
+            "failure_note": self.failure_note,
+        }
+
+    @classmethod
+    def from_json(cls, doc: Mapping[str, Any]) -> "NetRepair":
+        """Rebuild a spec from its document."""
+        pin = doc.get("pin")
+        return cls(
+            net_id=int(doc["net_id"]),
+            origin_cluster=int(doc["origin_cluster"]),
+            valve_ids=[int(v) for v in doc["valve_ids"]],
+            terminals=[Point(int(x), int(y)) for x, y in doc["terminals"]],
+            pin=Point(int(pin[0]), int(pin[1])) if pin else None,
+            candidate_pins=[
+                Point(int(x), int(y))
+                for x, y in doc.get("candidate_pins", [])
+            ],
+            length_matching=bool(doc.get("length_matching", False)),
+            delta=int(doc.get("delta", 1)),
+            old_cell_ids={int(c) for c in doc.get("old_cell_ids", [])},
+            failure_note=str(doc.get("failure_note", "physical fault")),
+        )
+
+
+@dataclass
+class RepairCheckpoint:
+    """Snapshot of a budget-interrupted repair run.
+
+    Attributes:
+        design: the full design document (self-contained resume).
+        fault_map: the fault map document (timed events already
+            collapsed — repair applies them up front).
+        config: :meth:`RepairConfig.to_json` document.
+        result: the *current* result document — unaffected nets
+            verbatim, already-repaired nets with their new routes,
+            still-pending nets ripped and marked unrouted.
+        pending: :meth:`NetRepair.to_json` documents of the nets still
+            awaiting repair, in execution order.
+        repaired: net id (as string, JSON keys) -> ladder rung that
+            healed it, for nets repaired before the interruption.
+        version: snapshot format version.
+    """
+
+    design: Dict[str, Any]
+    fault_map: Dict[str, Any]
+    config: Dict[str, Any]
+    result: Dict[str, Any]
+    pending: List[Dict[str, Any]]
+    repaired: Dict[str, str] = field(default_factory=dict)
+    version: int = REPAIR_CHECKPOINT_VERSION
+
+    def to_json(self) -> Dict[str, Any]:
+        """Return the versioned, kind-marked JSON document."""
+        return {
+            "kind": REPAIR_CHECKPOINT_KIND,
+            "version": self.version,
+            "design": self.design,
+            "fault_map": self.fault_map,
+            "config": self.config,
+            "result": self.result,
+            "pending": list(self.pending),
+            "repaired": dict(self.repaired),
+        }
+
+    @classmethod
+    def from_json(
+        cls, doc: Any, *, source: Optional[str] = None
+    ) -> "RepairCheckpoint":
+        """Rebuild a snapshot from its document (validated).
+
+        Raises:
+            CheckpointFormatError: the document is not a repair
+                snapshot, its version is unknown, or a required field
+                is missing.
+        """
+        if not isinstance(doc, dict):
+            raise CheckpointFormatError(
+                f"repair checkpoint must be a JSON object, "
+                f"got {type(doc).__name__}",
+                path=source,
+            )
+        if doc.get("kind") != REPAIR_CHECKPOINT_KIND:
+            raise CheckpointFormatError(
+                f"not a repair checkpoint "
+                f"(kind {doc.get('kind')!r}, "
+                f"expected {REPAIR_CHECKPOINT_KIND!r})",
+                field="kind",
+                path=source,
+            )
+        version = doc.get("version")
+        if version != REPAIR_CHECKPOINT_VERSION:
+            raise CheckpointFormatError(
+                f"unsupported repair-checkpoint version {version!r} "
+                f"(this build reads version {REPAIR_CHECKPOINT_VERSION})",
+                field="version",
+                path=source,
+            )
+        for name in ("design", "fault_map", "config", "result", "pending"):
+            if name not in doc:
+                raise CheckpointFormatError(
+                    "missing required field", field=name, path=source
+                )
+        return cls(
+            design=doc["design"],
+            fault_map=doc["fault_map"],
+            config=doc["config"],
+            result=doc["result"],
+            pending=list(doc["pending"]),
+            repaired={
+                str(k): str(v) for k, v in doc.get("repaired", {}).items()
+            },
+            version=int(version),
+        )
+
+
+@dataclass
+class RepairOutcome:
+    """Everything one repair run produced.
+
+    Attributes:
+        result: the healed :class:`~repro.core.result.PacorResult` —
+            unaffected nets verbatim, repaired nets with fresh routes,
+            unrepairable nets degraded.
+        affected: net ids the damage assessment flagged.
+        repaired: net id -> ladder rung that healed it.
+        degraded_nets: net ids given up on.
+        dropped_valves: valve ids lost to stuck-valve faults.
+        checkpoint: mid-repair snapshot when the budget tripped, else
+            None.
+    """
+
+    result: PacorResult
+    affected: List[int]
+    repaired: Dict[int, str] = field(default_factory=dict)
+    degraded_nets: List[int] = field(default_factory=list)
+    dropped_valves: List[int] = field(default_factory=list)
+    checkpoint: Optional[RepairCheckpoint] = None
+
+
+# -- damage assessment -----------------------------------------------------
+
+
+def affected_nets(occupancy: Occupancy, fault_cids: Iterable[int]) -> List[int]:
+    """Return the net ids whose routed cells intersect the fault set.
+
+    One flat sweep: each fault cell id indexes the occupancy owner array
+    directly — O(|faults|), independent of net count and grid size.
+    :data:`~repro.grid.occupancy.FREE` and
+    :data:`~repro.grid.occupancy.FAULT_NET` owners are not nets.
+    """
+    hit: Set[int] = set()
+    for cid in fault_cids:
+        owner = occupancy.owner_id(cid)
+        if owner != FREE and owner != FAULT_NET:
+            hit.add(owner)
+    return sorted(hit)
+
+
+def affected_nets_brute_force(
+    net_cell_ids: Mapping[int, Iterable[int]], fault_cids: Iterable[int]
+) -> List[int]:
+    """Reference damage assessment: full set intersection per net.
+
+    O(total routed cells) — the oracle the property tests hold
+    :func:`affected_nets` against; never used on the hot path.
+    """
+    faults = set(fault_cids)
+    return sorted(
+        net
+        for net, cells in net_cell_ids.items()
+        if not faults.isdisjoint(set(cells))
+    )
+
+
+# -- the engine ------------------------------------------------------------
+
+
+class RepairEngine:
+    """Rips up damaged nets and re-routes them through the ladder.
+
+    The engine mutates the ``occupancy`` it is handed: repaired nets'
+    new cells are committed, given-up nets stay released.  Faulty cells
+    are expected to be mounted under
+    :data:`~repro.grid.occupancy.FAULT_NET` before repair starts (the
+    engine additionally passes the fault ids into every search as the
+    :class:`~repro.routing.core.space.SearchSpace` third blocked-mask
+    layer, so a route can never cross a fault even if the mount was
+    skipped).
+    """
+
+    def __init__(
+        self,
+        design: Design,
+        *,
+        config: Optional[RepairConfig] = None,
+        budget: Optional[Budget] = None,
+    ) -> None:
+        self.design = design
+        self.grid = design.grid
+        self.config = config if config is not None else RepairConfig()
+        self.budget = budget if budget is not None else Budget()
+        # Mirror the router: the budget's expansion counter IS the
+        # ``astar.expansions`` metric, so repair search effort lands in
+        # the active registry instead of vanishing into the budget.
+        obs.metrics().adopt("astar.expansions", self.budget.expansion_counter)
+
+    # -- assessment --------------------------------------------------------
+
+    def assess(
+        self, occupancy: Occupancy, fault_cids: Iterable[int]
+    ) -> List[int]:
+        """Run the flat damage sweep and record the counter."""
+        with obs.span("repair-assess", category="repair"):
+            hit = affected_nets(occupancy, fault_cids)
+        obs.counter("repair.nets_affected").inc(len(hit))
+        return hit
+
+    # -- the ladder --------------------------------------------------------
+
+    def repair_net(
+        self,
+        occupancy: Occupancy,
+        spec: NetRepair,
+        fault_cids: Set[int],
+    ) -> Tuple[Optional[NetReport], str]:
+        """Re-route one ripped net; return ``(report, rung)``.
+
+        The net's old cells must already be released.  On success the
+        new route is committed to ``occupancy`` and the report carries
+        honest length-matching numbers (``matched`` against the
+        original δ).  On failure the occupancy is left without the net
+        and ``(None, "degraded")`` is returned.
+
+        Raises:
+            BudgetExceeded: the run-wide budget ran out mid-search; the
+                occupancy holds no partial route for this net.
+        """
+        cfg = self.config
+        with obs.span(
+            "repair-net", category="repair", net=spec.net_id
+        ):
+            # Rung 1: local — bounded A* in an inflating bounding box.
+            box = self._base_box(spec)
+            for rnd in range(cfg.local_rounds):
+                margin = cfg.local_margin * (cfg.local_inflate**rnd)
+                fence = self._clamp(box.inflated(margin))
+                if self._covers_grid(fence):
+                    break  # the box stopped being "local"
+                paths = self._route_network(
+                    occupancy,
+                    spec,
+                    fault_cids,
+                    fence=fence,
+                    max_expansions=cfg.local_expansions,
+                )
+                report = self._accept(occupancy, spec, paths)
+                if report is not None:
+                    return report, "local"
+            # Rung 2: full — unrestricted A*.
+            obs.counter("repair.escalations").inc()
+            paths = self._route_network(occupancy, spec, fault_cids)
+            report = self._accept(occupancy, spec, paths)
+            if report is not None:
+                return report, "full"
+            # Rung 3: relaxed — LM nets only, and only when the network
+            # itself routed (relaxation loosens lengths, not topology).
+            if paths is not None and spec.length_matching:
+                obs.counter("repair.escalations").inc()
+                report = self._relax(occupancy, spec, fault_cids, paths)
+                if report is not None:
+                    return report, "relaxed"
+            if paths is not None:
+                occupancy.release_ids(spec.net_id)
+            # Rung 4: degraded.
+            obs.counter("repair.escalations").inc()
+            return None, "degraded"
+
+    # -- rung helpers ------------------------------------------------------
+
+    def _base_box(self, spec: NetRepair) -> Rect:
+        """Return the damaged net's seed bounding box."""
+        width = self.grid.width
+        points: List[Point] = list(spec.terminals)
+        if spec.pin is not None:
+            points.append(spec.pin)
+        points.extend(
+            Point(cid % width, cid // width) for cid in spec.old_cell_ids
+        )
+        return Rect.from_points(points)
+
+    def _clamp(self, box: Rect) -> Rect:
+        """Clamp ``box`` to the grid."""
+        return Rect(
+            max(box.xlo, 0),
+            max(box.ylo, 0),
+            min(box.xhi, self.grid.width - 1),
+            min(box.yhi, self.grid.height - 1),
+        )
+
+    def _covers_grid(self, box: Rect) -> bool:
+        return (
+            box.xlo == 0
+            and box.ylo == 0
+            and box.xhi == self.grid.width - 1
+            and box.yhi == self.grid.height - 1
+        )
+
+    def _outside_ids(self, box: Rect) -> Iterator[int]:
+        """Yield every cell id outside ``box`` (the local rung's fence)."""
+        width = self.grid.width
+        for y in range(self.grid.height):
+            row = y * width
+            if box.ylo <= y <= box.yhi:
+                for x in range(0, box.xlo):
+                    yield row + x
+                for x in range(box.xhi + 1, width):
+                    yield row + x
+            else:
+                for x in range(width):
+                    yield row + x
+
+    def _route_network(
+        self,
+        occupancy: Occupancy,
+        spec: NetRepair,
+        fault_cids: Set[int],
+        *,
+        fence: Optional[Rect] = None,
+        max_expansions: Optional[int] = None,
+    ) -> Optional[List[Path]]:
+        """Sequentially re-route the net's terminals into one network.
+
+        The first leg runs terminal -> pin (or, pin-less, terminal ->
+        any candidate pin, claiming the one it reaches); every further
+        leg is point-to-path routing onto the network built so far.
+        Legs are committed to ``occupancy`` as they land so later legs
+        see them; on any failed leg the whole net is released again.
+        Terminals are ordered farthest-from-pin first (valve id breaks
+        ties) — deterministic, and long legs route while the chip is
+        emptiest.
+
+        Returns the leg paths aligned with the terminal order used, or
+        None.  A spec without terminals *and* without a pin has nothing
+        to route and returns None.
+        """
+        order = self._terminal_order(spec)
+        if not order:
+            return None
+        obs.counter("repair.reroutes").inc()
+        fence_ids = (
+            set(self._outside_ids(fence)) if fence is not None else None
+        )
+        network: List[Point] = []
+        if spec.pin is not None:
+            network.append(spec.pin)
+        paths: List[Path] = []
+        for _vid, terminal in order:
+            if network:
+                targets: List[Point] = network
+            else:
+                targets = [
+                    p
+                    for p in spec.candidate_pins
+                    if occupancy.is_routable(p)
+                    and self.grid.index(p) not in fault_cids
+                ]
+                if not targets:
+                    return None
+            try:
+                path = astar_route(
+                    self.grid,
+                    [terminal],
+                    targets,
+                    net=spec.net_id,
+                    occupancy=occupancy,
+                    extra_obstacle_ids=fence_ids,
+                    fault_ids=fault_cids,
+                    max_expansions=max_expansions,
+                    budget=self.budget,
+                )
+            except BudgetExceeded:
+                occupancy.release_ids(spec.net_id)
+                raise
+            if path is None:
+                occupancy.release_ids(spec.net_id)
+                return None
+            if spec.pin is None:
+                # First leg of a pin-less net just claimed its pin.
+                spec.pin = path.target
+            occupancy.occupy_ids(
+                path.cell_ids(self.grid.width), spec.net_id
+            )
+            network.extend(path.cells)
+            paths.append(path)
+        return paths
+
+    def _terminal_order(
+        self, spec: NetRepair
+    ) -> List[Tuple[int, Point]]:
+        """Return (valve id, terminal) pairs in routing order."""
+        pairs = list(zip(spec.valve_ids, spec.terminals))
+        if spec.pin is not None:
+            pin = spec.pin
+            return sorted(
+                pairs, key=lambda vt: (-vt[1].manhattan(pin), vt[0])
+            )
+        return sorted(pairs)
+
+    def _accept(
+        self,
+        occupancy: Occupancy,
+        spec: NetRepair,
+        paths: Optional[List[Path]],
+    ) -> Optional[NetReport]:
+        """Turn a routed network into a report — iff it meets the rung bar.
+
+        Non-LM nets pass on connectivity alone; LM nets must also land
+        inside the original δ window.  A rejected LM route is released
+        so the next rung starts clean.
+        """
+        if paths is None:
+            return None
+        report = self._report(spec, paths)
+        if spec.length_matching and report.matched is False:
+            occupancy.release_ids(spec.net_id)
+            return None
+        return report
+
+    def _relax(
+        self,
+        occupancy: Occupancy,
+        spec: NetRepair,
+        fault_cids: Set[int],
+        paths: List[Path],
+    ) -> Optional[NetReport]:
+        """The detour-relaxed rung for mismatched LM nets.
+
+        First tries to *truly* match by serpentine-extending short,
+        untapped sink legs (the detour kernel's bump extension); if the
+        spread still exceeds δ, the acceptance window widens
+        geometrically (δ·factor^k) instead.  Either way the returned
+        report's ``matched``/``mismatch`` are computed against the
+        original δ — relaxation changes what repair accepts, never what
+        it reports.
+        """
+        cfg = self.config
+        # Recommit the full-rung route (released by _accept's rejection).
+        occupancy.occupy_ids(
+            (
+                cid
+                for path in paths
+                for cid in path.cell_ids(self.grid.width)
+            ),
+            spec.net_id,
+        )
+        paths = list(paths)
+        mismatch = self._mismatch(spec, paths)
+        if mismatch is not None and mismatch > spec.delta:
+            paths = self._extend_short_legs(occupancy, spec, paths)
+            mismatch = self._mismatch(spec, paths)
+        if mismatch is None:
+            occupancy.release_ids(spec.net_id)
+            return None
+        if mismatch <= spec.delta:
+            return self._report(spec, paths)
+        for k in range(1, cfg.relax_rounds + 1):
+            if mismatch <= spec.delta * (cfg.relax_factor**k):
+                return self._report(spec, paths)
+        occupancy.release_ids(spec.net_id)
+        return None
+
+    def _extend_short_legs(
+        self,
+        occupancy: Occupancy,
+        spec: NetRepair,
+        paths: List[Path],
+    ) -> List[Path]:
+        """Bump-extend short sink legs that no other leg taps into."""
+        lengths = self._sink_lengths(spec, paths)
+        if any(v is None for v in lengths.values()):
+            return paths
+        max_length = max(lengths.values())  # type: ignore[type-var]
+        width = self.grid.width
+        order = self._terminal_order(spec)
+        for idx, (vid, _terminal) in enumerate(order):
+            length = lengths[vid]
+            assert length is not None
+            deficit = max_length - length
+            if deficit <= spec.delta:
+                continue
+            leg = paths[idx]
+            interior = set(leg.cells[:-1])
+            tapped = any(
+                other.target in interior
+                for j, other in enumerate(paths)
+                if j != idx
+            )
+            if tapped:
+                continue
+            # Largest even extension that lands inside [maxL-δ, maxL].
+            want = deficit if deficit % 2 == 0 else deficit - 1
+            if want < max(deficit - spec.delta, 2):
+                continue
+            new_leg = extend_path_with_bumps(
+                self.grid,
+                leg,
+                want,
+                net=spec.net_id,
+                occupancy=occupancy,
+            )
+            if new_leg is None:
+                continue
+            paths[idx] = new_leg
+            occupancy.release_ids(spec.net_id)
+            occupancy.occupy_ids(
+                (
+                    cid
+                    for path in paths
+                    for cid in path.cell_ids(width)
+                ),
+                spec.net_id,
+            )
+            lengths = self._sink_lengths(spec, paths)
+            if any(v is None for v in lengths.values()):
+                return paths
+            max_length = max(lengths.values())  # type: ignore[type-var]
+        return paths
+
+    # -- reporting ---------------------------------------------------------
+
+    def _report(self, spec: NetRepair, paths: List[Path]) -> NetReport:
+        """Build the honest :class:`NetReport` of a repaired network."""
+        cells: Set[Point] = set()
+        segments: Set[Segment] = set()
+        for path in paths:
+            cells.update(path.cells)
+            segments.update(segments_of_path(path.cells))
+        lm = spec.length_matching
+        sink_lengths: Dict[int, int] = {}
+        matched: Optional[bool] = None
+        mismatch: Optional[int] = None
+        if lm:
+            raw = self._sink_lengths(spec, paths)
+            sink_lengths = {
+                vid: length
+                for vid, length in raw.items()
+                if length is not None
+            }
+            if len(sink_lengths) == len(spec.valve_ids) >= 2:
+                spread = max(sink_lengths.values()) - min(
+                    sink_lengths.values()
+                )
+                mismatch = spread
+                matched = spread <= spec.delta
+        return NetReport(
+            net_id=spec.net_id,
+            origin_cluster=spec.origin_cluster,
+            valve_ids=list(spec.valve_ids),
+            length_matching=lm,
+            routed=True,
+            pin=spec.pin,
+            cells=frozenset(cells),
+            segments=frozenset(segments),
+            channel_length=len(segments),
+            matched=matched,
+            mismatch=mismatch,
+            sink_lengths=sink_lengths,
+        )
+
+    def _sink_lengths(
+        self, spec: NetRepair, paths: List[Path]
+    ) -> Dict[int, Optional[int]]:
+        """Return each valve's drawn-channel distance to the pin.
+
+        An independent BFS over the drawn segments (deliberately not
+        shared with :mod:`repro.analysis.verify`, which re-checks
+        repaired nets with its own implementation).
+        """
+        segments: Set[Segment] = set()
+        for path in paths:
+            segments.update(segments_of_path(path.cells))
+        assert spec.pin is not None
+        distances = _network_lengths(segments, spec.pin)
+        return {
+            vid: distances.get(terminal)
+            for vid, terminal in zip(spec.valve_ids, spec.terminals)
+        }
+
+    def _mismatch(
+        self, spec: NetRepair, paths: List[Path]
+    ) -> Optional[int]:
+        """Return the sink-length spread, or None when disconnected."""
+        lengths = self._sink_lengths(spec, paths)
+        values = [v for v in lengths.values() if v is not None]
+        if len(values) != len(lengths) or not values:
+            return None
+        return max(values) - min(values)
+
+
+def _network_lengths(
+    segments: Iterable[Segment], origin: Point
+) -> Dict[Point, int]:
+    """BFS distances from ``origin`` along drawn channel segments."""
+    adjacency: Dict[Point, List[Point]] = {}
+    for a, b in segments:
+        adjacency.setdefault(a, []).append(b)
+        adjacency.setdefault(b, []).append(a)
+    distances: Dict[Point, int] = {origin: 0}
+    frontier = [origin]
+    while frontier:
+        nxt: List[Point] = []
+        for cell in frontier:
+            for neighbor in adjacency.get(cell, ()):
+                if neighbor not in distances:
+                    distances[neighbor] = distances[cell] + 1
+                    nxt.append(neighbor)
+        frontier = nxt
+    return distances
+
+
+# -- post-hoc repair of a result document ----------------------------------
+
+
+def repair_result(
+    design: Design,
+    result_doc: Mapping[str, Any],
+    fault_map: FaultMap,
+    *,
+    config: Optional[RepairConfig] = None,
+    budget: Optional[Budget] = None,
+    pending_docs: Optional[List[Dict[str, Any]]] = None,
+    prior_repaired: Optional[Dict[int, str]] = None,
+) -> RepairOutcome:
+    """Heal a finished routing (``pacor route``'s JSON export) in place.
+
+    Rebuilds the occupancy from the result document, assesses the
+    damage, rips up exactly the affected nets (plus nets that lost
+    valves to stuck-valve faults), mounts the faults under
+    :data:`~repro.grid.occupancy.FAULT_NET`, and runs every damaged net
+    through the escalation ladder.  ``pending_docs``/``prior_repaired``
+    are the resume path — :func:`repair_resume` passes a
+    :class:`RepairCheckpoint`'s saved work list so damage assessment is
+    not redone against the already-ripped state.
+
+    Returns a :class:`RepairOutcome`; when the budget trips mid-repair
+    the outcome's ``checkpoint`` snapshots the remaining work and the
+    partially-healed result is marked degraded.
+
+    Raises:
+        CheckpointFormatError: ``result_doc`` is not a PACOR result
+            document or its routing is internally inconsistent.
+        FaultFormatError: the fault map does not fit ``design``.
+    """
+    started = time.perf_counter()
+    cfg = config if config is not None else RepairConfig()
+    run_budget = budget if budget is not None else Budget()
+    run_budget.start()
+    engine = RepairEngine(design, config=cfg, budget=run_budget)
+    width = design.grid.width
+
+    reports = _reports_from_doc(result_doc)
+    occupancy = Occupancy(design.grid)
+    for report in reports:
+        if report.routed:
+            try:
+                occupancy.occupy_ids(
+                    (c.y * width + c.x for c in report.cells),
+                    report.net_id,
+                )
+            except ValueError as exc:
+                raise CheckpointFormatError(
+                    f"result routing is inconsistent: {exc}",
+                    field="nets",
+                ) from exc
+
+    fm = _collapse_events(fault_map.normalized(design))
+    fault_cids = set(fm.cell_ids(width))
+    stuck = set(fm.stuck_valves)
+    valve_by_id = design.valve_by_id()
+
+    if pending_docs is None:
+        affected = engine.assess(occupancy, fault_cids)
+        specs, dead = _build_specs(
+            design, reports, affected, stuck, fault_cids, cfg
+        )
+        repaired: Dict[int, str] = {}
+    else:
+        # Resume: the saved result already reflects ripped pending nets
+        # and repaired ones; trust the recorded work list.
+        affected = sorted(
+            {int(d["net_id"]) for d in pending_docs}
+            | set(prior_repaired or {})
+        )
+        specs = [NetRepair.from_json(d) for d in pending_docs]
+        dead = []
+        repaired = dict(prior_repaired or {})
+
+    # Rip the damaged nets, then mount the faults: stuck valves' cells
+    # become faulty too (the valve seat is unusable), and mounting after
+    # the rip means no mount can collide with a routed net.
+    for spec in specs:
+        occupancy.release_ids(spec.net_id)
+    for report, _reason in dead:
+        occupancy.release_ids(report.net_id)
+    mount = set(fault_cids)
+    for vid in stuck:
+        valve = valve_by_id.get(vid)
+        if valve is not None:
+            mount.add(design.grid.index(valve.position))
+    if mount:
+        occupancy.release_cell_ids(mount)  # faults may sit on ripped cells
+        occupancy.occupy_ids(mount, FAULT_NET)
+    fault_cids = mount
+
+    incidents = [
+        Incident.from_json(d) for d in result_doc.get("incidents", [])
+    ]
+    events = [str(e) for e in result_doc.get("events", [])]
+    new_reports: Dict[int, NetReport] = {}
+    degraded_nets: List[int] = []
+    checkpoint: Optional[RepairCheckpoint] = None
+
+    for report, reason in dead:
+        new_reports[report.net_id] = _degraded_report(report, reason)
+        degraded_nets.append(report.net_id)
+        incidents.append(
+            Incident(
+                stage="repair",
+                kind="net-failure",
+                message=reason,
+                net_id=report.net_id,
+                severity=Severity.DEGRADED,
+            )
+        )
+        events.append(f"repair: net {report.net_id} lost ({reason})")
+
+    for idx, spec in enumerate(specs):
+        try:
+            net_report, rung = engine.repair_net(
+                occupancy, spec, fault_cids
+            )
+        except BudgetExceeded as exc:
+            partial = _assemble(
+                design,
+                result_doc,
+                reports,
+                new_reports,
+                set(s.net_id for s in specs[idx:]),
+                incidents
+                + [
+                    Incident(
+                        stage="repair",
+                        kind="budget-exceeded",
+                        message=str(exc),
+                        severity=Severity.DEGRADED,
+                    )
+                ],
+                events + [f"repair: interrupted by budget ({exc.kind})"],
+                degraded=True,
+                runtime_s=time.perf_counter() - started,
+            )
+            checkpoint = RepairCheckpoint(
+                design=design_to_json(design),
+                fault_map=fm.to_json(),
+                config=cfg.to_json(),
+                result=partial.to_json(),
+                pending=[s.to_json() for s in specs[idx:]],
+                repaired={str(n): r for n, r in repaired.items()},
+            )
+            partial.checkpoint = checkpoint.to_json()
+            return RepairOutcome(
+                result=partial,
+                affected=affected,
+                repaired=repaired,
+                degraded_nets=degraded_nets,
+                dropped_valves=sorted(stuck),
+                checkpoint=checkpoint,
+            )
+        if net_report is None:
+            degraded_nets.append(spec.net_id)
+            reason = (
+                f"{spec.failure_note}: repair ladder exhausted "
+                f"(local/full/relaxed all failed)"
+            )
+            original = next(
+                r for r in reports if r.net_id == spec.net_id
+            )
+            new_reports[spec.net_id] = _degraded_report(original, reason)
+            incidents.append(
+                Incident(
+                    stage="repair",
+                    kind="net-failure",
+                    message=reason,
+                    net_id=spec.net_id,
+                    severity=Severity.DEGRADED,
+                )
+            )
+            events.append(f"repair: net {spec.net_id} degraded ({reason})")
+        else:
+            repaired[spec.net_id] = rung
+            new_reports[spec.net_id] = net_report
+            events.append(
+                f"repair: net {spec.net_id} re-routed via {rung} rung"
+            )
+
+    result = _assemble(
+        design,
+        result_doc,
+        reports,
+        new_reports,
+        set(),
+        incidents,
+        events,
+        degraded=bool(result_doc.get("degraded")) or bool(degraded_nets),
+        runtime_s=time.perf_counter() - started,
+    )
+    return RepairOutcome(
+        result=result,
+        affected=affected,
+        repaired=repaired,
+        degraded_nets=degraded_nets,
+        dropped_valves=sorted(stuck),
+        checkpoint=checkpoint,
+    )
+
+
+def repair_resume(
+    checkpoint: RepairCheckpoint, *, budget: Optional[Budget] = None
+) -> RepairOutcome:
+    """Continue an interrupted repair run with a fresh budget."""
+    design = design_from_json(checkpoint.design)
+    fault_map = FaultMap.from_json(checkpoint.fault_map)
+    return repair_result(
+        design,
+        checkpoint.result,
+        fault_map,
+        config=RepairConfig.from_json(checkpoint.config),
+        budget=budget,
+        pending_docs=list(checkpoint.pending),
+        prior_repaired={
+            int(k): v for k, v in checkpoint.repaired.items()
+        },
+    )
+
+
+# -- document plumbing -----------------------------------------------------
+
+
+def _reports_from_doc(result_doc: Mapping[str, Any]) -> List[NetReport]:
+    """Parse a result document's net reports (validated)."""
+    if not isinstance(result_doc, Mapping) or "nets" not in result_doc:
+        raise CheckpointFormatError(
+            "not a PACOR result document (no 'nets' field)", field="nets"
+        )
+    reports: List[NetReport] = []
+    try:
+        for doc in result_doc["nets"]:
+            pin = doc.get("pin")
+            cells = frozenset(
+                Point(int(x), int(y)) for x, y in doc.get("cells", [])
+            )
+            segments = frozenset(
+                (Point(int(a[0]), int(a[1])), Point(int(b[0]), int(b[1])))
+                for a, b in doc.get("segments", [])
+            )
+            reports.append(
+                NetReport(
+                    net_id=int(doc["net_id"]),
+                    origin_cluster=int(doc["origin_cluster"]),
+                    valve_ids=[int(v) for v in doc["valve_ids"]],
+                    length_matching=bool(doc["length_matching"]),
+                    routed=bool(doc["routed"]),
+                    pin=Point(int(pin[0]), int(pin[1])) if pin else None,
+                    cells=cells,
+                    segments=segments,
+                    channel_length=int(doc.get("channel_length", 0)),
+                    matched=doc.get("matched"),
+                    mismatch=doc.get("mismatch"),
+                    sink_lengths={
+                        int(k): int(v)
+                        for k, v in doc.get("sink_lengths", {}).items()
+                    },
+                    failure_reason=doc.get("failure_reason"),
+                )
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointFormatError(
+            f"malformed net document ({exc!r})", field="nets"
+        ) from exc
+    return reports
+
+
+def _collapse_events(fm: FaultMap) -> FaultMap:
+    """Fold timed events into plain faults (post-hoc repair has no stages)."""
+    out = fm.copy()
+    for stage in list({e.stage for e in out.events}):
+        for event in out.pop_events(stage):
+            if event.cell is not None:
+                out.add_cell(event.cell)
+            if event.valve is not None:
+                out.add_valve(event.valve)
+    return out
+
+
+def _build_specs(
+    design: Design,
+    reports: List[NetReport],
+    affected: List[int],
+    stuck: Set[int],
+    fault_cids: Set[int],
+    cfg: RepairConfig,
+) -> Tuple[List[NetRepair], List[Tuple[NetReport, str]]]:
+    """Turn damaged nets into repair specs; fully-stuck nets are dead.
+
+    A net joins the work list when its cells intersect the fault set
+    *or* it drives a stuck valve.  Nets whose every valve is stuck
+    cannot be repaired at all.
+    """
+    valve_by_id = design.valve_by_id()
+    width = design.grid.width
+    affected_set = set(affected)
+    specs: List[NetRepair] = []
+    dead: List[Tuple[NetReport, str]] = []
+    for report in reports:
+        if not report.routed:
+            continue
+        stuck_here = sorted(set(report.valve_ids) & stuck)
+        if report.net_id not in affected_set and not stuck_here:
+            continue
+        survivors = [v for v in report.valve_ids if v not in stuck]
+        if not survivors:
+            dead.append(
+                (
+                    report,
+                    f"all valves stuck ({stuck_here}) — net unreachable",
+                )
+            )
+            continue
+        note = "faulty cells hit the route"
+        if stuck_here:
+            note = f"stuck valve(s) {stuck_here} dropped"
+            if report.net_id in affected_set:
+                note += " and faulty cells hit the route"
+        specs.append(
+            NetRepair(
+                net_id=report.net_id,
+                origin_cluster=report.origin_cluster,
+                valve_ids=survivors,
+                terminals=[
+                    valve_by_id[v].position for v in survivors
+                ],
+                pin=report.pin,
+                length_matching=report.length_matching,
+                delta=design.delta,
+                old_cell_ids={
+                    c.y * width + c.x for c in report.cells
+                },
+                failure_note=note,
+            )
+        )
+    specs.sort(key=lambda s: s.net_id)
+    return specs, dead
+
+
+def _degraded_report(original: NetReport, reason: str) -> NetReport:
+    """Return the unrouted report of a net repair gave up on."""
+    return NetReport(
+        net_id=original.net_id,
+        origin_cluster=original.origin_cluster,
+        valve_ids=list(original.valve_ids),
+        length_matching=original.length_matching,
+        routed=False,
+        failure_reason=reason,
+    )
+
+
+def _assemble(
+    design: Design,
+    result_doc: Mapping[str, Any],
+    reports: List[NetReport],
+    new_reports: Dict[int, NetReport],
+    still_pending: Set[int],
+    incidents: List[Incident],
+    events: List[str],
+    *,
+    degraded: bool,
+    runtime_s: float,
+) -> PacorResult:
+    """Rebuild the full result: untouched nets verbatim, repairs swapped in.
+
+    Nets in ``still_pending`` (budget-interrupted resume path) are
+    exported ripped-and-unrouted so the checkpointed result document
+    matches the occupancy state a resume rebuilds.
+    """
+    summary = result_doc.get("summary", {})
+    nets: List[NetReport] = []
+    for report in reports:
+        if report.net_id in new_reports:
+            nets.append(new_reports[report.net_id])
+        elif report.net_id in still_pending:
+            nets.append(
+                _degraded_report(report, "repair pending (budget exhausted)")
+            )
+        else:
+            nets.append(report)
+    return PacorResult(
+        design_name=str(summary.get("design", design.name)),
+        method=str(summary.get("method", "PACOR")),
+        delta=int(result_doc.get("delta", design.delta)),
+        n_valves=len(design.valves),
+        n_lm_clusters=int(summary.get("n_clusters", 0)),
+        nets=nets,
+        runtime_s=runtime_s,
+        events=events,
+        degraded=degraded,
+        incidents=incidents,
+    )

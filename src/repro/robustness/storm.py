@@ -1,0 +1,165 @@
+"""Fault-storm chaos runner: the flow under physical faults, en masse.
+
+``python -m repro.robustness.storm --designs S1 S2 --seeds 0 1 2 --out
+artifacts/fault-storm.json`` runs every (design, seed) pair of the
+matrix with the ``valve_stuck`` and ``cell_blockage`` injection points
+armed, verifies each surviving result, and writes one JSON incident log
+so CI can archive what the storm did.  Exit 0 when every run produced a
+structured (possibly degraded) result that verifies; exit 1 with a
+one-line diagnosis per failed run otherwise.
+
+The storm is deterministic: each run's injector is seeded from the
+matrix (``seed``), so a red CI storm reproduces locally with the same
+``--designs``/``--seeds`` arguments.
+
+Log schema::
+
+    {"designs": [str], "seeds": [int], "runs": [
+        {"design": str, "seed": int, "degraded": bool,
+         "completion": float, "repaired_nets": int,
+         "incidents": [incident-doc], "unrouted": [int],
+         "error": str|null}
+    ]}
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis import verify_result
+from repro.core.pipeline import run_pacor
+from repro.designs import design_by_name
+from repro.robustness import faults
+from repro.robustness.errors import PacorError
+from repro.robustness.faults import FaultSpec
+
+STORM_POINTS = ("valve_stuck", "cell_blockage")
+"""The physical-fault injection points the storm arms."""
+
+
+def run_storm(
+    designs: Sequence[str],
+    seeds: Sequence[int],
+    *,
+    probability: float = 0.5,
+    max_fires: int = 2,
+) -> Dict[str, Any]:
+    """Run the (design, seed) matrix and return the incident log."""
+    runs: List[Dict[str, Any]] = []
+    for name in designs:
+        for seed in seeds:
+            runs.append(
+                _one_run(
+                    name, seed, probability=probability, max_fires=max_fires
+                )
+            )
+    return {
+        "designs": list(designs),
+        "seeds": [int(s) for s in seeds],
+        "runs": runs,
+    }
+
+
+def _one_run(
+    name: str, seed: int, *, probability: float, max_fires: int
+) -> Dict[str, Any]:
+    doc: Dict[str, Any] = {
+        "design": name,
+        "seed": int(seed),
+        "degraded": None,
+        "completion": None,
+        "repaired_nets": 0,
+        "incidents": [],
+        "unrouted": [],
+        "error": None,
+    }
+    specs = [
+        FaultSpec(point, probability=probability, max_fires=max_fires)
+        for point in STORM_POINTS
+    ]
+    try:
+        design = design_by_name(name)
+        with faults.inject(*specs, seed=seed):
+            result = run_pacor(design)
+        verify_result(design, result)
+    except PacorError as exc:
+        doc["error"] = f"{type(exc).__name__}: {exc}"
+        return doc
+    doc["degraded"] = result.degraded
+    doc["completion"] = result.completion_rate
+    doc["incidents"] = [i.to_json() for i in result.incidents]
+    doc["unrouted"] = sorted(n.net_id for n in result.nets if not n.routed)
+    doc["repaired_nets"] = sum(
+        1
+        for event in result.events
+        if event.startswith("repair: net ") and "re-routed" in event
+    )
+    return doc
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.robustness.storm",
+        description="run the flow under a storm of physical faults",
+    )
+    parser.add_argument(
+        "--designs", nargs="+", default=["S1", "S2"], metavar="NAME"
+    )
+    parser.add_argument(
+        "--seeds", nargs="+", type=int, default=[0, 1, 2], metavar="SEED"
+    )
+    parser.add_argument(
+        "--probability",
+        type=float,
+        default=0.5,
+        help="per-poll fire probability of each armed point",
+    )
+    parser.add_argument(
+        "--max-fires",
+        type=int,
+        default=2,
+        help="cap on fires per point per run",
+    )
+    parser.add_argument(
+        "--out", metavar="FILE", help="write the JSON incident log here"
+    )
+    args = parser.parse_args(argv)
+
+    log = run_storm(
+        args.designs,
+        args.seeds,
+        probability=args.probability,
+        max_fires=args.max_fires,
+    )
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(log, indent=1), encoding="utf-8")
+
+    failed = [r for r in log["runs"] if r["error"] is not None]
+    for run in log["runs"]:
+        status = (
+            f"ERROR {run['error']}"
+            if run["error"]
+            else (
+                f"completion={run['completion'] * 100:.1f}% "
+                f"incidents={len(run['incidents'])} "
+                f"repaired={run['repaired_nets']}"
+                + (" DEGRADED" if run["degraded"] else "")
+            )
+        )
+        print(f"storm {run['design']} seed={run['seed']}: {status}")
+    print(
+        f"fault-storm: {len(log['runs'])} runs, {len(failed)} failed"
+        + (f", log -> {args.out}" if args.out else "")
+    )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    sys.exit(main())

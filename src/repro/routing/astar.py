@@ -32,6 +32,8 @@ def astar_route(
     occupancy: Optional[Occupancy] = None,
     history: Optional[Sequence[float]] = None,
     extra_obstacles: Optional[Set[Point]] = None,
+    extra_obstacle_ids: Optional[Iterable[int]] = None,
+    fault_ids: Optional[Iterable[int]] = None,
     max_expansions: Optional[int] = None,
     budget: Optional[Budget] = None,
 ) -> Optional[Path]:
@@ -49,6 +51,10 @@ def astar_route(
         history: per-cell negotiation history cost (flat array indexed by
             ``grid.index``); added to the step cost when entering a cell.
         extra_obstacles: additional blocked cells for this query only.
+        extra_obstacle_ids: like ``extra_obstacles`` but as flat cell
+            ids — the repair engine's bounding-box fences come this way.
+        fault_ids: physically faulty cell ids; blocked for every net,
+            including the querying net's own cells.
         max_expansions: optional cap on settled cells (safety valve);
             unlike ``budget`` this is per-query and fails soft (None).
         budget: run-wide compute budget; every settled cell is charged
@@ -64,7 +70,12 @@ def astar_route(
         BudgetExceeded: the run-wide ``budget`` ran out mid-search.
     """
     space = SearchSpace(
-        grid, net=net, occupancy=occupancy, extra_obstacles=extra_obstacles
+        grid,
+        net=net,
+        occupancy=occupancy,
+        extra_obstacles=extra_obstacles,
+        extra_obstacle_ids=extra_obstacle_ids,
+        fault_ids=fault_ids,
     )
     ids = astar_search(
         space,

@@ -9,12 +9,15 @@ per-net overlay (:class:`~repro.grid.occupancy.Occupancy`) and the
 query's extra obstacles — through a chain of `Point` allocations, dict
 lookups and method calls.
 
-:class:`SearchSpace` fuses the three sources **once per query** into a
-flat ``bytearray`` blocked-mask indexed by ``grid.index`` cell ids
+:class:`SearchSpace` fuses the sources **once per query** into a flat
+``bytearray`` blocked-mask indexed by ``grid.index`` cell ids
 (``cid = y * width + x``).  The static obstacle mask is copied at C
 speed, the sparse occupancy buckets of *other* nets are overlaid on top
 (cells owned by the querying net stay routable — point-to-path queries
-rely on this), and extra obstacles are marked last.  The kernels in
+rely on this), extra obstacles are marked next, and physically faulty
+cells (:mod:`repro.robustness.faultmap`) form the third and final
+blocked-mask layer, so fresh routes avoid declared faults by
+construction.  The kernels in
 :mod:`repro.routing.core.engine` then test routability with a single
 ``blocked[cid]`` byte read and never touch a ``Point`` until the found
 path is materialised.
@@ -63,6 +66,7 @@ class SearchSpace:
         occupancy: Optional[Occupancy] = None,
         extra_obstacles: Optional[Iterable[Point]] = None,
         extra_obstacle_ids: Optional[Iterable[int]] = None,
+        fault_ids: Optional[Iterable[int]] = None,
     ) -> None:
         self.grid = grid
         width = grid.width
@@ -91,6 +95,12 @@ class SearchSpace:
                     blocked[y * width + x] = 1
         if extra_obstacle_ids is not None:
             for cid in extra_obstacle_ids:
+                blocked[cid] = 1
+        if fault_ids is not None:
+            # Physical faults block every net unconditionally — even the
+            # querying net's own cells; a stale route through a fault is
+            # exactly what the repair engine exists to rip.
+            for cid in fault_ids:
                 blocked[cid] = 1
         self.blocked = blocked
 

@@ -19,6 +19,7 @@ EXPECTED_RULES = {
     "OBS001",
     "CHK001",
     "PERF001",
+    "FLT001",
 }
 
 

@@ -449,3 +449,64 @@ def test_perf001_respects_line_suppression(make_project):
         }
     )
     assert _lint(root, "PERF001").clean
+
+
+# --------------------------------------------------------------------------
+# FLT001 — injection-point test coverage
+
+
+_FAULTS_MODULE = """\
+INJECTION_POINTS = (
+    "solver_raise",
+    "valve_stuck",
+)
+"""
+
+
+def test_flt001_flags_unexercised_point(make_project):
+    root = make_project(
+        {
+            "src/repro/robustness/faults.py": _FAULTS_MODULE,
+            "tests/test_chaos.py": """\
+            def test_solver_raise():
+                arm("solver_raise")
+            """,
+        }
+    )
+    result = _lint(root, "FLT001")
+    assert [v.rule for v in result.violations] == ["FLT001"]
+    assert "valve_stuck" in result.violations[0].message
+    assert str(result.violations[0].path).endswith("faults.py")
+
+
+def test_flt001_accepts_full_coverage(make_project):
+    root = make_project(
+        {
+            "src/repro/robustness/faults.py": _FAULTS_MODULE,
+            "tests/test_chaos.py": """\
+            def test_both():
+                arm("solver_raise")
+                arm('valve_stuck')
+            """,
+        }
+    )
+    assert _lint(root, "FLT001").clean
+
+
+def test_flt001_skips_runs_without_the_faults_module(make_project):
+    root = make_project(
+        {
+            "src/repro/routing/astar.py": """\
+            def route(net):
+                return net
+            """,
+        }
+    )
+    assert _lint(root, "FLT001").clean
+
+
+def test_flt001_flags_missing_tests_directory(make_project):
+    root = make_project({"src/repro/robustness/faults.py": _FAULTS_MODULE})
+    result = _lint(root, "FLT001")
+    assert result.violations
+    assert "tests/" in result.violations[0].message

@@ -295,3 +295,130 @@ def test_resume_reports_carried_observability(tmp_path, capsys):
     combined = read_trace_jsonl(trace1) + read_trace_jsonl(trace2)
     assert validate_spans(combined) == []
     assert len({d["trace_id"] for d in combined}) == 1
+
+
+# -- checkpoint diagnostics (robustness PR satellite) -------------------------
+
+
+def _interrupted_checkpoint(tmp_path):
+    ckpt = tmp_path / "ckpt.json"
+    main(["route", "S3", "--expansion-budget", "200", "--checkpoint", str(ckpt)])
+    assert ckpt.exists(), "budget never tripped"
+    return ckpt
+
+
+def test_resume_version_mismatch_exits_2(tmp_path, capsys):
+    ckpt = _interrupted_checkpoint(tmp_path)
+    capsys.readouterr()
+    doc = json.loads(ckpt.read_text())
+    doc["version"] = 99
+    ckpt.write_text(json.dumps(doc))
+    assert main(["resume", str(ckpt)]) == 2
+    err = capsys.readouterr().err
+    assert "unsupported checkpoint version 99" in err
+    assert "Traceback" not in err
+    assert err.strip().count("\n") == 0  # one-line diagnostic
+
+
+def test_resume_truncated_net_doc_exits_2(tmp_path, capsys):
+    ckpt = _interrupted_checkpoint(tmp_path)
+    capsys.readouterr()
+    doc = json.loads(ckpt.read_text())
+    doc["nets"][0].pop("routed")
+    ckpt.write_text(json.dumps(doc))
+    assert main(["resume", str(ckpt)]) == 2
+    err = capsys.readouterr().err
+    assert "missing field 'routed'" in err
+    assert "Traceback" not in err
+    assert err.strip().count("\n") == 0  # one-line diagnostic
+
+
+# -- physical faults and repair -----------------------------------------------
+
+
+def _fault_file_hitting(tmp_path, result_path):
+    """Write a fault map blocking one routed channel cell of the result."""
+    from repro.designs import design_by_name
+
+    doc = json.loads(result_path.read_text())
+    design = design_by_name(doc["summary"]["design"])
+    keep_out = {(v.position.x, v.position.y) for v in design.valves}
+    for net in doc["nets"]:
+        if net["routed"]:
+            keep_out.add(tuple(net["pin"]))
+    cell = next(
+        tuple(c)
+        for net in doc["nets"]
+        if net["routed"]
+        for c in net["cells"]
+        if tuple(c) not in keep_out
+    )
+    path = tmp_path / "faults.json"
+    path.write_text(
+        json.dumps(
+            {
+                "version": 1,
+                "faulty_cells": [list(cell)],
+                "stuck_valves": [],
+                "events": [],
+            }
+        )
+    )
+    return path
+
+
+def test_repair_heals_a_saved_result(tmp_path, capsys):
+    res = tmp_path / "r.json"
+    main(["route", "S1", "--json", str(res)])
+    capsys.readouterr()
+    faults_path = _fault_file_hitting(tmp_path, res)
+    healed = tmp_path / "healed.json"
+    assert (
+        main(
+            [
+                "repair",
+                str(res),
+                "--faults",
+                str(faults_path),
+                "--verify",
+                "--json",
+                str(healed),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "1 nets affected, 1 repaired, 0 degraded" in out
+    assert "verification OK" in out
+    assert healed.exists()
+
+
+def test_repair_without_faults_exits_2(tmp_path, capsys):
+    res = tmp_path / "r.json"
+    main(["route", "S1", "--json", str(res)])
+    capsys.readouterr()
+    assert main(["repair", str(res)]) == 2
+    assert "--faults" in capsys.readouterr().err
+
+
+def test_repair_rejects_malformed_fault_file(tmp_path, capsys):
+    res = tmp_path / "r.json"
+    main(["route", "S1", "--json", str(res)])
+    capsys.readouterr()
+    bad = tmp_path / "faults.json"
+    bad.write_text('{"version": 42}')
+    assert main(["repair", str(res), "--faults", str(bad)]) == 2
+    err = capsys.readouterr().err
+    assert "unsupported fault-map version" in err
+    assert "Traceback" not in err
+
+
+def test_route_with_static_faults(tmp_path, capsys):
+    res = tmp_path / "r.json"
+    main(["route", "S1", "--json", str(res)])
+    capsys.readouterr()
+    faults_path = _fault_file_hitting(tmp_path, res)
+    assert main(["route", "S1", "--faults", str(faults_path), "--verify"]) == 0
+    out = capsys.readouterr().out
+    assert "completion=100.0%" in out
+    assert "verification OK" in out

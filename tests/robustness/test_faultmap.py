@@ -1,0 +1,198 @@
+"""The physical fault model: documents, validation, normalisation.
+
+Covers :mod:`repro.robustness.faultmap`'s three contracts:
+
+* the versioned JSON document round-trips losslessly (in memory and
+  through a file) and malformed documents are rejected with a named
+  field;
+* :meth:`FaultMap.validate` rejects faults that do not fit the design
+  (off-grid cells, unknown valve ids);
+* :meth:`FaultMap.normalized` canonicalises valve-position cell faults
+  into stuck valves, deduplicates, and preserves event order.
+"""
+
+import json
+
+import pytest
+
+from repro.designs import design_by_name
+from repro.geometry.point import Point
+from repro.robustness.errors import ConfigError, FaultFormatError
+from repro.robustness.faultmap import (
+    EVENT_STAGES,
+    FAULTMAP_VERSION,
+    FaultEvent,
+    FaultMap,
+)
+
+
+def _sample_map():
+    return FaultMap(
+        faulty_cells=[Point(3, 4), Point(0, 0)],
+        stuck_valves=[7, 2],
+        events=[
+            FaultEvent(stage="escape", cell=Point(5, 5)),
+            FaultEvent(stage="final", valve=1),
+        ],
+    )
+
+
+# -- documents ---------------------------------------------------------------
+
+
+class TestFaultMapFormat:
+    def test_json_round_trip_is_lossless(self):
+        fm = _sample_map()
+        back = FaultMap.from_json(fm.to_json())
+        assert back.to_json() == fm.to_json()
+        assert set(back.faulty_cells) == set(fm.faulty_cells)
+        assert sorted(back.stuck_valves) == sorted(fm.stuck_valves)
+        assert [e.to_json() for e in back.events] == [
+            e.to_json() for e in fm.events
+        ]
+
+    def test_file_round_trip(self, tmp_path):
+        fm = _sample_map()
+        path = tmp_path / "faults.json"
+        fm.save(path)
+        assert FaultMap.load(path).to_json() == fm.to_json()
+
+    def test_document_is_versioned(self):
+        assert _sample_map().to_json()["version"] == FAULTMAP_VERSION
+
+    def test_rejects_unknown_version(self):
+        doc = _sample_map().to_json()
+        doc["version"] = 99
+        with pytest.raises(FaultFormatError, match="version 99"):
+            FaultMap.from_json(doc)
+
+    def test_rejects_non_object_document(self):
+        with pytest.raises(FaultFormatError, match="JSON object"):
+            FaultMap.from_json([1, 2, 3])
+
+    def test_rejects_malformed_cell(self):
+        doc = {"version": FAULTMAP_VERSION, "faulty_cells": [[1]]}
+        with pytest.raises(FaultFormatError) as excinfo:
+            FaultMap.from_json(doc)
+        assert excinfo.value.field == "faulty_cells"
+
+    def test_rejects_malformed_valve_list(self):
+        doc = {"version": FAULTMAP_VERSION, "stuck_valves": ["x"]}
+        with pytest.raises(FaultFormatError) as excinfo:
+            FaultMap.from_json(doc)
+        assert excinfo.value.field == "stuck_valves"
+
+    def test_rejects_event_naming_both_cell_and_valve(self):
+        doc = {
+            "version": FAULTMAP_VERSION,
+            "events": [{"stage": "escape", "cell": [1, 1], "valve": 0}],
+        }
+        with pytest.raises(FaultFormatError, match="exactly one"):
+            FaultMap.from_json(doc)
+
+    def test_load_rejects_non_json_file(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("{ not json", encoding="utf-8")
+        with pytest.raises(FaultFormatError, match="not valid JSON"):
+            FaultMap.load(path)
+        try:
+            FaultMap.load(path)
+        except FaultFormatError as exc:
+            assert str(path) in str(exc)
+
+    def test_cell_ids_are_sorted_and_width_relative(self):
+        fm = FaultMap(faulty_cells=[Point(3, 2), Point(0, 1)])
+        assert fm.cell_ids(10) == [10, 23]
+        assert fm.cell_ids(5) == [5, 13]
+
+
+# -- events ------------------------------------------------------------------
+
+
+class TestFaultEvent:
+    def test_rejects_unknown_stage(self):
+        with pytest.raises(ConfigError, match="unknown fault-event stage"):
+            FaultEvent(stage="warmup", cell=Point(1, 1))
+
+    def test_rejects_neither_cell_nor_valve(self):
+        with pytest.raises(ConfigError, match="exactly one"):
+            FaultEvent(stage="escape")
+
+    def test_pop_events_removes_only_the_due_stage(self):
+        fm = _sample_map()
+        due = fm.pop_events("escape")
+        assert [e.stage for e in due] == ["escape"]
+        assert [e.stage for e in fm.events] == ["final"]
+        assert fm.pop_events("escape") == []
+
+    def test_every_documented_stage_is_constructible(self):
+        for stage in EVENT_STAGES:
+            FaultEvent(stage=stage, cell=Point(0, 0))
+
+
+# -- design fit --------------------------------------------------------------
+
+
+class TestDesignFit:
+    def test_validate_accepts_a_fitting_map(self):
+        design = design_by_name("S1")
+        valve = design.valves[0]
+        fm = FaultMap(faulty_cells=[Point(0, 0)], stuck_valves=[valve.id])
+        fm.validate(design)  # must not raise
+
+    def test_validate_rejects_off_grid_cell(self):
+        design = design_by_name("S1")
+        fm = FaultMap(faulty_cells=[Point(design.grid.width, 0)])
+        with pytest.raises(FaultFormatError, match="off the"):
+            fm.validate(design)
+
+    def test_validate_rejects_unknown_valve(self):
+        design = design_by_name("S1")
+        fm = FaultMap(stuck_valves=[10_000])
+        with pytest.raises(FaultFormatError, match="unknown"):
+            fm.validate(design)
+
+    def test_validate_rejects_off_grid_event_cell(self):
+        design = design_by_name("S1")
+        fm = FaultMap(
+            events=[FaultEvent(stage="final", cell=Point(-1, 0))]
+        )
+        with pytest.raises(FaultFormatError, match="off-grid"):
+            fm.validate(design)
+
+    def test_normalized_converts_valve_position_cells(self):
+        design = design_by_name("S1")
+        valve = design.valves[0]
+        fm = FaultMap(faulty_cells=[valve.position, Point(0, 0)])
+        out = fm.normalized(design)
+        assert out.stuck_valves == [valve.id]
+        assert out.faulty_cells == [Point(0, 0)]
+
+    def test_normalized_converts_valve_position_events(self):
+        design = design_by_name("S1")
+        valve = design.valves[0]
+        fm = FaultMap(
+            events=[FaultEvent(stage="escape", cell=valve.position)]
+        )
+        out = fm.normalized(design)
+        assert out.events[0].valve == valve.id
+        assert out.events[0].cell is None
+
+    def test_normalized_deduplicates(self):
+        design = design_by_name("S1")
+        valve = design.valves[0]
+        fm = FaultMap(
+            faulty_cells=[Point(0, 0), Point(0, 0), valve.position],
+            stuck_valves=[valve.id],
+        )
+        out = fm.normalized(design)
+        assert out.faulty_cells == [Point(0, 0)]
+        assert out.stuck_valves == [valve.id]
+
+    def test_normalized_does_not_mutate_the_original(self):
+        design = design_by_name("S1")
+        valve = design.valves[0]
+        fm = FaultMap(faulty_cells=[valve.position])
+        before = json.dumps(fm.to_json(), sort_keys=True)
+        fm.normalized(design)
+        assert json.dumps(fm.to_json(), sort_keys=True) == before

@@ -1,0 +1,254 @@
+"""Physical-fault repair suite: damage assessment, healing, determinism.
+
+Acceptance criteria from the robustness PR:
+
+* the flat damage sweep (:func:`affected_nets`) agrees with the
+  brute-force oracle across randomised fault batches and seeds;
+* repair rips up and re-routes *only* the intersecting nets — every
+  unaffected net's report survives verbatim;
+* a repaired design is still internally consistent
+  (:meth:`Occupancy.find_inconsistencies`) and passes
+  :func:`verify_result`;
+* the same seed and fault schedule yield bit-identical repaired
+  routes; a fault-free run is bit-identical to a run with no fault
+  map at all;
+* the timed injector points ``"valve_stuck"`` and ``"cell_blockage"``
+  disturb a live flow and the router heals (or degrades) structurally.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.analysis import verify_result
+from repro.core.pacor import PacorRouter
+from repro.designs import design_by_name, generate_fault_scenario
+from repro.geometry.point import Point
+from repro.grid.occupancy import FAULT_NET, Occupancy
+from repro.robustness import faults
+from repro.robustness.faultmap import FaultEvent, FaultMap
+from repro.robustness.faults import FaultSpec
+from repro.robustness.repair import (
+    affected_nets,
+    affected_nets_brute_force,
+    repair_result,
+)
+
+
+def _canonical(result):
+    """Result JSON with the only nondeterministic field (runtime) removed."""
+    doc = result.to_json()
+    doc["summary"].pop("runtime_s")
+    return json.dumps(doc, sort_keys=True)
+
+
+def _routed(design_name="S1"):
+    design = design_by_name(design_name)
+    router = PacorRouter(design)
+    result = router.run()
+    assert result.completion_rate == 1.0
+    return design, router, result
+
+
+def _channel_cell(design, result):
+    """A routed cell that is neither a valve seat nor a control pin."""
+    keep_out = {v.position for v in design.valves}
+    for net in result.nets:
+        if not net.routed:
+            continue
+        keep_out.add(net.pin)
+    for net in sorted(result.nets, key=lambda n: n.net_id):
+        if not net.routed:
+            continue
+        for cell in sorted(net.cells):
+            if cell not in keep_out:
+                return net.net_id, cell
+    raise AssertionError("no pure channel cell found")
+
+
+# -- damage assessment: property + oracle ------------------------------------
+
+
+class TestDamageAssessment:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_flat_sweep_matches_brute_force(self, seed):
+        design, router, _ = _routed("S2" if seed % 2 else "S1")
+        occupancy = router.occupancy
+        grid = design.grid
+        all_cids = range(grid.width * grid.height)
+        buckets = {nid: occupancy.cells_of_ids(nid) for nid in occupancy.nets()}
+        rng = random.Random(seed)
+        for batch in range(10):
+            fault_cids = rng.sample(list(all_cids), rng.randint(0, 12))
+            assert affected_nets(occupancy, fault_cids) == (
+                affected_nets_brute_force(buckets, fault_cids)
+            ), f"divergence at seed={seed} batch={batch}: {fault_cids}"
+
+    def test_faults_on_free_cells_hit_nothing(self):
+        design, router, _ = _routed()
+        free = [
+            cid
+            for cid in range(design.grid.width * design.grid.height)
+            if router.occupancy.owner_id(cid) < 0
+        ]
+        assert affected_nets(router.occupancy, free[:20]) == []
+
+    def test_fault_net_owner_is_not_a_net(self):
+        design = design_by_name("S1")
+        occupancy = Occupancy(design.grid)
+        occupancy.occupy_ids([0, 1], FAULT_NET)
+        occupancy.occupy_ids([2], 5)
+        assert affected_nets(occupancy, [0, 1, 2]) == [5]
+
+
+# -- post-hoc repair ---------------------------------------------------------
+
+
+class TestRepairResult:
+    def test_reroutes_only_intersecting_nets(self):
+        design, _, result = _routed()
+        doc = result.to_json()
+        victim, cell = _channel_cell(design, result)
+        outcome = repair_result(
+            design, doc, FaultMap(faulty_cells=[cell])
+        )
+        assert outcome.affected == [victim]
+        assert victim in outcome.repaired
+        assert outcome.degraded_nets == []
+        before = {n.net_id: n for n in result.nets}
+        for net in outcome.result.nets:
+            if net.net_id == victim:
+                assert cell not in net.cells
+                assert net.routed
+            else:
+                assert net == before[net.net_id]
+
+    def test_repaired_design_is_consistent_and_verifies(self):
+        design, _, result = _routed()
+        _, cell = _channel_cell(design, result)
+        outcome = repair_result(
+            design, result.to_json(), FaultMap(faulty_cells=[cell])
+        )
+        verify_result(design, outcome.result)
+        width = design.grid.width
+        occupancy = Occupancy(design.grid)
+        for net in outcome.result.nets:
+            if net.routed:
+                occupancy.occupy_ids(
+                    (c.y * width + c.x for c in net.cells), net.net_id
+                )
+        assert occupancy.find_inconsistencies() == []
+
+    def test_repair_is_deterministic(self):
+        design, _, result = _routed()
+        doc = result.to_json()
+        _, cell = _channel_cell(design, result)
+        fm_doc = FaultMap(faulty_cells=[cell]).to_json()
+        first = repair_result(design, doc, FaultMap.from_json(fm_doc))
+        second = repair_result(design, doc, FaultMap.from_json(fm_doc))
+        assert _canonical(first.result) == _canonical(second.result)
+        assert first.repaired == second.repaired
+
+    def test_empty_fault_map_changes_nothing(self):
+        design, _, result = _routed()
+        outcome = repair_result(design, result.to_json(), FaultMap())
+        assert outcome.affected == []
+        assert outcome.repaired == {}
+        assert _canonical(outcome.result) == _canonical(result)
+
+    def test_stuck_valve_drops_the_valve(self):
+        design, _, result = _routed()
+        vid = min(v.id for v in design.valves)
+        outcome = repair_result(
+            design, result.to_json(), FaultMap(stuck_valves=[vid])
+        )
+        assert vid in outcome.dropped_valves
+        for net in outcome.result.nets:
+            if net.routed:
+                assert design.valve_by_id()[vid].position not in net.cells
+
+    def test_generated_scenario_repairs(self):
+        design, _, result = _routed("S2")
+        routed_cells = sorted(
+            {c for n in result.nets if n.routed for c in n.cells}
+        )
+        fm = generate_fault_scenario(
+            design, n_cell_faults=2, seed=11, target_cells=routed_cells
+        )
+        outcome = repair_result(design, result.to_json(), fm)
+        assert outcome.affected
+        verify_result(design, outcome.result)
+
+
+# -- in-flow faults (timed events + injector) --------------------------------
+
+
+class TestInFlowFaults:
+    def test_fault_free_run_is_bit_identical_to_no_fault_map(self):
+        design = design_by_name("S1")
+        plain = PacorRouter(design).run()
+        empty = PacorRouter(design, fault_map=FaultMap()).run()
+        assert _canonical(plain) == _canonical(empty)
+
+    def test_mid_flow_cell_fault_is_healed(self):
+        design, _, result = _routed()
+        victim, cell = _channel_cell(design, result)
+        fm = FaultMap(events=[FaultEvent(stage="final", cell=cell)])
+        healed = PacorRouter(design, fault_map=fm).run()
+        assert not healed.degraded
+        verify_result(design, healed)
+        report = next(n for n in healed.nets if n.net_id == victim)
+        assert report.routed and cell not in report.cells
+        assert any(i.kind == "physical-fault" for i in healed.incidents)
+
+    def test_mid_flow_fault_schedule_is_deterministic(self):
+        design, _, result = _routed()
+        _, cell = _channel_cell(design, result)
+        fm_doc = FaultMap(
+            events=[FaultEvent(stage="escape", cell=cell)]
+        ).to_json()
+        runs = [
+            PacorRouter(design, fault_map=FaultMap.from_json(fm_doc)).run()
+            for _ in range(2)
+        ]
+        assert _canonical(runs[0]) == _canonical(runs[1])
+
+    def test_initially_stuck_valve_reports_a_dead_net(self):
+        design = design_by_name("S1")
+        vid = min(v.id for v in design.valves)
+        result = PacorRouter(
+            design, fault_map=FaultMap(stuck_valves=[vid])
+        ).run()
+        dead = [n for n in result.nets if not n.routed]
+        assert any(
+            n.valve_ids == [vid] and "stuck" in (n.failure_reason or "")
+            for n in dead
+        )
+        verify_result(design, result)
+
+    def test_injected_valve_stuck_point_disturbs_the_flow(self):
+        design = design_by_name("S1")
+        with faults.inject(FaultSpec("valve_stuck", fire_on_calls=(2,))):
+            result = PacorRouter(design).run()
+        verify_result(design, result)
+        assert any(i.kind == "physical-fault" for i in result.incidents)
+        # The stuck valve must have been dropped from every routed net.
+        routed_valves = {v for n in result.nets if n.routed for v in n.valve_ids}
+        assert len(routed_valves) < len(design.valves)
+
+    def test_injected_cell_blockage_point_is_healed(self):
+        design = design_by_name("S2")
+        with faults.inject(FaultSpec("cell_blockage", fire_on_calls=(3,))):
+            result = PacorRouter(design).run()
+        verify_result(design, result)
+        assert any(i.kind == "physical-fault" for i in result.incidents)
+
+    def test_injected_faults_are_deterministic_per_seed(self):
+        design = design_by_name("S1")
+        spec = FaultSpec("cell_blockage", probability=0.5, max_fires=2)
+        outs = []
+        for _ in range(2):
+            with faults.inject(spec, seed=7):
+                outs.append(_canonical(PacorRouter(design).run()))
+        assert outs[0] == outs[1]
