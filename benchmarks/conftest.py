@@ -5,13 +5,57 @@ DESIGN.md's experiment index).  Heavy chip-scale rows are marked
 ``chips`` and can be skipped with ``-m 'not chips'`` for a quick pass.
 """
 
+import json
+from pathlib import Path
+
 import pytest
+
+_KERNEL_BENCH_FILE = "bench_kernels.py"
+_KERNEL_RATES_PATH = Path(__file__).resolve().parents[1] / "BENCH_kernels.json"
+_RATE_KEYS = (
+    "expansions_per_sec",
+    "expansions_per_sec_peak",
+    "states_per_sec",
+    "routes_per_sec",
+    "speedup_vs_point_kernel",
+    "speedup_vs_scalar_engine",
+)
 
 
 def pytest_configure(config):
     config.addinivalue_line(
         "markers", "chips: chip-scale benchmark rows (Chip1/Chip2, slow)"
     )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Persist the kernel-core throughput rates to ``BENCH_kernels.json``.
+
+    The repo root carries the committed baseline; every run of the
+    kernel benchmarks rewrites the file with fresh rates, so a perf
+    regression shows up as a reviewable diff — and
+    ``bench_kernels._check_against_baseline`` fails the run outright
+    when the headline rate drops more than its tolerance (the committed
+    numbers are read before this rewrite).
+    """
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None:
+        return
+    rows = {}
+    for bench in bench_session.benchmarks:
+        if _KERNEL_BENCH_FILE not in str(bench.fullname):
+            continue
+        rates = {
+            key: bench.extra_info[key]
+            for key in _RATE_KEYS
+            if key in bench.extra_info
+        }
+        if rates:
+            rows[bench.name] = rates
+    if rows:
+        _KERNEL_RATES_PATH.write_text(
+            json.dumps({"benchmarks": rows}, indent=2, sort_keys=True) + "\n"
+        )
 
 
 @pytest.fixture

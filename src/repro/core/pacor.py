@@ -58,7 +58,7 @@ from repro.robustness.errors import (
 )
 from repro.robustness.faultmap import FaultEvent, FaultMap
 from repro.robustness.incidents import Incident, Severity
-from repro.routing.astar import astar_route
+from repro.routing.astar import ALL_SOURCES_BLOCKED, astar_route_detailed
 from repro.routing.mst import route_cluster_mst
 from repro.routing.negotiation import NegotiationRouter, RouteRequest
 from repro.routing.path import Path
@@ -1599,7 +1599,7 @@ class PacorRouter:
             # the net's own tree channels would splice the network and
             # silently change the matched lengths.
             own_non_tap = self.occupancy.cells_of(net_id) - set(taps)
-            path = astar_route(
+            path, reason = astar_route_detailed(
                 self.grid,
                 taps,
                 free_pins,
@@ -1617,6 +1617,10 @@ class PacorRouter:
                 if force_counts[net_id] >= 3:
                     permanent_nets.add(net_id)
             else:
+                if reason == ALL_SOURCES_BLOCKED:
+                    self._failure_reasons[net_id] = (
+                        "every escape tap cell is blocked"
+                    )
                 hopeless.add(net_id)
             for blocker, freed in ripped:
                 self._reroute_internal(blocker, freed)

@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.flownet.mincostflow import MinCostFlow
 from repro.geometry.point import Point
 from repro.grid.grid import RoutingGrid
@@ -30,6 +32,7 @@ from repro.robustness.errors import (
     FlowDecompositionError,
     KernelPreconditionError,
 )
+from repro.routing.core.engine import _nbr_table
 from repro.routing.path import Path
 
 
@@ -114,22 +117,20 @@ def solve_escape(
     width = grid.width
     height = grid.height
     size = width * height
-    obstacles = grid.obstacle_mask()
-    blocked_ids = {
-        p[1] * width + p[0]
-        for p in blocked
-        if 0 <= p[0] < width and 0 <= p[1] < height
-    }
+    usable_mask = grid.obstacle_mask() == 0
+    for p in blocked:
+        if 0 <= p[0] < width and 0 <= p[1] < height:
+            usable_mask[p[1] * width + p[0]] = False
 
-    # First pass: register usable cells in deterministic row-major order,
-    # keyed by flat cell id (the kernel core's representation — the flow
-    # decomposition below walks cells per step, so lookups stay int-keyed).
-    usable: Dict[int, int] = {}
-    for cid in range(size):
-        if not obstacles[cid] and cid not in blocked_ids:
-            usable[cid] = len(usable)
+    # Usable cells in deterministic row-major order, keyed by flat cell
+    # id (the kernel core's representation — the flow decomposition below
+    # walks cells per step, so lookups stay int-keyed).  ``kof[cid]`` is
+    # the usable index of cell ``cid``, -1 when unusable.
+    uids = np.flatnonzero(usable_mask)
+    n_cells = int(uids.size)
+    kof = np.full(size, -1, dtype=np.int64)
+    kof[uids] = np.arange(n_cells, dtype=np.int64)
 
-    n_cells = len(usable)
     # Node layout: in(k) = 2k, out(k) = 2k + 1, then S, T, selectors.
     net = MinCostFlow(2 * n_cells + 2 + len(sources))
     s_node = 2 * n_cells
@@ -142,26 +143,36 @@ def solve_escape(
         return 2 * k + 1
 
     # Cell splitting and adjacency (neighbour order East, West, South,
-    # North — the canonical ``neighbors4`` order, so arc insertion order
-    # and therefore the solved flow are unchanged by the id keying).
-    for k in usable.values():
-        net.add_arc(in_node(k), out_node(k), 1, 0.0)
-    adjacency_arc: Dict[int, List[Tuple[int, int]]] = {}
-    for cid, k in usable.items():
-        xp = cid % width
-        for q in (
-            cid + 1 if xp + 1 < width else -1,
-            cid - 1 if xp else -1,
-            cid + width,
-            cid - width,
-        ):
-            if q < 0 or q >= size:
-                continue
-            kq = usable.get(q)
-            if kq is None:
-                continue
-            arc = net.add_arc(out_node(k), in_node(kq), 1, 1.0)
-            adjacency_arc.setdefault(k, []).append((arc, q))
+    # North — the canonical ``neighbors4`` order; the C-order flattening
+    # of the per-cell candidate table reproduces the scalar build's arc
+    # insertion order exactly, so the solved flow is unchanged).
+    ks = np.arange(n_cells, dtype=np.int64)
+    net.add_arcs(
+        2 * ks,
+        2 * ks + 1,
+        np.ones(n_cells, dtype=np.int64),
+        np.zeros(n_cells, dtype=np.float64),
+    )
+    cand = _nbr_table(width, height)[uids].astype(np.int64)
+    in_range = (cand >= 0) & (cand < size)
+    kq = np.where(in_range, kof[np.where(in_range, cand, 0)], -1)
+    edge_mask = kq >= 0
+    arc_from = np.repeat(ks, 4).reshape(n_cells, 4)[edge_mask]
+    arc_kq = kq[edge_mask]
+    adj_q = cand[edge_mask]
+    adj_arcs = net.add_arcs(
+        2 * arc_from + 1,
+        2 * arc_kq,
+        np.ones(arc_kq.size, dtype=np.int64),
+        np.ones(arc_kq.size, dtype=np.float64),
+    )
+    # CSR over the adjacency arcs: rows are ascending k already, so a
+    # cumulative per-row count indexes each cell's (arc, q) slice.
+    aptr = np.zeros(n_cells + 1, dtype=np.int64)
+    np.cumsum(edge_mask.sum(axis=1), out=aptr[1:])
+    aptr_mv = memoryview(aptr)
+    adj_arcs_mv = memoryview(adj_arcs)
+    adj_q_mv = memoryview(adj_q)
 
     # Control pins.
     pin_arc_of_cell: Dict[int, Tuple[int, Point]] = {}
@@ -174,8 +185,8 @@ def solve_escape(
         if pid in seen_pins:
             continue
         seen_pins.add(pid)
-        k = usable.get(pid)
-        if k is None:
+        k = int(kof[pid])
+        if k < 0:
             continue
         arc = net.add_arc(out_node(k), t_node, 1, 0.0)
         pin_arc_of_cell[k] = (arc, Point(x, y))
@@ -191,8 +202,8 @@ def solve_escape(
             tap = Point(tap[0], tap[1])
             on_chip = 0 <= tap[0] < width and 0 <= tap[1] < height
             tid = tap[1] * width + tap[0] if on_chip else -1
-            k_tap = usable.get(tid) if on_chip else None
-            if k_tap is not None:
+            k_tap = int(kof[tid]) if on_chip else -1
+            if k_tap >= 0:
                 # The tap cell itself is routable (singleton valve case):
                 # the path starts on it at zero cost.
                 if tid not in seen_entry:
@@ -204,8 +215,8 @@ def solve_escape(
                 if not (0 <= v[0] < width and 0 <= v[1] < height):
                     continue
                 vid = v[1] * width + v[0]
-                kv = usable.get(vid)
-                if kv is None or vid in seen_entry:
+                kv = int(kof[vid])
+                if kv < 0 or vid in seen_entry:
                     continue
                 arc = net.add_arc(selector, in_node(kv), 1, 1.0)
                 entries.append((arc, tap, vid))
@@ -230,7 +241,7 @@ def solve_escape(
         _, tap, vid = entry
         v = Point(vid % width, vid // width)
         cells: List[Point] = [tap] if tap != v else []
-        current = usable[vid]
+        current = int(kof[vid])
         cells.append(v)
         pin: Optional[Point] = None
         guard = 0
@@ -242,19 +253,15 @@ def solve_escape(
             if pin_entry is not None and net.flow_on(pin_entry[0]) > 0:
                 pin = pin_entry[1]
                 break
-            step = next(
-                (
-                    (arc, q)
-                    for arc, q in adjacency_arc.get(current, [])
-                    if net.flow_on(arc) > 0
-                ),
-                None,
-            )
-            if step is None:  # pragma: no cover - defensive
+            q = -1
+            for j in range(aptr_mv[current], aptr_mv[current + 1]):
+                if net.flow_on(adj_arcs_mv[j]) > 0:
+                    q = adj_q_mv[j]
+                    break
+            if q < 0:  # pragma: no cover - defensive
                 raise FlowDecompositionError("flow decomposition hit a dead end")
-            _, q = step
             cells.append(Point(q % width, q // width))
-            current = usable[q]
+            current = int(kof[q])
         result.paths[source.cluster_id] = Path(cells)
         result.pin_of[source.cluster_id] = pin
     return result

@@ -17,9 +17,12 @@ from dataclasses import dataclass, field
 from itertools import count
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.geometry.point import Point
 from repro.grid.grid import RoutingGrid
 from repro.grid.occupancy import FREE, Occupancy
+from repro.routing.core.engine import _nbr_table
 
 _RIP_PENALTY = 1000.0
 """Probe cost for entering a cell owned by a rippable net."""
@@ -81,28 +84,28 @@ def find_blocking_nets(
     if not pin_ids or not tap_cells:
         return None
     rip_cost = rip_cost or {}
-    obstacles = grid.obstacle_mask()
-    permanent_ids = (
-        {
-            p[1] * width + p[0]
-            for p in permanent
-            if 0 <= p[0] < width and 0 <= p[1] < height
-        }
-        if permanent is not None
-        else None
-    )
+    owner_arr = occupancy.owner_array()
 
-    def step_cost(cid: int) -> Optional[float]:
-        if obstacles[cid]:
-            return None
-        owner = occupancy.owner_id(cid)
-        if owner == FREE:
-            return 1.0
-        if permanent_ids is not None and cid in permanent_ids:
-            return None
-        if owner in rippable:
-            return 1.0 + _RIP_PENALTY * rip_cost.get(owner, 1.0)
-        return None
+    # Per-cell probe cost, fused once instead of per neighbour visit:
+    # free cells cost 1, rippable-owned cells carry the rip penalty, and
+    # everything impassable (obstacle / protected owner / permanent
+    # occupied cell / off-grid guard slot, see engine._GUARD_NOTE) holds
+    # -1 so one sign test replaces the old step_cost call.
+    cost = np.full(size + width, -1.0, dtype=np.float64)
+    step = cost[:size]
+    owned = owner_arr != FREE
+    step[~owned] = 1.0
+    for net in rippable:
+        step[owner_arr == net] = 1.0 + _RIP_PENALTY * rip_cost.get(net, 1.0)
+    if permanent is not None:
+        for p in permanent:
+            if 0 <= p[0] < width and 0 <= p[1] < height:
+                pid = p[1] * width + p[0]
+                if owned[pid]:
+                    step[pid] = -1.0
+    step[grid.obstacle_mask().view(np.bool_)] = -1.0
+    cost_mv = cost.data
+    nbr_mv = memoryview(_nbr_table(width, height).reshape(-1))
 
     best: Dict[int, float] = {}
     parent: Dict[int, int] = {}
@@ -125,21 +128,15 @@ def find_blocking_nets(
         if p in pin_ids and parent[p] >= 0:
             goal = p
             break
-        xp = p % width
+        base = 4 * p
         # Neighbour order East, West, South, North, as everywhere in the
-        # kernel core (-1 marks an off-chip East/West step).
-        for q in (
-            p + 1 if xp + 1 < width else -1,
-            p - 1 if xp else -1,
-            p + width,
-            p - width,
-        ):
-            if q < 0 or q >= size:
+        # kernel core (off-chip steps land on -1 guard-cost slots).
+        for k in range(4):
+            q = nbr_mv[base + k]
+            c = cost_mv[q]
+            if c < 0.0:
                 continue
-            cost = step_cost(q)
-            if cost is None:
-                continue
-            nd = d + cost
+            nd = d + c
             if nd < best.get(q, float("inf")):
                 best[q] = nd
                 parent[q] = p

@@ -5,12 +5,24 @@ capacities, non-negative arc costs.  With non-negative costs the first
 Dijkstra needs no initialisation and node potentials keep all reduced
 costs non-negative across augmentations, so every shortest-path search is
 a plain Dijkstra with early exit at the sink.
+
+Arcs live in flat numpy arrays (paired forward/residual entries, like a
+classic arc-list MCMF) and per-node adjacency is a CSR view built lazily
+at solve time: a stable argsort of the arc tail array groups each node's
+arcs in insertion order, which keeps relaxation order — and therefore
+tie-breaking and the solved flow — identical to the old per-node
+adjacency lists.  The per-augmentation potential update is one
+vectorised ``minimum`` over the distance array; because ``min(inf,
+d_sink) == d_sink`` it reproduces the scalar settled/unsettled split
+bit-for-bit.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.observability import context as obs
 
@@ -22,21 +34,39 @@ class MinCostFlow:
 
     Arcs are stored as paired forward/residual entries; ``add_arc``
     returns the forward arc id whose flow can be queried after solving.
+    ``add_arcs`` appends a whole batch in one shot — network builders
+    with hundreds of thousands of arcs should prefer it.
     """
 
     def __init__(self, n_nodes: int) -> None:
         if n_nodes <= 0:
             raise ValueError("network needs at least one node")
         self.n = n_nodes
-        self._to: List[int] = []
-        self._cap: List[int] = []
-        self._cost: List[float] = []
-        self._head: List[List[int]] = [[] for _ in range(n_nodes)]
+        self._m = 0
+        cap0 = 64
+        self._to = np.empty(cap0, dtype=np.int64)
+        self._tail = np.empty(cap0, dtype=np.int64)
+        self._cap = np.empty(cap0, dtype=np.int64)
+        self._cost = np.empty(cap0, dtype=np.float64)
+        # CSR adjacency, rebuilt on demand when arcs were added.
+        self._order: Optional[np.ndarray] = None
+        self._indptr: Optional[np.ndarray] = None
+
+    def _reserve(self, extra: int) -> None:
+        need = self._m + extra
+        if need <= self._to.size:
+            return
+        new_size = max(need, 2 * self._to.size)
+        for name in ("_to", "_tail", "_cap", "_cost"):
+            old = getattr(self, name)
+            grown = np.empty(new_size, dtype=old.dtype)
+            grown[: self._m] = old[: self._m]
+            setattr(self, name, grown)
 
     def add_node(self) -> int:
         """Append a node and return its id."""
-        self._head.append([])
         self.n += 1
+        self._order = None
         return self.n - 1
 
     def add_arc(self, u: int, v: int, cap: int, cost: float) -> int:
@@ -49,23 +79,87 @@ class MinCostFlow:
             raise ValueError(
                 "negative arc costs are not supported by the Dijkstra solver"
             )
-        arc_id = len(self._to)
-        self._to.append(v)
-        self._cap.append(cap)
-        self._cost.append(cost)
-        self._head[u].append(arc_id)
+        self._reserve(2)
+        m = self._m
+        self._to[m] = v
+        self._tail[m] = u
+        self._cap[m] = cap
+        self._cost[m] = cost
         # Residual arc.
-        self._to.append(u)
-        self._cap.append(0)
-        self._cost.append(-cost)
-        self._head[v].append(arc_id + 1)
-        return arc_id
+        self._to[m + 1] = u
+        self._tail[m + 1] = v
+        self._cap[m + 1] = 0
+        self._cost[m + 1] = -cost
+        self._m = m + 2
+        self._order = None
+        return m
+
+    def add_arcs(
+        self,
+        us: Sequence[int],
+        vs: Sequence[int],
+        caps: Sequence[int],
+        costs: Sequence[float],
+    ) -> np.ndarray:
+        """Add a batch of arcs ``us[i] -> vs[i]``; return their forward ids.
+
+        Equivalent to calling :meth:`add_arc` element-wise in order, at
+        array speed.  All four sequences must share one length.
+        """
+        us = np.ascontiguousarray(us, dtype=np.int64)
+        vs = np.ascontiguousarray(vs, dtype=np.int64)
+        caps = np.ascontiguousarray(caps, dtype=np.int64)
+        costs = np.ascontiguousarray(costs, dtype=np.float64)
+        k = us.size
+        if not (vs.size == caps.size == costs.size == k):
+            raise ValueError("add_arcs sequences must share one length")
+        if k == 0:
+            return np.empty(0, dtype=np.int64)
+        for ends in (us, vs):
+            if int(ends.min()) < 0 or int(ends.max()) >= self.n:
+                raise ValueError("arc endpoints out of range")
+        if int(caps.min()) < 0:
+            raise ValueError("arc capacity must be non-negative")
+        if float(costs.min()) < 0:
+            raise ValueError(
+                "negative arc costs are not supported by the Dijkstra solver"
+            )
+        self._reserve(2 * k)
+        m = self._m
+        fwd = slice(m, m + 2 * k, 2)
+        rev = slice(m + 1, m + 2 * k, 2)
+        self._to[fwd] = vs
+        self._to[rev] = us
+        self._tail[fwd] = us
+        self._tail[rev] = vs
+        self._cap[fwd] = caps
+        self._cap[rev] = 0
+        self._cost[fwd] = costs
+        np.negative(costs, out=self._cost[rev])
+        self._m = m + 2 * k
+        self._order = None
+        return np.arange(m, m + 2 * k, 2, dtype=np.int64)
 
     def flow_on(self, arc_id: int) -> int:
         """Return the flow routed on forward arc ``arc_id``."""
         if arc_id % 2 != 0:
             raise ValueError("flow_on expects a forward arc id")
-        return self._cap[arc_id ^ 1]
+        return int(self._cap[arc_id ^ 1])
+
+    def _adjacency(self) -> Tuple[np.ndarray, np.ndarray]:
+        """CSR adjacency: ``order[indptr[u]:indptr[u+1]]`` = arcs out of u.
+
+        The stable sort keeps each node's arcs in insertion (arc-id)
+        order, matching the relaxation order of per-node append lists.
+        """
+        if self._order is None or self._indptr is None:
+            tails = self._tail[: self._m]
+            self._order = np.argsort(tails, kind="stable").astype(np.int64)
+            counts = np.bincount(tails, minlength=self.n)
+            indptr = np.zeros(self.n + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            self._indptr = indptr
+        return self._order, self._indptr
 
     def max_flow_min_cost(
         self, source: int, sink: int, max_flow: Optional[int] = None
@@ -80,65 +174,158 @@ class MinCostFlow:
         """
         if source == sink:
             raise ValueError("source and sink must differ")
-        potential = [0.0] * self.n
+        n = self.n
+        m = self._m
+        order, indptr = self._adjacency()
+        # CSR-contiguous plain-list copies: the scalar Dijkstra loop runs
+        # fastest on CPython lists, and ``parent`` can store CSR slots
+        # directly.  ``cpair[j]`` is the CSR slot of arc j's residual
+        # partner, ``ctail[j]`` the arc's tail node (for the path walk).
+        indptr_l = indptr.tolist()
+        cto = self._to[:m][order].tolist()
+        ccost = self._cost[:m][order].tolist()
+        ccap = self._cap[:m][order].tolist()
+        inv = np.empty(m, dtype=np.int64)
+        inv[order] = np.arange(m, dtype=np.int64)
+        cpair = inv[order ^ 1].tolist()
+        # Per-node arc slices, reused across every augmentation's search.
+        arcs_of = list(map(range, indptr_l[:-1], indptr_l[1:]))
+        # All-integral arc costs keep every distance and potential an
+        # exact small integer (float64 is exact there), which admits a
+        # Dial-style bucket queue below.  PACOR's escape networks only
+        # use costs 0 and 1; fractional costs fall back to a binary heap.
+        int_mode = m == 0 or bool(
+            (self._cost[:m] == np.floor(self._cost[:m])).all()
+        )
+
+        potential: List[float] = [0.0] * n
         flow_value = 0
         total_cost = 0.0
         limit = max_flow if max_flow is not None else float("inf")
         augmentations = 0
+        heappush = heapq.heappush
+        heappop = heapq.heappop
 
         while flow_value < limit:
-            dist = [_INF] * self.n
-            parent_arc: List[int] = [-1] * self.n
+            dist = [_INF] * n
+            parent = [-1] * n
+            settled = bytearray(n)
             dist[source] = 0.0
-            heap: List[Tuple[float, int]] = [(0.0, source)]
-            settled = [False] * self.n
-            while heap:
-                d, u = heapq.heappop(heap)
-                if settled[u]:
-                    continue
-                settled[u] = True
-                if u == sink:
-                    break
-                for arc_id in self._head[u]:
-                    if self._cap[arc_id] <= 0:
+            if int_mode:
+                # Dial bucket queue: pop order is ascending integer
+                # distance, ties broken by ascending node id — exactly
+                # the (distance, node) tuple-heap order, at int-heap
+                # cost.  Monotonicity (non-negative reduced costs) means
+                # inserts only ever target the current or later buckets.
+                buckets: dict = {0: [source]}
+                key_heap = [0]
+                while key_heap:
+                    kb = key_heap[0]
+                    bucket = buckets[kb]
+                    heapq.heapify(bucket)
+                    sink_hit = False
+                    while bucket:
+                        u = heappop(bucket)
+                        if settled[u]:
+                            continue
+                        settled[u] = 1
+                        if u == sink:
+                            sink_hit = True
+                            break
+                        d = dist[u]
+                        pot_u = potential[u]
+                        for j in arcs_of[u]:
+                            if ccap[j] <= 0:
+                                continue
+                            v = cto[j]
+                            if settled[v]:
+                                continue
+                            # Same association order as the original
+                            # loop — float sums are order-sensitive and
+                            # results are pinned (exact here, but kept
+                            # aligned with the fractional branch; the
+                            # 1e-12 slack is dropped because for exact
+                            # integers it equals the strict compare).
+                            nd = d + ccost[j] + pot_u - potential[v]
+                            if nd < dist[v]:
+                                dist[v] = nd
+                                parent[v] = j
+                                key = int(nd)
+                                other = buckets.get(key)
+                                if other is None:
+                                    buckets[key] = [v]
+                                    heappush(key_heap, key)
+                                elif other is bucket:
+                                    heappush(bucket, v)
+                                else:
+                                    other.append(v)
+                    if sink_hit:
+                        break
+                    del buckets[kb]
+                    heappop(key_heap)
+            else:
+                heap: List[Tuple[float, int]] = [(0.0, source)]
+                while heap:
+                    d, u = heappop(heap)
+                    if settled[u]:
                         continue
-                    v = self._to[arc_id]
-                    if settled[v]:
-                        continue
-                    nd = d + self._cost[arc_id] + potential[u] - potential[v]
-                    if nd < dist[v] - 1e-12:
-                        dist[v] = nd
-                        parent_arc[v] = arc_id
-                        heapq.heappush(heap, (nd, v))
+                    settled[u] = 1
+                    if u == sink:
+                        break
+                    pot_u = potential[u]
+                    for j in arcs_of[u]:
+                        if ccap[j] <= 0:
+                            continue
+                        v = cto[j]
+                        if settled[v]:
+                            continue
+                        nd = d + ccost[j] + pot_u - potential[v]
+                        if nd < dist[v] - 1e-12:
+                            dist[v] = nd
+                            parent[v] = j
+                            heappush(heap, (nd, v))
             if not settled[sink]:
                 break
             augmentations += 1
 
-            # Update potentials for settled nodes; unsettled keep old ones
-            # (standard early-exit variant: use dist[sink] for unreached).
+            # Update potentials: settled/reached nodes move by their
+            # distance, unreached ones by dist[sink] (standard early-exit
+            # variant).  ``min(inf, d_sink) == d_sink`` folds both cases
+            # into one vectorised minimum.  With exact integer distances
+            # a zero d_sink makes every addend +0.0 — a bitwise no-op
+            # (no -0.0 can arise from the non-negative sums), so the
+            # whole update is skipped.
             d_sink = dist[sink]
-            for v in range(self.n):
-                if dist[v] < _INF:
-                    potential[v] += min(dist[v], d_sink)
-                else:
-                    potential[v] += d_sink
+            if not int_mode or d_sink != 0.0:
+                pot_np = np.asarray(potential, dtype=np.float64)
+                pot_np += np.minimum(
+                    np.asarray(dist, dtype=np.float64), d_sink
+                )
+                potential = pot_np.tolist()
 
-            # Bottleneck along the path.
+            # Bottleneck along the path (``cto[cpair[j]]`` is arc j's
+            # tail: the residual partner's head).
             bottleneck = limit - flow_value
             v = sink
             while v != source:
-                arc_id = parent_arc[v]
-                bottleneck = min(bottleneck, self._cap[arc_id])
-                v = self._to[arc_id ^ 1]
+                j = parent[v]
+                cap = ccap[j]
+                if cap < bottleneck:
+                    bottleneck = cap
+                v = cto[cpair[j]]
             # Apply augmentation.
             v = sink
             while v != source:
-                arc_id = parent_arc[v]
-                self._cap[arc_id] -= bottleneck
-                self._cap[arc_id ^ 1] += bottleneck
-                total_cost += bottleneck * self._cost[arc_id]
-                v = self._to[arc_id ^ 1]
+                j = parent[v]
+                ccap[j] -= bottleneck
+                ccap[cpair[j]] += bottleneck
+                total_cost += bottleneck * ccost[j]
+                v = cto[cpair[j]]
             flow_value += int(bottleneck)
+
+        # Flow lives in the residual capacities: fold the CSR working
+        # copy back into arc-id order so flow_on sees the solved flow.
+        self._cap[:m][order] = ccap
         if augmentations:
             obs.counter("mcf.augmenting_paths").inc(augmentations)
         return flow_value, total_cost

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, List
 
+import numpy as np
+
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 
@@ -13,8 +15,9 @@ class RoutingGrid:
 
     Cells are addressed by :class:`~repro.geometry.point.Point` with
     ``0 <= x < width`` and ``0 <= y < height``.  The obstacle map is the
-    ``ObsMap`` of Algorithm 1 in the paper: a flat boolean array indexed
-    by ``y * width + x``.
+    ``ObsMap`` of Algorithm 1 in the paper: a flat ``uint8`` array
+    indexed by ``y * width + x``, shared with the search kernels as an
+    ndarray so blocked-mask composition stays at C speed.
     """
 
     def __init__(self, width: int, height: int) -> None:
@@ -22,7 +25,11 @@ class RoutingGrid:
             raise ValueError("grid dimensions must be positive")
         self.width = width
         self.height = height
-        self._obstacles = bytearray(width * height)
+        self._obstacles = np.zeros(width * height, dtype=np.uint8)
+        # Bumped on every obstacle mutation; SpaceCache compares it to
+        # detect a stale fused mask (grids rarely change mid-run, but
+        # fault injection does exactly that).
+        self._version = 0
 
     # -- indexing ---------------------------------------------------------
 
@@ -53,6 +60,7 @@ class RoutingGrid:
         if not self.in_bounds(p):
             raise ValueError(f"cell {p} is outside the {self.width}x{self.height} grid")
         self._obstacles[p[1] * self.width + p[0]] = 1 if blocked else 0
+        self._version += 1
 
     def add_obstacles(self, cells: Iterable[Point]) -> None:
         """Mark every cell in ``cells`` as blocked."""
@@ -65,8 +73,8 @@ class RoutingGrid:
         if clipped is not None:
             self.add_obstacles(clipped.cells())
 
-    def obstacle_mask(self) -> bytearray:
-        """Return the live flat obstacle mask (``1`` = blocked).
+    def obstacle_mask(self) -> "np.ndarray":
+        """Return the live flat ``uint8`` obstacle mask (``1`` = blocked).
 
         Indexed by :meth:`index` cell ids.  This is the seed layer of a
         :class:`~repro.routing.core.space.SearchSpace` blocked-mask;
@@ -74,15 +82,23 @@ class RoutingGrid:
         """
         return self._obstacles
 
+    def obstacle_version(self) -> int:
+        """Return a counter that changes whenever the obstacle map does.
+
+        :class:`~repro.routing.core.space.SpaceCache` compares it to
+        detect that a cached fused mask went stale because the *static*
+        layer moved underneath it (mid-run fault injection does this).
+        """
+        return self._version
+
     def obstacle_count(self) -> int:
         """Return the number of blocked cells."""
-        return sum(self._obstacles)
+        return int(self._obstacles.sum())
 
     def obstacle_cells(self) -> Iterator[Point]:
         """Yield every blocked cell."""
-        for i, blocked in enumerate(self._obstacles):
-            if blocked:
-                yield self.point(i)
+        for i in np.flatnonzero(self._obstacles).tolist():
+            yield self.point(i)
 
     # -- geometry helpers --------------------------------------------------
 
@@ -117,7 +133,7 @@ class RoutingGrid:
     def copy(self) -> "RoutingGrid":
         """Return an independent copy (obstacles included)."""
         g = RoutingGrid(self.width, self.height)
-        g._obstacles = bytearray(self._obstacles)
+        g._obstacles = self._obstacles.copy()
         return g
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

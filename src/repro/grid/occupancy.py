@@ -9,18 +9,30 @@ The flat owner array (indexed by ``grid.index`` cell ids) is the single
 source of truth; the per-net buckets are an inverted index of cell *ids*
 kept alongside it so that releasing a net and overlaying the occupancy
 onto a :class:`~repro.routing.core.space.SearchSpace` blocked-mask are
-O(cells of that net), not O(grid).  ``Point``-based accessors remain the
-public face; id-based variants (``*_ids``) serve the kernel core, which
-never leaves integer-land mid-search.
+O(cells of that net), not O(grid).  A third view, the ``uint8``
+*overlay mask* (1 wherever some bucket holds the cell), is maintained in
+lock-step with the buckets so blocked-mask fusion is a single vectorised
+``static | overlay`` instead of per-cell byte stores.  ``Point``-based
+accessors remain the public face; id-based variants (``*_ids``) serve
+the kernel core, which never leaves integer-land mid-search.
+
+Every mutation reports the touched cell ids to the attached
+:class:`~repro.routing.core.space.SpaceCache` (when one exists), which
+is how the persistent fused mask stays correct without O(grid) rebuilds.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Set, Tuple
+
+import numpy as np
 
 from repro.geometry.point import Point
 from repro.grid.grid import RoutingGrid
 from repro.robustness import faults
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.routing.core.space import SpaceCache
 
 FREE = -1
 """Sentinel net id for an unoccupied cell."""
@@ -48,22 +60,30 @@ class Occupancy:
 
     def __init__(self, grid: RoutingGrid) -> None:
         self.grid = grid
-        self._owner: List[int] = [FREE] * (grid.width * grid.height)
+        size = grid.width * grid.height
+        self._owner = np.full(size, FREE, dtype=np.int32)
         self._cells: Dict[int, Set[int]] = {}
+        # Bucket-membership indicator: 1 exactly where some net's bucket
+        # holds the cell.  Mirrors every bucket mutation so SearchSpace
+        # fusion is one vectorised OR (and stays faithful to the buckets
+        # even when chaos injection makes them disagree with the owner
+        # array — searches consulted the buckets before this rewrite).
+        self._overlay = np.zeros(size, dtype=np.uint8)
+        self._cache: "SpaceCache | None" = None
 
     # -- queries -----------------------------------------------------------
 
     def owner(self, p: Point) -> int:
         """Return the net id occupying ``p`` or :data:`FREE`."""
-        return self._owner[self.grid.index(p)]
+        return int(self._owner[self.grid.index(p)])
 
     def owner_id(self, cid: int) -> int:
         """Return the net id occupying cell id ``cid`` or :data:`FREE`."""
-        return self._owner[cid]
+        return int(self._owner[cid])
 
     def is_free(self, p: Point) -> bool:
         """Return True when no net occupies ``p`` (obstacles not checked)."""
-        return self._owner[self.grid.index(p)] == FREE
+        return int(self._owner[self.grid.index(p)]) == FREE
 
     def is_routable(self, p: Point, net: int = FREE) -> bool:
         """Return True when ``net`` may enter cell ``p``.
@@ -73,8 +93,31 @@ class Occupancy:
         """
         if not self.grid.is_free(p):
             return False
-        owner = self._owner[self.grid.index(p)]
+        owner = int(self._owner[self.grid.index(p)])
         return owner == FREE or owner == net
+
+    # -- cache wiring ------------------------------------------------------
+
+    def space_cache(self) -> "SpaceCache":
+        """Return the persistent fused-mask cache for this occupancy.
+
+        Created lazily on first use; all mutators feed its dirty set, so
+        the cache's checked-out masks are always equivalent to a freshly
+        built :class:`~repro.routing.core.space.SearchSpace`.
+        """
+        if self._cache is None:
+            from repro.routing.core.space import SpaceCache
+
+            self._cache = SpaceCache(self.grid, self)
+        return self._cache
+
+    def _mark_dirty(self, cids: Iterable[int]) -> None:
+        if self._cache is not None:
+            self._cache.mark_dirty(cids)
+
+    def _mark_all_dirty(self) -> None:
+        if self._cache is not None:
+            self._cache.mark_all_dirty()
 
     # -- mutation ----------------------------------------------------------
 
@@ -90,25 +133,47 @@ class Occupancy:
         """Assign every cell id in ``cids`` to ``net`` (see :meth:`occupy`)."""
         if net == FREE:
             raise ValueError("cannot occupy cells with the FREE sentinel id")
-        owner = self._owner
+        cid_list = list(cids)
         width = self.grid.width
         bucket = self._cells.setdefault(net, set())
-        for cid in cids:
-            current = owner[cid]
-            if current != FREE and current != net:
-                y, x = divmod(cid, width)
+        if cid_list:
+            arr = np.asarray(cid_list, dtype=np.int64)
+            current = self._owner[arr]
+            conflict = (current != FREE) & (current != net)
+            if conflict.any():
+                # Mirror the pre-vectorised loop exactly: cells before
+                # the first conflicting one (in input order) are already
+                # assigned when the error propagates.
+                k = int(np.argmax(conflict))
+                prefix = arr[:k]
+                self._owner[prefix] = net
+                self._overlay[prefix] = 1
+                bucket.update(cid_list[:k])
+                self._mark_dirty(cid_list[:k])
+                if not bucket:
+                    del self._cells[net]
+                bad = cid_list[k]
+                y, x = divmod(bad, width)
                 raise ValueError(
-                    f"cell {Point(x, y)} already occupied by net {current}"
+                    f"cell {Point(x, y)} already occupied by net "
+                    f"{int(current[k])}"
                 )
-            owner[cid] = net
-            bucket.add(cid)
+            self._owner[arr] = net
+            self._overlay[arr] = 1
+            bucket.update(cid_list)
+            self._mark_dirty(cid_list)
         if bucket and faults.fires("occupancy_corruption"):
             # Chaos-suite hook: orphan one owner entry (owner array says
             # occupied, bucket disagrees) so the between-stage consistency
             # check has something real to detect and repair.  The dropped
             # cell is the (x, y)-minimal one, as it was when buckets held
             # Points — keyed, not raw id order (which would be (y, x)).
-            bucket.discard(min(bucket, key=lambda c: (c % width, c // width)))
+            dropped = min(bucket, key=lambda c: (c % width, c // width))
+            bucket.discard(dropped)
+            self._overlay[dropped] = 0
+            self._mark_dirty((dropped,))
+        if not bucket:
+            del self._cells[net]
 
     def release(self, net: int) -> Set[Point]:
         """Free every cell of ``net`` and return the released cells."""
@@ -120,9 +185,11 @@ class Occupancy:
     def release_ids(self, net: int) -> Set[int]:
         """Free every cell of ``net`` and return the released cell ids."""
         cids = self._cells.pop(net, set())
-        owner = self._owner
-        for cid in cids:
-            owner[cid] = FREE
+        if cids:
+            arr = np.fromiter(cids, dtype=np.int64, count=len(cids))
+            self._owner[arr] = FREE
+            self._overlay[arr] = 0
+            self._mark_dirty(cids)
         return cids
 
     def release_cells(self, cells: Iterable[Point]) -> None:
@@ -131,13 +198,38 @@ class Occupancy:
         self.release_cell_ids(index(p) for p in cells)
 
     def release_cell_ids(self, cids: Iterable[int]) -> None:
-        """Free specific cell ids regardless of owner."""
-        owner = self._owner
-        for cid in cids:
-            net = owner[cid]
+        """Free specific cell ids regardless of owner.
+
+        Buckets that end up empty are dropped entirely — negotiation
+        rips thousands of rounds through here, and leaking dead net keys
+        would grow every bucket iteration (`export_state`,
+        `find_inconsistencies`, `id_buckets`) for the rest of the run.
+        """
+        cid_list = list(cids)
+        if not cid_list:
+            return
+        cells = self._cells
+        arr = np.asarray(cid_list, dtype=np.int64)
+        owners = self._owner[arr].tolist()
+        touched: List[int] = []
+        emptied: Set[int] = set()
+        for cid, net in zip(cid_list, owners):
             if net != FREE:
-                owner[cid] = FREE
-                self._cells.get(net, set()).discard(cid)
+                touched.append(cid)
+                bucket = cells.get(net)
+                if bucket is not None:
+                    bucket.discard(cid)
+                    if not bucket:
+                        emptied.add(net)
+        for net in emptied:
+            bucket = cells.get(net)
+            if bucket is not None and not bucket:
+                del cells[net]
+        if touched:
+            tarr = np.asarray(touched, dtype=np.int64)
+            self._owner[tarr] = FREE
+            self._overlay[tarr] = 0
+            self._mark_dirty(touched)
 
     # -- bulk views --------------------------------------------------------
 
@@ -153,6 +245,14 @@ class Occupancy:
         """Return (a copy of) the cell ids currently owned by ``net``."""
         return set(self._cells.get(net, ()))
 
+    def bucket_ids(self, net: int) -> "Set[int] | None":
+        """Return the *live* cell-id bucket of ``net``, or None.
+
+        Zero-copy companion to :meth:`cells_of_ids` for the blocked-mask
+        fusion hot path; callers must not mutate the returned set.
+        """
+        return self._cells.get(net)
+
     def id_buckets(self) -> Iterator[Tuple[int, Set[int]]]:
         """Yield ``(net, cell-id bucket)`` for every non-empty net.
 
@@ -163,6 +263,24 @@ class Occupancy:
         for net, cids in self._cells.items():
             if cids:
                 yield net, cids
+
+    def overlay_mask(self) -> "np.ndarray":
+        """Return the live ``uint8`` bucket-membership mask.
+
+        1 exactly where some net's bucket holds the cell.  This is the
+        vectorised fusion source for
+        :class:`~repro.routing.core.space.SearchSpace`; callers must not
+        mutate it.
+        """
+        return self._overlay
+
+    def owner_array(self) -> "np.ndarray":
+        """Return the live ``int32`` owner array (:data:`FREE` = none).
+
+        Read-only companion to :meth:`overlay_mask` for vectorised
+        consumers; callers must not mutate it.
+        """
+        return self._owner
 
     def nets(self) -> Iterator[int]:
         """Yield the ids of nets that currently own at least one cell."""
@@ -185,23 +303,22 @@ class Occupancy:
         overlay reproduces the same :meth:`find_inconsistencies` report,
         and a snapshot taken after :meth:`repair` restores clean.
 
-        One flat pass over the owner array; coordinates come from
-        ``divmod``, never from per-cell ``Point``/``grid.index``
-        round-trips.
+        One vectorised pass over the owner array; coordinates come from
+        ``divmod`` arithmetic, never from per-cell ``Point``/
+        ``grid.index`` round-trips.
         """
         width = self.grid.width
-        owner_cells: List[List[int]] = []
-        for cid, net in enumerate(self._owner):
-            if net != FREE:
-                y, x = divmod(cid, width)
-                owner_cells.append([x, y, net])
+        occupied = np.flatnonzero(self._owner != FREE)
+        xs = (occupied % width).tolist()
+        ys = (occupied // width).tolist()
+        owners = self._owner[occupied].tolist()
         return {
             "nets": {
                 str(net): sorted([cid % width, cid // width] for cid in cids)
                 for net, cids in self._cells.items()
                 if cids
             },
-            "owner_cells": owner_cells,
+            "owner_cells": [list(t) for t in zip(xs, ys, owners)],
         }
 
     def import_state(self, state: Dict[str, object]) -> None:
@@ -214,7 +331,7 @@ class Occupancy:
         owner_cells = state.get("owner_cells", [])
         width = self.grid.width
         height = self.grid.height
-        self._owner = [FREE] * (width * height)
+        self._owner = np.full(width * height, FREE, dtype=np.int32)
         self._cells = {}
         for x, y, owner in owner_cells:  # type: ignore[misc]
             x, y = int(x), int(y)
@@ -229,6 +346,16 @@ class Occupancy:
                     raise ValueError(f"snapshot cell {Point(x, y)} is off-grid")
                 bucket.add(y * width + x)
             self._cells[int(net_key)] = bucket
+        self._rebuild_overlay()
+        self._mark_all_dirty()
+
+    def _rebuild_overlay(self) -> None:
+        """Reconstitute the overlay mask from the buckets (O(occupied))."""
+        overlay = np.zeros(self.grid.width * self.grid.height, dtype=np.uint8)
+        for cids in self._cells.values():
+            if cids:
+                overlay[np.fromiter(cids, dtype=np.int64, count=len(cids))] = 1
+        self._overlay = overlay
 
     def find_inconsistencies(self) -> List[Point]:
         """Return cells where the owner array and net buckets disagree.
@@ -237,19 +364,18 @@ class Occupancy:
         entry is evidence of corrupted bookkeeping (e.g. a net's bucket
         lost a cell the owner array still assigns to it, or vice versa).
 
-        Single flat pass over the owner array plus one pass over the
+        One vectorised owner-array comparison plus one pass over the
         buckets — O(grid + occupied), no per-cell object construction.
         """
         width = self.grid.width
-        from_buckets: Dict[int, int] = {}
+        expected = np.full(self._owner.shape[0], FREE, dtype=np.int32)
         for net, cids in self._cells.items():
-            for cid in cids:
-                from_buckets[cid] = net
-        bad: List[Point] = []
-        for cid, owner in enumerate(self._owner):
-            if from_buckets.get(cid, FREE) != owner:
-                bad.append(Point(cid % width, cid // width))
-        return bad
+            if cids:
+                expected[np.fromiter(cids, dtype=np.int64, count=len(cids))] = (
+                    net
+                )
+        bad = np.flatnonzero(expected != self._owner)
+        return [Point(int(cid) % width, int(cid) // width) for cid in bad]
 
     def repair(self) -> List[Point]:
         """Rebuild the net buckets from the owner array; return fixes.
@@ -261,8 +387,11 @@ class Occupancy:
         bad = self.find_inconsistencies()
         if bad:
             rebuilt: Dict[int, Set[int]] = {}
-            for cid, owner in enumerate(self._owner):
-                if owner != FREE:
-                    rebuilt.setdefault(owner, set()).add(cid)
+            occupied = np.flatnonzero(self._owner != FREE)
+            owners = self._owner[occupied].tolist()
+            for cid, owner in zip(occupied.tolist(), owners):
+                rebuilt.setdefault(owner, set()).add(cid)
             self._cells = rebuilt
+            self._rebuild_overlay()
+            self._mark_all_dirty()
         return bad

@@ -6,21 +6,31 @@ point-to-point, point-to-path and path-to-path routing — ``sources`` and
 plus the negotiation history cost of the cell being entered, which is how
 Algorithm 1 plugs in.
 
-The search itself runs in :mod:`repro.routing.core`: this module fuses
-the query's routability sources into a :class:`SearchSpace` blocked-mask
-and materialises the engine's cell-id path back into a :class:`Path`.
+The search itself runs in :mod:`repro.routing.core`: this module checks
+the query's routability sources out of the occupancy's persistent
+:class:`SpaceCache` (or fuses a standalone :class:`SearchSpace`) and
+materialises the engine's cell-id path back into a :class:`Path`.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Set
+from typing import Iterable, Optional, Sequence, Set, Tuple
 
 from repro.geometry.point import Point
 from repro.grid.grid import RoutingGrid
 from repro.grid.occupancy import FREE, Occupancy
 from repro.robustness.budget import Budget
-from repro.routing.core import SearchSpace, astar_search
+from repro.routing.core import astar_search, query_space
 from repro.routing.path import Path
+
+ALL_SOURCES_BLOCKED = "all-sources-blocked"
+"""Failure reason: every on-chip source cell of the query is blocked.
+
+Distinguishes a query that could never *start* from genuine search
+exhaustion — a blocked source that doubles as a target falls in here
+too (the trivial path only exists when the shared cell is routable,
+matching the pre-kernel-core composition).
+"""
 
 
 def astar_route(
@@ -69,7 +79,48 @@ def astar_route(
     Raises:
         BudgetExceeded: the run-wide ``budget`` ran out mid-search.
     """
-    space = SearchSpace(
+    path, _ = astar_route_detailed(
+        grid,
+        sources,
+        targets,
+        net=net,
+        occupancy=occupancy,
+        history=history,
+        extra_obstacles=extra_obstacles,
+        extra_obstacle_ids=extra_obstacle_ids,
+        fault_ids=fault_ids,
+        max_expansions=max_expansions,
+        budget=budget,
+    )
+    return path
+
+
+def astar_route_detailed(
+    grid: RoutingGrid,
+    sources: Iterable[Point],
+    targets: Iterable[Point],
+    *,
+    net: int = FREE,
+    occupancy: Optional[Occupancy] = None,
+    history: Optional[Sequence[float]] = None,
+    extra_obstacles: Optional[Set[Point]] = None,
+    extra_obstacle_ids: Optional[Iterable[int]] = None,
+    fault_ids: Optional[Iterable[int]] = None,
+    max_expansions: Optional[int] = None,
+    budget: Optional[Budget] = None,
+) -> Tuple[Optional[Path], Optional[str]]:
+    """Like :func:`astar_route`, plus a failure reason on None.
+
+    Returns ``(path, None)`` on success; on failure the second element
+    is :data:`ALL_SOURCES_BLOCKED` when no source cell could even seed
+    the search (off-chip, statically blocked, occupied by another net,
+    fenced or faulty), or None for ordinary search exhaustion — callers
+    surface the distinction per net instead of reporting both as the
+    same "unroutable".
+    """
+    source_list = list(sources)
+    target_list = list(targets)
+    space = query_space(
         grid,
         net=net,
         occupancy=occupancy,
@@ -79,12 +130,16 @@ def astar_route(
     )
     ids = astar_search(
         space,
-        sources,
-        targets,
+        source_list,
+        target_list,
         history=history,
         max_expansions=max_expansions,
         budget=budget,
     )
-    if ids is None:
-        return None
-    return space.materialize(ids)
+    if ids is not None:
+        return space.materialize(ids), None
+    if source_list and target_list and not any(
+        space.routable(p) for p in source_list
+    ):
+        return None, ALL_SOURCES_BLOCKED
+    return None, None

@@ -26,7 +26,7 @@ from repro.geometry.point import Point, manhattan
 from repro.grid.grid import RoutingGrid
 from repro.grid.occupancy import FREE, Occupancy
 from repro.robustness.errors import KernelPreconditionError
-from repro.routing.core import SearchSpace, bounded_search
+from repro.routing.core import bounded_search, query_space
 from repro.routing.path import Path
 
 
@@ -68,7 +68,7 @@ def bounded_length_route(
     if not feasible:
         return None
 
-    space = SearchSpace(
+    space = query_space(
         grid,
         net=net,
         occupancy=occupancy,
@@ -114,7 +114,7 @@ def extend_path_with_bumps(
 
     # The current path's own cells are owned by `net`; new bump cells
     # must be claimable by the same net, which the fused mask encodes.
-    space = SearchSpace(
+    space = query_space(
         grid,
         net=net,
         occupancy=occupancy,
@@ -123,7 +123,7 @@ def extend_path_with_bumps(
     )
     width = space.width
     size = space.size
-    blocked = space.blocked
+    blocked = memoryview(space.blocked)
 
     cells: List[int] = [space.index(p) for p in path.cells]
     used: Set[int] = set(cells)

@@ -1,17 +1,21 @@
 """Flat cell-index kernel core shared by every search kernel.
 
 ``SearchSpace`` fuses static obstacles, the dynamic occupancy overlay
-and per-query extra obstacles into one flat blocked-mask; the engine
-functions search over it on ``int`` cell ids.  See
-``docs/architecture.md`` ("Kernel core") for the design.
+and per-query extra obstacles into one flat ``uint8`` ndarray
+blocked-mask; the engine functions search over it on ``int`` cell ids.
+``SpaceCache`` keeps one fused mask alive per ``(grid, occupancy)``
+pair, invalidated incrementally through the occupancy's dirty cell-id
+reports.  See ``docs/architecture.md`` ("Kernel core") for the design.
 """
 
 from repro.routing.core.engine import astar_search, bfs_search, bounded_search
-from repro.routing.core.space import SearchSpace
+from repro.routing.core.space import SearchSpace, SpaceCache, query_space
 
 __all__ = [
     "SearchSpace",
+    "SpaceCache",
     "astar_search",
     "bfs_search",
     "bounded_search",
+    "query_space",
 ]

@@ -6,8 +6,23 @@ negotiation history costs), the Lee wave-propagation oracle, and §6's
 bounded-length modified A*.  Every search here operates purely on
 ``int`` cell ids over a :class:`~repro.routing.core.space.SearchSpace`
 blocked-mask — neighbours are ``±1`` / ``±width`` arithmetic, routability
-is one byte read, and ``Point`` objects only reappear when the caller
+is one mask read, and ``Point`` objects only reappear when the caller
 materialises the returned id path.
+
+Two engines back :func:`astar_search`.  Unit-cost queries (no history
+surcharge, no budget limit to enforce mid-bucket) run the *vectorised
+wave* engine: the open set is a heap of ``(f, g)`` bucket keys, each
+bucket holding ndarray chunks of cell ids in push order, and a whole
+bucket's frontier is expanded with batched numpy gathers — neighbour
+generation, blocking, relaxation and first-arrival dedup are all
+C-speed array ops.  History-weighted or budget-limited queries run the
+*scalar* heap engine (also the reference implementation the property
+tests compare against), which keeps the classic per-cell loop but reads
+the mask through a ``memoryview`` and looks heuristics up in a
+precomputed ndarray table.  Both engines produce bit-identical paths
+and counters: bucket FIFO order equals the scalar heap's
+``(f, g, tie)`` order because ties only ever break by push time, and
+first-occurrence ``np.unique`` dedup equals scalar first-relax-wins.
 
 Semantics are pinned to the pre-refactor kernels:
 
@@ -23,7 +38,9 @@ Semantics are pinned to the pre-refactor kernels:
   are *not* pushes (they were miscounted before this engine existed,
   skewing multi-source queries);
 * ``bounded.states`` counts states popped past the target check,
-  exactly as before.
+  exactly as before; ``bounded.reopened`` counts searches that drained
+  their ``(cell, g)`` state graph without an answer and re-ran with
+  own-set-disambiguated states (the completeness fallback).
 
 The id sets used here only feed order-insensitive reductions (bounding
 boxes, membership tests, idempotent mask writes), which is why this
@@ -33,9 +50,10 @@ package is whitelisted by pacorlint's DET003 set-iteration rule.
 from __future__ import annotations
 
 import heapq
-from collections import deque
 from itertools import count
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.observability import context as obs
 from repro.robustness import faults
@@ -45,11 +63,105 @@ from repro.routing.core.space import SearchSpace
 
 _INF = float("inf")
 
+_UNSEEN32 = 2**30
+"""Unvisited sentinel in the wave engine's int32 best-g array."""
+
+_SMALL_BUCKET = 12
+"""Wave buckets at or below this size run the per-cell sub-loop.
+
+Each vectorised bucket step costs a fixed ~25 numpy dispatches; below
+roughly a dozen cells the plain Python loop over the same state arrays
+is cheaper.  Both paths settle cells in identical order, so the
+threshold is pure tuning."""
+
+_GUARD_NOTE = """Guard-row indexing convention.
+
+Wave-engine state arrays are allocated ``size + width`` long: the last
+``width`` slots are a guard zone holding the blocked sentinel.  Every
+off-chip neighbour candidate then lands in the guard without a bounds
+test: a south step from the last row computes ``p + width`` in
+``[size, size + width)`` directly; a north step from row 0 computes a
+negative id in ``[-width, -1]``, which numpy fancy indexing (and Python
+``memoryview`` indexing) wraps to the guard zone; east/west steps off
+the column edges are stored as ``-1`` in the neighbour table, wrapping
+to the guard's last slot.  Blocked cells hold the same sentinel, so one
+``best_g > g'`` comparison implements bounds + blocked + relaxation."""
+
+
+_NBR_TABLES: Dict[Tuple[int, int], "np.ndarray"] = {}
+"""Per-(width, height) neighbour table: row ``p`` = E/W/S/N candidates.
+
+E/W hold ``-1`` where the step leaves the column range; S/N hold the
+raw ``p ± width``, resolved by the guard zone (see ``_GUARD_NOTE``)."""
+
+_HTAB_CACHE: Dict[Tuple[int, int, int, int, int, int], "np.ndarray"] = {}
+"""Memoised heuristic tables keyed by (width, height, target bbox)."""
+
+_HTAB_CACHE_MAX = 128
+
+
+def _nbr_table(width: int, height: int) -> "np.ndarray":
+    """Return the cached ``(size, 4)`` E/W/S/N neighbour-id table."""
+    table = _NBR_TABLES.get((width, height))
+    if table is None:
+        size = width * height
+        ids = np.arange(size, dtype=np.int32)
+        table = np.empty((size, 4), dtype=np.int32)
+        table[:, 0] = ids + 1
+        table[:, 1] = ids - 1
+        table[:, 2] = ids + width
+        table[:, 3] = ids - width
+        xs = ids % width
+        table[xs == width - 1, 0] = -1
+        table[xs == 0, 1] = -1
+        _NBR_TABLES[(width, height)] = table
+    return table
+
+
+def _htab_cached(
+    width: int, height: int, xlo: int, xhi: int, ylo: int, yhi: int
+) -> "np.ndarray":
+    """Memoised :func:`_heuristic_table` (negotiation re-queries the same
+    edges every rip-up round)."""
+    key = (width, height, xlo, xhi, ylo, yhi)
+    table = _HTAB_CACHE.get(key)
+    if table is None:
+        if len(_HTAB_CACHE) >= _HTAB_CACHE_MAX:
+            _HTAB_CACHE.clear()
+        table = _heuristic_table(width, height, xlo, xhi, ylo, yhi)
+        _HTAB_CACHE[key] = table
+    return table
+
+
+def _charge_exact(budget: Budget, n: int) -> None:
+    """Charge ``n`` expansions with scalar-exact exhaustion semantics.
+
+    When the batch would cross the expansion limit, charge singly so the
+    raised ``BudgetExceeded`` carries ``used == limit + 1`` — the exact
+    cell the per-pop reference loop would have died on."""
+    limit = budget.astar_expansions
+    if limit is not None and budget.expansions_used + n > limit:
+        for _ in range(n):
+            budget.charge_expansions(1)
+        return
+    budget.charge_expansions(n)
+
 _PENALTY_WEIGHT = 2.0
 """Bounded search: F-value penalty per missing length unit below the bound."""
 
 Cell = Tuple[int, int]
 """An ``(x, y)`` cell at the engine boundary (``Point`` unpacks to one)."""
+
+
+def _heuristic_table(
+    width: int, height: int, xlo: int, xhi: int, ylo: int, yhi: int
+) -> "np.ndarray":
+    """Return the per-cell L1 distance to the target bounding box (int32)."""
+    xs = np.arange(width, dtype=np.int32)
+    hx = np.maximum(xlo - xs, 0) + np.maximum(xs - xhi, 0)
+    ys = np.arange(height, dtype=np.int32)
+    hy = np.maximum(ylo - ys, 0) + np.maximum(ys - yhi, 0)
+    return np.ascontiguousarray((hy[:, None] + hx[None, :]).reshape(-1))
 
 
 def astar_search(
@@ -91,18 +203,35 @@ def astar_search(
             used=budget.expansions_used,
             stage="astar",
         )
-    width = space.width
-    height = space.height
-    size = space.size
-    blocked = space.blocked
-
     target_xy = {(t[0], t[1]) for t in targets}
     source_list = [(s[0], s[1]) for s in sources]
     if not target_xy or not source_list:
         return None
-    # Membership is tested on settled (on-chip) cells only, so off-chip
-    # targets never match — but they do stretch the heuristic bounding
-    # box, exactly as they did pre-refactor.
+    if history is None:
+        # Unit step costs: the vectorised wave engine settles whole
+        # (f, g) buckets per step.  Budget limits keep scalar-exact
+        # exhaustion points via _charge_exact.
+        return _astar_wave(
+            space, source_list, target_xy, max_expansions, budget
+        )
+    # History surcharges make step costs per-cell floats; (f, g) buckets
+    # degenerate to singletons there, so the scalar loop is the engine.
+    return _astar_scalar(
+        space, source_list, target_xy, history, max_expansions, budget
+    )
+
+
+def _target_setup(
+    space: SearchSpace, target_xy: set
+) -> Tuple[set, int, int, int, int]:
+    """Return (on-chip target ids, heuristic bbox) for a target set.
+
+    Membership is tested on settled (on-chip) cells only, so off-chip
+    targets never match — but they do stretch the heuristic bounding
+    box, exactly as they did pre-refactor.
+    """
+    width = space.width
+    height = space.height
     target_ids = {
         y * width + x for x, y in target_xy if 0 <= x < width and 0 <= y < height
     }
@@ -110,27 +239,53 @@ def astar_search(
     xhi = max(t[0] for t in target_xy)
     ylo = min(t[1] for t in target_xy)
     yhi = max(t[1] for t in target_xy)
+    return target_ids, xlo, xhi, ylo, yhi
 
-    best_g: Dict[int, float] = {}
-    parent: Dict[int, int] = {}
+
+def _astar_scalar(
+    space: SearchSpace,
+    source_list: List[Cell],
+    target_xy: set,
+    history: Optional[Sequence[float]],
+    max_expansions: Optional[int],
+    budget: Optional[Budget],
+) -> Optional[List[int]]:
+    """The reference heap engine: per-cell loop, exact budget semantics."""
+    width = space.width
+    height = space.height
+    size = space.size
+
+    target_ids, xlo, xhi, ylo, yhi = _target_setup(space, target_xy)
+    # Heuristic lookups move out of the hot loop into one vectorised
+    # table build; the int32 memoryview makes the per-push read a plain
+    # C buffer index instead of an ndarray scalar access.
+    htab = _heuristic_table(width, height, xlo, xhi, ylo, yhi).data
+    nbr_mv = memoryview(_nbr_table(width, height).reshape(-1))
+
+    # Guard-zone best-g array (see _GUARD_NOTE): blocked and off-grid
+    # slots hold -inf, so one ``best_g[q]`` read folds the bounds test,
+    # the blocked test and the relaxation test into a float compare.
+    best_g = np.full(size + width, _INF, dtype=np.float64)
+    best_g[size:] = -_INF
+    best_g[:size][space.blocked.view(np.bool_)] = -_INF
+    bg_mv = best_g.data
+    parent = np.empty(size, dtype=np.int32)
+    parent_mv = parent.data
     heap: List[Tuple[float, float, int, int]] = []
-    tie = count()
+    tie = 0
 
     for x, y in source_list:
         if not (0 <= x < width and 0 <= y < height):
             continue
         s = y * width + x
-        if blocked[s]:
+        if bg_mv[s] == -_INF:
             continue
         if (x, y) in target_xy:
             return [s]
-        best_g[s] = 0.0
-        parent[s] = -1
-        h = (
-            (xlo - x if x < xlo else (x - xhi if x > xhi else 0))
-            + (ylo - y if y < ylo else (y - yhi if y > yhi else 0))
-        )
-        heapq.heappush(heap, (h, 0.0, next(tie), s))
+        bg_mv[s] = 0.0
+        parent_mv[s] = -1
+        heapq.heappush(heap, (htab[s], 0.0, tie, s))
+        tie += 1
 
     # Expansion accounting is unified: with a budget, the budget's shared
     # counter (registered as ``astar.expansions`` in the metrics registry
@@ -143,17 +298,18 @@ def astar_search(
     pushes = 0
     push = heapq.heappush
     pop = heapq.heappop
+    ninf = -_INF
     try:
         while heap:
             f, g, _, p = pop(heap)
-            if g > best_g.get(p, _INF):
+            if g > bg_mv[p]:
                 continue
             if p in target_ids:
                 ids = [p]
-                back = parent[p]
+                back = parent_mv[p]
                 while back >= 0:
                     ids.append(back)
-                    back = parent[back]
+                    back = parent_mv[back]
                 ids.reverse()
                 return ids
             if budget is not None:
@@ -167,27 +323,22 @@ def astar_search(
                 expansions += 1
                 if max_expansions is not None and expansions > max_expansions:
                     return None
-            xp = p % width
-            # Neighbour order East, West, South, North (-1 flags an
-            # off-chip East/West step; the bounds test below drops it).
-            for q in (
-                p + 1 if xp + 1 < width else -1,
-                p - 1 if xp else -1,
-                p + width,
-                p - width,
-            ):
-                if q < 0 or q >= size or blocked[q]:
+            base = 4 * p
+            g1 = g + 1.0
+            # Neighbour order East, West, South, North; every off-chip or
+            # blocked candidate lands on a -inf best-g slot and is
+            # dropped before its history cost is even read.
+            for k in range(4):
+                q = nbr_mv[base + k]
+                bq = bg_mv[q]
+                if bq == ninf:
                     continue
-                ng = g + (1.0 if history is None else 1.0 + history[q])
-                if ng < best_g.get(q, _INF):
-                    best_g[q] = ng
-                    parent[q] = p
-                    yq, xq = divmod(q, width)
-                    h = (
-                        (xlo - xq if xq < xlo else (xq - xhi if xq > xhi else 0))
-                        + (ylo - yq if yq < ylo else (yq - yhi if yq > yhi else 0))
-                    )
-                    push(heap, (ng + h, ng, next(tie), q))
+                ng = g1 if history is None else g + (1.0 + history[q])
+                if ng < bq:
+                    bg_mv[q] = ng
+                    parent_mv[q] = p
+                    push(heap, (ng + htab[q], ng, tie, q))
+                    tie += 1
                     pushes += 1
         return None
     finally:
@@ -195,6 +346,286 @@ def astar_search(
             obs.counter("astar.expansions").inc(expansions)
         if pushes:
             obs.counter("astar.heap_pushes").inc(pushes)
+
+
+def _astar_wave(
+    space: SearchSpace,
+    source_list: List[Cell],
+    target_xy: set,
+    max_expansions: Optional[int],
+    budget: Optional[Budget],
+) -> Optional[List[int]]:
+    """Vectorised unit-cost A*: settle whole (f, g) buckets per step.
+
+    Exactly equivalent to :func:`_astar_scalar` with ``history=None``:
+
+    * the scalar heap orders entries by ``(f, g, push-time)``; here the
+      key heap orders ``(f, g)`` buckets and each bucket keeps push
+      order, so the settle order is identical (all entries of a bucket
+      are pushed before the first is popped — predecessors have
+      strictly smaller ``(f, g)`` keys);
+    * within one batch, candidates are generated parent-major in
+      E/W/S/N order — the scalar push order — and the first-occurrence
+      scatter dedup reproduces scalar first-relax-wins;
+    * stale heap entries (cell relaxed to a smaller g after the push)
+      are dropped by the ``best_g[cells] == g`` liveness filter, which
+      is the scalar ``g > best_g`` skip;
+    * expansions are charged per settled non-target cell in settle
+      order, so budget exhaustion (see :func:`_charge_exact`) and the
+      ``max_expansions`` fail-soft point land on exactly the same cell
+      as the scalar loop.
+
+    State arrays carry a blocked-sentinel guard zone (``_GUARD_NOTE``),
+    which folds the bounds test, the blocked test and the relaxation
+    test into a single ``best_g[q] > g + 1`` comparison.  Buckets at or
+    below ``_SMALL_BUCKET`` cells run a per-cell Python sub-loop over
+    the same arrays instead of paying ~25 fixed numpy dispatches.
+    """
+    width = space.width
+    size = space.size
+    blocked = space.blocked
+
+    target_ids, xlo, xhi, ylo, yhi = _target_setup(space, target_xy)
+    htab = _htab_cached(width, space.height, xlo, xhi, ylo, yhi)
+    htab_mv = htab.data
+    nbr = _nbr_table(width, space.height)
+    nbr_flat_mv = nbr.reshape(-1).data
+
+    # Target detection: with a handful of targets, a per-bucket Python
+    # membership probe (is a target's best_g == g, and its f this f?)
+    # beats allocating and gathering a whole target mask.
+    target_tuple = tuple(sorted(target_ids))
+    tmask: Optional["np.ndarray"] = None
+    if len(target_tuple) > 8:
+        tmask = np.zeros(size, dtype=np.uint8)
+        tmask[_as_ids(target_ids)] = 1
+
+    # best_g with guard zone: UNSEEN on open cells, -1 on blocked cells
+    # and the guard, so ``best_g[q] > ng`` is the whole neighbour test.
+    best_g = np.empty(size + width, dtype=np.int32)
+    best_g[:size] = _UNSEEN32
+    best_g[size:] = -1
+    best_g[:size][blocked.view(np.bool_)] = -1
+    bg_mv = best_g.data
+    parent = np.empty(size, dtype=np.int32)
+    parent_mv = parent.data
+    stamp = np.empty(size, dtype=np.intp)
+
+    # Buckets keyed by (f, g): ndarray chunks plus a Python-list tail
+    # (the small-bucket sub-loop appends single ids), both in push
+    # order.  A key enters the heap exactly once, at bucket creation.
+    buckets: Dict[Tuple[int, int], List["np.ndarray"]] = {}
+    tails: Dict[Tuple[int, int], List[int]] = {}
+    key_heap: List[Tuple[int, int]] = []
+    pop = heapq.heappop
+    push = heapq.heappush
+
+    for x, y in source_list:
+        if not (0 <= x < width and 0 <= y < space.height):
+            continue
+        s = y * width + x
+        if bg_mv[s] == -1:
+            continue
+        if (x, y) in target_xy:
+            return [s]
+        best_g[s] = 0
+        parent[s] = -1
+        key = (htab_mv[s], 0)
+        tail = tails.get(key)
+        if tail is None:
+            buckets[key] = []
+            tails[key] = [s]
+            push(key_heap, key)
+        else:
+            tail.append(s)
+
+    expansions = 0
+    pushes = 0
+    try:
+        while key_heap:
+            key = pop(key_heap)
+            chunks = buckets.pop(key)
+            tail = tails.pop(key, None)
+            f, g = key
+            ng = g + 1
+            if chunks:
+                n_raw = int(chunks[0].size) if len(chunks) == 1 else sum(
+                    int(c.size) for c in chunks
+                )
+            else:
+                n_raw = 0
+            if tail:
+                n_raw += len(tail)
+
+            if n_raw <= _SMALL_BUCKET:
+                # Per-cell sub-loop: same arrays, same settle order.
+                cells_py: List[int] = []
+                for chunk in chunks:
+                    cells_py.extend(chunk.tolist())
+                if tail:
+                    cells_py.extend(tail)
+                for p in cells_py:
+                    if bg_mv[p] != g:
+                        continue
+                    if p in target_ids:
+                        ids = [p]
+                        back = parent_mv[p]
+                        while back >= 0:
+                            ids.append(back)
+                            back = parent_mv[back]
+                        ids.reverse()
+                        return ids
+                    expansions += 1
+                    if budget is not None:
+                        budget.charge_expansions(1)
+                    if (
+                        max_expansions is not None
+                        and expansions > max_expansions
+                    ):
+                        return None
+                    base = 4 * p
+                    for k in range(4):
+                        q = nbr_flat_mv[base + k]
+                        if bg_mv[q] <= ng:
+                            continue
+                        bg_mv[q] = ng
+                        parent_mv[q] = p
+                        pushes += 1
+                        nkey = (ng + htab_mv[q], ng)
+                        ntail = tails.get(nkey)
+                        if ntail is None:
+                            buckets[nkey] = []
+                            tails[nkey] = [q]
+                            push(key_heap, nkey)
+                        else:
+                            ntail.append(q)
+                continue
+
+            if tail:
+                chunks.append(np.asarray(tail, dtype=np.int32))
+            cells = (
+                chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+            )
+            lmask = best_g[cells] == g
+            live = cells if lmask.all() else cells[lmask]
+            n_live = int(live.size)
+            if not n_live:
+                continue
+            # First settled target, if any: probe the few targets
+            # directly (one is in this bucket iff it was relaxed to g
+            # and its f-key is this bucket's f), or gather the mask.
+            jt: Optional[int] = None
+            if tmask is None:
+                for t in target_tuple:
+                    if bg_mv[t] == g and f == g + htab_mv[t]:
+                        pos = int((live == t).argmax())
+                        if jt is None or pos < jt:
+                            jt = pos
+            else:
+                hits = tmask[live]
+                if hits.any():
+                    jt = int(np.argmax(hits))
+            # Charge exactly what the scalar loop would have: the cells
+            # settled before the first target hit (or before the cap
+            # tripped).  ``max_expansions`` fails soft on the same cell.
+            allowance = (
+                None if max_expansions is None else max_expansions - expansions
+            )
+            if jt is not None and (allowance is None or jt <= allowance):
+                if jt:
+                    expansions += jt
+                    if budget is not None:
+                        _charge_exact(budget, jt)
+                t = int(live[jt])
+                ids = [t]
+                back = parent_mv[t]
+                while back >= 0:
+                    ids.append(back)
+                    back = parent_mv[back]
+                ids.reverse()
+                return ids
+            settled = n_live if jt is None else jt
+            if allowance is not None and settled > allowance:
+                charge = allowance + 1
+                expansions += charge
+                if budget is not None:
+                    _charge_exact(budget, charge)
+                return None
+            expansions += settled
+            if budget is not None and settled:
+                _charge_exact(budget, settled)
+
+            # Expand the whole bucket: one 2D gather yields neighbours
+            # parent-major in E/W/S/N order; the guard zone absorbs
+            # off-chip candidates (see _GUARD_NOTE).
+            flat = nbr[live].reshape(-1)
+            keep = (best_g[flat] > ng).nonzero()[0]
+            if not keep.size:
+                continue
+            q = flat[keep]
+            # First-occurrence dedup without a sort: reversed scatter
+            # makes the earliest write win, then survivors are the
+            # positions that read their own index back.
+            stamp[q[::-1]] = keep[::-1]
+            sel = (stamp[q] == keep).nonzero()[0]
+            if sel.size != q.size:
+                q = q[sel]
+                keep = keep[sel]
+            best_g[q] = ng
+            parent[q] = live[keep >> 2]
+            pushes += int(q.size)
+            fq = htab[q] + ng
+            fmin = int(fq.min())
+            fmax = int(fq.max())
+            if fmin == fmax:
+                _wave_push(buckets, tails, key_heap, (fmin, ng), q)
+            else:
+                # The bbox-L1 heuristic moves at most 1 per step, so a
+                # bucket spreads over at most f, f+1, f+2.
+                for fv in range(fmin, fmax + 1):
+                    m2 = fq == fv
+                    if m2.any():
+                        _wave_push(
+                            buckets, tails, key_heap, (fv, ng), q[m2]
+                        )
+        return None
+    finally:
+        if budget is None and expansions:
+            obs.counter("astar.expansions").inc(expansions)
+        if pushes:
+            obs.counter("astar.heap_pushes").inc(pushes)
+
+
+def _wave_push(
+    buckets: Dict[Tuple[int, int], List["np.ndarray"]],
+    tails: Dict[Tuple[int, int], List[int]],
+    key_heap: List[Tuple[int, int]],
+    key: Tuple[int, int],
+    chunk: "np.ndarray",
+) -> None:
+    """Append a chunk to a bucket, preserving arrival order.
+
+    Single-id pushes from the small-bucket sub-loop accumulate in the
+    bucket's Python-list tail; an array chunk arriving later flushes
+    that tail first so the bucket's contents stay in push order.
+    """
+    tail = tails.get(key)
+    if tail is None:
+        buckets[key] = [chunk]
+        tails[key] = []
+        heapq.heappush(key_heap, key)
+        return
+    bucket = buckets[key]
+    if tail:
+        bucket.append(np.asarray(tail, dtype=np.int32))
+        tail.clear()
+    bucket.append(chunk)
+
+
+def _as_ids(ids: Iterable[int]) -> "np.ndarray":
+    """Return an int64 index array over a small id collection."""
+    seq = ids if isinstance(ids, (list, tuple, set, frozenset)) else list(ids)
+    return np.fromiter(seq, dtype=np.int64, count=len(seq))
 
 
 def bfs_search(
@@ -206,12 +637,98 @@ def bfs_search(
 
     Same blocking rules and multi-source/multi-target interface as
     :func:`astar_search` with no history costs; the returned path has
-    guaranteed-minimum length.
+    guaranteed-minimum length.  Propagation is whole-frontier: each BFS
+    level expands as one batch of ndarray gathers, with first-occurrence
+    dedup standing in for the scalar visited check (see
+    :func:`_bfs_scalar`, the reference implementation the property
+    tests compare against).
     """
     width = space.width
     height = space.height
     size = space.size
     blocked = space.blocked
+    blocked_mv = memoryview(blocked)
+
+    target_xy = {(t[0], t[1]) for t in targets}
+    source_list = [(s[0], s[1]) for s in sources]
+    if not target_xy or not source_list:
+        return None
+    target_ids = {
+        y * width + x for x, y in target_xy if 0 <= x < width and 0 <= y < height
+    }
+    tmask = np.zeros(size, dtype=np.uint8)
+    if target_ids:
+        tmask[_as_ids(target_ids)] = 1
+
+    # parent: -2 unvisited, -1 source root, else predecessor cell id.
+    parent = np.full(size, -2, dtype=np.int32)
+    seeds: List[int] = []
+    for x, y in source_list:
+        if not (0 <= x < width and 0 <= y < height):
+            continue
+        s = y * width + x
+        if blocked_mv[s] or parent[s] != -2:
+            continue
+        parent[s] = -1
+        if (x, y) in target_xy:
+            return [s]
+        seeds.append(s)
+    frontier = np.asarray(seeds, dtype=np.int32)
+
+    while frontier.size:
+        n = int(frontier.size)
+        xs = frontier % width
+        cand = np.empty((n, 4), dtype=np.int32)
+        cand[:, 0] = frontier + 1
+        cand[:, 1] = frontier - 1
+        cand[:, 2] = frontier + width
+        cand[:, 3] = frontier - width
+        cand[xs + 1 == width, 0] = -1
+        cand[xs == 0, 1] = -1
+        flat = cand.reshape(-1)
+        idx = np.flatnonzero((flat >= 0) & (flat < size))
+        q = flat[idx]
+        keep = np.flatnonzero((parent[q] == -2) & (blocked[q] == 0))
+        q = q[keep]
+        idx = idx[keep]
+        if not q.size:
+            return None
+        uq, first = np.unique(q, return_index=True)
+        if uq.size != q.size:
+            order = np.sort(first)
+            q = q[order]
+            idx = idx[order]
+        parent[q] = frontier[idx >> 2]
+        hits = tmask[q]
+        if hits.any():
+            t = int(q[int(np.argmax(hits))])
+            ids = [t]
+            back = int(parent[t])
+            while back >= 0:
+                ids.append(back)
+                back = int(parent[back])
+            ids.reverse()
+            return ids
+        frontier = q
+    return None
+
+
+def _bfs_scalar(
+    space: SearchSpace,
+    sources: Iterable[Cell],
+    targets: Iterable[Cell],
+) -> Optional[List[int]]:
+    """Reference scalar BFS (the pre-vectorisation implementation).
+
+    Kept for the property tests, which pin :func:`bfs_search` to it
+    path-for-path.
+    """
+    from collections import deque
+
+    width = space.width
+    height = space.height
+    size = space.size
+    blocked = memoryview(space.blocked)
 
     target_xy = {(t[0], t[1]) for t in targets}
     source_list = [(s[0], s[1]) for s in sources]
@@ -310,23 +827,70 @@ def bounded_search(
     larger G.  Callers pre-check source/target routability and parity
     feasibility; this engine only explores.
 
+    The ``(cell, g)`` keying collapses distinct simple prefixes that
+    reach the same cell at the same length — if the first-popped one's
+    own-set blocks the only continuation, a feasible path would be
+    missed.  When the first pass *drains* its state graph without an
+    answer (rather than giving up on the state budget), the search
+    therefore re-runs with states disambiguated by an order-insensitive
+    hash of each path's own cell set, which admits those alternate
+    prefixes.  Successful first passes are untouched, so found paths
+    are bit-identical to the historical engine's.
+
     Returns the found cell-id path, or None when the search gives up
     (state budget exhausted or no such simple path exists).
     """
+    ids, drained = _bounded_core(
+        space, source, target, min_length, max_length, max_states, False
+    )
+    if ids is not None or not drained:
+        return ids
+    obs.counter("bounded.reopened").inc()
+    ids, _ = _bounded_core(
+        space, source, target, min_length, max_length, max_states, True
+    )
+    return ids
+
+
+def _bounded_core(
+    space: SearchSpace,
+    source: Cell,
+    target: Cell,
+    min_length: int,
+    max_length: int,
+    max_states: int,
+    split_by_own: bool,
+) -> Tuple[Optional[List[int]], bool]:
+    """One bounded-search pass; returns ``(path, drained)``.
+
+    ``drained`` is True when the heap emptied (the state graph was fully
+    explored under the current keying) — as opposed to hitting the
+    ``max_states`` budget, where re-running with finer keys could only
+    burn another budget.  With ``split_by_own`` the state key gains an
+    XOR-fold of the path's own cell ids: order-insensitive, so permuted
+    prefixes over the same cells still dedup, but genuinely different
+    cell sets coexist.
+    """
     width = space.width
+    height = space.height
     size = space.size
-    blocked = space.blocked
+    blocked = memoryview(space.blocked)
     sx, sy = source[0], source[1]
     tx, ty = target[0], target[1]
     sid = sy * width + sx
     tid = ty * width + tx
 
-    # States are (cell id, g); parents reconstruct one simple path per
-    # state, ``own_of`` carries each state's cells-on-path set.
-    start = (sid, 0)
-    parent: Dict[Tuple[int, int], Optional[Tuple[int, int]]] = {start: None}
-    own_of: Dict[Tuple[int, int], _OwnCells] = {start: _OwnCells.single(sid)}
-    heap: List[Tuple[float, int, Tuple[int, int]]] = []
+    # Remaining-L1 lookups move out of the hot loop into one vectorised
+    # table (distance to the single target cell).
+    rem = _heuristic_table(width, height, tx, tx, ty, ty).data
+
+    # States are (cell id, g[, own-hash]); parents reconstruct one
+    # simple path per state, ``own_of`` carries each state's
+    # cells-on-path set.
+    start = (sid, 0, sid) if split_by_own else (sid, 0)
+    parent: Dict[Tuple[int, ...], Optional[Tuple[int, ...]]] = {start: None}
+    own_of: Dict[Tuple[int, ...], _OwnCells] = {start: _OwnCells.single(sid)}
+    heap: List[Tuple[float, int, Tuple[int, ...]]] = []
     tie = count()
 
     estimate = abs(sx - tx) + abs(sy - ty)
@@ -339,20 +903,21 @@ def bounded_search(
     try:
         while heap:
             _, _, state = heapq.heappop(heap)
-            p, g = state
+            p = state[0]
+            g = state[1]
             if p == tid and min_length <= g <= max_length:
                 ids: List[int] = []
-                node: Optional[Tuple[int, int]] = state
+                node: Optional[Tuple[int, ...]] = state
                 while node is not None:
                     ids.append(node[0])
                     node = parent[node]
                 ids.reverse()
                 if len(set(ids)) == len(ids):  # simple path only
-                    return ids
+                    return ids, False
                 continue
             states += 1
             if states > max_states:
-                return None
+                return None, False
             if g >= max_length:
                 continue
             # Cells already on this state's own path are forbidden so
@@ -368,21 +933,21 @@ def bounded_search(
             ):
                 if q < 0 or q >= size or blocked[q] or q in own:
                     continue
-                yq, xq = divmod(q, width)
-                remaining = abs(xq - tx) + abs(yq - ty)
-                if ng + remaining > max_length:
+                if ng + rem[q] > max_length:
                     continue
-                nstate = (q, ng)
+                nstate = (
+                    (q, ng, state[2] ^ q) if split_by_own else (q, ng)
+                )
                 if nstate in parent:
                     continue
                 parent[nstate] = state
                 own_of[nstate] = own.extended(q)
-                estimate = ng + remaining
+                estimate = ng + rem[q]
                 f = float(estimate)
                 if estimate < min_length:
                     f += _PENALTY_WEIGHT * (min_length - estimate)
                 heapq.heappush(heap, (f, next(tie), nstate))
-        return None
+        return None, True
     finally:
         if states:
             obs.counter("bounded.states").inc(states)

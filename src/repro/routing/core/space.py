@@ -9,28 +9,51 @@ per-net overlay (:class:`~repro.grid.occupancy.Occupancy`) and the
 query's extra obstacles — through a chain of `Point` allocations, dict
 lookups and method calls.
 
-:class:`SearchSpace` fuses the sources **once per query** into a flat
-``bytearray`` blocked-mask indexed by ``grid.index`` cell ids
-(``cid = y * width + x``).  The static obstacle mask is copied at C
-speed, the sparse occupancy buckets of *other* nets are overlaid on top
-(cells owned by the querying net stay routable — point-to-path queries
-rely on this), extra obstacles are marked next, and physically faulty
-cells (:mod:`repro.robustness.faultmap`) form the third and final
-blocked-mask layer, so fresh routes avoid declared faults by
-construction.  The kernels in
+:class:`SearchSpace` fuses the sources into a flat ``uint8`` ndarray
+blocked-mask indexed by ``grid.index`` cell ids (``cid = y * width +
+x``).  Fusion is vectorised end to end: one C-speed ``static | overlay``
+OR (the occupancy maintains a live bucket-membership mask), then
+fancy-indexed writes for the querying net's own cells (which stay
+routable — point-to-path queries rely on this), the query's extra
+obstacles, and physically faulty cells
+(:mod:`repro.robustness.faultmap`), so fresh routes avoid declared
+faults by construction.  The kernels in
 :mod:`repro.routing.core.engine` then test routability with a single
-``blocked[cid]`` byte read and never touch a ``Point`` until the found
-path is materialised.
+``blocked[cid]`` read — or whole-frontier ndarray gathers — and never
+touch a ``Point`` until the found path is materialised.
+
+:class:`SpaceCache` makes the fused mask *persistent*: one cached
+ndarray per ``(grid, occupancy)`` pair, kept correct between queries by
+the dirty cell-id sets every ``Occupancy`` mutator reports, so the
+hundreds of re-queries per negotiation round stop paying an O(grid)
+rebuild.  A checked-out view stays valid until the next checkout; call
+:meth:`SearchSpace.snapshot` where true isolation is needed.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Set
+
+import numpy as np
 
 from repro.geometry.point import Point
 from repro.grid.grid import RoutingGrid
 from repro.grid.occupancy import FREE, Occupancy
+from repro.observability import context as obs
 from repro.routing.path import Path
+
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
+
+
+def _id_array(ids: Iterable[int]) -> "np.ndarray":
+    """Return an int64 ndarray of the cell ids in ``ids``."""
+    if isinstance(ids, np.ndarray):
+        return ids.astype(np.int64, copy=False)
+    seq = ids if isinstance(ids, (list, tuple, set, frozenset)) else list(ids)
+    n = len(seq)
+    if not n:
+        return _EMPTY_IDS
+    return np.fromiter(seq, dtype=np.int64, count=n)
 
 
 class SearchSpace:
@@ -42,18 +65,19 @@ class SearchSpace:
     equivalence is pinned by the property tests in
     ``tests/routing/test_core.py``.
 
-    The mask is a snapshot: mutations of the grid or the occupancy
-    after construction are not reflected.  Build one ``SearchSpace``
-    per query (construction is a C-speed ``bytearray`` copy plus one
-    byte write per occupied/extra cell).
+    Constructed directly, the mask is a snapshot: mutations of the grid
+    or the occupancy after construction are not reflected.  Views handed
+    out by :class:`SpaceCache` *share* the cache's persistent buffer
+    instead and are only valid until the next checkout; use
+    :meth:`snapshot` to detach one.
 
     Attributes:
         grid: the underlying routing grid (for materialisation).
         width, height, size: grid dimensions and cell count.
         net: the querying net id (:data:`~repro.grid.occupancy.FREE`
             for net-less queries).
-        blocked: the fused mask; ``blocked[cid]`` is truthy when the
-            cell may not be entered.
+        blocked: the fused ``uint8`` ndarray mask; ``blocked[cid]`` is
+            truthy when the cell may not be entered.
     """
 
     __slots__ = ("grid", "width", "height", "size", "net", "blocked")
@@ -75,34 +99,66 @@ class SearchSpace:
         self.size = width * grid.height
         self.net = net
         # Static obstacles: one C-level copy of the grid's flat mask.
-        blocked = bytearray(grid.obstacle_mask())
         if occupancy is not None:
-            # Overlay the sparse per-net buckets of every *other* net;
-            # marking is idempotent, so bucket iteration order is
-            # irrelevant (DET003-whitelisted for exactly this reason).
-            for owner_net, bucket in occupancy.id_buckets():
-                if owner_net != net:
-                    for cid in bucket:
-                        blocked[cid] = 1
+            # Every occupied cell (the occupancy's live bucket-membership
+            # mask), then re-open the querying net's own cells — their
+            # routability is the static layer alone.
+            blocked = grid.obstacle_mask() | occupancy.overlay_mask()
+            own = occupancy.bucket_ids(net)
+            if own:
+                own_arr = _id_array(own)
+                blocked[own_arr] = grid.obstacle_mask()[own_arr]
+        else:
+            blocked = grid.obstacle_mask().copy()
         if extra_obstacles is not None:
             height = self.height
-            for p in extra_obstacles:
-                x, y = p[0], p[1]
-                # Off-chip extra obstacles were no-ops before the fused
-                # mask (no on-chip cell ever compared equal to them);
-                # skip them so negative coordinates cannot wrap.
-                if 0 <= x < width and 0 <= y < height:
-                    blocked[y * width + x] = 1
+            # Off-chip extra obstacles were no-ops before the fused
+            # mask (no on-chip cell ever compared equal to them);
+            # skip them so negative coordinates cannot wrap.
+            on_chip = [
+                p[1] * width + p[0]
+                for p in extra_obstacles
+                if 0 <= p[0] < width and 0 <= p[1] < height
+            ]
+            if on_chip:
+                blocked[_id_array(on_chip)] = 1
         if extra_obstacle_ids is not None:
-            for cid in extra_obstacle_ids:
-                blocked[cid] = 1
+            arr = _id_array(extra_obstacle_ids)
+            if arr.size:
+                blocked[arr] = 1
         if fault_ids is not None:
             # Physical faults block every net unconditionally — even the
             # querying net's own cells; a stale route through a fault is
             # exactly what the repair engine exists to rip.
-            for cid in fault_ids:
-                blocked[cid] = 1
+            arr = _id_array(fault_ids)
+            if arr.size:
+                blocked[arr] = 1
         self.blocked = blocked
+
+    @classmethod
+    def _adopt(
+        cls, grid: RoutingGrid, net: int, blocked: "np.ndarray"
+    ) -> "SearchSpace":
+        """Wrap an existing fused mask without copying (cache checkout)."""
+        space = cls.__new__(cls)
+        space.grid = grid
+        space.width = grid.width
+        space.height = grid.height
+        space.size = grid.width * grid.height
+        space.net = net
+        space.blocked = blocked
+        return space
+
+    def snapshot(self) -> "SearchSpace":
+        """Return an isolated copy of this view.
+
+        Cache-issued views share the :class:`SpaceCache` buffer and are
+        invalidated by the next checkout; a snapshot owns its mask and
+        stays valid forever (the escape hatch for anything that must
+        hold a routability view across queries — or across threads,
+        once negotiation shards).
+        """
+        return SearchSpace._adopt(self.grid, self.net, self.blocked.copy())
 
     # -- routability -------------------------------------------------------
 
@@ -143,5 +199,189 @@ class SearchSpace:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"SearchSpace({self.width}x{self.height}, net={self.net}, "
-            f"{sum(self.blocked)} blocked)"
+            f"{int(np.sum(self.blocked != 0))} blocked)"
         )
+
+
+class SpaceCache:
+    """Persistent, incrementally invalidated fused mask for one occupancy.
+
+    The cache keeps one ``static | occupancy`` ndarray alive across
+    queries.  Every :class:`~repro.grid.occupancy.Occupancy` mutator
+    reports the cell ids it touched through :meth:`mark_dirty`; checkout
+    (:meth:`space`) then refreshes exactly those cells — plus whatever
+    the *previous* checkout patched in for its own query (own-net cells
+    re-opened, extra obstacles, faults) — with one fancy-indexed
+    recompute, instead of re-fusing the whole grid.
+
+    Invariants:
+
+    * a checked-out :class:`SearchSpace` is bit-identical to a freshly
+      constructed one with the same arguments (pinned by the property
+      tests in ``tests/routing/test_core.py``);
+    * a view is valid until the next :meth:`space` call on the same
+      cache — callers that need longer-lived isolation take a
+      :meth:`SearchSpace.snapshot`;
+    * a grid obstacle mutation (tracked via
+      :meth:`~repro.grid.grid.RoutingGrid.obstacle_version`) or a bulk
+      occupancy swap (:meth:`mark_all_dirty`) triggers one full rebuild
+      at the next checkout.
+
+    Observability: ``space.rebuilds`` counts full O(grid) re-fusions,
+    ``space.reuses`` counts incremental checkouts, and
+    ``space.patched_cells`` totals the cells refreshed incrementally —
+    together they expose how much work the dirty-set protocol saves.
+    """
+
+    __slots__ = (
+        "grid",
+        "occupancy",
+        "_fused",
+        "_dirty",
+        "_all_dirty",
+        "_patched",
+        "_grid_version",
+    )
+
+    def __init__(self, grid: RoutingGrid, occupancy: Occupancy) -> None:
+        self.grid = grid
+        self.occupancy = occupancy
+        self._fused: Optional[np.ndarray] = None
+        self._dirty: Set[int] = set()
+        self._all_dirty = True
+        self._patched: Optional[np.ndarray] = None
+        self._grid_version = -1
+
+    # -- invalidation ------------------------------------------------------
+
+    def mark_dirty(self, cids: Iterable[int]) -> None:
+        """Record that the occupancy changed at ``cids``."""
+        if not self._all_dirty:
+            self._dirty.update(cids)
+
+    def mark_all_dirty(self) -> None:
+        """Invalidate the whole fused mask (bulk occupancy swap)."""
+        self._all_dirty = True
+        self._dirty.clear()
+        self._patched = None
+
+    # -- checkout ----------------------------------------------------------
+
+    def space(
+        self,
+        *,
+        net: int = FREE,
+        extra_obstacles: Optional[Iterable[Point]] = None,
+        extra_obstacle_ids: Optional[Iterable[int]] = None,
+        fault_ids: Optional[Iterable[int]] = None,
+    ) -> SearchSpace:
+        """Return the fused view for one query, refreshed incrementally.
+
+        Semantically identical to constructing ``SearchSpace(grid,
+        net=net, occupancy=occupancy, ...)``; the returned view shares
+        the cache buffer and is valid until the next checkout.
+        """
+        grid = self.grid
+        static = grid.obstacle_mask()
+        fused = self._fused
+        if (
+            fused is None
+            or self._all_dirty
+            or grid.obstacle_version() != self._grid_version
+        ):
+            fused = static | self.occupancy.overlay_mask()
+            self._fused = fused
+            self._all_dirty = False
+            self._dirty.clear()
+            self._patched = None
+            self._grid_version = grid.obstacle_version()
+            obs.counter("space.rebuilds").inc()
+        else:
+            # Undo the previous checkout's query-local patches and apply
+            # the occupancy deltas since, in one recompute: for every such
+            # cell the correct base value is ``static | overlay``.
+            stale = self._patched
+            if self._dirty:
+                dirty_arr = _id_array(self._dirty)
+                stale = (
+                    dirty_arr
+                    if stale is None
+                    else np.concatenate((stale, dirty_arr))
+                )
+                self._dirty.clear()
+            if stale is not None and stale.size:
+                fused[stale] = (
+                    static[stale] | self.occupancy.overlay_mask()[stale]
+                )
+                obs.counter("space.patched_cells").inc(int(stale.size))
+            self._patched = None
+            obs.counter("space.reuses").inc()
+
+        # Query-local patches, recorded for undo at the next checkout.
+        patches: List[np.ndarray] = []
+        own = self.occupancy.bucket_ids(net)
+        if own:
+            own_arr = _id_array(own)
+            fused[own_arr] = static[own_arr]
+            patches.append(own_arr)
+        if extra_obstacles is not None:
+            width = grid.width
+            height = grid.height
+            on_chip = [
+                p[1] * width + p[0]
+                for p in extra_obstacles
+                if 0 <= p[0] < width and 0 <= p[1] < height
+            ]
+            if on_chip:
+                arr = _id_array(on_chip)
+                fused[arr] = 1
+                patches.append(arr)
+        if extra_obstacle_ids is not None:
+            arr = _id_array(extra_obstacle_ids)
+            if arr.size:
+                fused[arr] = 1
+                patches.append(arr)
+        if fault_ids is not None:
+            arr = _id_array(fault_ids)
+            if arr.size:
+                fused[arr] = 1
+                patches.append(arr)
+        if patches:
+            self._patched = (
+                patches[0] if len(patches) == 1 else np.concatenate(patches)
+            )
+        return SearchSpace._adopt(grid, net, fused)
+
+
+def query_space(
+    grid: RoutingGrid,
+    *,
+    net: int = FREE,
+    occupancy: Optional[Occupancy] = None,
+    extra_obstacles: Optional[Iterable[Point]] = None,
+    extra_obstacle_ids: Optional[Iterable[int]] = None,
+    fault_ids: Optional[Iterable[int]] = None,
+) -> SearchSpace:
+    """Return the fused view for one query, cached when possible.
+
+    The single entry point the kernel wrappers use: occupancy-backed
+    queries check out of the occupancy's persistent :class:`SpaceCache`
+    (O(dirty cells), not O(grid)); everything else builds a standalone
+    snapshot :class:`SearchSpace`.  The returned view follows the cache
+    lifetime rules — valid until the same occupancy's next query.
+    """
+    if occupancy is not None and occupancy.grid is grid:
+        return occupancy.space_cache().space(
+            net=net,
+            extra_obstacles=extra_obstacles,
+            extra_obstacle_ids=extra_obstacle_ids,
+            fault_ids=fault_ids,
+        )
+    return SearchSpace(
+        grid,
+        net=net,
+        occupancy=occupancy,
+        extra_obstacles=extra_obstacles,
+        extra_obstacle_ids=extra_obstacle_ids,
+        fault_ids=fault_ids,
+    )

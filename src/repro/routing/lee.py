@@ -20,7 +20,7 @@ from typing import Iterable, Optional, Set
 from repro.geometry.point import Point
 from repro.grid.grid import RoutingGrid
 from repro.grid.occupancy import FREE, Occupancy
-from repro.routing.core import SearchSpace, bfs_search
+from repro.routing.core import bfs_search, query_space
 from repro.routing.path import Path
 
 
@@ -39,7 +39,7 @@ def lee_route(
     history costs: same blocking rules, same multi-source/multi-target
     interface, guaranteed-minimum path length.
     """
-    space = SearchSpace(
+    space = query_space(
         grid, net=net, occupancy=occupancy, extra_obstacles=extra_obstacles
     )
     ids = bfs_search(space, sources, targets)

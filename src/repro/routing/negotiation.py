@@ -27,7 +27,7 @@ from repro.observability import context as obs
 from repro.robustness import faults
 from repro.robustness.budget import Budget
 from repro.robustness.errors import BudgetExceeded
-from repro.routing.core import SearchSpace, astar_search
+from repro.routing.core import astar_search, query_space
 from repro.routing.path import Path
 
 
@@ -135,6 +135,10 @@ class NegotiationRouter:
         )
         for iteration in range(1, self.gamma + 1):
             result.iterations = iteration
+            # While every history entry is still zero the surcharge is a
+            # no-op, so the engine is told there is none at all — which
+            # lets unit-cost rounds run on the vectorised wave engine.
+            history = self.history if any(self.history) else None
             obs.counter("negotiation.rounds").inc()
             round_span = obs.span(
                 "negotiation-round", category="round", iteration=iteration
@@ -158,7 +162,7 @@ class NegotiationRouter:
                             for p in request.sources + request.targets
                             if grid.in_bounds(p)
                         }
-                    space = SearchSpace(
+                    space = query_space(
                         grid,
                         net=request.net,
                         occupancy=occupancy,
@@ -178,7 +182,7 @@ class NegotiationRouter:
                                 space,
                                 request.sources,
                                 request.targets,
-                                history=self.history,
+                                history=history,
                                 max_expansions=self.max_expansions,
                                 budget=budget,
                             )

@@ -117,3 +117,33 @@ def test_snapshot_walks_never_round_trip_through_grid_index(monkeypatch):
     assert occupancy.owner_id(250_000) == 3
 
     assert calls["n"] == 0, "snapshot walks must stay on flat cell ids"
+
+
+def test_release_cell_ids_drops_emptied_buckets(occupancy10):
+    """Regression: a fully released net must not leak an empty bucket.
+
+    Pre-fix, ``release_cell_ids`` discarded the ids but kept the net's
+    empty set in the inverted index, so every bucket iteration
+    (``export_state``, ``find_inconsistencies``, blocked-mask fusion)
+    kept paying for nets long gone — negotiation runs thousands of
+    release rounds through here.
+    """
+    occupancy10.occupy([Point(1, 1), Point(2, 1)], net=7)
+    occupancy10.occupy([Point(5, 5)], net=8)
+    occupancy10.release_cells([Point(1, 1), Point(2, 1)])
+    assert 7 not in occupancy10._cells
+    assert occupancy10.cells_of(7) == set()
+    # The partially released net keeps its (non-empty) bucket.
+    occupancy10.release_cell_ids([occupancy10.grid.index(Point(9, 9))])
+    assert set(occupancy10._cells) == {8}
+
+
+def test_release_cell_ids_mixed_owners_drops_only_emptied(occupancy10):
+    occupancy10.occupy([Point(0, 0)], net=1)
+    occupancy10.occupy([Point(1, 0), Point(2, 0)], net=2)
+    index = occupancy10.grid.index
+    occupancy10.release_cell_ids(
+        [index(Point(0, 0)), index(Point(1, 0)), index(Point(3, 3))]
+    )
+    assert set(occupancy10._cells) == {2}
+    assert occupancy10.cells_of_ids(2) == {index(Point(2, 0))}

@@ -5,6 +5,7 @@ import pytest
 from repro.geometry import Point
 from repro.grid import Occupancy, RoutingGrid
 from repro.routing import Path, astar_route
+from repro.routing.astar import ALL_SOURCES_BLOCKED, astar_route_detailed
 
 
 def test_point_to_point_shortest(grid10):
@@ -110,3 +111,51 @@ def test_path_cells_are_free_and_adjacent(grid10):
     assert path is not None
     for cell in path:
         assert grid10.is_free(cell)
+
+
+# --------------------------------------------------------------------------
+# Detailed failure reasons (astar_route_detailed)
+
+
+def test_blocked_shared_source_target_cell_reports_all_sources_blocked(
+    grid10,
+):
+    """Semantics pin: a blocked cell that is both source and target fails.
+
+    The trivial zero-length path only exists when the shared cell is
+    routable — a cell occupied by another net cannot seed the search,
+    and the failure is classified as ALL_SOURCES_BLOCKED rather than
+    search exhaustion (matching the pre-kernel-core composition).
+    """
+    occupancy = Occupancy(grid10)
+    occupancy.occupy([Point(3, 3)], net=9)
+    path, reason = astar_route_detailed(
+        grid10, [Point(3, 3)], [Point(3, 3)], net=1, occupancy=occupancy
+    )
+    assert path is None
+    assert reason == ALL_SOURCES_BLOCKED
+
+
+def test_routable_shared_source_target_cell_is_a_trivial_path(grid10):
+    path, reason = astar_route_detailed(grid10, [Point(4, 4)], [Point(4, 4)])
+    assert reason is None
+    assert path is not None and list(path) == [Point(4, 4)]
+
+
+def test_all_sources_blocked_distinguished_from_exhaustion(grid10):
+    # Every source blocked -> ALL_SOURCES_BLOCKED.
+    occupancy = Occupancy(grid10)
+    occupancy.occupy([Point(0, 0), Point(5, 5)], net=9)
+    path, reason = astar_route_detailed(
+        grid10,
+        [Point(0, 0), Point(5, 5)],
+        [Point(9, 9)],
+        net=1,
+        occupancy=occupancy,
+    )
+    assert path is None and reason == ALL_SOURCES_BLOCKED
+    # Routable source walled in -> plain exhaustion, no reason.
+    for p in (Point(1, 0), Point(0, 1), Point(1, 1)):
+        grid10.set_obstacle(p)
+    path, reason = astar_route_detailed(grid10, [Point(0, 0)], [Point(9, 9)])
+    assert path is None and reason is None

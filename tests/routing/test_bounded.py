@@ -8,6 +8,7 @@ import pytest
 from repro.geometry import Point
 from repro.geometry.point import manhattan
 from repro.grid import Occupancy, RoutingGrid
+from repro.observability import Metrics, use
 from repro.routing import Path, bounded_length_route, extend_path_with_bumps
 
 
@@ -61,6 +62,33 @@ class TestBoundedLengthRoute:
         assert path is not None
         assert 20 <= path.length <= 22
         assert path.is_simple()
+
+    def test_state_collapse_reopen_finds_hamiltonian_path(self):
+        """Regression: (cell, g)-keyed states miss feasible paths.
+
+        On an open 3x3 grid the only length-8 simple paths from (0,0)
+        to (0,2) are Hamiltonian.  Two distinct prefixes can reach the
+        same cell at the same g; keying states by ``(cell, g)`` keeps
+        only the first-popped one, whose own-cells set walls off every
+        continuation — the pre-fix search drained its state graph and
+        returned None.  The completeness fallback re-runs with own-set
+        disambiguated states and must find the path.
+        """
+        grid = RoutingGrid(3, 3)
+        registry = Metrics()
+        with use(metrics=registry):
+            path = bounded_length_route(grid, Point(0, 0), Point(0, 2), 8, 8)
+        assert path is not None
+        assert path.length == 8
+        assert path.is_simple()
+        assert registry.counter("bounded.reopened").value == 1
+
+    def test_reopen_not_triggered_when_first_pass_succeeds(self, grid20):
+        registry = Metrics()
+        with use(metrics=registry):
+            path = bounded_length_route(grid20, Point(0, 0), Point(5, 0), 9, 11)
+        assert path is not None
+        assert registry.counter("bounded.reopened").value == 0
 
 
 def _reference_bounded_route(

@@ -9,15 +9,23 @@ own-net-routable case.
 
 import random
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.designs import design_by_name
 from repro.geometry.point import Point
 from repro.grid.grid import RoutingGrid
 from repro.grid.occupancy import FREE, Occupancy
 from repro.observability import Metrics, use
 from repro.routing.astar import astar_route
-from repro.routing.core import SearchSpace, astar_search, bfs_search
+from repro.routing.core import (
+    SearchSpace,
+    astar_search,
+    bfs_search,
+    query_space,
+)
+from repro.routing.core.engine import _astar_scalar, _bfs_scalar
 
 
 def _random_scene(seed):
@@ -134,3 +142,111 @@ def test_heap_pushes_exclude_every_source_of_a_multi_source_query():
     # Three seeds enter the heap unbilled; the one expansion ((0,0), the
     # nearest seed) pushes its two in-bounds free neighbours.
     assert registry.counter("astar.heap_pushes").value == 2
+
+
+# --------------------------------------------------------------------------
+# SpaceCache: incrementally patched checkouts == freshly fused snapshots
+
+
+@given(st.integers(0, 2**32 - 1))
+@settings(max_examples=30, deadline=None)
+def test_spacecache_incremental_matches_rebuilt(seed):
+    """An incrementally invalidated checkout is bit-identical to a rebuild.
+
+    Randomized interleavings of every Occupancy mutator with cache
+    checkouts (varying net and query-local extras, so each checkout must
+    also undo the previous one's patches).
+    """
+    rng = random.Random(seed)
+    w, h = rng.randrange(4, 12), rng.randrange(4, 12)
+    grid = RoutingGrid(w, h)
+    for _ in range(rng.randrange(0, (w * h) // 4)):
+        grid.set_obstacle(Point(rng.randrange(w), rng.randrange(h)))
+    occupancy = Occupancy(grid)
+    size = w * h
+
+    def random_ids(n):
+        return [rng.randrange(size) for _ in range(rng.randrange(0, n))]
+
+    for _ in range(rng.randrange(2, 12)):
+        op = rng.randrange(5)
+        if op == 0:
+            net = rng.randrange(1, 4)
+            free = [
+                cid
+                for cid in random_ids(8)
+                if occupancy.owner_id(cid) in (FREE, net)
+            ]
+            occupancy.occupy_ids(free, net)
+        elif op == 1:
+            occupancy.release_ids(rng.randrange(1, 4))
+        elif op == 2:
+            occupancy.release_cell_ids(random_ids(6))
+        elif op == 3:
+            cells = [
+                Point(cid % w, cid // w)
+                for cid in random_ids(6)
+                if occupancy.owner_id(cid) == FREE
+            ]
+            occupancy.occupy(cells, rng.randrange(1, 4))
+        # op == 4: no mutation — consecutive checkouts must also agree.
+
+        net = rng.choice([FREE, 1, 2, 3])
+        extra = set(random_ids(4)) or None
+        cached = query_space(
+            grid, net=net, occupancy=occupancy, extra_obstacle_ids=extra
+        )
+        fresh = SearchSpace(
+            grid, net=net, occupancy=occupancy, extra_obstacle_ids=extra
+        )
+        assert bytes(cached.blocked) == bytes(fresh.blocked), (net, extra)
+
+
+# --------------------------------------------------------------------------
+# Vectorised engines == scalar reference engines, over the S1-S5 designs
+
+
+def _design_scene(name, seed):
+    """The design's grid plus a seeded occupancy over its valve cells."""
+    design = design_by_name(name)
+    grid = design.grid
+    rng = random.Random(seed)
+    occupancy = Occupancy(grid)
+    for valve in design.valves:
+        occupancy.occupy([valve.position], 1 + (valve.id % 3))
+    cells = [
+        Point(x, y) for y in range(grid.height) for x in range(grid.width)
+    ]
+    queries = []
+    for _ in range(6):
+        srcs = [rng.choice(cells) for _ in range(rng.randrange(1, 3))]
+        tgts = [rng.choice(cells) for _ in range(rng.randrange(1, 3))]
+        queries.append((rng.choice([FREE, 1, 2, 3]), srcs, tgts))
+    return grid, occupancy, queries
+
+
+@pytest.mark.parametrize("name", ["S1", "S2", "S3", "S4", "S5"])
+def test_wave_astar_paths_identical_to_scalar(name):
+    """The whole-frontier wave A* returns the scalar engine's exact path."""
+    grid, occupancy, queries = _design_scene(name, seed=sum(name.encode()))
+    for net, srcs, tgts in queries:
+        space = SearchSpace(grid, net=net, occupancy=occupancy)
+        wave = astar_search(space, srcs, tgts)  # history=None -> wave
+        scalar = _astar_scalar(
+            space, [(s[0], s[1]) for s in srcs],
+            {(t[0], t[1]) for t in tgts}, None, None, None,
+        )
+        assert wave == scalar, (net, srcs, tgts)
+
+
+@pytest.mark.parametrize("name", ["S1", "S2", "S3", "S4", "S5"])
+def test_wave_bfs_paths_identical_to_scalar(name):
+    """The whole-frontier Lee wave returns the scalar engine's exact path."""
+    grid, occupancy, queries = _design_scene(
+        name, seed=1 + sum(name.encode())
+    )
+    for net, srcs, tgts in queries:
+        space = SearchSpace(grid, net=net, occupancy=occupancy)
+        assert bfs_search(space, srcs, tgts) == _bfs_scalar(
+            space, srcs, tgts
+        ), (net, srcs, tgts)

@@ -132,3 +132,38 @@ def test_history_cost_grows_on_contention():
     assert result.success
     # No crossing in the final solution.
     assert not set(result.paths[0].cells) & set(result.paths[1].cells)
+
+
+def test_negotiation_leaves_no_empty_buckets():
+    """Regression: rip-up rounds must not leak empty occupancy buckets.
+
+    Net 1's direct row-2 corridor walls net 2 into its dead-end column,
+    so iteration 1 fails and the rip-up releases every claimed cell via
+    ``release_cell_ids``; once history prices the corridor above the
+    row-0 detour, both nets route.  Pre-fix each rip-up round left the
+    ripped nets' empty sets behind in the inverted index.
+    """
+    grid = RoutingGrid(7, 5)
+    open_cells = set()
+    open_cells |= {(x, 2) for x in range(7)}  # row-2 corridor
+    open_cells |= {(2, y) for y in (1, 2, 3)}  # column-2 corridor
+    open_cells |= {(x, 0) for x in range(7)}  # row-0 detour
+    open_cells |= {(0, y) for y in (0, 1, 2)}  # west link
+    open_cells |= {(6, y) for y in (0, 1, 2)}  # east link
+    for y in range(5):
+        for x in range(7):
+            if (x, y) not in open_cells:
+                grid.set_obstacle(Point(x, y))
+    router = NegotiationRouter(grid)
+    occupancy = Occupancy(grid)
+    reqs = [
+        request(0, 1, (0, 2), (6, 2)),
+        request(1, 2, (2, 1), (2, 3)),
+    ]
+    result = router.route(reqs, occupancy)
+    assert result.success
+    assert result.iterations > 1  # at least one rip-up happened
+    assert all(bucket for bucket in occupancy._cells.values()), (
+        "empty bucket leaked through negotiation rip-up"
+    )
+    assert set(occupancy._cells) == {1, 2}
