@@ -1,0 +1,88 @@
+"""Service benchmarks — daemon throughput and cache-hit latency.
+
+Two numbers the service PR promises (see docs/service.md):
+
+* ``jobs_per_sec`` — end-to-end daemon throughput on small designs:
+  submit a batch over the HTTP API, drain the worker pool, divide.
+* ``cache_hit_latency_s`` — an identical re-submission is answered from
+  the result cache without re-routing; the acceptance bar is a mean
+  well under 100 ms, HTTP round-trip included.
+
+Every submission in the throughput batch routes a *renamed* copy of the
+design: the canonical hash covers the name, so renaming defeats the
+result cache and each job pays full routing cost.
+"""
+
+import json
+
+import pytest
+
+from repro.designs import design_by_name, design_to_json
+from repro.service import PacorService, ServiceAPIServer, ServiceClient
+
+BATCH = 6
+WORKERS = 3
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    root = tmp_path_factory.mktemp("serve-bench")
+    service = PacorService(root, workers=WORKERS)
+    server = ServiceAPIServer(service)
+    service.start()
+    server.start()
+    yield service, ServiceClient(server.url, timeout=60.0)
+    server.stop()
+    service.stop(graceful=False, timeout=10.0)
+
+
+def _renamed(doc, tag):
+    clone = json.loads(json.dumps(doc))
+    clone["name"] = f"{clone['name']}-{tag}"
+    return clone
+
+
+def test_daemon_throughput_jobs_per_sec(benchmark, served):
+    service, client = served
+    base = design_to_json(design_by_name("S1"))
+    batches = iter(range(10_000))
+
+    def run_batch():
+        tag = next(batches)
+        ids = [
+            client.submit(_renamed(base, f"b{tag}n{i}"))["job_id"]
+            for i in range(BATCH)
+        ]
+        assert service.drain(timeout=120.0)
+        for job_id in ids:
+            assert client.job(job_id)["state"] == "succeeded"
+
+    benchmark.pedantic(run_batch, rounds=3, iterations=1, warmup_rounds=1)
+    mean = benchmark.stats.stats.mean
+    benchmark.extra_info["batch_size"] = BATCH
+    benchmark.extra_info["workers"] = WORKERS
+    benchmark.extra_info["jobs_per_sec"] = BATCH / mean
+
+
+def test_cache_hit_latency(benchmark, served):
+    service, client = served
+    doc = design_to_json(design_by_name("S2"))
+    # Warm the cache with one real routing run.
+    first = client.submit(doc)
+    client.wait(first["job_id"], timeout=120.0)
+
+    def resubmit():
+        record = client.submit(doc)
+        assert record["state"] == "succeeded"
+        assert record["cached"] is True
+        return record
+
+    benchmark(resubmit)
+    mean = benchmark.stats.stats.mean
+    benchmark.extra_info["cache_hit_latency_s"] = mean
+    benchmark.extra_info["cache_hits"] = service.metrics.counter_values()[
+        "service.cache_hits"
+    ]
+    # The acceptance bar: answered from cache, not re-routed — orders of
+    # magnitude under routing time, and absolutely under 100 ms.
+    assert mean < 0.1

@@ -166,12 +166,16 @@ class WallClockRule(FileRule):
     )
 
     # Modules allowed to read clocks: the budget (decision clock, threaded
-    # explicitly) and the tracer (measurement epoch).  time.perf_counter is
-    # deliberately NOT forbidden: pure duration measurement never feeds
-    # routing decisions, while time/monotonic/now-style absolute clocks can.
+    # explicitly), the tracer (measurement epoch) and the service daemon
+    # (job timestamps, dispatch polling, HTTP timeouts — operational state
+    # that never feeds a routing decision; the workers' routing runs stay
+    # on Budget clocks).  time.perf_counter is deliberately NOT forbidden:
+    # pure duration measurement never feeds routing decisions, while
+    # time/monotonic/now-style absolute clocks can.
     _WHITELIST = {
         "repro.robustness.budget",
         "repro.observability.tracing",
+        "repro.service",
     }
     _FORBIDDEN = {
         "time.time",
@@ -194,7 +198,12 @@ class WallClockRule(FileRule):
     def check(self, parsed: ParsedFile) -> Iterator[Violation]:
         """Yield one violation per forbidden clock reference."""
         module = parsed.module
-        if any(module.endswith(allowed) for allowed in self._WHITELIST):
+        # An entry whitelists the module itself and (for packages like
+        # repro.service) every submodule under it.
+        if any(
+            module.endswith(allowed) or f"{allowed}." in module
+            for allowed in self._WHITELIST
+        ):
             return
         direct: Set[str] = set()
         for node in ast.walk(parsed.tree):
@@ -527,6 +536,8 @@ _TAXONOMY_NAMES = {
     "FlowDecompositionError",
     "GenerationError",
     "TraceFormatError",
+    "ServiceError",
+    "JobFormatError",
     "StageFailure",
     "BudgetExceeded",
     "RouterStuck",

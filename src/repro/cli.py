@@ -19,6 +19,12 @@ Commands:
   record a nested span trace and the kernel effort counters; ``pacor
   profile t.jsonl`` then prints the per-stage time table and the top
   nets by A* expansions.
+* ``pacor serve --root DIR`` — run the routing service daemon: a
+  persistent job queue + worker pool + HTTP/JSON API (see
+  ``docs/service.md``).  ``pacor submit S3 --url URL --wait`` submits a
+  design and polls it to completion; ``pacor jobs --url URL`` lists the
+  queue; ``pacor hash S3`` prints the canonical design hash the service
+  result cache is keyed on.
 * ``pacor table1`` — print the benchmark-parameter table.
 * ``pacor table2 --designs S1 S2`` — run the three-method comparison.
 * ``pacor generate out.json --width 40 ...`` — synthesize a new design.
@@ -57,6 +63,8 @@ from repro.robustness.errors import (
     CheckpointFormatError,
     DesignFormatError,
     FaultFormatError,
+    JobFormatError,
+    ServiceError,
 )
 from repro.viz import render_ascii, render_svg
 
@@ -449,6 +457,212 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _service_url(args: argparse.Namespace) -> str:
+    """Locate a running service: explicit --url, or --root/service.json."""
+    if getattr(args, "url", None):
+        return str(args.url)
+    root = getattr(args, "root", None)
+    if root:
+        import json
+        import os
+
+        path = os.path.join(root, "service.json")
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                info = json.load(handle)
+        except FileNotFoundError:
+            raise ServiceError(
+                f"{path}: not found — is `pacor serve --root {root}` running?"
+            ) from None
+        except json.JSONDecodeError as exc:
+            raise ServiceError(f"{path}: not valid JSON ({exc})") from None
+        url = info.get("url") if isinstance(info, dict) else None
+        if not isinstance(url, str) or not url:
+            raise ServiceError(f"{path}: no 'url' field")
+        return url
+    raise ServiceError("pass --url URL or --root DIR to locate the service")
+
+
+def _print_job_record(record: dict) -> None:
+    """One-line outcome summary for a settled (or still-running) job."""
+    line = f"{record['job_id']}: {record['state']}"
+    if record.get("cached"):
+        line += " (cache hit)"
+    if record.get("preempt_kind"):
+        line += (
+            f" ({record['preempt_kind']}; resume with: "
+            f"pacor jobs --resume {record['job_id']})"
+        )
+    if record.get("error"):
+        line += f" — {record['error']}"
+    print(line)
+    summary = record.get("summary")
+    if summary:
+        print(
+            f"  matched={summary['matched_clusters']}/{summary['n_clusters']} "
+            f"matched_len={summary['total_matched_length']} "
+            f"total_len={summary['total_length']} "
+            f"completion={summary['completion']:.1%}"
+        )
+
+
+def _cmd_hash(args: argparse.Namespace) -> int:
+    """Print the canonical design hash the service result cache keys on."""
+    design = _resolve_design(args.design)
+    digest = design.canonical_hash()
+    if args.with_name:
+        print(f"{digest}  {design.name}")
+    else:
+        print(digest)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the routing service daemon until SIGINT/SIGTERM."""
+    import os
+    import signal
+    import threading
+    from pathlib import Path
+
+    from repro.service import PacorService, ServiceAPIServer
+    from repro.service.jobs import write_json_atomic
+
+    service = PacorService(
+        args.root, workers=args.workers, start_method=args.start_method
+    )
+    server = ServiceAPIServer(service, host=args.host, port=args.port)
+    stop = threading.Event()
+
+    def _on_signal(signum: int, frame: object) -> None:
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    service.start()
+    server.start()
+    write_json_atomic(
+        Path(args.root) / "service.json",
+        {"url": server.url, "pid": os.getpid(), "workers": args.workers},
+    )
+    print(
+        f"pacor service listening on {server.url} "
+        f"(root: {args.root}, workers: {args.workers})"
+    )
+    recovered = service.metrics.counter_values().get(
+        "service.recovered_jobs", 0
+    )
+    if recovered:
+        print(f"recovered {recovered} job(s) from a previous daemon run")
+    print("submit with: pacor submit S3 --url " + server.url)
+    try:
+        stop.wait()
+    finally:
+        print("stopping: draining workers ...")
+        server.stop()
+        service.stop(graceful=True)
+        print("stopped (preempted jobs parked their checkpoints)")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Submit a design to a running service; optionally wait/follow."""
+    import json
+
+    from repro.designs import design_to_json
+    from repro.service import ServiceClient
+
+    design = _resolve_design(args.design)
+    client = ServiceClient(_service_url(args), timeout=args.timeout)
+    budget = {}
+    if args.budget_s is not None:
+        budget["wall_clock_s"] = args.budget_s
+    if args.expansion_budget is not None:
+        budget["astar_expansions"] = args.expansion_budget
+    record = client.submit(
+        design_to_json(design),
+        method=args.method,
+        qos=args.qos,
+        budget=budget or None,
+    )
+    job_id = record["job_id"]
+    print(f"submitted {design.name} as {job_id} (qos: {record['qos']})")
+    if args.follow:
+        for event in client.follow_events(job_id, timeout=args.timeout):
+            print(f"  {json.dumps(event, sort_keys=True)}")
+        record = client.job(job_id)
+    elif args.wait:
+        record = client.wait(job_id, timeout=args.timeout)
+    if args.wait or args.follow:
+        _print_job_record(record)
+        if args.json and record["state"] == "succeeded":
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(client.result(job_id), handle, indent=1)
+            print(f"wrote {args.json}")
+        if record["state"] in ("failed", "cancelled"):
+            return 1
+    return 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    """List, inspect, resume or cancel jobs on a running service."""
+    import json
+
+    from repro.service import ServiceClient
+
+    client = ServiceClient(_service_url(args), timeout=args.timeout)
+    if args.cancel:
+        _print_job_record(client.cancel(args.cancel))
+        return 0
+    if args.resume:
+        budget = {}
+        if args.budget_s is not None:
+            budget["wall_clock_s"] = args.budget_s
+        if args.expansion_budget is not None:
+            budget["astar_expansions"] = args.expansion_budget
+        record = client.resume(
+            args.resume, qos=args.qos, budget=budget or None
+        )
+        print(f"{record['job_id']}: requeued (qos: {record['qos']})")
+        return 0
+    if args.job:
+        print(json.dumps(client.job(args.job), indent=1, sort_keys=True))
+        return 0
+    if args.stats:
+        print(json.dumps(client.stats(), indent=1, sort_keys=True))
+        return 0
+    records = client.jobs()
+    if not records:
+        print("no jobs")
+        return 0
+    rows = []
+    for record in records:
+        note = ""
+        if record.get("cached"):
+            note = "cache hit"
+        elif record.get("preempt_kind"):
+            note = record["preempt_kind"]
+        elif record.get("error"):
+            note = record["error"][:40]
+        rows.append(
+            [
+                record["job_id"],
+                record["design_name"],
+                record["method"],
+                record["qos"],
+                record["state"],
+                record["attempts"],
+                note,
+            ]
+        )
+    print(
+        format_table(
+            ["Job", "Design", "Method", "QoS", "State", "Attempts", "Note"],
+            rows,
+        )
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -671,6 +885,158 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--obstacles", type=int, default=10)
     gen.add_argument("--seed", type=int, default=0)
     gen.set_defaults(func=_cmd_generate)
+
+    # Service commands (see docs/service.md).  QoS tier names come from
+    # the service's own catalogue so the CLI can't drift from it; the
+    # jobs module import is lightweight (dataclasses only).
+    from repro.service.jobs import DEFAULT_QOS, QOS_TIERS
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the routing service daemon (job queue + worker pool + HTTP API)",
+    )
+    serve.add_argument(
+        "--root",
+        required=True,
+        metavar="DIR",
+        help="service state directory (job records, result cache, service.json)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (default: ephemeral, printed on start)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="concurrent routing worker processes",
+    )
+    serve.add_argument(
+        "--start-method",
+        choices=["fork", "spawn", "forkserver"],
+        default=None,
+        help="multiprocessing start method (default: platform default)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit a design to a running service"
+    )
+    submit.add_argument(
+        "design", help="suite name (S1..S5, Chip1, Chip2) or .json file"
+    )
+    submit.add_argument(
+        "--url", metavar="URL", help="service URL (printed by pacor serve)"
+    )
+    submit.add_argument(
+        "--root",
+        metavar="DIR",
+        help="service root; reads DIR/service.json for the URL",
+    )
+    submit.add_argument("--method", choices=list(METHODS), default="PACOR")
+    submit.add_argument(
+        "--qos",
+        choices=sorted(QOS_TIERS),
+        default=DEFAULT_QOS,
+        help="QoS tier: priority + budget envelope (see docs/service.md)",
+    )
+    submit.add_argument(
+        "--budget-s",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="override the tier's wall-clock budget",
+    )
+    submit.add_argument(
+        "--expansion-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the tier's A* expansion budget",
+    )
+    submit.add_argument(
+        "--wait", action="store_true", help="poll until the job settles"
+    )
+    submit.add_argument(
+        "--follow",
+        action="store_true",
+        help="stream progress events (ndjson) until the job settles",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="client-side wait/follow timeout",
+    )
+    submit.add_argument(
+        "--json",
+        metavar="FILE",
+        help="with --wait/--follow: save the result document here",
+    )
+    submit.set_defaults(func=_cmd_submit)
+
+    jobs = sub.add_parser(
+        "jobs", help="list, inspect, resume or cancel service jobs"
+    )
+    jobs.add_argument("--url", metavar="URL", help="service URL")
+    jobs.add_argument(
+        "--root",
+        metavar="DIR",
+        help="service root; reads DIR/service.json for the URL",
+    )
+    jobs.add_argument(
+        "--job", metavar="ID", help="print one job record as JSON"
+    )
+    jobs.add_argument(
+        "--resume", metavar="ID", help="requeue a preempted job"
+    )
+    jobs.add_argument("--cancel", metavar="ID", help="cancel a job")
+    jobs.add_argument(
+        "--qos",
+        choices=sorted(QOS_TIERS),
+        default=None,
+        help="with --resume: switch the job to this QoS tier",
+    )
+    jobs.add_argument(
+        "--budget-s",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="with --resume: override the wall-clock budget",
+    )
+    jobs.add_argument(
+        "--expansion-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --resume: override the A* expansion budget",
+    )
+    jobs.add_argument(
+        "--stats", action="store_true", help="print service statistics"
+    )
+    jobs.add_argument(
+        "--timeout", type=float, default=30.0, metavar="SECONDS"
+    )
+    jobs.set_defaults(func=_cmd_jobs)
+
+    hash_cmd = sub.add_parser(
+        "hash",
+        help="print the canonical design hash (the service cache key input)",
+    )
+    hash_cmd.add_argument(
+        "design", help="suite name (S1..S5, Chip1, Chip2) or .json file"
+    )
+    hash_cmd.add_argument(
+        "--with-name",
+        action="store_true",
+        help="append the design name, sha256sum-style",
+    )
+    hash_cmd.set_defaults(func=_cmd_hash)
     return parser
 
 
@@ -684,7 +1050,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except (CheckpointFormatError, DesignFormatError, FaultFormatError) as exc:
+    except (
+        CheckpointFormatError,
+        DesignFormatError,
+        FaultFormatError,
+        JobFormatError,
+        ServiceError,
+    ) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except FileNotFoundError as exc:

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List
 
@@ -73,6 +75,31 @@ class Design:
     def valve_by_id(self) -> Dict[int, Valve]:
         """Return an id -> valve lookup table."""
         return {v.id: v for v in self.valves}
+
+    def canonical_hash(self) -> str:
+        """Return the deterministic content hash of the design.
+
+        The hash is computed over the canonical serialisation — the
+        :func:`~repro.designs.io.design_to_json` document dumped with
+        sorted keys and fixed separators — so it is invariant to JSON
+        key order, whitespace/indentation, obstacle list order (the
+        document sorts obstacles) and materialised-vs-defaulted optional
+        fields.  Any *semantic* change (a moved valve, a different
+        activation sequence, δ, an extra obstacle, a reshuffled
+        length-matching group) produces a different hash.
+
+        Valve and control-pin list *order* is deliberately part of the
+        hash: stage iteration follows list order, so two designs that
+        differ only there can route differently — and the service-layer
+        result cache keyed on this hash must only ever return
+        bit-identical results.
+        """
+        from repro.designs.io import design_to_json
+
+        blob = json.dumps(
+            design_to_json(self), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
     @property
     def size_label(self) -> str:

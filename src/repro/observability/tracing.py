@@ -30,7 +30,7 @@ import time
 import uuid
 from pathlib import Path as FilePath
 from types import TracebackType
-from typing import Dict, Iterator, List, Optional, Union
+from typing import Callable, Dict, Iterator, List, Optional, Union
 
 from repro.robustness.errors import TraceFormatError
 
@@ -105,7 +105,6 @@ class Span:
             self.attrs.setdefault("error", f"{type(exc).__name__}: {exc}")
         self._tracer._close(self)
         return False
-        return False
 
     def to_json(self) -> Dict[str, object]:
         """Return the JSONL document of the span."""
@@ -166,6 +165,7 @@ class Tracer:
         self._seq = 0
         self._seq_prefix = ""
         self._resume_parent: Optional[str] = None
+        self._listeners: List[Callable[[Span], None]] = []
         # One epoch anchor so ts values are epoch seconds but durations
         # come from the monotonic performance clock.
         self._epoch_anchor = time.time() - time.perf_counter()
@@ -199,11 +199,23 @@ class Tracer:
         self._stack.append(span)
         return span
 
+    def add_listener(self, listener: Callable[[Span], None]) -> None:
+        """Register a callback fired with every span the moment it closes.
+
+        This is the live progress stream: ``pacor serve`` workers attach
+        a listener that bridges closed stage/round spans into the job's
+        events file, so API clients can follow a run's progress without
+        waiting for the final JSONL export.  Listener exceptions
+        propagate to the span's ``__exit__`` — keep callbacks trivial.
+        """
+        self._listeners.append(listener)
+
     def _close(self, span: Span) -> None:
         span.duration_s = time.perf_counter() - span._start_perf
         # Normal nesting pops the top; a span closed out of order (a
         # fault path skipped an inner __exit__) also force-closes the
         # orphans above it so the trace never contains dangling spans.
+        closed: List[Span] = []
         while self._stack:
             top = self._stack.pop()
             if top is span:
@@ -211,6 +223,11 @@ class Tracer:
             if top.duration_s is None:
                 top.duration_s = time.perf_counter() - top._start_perf
                 top.attrs.setdefault("force_closed", True)
+                closed.append(top)
+        closed.append(span)
+        for done in closed:  # innermost first, the span itself last
+            for listener in self._listeners:
+                listener(done)
 
     def current_span_id(self) -> Optional[str]:
         """Return the innermost open span's id, or None."""

@@ -33,10 +33,12 @@ from repro.robustness.errors import (
     FaultFormatError,
     FlowDecompositionError,
     GenerationError,
+    JobFormatError,
     KernelPreconditionError,
     OccupancyCorruption,
     PacorError,
     RouterStuck,
+    ServiceError,
     StageFailure,
     TraceFormatError,
 )
@@ -58,7 +60,9 @@ __all__ = [
     "FaultFormatError",
     "FlowDecompositionError",
     "GenerationError",
+    "JobFormatError",
     "KernelPreconditionError",
+    "ServiceError",
     "TraceFormatError",
     "Checkpoint",
     "CHECKPOINT_VERSION",

@@ -67,6 +67,7 @@ class Budget:
         )
         self.rip_rounds_used = 0
         self._started: Optional[float] = None
+        self._preempt_reason: Optional[str] = None
 
     @property
     def expansions_used(self) -> int:
@@ -89,6 +90,36 @@ class Budget:
     def start(self) -> None:
         """Anchor the wall clock; charging before start never trips it."""
         self._started = self.clock()
+
+    # -- preemption ---------------------------------------------------------
+
+    def preempt(self, reason: str = "preempted") -> None:
+        """Request cooperative preemption of the run charging this budget.
+
+        Safe to call from a signal handler or another thread: it only
+        sets a flag.  The next charge or check raises
+        :class:`~repro.robustness.errors.BudgetExceeded` with
+        ``kind="preempted"``, which the stage supervisors catch exactly
+        like an exhausted budget — the run stops spending, captures its
+        interrupt checkpoint and returns a resumable partial result.
+        This is how ``pacor serve`` parks a SIGTERM'd worker's job.
+        """
+        self._preempt_reason = reason
+
+    @property
+    def preempted(self) -> bool:
+        """Return True once :meth:`preempt` has been requested."""
+        return self._preempt_reason is not None
+
+    def _check_preempt(self, stage: Optional[str]) -> None:
+        if self._preempt_reason is not None:
+            raise BudgetExceeded(
+                self._preempt_reason,
+                kind="preempted",
+                limit=0.0,
+                used=0.0,
+                stage=stage,
+            )
 
     # -- resumable counters -------------------------------------------------
 
@@ -135,6 +166,7 @@ class Budget:
         before starting more work so an already-exhausted budget fails
         fast instead of being rediscovered one A* expansion later.
         """
+        self._check_preempt(stage)
         self.check_wall_clock(stage)
         if (
             self.astar_expansions is not None
@@ -173,6 +205,8 @@ class Budget:
     def charge_expansions(self, n: int = 1, stage: str = "astar") -> None:
         """Charge ``n`` A* expansions; periodically re-check the clock."""
         self.expansion_counter.inc(n)
+        if self._preempt_reason is not None:
+            self._check_preempt(stage)
         used = self.expansion_counter.value
         if self.astar_expansions is not None and used > self.astar_expansions:
             raise BudgetExceeded(
@@ -188,6 +222,8 @@ class Budget:
     def charge_rip_round(self, stage: str = "escape") -> None:
         """Charge one rip-up round; also re-checks the wall clock."""
         self.rip_rounds_used += 1
+        if self._preempt_reason is not None:
+            self._check_preempt(stage)
         if self.rip_rounds is not None and self.rip_rounds_used > self.rip_rounds:
             raise BudgetExceeded(
                 "rip-up effort exhausted",

@@ -269,3 +269,39 @@ class OccupancyCorruption(PacorError):
         self.cells = tuple(cells)
         suffix = f" at {sorted(self.cells)}" if cells else ""
         super().__init__(f"{message}{suffix}")
+
+
+class ServiceError(PacorError, RuntimeError):
+    """A ``pacor serve`` operation failed (queue, worker pool, API).
+
+    Raised for illegal job-state transitions (resuming a running job,
+    cancelling a finished one), daemon lifecycle misuse and worker-pool
+    failures.  The HTTP layer maps it to a 4xx/5xx JSON error body; the
+    CLI prints the one-line message and exits 2.
+    """
+
+
+class JobFormatError(PacorError, ValueError):
+    """A persisted job record or submit request is malformed.
+
+    Attributes:
+        field: the offending field, when known.
+        path: the originating file, when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        field: Optional[str] = None,
+        path: Optional[str] = None,
+    ) -> None:
+        self.field = field
+        self.path = path
+        parts = []
+        if path:
+            parts.append(f"{path}: ")
+        parts.append(message)
+        if field:
+            parts.append(f" (field: {field})")
+        super().__init__("".join(parts))

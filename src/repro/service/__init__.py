@@ -1,0 +1,54 @@
+"""The PACOR routing service: ``pacor serve`` and its building blocks.
+
+A persistent job queue plus worker pool plus HTTP/JSON API that turns
+the one-shot ``pacor route`` flow into a long-running daemon:
+
+* :mod:`repro.service.jobs` — versioned on-disk job records and the
+  directory-tree job store (crash-safe atomic writes).
+* :mod:`repro.service.queue` — the priority+FIFO dispatch queue.
+* :mod:`repro.service.cache` — the content-addressed result cache keyed
+  on :meth:`~repro.designs.design.Design.canonical_hash`.
+* :mod:`repro.service.workers` — the spawn-safe per-job worker process
+  (SIGTERM parks a resume checkpoint; progress spans stream to the
+  job's events file).
+* :mod:`repro.service.daemon` — :class:`PacorService`, the orchestrator
+  (dispatch, reap, preempt, recover).
+* :mod:`repro.service.api` — the stdlib HTTP server and urllib client.
+
+See ``docs/service.md`` for the API schema, the job lifecycle state
+machine, QoS tiers and cache semantics.
+"""
+
+from repro.service.api import ServiceAPIServer, ServiceClient
+from repro.service.cache import ResultCache, result_cache_key
+from repro.service.daemon import PacorService
+from repro.service.jobs import (
+    DEFAULT_QOS,
+    JOB_RECORD_VERSION,
+    QOS_TIERS,
+    TERMINAL_STATES,
+    JobRecord,
+    JobState,
+    JobStore,
+    QosTier,
+)
+from repro.service.queue import JobQueue
+from repro.service.workers import run_job
+
+__all__ = [
+    "PacorService",
+    "ServiceAPIServer",
+    "ServiceClient",
+    "JobStore",
+    "JobRecord",
+    "JobState",
+    "JobQueue",
+    "QosTier",
+    "QOS_TIERS",
+    "DEFAULT_QOS",
+    "TERMINAL_STATES",
+    "JOB_RECORD_VERSION",
+    "ResultCache",
+    "result_cache_key",
+    "run_job",
+]

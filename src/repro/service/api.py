@@ -1,0 +1,452 @@
+"""The HTTP/JSON face of the routing service (stdlib-only).
+
+A thin, dependency-free layer over
+:class:`~repro.service.daemon.PacorService`: a
+:class:`http.server.ThreadingHTTPServer` subclassed handler translating
+routes to service calls, and a :class:`ServiceClient` on
+``urllib.request`` for the CLI, tests and benchmarks.
+
+Routes (all under ``/api/v1``)::
+
+    GET  /health                      liveness probe
+    GET  /stats                       counters, queue depth, cache size
+    GET  /jobs                        every job record
+    POST /jobs                        submit {design, method?, qos?,
+                                      config?, faults?, budget?} -> 201
+    GET  /jobs/<id>                   one job record (the poll target)
+    GET  /jobs/<id>/result            the PacorResult document
+    GET  /jobs/<id>/trace             span JSONL of the run
+    GET  /jobs/<id>/checkpoint        parked resume token (checkpoint)
+    GET  /jobs/<id>/events?after=N    progress events past cursor N;
+         [&follow=1&timeout=S]        follow streams until settled
+    POST /jobs/<id>/resume            re-queue a preempted job
+    POST /jobs/<id>/cancel            cancel queued / preempt running
+
+Error mapping: malformed payloads (design/config/fault/job format
+errors) are 400, unknown jobs 404, illegal state transitions
+(:class:`~repro.robustness.errors.ServiceError`) 409, anything else 500
+— always as a JSON ``{"error": {"type", "message"}}`` body.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.robustness.errors import (
+    ConfigError,
+    DesignFormatError,
+    FaultFormatError,
+    JobFormatError,
+    PacorError,
+    ServiceError,
+)
+from repro.service.daemon import PacorService
+from repro.service.jobs import TERMINAL_STATES, JobState
+
+API_VERSION = "v1"
+_PREFIX = f"/api/{API_VERSION}"
+
+_JOB_ROUTE = re.compile(
+    rf"^{_PREFIX}/jobs/(?P<job_id>[A-Za-z0-9_.-]+)"
+    r"(?:/(?P<verb>result|trace|checkpoint|events|resume|cancel))?$"
+)
+
+_SETTLED_STATES = TERMINAL_STATES | {JobState.PREEMPTED}
+"""States after which an event follower stops waiting for more."""
+
+
+class _HTTPFailure(ServiceError):
+    """Internal: carries an HTTP status + JSON error body to the edge."""
+
+    def __init__(self, status: int, err_type: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.err_type = err_type
+
+
+def _failure_of(exc: Exception) -> _HTTPFailure:
+    name = type(exc).__name__
+    if isinstance(exc, JobFormatError) and "no such job" in str(exc):
+        return _HTTPFailure(404, name, str(exc))
+    if isinstance(
+        exc, (DesignFormatError, ConfigError, FaultFormatError, JobFormatError)
+    ):
+        return _HTTPFailure(400, name, str(exc))
+    if isinstance(exc, ServiceError):
+        return _HTTPFailure(409, name, str(exc))
+    if isinstance(exc, PacorError):
+        return _HTTPFailure(400, name, str(exc))
+    return _HTTPFailure(500, name, f"{name}: {exc}")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes one request into the service (instantiated per request)."""
+
+    # Set by make_handler():
+    service: PacorService
+
+    # HTTP/1.0 keeps the close-delimited streaming of /events?follow=1
+    # trivial; clients reconnect per request, which urllib does anyway.
+    protocol_version = "HTTP/1.0"
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # requests are traced by the service, not stderr
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _send_json(self, status: int, doc: Dict[str, Any]) -> None:
+        body = json.dumps(doc, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, failure: _HTTPFailure) -> None:
+        self._send_json(
+            failure.status,
+            {"error": {"type": failure.err_type, "message": str(failure)}},
+        )
+
+    def _read_body(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            doc = json.loads(raw.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _HTTPFailure(400, "BadRequest", f"body is not JSON ({exc})")
+        if not isinstance(doc, dict):
+            raise _HTTPFailure(
+                400, "BadRequest", "body must be a JSON object"
+            )
+        return doc
+
+    def _query(self) -> Dict[str, str]:
+        if "?" not in self.path:
+            return {}
+        query: Dict[str, str] = {}
+        for pair in self.path.split("?", 1)[1].split("&"):
+            if "=" in pair:
+                key, value = pair.split("=", 1)
+                query[key] = value
+        return query
+
+    def _route(self) -> Tuple[str, Optional[str], Optional[str]]:
+        path = self.path.split("?", 1)[0].rstrip("/")
+        match = _JOB_ROUTE.match(path)
+        if match:
+            return path, match.group("job_id"), match.group("verb")
+        return path, None, None
+
+    # -- verbs --------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        try:
+            path, job_id, verb = self._route()
+            if path == f"{_PREFIX}/health":
+                self._send_json(
+                    200, {"status": "ok", "api_version": API_VERSION}
+                )
+            elif path == f"{_PREFIX}/stats":
+                self._send_json(200, self.service.stats())
+            elif path == f"{_PREFIX}/jobs":
+                self._send_json(
+                    200,
+                    {"jobs": [r.to_json() for r in self.service.jobs()]},
+                )
+            elif job_id is not None and verb is None:
+                self._send_json(200, self.service.job(job_id).to_json())
+            elif job_id is not None and verb == "result":
+                self._send_json(200, self.service.result_doc(job_id))
+            elif job_id is not None and verb == "checkpoint":
+                self._send_json(200, self.service.checkpoint_doc(job_id))
+            elif job_id is not None and verb == "trace":
+                body = "\n".join(self.service.trace_lines(job_id))
+                data = (body + "\n").encode("utf-8")
+                self.send_response(200)
+                self.send_header("Content-Type", "application/x-ndjson")
+                self.send_header("Content-Length", str(len(data)))
+                self.end_headers()
+                self.wfile.write(data)
+            elif job_id is not None and verb == "events":
+                self._events(job_id)
+            else:
+                raise _HTTPFailure(404, "NotFound", f"no route {path!r}")
+        except _HTTPFailure as failure:
+            self._send_error_json(failure)
+        except Exception as exc:  # noqa: BLE001 - HTTP boundary
+            self._send_error_json(_failure_of(exc))
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        try:
+            path, job_id, verb = self._route()
+            if path == f"{_PREFIX}/jobs":
+                body = self._read_body()
+                design = body.get("design")
+                if not isinstance(design, dict):
+                    raise _HTTPFailure(
+                        400, "BadRequest", "submission needs a 'design' object"
+                    )
+                record = self.service.submit(
+                    design,
+                    method=str(body.get("method", "PACOR")),
+                    qos=str(body.get("qos", "standard")),
+                    config=body.get("config"),
+                    faults=body.get("faults"),
+                    budget=body.get("budget"),
+                )
+                self._send_json(201, record.to_json())
+            elif job_id is not None and verb == "resume":
+                body = self._read_body()
+                qos = body.get("qos")
+                record = self.service.resume(
+                    job_id,
+                    qos=str(qos) if qos is not None else None,
+                    budget=body.get("budget"),
+                )
+                self._send_json(200, record.to_json())
+            elif job_id is not None and verb == "cancel":
+                self._send_json(200, self.service.cancel(job_id).to_json())
+            else:
+                raise _HTTPFailure(404, "NotFound", f"no route {path!r}")
+        except _HTTPFailure as failure:
+            self._send_error_json(failure)
+        except Exception as exc:  # noqa: BLE001 - HTTP boundary
+            self._send_error_json(_failure_of(exc))
+
+    # -- event streaming ----------------------------------------------------
+
+    def _events(self, job_id: str) -> None:
+        query = self._query()
+        after = int(query.get("after", "0"))
+        follow = query.get("follow", "0") not in ("0", "", "false")
+        timeout = float(query.get("timeout", "60"))
+        if not follow:
+            self._send_json(200, self.service.events(job_id, after))
+            return
+        # Follow mode: close-delimited ndjson stream of event documents,
+        # ending once the job settles and the stream is drained.
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.end_headers()
+        deadline = time.perf_counter() + timeout
+        cursor = after
+        while True:
+            batch = self.service.events(job_id, cursor)
+            for doc in batch["events"]:
+                self.wfile.write(
+                    (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
+                )
+            self.wfile.flush()
+            cursor = int(batch["cursor"])
+            if not batch["events"] and batch["state"] in _SETTLED_STATES:
+                return
+            if time.perf_counter() > deadline:
+                return
+            time.sleep(0.05)
+
+
+def make_handler(service: PacorService) -> type:
+    """Build the request-handler class bound to ``service``."""
+    return type("PacorAPIHandler", (_Handler,), {"service": service})
+
+
+class ServiceAPIServer:
+    """The threaded HTTP server wrapping one :class:`PacorService`.
+
+    ``port=0`` binds an ephemeral port; read the resolved one from
+    :attr:`port` / :attr:`url` after construction.
+    """
+
+    def __init__(
+        self,
+        service: PacorService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.httpd = ThreadingHTTPServer((host, port), make_handler(service))
+        self.host, self.port = self.httpd.server_address[:2]
+        self._thread: Optional[Any] = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> None:
+        """Serve requests on a background thread (idempotent)."""
+        if self._thread is not None:
+            return
+        import threading
+
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever,
+            name="pacor-api",
+            kwargs={"poll_interval": 0.05},
+            daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop accepting requests and release the socket."""
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        self._thread = None
+
+
+class ServiceClient:
+    """Minimal urllib client for the API (CLI / tests / benchmarks)."""
+
+    def __init__(self, url: str, timeout: float = 30.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ----------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        data = (
+            json.dumps(body).encode("utf-8") if body is not None else None
+        )
+        req = urllib.request.Request(
+            f"{self.url}{_PREFIX}{path}",
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                doc = json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode("utf-8", "replace")
+            try:
+                err = json.loads(detail)["error"]
+                message = f"{err['type']}: {err['message']}"
+            except (json.JSONDecodeError, KeyError, TypeError):
+                message = detail or str(exc)
+            raise ServiceError(f"HTTP {exc.code} — {message}") from exc
+        assert isinstance(doc, dict)
+        return doc
+
+    # -- endpoints ----------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/health")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/stats")
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        jobs = self._request("GET", "/jobs")["jobs"]
+        assert isinstance(jobs, list)
+        return jobs
+
+    def submit(
+        self,
+        design_doc: Dict[str, Any],
+        *,
+        method: str = "PACOR",
+        qos: str = "standard",
+        config: Optional[Dict[str, Any]] = None,
+        faults: Optional[Dict[str, Any]] = None,
+        budget: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        body: Dict[str, Any] = {
+            "design": design_doc,
+            "method": method,
+            "qos": qos,
+        }
+        if config is not None:
+            body["config"] = config
+        if faults is not None:
+            body["faults"] = faults
+        if budget is not None:
+            body["budget"] = budget
+        return self._request("POST", "/jobs", body)
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def checkpoint(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}/checkpoint")
+
+    def trace(self, job_id: str) -> List[Dict[str, Any]]:
+        req = urllib.request.Request(
+            f"{self.url}{_PREFIX}/jobs/{job_id}/trace"
+        )
+        with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+            text = resp.read().decode("utf-8")
+        return [json.loads(line) for line in text.splitlines() if line]
+
+    def events(self, job_id: str, after: int = 0) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}/events?after={after}")
+
+    def follow_events(
+        self, job_id: str, after: int = 0, timeout: float = 60.0
+    ) -> Iterator[Dict[str, Any]]:
+        """Yield event documents live until the job settles."""
+        req = urllib.request.Request(
+            f"{self.url}{_PREFIX}/jobs/{job_id}/events"
+            f"?after={after}&follow=1&timeout={timeout}"
+        )
+        with urllib.request.urlopen(req, timeout=timeout + 10) as resp:
+            for raw in resp:
+                line = raw.decode("utf-8").strip()
+                if line:
+                    yield json.loads(line)
+
+    def resume(
+        self,
+        job_id: str,
+        *,
+        qos: Optional[str] = None,
+        budget: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        body: Dict[str, Any] = {}
+        if qos is not None:
+            body["qos"] = qos
+        if budget is not None:
+            body["budget"] = budget
+        return self._request("POST", f"/jobs/{job_id}/resume", body)
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 300.0,
+        poll: float = 0.1,
+        until: Callable[[Dict[str, Any]], bool] = (
+            lambda record: record["state"] in _SETTLED_STATES
+        ),
+    ) -> Dict[str, Any]:
+        """Poll until the job settles; return its final record.
+
+        Raises:
+            ServiceError: the job did not settle within ``timeout``.
+        """
+        deadline = time.perf_counter() + timeout
+        while True:
+            record = self.job(job_id)
+            if until(record):
+                return record
+            if time.perf_counter() > deadline:
+                raise ServiceError(
+                    f"job {job_id} still {record['state']} "
+                    f"after {timeout:.0f}s"
+                )
+            time.sleep(poll)

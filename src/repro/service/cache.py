@@ -1,0 +1,136 @@
+"""The service result cache: content-addressed, bit-identical replays.
+
+A cache entry maps *what was asked* to *what the flow produced*.  The
+key hashes the canonical design hash
+(:meth:`~repro.designs.design.Design.canonical_hash`), the method name,
+the full config document **minus the run-budget limits**, and the fault
+map.  Budgets are excluded deliberately: a budget that never trips
+cannot change the routing (it only bounds it), and a budget that *does*
+trip produces a ``degraded`` result — which is never cached (see
+:meth:`ResultCache.cacheable`).  Under that rule a hit is always
+bit-identical to re-running the flow, whatever QoS tier asks.
+
+Entries are one JSON file per key under ``<root>/cache/``, written
+atomically, so the cache survives daemon restarts with the job store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path as FilePath
+from typing import Any, Dict, Optional, Union
+
+from repro.observability.metrics import Metrics
+from repro.service.jobs import read_json, write_json_atomic
+
+CACHE_ENTRY_VERSION = 1
+
+_BUDGET_CONFIG_FIELDS = (
+    "wall_clock_budget_s",
+    "astar_expansion_budget",
+    "rip_round_budget",
+)
+"""Config fields stripped from the key: they bound work, never change it."""
+
+
+def result_cache_key(
+    design_hash: str,
+    method: str,
+    config_doc: Dict[str, Any],
+    fault_doc: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Return the sha256 cache key of one (design, method, config, faults).
+
+    ``config_doc`` must be the *normalised* full
+    :meth:`~repro.core.config.PacorConfig.to_json` document (defaults
+    materialised), so a submission that spells out a default and one
+    that omits it key identically.
+    """
+    config = {
+        k: v for k, v in config_doc.items() if k not in _BUDGET_CONFIG_FIELDS
+    }
+    payload = {
+        "design": design_hash,
+        "method": method,
+        "config": config,
+        "faults": fault_doc,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Content-addressed store of finished, non-degraded result documents.
+
+    Hit/miss/store tallies go to the shared
+    :class:`~repro.observability.metrics.Metrics` registry
+    (``service.cache_hits`` / ``service.cache_misses`` /
+    ``service.cache_stores``) so they surface in the daemon's ``/stats``
+    endpoint alongside the routing counters.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, FilePath],
+        metrics: Optional[Metrics] = None,
+    ) -> None:
+        self.directory = FilePath(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        metrics = metrics if metrics is not None else Metrics()
+        self._hits = metrics.counter("service.cache_hits")
+        self._misses = metrics.counter("service.cache_misses")
+        self._stores = metrics.counter("service.cache_stores")
+
+    def entry_path(self, key: str) -> FilePath:
+        return self.directory / f"{key}.json"
+
+    @staticmethod
+    def cacheable(result_doc: Dict[str, Any]) -> bool:
+        """Return True when a result document may be cached.
+
+        Degraded results (tripped budget, incidents, unrouted nets)
+        depend on *where* the run was cut short, which the key does not
+        capture — caching them would let one tier's truncation answer
+        another tier's query.  Only clean, complete results enter.
+        """
+        return not result_doc.get("degraded", False)
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Return the cached result document for ``key``, counting."""
+        path = self.entry_path(key)
+        if not path.is_file():
+            self._misses.inc()
+            return None
+        entry = read_json(path)
+        self._hits.inc()
+        result = entry["result"]
+        assert isinstance(result, dict)
+        return result
+
+    def put(
+        self,
+        key: str,
+        result_doc: Dict[str, Any],
+        *,
+        job_id: str,
+        design_hash: str,
+        method: str,
+    ) -> bool:
+        """Store ``result_doc`` under ``key``; return False if rejected."""
+        if not self.cacheable(result_doc):
+            return False
+        entry = {
+            "version": CACHE_ENTRY_VERSION,
+            "key": key,
+            "design_hash": design_hash,
+            "method": method,
+            "source_job": job_id,
+            "result": result_doc,
+        }
+        write_json_atomic(self.entry_path(key), entry)
+        self._stores.inc()
+        return True
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))

@@ -1,0 +1,461 @@
+"""Persistent job records for the PACOR routing service.
+
+One submitted routing problem becomes one :class:`JobRecord` — a
+versioned JSON document in its own directory under the service root —
+plus a small constellation of sibling files the worker writes as the
+job progresses::
+
+    <root>/jobs/j000042/
+        job.json         the JobRecord (the daemon owns this file)
+        design.json      the submitted design document
+        faults.json      optional FaultMap document
+        events.jsonl     append-only progress stream (worker-owned
+                         while running, daemon-owned otherwise)
+        result.json      PacorResult document (on success / preemption)
+        metrics.json     Metrics registry export of the run
+        trace.jsonl      Tracer JSONL export of the run
+        checkpoint.json  parked interrupt checkpoint (preempted jobs)
+        outcome.json     the worker's exit report — written last,
+                         atomically, so its existence is the completion
+                         signal the daemon reaps
+
+Everything is plain JSON written with tmp-file + ``os.replace``, so a
+killed daemon or worker never leaves a half-written record and a
+restarted daemon recovers the queue by re-reading the directory tree
+(see :meth:`~repro.service.daemon.PacorService` recovery).
+
+Job identifiers are deterministic sequence numbers (``j000042``), not
+random tokens: the service must stay reproducible under pacorlint's
+DET001 rule, and monotonic ids double as the FIFO tiebreaker of the
+priority queue.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path as FilePath
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.robustness.errors import JobFormatError
+
+JOB_RECORD_VERSION = 1
+"""Current job-record format version; bumped on incompatible change."""
+
+
+class JobState:
+    """The job lifecycle states (plain strings, stored in the record).
+
+    ::
+
+        queued ──> running ──> succeeded
+           │          │  └───> failed
+           │          └──────> preempted ──(resume)──> queued
+           └────(cancel)─────> cancelled
+
+    A cache hit short-circuits ``queued -> succeeded`` without a worker.
+    ``preempted`` is settled but *resumable*: the parked checkpoint
+    re-enters the queue via the resume API.  ``succeeded``, ``failed``
+    and ``cancelled`` are terminal.
+    """
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+    PREEMPTED = "preempted"
+    CANCELLED = "cancelled"
+
+
+ALL_STATES = frozenset(
+    {
+        JobState.QUEUED,
+        JobState.RUNNING,
+        JobState.SUCCEEDED,
+        JobState.FAILED,
+        JobState.PREEMPTED,
+        JobState.CANCELLED,
+    }
+)
+
+TERMINAL_STATES = frozenset(
+    {JobState.SUCCEEDED, JobState.FAILED, JobState.CANCELLED}
+)
+"""States a job never leaves (``preempted`` is resumable, so not here)."""
+
+
+@dataclass(frozen=True)
+class QosTier:
+    """One quality-of-service tier: a queue priority plus run budgets.
+
+    Tiers map straight onto :class:`~repro.robustness.budget.Budget`
+    limits: an ``interactive`` job that blows its small budget degrades
+    (or parks a checkpoint) quickly instead of starving the queue, while
+    ``batch`` jobs run unbounded at the lowest priority.
+
+    Attributes:
+        name: tier name, the ``qos`` field of submissions.
+        priority: queue priority (lower runs first).
+        wall_clock_s: wall-clock budget, None = unbounded.
+        astar_expansions: total A* expansion budget, None = unbounded.
+        rip_rounds: total rip-up round budget, None = unbounded.
+    """
+
+    name: str
+    priority: int
+    wall_clock_s: Optional[float]
+    astar_expansions: Optional[int]
+    rip_rounds: Optional[int] = None
+
+    def budget_doc(self) -> Dict[str, Any]:
+        """Return the budget-limit document stored on job records."""
+        return {
+            "wall_clock_s": self.wall_clock_s,
+            "astar_expansions": self.astar_expansions,
+            "rip_rounds": self.rip_rounds,
+        }
+
+
+QOS_TIERS: Dict[str, QosTier] = {
+    "interactive": QosTier("interactive", 0, 30.0, 5_000_000),
+    "standard": QosTier("standard", 1, 300.0, 100_000_000),
+    "batch": QosTier("batch", 2, None, None),
+}
+"""The built-in tiers; explicit budget overrides win over the tier."""
+
+DEFAULT_QOS = "standard"
+
+
+@dataclass
+class JobRecord:
+    """The persistent state of one submitted routing job.
+
+    The daemon is the only writer of ``job.json`` — workers report back
+    through ``outcome.json`` — so record updates never race.
+
+    Attributes:
+        job_id: deterministic id (``j%06d`` of ``seq``).
+        seq: monotonic submission sequence number (FIFO tiebreaker).
+        state: one of the :class:`JobState` values.
+        design_name: the design document's ``name`` (display only).
+        design_hash: :meth:`~repro.designs.design.Design.canonical_hash`
+            of the submitted design.
+        method: Table-2 method name to run.
+        qos: tier name (a :data:`QOS_TIERS` key).
+        priority: queue priority, copied from the tier at submit time.
+        config: normalised full
+            :meth:`~repro.core.config.PacorConfig.to_json` document.
+        budget: resolved run-budget limits (tier merged with overrides).
+        cache_key: :func:`~repro.service.cache.result_cache_key` of the
+            submission.
+        cached: True when the result came from the cache (no worker ran).
+        attempts: worker launches so far (resumes increment it).
+        submitted_at / started_at / finished_at: epoch timestamps.
+        degraded: the result's degraded flag, copied up on completion.
+        preempt_kind: why the job was preempted (``sigterm``,
+            ``wall-clock``, ``astar-expansions``, ``rip-rounds``,
+            ``daemon-restart``); None otherwise.
+        cancel_requested: a cancel arrived while the job was running —
+            the preemption that follows reaps as ``cancelled``.
+        error: failure message for ``failed`` jobs.
+        summary: the result's Table-2 ``summary_row`` for quick listings.
+    """
+
+    job_id: str
+    seq: int
+    state: str
+    design_name: str
+    design_hash: str
+    method: str
+    qos: str
+    priority: int
+    config: Dict[str, Any]
+    budget: Dict[str, Any]
+    cache_key: str
+    cached: bool = False
+    attempts: int = 0
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    degraded: Optional[bool] = None
+    preempt_kind: Optional[str] = None
+    cancel_requested: bool = False
+    error: Optional[str] = None
+    summary: Optional[Dict[str, Any]] = field(default=None)
+    version: int = JOB_RECORD_VERSION
+
+    def to_json(self) -> Dict[str, Any]:
+        """Return the versioned JSON document of the record."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_json(
+        cls, doc: Dict[str, Any], *, source: Optional[str] = None
+    ) -> "JobRecord":
+        """Rebuild a record from :meth:`to_json` output (validated).
+
+        Raises:
+            JobFormatError: the document is not a job record, its
+                version is unsupported, a required field is missing or
+                it carries unknown fields — the error names the field
+                (and ``source``, when given).
+        """
+        if not isinstance(doc, dict):
+            raise JobFormatError(
+                f"job record must be a JSON object, got {type(doc).__name__}",
+                path=source,
+            )
+        if "version" not in doc:
+            raise JobFormatError(
+                "missing required field", field="version", path=source
+            )
+        version = doc["version"]
+        if version != JOB_RECORD_VERSION:
+            raise JobFormatError(
+                f"unsupported job record version {version!r} "
+                f"(this build reads version {JOB_RECORD_VERSION})",
+                field="version",
+                path=source,
+            )
+        names = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(doc) - names)
+        if unknown:
+            raise JobFormatError(
+                f"unknown job record fields: {unknown}", path=source
+            )
+        required = {
+            f.name
+            for f in dataclasses.fields(cls)
+            if f.default is dataclasses.MISSING
+            and f.default_factory is dataclasses.MISSING
+        }
+        for name in sorted(required):
+            if name not in doc:
+                raise JobFormatError(
+                    "missing required field", field=name, path=source
+                )
+        if doc["state"] not in ALL_STATES:
+            raise JobFormatError(
+                f"unknown job state {doc['state']!r}",
+                field="state",
+                path=source,
+            )
+        return cls(**doc)
+
+
+def write_json_atomic(path: FilePath, doc: Dict[str, Any]) -> None:
+    """Write ``doc`` to ``path`` via tmp-file + ``os.replace``.
+
+    ``os.replace`` is atomic on POSIX, so concurrent readers see either
+    the old complete document or the new one — never a torn write.  The
+    temp file lives next to the target (same filesystem), named after it,
+    which is safe because every service file has exactly one writer at a
+    time (daemon for ``job.json``, the owning worker for the rest).
+    """
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=1, sort_keys=True)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def read_json(path: FilePath) -> Dict[str, Any]:
+    """Read one JSON object from ``path``.
+
+    Raises:
+        JobFormatError: the file is missing, unreadable or not a JSON
+            object.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except FileNotFoundError:
+        raise JobFormatError("file does not exist", path=str(path)) from None
+    except json.JSONDecodeError as exc:
+        raise JobFormatError(
+            f"not valid JSON ({exc})", path=str(path)
+        ) from exc
+    if not isinstance(doc, dict):
+        raise JobFormatError(
+            f"expected a JSON object, got {type(doc).__name__}",
+            path=str(path),
+        )
+    return doc
+
+
+class JobStore:
+    """The on-disk job database: one directory per job under ``root``.
+
+    The store is deliberately dumb — no index file, no database.  The
+    directory tree *is* the source of truth: a restarted daemon rebuilds
+    its queue and sequence counter by listing it, which is what makes
+    the queue survive crashes for free.
+    """
+
+    def __init__(self, root: Union[str, FilePath]) -> None:
+        self.root = FilePath(root)
+        self.jobs_dir = self.root / "jobs"
+        self.cache_dir = self.root / "cache"
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+
+    # -- paths --------------------------------------------------------------
+
+    def job_dir(self, job_id: str) -> FilePath:
+        """Return the directory of ``job_id`` (not necessarily existing)."""
+        return self.jobs_dir / job_id
+
+    def record_path(self, job_id: str) -> FilePath:
+        return self.job_dir(job_id) / "job.json"
+
+    def design_path(self, job_id: str) -> FilePath:
+        return self.job_dir(job_id) / "design.json"
+
+    def faults_path(self, job_id: str) -> FilePath:
+        return self.job_dir(job_id) / "faults.json"
+
+    def result_path(self, job_id: str) -> FilePath:
+        return self.job_dir(job_id) / "result.json"
+
+    def metrics_path(self, job_id: str) -> FilePath:
+        return self.job_dir(job_id) / "metrics.json"
+
+    def trace_path(self, job_id: str) -> FilePath:
+        return self.job_dir(job_id) / "trace.jsonl"
+
+    def events_path(self, job_id: str) -> FilePath:
+        return self.job_dir(job_id) / "events.jsonl"
+
+    def checkpoint_path(self, job_id: str) -> FilePath:
+        return self.job_dir(job_id) / "checkpoint.json"
+
+    def outcome_path(self, job_id: str) -> FilePath:
+        return self.job_dir(job_id) / "outcome.json"
+
+    # -- allocation ---------------------------------------------------------
+
+    def next_seq(self) -> int:
+        """Return the next unused sequence number (directory scan)."""
+        highest = 0
+        for entry in self.jobs_dir.iterdir():
+            name = entry.name
+            if name.startswith("j") and name[1:].isdigit():
+                highest = max(highest, int(name[1:]))
+        return highest + 1
+
+    def allocate(
+        self,
+        *,
+        design_doc: Dict[str, Any],
+        design_name: str,
+        design_hash: str,
+        method: str,
+        qos: str,
+        priority: int,
+        config: Dict[str, Any],
+        budget: Dict[str, Any],
+        cache_key: str,
+        fault_doc: Optional[Dict[str, Any]] = None,
+    ) -> JobRecord:
+        """Create the next job: directory, design/faults files, record."""
+        seq = self.next_seq()
+        job_id = f"j{seq:06d}"
+        self.job_dir(job_id).mkdir(parents=True)
+        write_json_atomic(self.design_path(job_id), design_doc)
+        if fault_doc is not None:
+            write_json_atomic(self.faults_path(job_id), fault_doc)
+        record = JobRecord(
+            job_id=job_id,
+            seq=seq,
+            state=JobState.QUEUED,
+            design_name=design_name,
+            design_hash=design_hash,
+            method=method,
+            qos=qos,
+            priority=priority,
+            config=config,
+            budget=budget,
+            cache_key=cache_key,
+            submitted_at=time.time(),
+        )
+        self.save(record)
+        return record
+
+    # -- record io ----------------------------------------------------------
+
+    def save(self, record: JobRecord) -> None:
+        """Persist ``record`` atomically."""
+        write_json_atomic(self.record_path(record.job_id), record.to_json())
+
+    def exists(self, job_id: str) -> bool:
+        """Return True when ``job_id`` has a record on disk."""
+        return self.record_path(job_id).is_file()
+
+    def load(self, job_id: str) -> JobRecord:
+        """Read the record of ``job_id`` back (validated).
+
+        Raises:
+            JobFormatError: no such job, or its record is malformed.
+        """
+        path = self.record_path(job_id)
+        if not path.is_file():
+            raise JobFormatError(
+                f"no such job {job_id!r}", field="job_id", path=str(path)
+            )
+        return JobRecord.from_json(read_json(path), source=str(path))
+
+    def list_ids(self) -> List[str]:
+        """Return every job id, in submission (sequence) order."""
+        ids = [
+            entry.name
+            for entry in self.jobs_dir.iterdir()
+            if entry.is_dir() and (entry / "job.json").is_file()
+        ]
+        return sorted(ids)
+
+    def records(self) -> List[JobRecord]:
+        """Load every job record, in submission order."""
+        return [self.load(job_id) for job_id in self.list_ids()]
+
+    # -- event stream -------------------------------------------------------
+
+    def append_event(self, job_id: str, doc: Dict[str, Any]) -> None:
+        """Append one event document to the job's progress stream.
+
+        Only the daemon calls this, and only while no worker owns the
+        job — the running worker appends to the same file directly (see
+        :mod:`repro.service.workers`), keeping one writer at a time.
+        """
+        with open(self.events_path(job_id), "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(doc, sort_keys=True) + "\n")
+            handle.flush()
+
+    def read_events(
+        self, job_id: str, after: int = 0
+    ) -> Tuple[List[Dict[str, Any]], int]:
+        """Return ``(events, cursor)`` for events past line ``after``.
+
+        ``cursor`` is the total line count so far; pass it back as
+        ``after`` to poll incrementally.  Torn trailing lines (a worker
+        mid-write) are ignored until complete.
+        """
+        path = self.events_path(job_id)
+        if not path.is_file():
+            return [], after
+        events: List[Dict[str, Any]] = []
+        lineno = 0
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                if not line.endswith("\n"):
+                    break  # torn tail; picked up next poll
+                lineno += 1
+                if lineno <= after:
+                    continue
+                line = line.strip()
+                if line:
+                    events.append(json.loads(line))
+        return events, max(after, lineno)

@@ -1,0 +1,71 @@
+"""The in-memory dispatch queue of the service: priority, then FIFO.
+
+A tiny heap on ``(priority, seq)`` — lower priority number first, then
+submission order.  The queue holds job *ids* only; the on-disk
+:class:`~repro.service.jobs.JobStore` is the durable state, and a
+restarted daemon rebuilds this queue from the records it finds (which is
+why there is no persistence here).
+
+Cancellation of a queued job is lazy: :meth:`JobQueue.remove` marks the
+id and :meth:`JobQueue.pop` discards marked entries, so cancel is O(1)
+without re-heapifying.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Set, Tuple
+
+
+class JobQueue:
+    """Priority + FIFO queue of pending job ids (not thread-safe).
+
+    The daemon serialises all access under its own lock; keeping the
+    lock out of the queue keeps the invariants testable in isolation.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, str]] = []
+        self._queued: Set[str] = set()
+        self._removed: Set[str] = set()
+
+    def push(self, priority: int, seq: int, job_id: str) -> None:
+        """Enqueue ``job_id``; re-pushing a queued id is a no-op."""
+        if job_id in self._queued:
+            return
+        self._removed.discard(job_id)
+        self._queued.add(job_id)
+        heapq.heappush(self._heap, (priority, seq, job_id))
+
+    def pop(self) -> Optional[str]:
+        """Dequeue the runnable job id with the best (priority, seq)."""
+        while self._heap:
+            _, _, job_id = heapq.heappop(self._heap)
+            if job_id in self._removed:
+                self._removed.discard(job_id)
+                continue
+            self._queued.discard(job_id)
+            return job_id
+        return None
+
+    def remove(self, job_id: str) -> bool:
+        """Drop a queued id (lazily); return True when it was queued."""
+        if job_id not in self._queued:
+            return False
+        self._queued.discard(job_id)
+        self._removed.add(job_id)
+        return True
+
+    def __contains__(self, job_id: str) -> bool:
+        return job_id in self._queued
+
+    def __len__(self) -> int:
+        return len(self._queued)
+
+    def job_ids(self) -> List[str]:
+        """Return the queued ids in dispatch order (for /stats)."""
+        return [
+            job_id
+            for _, _, job_id in sorted(self._heap)
+            if job_id in self._queued
+        ]

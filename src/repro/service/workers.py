@@ -1,0 +1,283 @@
+"""Worker-side job execution: one child process per running job.
+
+:func:`run_job` is the ``multiprocessing.Process`` target the daemon
+spawns.  It is deliberately a **module-level function taking one plain
+string** (the job directory), so it survives both ``fork`` and ``spawn``
+start methods — under spawn the child pickles only the function
+reference and the path, re-imports this module, and reads everything
+else (design, config, fault map, checkpoint) from the job's JSON files.
+
+Lifecycle inside the child:
+
+1. Install a SIGTERM handler that calls
+   :meth:`~repro.robustness.budget.Budget.preempt` — flag-only, so it is
+   async-signal-safe.  The next budget charge inside the routing kernels
+   raises ``BudgetExceeded(kind="preempted")``, the stage supervisor
+   captures the interrupt checkpoint, and ``run()`` returns a degraded
+   partial result instead of the process dying mid-write.
+2. Attach a :meth:`~repro.observability.tracing.Tracer.add_listener`
+   bridge that appends every closed ``flow``/``stage``/``round`` span to
+   ``events.jsonl`` — the live progress stream the API serves.  ``net``
+   and ``kernel`` spans stay out (thousands per run); they land in the
+   full ``trace.jsonl`` export instead.
+3. Run the flow — fresh, or resumed from a parked ``checkpoint.json``.
+4. Write ``result.json`` / ``trace.jsonl`` / ``metrics.json``, park the
+   interrupt checkpoint if one was captured, and **last** write
+   ``outcome.json`` atomically — the daemon treats its existence as the
+   completion signal, so a crash at any earlier point is detected as a
+   missing outcome, never as a half-reported job.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import sys
+from dataclasses import replace
+from pathlib import Path as FilePath
+from types import FrameType
+from typing import Any, Dict, Optional, TextIO, Tuple
+
+from repro.core.config import DetourStage, PacorConfig
+from repro.core.pacor import PacorRouter
+from repro.core.pipeline import METHODS
+from repro.core.result import PacorResult
+from repro.designs.io import design_from_json
+from repro.observability.metrics import Metrics
+from repro.observability.tracing import Span, Tracer
+from repro.robustness.budget import Budget
+from repro.robustness.checkpoint import Checkpoint
+from repro.robustness.errors import BudgetExceeded, PacorError
+from repro.robustness.faultmap import FaultMap
+from repro.service.jobs import JobRecord, read_json, write_json_atomic
+
+EVENT_SPAN_CATEGORIES = frozenset({"flow", "stage", "round"})
+"""Span categories bridged into the live event stream."""
+
+OUTCOME_VERSION = 1
+
+
+def _emit(handle: TextIO, doc: Dict[str, Any]) -> None:
+    handle.write(json.dumps(doc, sort_keys=True, default=str) + "\n")
+    handle.flush()
+
+
+def _span_event(span: Span) -> Dict[str, Any]:
+    return {
+        "kind": "span",
+        "category": span.category,
+        "name": span.name,
+        "span_id": span.span_id,
+        "dur_s": span.duration_s,
+        "attrs": dict(span.attrs),
+    }
+
+
+def _classify_preemption(budget: Budget) -> str:
+    """Name why a parked checkpoint exists: sigterm or which limit."""
+    if budget.preempted:
+        return "sigterm"
+    try:
+        budget.check()
+    except BudgetExceeded as exc:
+        return str(exc.kind)
+    return "budget"
+
+
+def _checkpoint_to_park(
+    router: PacorRouter, budget: Budget
+) -> Optional[Checkpoint]:
+    """Pick which snapshot survives as the job's resume token.
+
+    * **SIGTERM preemption** parks the last *stage-boundary* snapshot —
+      the one whose cursor is the interrupted stage, captured before
+      that stage ran.  Boundary resumes are bit-identical to an
+      uninterrupted run (the PR-2 guarantee the service's "same final
+      result" contract rides on); the partial work of the cut-short
+      stage is the price.  Preempted in the attempt's first stage there
+      is no boundary snapshot: return None, which keeps an existing
+      parked checkpoint (re-preempted resume) or none at all (fresh
+      restart — trivially identical).
+    * **Budget exhaustion** parks the mid-stage *interrupt* snapshot
+      instead: the budget will trip at the same spot again on a
+      same-budget retry, so preserving partial progress (and resuming
+      with a raised budget) is what converges.
+    """
+    interrupt = router.interrupt_checkpoint
+    if interrupt is None:
+        return None
+    if not budget.preempted:
+        return interrupt
+    for checkpoint in router.checkpoints.values():
+        if checkpoint is not interrupt and checkpoint.stage == interrupt.stage:
+            return checkpoint
+    return None
+
+
+def run_job(job_dir: str) -> int:
+    """Execute the job rooted at ``job_dir``; always report an outcome.
+
+    Returns the process exit code (0 — even failures are *reported*
+    outcomes, not crashes; a non-zero exit means the reporting itself
+    broke and the daemon falls back to crash accounting).
+    """
+    root = FilePath(job_dir)
+    record = JobRecord.from_json(
+        read_json(root / "job.json"), source=str(root / "job.json")
+    )
+    limits = record.budget or {}
+    budget = Budget(
+        wall_clock_s=limits.get("wall_clock_s"),
+        astar_expansions=limits.get("astar_expansions"),
+        rip_rounds=limits.get("rip_rounds"),
+    )
+
+    def _on_sigterm(signum: int, frame: Optional[FrameType]) -> None:
+        budget.preempt("preempted by SIGTERM")
+
+    signal.signal(signal.SIGTERM, _on_sigterm)
+
+    events = open(root / "events.jsonl", "a", encoding="utf-8")
+    tracer = Tracer()
+    metrics = Metrics()
+    tracer.add_listener(
+        lambda span: _emit(events, _span_event(span))
+        if span.category in EVENT_SPAN_CATEGORIES
+        else None
+    )
+
+    resumed = (root / "checkpoint.json").is_file()
+    _emit(
+        events,
+        {
+            "kind": "status",
+            "status": "started",
+            "job_id": record.job_id,
+            "attempt": record.attempts,
+            "resumed": resumed,
+        },
+    )
+
+    outcome: Dict[str, Any] = {
+        "version": OUTCOME_VERSION,
+        "job_id": record.job_id,
+        "state": "failed",
+        "degraded": None,
+        "preempt_kind": None,
+        "error": None,
+        "summary": None,
+    }
+    try:
+        design = design_from_json(
+            read_json(root / "design.json"), source=str(root / "design.json")
+        )
+        router, result = _route(
+            root, record, design, budget, tracer, metrics, resumed
+        )
+        tracer.export_jsonl(root / "trace.jsonl")
+        metrics.export_json(root / "metrics.json")
+        result_doc = result.to_json()
+        write_json_atomic(root / "result.json", result_doc)
+        if result.checkpoint is not None:
+            # Budget ran out or SIGTERM arrived: park the resume token
+            # and report "preempted".
+            parked = _checkpoint_to_park(router, budget)
+            if parked is not None:
+                parked.save(root / "checkpoint.json")
+            outcome["state"] = "preempted"
+            outcome["preempt_kind"] = _classify_preemption(budget)
+        else:
+            outcome["state"] = "succeeded"
+            # A stale parked checkpoint from the interrupted attempt has
+            # nothing left to resume once the flow completed.
+            if resumed:
+                (root / "checkpoint.json").unlink(missing_ok=True)
+        outcome["degraded"] = result.degraded
+        outcome["summary"] = result.summary_row()
+    except PacorError as exc:
+        outcome["error"] = f"{type(exc).__name__}: {exc}"
+    except Exception as exc:  # noqa: BLE001 - the process boundary
+        outcome["error"] = f"unexpected {type(exc).__name__}: {exc}"
+    finally:
+        _emit(
+            events,
+            {
+                "kind": "status",
+                "status": "finished",
+                "job_id": record.job_id,
+                "state": outcome["state"],
+                "preempt_kind": outcome["preempt_kind"],
+                "error": outcome["error"],
+            },
+        )
+        events.close()
+        write_json_atomic(root / "outcome.json", outcome)
+    return 0
+
+
+def _route(
+    root: FilePath,
+    record: JobRecord,
+    design: Any,
+    budget: Budget,
+    tracer: Tracer,
+    metrics: Metrics,
+    resumed: bool,
+) -> Tuple[PacorRouter, PacorResult]:
+    """Run the flow for one job — fresh or from the parked checkpoint."""
+    if resumed:
+        checkpoint = Checkpoint.load(root / "checkpoint.json")
+        router = PacorRouter.from_checkpoint(
+            design,
+            checkpoint,
+            budget=budget,
+            tracer=tracer,
+            metrics=metrics,
+        )
+        return router, router.run()
+    config = PacorConfig.from_json(dict(record.config))
+    fault_map: Optional[FaultMap] = None
+    faults_path = root / "faults.json"
+    if faults_path.is_file():
+        fault_map = FaultMap.from_json(read_json(faults_path))
+    # The pipeline runners build their own router (no budget parameter),
+    # so mirror their method -> config pinning here and construct the
+    # router directly around the preemptable budget.
+    assert record.method in METHODS
+    if record.method == "w/o Sel":
+        config = replace(
+            config, enable_selection=False, detour_stage=DetourStage.FINAL
+        )
+    elif record.method == "Detour First":
+        config = replace(
+            config,
+            enable_selection=True,
+            detour_stage=DetourStage.AFTER_NEGOTIATION,
+        )
+    else:
+        config = replace(
+            config, enable_selection=True, detour_stage=DetourStage.FINAL
+        )
+    router = PacorRouter(
+        design,
+        config,
+        budget=budget,
+        tracer=tracer,
+        metrics=metrics,
+        fault_map=fault_map,
+    )
+    router._method_name = record.method
+    return router, router.run()
+
+
+def main(argv: Optional[list] = None) -> int:  # pragma: no cover - exec aid
+    """``python -m repro.service.workers <job_dir>`` — manual debugging."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    if len(args) != 1:
+        print("usage: python -m repro.service.workers <job_dir>")
+        return 2
+    return run_job(args[0])
+
+
+if __name__ == "__main__":  # pragma: no cover - exec aid
+    sys.exit(main())

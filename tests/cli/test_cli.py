@@ -422,3 +422,90 @@ def test_route_with_static_faults(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "completion=100.0%" in out
     assert "verification OK" in out
+
+
+# -- service commands (serve / submit / jobs / hash) -------------------------
+
+
+def test_hash_prints_canonical_hash(capsys):
+    from repro.designs import design_by_name
+
+    assert main(["hash", "S1"]) == 0
+    out = capsys.readouterr().out.strip()
+    assert out == design_by_name("S1").canonical_hash()
+    assert len(out) == 64
+
+
+def test_hash_with_name_suffix(capsys):
+    assert main(["hash", "S2", "--with-name"]) == 0
+    out = capsys.readouterr().out.strip()
+    digest, name = out.split()
+    assert len(digest) == 64
+    assert name == "S2"
+
+
+def test_hash_is_stable_across_save_reload(tmp_path, capsys):
+    """A design saved to JSON and re-hashed from the file matches."""
+    import json as _json
+
+    from repro.designs import design_by_name, design_to_json
+
+    path = tmp_path / "s1.json"
+    path.write_text(_json.dumps(design_to_json(design_by_name("S1"))))
+    assert main(["hash", str(path)]) == 0
+    out = capsys.readouterr().out.strip()
+    assert out == design_by_name("S1").canonical_hash()
+
+
+def test_hash_unknown_design_exits_2(capsys):
+    assert main(["hash", "S99"]) == 2
+    assert "Traceback" not in capsys.readouterr().err
+
+
+def test_submit_without_service_location_exits_2(capsys):
+    assert main(["submit", "S1"]) == 2
+    err = capsys.readouterr().err
+    assert "--url" in err or "--root" in err
+
+
+def test_submit_with_missing_service_json_exits_2(tmp_path, capsys):
+    assert main(["submit", "S1", "--root", str(tmp_path)]) == 2
+    assert "service.json" in capsys.readouterr().err
+
+
+def test_jobs_with_malformed_service_json_exits_2(tmp_path, capsys):
+    (tmp_path / "service.json").write_text("{broken")
+    assert main(["jobs", "--root", str(tmp_path)]) == 2
+    assert "not valid JSON" in capsys.readouterr().err
+
+
+def test_submit_wait_and_jobs_against_live_service(tmp_path, capsys):
+    """Full CLI loop: serve (in-process), submit --wait, jobs, cache hit."""
+    from repro.service import PacorService, ServiceAPIServer
+
+    service = PacorService(tmp_path / "svc", workers=1)
+    server = ServiceAPIServer(service)
+    service.start()
+    server.start()
+    try:
+        assert (
+            main(["submit", "S1", "--url", server.url, "--wait"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "j000001: succeeded" in out
+        assert "completion=100.0%" in out
+        # Identical re-submission answers from the cache.
+        assert (
+            main(["submit", "S1", "--url", server.url, "--wait"]) == 0
+        )
+        assert "(cache hit)" in capsys.readouterr().out
+        assert main(["jobs", "--url", server.url]) == 0
+        table = capsys.readouterr().out
+        assert "j000001" in table and "j000002" in table
+        assert "cache hit" in table
+        assert main(["jobs", "--url", server.url, "--stats"]) == 0
+        stats = capsys.readouterr().out
+        assert '"service.cache_hits": 1' in stats
+    finally:
+        server.stop()
+        service.stop(graceful=False, timeout=10.0)

@@ -1,0 +1,154 @@
+"""Property-based tests for ``Design.canonical_hash``.
+
+The hash is the content address of the service result cache, so its
+contract is load-bearing: representation choices (JSON key order,
+serialisation detours, obstacle enumeration order) must not move it,
+while any semantic change to the design must.
+"""
+
+import json
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.designs import design_from_json, design_to_json
+from repro.designs.design import Design
+from repro.geometry import Point
+from repro.grid import RoutingGrid
+from repro.valves import ActivationSequence, Valve
+
+
+@st.composite
+def designs(draw):
+    width = draw(st.integers(8, 24))
+    height = draw(st.integers(8, 24))
+    grid = RoutingGrid(width, height)
+    interior = st.tuples(
+        st.integers(1, width - 2), st.integers(1, height - 2)
+    )
+    n_valves = draw(st.integers(1, 8))
+    positions = draw(
+        st.lists(interior, min_size=n_valves, max_size=n_valves, unique=True)
+    )
+    seqs = draw(
+        st.lists(
+            st.text(alphabet="01X", min_size=4, max_size=4),
+            min_size=n_valves,
+            max_size=n_valves,
+        )
+    )
+    valves = [
+        Valve(i, Point(*positions[i]), ActivationSequence(seqs[i]))
+        for i in range(n_valves)
+    ]
+    taken = set(positions)
+    obstacle_candidates = draw(st.sets(interior, max_size=10))
+    for x, y in obstacle_candidates - taken:
+        grid.set_obstacle(Point(x, y))
+    n_pins = draw(st.integers(1, 6))
+    boundary = grid.boundary_cells()
+    step = max(1, len(boundary) // n_pins)
+    pins = boundary[::step][:n_pins]
+    lm_groups = []
+    if n_valves >= 2 and valves[0].compatible(valves[1]):
+        lm_groups = [[0, 1]]
+    design = Design(
+        name="prop",
+        grid=grid,
+        valves=valves,
+        lm_groups=lm_groups,
+        control_pins=pins,
+        delta=draw(st.integers(0, 3)),
+    )
+    design.validate()
+    return design
+
+
+@given(designs())
+@settings(max_examples=25, deadline=None)
+def test_json_roundtrip_preserves_hash(design):
+    rebuilt = design_from_json(design_to_json(design))
+    assert rebuilt.canonical_hash() == design.canonical_hash()
+
+
+@given(designs(), st.integers(0, 2**32 - 1))
+@settings(max_examples=25, deadline=None)
+def test_reserialisation_and_key_order_do_not_move_hash(design, seed):
+    """A shuffled-key, re-parsed document hashes to the same address."""
+    doc = design_to_json(design)
+    # JSON text with keys in random order, parsed back into dicts whose
+    # insertion order differs from the canonical one.
+    rng = random.Random(seed)
+
+    def shuffled(node):
+        if isinstance(node, dict):
+            items = list(node.items())
+            rng.shuffle(items)
+            return {k: shuffled(v) for k, v in items}
+        if isinstance(node, list):
+            return [shuffled(v) for v in node]
+        return node
+
+    scrambled = json.loads(json.dumps(shuffled(doc)))
+    assert (
+        design_from_json(scrambled).canonical_hash()
+        == design.canonical_hash()
+    )
+
+
+@given(designs(), st.integers(0, 2**32 - 1))
+@settings(max_examples=25, deadline=None)
+def test_obstacle_insertion_order_does_not_move_hash(design, seed):
+    """Obstacles are a *set*; enumeration order must not leak in."""
+    doc = design_to_json(design)
+    rebuilt = design_from_json(doc)
+    cells = list(rebuilt.grid.obstacle_cells())
+    if len(cells) < 2:
+        return
+    grid = RoutingGrid(rebuilt.grid.width, rebuilt.grid.height)
+    shuffled_cells = list(cells)
+    random.Random(seed).shuffle(shuffled_cells)
+    for cell in shuffled_cells:
+        grid.set_obstacle(cell)
+    reordered = Design(
+        name=rebuilt.name,
+        grid=grid,
+        valves=rebuilt.valves,
+        lm_groups=rebuilt.lm_groups,
+        control_pins=rebuilt.control_pins,
+        delta=rebuilt.delta,
+    )
+    assert reordered.canonical_hash() == design.canonical_hash()
+
+
+@given(designs())
+@settings(max_examples=25, deadline=None)
+def test_semantic_changes_move_the_hash(design):
+    base = design.canonical_hash()
+    doc = design_to_json(design)
+
+    def rebuilt_hash(mutate):
+        changed = json.loads(json.dumps(doc))
+        mutate(changed)
+        return design_from_json(changed).canonical_hash()
+
+    def bump_delta(d):
+        d["delta"] = d["delta"] + 1
+
+    def rename(d):
+        d["name"] = d["name"] + "-v2"
+
+    def flip_sequence(d):
+        seq = d["valves"][0]["sequence"]
+        flipped = ("1" if seq[0] == "0" else "0") + seq[1:]
+        d["valves"][0]["sequence"] = flipped
+
+    for mutate in (bump_delta, rename, flip_sequence):
+        assert rebuilt_hash(mutate) != base
+
+    def drop_pin(d):
+        d["control_pins"] = d["control_pins"][:-1]
+
+    if len(doc["control_pins"]) > 1:
+        assert rebuilt_hash(drop_pin) != base

@@ -1,0 +1,244 @@
+"""Unit tests for the service job records and the on-disk job store."""
+
+import json
+
+import pytest
+
+from repro.designs import design_by_name, design_to_json
+from repro.robustness.errors import JobFormatError, PacorError
+from repro.service.jobs import (
+    ALL_STATES,
+    DEFAULT_QOS,
+    JOB_RECORD_VERSION,
+    QOS_TIERS,
+    TERMINAL_STATES,
+    JobRecord,
+    JobState,
+    JobStore,
+    read_json,
+    write_json_atomic,
+)
+
+
+def _record(**overrides):
+    base = dict(
+        job_id="j000001",
+        seq=1,
+        state=JobState.QUEUED,
+        design_name="S1",
+        design_hash="0" * 64,
+        method="PACOR",
+        qos="standard",
+        priority=1,
+        config={"k_candidates": 4},
+        budget={"wall_clock_s": 300.0},
+        cache_key="f" * 64,
+    )
+    base.update(overrides)
+    return JobRecord(**base)
+
+
+class TestJobRecord:
+    def test_roundtrip_preserves_every_field(self):
+        record = _record(
+            attempts=2,
+            cached=True,
+            degraded=False,
+            preempt_kind="sigterm",
+            error=None,
+            summary={"design": "S1"},
+        )
+        rebuilt = JobRecord.from_json(record.to_json())
+        assert rebuilt == record
+
+    def test_to_json_is_json_serialisable(self):
+        doc = _record().to_json()
+        assert json.loads(json.dumps(doc)) == doc
+
+    def test_version_field_present_and_gated(self):
+        doc = _record().to_json()
+        assert doc["version"] == JOB_RECORD_VERSION
+        doc["version"] = JOB_RECORD_VERSION + 1
+        with pytest.raises(JobFormatError, match="version"):
+            JobRecord.from_json(doc)
+
+    def test_missing_version_rejected(self):
+        doc = _record().to_json()
+        del doc["version"]
+        with pytest.raises(JobFormatError, match="version"):
+            JobRecord.from_json(doc)
+
+    def test_unknown_field_rejected(self):
+        doc = _record().to_json()
+        doc["surprise"] = 1
+        with pytest.raises(JobFormatError, match="surprise"):
+            JobRecord.from_json(doc)
+
+    def test_missing_required_field_rejected(self):
+        doc = _record().to_json()
+        del doc["cache_key"]
+        with pytest.raises(JobFormatError, match="cache_key"):
+            JobRecord.from_json(doc)
+
+    def test_unknown_state_rejected(self):
+        doc = _record().to_json()
+        doc["state"] = "meditating"
+        with pytest.raises(JobFormatError, match="meditating"):
+            JobRecord.from_json(doc)
+
+    def test_non_object_rejected(self):
+        with pytest.raises(JobFormatError):
+            JobRecord.from_json(["not", "a", "record"])
+
+    def test_error_is_pacor_taxonomy(self):
+        with pytest.raises(PacorError):
+            JobRecord.from_json({})
+
+
+class TestStates:
+    def test_preempted_is_settled_but_not_terminal(self):
+        assert JobState.PREEMPTED in ALL_STATES
+        assert JobState.PREEMPTED not in TERMINAL_STATES
+
+    def test_terminal_states(self):
+        assert TERMINAL_STATES == {
+            JobState.SUCCEEDED,
+            JobState.FAILED,
+            JobState.CANCELLED,
+        }
+
+
+class TestQosTiers:
+    def test_default_tier_exists(self):
+        assert DEFAULT_QOS in QOS_TIERS
+
+    def test_priorities_strictly_ordered(self):
+        prios = [t.priority for t in QOS_TIERS.values()]
+        assert len(set(prios)) == len(prios)
+        assert (
+            QOS_TIERS["interactive"].priority
+            < QOS_TIERS["standard"].priority
+            < QOS_TIERS["batch"].priority
+        )
+
+    def test_budget_doc_covers_budget_limits(self):
+        doc = QOS_TIERS["interactive"].budget_doc()
+        assert set(doc) == {"wall_clock_s", "astar_expansions", "rip_rounds"}
+
+    def test_batch_is_unbounded(self):
+        doc = QOS_TIERS["batch"].budget_doc()
+        assert all(v is None for v in doc.values())
+
+
+class TestAtomicJson:
+    def test_write_then_read(self, tmp_path):
+        path = tmp_path / "doc.json"
+        write_json_atomic(path, {"a": 1})
+        assert read_json(path) == {"a": 1}
+        assert not path.with_name("doc.json.tmp").exists()
+
+    def test_read_missing_raises(self, tmp_path):
+        with pytest.raises(JobFormatError, match="does not exist"):
+            read_json(tmp_path / "nope.json")
+
+    def test_read_invalid_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(JobFormatError, match="not valid JSON"):
+            read_json(path)
+
+    def test_read_non_object_raises(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]", encoding="utf-8")
+        with pytest.raises(JobFormatError, match="object"):
+            read_json(path)
+
+
+class TestJobStore:
+    def _allocate(self, store, design_name="S1", **overrides):
+        design = design_by_name(design_name)
+        kwargs = dict(
+            design_doc=design_to_json(design),
+            design_name=design.name,
+            design_hash=design.canonical_hash(),
+            method="PACOR",
+            qos="standard",
+            priority=1,
+            config={"k_candidates": 4},
+            budget=QOS_TIERS["standard"].budget_doc(),
+            cache_key="c" * 64,
+        )
+        kwargs.update(overrides)
+        return store.allocate(**kwargs)
+
+    def test_ids_are_deterministic_sequence(self, tmp_path):
+        store = JobStore(tmp_path)
+        first = self._allocate(store)
+        second = self._allocate(store)
+        assert first.job_id == "j000001"
+        assert second.job_id == "j000002"
+        assert store.list_ids() == ["j000001", "j000002"]
+
+    def test_sequence_survives_restart(self, tmp_path):
+        store = JobStore(tmp_path)
+        self._allocate(store)
+        reopened = JobStore(tmp_path)
+        assert reopened.next_seq() == 2
+        assert self._allocate(reopened).job_id == "j000002"
+
+    def test_allocate_writes_design_and_record(self, tmp_path):
+        store = JobStore(tmp_path)
+        record = self._allocate(store)
+        assert store.exists(record.job_id)
+        assert store.design_path(record.job_id).is_file()
+        loaded = store.load(record.job_id)
+        assert loaded == record
+        assert loaded.state == JobState.QUEUED
+
+    def test_fault_doc_written_when_given(self, tmp_path):
+        store = JobStore(tmp_path)
+        record = self._allocate(store, fault_doc={"version": 1, "faults": []})
+        assert store.faults_path(record.job_id).is_file()
+
+    def test_load_unknown_job_raises(self, tmp_path):
+        store = JobStore(tmp_path)
+        with pytest.raises(JobFormatError, match="no such job"):
+            store.load("j999999")
+
+    def test_save_updates_record(self, tmp_path):
+        store = JobStore(tmp_path)
+        record = self._allocate(store)
+        record.state = JobState.RUNNING
+        record.attempts = 1
+        store.save(record)
+        assert store.load(record.job_id).state == JobState.RUNNING
+
+
+class TestEventStream:
+    def test_append_and_incremental_read(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.job_dir("j000001").mkdir()
+        store.append_event("j000001", {"kind": "status", "status": "queued"})
+        store.append_event("j000001", {"kind": "status", "status": "go"})
+        events, cursor = store.read_events("j000001")
+        assert [e["status"] for e in events] == ["queued", "go"]
+        assert cursor == 2
+        # Incremental poll from the cursor sees only what is new.
+        store.append_event("j000001", {"kind": "status", "status": "done"})
+        events, cursor = store.read_events("j000001", after=cursor)
+        assert [e["status"] for e in events] == ["done"]
+        assert cursor == 3
+
+    def test_missing_stream_is_empty(self, tmp_path):
+        store = JobStore(tmp_path)
+        assert store.read_events("j000042") == ([], 0)
+
+    def test_torn_tail_ignored_until_complete(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.job_dir("j000001").mkdir()
+        store.append_event("j000001", {"kind": "status", "status": "ok"})
+        with open(store.events_path("j000001"), "a", encoding="utf-8") as fh:
+            fh.write('{"kind": "status", "stat')  # worker mid-write
+        events, cursor = store.read_events("j000001")
+        assert len(events) == 1
+        assert cursor == 1

@@ -1,0 +1,193 @@
+"""Preemption, crash recovery and resume semantics of the service.
+
+The contract under test (see docs/service.md):
+
+* SIGTERM mid-job parks a checkpoint and settles the job ``preempted``;
+  a daemon restarted over the same root lists it as ``preempted`` and a
+  resume completes **bit-identically** to an uninterrupted run (SIGTERM
+  parks the stage-boundary snapshot, whose resume carries the PR-2
+  bit-identity guarantee).
+* A genuinely budget-exceeded job parks its mid-stage interrupt
+  snapshot instead (partial progress is worth keeping — the same budget
+  would trip at the same spot again) and can be resumed with a raised
+  budget to the same final summary as an uninterrupted run.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.core import PacorConfig, run_method
+from repro.designs import design_by_name, design_to_json
+from repro.service import JobState, PacorService
+
+
+def canonical(result_doc):
+    doc = json.loads(json.dumps(result_doc))
+    doc.get("summary", {}).pop("runtime_s", None)
+    return json.dumps(doc, sort_keys=True)
+
+
+def canonical_summary(summary):
+    doc = dict(summary)
+    doc.pop("runtime_s", None)
+    return json.dumps(doc, sort_keys=True)
+
+
+def wait_for_state(service, job_id, state, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        record = service.job(job_id)
+        if record.state == state:
+            return record
+        time.sleep(0.01)
+    raise AssertionError(
+        f"job {job_id} never reached {state!r} "
+        f"(currently {service.job(job_id).state!r})"
+    )
+
+
+class TestSigtermPreemption:
+    def test_graceful_stop_parks_restart_lists_resume_bit_identical(
+        self, tmp_path
+    ):
+        root = tmp_path / "svc"
+        service = PacorService(root, workers=1)
+        record = service.submit(design_to_json(design_by_name("S5")))
+        job_id = record.job_id
+        service.start()
+        wait_for_state(service, job_id, JobState.RUNNING)
+        time.sleep(0.3)  # let the flow get past the first stage boundary
+        # Graceful stop SIGTERMs the worker mid-run.
+        service.stop(graceful=True, timeout=30.0)
+
+        preempted = service.job(job_id)
+        assert preempted.state == JobState.PREEMPTED
+        assert preempted.preempt_kind == "sigterm"
+        assert service.metrics.counter_values()["service.preemptions"] == 1
+        # The parked checkpoint is the resume token served by the API.
+        checkpoint = service.checkpoint_doc(job_id)
+        assert checkpoint["design"]["name"] == "S5"
+
+        # A fresh daemon over the same root re-lists the job, still
+        # preempted and still resumable.
+        revived = PacorService(root, workers=1)
+        listed = revived.job(job_id)
+        assert listed.state == JobState.PREEMPTED
+        resumed = revived.resume(job_id)
+        assert resumed.state == JobState.QUEUED
+        revived.start()
+        try:
+            assert revived.drain(timeout=120.0)
+            final = revived.job(job_id)
+            assert final.state == JobState.SUCCEEDED, final.error
+            assert final.degraded is False
+            assert final.attempts == 2
+            # Bit-identical to the uninterrupted flow: paths, lengths,
+            # incidents, events — everything except wall-clock runtime.
+            direct = run_method(
+                design_by_name("S5"), "PACOR", PacorConfig()
+            ).to_json()
+            assert canonical(revived.result_doc(job_id)) == canonical(direct)
+            assert (
+                revived.metrics.counter_values()["service.resumes"] == 1
+            )
+        finally:
+            revived.stop(graceful=False, timeout=10.0)
+
+    def test_cancel_running_job_settles_cancelled(self, tmp_path):
+        service = PacorService(tmp_path, workers=1)
+        record = service.submit(design_to_json(design_by_name("S5")))
+        service.start()
+        try:
+            wait_for_state(service, record.job_id, JobState.RUNNING)
+            cancelling = service.cancel(record.job_id)
+            assert cancelling.cancel_requested is True
+            final = wait_for_state(
+                service, record.job_id, JobState.CANCELLED
+            )
+            assert final.state == JobState.CANCELLED
+        finally:
+            service.stop(graceful=False, timeout=10.0)
+
+
+class TestBudgetPreemption:
+    def test_budget_exceeded_parks_and_resume_with_raised_budget(
+        self, tmp_path
+    ):
+        service = PacorService(tmp_path, workers=1)
+        record = service.submit(
+            design_to_json(design_by_name("S3")),
+            budget={"astar_expansions": 200},
+        )
+        job_id = record.job_id
+        service.start()
+        try:
+            assert service.drain(timeout=60.0)
+            preempted = service.job(job_id)
+            assert preempted.state == JobState.PREEMPTED
+            assert preempted.preempt_kind == "astar-expansions"
+            # The partial (degraded) result is still served.
+            partial = service.result_doc(job_id)
+            assert partial["degraded"] is True
+            assert service.checkpoint_doc(job_id)["design"]["name"] == "S3"
+
+            # Resume with the budget raised: converges to the same
+            # summary as an uninterrupted run (the PR-2 guarantee for
+            # mid-stage interrupt resumes on this scenario).
+            service.resume(job_id, budget={"astar_expansions": 100_000_000})
+            assert service.drain(timeout=120.0)
+            final = service.job(job_id)
+            assert final.state == JobState.SUCCEEDED, final.error
+            direct = run_method(design_by_name("S3"), "PACOR", PacorConfig())
+            assert canonical_summary(
+                service.result_doc(job_id)["summary"]
+            ) == canonical_summary(direct.summary_row())
+        finally:
+            service.stop(graceful=False, timeout=10.0)
+
+    def test_degraded_partial_result_is_not_cached(self, tmp_path):
+        service = PacorService(tmp_path, workers=1)
+        doc = design_to_json(design_by_name("S3"))
+        service.submit(doc, budget={"astar_expansions": 200})
+        service.start()
+        try:
+            assert service.drain(timeout=60.0)
+            # Same design/config again: must MISS (the truncated run
+            # never entered the cache) and route for real this time.
+            again = service.submit(doc)
+            assert again.cached is False
+            assert service.drain(timeout=120.0)
+            assert service.job(again.job_id).state == JobState.SUCCEEDED
+        finally:
+            service.stop(graceful=False, timeout=10.0)
+
+    def test_resume_non_preempted_job_rejected(self, tmp_path):
+        from repro.robustness.errors import ServiceError
+
+        service = PacorService(tmp_path, workers=1)
+        record = service.submit(design_to_json(design_by_name("S1")))
+        with pytest.raises(ServiceError, match="not preempted"):
+            service.resume(record.job_id)
+
+    def test_resume_can_switch_qos_tier(self, tmp_path):
+        service = PacorService(tmp_path, workers=1)
+        record = service.submit(
+            design_to_json(design_by_name("S3")),
+            qos="interactive",
+            budget={"astar_expansions": 200},
+        )
+        service.start()
+        try:
+            assert service.drain(timeout=60.0)
+            assert service.job(record.job_id).state == JobState.PREEMPTED
+            resumed = service.resume(record.job_id, qos="batch")
+            assert resumed.qos == "batch"
+            assert resumed.budget["astar_expansions"] is None
+            assert service.drain(timeout=120.0)
+            assert (
+                service.job(record.job_id).state == JobState.SUCCEEDED
+            )
+        finally:
+            service.stop(graceful=False, timeout=10.0)

@@ -1,0 +1,137 @@
+"""Unit tests for the dispatch queue and the content-addressed cache."""
+
+from repro.core import PacorConfig
+from repro.observability import Metrics
+from repro.service.cache import ResultCache, result_cache_key
+from repro.service.queue import JobQueue
+
+
+class TestJobQueue:
+    def test_fifo_within_priority(self):
+        queue = JobQueue()
+        queue.push(1, 1, "j000001")
+        queue.push(1, 2, "j000002")
+        queue.push(1, 3, "j000003")
+        assert [queue.pop(), queue.pop(), queue.pop()] == [
+            "j000001",
+            "j000002",
+            "j000003",
+        ]
+
+    def test_priority_beats_submission_order(self):
+        queue = JobQueue()
+        queue.push(2, 1, "batch-first")
+        queue.push(0, 2, "interactive-later")
+        assert queue.pop() == "interactive-later"
+        assert queue.pop() == "batch-first"
+
+    def test_pop_empty_returns_none(self):
+        assert JobQueue().pop() is None
+
+    def test_push_is_idempotent(self):
+        queue = JobQueue()
+        queue.push(1, 1, "j000001")
+        queue.push(1, 1, "j000001")
+        assert len(queue) == 1
+        assert queue.pop() == "j000001"
+        assert queue.pop() is None
+
+    def test_lazy_remove_skips_cancelled(self):
+        queue = JobQueue()
+        queue.push(1, 1, "j000001")
+        queue.push(1, 2, "j000002")
+        assert queue.remove("j000001") is True
+        assert "j000001" not in queue
+        assert queue.pop() == "j000002"
+        assert queue.pop() is None
+
+    def test_remove_unknown_is_false(self):
+        assert JobQueue().remove("j000009") is False
+
+    def test_repush_after_remove(self):
+        queue = JobQueue()
+        queue.push(1, 1, "j000001")
+        queue.remove("j000001")
+        queue.push(1, 1, "j000001")
+        assert queue.pop() == "j000001"
+
+    def test_job_ids_in_dispatch_order(self):
+        queue = JobQueue()
+        queue.push(2, 1, "c")
+        queue.push(0, 2, "a")
+        queue.push(1, 3, "b")
+        queue.remove("b")
+        assert queue.job_ids() == ["a", "c"]
+
+
+class TestCacheKey:
+    def test_budget_fields_do_not_affect_key(self):
+        base = PacorConfig().to_json()
+        bounded = PacorConfig(
+            wall_clock_budget_s=1.0, astar_expansion_budget=100
+        ).to_json()
+        assert result_cache_key("d" * 64, "PACOR", base) == result_cache_key(
+            "d" * 64, "PACOR", bounded
+        )
+
+    def test_semantic_config_change_changes_key(self):
+        base = PacorConfig().to_json()
+        other = PacorConfig(k_candidates=7).to_json()
+        assert result_cache_key("d" * 64, "PACOR", base) != result_cache_key(
+            "d" * 64, "PACOR", other
+        )
+
+    def test_method_and_design_change_key(self):
+        config = PacorConfig().to_json()
+        key = result_cache_key("d" * 64, "PACOR", config)
+        assert key != result_cache_key("e" * 64, "PACOR", config)
+        assert key != result_cache_key("d" * 64, "w/o Sel", config)
+
+    def test_fault_map_changes_key(self):
+        config = PacorConfig().to_json()
+        key = result_cache_key("d" * 64, "PACOR", config, None)
+        faulty = result_cache_key(
+            "d" * 64, "PACOR", config, {"version": 1, "faults": ["x"]}
+        )
+        assert key != faulty
+
+
+class TestResultCache:
+    def test_miss_then_store_then_hit(self, tmp_path):
+        metrics = Metrics()
+        cache = ResultCache(tmp_path, metrics)
+        key = "a" * 64
+        assert cache.get(key) is None
+        doc = {"summary": {"design": "S1"}, "degraded": False}
+        assert cache.put(
+            key, doc, job_id="j000001", design_hash="d" * 64, method="PACOR"
+        )
+        assert cache.get(key) == doc
+        counters = metrics.counter_values()
+        assert counters["service.cache_hits"] == 1
+        assert counters["service.cache_misses"] == 1
+        assert counters["service.cache_stores"] == 1
+        assert len(cache) == 1
+
+    def test_degraded_results_never_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert not cache.put(
+            "b" * 64,
+            {"degraded": True},
+            job_id="j000001",
+            design_hash="d" * 64,
+            method="PACOR",
+        )
+        assert len(cache) == 0
+
+    def test_cache_survives_reopen(self, tmp_path):
+        key = "c" * 64
+        ResultCache(tmp_path).put(
+            key,
+            {"degraded": False, "nets": []},
+            job_id="j000001",
+            design_hash="d" * 64,
+            method="PACOR",
+        )
+        reopened = ResultCache(tmp_path)
+        assert reopened.get(key) == {"degraded": False, "nets": []}

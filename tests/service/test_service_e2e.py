@@ -1,0 +1,294 @@
+"""End-to-end service tests: daemon, worker pool, HTTP API, cache.
+
+The acceptance bar: results served through the daemon are bit-identical
+(everything except wall-clock runtime) to running ``pacor route``
+directly, concurrency notwithstanding, and an identical re-submission is
+answered from the cache without re-routing.
+"""
+
+import json
+
+import pytest
+
+from repro.core import PacorConfig, run_method
+from repro.designs import design_by_name, design_to_json
+from repro.robustness.errors import JobFormatError, ServiceError
+from repro.service import (
+    JobState,
+    PacorService,
+    ServiceAPIServer,
+    ServiceClient,
+)
+
+
+def canonical(result_doc):
+    """Result document minus wall-clock noise, as a comparable string."""
+    doc = json.loads(json.dumps(result_doc))
+    doc.get("summary", {}).pop("runtime_s", None)
+    return json.dumps(doc, sort_keys=True)
+
+
+def direct_baseline(design_name, method="PACOR"):
+    design = design_by_name(design_name)
+    return run_method(design, method, PacorConfig()).to_json()
+
+
+@pytest.fixture
+def service(tmp_path):
+    svc = PacorService(tmp_path / "svc", workers=3)
+    yield svc
+    svc.stop(graceful=False, timeout=10.0)
+
+
+class TestRouting:
+    def test_concurrent_suite_bit_identical_to_direct(self, service):
+        """S1..S5 through the daemon == direct runs, modulo runtime."""
+        names = ["S1", "S2", "S3", "S4", "S5"]
+        records = [
+            service.submit(design_to_json(design_by_name(name)))
+            for name in names
+        ]
+        service.start()
+        assert service.drain(timeout=120.0)
+        for name, submitted in zip(names, records):
+            record = service.job(submitted.job_id)
+            assert record.state == JobState.SUCCEEDED, record.error
+            assert record.degraded is False
+            served = service.result_doc(record.job_id)
+            assert canonical(served) == canonical(direct_baseline(name))
+            # The summary copied onto the record matches the result.
+            assert record.summary["design"] == name
+
+    def test_job_artifacts_written(self, service):
+        record = service.submit(design_to_json(design_by_name("S1")))
+        service.start()
+        assert service.drain(timeout=60.0)
+        assert service.trace_lines(record.job_id)
+        assert service.store.metrics_path(record.job_id).is_file()
+        events = service.events(record.job_id)
+        statuses = [
+            e["status"] for e in events["events"] if e["kind"] == "status"
+        ]
+        assert statuses[0] == "queued"
+        assert "settled" in statuses
+        span_names = {
+            e["name"] for e in events["events"] if e["kind"] == "span"
+        }
+        assert "route" in span_names  # the flow span reached the stream
+
+
+class TestSpawnStartMethod:
+    def test_daemon_routes_under_spawn(self, tmp_path):
+        """The worker entry point survives the strictest start method."""
+        service = PacorService(tmp_path, workers=1, start_method="spawn")
+        record = service.submit(design_to_json(design_by_name("S1")))
+        service.start()
+        try:
+            assert service.drain(timeout=120.0)
+            final = service.job(record.job_id)
+            assert final.state == JobState.SUCCEEDED, final.error
+            assert canonical(service.result_doc(record.job_id)) == canonical(
+                direct_baseline("S1")
+            )
+        finally:
+            service.stop(graceful=False, timeout=10.0)
+
+
+class TestCache:
+    def test_resubmit_is_answered_from_cache(self, service):
+        doc = design_to_json(design_by_name("S1"))
+        first = service.submit(doc)
+        service.start()
+        assert service.drain(timeout=60.0)
+        again = service.submit(doc)
+        # Settled synchronously inside submit: no worker, no queueing.
+        assert again.state == JobState.SUCCEEDED
+        assert again.cached is True
+        assert again.attempts == 0
+        assert canonical(service.result_doc(again.job_id)) == canonical(
+            service.result_doc(first.job_id)
+        )
+        counters = service.metrics.counter_values()
+        assert counters["service.cache_hits"] == 1
+        assert counters["service.cache_stores"] == 1
+
+    def test_cache_distinguishes_method_and_config(self, service):
+        doc = design_to_json(design_by_name("S1"))
+        service.start()
+        service.submit(doc)
+        assert service.drain(timeout=60.0)
+        other_method = service.submit(doc, method="w/o Sel")
+        assert other_method.cached is False
+        other_config = service.submit(doc, config={"k_candidates": 2})
+        assert other_config.cached is False
+
+    def test_budget_overrides_do_not_split_the_cache(self, service):
+        """Different QoS tiers share cache entries (budgets are excluded)."""
+        doc = design_to_json(design_by_name("S1"))
+        service.start()
+        service.submit(doc, qos="standard")
+        assert service.drain(timeout=60.0)
+        hit = service.submit(doc, qos="batch")
+        assert hit.cached is True
+
+
+class TestValidation:
+    def test_bad_design_rejected(self, service):
+        from repro.robustness.errors import DesignFormatError
+
+        with pytest.raises(DesignFormatError):
+            service.submit({"not": "a design"})
+
+    def test_unknown_method_rejected(self, service):
+        doc = design_to_json(design_by_name("S1"))
+        with pytest.raises(ServiceError, match="unknown method"):
+            service.submit(doc, method="Sorcery")
+
+    def test_unknown_qos_rejected(self, service):
+        doc = design_to_json(design_by_name("S1"))
+        with pytest.raises(ServiceError, match="unknown qos"):
+            service.submit(doc, qos="platinum")
+
+    def test_unknown_budget_field_rejected(self, service):
+        doc = design_to_json(design_by_name("S1"))
+        with pytest.raises(ServiceError, match="unknown budget field"):
+            service.submit(doc, budget={"cpu_cycles": 5})
+
+    def test_unknown_job_raises(self, service):
+        with pytest.raises(JobFormatError, match="no such job"):
+            service.job("j999999")
+
+
+class TestCancel:
+    def test_cancel_queued_job(self, tmp_path):
+        service = PacorService(tmp_path, workers=1)
+        doc = design_to_json(design_by_name("S1"))
+        first = service.submit(doc)
+        second = service.submit(
+            design_to_json(design_by_name("S2"))
+        )
+        cancelled = service.cancel(second.job_id)
+        assert cancelled.state == JobState.CANCELLED
+        service.start()
+        try:
+            assert service.drain(timeout=60.0)
+            assert service.job(first.job_id).state == JobState.SUCCEEDED
+            assert service.job(second.job_id).state == JobState.CANCELLED
+            counters = service.metrics.counter_values()
+            assert counters["service.cancellations"] == 1
+        finally:
+            service.stop(graceful=False, timeout=10.0)
+
+    def test_cancel_settled_job_rejected(self, service):
+        record = service.submit(design_to_json(design_by_name("S1")))
+        service.start()
+        assert service.drain(timeout=60.0)
+        with pytest.raises(ServiceError, match="cannot be cancelled"):
+            service.cancel(record.job_id)
+
+
+class TestRecovery:
+    def test_queued_jobs_survive_daemon_restart(self, tmp_path):
+        root = tmp_path / "svc"
+        before = PacorService(root, workers=1)
+        record = before.submit(design_to_json(design_by_name("S1")))
+        # The daemon dies without ever dispatching (never started).
+        del before
+        after = PacorService(root, workers=1)
+        assert service_queue_contains(after, record.job_id)
+        after.start()
+        try:
+            assert after.drain(timeout=60.0)
+            assert after.job(record.job_id).state == JobState.SUCCEEDED
+        finally:
+            after.stop(graceful=False, timeout=10.0)
+
+    def test_running_orphan_without_checkpoint_requeued(self, tmp_path):
+        root = tmp_path / "svc"
+        before = PacorService(root, workers=1)
+        record = before.submit(design_to_json(design_by_name("S1")))
+        # Simulate a daemon that died mid-dispatch: record says running,
+        # but no worker (and no parked checkpoint) exists.
+        record.state = JobState.RUNNING
+        before.store.save(record)
+        del before
+        after = PacorService(root, workers=1)
+        requeued = after.job(record.job_id)
+        assert requeued.state == JobState.QUEUED
+        assert after.metrics.counter_values()["service.recovered_jobs"] == 1
+
+
+def service_queue_contains(service, job_id):
+    return job_id in service.queue
+
+
+class TestHTTPAPI:
+    @pytest.fixture
+    def client(self, service):
+        server = ServiceAPIServer(service)
+        server.start()
+        service.start()
+        yield ServiceClient(server.url, timeout=30.0)
+        server.stop()
+
+    def test_health(self, client):
+        doc = client.health()
+        assert doc["status"] == "ok"
+        assert doc["api_version"] == "v1"
+
+    def test_submit_wait_result_roundtrip(self, client):
+        doc = design_to_json(design_by_name("S2"))
+        record = client.submit(doc)
+        assert record["state"] in ("queued", "running")
+        settled = client.wait(record["job_id"], timeout=60.0)
+        assert settled["state"] == "succeeded"
+        served = client.result(record["job_id"])
+        assert canonical(served) == canonical(direct_baseline("S2"))
+
+    def test_jobs_listing_and_stats(self, client):
+        record = client.submit(design_to_json(design_by_name("S1")))
+        client.wait(record["job_id"], timeout=60.0)
+        listed = client.jobs()
+        assert [r["job_id"] for r in listed] == [record["job_id"]]
+        stats = client.stats()
+        assert stats["counters"]["service.jobs_submitted"] == 1
+
+    def test_events_stream_and_trace(self, client):
+        record = client.submit(design_to_json(design_by_name("S1")))
+        client.wait(record["job_id"], timeout=60.0)
+        page = client.events(record["job_id"])
+        assert page["cursor"] > 0
+        kinds = {e["kind"] for e in page["events"]}
+        assert "status" in kinds
+        # Incremental cursor: nothing new after the end.
+        rest = client.events(record["job_id"], after=page["cursor"])
+        assert rest["events"] == []
+        assert client.trace(record["job_id"])
+
+    def test_follow_events_terminates_when_settled(self, client):
+        record = client.submit(design_to_json(design_by_name("S1")))
+        seen = list(client.follow_events(record["job_id"], timeout=60.0))
+        statuses = [
+            e["status"] for e in seen if e.get("kind") == "status"
+        ]
+        assert "settled" in statuses
+
+    def test_unknown_job_is_404(self, client):
+        with pytest.raises(ServiceError, match="HTTP 404"):
+            client.job("j999999")
+
+    def test_malformed_submission_is_400(self, client):
+        with pytest.raises(ServiceError, match="HTTP 400"):
+            client.submit({"not": "a design"})
+
+    def test_result_of_unfinished_job_is_409(self, service):
+        server = ServiceAPIServer(service)
+        server.start()
+        try:
+            # Dispatcher not started: the job stays queued.
+            client = ServiceClient(server.url)
+            record = client.submit(design_to_json(design_by_name("S1")))
+            with pytest.raises(ServiceError, match="HTTP 409"):
+                client.result(record["job_id"])
+        finally:
+            server.stop()

@@ -1,0 +1,114 @@
+"""Regression: core objects survive a multiprocessing *spawn* round trip.
+
+The service worker pool may run under any start method; ``spawn`` is the
+strictest (everything crosses the process boundary by pickle, nothing is
+inherited).  Each object is shipped TO a spawn child as a call argument,
+pickled back BY the child, and compared against the original — so both
+directions of the boundary are exercised with the real machinery, not an
+in-process ``pickle.dumps`` approximation.
+
+A shared session-scoped pool keeps this affordable: one interpreter
+start (~0.5 s) for the whole module.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core import PacorConfig, run_method
+from repro.designs import design_by_name
+from repro.geometry import Point
+from repro.robustness.budget import Budget
+from repro.robustness.checkpoint import Checkpoint
+from repro.robustness.faultmap import FaultEvent, FaultMap
+from repro.service.jobs import JobRecord, JobState
+
+
+@pytest.fixture(scope="module")
+def spawn_pool():
+    import multiprocessing
+
+    ctx = multiprocessing.get_context("spawn")
+    with ctx.Pool(1) as pool:
+        yield pool
+
+
+def spawn_roundtrip(pool, obj):
+    """Ship ``obj`` to the spawn child; get it pickled back and rebuilt."""
+    blob = pool.apply(pickle.dumps, (obj,))
+    return pickle.loads(blob)
+
+
+def test_pacor_config_roundtrips(spawn_pool):
+    config = PacorConfig(
+        k_candidates=6, wall_clock_budget_s=12.5, astar_expansion_budget=99
+    )
+    back = spawn_roundtrip(spawn_pool, config)
+    assert back == config
+    assert back.to_json() == config.to_json()
+
+
+def test_fault_map_roundtrips(spawn_pool):
+    fault_map = FaultMap(
+        faulty_cells=[Point(3, 4)],
+        stuck_valves=[2],
+        events=[FaultEvent(stage="lm-routing", cell=Point(5, 6))],
+    )
+    back = spawn_roundtrip(spawn_pool, fault_map)
+    assert back.to_json() == fault_map.to_json()
+
+
+def test_checkpoint_roundtrips(spawn_pool):
+    # A real mid-flow checkpoint from a budget-interrupted run: the
+    # densest object crossing the boundary (occupancy, nets, incidents).
+    design = design_by_name("S3")
+    result = run_method(
+        design,
+        "PACOR",
+        PacorConfig(astar_expansion_budget=200),
+    )
+    assert result.checkpoint is not None
+    checkpoint = Checkpoint.from_json(result.checkpoint)
+    back = spawn_roundtrip(spawn_pool, checkpoint)
+    assert back.to_json() == checkpoint.to_json()
+
+
+def test_design_roundtrips(spawn_pool):
+    from repro.designs import design_to_json
+
+    design = design_by_name("S2")
+    back = spawn_roundtrip(spawn_pool, design)
+    assert design_to_json(back) == design_to_json(design)
+    assert back.canonical_hash() == design.canonical_hash()
+
+
+def test_result_roundtrips(spawn_pool):
+    result = run_method(design_by_name("S1"), "PACOR", PacorConfig())
+    back = spawn_roundtrip(spawn_pool, result)
+    assert back.to_json() == result.to_json()
+
+
+def test_budget_roundtrips(spawn_pool):
+    budget = Budget(wall_clock_s=30.0, astar_expansions=1000)
+    budget.charge_expansions(7)
+    back = spawn_roundtrip(spawn_pool, budget)
+    assert back.astar_expansions == budget.astar_expansions
+    assert back.expansions_used == budget.expansions_used
+
+
+def test_job_record_roundtrips(spawn_pool):
+    record = JobRecord(
+        job_id="j000007",
+        seq=7,
+        state=JobState.QUEUED,
+        design_name="S1",
+        design_hash="a" * 64,
+        method="PACOR",
+        qos="standard",
+        priority=1,
+        config={"k_candidates": 4},
+        budget={"wall_clock_s": 300.0},
+        cache_key="b" * 64,
+    )
+    back = spawn_roundtrip(spawn_pool, record)
+    assert back == record
