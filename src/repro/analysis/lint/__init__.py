@@ -6,7 +6,10 @@ syntax, and :mod:`repro.analysis.lint.core` for the framework.
 """
 
 from repro.analysis.lint.core import (
+    Baseline,
+    BaselineEntry,
     FileRule,
+    GraphRule,
     LintResult,
     ParsedFile,
     ProjectRule,
@@ -14,6 +17,7 @@ from repro.analysis.lint.core import (
     Suppressions,
     Violation,
     collect_files,
+    find_baseline,
     parse_suppressions,
     register,
     registered_rules,
@@ -30,6 +34,10 @@ __all__ = [
     "Rule",
     "FileRule",
     "ProjectRule",
+    "GraphRule",
+    "Baseline",
+    "BaselineEntry",
+    "find_baseline",
     "Violation",
     "Suppressions",
     "ParsedFile",

@@ -7,32 +7,62 @@ taxonomy, kernels must report through the observability counters.  Like
 a DRC deck for physical design rules, ``pacorlint`` enforces those
 invariants mechanically over the AST instead of relying on review.
 
-Two rule kinds exist:
+Three rule kinds exist:
 
 * :class:`FileRule` — checks one parsed module at a time (most rules).
 * :class:`ProjectRule` — sees every parsed module plus the repo root at
   once, for cross-file contracts (counter coverage, schema drift).
+* :class:`GraphRule` — a project rule additionally handed the shared
+  :class:`~repro.analysis.graph.ProjectGraph` (import graph, symbol
+  table, call graph), built once per run for the dataflow rules.
 
 Suppressions are comments:
 
-* ``# pacorlint: disable=RULE`` trailing a code line suppresses the
-  named rule(s) on that line;
-* the same comment standing alone on its own line suppresses the
+* ``# pacorlint: disable=RULE`` anywhere inside a statement — trailing
+  any physical line of it — suppresses the named rule(s) for the whole
+  *logical* line (a multi-line call suppressed on its last line is
+  suppressed on its first);
+* the same comment standing alone between statements suppresses the
   rule(s) for the whole file.
 
 ``RULE`` may be a comma-separated list, or ``all``.
+
+Pre-existing violations that cannot be fixed in place live in a
+checked-in **baseline** (``.pacorlint-baseline.json``): entries match
+on ``(rule, path, message)`` — deliberately line-free, so unrelated
+edits above a baselined site do not resurrect it — and each carries a
+human-written ``reason``.  Baselined hits are reported separately and
+do not fail the run.
 """
 
 from __future__ import annotations
 
 import ast
 import io
+import json
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Type
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Type,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.graph import ProjectGraph
 
 _SUPPRESS_MARKER = "pacorlint:"
+
+#: Default baseline filename, auto-loaded from the repo root.
+BASELINE_FILENAME = ".pacorlint-baseline.json"
 
 
 @dataclass(frozen=True)
@@ -71,41 +101,84 @@ class Suppressions:
         return "all" in at_line or rule in at_line
 
 
+def _parse_directive(comment: str) -> Optional[Set[str]]:
+    """Return the rule set of a ``# pacorlint: disable=...`` comment."""
+    text = comment.lstrip("#").strip()
+    if not text.startswith(_SUPPRESS_MARKER):
+        return None
+    directive = text[len(_SUPPRESS_MARKER) :].strip()
+    if not directive.startswith("disable="):
+        return None
+    rules = {
+        name.strip()
+        for name in directive[len("disable=") :].split(",")
+        if name.strip()
+    }
+    return rules or None
+
+
 def parse_suppressions(source: str) -> Suppressions:
     """Extract ``# pacorlint: disable=...`` comments from ``source``.
 
     Comment tokens are read with :mod:`tokenize`, so markers inside
-    string literals are ignored.  A comment that is the only token on
-    its physical line is file-level; a trailing comment is line-level.
+    string literals are ignored.  Classification follows *logical*
+    lines, which tokenize delimits with ``NEWLINE`` (``NL`` is a
+    non-logical break inside an open statement):
+
+    * a comment inside an open logical line — trailing any physical
+      line of a multi-line statement, or on a continuation line of its
+      own — suppresses the rules on **every** physical line the
+      statement spans, so violations reported at inner nodes are
+      covered too;
+    * a comment between statements (no logical line open) is
+      file-level.
+
+    A compound-statement header (``def``/``if``/...) is its own logical
+    line ending at the colon, so a trailing comment there never leaks
+    into the suite it introduces.
     """
     out = Suppressions()
     try:
         tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
     except (tokenize.TokenError, IndentationError):
         return out
-    lines = source.splitlines()
+    start: Optional[int] = None  # first line of the open logical line
+    last_line = 1
+    pending: List[Set[str]] = []  # directives seen inside the open line
+
+    def flush(end_line: int) -> None:
+        if start is None or not pending:
+            return
+        for rules in pending:
+            for lineno in range(start, end_line + 1):
+                out.line_rules.setdefault(lineno, set()).update(rules)
+
     for tok in tokens:
-        if tok.type != tokenize.COMMENT:
+        last_line = max(last_line, tok.end[0])
+        if tok.type == tokenize.COMMENT:
+            rules = _parse_directive(tok.string)
+            if rules is None:
+                continue
+            if start is None:
+                out.file_rules.update(rules)
+            else:
+                pending.append(rules)
+        elif tok.type == tokenize.NEWLINE:
+            flush(tok.end[0])
+            start = None
+            pending = []
+        elif tok.type in (
+            tokenize.NL,
+            tokenize.INDENT,
+            tokenize.DEDENT,
+            tokenize.ENCODING,
+            tokenize.ENDMARKER,
+        ):
             continue
-        comment = tok.string.lstrip("#").strip()
-        if not comment.startswith(_SUPPRESS_MARKER):
-            continue
-        directive = comment[len(_SUPPRESS_MARKER) :].strip()
-        if not directive.startswith("disable="):
-            continue
-        rules = {
-            name.strip()
-            for name in directive[len("disable=") :].split(",")
-            if name.strip()
-        }
-        if not rules:
-            continue
-        lineno = tok.start[0]
-        before = lines[lineno - 1][: tok.start[1]] if lineno <= len(lines) else ""
-        if before.strip():
-            out.line_rules.setdefault(lineno, set()).update(rules)
-        else:
-            out.file_rules.update(rules)
+        elif start is None:
+            start = tok.start[0]
+    # A file truncated mid-statement still honours its suppressions.
+    flush(last_line)
     return out
 
 
@@ -160,6 +233,24 @@ class ProjectRule(Rule):
         raise NotImplementedError
 
 
+class GraphRule(Rule):
+    """A project rule handed the shared :class:`ProjectGraph`.
+
+    The graph (import graph + symbol table + call graph) is built once
+    per lint run and shared by every graph rule, so adding a dataflow
+    rule costs one traversal, not one graph construction.
+    """
+
+    def check_graph(
+        self,
+        graph: "ProjectGraph",
+        files: Sequence[ParsedFile],
+        root: Path,
+    ) -> Iterator[Violation]:
+        """Yield violations found by walking ``graph``."""
+        raise NotImplementedError
+
+
 _REGISTRY: Dict[str, Type[Rule]] = {}
 
 
@@ -182,6 +273,100 @@ def registered_rules() -> Dict[str, Type[Rule]]:
     return dict(_REGISTRY)
 
 
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted pre-existing violation with its justification."""
+
+    rule: str
+    path: str
+    message: str
+    reason: str
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        """Return the (rule, path, message) match key."""
+        return (self.rule, self.path, self.message)
+
+    def to_json(self) -> Dict[str, object]:
+        """Return the baseline-file document of this entry."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "message": self.message,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class Baseline:
+    """A checked-in set of accepted violations (``.pacorlint-baseline.json``).
+
+    Entries match on ``(rule, path, message)`` — no line numbers, so
+    edits elsewhere in a file cannot resurrect a baselined finding.  A
+    matched violation is reported under ``baselined`` instead of
+    failing the run; entries that match nothing are *stale* and should
+    be pruned (``--update-baseline`` does).
+    """
+
+    entries: List[BaselineEntry] = field(default_factory=list)
+    path: Optional[Path] = None
+
+    def match(self, violation: Violation) -> Optional[BaselineEntry]:
+        """Return the entry covering ``violation``, or None."""
+        key = (violation.rule, violation.path, violation.message)
+        for entry in self.entries:
+            if entry.key == key:
+                return entry
+        return None
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Load a baseline file.
+
+        Raises:
+            ValueError: the document is not a valid baseline.
+        """
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: not valid JSON: {exc}") from None
+        if not isinstance(doc, dict) or "entries" not in doc:
+            raise ValueError(f"{path}: expected an object with 'entries'")
+        entries: List[BaselineEntry] = []
+        for i, raw in enumerate(doc["entries"]):
+            if not isinstance(raw, dict):
+                raise ValueError(f"{path}: entries[{i}] is not an object")
+            try:
+                entries.append(
+                    BaselineEntry(
+                        rule=str(raw["rule"]),
+                        path=str(raw["path"]),
+                        message=str(raw["message"]),
+                        reason=str(raw["reason"]),
+                    )
+                )
+            except KeyError as exc:
+                raise ValueError(
+                    f"{path}: entries[{i}] missing key {exc}"
+                ) from None
+        return cls(entries=entries, path=path)
+
+    def save(self, path: Path) -> None:
+        """Write the baseline document, sorted for stable diffs."""
+        doc = {
+            "schema_version": 1,
+            "tool": "pacorlint-baseline",
+            "entries": [
+                e.to_json()
+                for e in sorted(self.entries, key=lambda e: e.key)
+            ],
+        }
+        path.write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+
 @dataclass
 class LintResult:
     """Outcome of one lint run."""
@@ -190,10 +375,16 @@ class LintResult:
     files_checked: int
     suppressed: int
     rules: List[str]
+    #: violations absorbed by the baseline, with their entries.
+    baselined: List[Tuple[Violation, BaselineEntry]] = field(
+        default_factory=list
+    )
+    #: baseline entries that matched no current violation.
+    stale_baseline: List[BaselineEntry] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
-        """Return True when no unsuppressed violation was found."""
+        """Return True when no unsuppressed, unbaselined violation exists."""
         return not self.violations
 
     def to_json(self) -> Dict[str, object]:
@@ -205,7 +396,37 @@ class LintResult:
             "rules": list(self.rules),
             "suppressed": self.suppressed,
             "violations": [v.to_json() for v in self.violations],
+            "baselined": [
+                {**v.to_json(), "reason": entry.reason}
+                for v, entry in self.baselined
+            ],
+            "stale_baseline": [e.to_json() for e in self.stale_baseline],
         }
+
+
+# Parsed sources cached across rules *and* runs, keyed by path and
+# invalidated on (mtime_ns, size) change: every rule of a run — and a
+# re-run in the same process (tests, `pacor lint` loops) — reuses one
+# parse per file instead of one per rule.  Entries hold the immutable
+# triple (source, tree, suppressions); ParsedFile itself is rebuilt per
+# call because ``rel`` depends on the requested root.  Rules treat ASTs
+# as read-only, which is what makes the sharing sound.
+_ParseEntry = Tuple[Tuple[int, int], str, ast.Module, Suppressions]
+_PARSE_CACHE: Dict[Path, _ParseEntry] = {}
+
+
+def _parse_cached(path: Path) -> Tuple[str, ast.Module, Suppressions]:
+    """Parse ``path`` once, reusing the cache while it is unchanged."""
+    stat = path.stat()
+    stamp = (stat.st_mtime_ns, stat.st_size)
+    cached = _PARSE_CACHE.get(path)
+    if cached is not None and cached[0] == stamp:
+        return cached[1], cached[2], cached[3]
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    suppressions = parse_suppressions(source)
+    _PARSE_CACHE[path] = (stamp, source, tree, suppressions)
+    return source, tree, suppressions
 
 
 def collect_files(paths: Iterable[Path], root: Path) -> List[ParsedFile]:
@@ -234,8 +455,7 @@ def collect_files(paths: Iterable[Path], root: Path) -> List[ParsedFile]:
                 ordered.append(c)
     out: List[ParsedFile] = []
     for path in ordered:
-        source = path.read_text(encoding="utf-8")
-        tree = ast.parse(source, filename=str(path))
+        source, tree, suppressions = _parse_cached(path)
         try:
             rel = str(path.relative_to(root.resolve()))
         except ValueError:
@@ -246,10 +466,16 @@ def collect_files(paths: Iterable[Path], root: Path) -> List[ParsedFile]:
                 rel=rel,
                 source=source,
                 tree=tree,
-                suppressions=parse_suppressions(source),
+                suppressions=suppressions,
             )
         )
     return out
+
+
+def find_baseline(root: Path) -> Optional[Path]:
+    """Return the repo-root baseline file when one is checked in."""
+    candidate = root / BASELINE_FILENAME
+    return candidate if candidate.is_file() else None
 
 
 def run_lint(
@@ -257,6 +483,7 @@ def run_lint(
     *,
     root: Optional[Path] = None,
     rule_ids: Optional[Sequence[str]] = None,
+    baseline: Optional[Baseline] = None,
 ) -> LintResult:
     """Run pacorlint over ``paths`` and return the result.
 
@@ -267,6 +494,8 @@ def run_lint(
             from ``paths``.
         rule_ids: subset of rule ids to run; all registered rules when
             None.
+        baseline: accepted pre-existing violations; matched hits land
+            in :attr:`LintResult.baselined` instead of failing the run.
 
     Raises:
         ValueError: an unknown rule id was requested.
@@ -287,17 +516,28 @@ def run_lint(
         root = _guess_root(paths)
     files = collect_files(paths, root)
 
+    # The program graph is shared by every GraphRule and built at most
+    # once per run, only when a selected rule needs it.
+    graph: Optional["ProjectGraph"] = None
     raw: List[Violation] = []
     for rule_id in selected:
         rule = registry[rule_id]()
         if isinstance(rule, FileRule):
             for parsed in files:
                 raw.extend(rule.check(parsed))
+        elif isinstance(rule, GraphRule):
+            if graph is None:
+                from repro.analysis.graph import ProjectGraph
+
+                graph = ProjectGraph.build(files)
+            raw.extend(rule.check_graph(graph, files, root))
         elif isinstance(rule, ProjectRule):
             raw.extend(rule.check_project(files, root))
 
     by_rel = {parsed.rel: parsed for parsed in files}
     kept: List[Violation] = []
+    baselined: List[Tuple[Violation, BaselineEntry]] = []
+    matched_entries: Set[Tuple[str, str, str]] = set()
     suppressed = 0
     for violation in raw:
         parsed = by_rel.get(violation.path)
@@ -305,14 +545,34 @@ def run_lint(
             violation.rule, violation.line
         ):
             suppressed += 1
+            continue
+        entry = baseline.match(violation) if baseline is not None else None
+        if entry is not None:
+            baselined.append((violation, entry))
+            matched_entries.add(entry.key)
         else:
             kept.append(violation)
     kept.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    baselined.sort(key=lambda p: (p[0].path, p[0].line, p[0].col, p[0].rule))
+    # An entry is stale only when its rule ran over its file in *this*
+    # invocation and nothing matched; subset runs never flag staleness
+    # they cannot judge.
+    stale: List[BaselineEntry] = []
+    if baseline is not None:
+        stale = [
+            entry
+            for entry in baseline.entries
+            if entry.key not in matched_entries
+            and entry.rule in selected
+            and entry.path in by_rel
+        ]
     return LintResult(
         violations=kept,
         files_checked=len(files),
         suppressed=suppressed,
         rules=selected,
+        baselined=baselined,
+        stale_baseline=stale,
     )
 
 

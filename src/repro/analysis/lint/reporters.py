@@ -14,10 +14,17 @@ def render_human(result: LintResult) -> str:
         f"{v.path}:{v.line}:{v.col}: {v.rule} {v.message}"
         for v in result.violations
     ]
+    for entry in result.stale_baseline:
+        lines.append(
+            f"{entry.path}: stale baseline entry for {entry.rule} "
+            f"(no longer matches; prune it or run --update-baseline)"
+        )
     noun = "violation" if len(result.violations) == 1 else "violations"
     summary = (
         f"pacorlint: {len(result.violations)} {noun} "
-        f"({result.suppressed} suppressed) in {result.files_checked} files "
+        f"({result.suppressed} suppressed, "
+        f"{len(result.baselined)} baselined) "
+        f"in {result.files_checked} files "
         f"[rules: {', '.join(result.rules)}]"
     )
     lines.append(summary)

@@ -22,6 +22,22 @@ Rule ids are stable and documented in ``docs/static_analysis.md``:
 * ``FLT001`` — every named injection point in
   :data:`repro.robustness.faults.INJECTION_POINTS` is exercised by at
   least one test (dead chaos coverage is untested failure handling).
+
+Dataflow rules built on :class:`~repro.analysis.graph.ProjectGraph`:
+
+* ``RACE001`` — mutable module-level state written on a path reachable
+  from a worker/thread entry point (``service.workers.run_job``, any
+  ``Thread``/``Process`` target), class-level mutable defaults in those
+  modules, and :class:`~repro.service.jobs.JobStore` mutator calls
+  outside the service's documented lock.
+* ``SPAWN001`` — objects crossing the process boundary (job payloads,
+  checkpoints, results) must be statically pickle-safe: no lambdas,
+  ``Callable`` fields, file handles, threading primitives or ambient
+  ``Tracer``/``Metrics`` references anywhere in their field graphs.
+* ``PURE001`` — kernel-core functions (``repro.routing.core``) must not
+  write object state through their parameters; all persistent mutation
+  goes through the ``SearchSpace``/``Occupancy`` commit APIs defined in
+  ``repro.routing.core.space`` (which is therefore exempt).
 """
 
 from __future__ import annotations
@@ -29,15 +45,28 @@ from __future__ import annotations
 import ast
 import re
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.analysis.lint.core import (
     FileRule,
+    GraphRule,
     ParsedFile,
     ProjectRule,
     Violation,
     register,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.analysis.graph import FunctionInfo, ProjectGraph
 
 # --------------------------------------------------------------------------
 # Shared helpers
@@ -176,6 +205,9 @@ class WallClockRule(FileRule):
         "repro.robustness.budget",
         "repro.observability.tracing",
         "repro.service",
+        # The determinism sanitizer wraps the clock functions to police
+        # *other* callers; it must name them to patch them.
+        "repro.analysis.sanitize",
     }
     _FORBIDDEN = {
         "time.time",
@@ -989,4 +1021,836 @@ class InjectionCoverageRule(ProjectRule):
                     and isinstance(elt.value, str)
                 ]
                 return (parsed.path, node.lineno, names)
+        return None
+
+
+# --------------------------------------------------------------------------
+# RACE001 — mutable shared state on worker/thread-reachable paths
+
+
+#: Methods that mutate their receiver in place.
+_MUTATING_METHODS = {
+    "append",
+    "appendleft",
+    "add",
+    "clear",
+    "discard",
+    "extend",
+    "insert",
+    "pop",
+    "popitem",
+    "popleft",
+    "remove",
+    "setdefault",
+    "update",
+}
+
+#: Class-attribute names that are conventionally write-once.
+_CLASS_DEFAULT_EXEMPT = {"__slots__"}
+
+
+@register
+class SharedStateRaceRule(GraphRule):
+    """Flag mutable shared state reachable from worker/thread entries.
+
+    Entry points are :func:`repro.service.workers.run_job` plus every
+    function the call graph sees handed to a ``Thread``/``Process``
+    (the daemon's dispatcher loop, future shard workers).  Three shapes
+    are flagged on reachable paths:
+
+    * ``global X`` rebinding and in-place mutation of module-level
+      mutable containers — shared across every thread of the process;
+    * class-level mutable defaults in modules that host reachable code
+      — shared across every instance;
+    * :class:`~repro.service.jobs.JobStore` mutator calls
+      (``save``/``allocate``/``append_event``) outside the owning
+      service class's documented lock.  The lock analysis is lexical
+      (``with self._lock:``) plus a fixed-point over the intra-class
+      call graph, so a private helper only ever invoked under the lock
+      — or only from ``__init__``, before any thread exists — passes.
+    """
+
+    id = "RACE001"
+    rationale = (
+        "mutable module/class state written on a worker- or thread-"
+        "reachable path races once negotiation shards; make it worker-"
+        "local or guard it with the documented lock"
+    )
+
+    _ENTRY_POINTS = ("repro.service.workers.run_job",)
+    _STORE_CLASS = "repro.service.jobs.JobStore"
+    _STORE_MUTATORS = {"save", "allocate", "append_event"}
+    _SERVICE_PREFIX = "repro.service"
+
+    def check_graph(
+        self,
+        graph: "ProjectGraph",
+        files: Sequence[ParsedFile],
+        root: Path,
+    ) -> Iterator[Violation]:
+        """Yield one violation per racy write or un-locked store call."""
+        by_module = {parsed.module: parsed for parsed in files}
+        entries = set(self._ENTRY_POINTS) | set(graph.thread_targets)
+        reached = graph.reachable(entries)
+        reached_modules: Set[str] = set()
+        for qname in sorted(reached):
+            info = graph.functions.get(qname)
+            if info is None:
+                continue
+            parsed = by_module.get(info.module)
+            if parsed is None:
+                continue
+            reached_modules.add(info.module)
+            yield from self._check_writes(graph, parsed, info)
+        for module in sorted(reached_modules):
+            yield from self._check_class_defaults(by_module[module])
+        yield from self._check_store_locking(graph, by_module)
+
+    # -- module-global writes ---------------------------------------------
+
+    def _check_writes(
+        self,
+        graph: "ProjectGraph",
+        parsed: ParsedFile,
+        info: "FunctionInfo",
+    ) -> Iterator[Violation]:
+        mutable = graph.modules[info.module].mutable_globals
+        local = self._local_names(info.node)
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Global):
+                written = [
+                    name
+                    for name in node.names
+                    if self._name_stored(info.node, name)
+                ]
+                for name in written:
+                    yield Violation(
+                        rule=self.id,
+                        path=parsed.rel,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"module global {name!r} is rebound in "
+                            f"{info.qname} on a worker/thread-reachable "
+                            f"path; shared interpreter state races across "
+                            f"threads — thread it through explicitly"
+                        ),
+                    )
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    name = self._subscript_root(target)
+                    if name and name in mutable and name not in local:
+                        yield self._mutation(parsed, info, node, name)
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _MUTATING_METHODS
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in mutable
+                    and func.value.id not in local
+                ):
+                    yield self._mutation(parsed, info, node, func.value.id)
+
+    def _mutation(
+        self,
+        parsed: ParsedFile,
+        info: "FunctionInfo",
+        node: ast.AST,
+        name: str,
+    ) -> Violation:
+        return Violation(
+            rule=self.id,
+            path=parsed.rel,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=(
+                f"module-level mutable {name!r} is mutated in "
+                f"{info.qname} on a worker/thread-reachable path; "
+                f"unsynchronized shared containers race — make it "
+                f"worker-local or guard it"
+            ),
+        )
+
+    @staticmethod
+    def _subscript_root(target: ast.AST) -> Optional[str]:
+        """Return the root Name of a ``X[...]``(``.attr``) write target."""
+        if not isinstance(target, (ast.Subscript, ast.Attribute)):
+            return None
+        while isinstance(target, (ast.Subscript, ast.Attribute)):
+            target = target.value
+        return target.id if isinstance(target, ast.Name) else None
+
+    @staticmethod
+    def _name_stored(func: ast.AST, name: str) -> bool:
+        for node in ast.walk(func):
+            if (
+                isinstance(node, ast.Name)
+                and node.id == name
+                and isinstance(node.ctx, (ast.Store, ast.Del))
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _local_names(func: ast.AST) -> Set[str]:
+        """Names bound locally in ``func`` (params and plain stores)."""
+        out: Set[str] = set()
+        args = getattr(func, "args", None)
+        if args is not None:
+            for arg in [
+                *args.posonlyargs,
+                *args.args,
+                *args.kwonlyargs,
+                *([args.vararg] if args.vararg else []),
+                *([args.kwarg] if args.kwarg else []),
+            ]:
+                out.add(arg.arg)
+        declared_global: Set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Global):
+                declared_global.update(node.names)
+            elif isinstance(node, ast.Name) and isinstance(
+                node.ctx, ast.Store
+            ):
+                out.add(node.id)
+        return out - declared_global
+
+    # -- class-level mutable defaults -------------------------------------
+
+    def _check_class_defaults(
+        self, parsed: ParsedFile
+    ) -> Iterator[Violation]:
+        from repro.analysis.graph import ProjectGraph
+
+        for node in parsed.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for item in node.body:
+                if isinstance(item, ast.Assign):
+                    names = [
+                        t.id for t in item.targets if isinstance(t, ast.Name)
+                    ]
+                    value = item.value
+                elif isinstance(item, ast.AnnAssign) and isinstance(
+                    item.target, ast.Name
+                ):
+                    names = [item.target.id]
+                    value = item.value
+                else:
+                    continue
+                names = [
+                    n for n in names if n not in _CLASS_DEFAULT_EXEMPT
+                ]
+                if not names or value is None:
+                    continue
+                if not ProjectGraph._is_mutable_literal(value):
+                    continue
+                for name in names:
+                    yield Violation(
+                        rule=self.id,
+                        path=parsed.rel,
+                        line=item.lineno,
+                        col=item.col_offset,
+                        message=(
+                            f"class {node.name} default {name!r} is a "
+                            f"mutable container shared by every instance "
+                            f"on a worker/thread-reachable module; use an "
+                            f"immutable default or per-instance init"
+                        ),
+                    )
+
+    # -- JobStore access outside the documented lock ----------------------
+
+    def _check_store_locking(
+        self,
+        graph: "ProjectGraph",
+        by_module: Dict[str, ParsedFile],
+    ) -> Iterator[Violation]:
+        for cls_qname in sorted(graph.classes):
+            info = graph.classes[cls_qname]
+            if not (
+                info.module == self._SERVICE_PREFIX
+                or info.module.startswith(self._SERVICE_PREFIX + ".")
+            ):
+                continue
+            parsed = by_module.get(info.module)
+            if parsed is None:
+                continue
+            lock_attrs = self._lock_attrs(info.node)
+            if not lock_attrs:
+                continue
+            attr_types = graph.self_attr_types(info.module, info)
+            store_attrs = {
+                attr
+                for attr, typ in attr_types.items()
+                if graph.canonical(typ) == self._STORE_CLASS
+            }
+            if not store_attrs:
+                continue
+            yield from self._check_lock_discipline(
+                graph, parsed, info, lock_attrs, store_attrs
+            )
+
+    @staticmethod
+    def _lock_attrs(cls_node: ast.ClassDef) -> Set[str]:
+        """Attribute names bound to threading locks in ``__init__``."""
+        out: Set[str] = set()
+        for item in cls_node.body:
+            if (
+                isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and item.name == "__init__"
+            ):
+                for node in ast.walk(item):
+                    if (
+                        isinstance(node, ast.Assign)
+                        and len(node.targets) == 1
+                        and isinstance(node.targets[0], ast.Attribute)
+                        and isinstance(node.targets[0].value, ast.Name)
+                        and node.targets[0].value.id == "self"
+                        and isinstance(node.value, ast.Call)
+                        and (_dotted(node.value.func) or "").split(".")[-1]
+                        in ("Lock", "RLock")
+                    ):
+                        out.add(node.targets[0].attr)
+        return out
+
+    def _check_lock_discipline(
+        self,
+        graph: "ProjectGraph",
+        parsed: ParsedFile,
+        info: "ClassInfo",  # type: ignore[name-defined]  # noqa: F821
+        lock_attrs: Set[str],
+        store_attrs: Set[str],
+    ) -> Iterator[Violation]:
+        methods = {
+            f.name: f
+            for f in graph.functions.values()
+            if f.cls == info.qname
+        }
+        # Per method: store-mutator sites and intra-class call sites,
+        # each annotated with "lexically inside `with self.<lock>`".
+        mutator_sites: Dict[str, List[Tuple[ast.Call, bool]]] = {}
+        call_sites: Dict[str, List[Tuple[str, bool]]] = {}
+        for name, func in methods.items():
+            locked_nodes = self._nodes_under_lock(func.node, lock_attrs)
+            for node in ast.walk(func.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                f = node.func
+                if not isinstance(f, ast.Attribute):
+                    continue
+                receiver = f.value
+                if (
+                    f.attr in self._STORE_MUTATORS
+                    and isinstance(receiver, ast.Attribute)
+                    and isinstance(receiver.value, ast.Name)
+                    and receiver.value.id == "self"
+                    and receiver.attr in store_attrs
+                ):
+                    mutator_sites.setdefault(name, []).append(
+                        (node, id(node) in locked_nodes)
+                    )
+                elif (
+                    isinstance(receiver, ast.Name)
+                    and receiver.id == "self"
+                    and f.attr in methods
+                ):
+                    call_sites.setdefault(f.attr, []).append(
+                        (name, id(node) in locked_nodes)
+                    )
+        # Fixed point: a method "runs under the lock" when every caller
+        # either holds it lexically at the call site, is __init__ (no
+        # threads yet), or itself runs under the lock.
+        held = {
+            name
+            for name, func in methods.items()
+            if name.startswith("_")
+            and name != "__init__"
+            and call_sites.get(name)
+            and func.qname not in graph.thread_targets
+        }
+        changed = True
+        while changed:
+            changed = False
+            for name in sorted(held):
+                ok = all(
+                    under or caller == "__init__" or caller in held
+                    for caller, under in call_sites.get(name, ())
+                )
+                if not ok:
+                    held.discard(name)
+                    changed = True
+        for name in sorted(mutator_sites):
+            if name == "__init__" or name in held:
+                continue
+            for node, under in mutator_sites[name]:
+                if under:
+                    continue
+                yield Violation(
+                    rule=self.id,
+                    path=parsed.rel,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"JobStore.{node.func.attr} called in "  # type: ignore[attr-defined]
+                        f"{info.qname}.{name} outside the documented "
+                        f"lock; record writes race the dispatcher — wrap "
+                        f"the call in `with self.{sorted(lock_attrs)[0]}:`"
+                    ),
+                )
+
+    @staticmethod
+    def _nodes_under_lock(
+        func: ast.AST, lock_attrs: Set[str]
+    ) -> Set[int]:
+        """Return ids of nodes lexically inside ``with self.<lock>:``."""
+        out: Set[int] = set()
+
+        def locked_with(node: ast.With) -> bool:
+            for item in node.items:
+                dotted = _dotted(item.context_expr)
+                if dotted and dotted in {
+                    f"self.{attr}" for attr in lock_attrs
+                }:
+                    return True
+            return False
+
+        def visit(node: ast.AST, locked: bool) -> None:
+            for child in ast.iter_child_nodes(node):
+                child_locked = locked or (
+                    isinstance(child, ast.With) and locked_with(child)
+                )
+                if child_locked:
+                    out.add(id(child))
+                    for sub in ast.walk(child):
+                        out.add(id(sub))
+                    continue
+                visit(child, child_locked)
+
+        visit(func, False)
+        return out
+
+
+# --------------------------------------------------------------------------
+# SPAWN001 — pickle safety of process-boundary payloads
+
+
+#: Generic containers whose type arguments are traversed.
+_SPAWN_CONTAINERS = {
+    "Optional",
+    "Union",
+    "List",
+    "Sequence",
+    "Tuple",
+    "Dict",
+    "Mapping",
+    "MutableMapping",
+    "Set",
+    "FrozenSet",
+    "Iterable",
+    "list",
+    "tuple",
+    "dict",
+    "set",
+    "frozenset",
+}
+
+#: Leaf type names that never survive (or should never cross) pickling
+#: to a spawn child, grouped by diagnostic.
+_SPAWN_IO_TYPES = {
+    "IO",
+    "TextIO",
+    "BinaryIO",
+    "TextIOWrapper",
+    "BufferedReader",
+    "BufferedWriter",
+    "FileIO",
+}
+_SPAWN_THREADING_TYPES = {
+    "Lock",
+    "RLock",
+    "Thread",
+    "Condition",
+    "Event",
+    "Semaphore",
+    "BoundedSemaphore",
+    "Barrier",
+}
+_SPAWN_AMBIENT_PREFIX = "repro.observability."
+
+
+@register
+class SpawnSafetyRule(GraphRule):
+    """Statically vet the field graphs of process-boundary payloads.
+
+    The roster mirrors ``tests/service/test_spawn_pickle.py`` — the
+    objects the service actually ships across ``multiprocessing``
+    boundaries (job payloads, checkpoints, results).  Every annotated
+    field — dataclass fields, ``self.x: T`` annotations, and ``self.x =
+    param`` constructor captures — is traversed recursively through
+    container generics and nested project classes, and flagged when it
+    can hold a lambda, an arbitrary ``Callable``, an open file handle,
+    a threading primitive, or an ambient observability object
+    (``Tracer``/``Metrics``/``Span``/``Counter``): those either fail to
+    pickle outright or silently detach from the parent's registries in
+    the child.
+    """
+
+    id = "SPAWN001"
+    rationale = (
+        "process-boundary payloads must pickle under spawn: no lambdas, "
+        "Callable fields, file handles, threading primitives or ambient "
+        "Tracer/Metrics references in their field graphs"
+    )
+
+    _ROSTER = (
+        "repro.core.config.PacorConfig",
+        "repro.core.result.PacorResult",
+        "repro.designs.design.Design",
+        "repro.robustness.budget.Budget",
+        "repro.robustness.checkpoint.Checkpoint",
+        "repro.robustness.faultmap.FaultMap",
+        "repro.service.jobs.JobRecord",
+    )
+
+    def check_graph(
+        self,
+        graph: "ProjectGraph",
+        files: Sequence[ParsedFile],
+        root: Path,
+    ) -> Iterator[Violation]:
+        """Yield one violation per pickle-unsafe field."""
+        by_module = {parsed.module: parsed for parsed in files}
+        visited: Set[str] = set()
+        for qname in self._ROSTER:
+            yield from self._check_class(graph, by_module, qname, visited)
+
+    def _check_class(
+        self,
+        graph: "ProjectGraph",
+        by_module: Dict[str, ParsedFile],
+        qname: str,
+        visited: Set[str],
+    ) -> Iterator[Violation]:
+        qname = graph.canonical(qname)
+        if qname in visited or qname not in graph.classes:
+            return
+        visited.add(qname)
+        info = graph.classes[qname]
+        parsed = by_module.get(info.module)
+        if parsed is None:
+            return
+        for name, ann, value, lineno in self._fields(graph, info):
+            if isinstance(value, ast.Lambda):
+                yield Violation(
+                    rule=self.id,
+                    path=parsed.rel,
+                    line=lineno,
+                    col=0,
+                    message=(
+                        f"{qname}.{name} holds a lambda; lambdas do not "
+                        f"pickle under spawn — use a module-level function"
+                    ),
+                )
+            if ann is None:
+                continue
+            for leaf in self._leaf_types(ann):
+                offense = self._classify(graph, info.module, leaf)
+                if offense is not None:
+                    yield Violation(
+                        rule=self.id,
+                        path=parsed.rel,
+                        line=lineno,
+                        col=0,
+                        message=(
+                            f"{qname}.{name} is typed {leaf}: {offense}"
+                        ),
+                    )
+                    continue
+                resolved = graph.resolve(info.module, leaf)
+                if resolved in graph.classes and resolved not in visited:
+                    yield from self._check_class(
+                        graph, by_module, resolved, visited
+                    )
+
+    def _fields(
+        self, graph: "ProjectGraph", info: "ClassInfo"  # type: ignore[name-defined]  # noqa: F821
+    ) -> Iterator[Tuple[str, Optional[ast.AST], Optional[ast.AST], int]]:
+        """Yield (name, annotation, default/assigned value, line)."""
+        for item in info.node.body:
+            if isinstance(item, ast.AnnAssign) and isinstance(
+                item.target, ast.Name
+            ):
+                ann = item.annotation
+                base = ann.value if isinstance(ann, ast.Subscript) else ann
+                if (_dotted(base) or "").split(".")[-1] == "ClassVar":
+                    continue
+                yield item.target.id, ann, item.value, item.lineno
+            elif isinstance(item, ast.Assign):
+                for target in item.targets:
+                    if isinstance(target, ast.Name):
+                        yield target.id, None, item.value, item.lineno
+        init = graph.functions.get(f"{info.qname}.__init__")
+        if init is None:
+            return
+        param_anns: Dict[str, ast.AST] = {}
+        param_defaults: Dict[str, ast.AST] = {}
+        args = init.node.args  # type: ignore[attr-defined]
+        positional = [*args.posonlyargs, *args.args]
+        for arg in positional:
+            if arg.annotation is not None:
+                param_anns[arg.arg] = arg.annotation
+        for arg, default in zip(
+            positional[len(positional) - len(args.defaults) :], args.defaults
+        ):
+            param_defaults[arg.arg] = default
+        for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+            if arg.annotation is not None:
+                param_anns[arg.arg] = arg.annotation
+            if default is not None:
+                param_defaults[arg.arg] = default
+        for node in ast.walk(init.node):
+            target: Optional[ast.AST] = None
+            value: Optional[ast.AST] = None
+            ann: Optional[ast.AST] = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign):
+                target, value, ann = node.target, node.value, node.annotation
+            if (
+                not isinstance(target, ast.Attribute)
+                or not isinstance(target.value, ast.Name)
+                or target.value.id != "self"
+            ):
+                continue
+            lineno = getattr(node, "lineno", 1)
+            if isinstance(value, ast.Name) and value.id in param_anns:
+                yield (
+                    target.attr,
+                    param_anns[value.id],
+                    param_defaults.get(value.id),
+                    lineno,
+                )
+            elif ann is not None or isinstance(value, ast.Lambda):
+                yield target.attr, ann, value, lineno
+            elif value is not None:
+                # `self.x = x if x is not None else Default()` still
+                # captures the parameter: type it by that parameter.
+                captured = next(
+                    (
+                        n.id
+                        for n in ast.walk(value)
+                        if isinstance(n, ast.Name) and n.id in param_anns
+                    ),
+                    None,
+                )
+                if captured is not None:
+                    yield (
+                        target.attr,
+                        param_anns[captured],
+                        param_defaults.get(captured),
+                        lineno,
+                    )
+
+    def _leaf_types(self, ann: ast.AST) -> Iterator[str]:
+        """Yield dotted leaf type names of an annotation tree."""
+        if isinstance(ann, ast.Constant):
+            if isinstance(ann.value, str):
+                try:
+                    yield from self._leaf_types(
+                        ast.parse(ann.value, mode="eval").body
+                    )
+                except SyntaxError:
+                    return
+            return
+        if isinstance(ann, ast.Subscript):
+            outer = (_dotted(ann.value) or "").split(".")[-1]
+            if outer in _SPAWN_CONTAINERS:
+                sl = ann.slice
+                elts = sl.elts if isinstance(sl, ast.Tuple) else [sl]
+                for elt in elts:
+                    yield from self._leaf_types(elt)
+            else:
+                # Callable[...], Type[...] and friends classify by the
+                # outer name itself.
+                dotted = _dotted(ann.value)
+                if dotted is not None:
+                    yield dotted
+            return
+        if isinstance(ann, ast.BinOp) and isinstance(ann.op, ast.BitOr):
+            yield from self._leaf_types(ann.left)
+            yield from self._leaf_types(ann.right)
+            return
+        dotted = _dotted(ann)
+        if dotted is not None:
+            yield dotted
+
+    def _classify(
+        self, graph: "ProjectGraph", module: str, leaf: str
+    ) -> Optional[str]:
+        """Return the diagnostic for a forbidden leaf type, or None."""
+        short = leaf.split(".")[-1]
+        if short == "Callable":
+            return (
+                "an arbitrary callable only pickles when it is a "
+                "module-level function; lambdas and bound methods break "
+                "spawn workers"
+            )
+        if short in _SPAWN_IO_TYPES:
+            return "open file handles cannot cross the process boundary"
+        resolved = graph.resolve(module, leaf)
+        if resolved is not None and resolved.startswith(
+            _SPAWN_AMBIENT_PREFIX
+        ):
+            return (
+                "ambient observability objects detach from the parent's "
+                "registries in the child; attach tracers/metrics after "
+                "spawn instead"
+            )
+        if short in _SPAWN_THREADING_TYPES:
+            bindings = graph.modules.get(module)
+            head = leaf.split(".")[0]
+            bound = (
+                bindings.bindings.get(head, head) if bindings else head
+            )
+            if bound.startswith("threading") or short in ("Lock", "RLock"):
+                return "threading primitives cannot be pickled"
+        return None
+
+
+# --------------------------------------------------------------------------
+# PURE001 — kernel-core purity outside the commit APIs
+
+
+#: The module that *implements* the commit APIs (SearchSpace adoption,
+#: SpaceCache patching, Occupancy bridging) and is therefore exempt.
+_PURE_EXEMPT_MODULE = "repro.routing.core.space"
+_PURE_SCOPE = "repro.routing.core"
+
+
+@register
+class KernelPurityRule(GraphRule):
+    """Forbid kernel-core writes to object state outside commit APIs.
+
+    The wave/scalar engines receive their ``SearchSpace`` (and scratch
+    arrays) as parameters.  Writing *attributes* of a parameter —
+    ``space.blocked[...] = 1``, ``occ._owner[...] = net`` — mutates
+    persistent objects behind the back of the dirty-set bookkeeping
+    that :class:`~repro.routing.core.space.SpaceCache` relies on; the
+    sanctioned path is the ``SearchSpace``/``Occupancy`` commit APIs in
+    ``repro.routing.core.space`` (exempt from this rule).  Bare
+    subscript writes into array *parameters* (``dist[v] = d``) stay
+    legal: those are caller-allocated scratch buffers local to one
+    kernel invocation.  ``global``/``nonlocal`` rebinding is forbidden
+    outright; module-level memo caches are RACE001's concern.
+    """
+
+    id = "PURE001"
+    rationale = (
+        "kernel-core functions must not write object state through "
+        "their parameters; route mutations through the SearchSpace/"
+        "Occupancy commit APIs so SpaceCache invalidation stays sound"
+    )
+
+    def check_graph(
+        self,
+        graph: "ProjectGraph",
+        files: Sequence[ParsedFile],
+        root: Path,
+    ) -> Iterator[Violation]:
+        """Yield one violation per out-of-API state write."""
+        by_module = {parsed.module: parsed for parsed in files}
+        for info in graph.functions_in(_PURE_SCOPE):
+            if info.module == _PURE_EXEMPT_MODULE or info.module.startswith(
+                _PURE_EXEMPT_MODULE + "."
+            ):
+                continue
+            parsed = by_module.get(info.module)
+            if parsed is None:
+                continue
+            yield from self._check_function(parsed, info)
+
+    def _check_function(
+        self, parsed: ParsedFile, info: "FunctionInfo"
+    ) -> Iterator[Violation]:
+        params = self._param_names(info.node)
+        for node in ast.walk(info.node):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                params |= self._param_names(node)
+        for node in ast.walk(info.node):
+            if isinstance(node, (ast.Global, ast.Nonlocal)):
+                kind = (
+                    "global" if isinstance(node, ast.Global) else "nonlocal"
+                )
+                yield Violation(
+                    rule=self.id,
+                    path=parsed.rel,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"{info.qname} rebinds {kind} state "
+                        f"({', '.join(node.names)}); kernel-core "
+                        f"functions must stay pure outside the commit "
+                        f"APIs"
+                    ),
+                )
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    hit = self._param_attribute_write(target, params)
+                    if hit is not None:
+                        root_name, attr = hit
+                        yield Violation(
+                            rule=self.id,
+                            path=parsed.rel,
+                            line=target.lineno,
+                            col=target.col_offset,
+                            message=(
+                                f"{info.qname} writes "
+                                f"{root_name}.{attr} through a "
+                                f"parameter, bypassing the SearchSpace/"
+                                f"Occupancy commit APIs; SpaceCache "
+                                f"dirty-set bookkeeping cannot see this "
+                                f"write"
+                            ),
+                        )
+
+    @staticmethod
+    def _param_names(func: ast.AST) -> Set[str]:
+        args = getattr(func, "args", None)
+        if args is None:
+            return set()
+        names = {
+            arg.arg
+            for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]
+        }
+        return names - {"self", "cls"}
+
+    @staticmethod
+    def _param_attribute_write(
+        target: ast.AST, params: Set[str]
+    ) -> Optional[Tuple[str, str]]:
+        """Return (param, attr) when ``target`` writes ``param.attr...``."""
+        attr: Optional[str] = None
+        node = target
+        while isinstance(node, (ast.Subscript, ast.Attribute)):
+            if isinstance(node, ast.Attribute):
+                attr = node.attr
+            node = node.value
+        if (
+            attr is not None
+            and isinstance(node, ast.Name)
+            and node.id in params
+        ):
+            return node.id, attr
         return None

@@ -2,6 +2,13 @@
 
 Exit codes follow the repo's CLI conventions: 0 clean, 1 unsuppressed
 violations found, 2 internal error / bad usage.
+
+The baseline workflow: a checked-in ``.pacorlint-baseline.json`` at the
+repo root is picked up automatically (``--baseline`` points elsewhere,
+``--no-baseline`` ignores it).  ``--update-baseline`` rewrites the file
+from the current violations, keeping the human-written ``reason`` of
+entries that still match and stamping new entries with a TODO reason to
+be justified before commit.
 """
 
 from __future__ import annotations
@@ -11,12 +18,21 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.analysis.lint.core import registered_rules, run_lint
+from repro.analysis.lint.core import (
+    Baseline,
+    BaselineEntry,
+    LintResult,
+    find_baseline,
+    registered_rules,
+    run_lint,
+)
 from repro.analysis.lint.reporters import (
     render_human,
     render_json,
     render_rule_list,
 )
+
+_TODO_REASON = "TODO: justify this baseline entry"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -48,11 +64,86 @@ def build_parser() -> argparse.ArgumentParser:
         help="repo root (default: nearest ancestor with pyproject.toml)",
     )
     parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="baseline file of accepted violations "
+        "(default: <root>/.pacorlint-baseline.json when present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current violations "
+        "(keeps reasons of surviving entries) and exit 0",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalogue and exit",
     )
     return parser
+
+
+def _resolve_baseline(
+    args: argparse.Namespace, root: Optional[Path]
+) -> Optional[Baseline]:
+    """Load the effective baseline for this invocation, or None.
+
+    Raises:
+        FileNotFoundError: an explicit ``--baseline`` path is missing.
+        ValueError: the baseline document is malformed.
+    """
+    if args.no_baseline:
+        return None
+    if args.baseline:
+        path = Path(args.baseline)
+        if not path.is_file():
+            if args.update_baseline:
+                return None  # creating it fresh
+            raise FileNotFoundError(  # pacorlint: disable=ERR001
+                f"baseline file not found: {path}"
+            )
+        return Baseline.load(path)
+    if root is not None:
+        found = find_baseline(root)
+        if found is not None:
+            return Baseline.load(found)
+    return None
+
+
+def _rewrite_baseline(
+    result: LintResult, baseline: Optional[Baseline], path: Path
+) -> int:
+    """Write a fresh baseline covering every current violation."""
+    entries: List[BaselineEntry] = []
+    for violation, entry in result.baselined:
+        entries.append(entry)  # still matching: keep its reason
+    for violation in result.violations:
+        entries.append(
+            BaselineEntry(
+                rule=violation.rule,
+                path=violation.path,
+                message=violation.message,
+                reason=_TODO_REASON,
+            )
+        )
+    # Dedup on the match key (several sites can share one message).
+    unique = {entry.key: entry for entry in entries}
+    Baseline(entries=list(unique.values())).save(path)
+    print(
+        f"pacorlint: wrote {len(unique)} baseline entries to {path}"
+        + (
+            f" ({sum(1 for e in unique.values() if e.reason == _TODO_REASON)}"
+            " need a reason)"
+            if any(e.reason == _TODO_REASON for e in unique.values())
+            else ""
+        )
+    )
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -64,15 +155,31 @@ def main(argv: Optional[List[str]] = None) -> int:
     rule_ids = None
     if args.rules:
         rule_ids = [r.strip() for r in args.rules.split(",") if r.strip()]
+    root = Path(args.root) if args.root else None
     try:
+        from repro.analysis.lint.core import _guess_root
+
+        effective_root = root if root is not None else _guess_root(
+            [Path(p) for p in args.paths]
+        )
+        baseline = _resolve_baseline(args, effective_root)
         result = run_lint(
             [Path(p) for p in args.paths],
-            root=Path(args.root) if args.root else None,
+            root=effective_root,
             rule_ids=rule_ids,
+            baseline=baseline,
         )
     except (ValueError, FileNotFoundError, SyntaxError) as exc:
         print(f"pacorlint: error: {exc}", file=sys.stderr)
         return 2
+    if args.update_baseline:
+        target = (
+            Path(args.baseline)
+            if args.baseline
+            else (baseline.path if baseline is not None and baseline.path
+                  else effective_root / ".pacorlint-baseline.json")
+        )
+        return _rewrite_baseline(result, baseline, target)
     print(render_json(result) if args.json else render_human(result))
     return 0 if result.clean else 1
 

@@ -1,0 +1,325 @@
+"""Runtime determinism sanitizer for the routing flow.
+
+The static rules in :mod:`repro.analysis.lint` prove properties about
+the *source*; this module polices the same invariants at *runtime*.
+:func:`install` rewires three seams of the flow with checking shims:
+
+* **Overlay write protection** — the :class:`~repro.grid.occupancy.
+  Occupancy` owner/overlay ndarrays are flipped read-only
+  (``setflags(write=False)``) outside the sanctioned mutators
+  (``occupy_ids``, ``release_ids``, ``release_cell_ids``,
+  ``import_state``, ``repair``).  Any code that pokes the arrays
+  directly — bypassing the dirty-set protocol every mutator feeds into
+  :class:`~repro.routing.core.space.SpaceCache` — dies on the spot with
+  numpy's ``ValueError: assignment destination is read-only`` instead
+  of corrupting the persistent fused mask three queries later.  Tests
+  that corrupt the overlay *on purpose* use :func:`unprotected`.
+
+* **Checkout verification** — every :meth:`SpaceCache.space` checkout
+  is compared bit-for-bit against a freshly fused
+  :class:`~repro.routing.core.space.SearchSpace` built from the same
+  arguments (the cache's documented equivalence invariant).  A mismatch
+  means some mutation dodged ``mark_dirty`` and raises
+  :class:`SanitizerError` naming the stale cells.  Each comparison
+  increments the ``sanitize.space_checks`` counter (see
+  ``docs/observability.md``).
+
+* **Clock and thread policing** — ``time.time``/``time.monotonic``
+  (and their ``_ns`` twins) are wrapped to reject calls from ``repro``
+  modules outside the DET002 whitelist, turning a wall-clock-dependent
+  branch in kernel code into an immediate error instead of a flaky
+  result.  Occupancy mutators additionally record the mutating thread:
+  a second thread may only mutate while holding a lock registered via
+  :func:`register_lock` (the service daemon registers its own).
+
+Activation: ``pacor --sanitize ...``, the ``REPRO_SANITIZE=1``
+environment variable (honoured by the pytest suite's ``conftest`` and
+by service worker children, which re-import this module under spawn),
+or an explicit :func:`install` call.  :func:`uninstall` restores every
+patched seam; both are idempotent.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List
+
+import numpy as np
+
+from repro.grid.occupancy import Occupancy
+from repro.observability import context as obs
+from repro.robustness.errors import PacorError
+from repro.routing.core.space import SearchSpace, SpaceCache
+
+
+class SanitizerError(PacorError):
+    """A runtime determinism invariant was violated under the sanitizer."""
+
+
+_ENV_FLAG = "REPRO_SANITIZE"
+
+_OCC_MUTATORS = (
+    "occupy_ids",
+    "release_ids",
+    "release_cell_ids",
+    "import_state",
+    "repair",
+)
+
+# Mirrors the DET002 static whitelist: modules allowed to read the wall
+# clock directly (prefix match, like the rule's).
+_CLOCK_WHITELIST = (
+    "repro.robustness.budget",
+    "repro.observability.tracing",
+    "repro.service",
+    "repro.analysis.sanitize",
+)
+
+_CLOCK_NAMES = ("time", "monotonic", "time_ns", "monotonic_ns")
+
+# install()/uninstall() run before any routing threads or workers exist
+# (CLI front door, pytest_configure, or the top of run_job in a fresh
+# child process), so the module state below is single-threaded by
+# construction; the inline RACE001 waivers all ride on that.
+_installed = False
+_saved: Dict[str, Any] = {}
+_locks: List[Any] = []
+
+
+def enabled() -> bool:
+    """Return True while the sanitizer shims are installed."""
+    return _installed
+
+
+def register_lock(lock: Any) -> None:
+    """Register a lock that legitimises cross-thread occupancy mutation.
+
+    The service daemon registers its own RLock at construction; any
+    thread holding a registered lock may mutate occupancies created by
+    another thread.  No-op (but harmless) when the sanitizer is off.
+    """
+    if lock not in _locks:
+        _locks.append(lock)  # pacorlint: disable=RACE001
+
+
+def _protect(occ: Occupancy, writable: bool) -> None:
+    """Flip write access on the occupancy's live ndarrays."""
+    occ._owner.setflags(write=writable)
+    occ._overlay.setflags(write=writable)
+
+
+def _cross_thread_allowed() -> bool:
+    """Return True when the current thread holds a registered lock."""
+    for lock in _locks:
+        is_owned = getattr(lock, "_is_owned", None)
+        if is_owned is not None and is_owned():
+            return True
+    return False
+
+
+def _check_thread(occ: Occupancy, method: str) -> None:
+    """Enforce the cross-thread mutation policy for one mutator call."""
+    me = threading.get_ident()
+    owner = getattr(occ, "_sanitize_thread", None)
+    if owner is None:
+        occ._sanitize_thread = me
+    elif owner != me and not _cross_thread_allowed():
+        raise SanitizerError(
+            f"Occupancy.{method} called from thread {me} but the overlay "
+            f"belongs to thread {owner}; cross-thread mutation requires "
+            "holding a lock registered with "
+            "repro.analysis.sanitize.register_lock (the service lock)"
+        )
+
+
+def _wrap_mutator(name: str, orig: Callable[..., Any]) -> Callable[..., Any]:
+    """Wrap one Occupancy mutator: thread check + window of writability."""
+
+    @functools.wraps(orig)
+    def wrapper(self: Occupancy, *args: Any, **kwargs: Any) -> Any:
+        _check_thread(self, name)
+        _protect(self, True)
+        try:
+            return orig(self, *args, **kwargs)
+        finally:
+            # Re-fetch the attributes: import_state/repair rebind the
+            # arrays, and the fresh ones must be protected too.
+            _protect(self, False)
+
+    return wrapper
+
+
+def _wrap_occ_init(orig: Callable[..., Any]) -> Callable[..., Any]:
+    """Wrap Occupancy.__init__: protect the arrays from birth."""
+
+    @functools.wraps(orig)
+    def wrapper(self: Occupancy, *args: Any, **kwargs: Any) -> None:
+        orig(self, *args, **kwargs)
+        self._sanitize_thread = threading.get_ident()
+        _protect(self, False)
+
+    return wrapper
+
+
+def _wrap_space(orig: Callable[..., Any]) -> Callable[..., Any]:
+    """Wrap SpaceCache.space: verify each checkout against a fresh fuse."""
+
+    @functools.wraps(orig)
+    def wrapper(
+        self: SpaceCache,
+        *,
+        net: int = -1,
+        extra_obstacles: Any = None,
+        extra_obstacle_ids: Any = None,
+        fault_ids: Any = None,
+    ) -> SearchSpace:
+        # Materialise one-shot iterables so both fusions see them.
+        if extra_obstacles is not None:
+            extra_obstacles = list(extra_obstacles)
+        if extra_obstacle_ids is not None and not isinstance(
+            extra_obstacle_ids, np.ndarray
+        ):
+            extra_obstacle_ids = list(extra_obstacle_ids)
+        if fault_ids is not None and not isinstance(fault_ids, np.ndarray):
+            fault_ids = list(fault_ids)
+        view = orig(
+            self,
+            net=net,
+            extra_obstacles=extra_obstacles,
+            extra_obstacle_ids=extra_obstacle_ids,
+            fault_ids=fault_ids,
+        )
+        reference = SearchSpace(
+            self.grid,
+            net=net,
+            occupancy=self.occupancy,
+            extra_obstacles=extra_obstacles,
+            extra_obstacle_ids=extra_obstacle_ids,
+            fault_ids=fault_ids,
+        )
+        obs.counter("sanitize.space_checks").inc()
+        if not np.array_equal(view.blocked, reference.blocked):
+            stale = np.flatnonzero(view.blocked != reference.blocked)
+            sample = ", ".join(str(int(c)) for c in stale[:8])
+            raise SanitizerError(
+                f"SpaceCache checkout for net {net} diverged from a fresh "
+                f"fuse at {stale.size} cell(s) (ids: {sample}); an "
+                "occupancy mutation bypassed the dirty-set protocol"
+            )
+        return view
+
+    return wrapper
+
+
+def _caller_module(frame_depth: int) -> str:
+    """Return the ``__name__`` of the caller ``frame_depth`` frames up."""
+    import sys
+
+    frame = sys._getframe(frame_depth)
+    return str(frame.f_globals.get("__name__", ""))
+
+
+def _clock_allowed(module: str) -> bool:
+    """Return True when ``module`` may read the wall clock directly."""
+    if not module.startswith("repro.") and module != "repro":
+        return True  # stdlib, numpy, pytest ... not ours to police
+    return any(
+        module == allowed or module.startswith(allowed + ".")
+        for allowed in _CLOCK_WHITELIST
+    )
+
+
+def _wrap_clock(name: str, orig: Callable[[], Any]) -> Callable[[], Any]:
+    """Wrap one ``time`` module function with the caller-module guard."""
+
+    @functools.wraps(orig)
+    def wrapper() -> Any:
+        module = _caller_module(2)
+        if not _clock_allowed(module):
+            raise SanitizerError(
+                f"time.{name}() called from {module}; wall-clock reads in "
+                "flow code make results time-dependent — take the clock "
+                "from Budget (see DET002 in docs/static_analysis.md)"
+            )
+        return orig()
+
+    return wrapper
+
+
+def install() -> None:
+    """Install every sanitizer shim (idempotent).
+
+    Must run before routing threads or worker processes are created —
+    the CLI flag, the pytest hook and the worker entry point all sit at
+    process start, where that holds by construction.
+    """
+    global _installed  # pacorlint: disable=RACE001
+    if _installed:
+        return
+    _saved["occ_init"] = Occupancy.__init__  # pacorlint: disable=RACE001
+    Occupancy.__init__ = _wrap_occ_init(Occupancy.__init__)
+    for name in _OCC_MUTATORS:
+        orig = getattr(Occupancy, name)
+        _saved[f"occ_{name}"] = orig  # pacorlint: disable=RACE001
+        setattr(Occupancy, name, _wrap_mutator(name, orig))
+    _saved["space"] = SpaceCache.space  # pacorlint: disable=RACE001
+    SpaceCache.space = _wrap_space(SpaceCache.space)
+    for name in _CLOCK_NAMES:
+        orig = getattr(time, name)
+        _saved[f"time_{name}"] = orig  # pacorlint: disable=RACE001
+        setattr(time, name, _wrap_clock(name, orig))
+    _installed = True
+
+
+def uninstall() -> None:
+    """Remove every sanitizer shim and re-open existing arrays."""
+    global _installed  # pacorlint: disable=RACE001
+    if not _installed:
+        return
+    Occupancy.__init__ = _saved.pop("occ_init")
+    for name in _OCC_MUTATORS:
+        setattr(Occupancy, name, _saved.pop(f"occ_{name}"))
+    SpaceCache.space = _saved.pop("space")
+    for name in _CLOCK_NAMES:
+        setattr(time, name, _saved.pop(f"time_{name}"))
+    _locks.clear()  # pacorlint: disable=RACE001
+    _installed = False
+
+
+def install_from_env() -> bool:
+    """Install when ``REPRO_SANITIZE`` is set truthy; return whether on.
+
+    The hook the pytest suite and the worker children share: spawn-start
+    workers re-import everything, so the parent's shims do not reach
+    them — the environment variable does.
+    """
+    flag = os.environ.get(_ENV_FLAG, "").strip().lower()
+    if flag in ("", "0", "false", "no"):
+        return _installed
+    install()
+    return True
+
+
+@contextmanager
+def unprotected(occ: Occupancy) -> Iterator[Occupancy]:
+    """Temporarily re-open an occupancy's arrays for direct writes.
+
+    The escape hatch for tests that corrupt the overlay on purpose
+    (e.g. to exercise ``find_inconsistencies``/``repair``).  The caller
+    owns the consequences: writes made here bypass the dirty-set
+    protocol, and the next verified :meth:`SpaceCache.space` checkout
+    will flag them unless the caller invalidates the cache.  No-op when
+    the sanitizer is off.
+    """
+    if not _installed:
+        yield occ
+        return
+    _protect(occ, True)
+    try:
+        yield occ
+    finally:
+        _protect(occ, False)

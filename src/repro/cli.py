@@ -365,6 +365,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         argv.extend(["--rules", args.rules])
     if args.list_rules:
         argv.append("--list-rules")
+    if args.baseline:
+        argv.extend(["--baseline", args.baseline])
+    if args.no_baseline:
+        argv.append("--no-baseline")
+    if args.update_baseline:
+        argv.append("--update-baseline")
     return lint_main(argv)
 
 
@@ -669,6 +675,13 @@ def build_parser() -> argparse.ArgumentParser:
         prog="pacor",
         description="PACOR control-layer routing (DAC 2015 reproduction)",
     )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="install the runtime determinism sanitizer before the "
+        "command runs (also honoured via REPRO_SANITIZE=1; see "
+        "docs/static_analysis.md)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     route = sub.add_parser("route", help="route one design")
@@ -848,6 +861,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    lint.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="baseline file of accepted violations "
+        "(default: <root>/.pacorlint-baseline.json when present)",
+    )
+    lint.add_argument(
+        "--no-baseline", action="store_true", help="ignore any baseline file"
+    )
+    lint.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current violations",
     )
     lint.set_defaults(func=_cmd_lint)
 
@@ -1048,6 +1075,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     """
     parser = build_parser()
     args = parser.parse_args(argv)
+    from repro.analysis import sanitize
+
+    if args.sanitize:
+        sanitize.install()
+    else:
+        sanitize.install_from_env()
     try:
         return args.func(args)
     except (

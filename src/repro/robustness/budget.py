@@ -47,7 +47,7 @@ class Budget:
         wall_clock_s: Optional[float] = None,
         astar_expansions: Optional[int] = None,
         rip_rounds: Optional[int] = None,
-        clock: Callable[[], float] = time.monotonic,
+        clock: Optional[Callable[[], float]] = None,
         expansion_counter: Optional[Counter] = None,
     ) -> None:
         if wall_clock_s is not None and wall_clock_s <= 0:
@@ -59,7 +59,10 @@ class Budget:
         self.wall_clock_s = wall_clock_s
         self.astar_expansions = astar_expansions
         self.rip_rounds = rip_rounds
-        self.clock = clock
+        # Resolved at construction, not at def time, so the determinism
+        # sanitizer's clock shim (installed at process start) is what a
+        # sanitized run captures — and what pickles across spawn.
+        self.clock = clock if clock is not None else time.monotonic
         self.expansion_counter = (
             expansion_counter
             if expansion_counter is not None

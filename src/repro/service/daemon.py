@@ -26,6 +26,7 @@ from request threads while the dispatcher loop runs.
 from __future__ import annotations
 
 import multiprocessing
+import signal
 import threading
 import time
 from dataclasses import dataclass
@@ -94,6 +95,12 @@ class PacorService:
         self._ctx = multiprocessing.get_context(start_method)
         self._workers: Dict[str, _WorkerHandle] = {}
         self._lock = threading.RLock()
+        # Under the determinism sanitizer, holding this lock is what
+        # legitimises cross-thread occupancy access (no-op when off).
+        from repro.analysis.sanitize import enabled, register_lock
+
+        if enabled():
+            register_lock(self._lock)
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
         self._submitted = self.metrics.counter("service.jobs_submitted")
@@ -317,6 +324,13 @@ class PacorService:
             # the parked work is still resumable.
             record.state = JobState.PREEMPTED
             record.preempt_kind = "worker-crash"
+        elif record.cancel_requested and exitcode == -signal.SIGTERM:
+            # The cancel SIGTERM landed in the child's startup window,
+            # before run_job installed its preemption handler: nothing
+            # was routed and nothing needs resuming.  That is a
+            # completed cancellation, not a crash.
+            record.state = JobState.PREEMPTED
+            record.preempt_kind = "sigterm"
         else:
             record.state = JobState.FAILED
             record.error = f"worker crashed (exit code {exitcode})"

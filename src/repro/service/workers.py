@@ -33,10 +33,11 @@ from __future__ import annotations
 import json
 import signal
 import sys
+import threading
 from dataclasses import replace
 from pathlib import Path as FilePath
 from types import FrameType
-from typing import Any, Dict, Optional, TextIO, Tuple
+from typing import Any, Dict, List, Optional, TextIO, Tuple
 
 from repro.core.config import DetourStage, PacorConfig
 from repro.core.pacor import PacorRouter
@@ -121,6 +122,18 @@ def run_job(job_dir: str) -> int:
     outcomes, not crashes; a non-zero exit means the reporting itself
     broke and the daemon falls back to crash accounting).
     """
+    # Latch SIGTERM before doing anything else: a cancel arriving while
+    # the child is still reading its job files must preempt the run, not
+    # kill the process with the inherited default disposition.
+    early_sigterm = threading.Event()
+    signal.signal(
+        signal.SIGTERM, lambda signum, frame: early_sigterm.set()
+    )
+    # Spawn-start children re-import everything, so the parent's
+    # sanitizer shims do not reach them; the environment variable does.
+    from repro.analysis.sanitize import install_from_env
+
+    install_from_env()
     root = FilePath(job_dir)
     record = JobRecord.from_json(
         read_json(root / "job.json"), source=str(root / "job.json")
@@ -136,6 +149,8 @@ def run_job(job_dir: str) -> int:
         budget.preempt("preempted by SIGTERM")
 
     signal.signal(signal.SIGTERM, _on_sigterm)
+    if early_sigterm.is_set():
+        budget.preempt("preempted by SIGTERM")
 
     events = open(root / "events.jsonl", "a", encoding="utf-8")
     tracer = Tracer()
@@ -270,7 +285,7 @@ def _route(
     return router, router.run()
 
 
-def main(argv: Optional[list] = None) -> int:  # pragma: no cover - exec aid
+def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover - exec aid
     """``python -m repro.service.workers <job_dir>`` — manual debugging."""
     args = list(sys.argv[1:] if argv is None else argv)
     if len(args) != 1:

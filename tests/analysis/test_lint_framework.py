@@ -1,10 +1,13 @@
 """pacorlint framework behaviour: suppressions, reporters, exit codes."""
 
 import json
+from pathlib import Path
 
 import pytest
 
 from repro.analysis.lint import (
+    Baseline,
+    BaselineEntry,
     registered_rules,
     render_human,
     render_json,
@@ -151,3 +154,166 @@ def test_cli_lint_subcommand(make_project, capsys, monkeypatch):
     assert doc["violations"][0]["rule"] == "DET002"
     assert cli_main(["lint", "--list-rules"]) == 0
     capsys.readouterr()
+
+
+def test_multiline_logical_line_suppression(make_project):
+    # The directive sits on the *closing* physical line of a multi-line
+    # call while the violation anchors on the opening line; a
+    # physical-line interpretation would miss it.
+    root = _write(
+        make_project,
+        """\
+        import time
+
+        def stamp():
+            return time.time(
+            )  # pacorlint: disable=DET002
+        """,
+    )
+    result = run_lint([root / "src"], root=root, rule_ids=["DET002"])
+    assert result.clean
+    assert result.suppressed == 1
+
+
+def test_compound_header_suppression_stops_at_colon(make_project):
+    # A directive on the `def` header covers the header's logical line
+    # only — it must not leak into the suite it introduces.
+    root = _write(
+        make_project,
+        """\
+        import time
+
+        def stamp():  # pacorlint: disable=DET002
+            return time.time()
+        """,
+    )
+    result = run_lint([root / "src"], root=root, rule_ids=["DET002"])
+    assert not result.clean
+    assert result.suppressed == 0
+
+
+def test_baseline_matches_without_line_numbers(make_project):
+    root = _write(make_project)
+    first = run_lint([root / "src"], root=root, rule_ids=["DET002"])
+    (violation,) = first.violations
+    baseline = Baseline(
+        entries=[
+            BaselineEntry(
+                rule=violation.rule,
+                path=violation.path,
+                message=violation.message,
+                reason="legacy wall-clock read",
+            )
+        ]
+    )
+    result = run_lint(
+        [root / "src"], root=root, rule_ids=["DET002"], baseline=baseline
+    )
+    assert result.clean
+    assert result.violations == []
+    ((matched, entry),) = result.baselined
+    assert matched.message == violation.message
+    assert entry.reason == "legacy wall-clock read"
+    assert result.stale_baseline == []
+
+
+def test_baseline_stale_detection_is_scoped_to_the_run(make_project):
+    root = _write(make_project)
+    rel = "src/repro/routing/timing.py"
+    stale = BaselineEntry(
+        rule="DET002", path=rel, message="no such violation", reason="old"
+    )
+    # ERR001 did not run and other.py was not linted: neither entry can
+    # be judged by this invocation, so neither is reported stale.
+    unran_rule = BaselineEntry(
+        rule="ERR001", path=rel, message="x", reason="old"
+    )
+    unlinted_path = BaselineEntry(
+        rule="DET002", path="src/repro/other.py", message="x", reason="old"
+    )
+    baseline = Baseline(entries=[stale, unran_rule, unlinted_path])
+    result = run_lint(
+        [root / "src"], root=root, rule_ids=["DET002"], baseline=baseline
+    )
+    assert result.stale_baseline == [stale]
+
+
+def test_runner_baseline_workflow(make_project, capsys):
+    root = _write(make_project)
+    target = str(root / "src")
+    baseline_path = root / ".pacorlint-baseline.json"
+
+    # --update-baseline seeds the file, stamping new entries with a
+    # TODO reason that the meta-test refuses to let ship.
+    assert main(
+        [target, "--root", str(root), "--rules", "DET002",
+         "--update-baseline"]
+    ) == 0
+    doc = json.loads(baseline_path.read_text(encoding="utf-8"))
+    assert doc["tool"] == "pacorlint-baseline"
+    assert doc["schema_version"] == 1
+    (entry,) = doc["entries"]
+    assert entry["reason"].startswith("TODO")
+
+    # The repo-root baseline is picked up automatically; the run is now
+    # clean.  --no-baseline ignores it and fails again.
+    assert main([target, "--root", str(root), "--rules", "DET002"]) == 0
+    assert main(
+        [target, "--root", str(root), "--rules", "DET002", "--no-baseline"]
+    ) == 1
+
+    # A justified reason survives the next --update-baseline rewrite.
+    entry["reason"] = "pinned by tests"
+    baseline_path.write_text(
+        json.dumps({**doc, "entries": [entry]}) + "\n", encoding="utf-8"
+    )
+    assert main(
+        [target, "--root", str(root), "--rules", "DET002",
+         "--update-baseline"]
+    ) == 0
+    doc = json.loads(baseline_path.read_text(encoding="utf-8"))
+    assert doc["entries"][0]["reason"] == "pinned by tests"
+    capsys.readouterr()
+
+
+def test_json_reporter_matches_golden_file(make_project):
+    # Pins the schema-v1 document shape — violations, suppression
+    # counts, baselined entries with reasons — against a checked-in
+    # golden file so reporter drift is a reviewed diff, not a surprise
+    # to downstream consumers.
+    root = make_project(
+        {
+            "src/repro/routing/timing.py": """\
+            import time
+
+            def stamp():
+                return time.time()
+
+            def tick():
+                return time.monotonic()
+
+            def quiet():
+                return time.time()  # pacorlint: disable=DET002
+            """,
+        }
+    )
+    baseline = Baseline(
+        entries=[
+            BaselineEntry(
+                rule="DET002",
+                path="src/repro/routing/timing.py",
+                message=(
+                    "time.monotonic reads the wall clock; only "
+                    "robustness.budget and observability.tracing may "
+                    "(checkpoint replay must be bit-identical)"
+                ),
+                reason="measurement epoch only; never feeds a routing "
+                "decision",
+            )
+        ]
+    )
+    result = run_lint(
+        [root / "src"], root=root, rule_ids=["DET002"], baseline=baseline
+    )
+    golden = Path(__file__).parent / "golden" / "lint_report.json"
+    assert render_json(result) + "\n" == golden.read_text(encoding="utf-8")

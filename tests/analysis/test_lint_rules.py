@@ -510,3 +510,287 @@ def test_flt001_flags_missing_tests_directory(make_project):
     result = _lint(root, "FLT001")
     assert result.violations
     assert "tests/" in result.violations[0].message
+
+
+# --------------------------------------------------------------------------
+# RACE001 — shared mutable state on worker/thread-reachable paths
+
+
+def test_race001_flags_global_rebind_on_worker_path(make_project):
+    root = make_project(
+        {
+            "src/repro/service/workers.py": """\
+            from repro.service.state import remember
+
+            def run_job(job_dir):
+                remember(job_dir)
+                return 0
+            """,
+            "src/repro/service/state.py": """\
+            _LAST_JOB = None
+
+            def remember(job_dir):
+                global _LAST_JOB
+                _LAST_JOB = job_dir
+            """,
+        }
+    )
+    result = _lint(root, "RACE001")
+    assert [v.rule for v in result.violations] == ["RACE001"]
+    assert "_LAST_JOB" in result.violations[0].message
+
+
+def test_race001_flags_container_mutation_from_thread_target(make_project):
+    root = make_project(
+        {
+            "src/repro/service/poller.py": """\
+            import threading
+
+            CACHE = {}
+
+            def _loop():
+                CACHE["tick"] = 1
+
+            def start():
+                return threading.Thread(target=_loop)
+            """,
+        }
+    )
+    result = _lint(root, "RACE001")
+    assert [v.rule for v in result.violations] == ["RACE001"]
+    assert "CACHE" in result.violations[0].message
+
+
+def test_race001_flags_class_level_mutable_default(make_project):
+    root = make_project(
+        {
+            "src/repro/service/workers.py": """\
+            from repro.service.acc import Acc
+
+            def run_job(job_dir):
+                acc = Acc()
+                return acc.push(job_dir)
+            """,
+            "src/repro/service/acc.py": """\
+            class Acc:
+                seen = []
+
+                def push(self, item):
+                    self.seen.append(item)
+                    return len(self.seen)
+            """,
+        }
+    )
+    result = _lint(root, "RACE001")
+    assert any("seen" in v.message for v in result.violations)
+
+
+def test_race001_flags_unlocked_store_mutation(make_project):
+    root = make_project(
+        {
+            "src/repro/service/jobs.py": """\
+            class JobStore:
+                def save(self, record):
+                    pass
+
+                def allocate(self):
+                    pass
+
+                def append_event(self, job_id, event):
+                    pass
+            """,
+            "src/repro/service/daemon.py": """\
+            import threading
+
+            from repro.service.jobs import JobStore
+
+            class Service:
+                def __init__(self, root):
+                    self.store = JobStore()
+                    self._lock = threading.RLock()
+
+                def submit(self, record):
+                    with self._lock:
+                        self.store.save(record)
+
+                def sneak(self, record):
+                    self.store.save(record)
+            """,
+            "src/repro/service/workers.py": """\
+            def run_job(job_dir):
+                return 0
+            """,
+        }
+    )
+    result = _lint(root, "RACE001")
+    assert len(result.violations) == 1
+    violation = result.violations[0]
+    assert "sneak" in violation.message
+    assert "lock" in violation.message
+
+
+def test_race001_accepts_locked_store_and_local_state(make_project):
+    root = make_project(
+        {
+            "src/repro/service/jobs.py": """\
+            class JobStore:
+                def save(self, record):
+                    pass
+            """,
+            "src/repro/service/daemon.py": """\
+            import threading
+
+            from repro.service.jobs import JobStore
+
+            class Service:
+                def __init__(self, root):
+                    self.store = JobStore()
+                    self._lock = threading.RLock()
+                    # __init__ runs pre-concurrency: unlocked is fine.
+                    self.store.save(None)
+
+                def submit(self, record):
+                    with self._lock:
+                        self._persist(record)
+
+                def _persist(self, record):
+                    # Every call site holds the lock.
+                    self.store.save(record)
+            """,
+            "src/repro/service/workers.py": """\
+            def run_job(job_dir):
+                cache = {}
+                cache["local"] = job_dir
+                return cache
+            """,
+        }
+    )
+    assert _lint(root, "RACE001").clean
+
+
+# --------------------------------------------------------------------------
+# SPAWN001 — process-boundary field graphs must pickle
+
+
+def test_spawn001_flags_callable_and_io_fields(make_project):
+    root = make_project(
+        {
+            "src/repro/robustness/budget.py": """\
+            from typing import Callable, Optional, TextIO
+
+            class Budget:
+                def __init__(
+                    self,
+                    clock: Optional[Callable[[], float]] = None,
+                    log: Optional[TextIO] = None,
+                ) -> None:
+                    self.clock = clock
+                    self.log = log
+            """,
+        }
+    )
+    result = _lint(root, "SPAWN001")
+    messages = [v.message for v in result.violations]
+    assert len(messages) == 2
+    assert any("clock" in m and "Callable" in m for m in messages)
+    assert any("log" in m for m in messages)
+
+
+def test_spawn001_recurses_into_project_classes(make_project):
+    root = make_project(
+        {
+            "src/repro/core/config.py": """\
+            from repro.core.knobs import Knobs
+
+            class PacorConfig:
+                def __init__(self, knobs: Knobs) -> None:
+                    self.knobs = knobs
+            """,
+            "src/repro/core/knobs.py": """\
+            import threading
+
+            class Knobs:
+                def __init__(self) -> None:
+                    self.guard: threading.Lock = threading.Lock()
+            """,
+        }
+    )
+    result = _lint(root, "SPAWN001")
+    assert len(result.violations) == 1
+    assert "guard" in result.violations[0].message
+
+
+def test_spawn001_accepts_plain_data_fields(make_project):
+    root = make_project(
+        {
+            "src/repro/robustness/checkpoint.py": """\
+            from typing import Dict, List, Optional
+
+            class Checkpoint:
+                def __init__(
+                    self,
+                    stage: str,
+                    completed: List[str],
+                    payload: Optional[Dict[str, int]] = None,
+                ) -> None:
+                    self.stage = stage
+                    self.completed = completed
+                    self.payload = payload or {}
+            """,
+        }
+    )
+    assert _lint(root, "SPAWN001").clean
+
+
+# --------------------------------------------------------------------------
+# PURE001 — kernel-core write discipline
+
+
+def test_pure001_flags_param_attribute_writes(make_project):
+    root = make_project(
+        {
+            "src/repro/routing/core/engine.py": """\
+            def settle(space, occ, cid, net):
+                space.blocked[cid] = 1
+                occ.counter = net
+            """,
+        }
+    )
+    result = _lint(root, "PURE001")
+    assert len(result.violations) == 2
+    assert all(v.rule == "PURE001" for v in result.violations)
+
+
+def test_pure001_flags_global_and_nonlocal(make_project):
+    root = make_project(
+        {
+            "src/repro/routing/core/engine.py": """\
+            _MEMO = {}
+
+            def lookup(key):
+                global _MEMO
+                _MEMO = {key: 1}
+                return _MEMO
+            """,
+        }
+    )
+    result = _lint(root, "PURE001")
+    assert any("global" in v.message for v in result.violations)
+
+
+def test_pure001_allows_scratch_arrays_and_space_module(make_project):
+    root = make_project(
+        {
+            "src/repro/routing/core/engine.py": """\
+            def relax(dist, parent, cid, d):
+                dist[cid] = d
+                parent[cid] = cid - 1
+            """,
+            "src/repro/routing/core/space.py": """\
+            class SpaceCache:
+                def mark_dirty(self, occ, cids):
+                    occ._dirty = set(cids)
+            """,
+        }
+    )
+    assert _lint(root, "PURE001").clean

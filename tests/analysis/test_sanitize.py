@@ -1,0 +1,253 @@
+"""Tests for the runtime determinism sanitizer (repro.analysis.sanitize).
+
+Every test manages the install state through the ``sanitizer`` fixture,
+which restores whatever was active before (the suite itself may already
+run under ``REPRO_SANITIZE=1`` via the root conftest).
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis import sanitize
+from repro.analysis.sanitize import SanitizerError
+from repro.grid import Occupancy, RoutingGrid
+from repro.observability import context as obs
+from repro.observability.metrics import Metrics
+from repro.robustness.errors import PacorError
+
+
+@pytest.fixture
+def sanitizer():
+    """Sanitizer installed for the test; prior state restored after."""
+    was_on = sanitize.enabled()
+    saved_locks = list(sanitize._locks)
+    sanitize.install()
+    yield sanitize
+    if was_on:
+        sanitize._locks[:] = saved_locks
+    else:
+        sanitize.uninstall()
+
+
+def _occ(n=10):
+    return Occupancy(RoutingGrid(n, n))
+
+
+# ---------------------------------------------------------------------------
+# install / uninstall lifecycle
+
+
+def test_install_is_idempotent(sanitizer):
+    shim = time.time
+    sanitizer.install()
+    # A second install must not stack another wrapper.
+    assert time.time is shim
+    assert sanitizer.enabled()
+
+
+def test_uninstall_restores_every_seam():
+    was_on = sanitize.enabled()
+    original_clock = (
+        sanitize._saved["time_time"] if was_on else time.time
+    )
+    original_mutator = (
+        sanitize._saved["occ_occupy_ids"]
+        if was_on
+        else Occupancy.occupy_ids
+    )
+    sanitize.install()
+    assert time.time is not original_clock
+    sanitize.uninstall()
+    assert time.time is original_clock
+    assert Occupancy.occupy_ids is original_mutator
+    assert not sanitize.enabled()
+    # Uninstall is idempotent too.
+    sanitize.uninstall()
+    occ = _occ()
+    occ._owner[0] = 3  # arrays are born writable again
+    if was_on:
+        sanitize.install()
+
+
+def test_install_from_env_flag_parsing(monkeypatch):
+    was_on = sanitize.enabled()
+    sanitize.uninstall()
+    try:
+        for falsy in ("", "0", "false", "no", "  FALSE "):
+            monkeypatch.setenv("REPRO_SANITIZE", falsy)
+            assert sanitize.install_from_env() is False
+            assert not sanitize.enabled()
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert sanitize.install_from_env() is True
+        assert sanitize.enabled()
+    finally:
+        if not was_on:
+            sanitize.uninstall()
+        else:
+            sanitize.install()
+
+
+# ---------------------------------------------------------------------------
+# occupancy write protection
+
+
+def test_direct_array_write_raises(sanitizer):
+    occ = _occ()
+    with pytest.raises(ValueError, match="read-only"):
+        occ._owner[0] = 5
+    with pytest.raises(ValueError, match="read-only"):
+        occ._overlay[0] = 1
+
+
+def test_sanctioned_mutators_still_work(sanitizer):
+    occ = _occ()
+    occ.occupy_ids([0, 1], net=2)
+    assert occ.owner_id(0) == 2
+    occ.release_cell_ids([0])
+    assert occ.owner_id(0) != 2
+    occ.release_ids(2)
+    assert occ.occupied_count() == 0
+    # The window of writability closes again after each call.
+    with pytest.raises(ValueError, match="read-only"):
+        occ._owner[3] = 1
+
+
+def test_unprotected_escape_hatch(sanitizer):
+    occ = _occ()
+    with sanitize.unprotected(occ):
+        occ._owner[1] = 7
+        occ._overlay[1] = 1
+    assert occ.owner_id(1) == 7
+    with pytest.raises(ValueError, match="read-only"):
+        occ._owner[2] = 7
+
+
+def test_rebound_arrays_are_reprotected_after_import_state(sanitizer):
+    occ = _occ()
+    occ.occupy_ids([4], net=1)
+    state = occ.export_state()
+    occ.import_state(state)  # rebinds _owner/_overlay internally
+    assert occ.owner_id(4) == 1
+    with pytest.raises(ValueError, match="read-only"):
+        occ._owner[5] = 2
+    occ.repair()  # also rebuilds the overlay
+    with pytest.raises(ValueError, match="read-only"):
+        occ._overlay[5] = 1
+
+
+# ---------------------------------------------------------------------------
+# SpaceCache checkout verification
+
+
+def test_checkout_verification_passes_on_honest_mutation(sanitizer):
+    occ = _occ()
+    cache = occ.space_cache()
+    space = cache.space()
+    assert not space.blocked[3]
+    occ.occupy_ids([3], net=1)  # mutator feeds the dirty set
+    assert cache.space().blocked[3]
+
+
+def test_checkout_verification_catches_dirty_set_bypass(sanitizer):
+    occ = _occ()
+    cache = occ.space_cache()
+    cache.space()
+    # Corrupt the overlay behind the dirty-set protocol's back.
+    with sanitize.unprotected(occ):
+        occ._overlay[5] = 1
+        occ._owner[5] = 9
+    with pytest.raises(SanitizerError, match="bypassed the dirty-set"):
+        cache.space()
+
+
+def test_checkout_verification_increments_counter(sanitizer):
+    metrics = Metrics()
+    with obs.use(metrics=metrics):
+        occ = _occ()
+        occ.space_cache().space()
+        occ.space_cache().space(net=1)
+    assert metrics.counter("sanitize.space_checks").value == 2
+
+
+# ---------------------------------------------------------------------------
+# clock policing
+
+
+def _read_clock_as(module_name, name="time"):
+    """Call ``time.<name>()`` from a frame whose module is ``module_name``."""
+    ns = {"__name__": module_name, "time": time}
+    exec(f"result = time.{name}()", ns)
+    return ns["result"]
+
+
+def test_clock_guard_blocks_kernel_modules(sanitizer):
+    with pytest.raises(SanitizerError, match="wall-clock"):
+        _read_clock_as("repro.routing.core.engine")
+    with pytest.raises(SanitizerError, match="wall-clock"):
+        _read_clock_as("repro.detour.planner", name="monotonic")
+
+
+def test_clock_guard_allows_whitelisted_and_foreign_modules(sanitizer):
+    assert _read_clock_as("repro.robustness.budget") > 0
+    assert _read_clock_as("repro.service.daemon", name="monotonic") > 0
+    assert _read_clock_as("tests.analysis.test_sanitize") > 0
+    assert _read_clock_as("logging") > 0
+
+
+# ---------------------------------------------------------------------------
+# cross-thread mutation policy
+
+
+def _mutate_in_thread(fn):
+    errors = []
+
+    def runner():
+        try:
+            fn()
+        except PacorError as exc:
+            errors.append(exc)
+
+    thread = threading.Thread(target=runner)
+    thread.start()
+    thread.join()
+    return errors
+
+
+def test_cross_thread_mutation_without_lock_raises(sanitizer):
+    occ = _occ()  # owned by the test (main) thread
+    errors = _mutate_in_thread(lambda: occ.occupy_ids([2], net=1))
+    assert len(errors) == 1
+    assert "register_lock" in str(errors[0])
+
+
+def test_cross_thread_mutation_under_registered_lock_passes(sanitizer):
+    occ = _occ()
+    lock = threading.RLock()
+    sanitizer.register_lock(lock)
+
+    def locked_mutation():
+        with lock:
+            occ.occupy_ids([2], net=1)
+
+    assert _mutate_in_thread(locked_mutation) == []
+    assert occ.owner_id(2) == 1
+
+
+def test_same_thread_mutation_never_needs_a_lock(sanitizer):
+    occ = _occ()
+    occ.occupy_ids([1], net=3)
+    occ.release_ids(3)
+
+
+def test_blocked_masks_stay_immutable_views(sanitizer):
+    # The protection extends to what kernels actually consume: a
+    # SearchSpace fused from protected arrays must not be writable
+    # through the occupancy either.
+    occ = _occ()
+    occ.occupy_ids([7], net=1)
+    view = occ.space_cache().space()
+    assert bool(view.blocked[7])
+    assert isinstance(view.blocked, np.ndarray)

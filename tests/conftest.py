@@ -5,6 +5,29 @@ import pytest
 from repro.grid import Occupancy, RoutingGrid
 
 
+def pytest_configure(config):
+    """Install the runtime determinism sanitizer under REPRO_SANITIZE=1.
+
+    The whole suite then runs with write-protected occupancy arrays,
+    verified SpaceCache checkouts and guarded wall-clock reads (see
+    docs/static_analysis.md).
+    """
+    from repro.analysis.sanitize import install_from_env
+
+    if install_from_env():
+        config.stash[_SANITIZE_KEY] = True
+
+
+def pytest_unconfigure(config):
+    if config.stash.get(_SANITIZE_KEY, False):
+        from repro.analysis.sanitize import uninstall
+
+        uninstall()
+
+
+_SANITIZE_KEY = pytest.StashKey()
+
+
 @pytest.fixture
 def grid10():
     """An empty 10x10 routing grid."""

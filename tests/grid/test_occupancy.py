@@ -91,8 +91,13 @@ def test_snapshot_walks_never_round_trip_through_grid_index(monkeypatch):
     occupancy = Occupancy(grid)
     occupancy.occupy([Point(5, 7), Point(6, 7), Point(7, 7)], net=1)
     occupancy.occupy_ids([100_000, 200_000], net=2)
-    # Manufacture an inconsistency so repair() has real work to do.
-    occupancy._owner[250_000] = 3
+    # Manufacture an inconsistency so repair() has real work to do
+    # (through the sanitizer's escape hatch so the corruption is legal
+    # under REPRO_SANITIZE=1 too).
+    from repro.analysis.sanitize import unprotected
+
+    with unprotected(occupancy):
+        occupancy._owner[250_000] = 3
 
     calls = {"n": 0}
     original = RoutingGrid.index
