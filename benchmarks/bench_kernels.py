@@ -165,6 +165,43 @@ def test_kernel_wave_throughput(benchmark, effort):
     )
 
 
+def test_kernel_wave_throughput_layered(benchmark, effort):
+    """Two-layer wave sweep through a forced via wall.
+
+    The same west-to-east column sweep as the planar wave case, on a
+    256x256x2 grid whose layer 0 is split by a full-height obstacle
+    wall: every unit of flow must climb to layer 1, cross over and
+    come back down, so the 6-neighbour layered engine (via moves and
+    the via-permission mask included) is on the measured path end to
+    end.  Gated <= 20% regression against ``BENCH_kernels.json``.
+    """
+    grid = RoutingGrid(256, 256, 2)
+    wall_x = grid.width // 2
+    grid.add_obstacles(Point(wall_x, y) for y in range(grid.height))
+    sources = [Point(0, y) for y in range(grid.height)]
+    targets = [Point(grid.width - 1, y) for y in range(grid.height)]
+
+    def route():
+        assert astar_route(grid, sources, targets)
+
+    benchmark.pedantic(route, rounds=10, iterations=1)
+    eps = _rates(
+        benchmark,
+        effort,
+        routes=1,
+        work_counter="astar.expansions",
+        work_key="expansions_per_sec",
+    )
+    stats = benchmark.stats.stats
+    eps_peak = eps * (stats.mean / stats.min)
+    benchmark.extra_info["expansions_per_sec_peak"] = round(eps_peak)
+    _check_against_baseline(
+        "test_kernel_wave_throughput_layered",
+        "expansions_per_sec_peak",
+        eps_peak,
+    )
+
+
 @pytest.mark.parametrize("name", _SMALL)
 def test_kernel_lee_throughput(benchmark, effort, name):
     """Lee oracle on the same sweep; cross-checks A* path lengths."""

@@ -53,6 +53,7 @@ from repro.designs import (
     ClusterPlan,
     design_by_name,
     generate_design,
+    generate_fpva,
     load_design,
     save_design,
     table1_suite,
@@ -177,6 +178,22 @@ def _report_result(
 
 def _cmd_route(args: argparse.Namespace) -> int:
     design = _resolve_design(args.design)
+    if args.layers is not None or args.via_cost is not None:
+        try:
+            design = design.with_layers(
+                args.layers
+                if args.layers is not None
+                else design.grid.layers,
+                via_cost=(
+                    args.via_cost
+                    if args.via_cost is not None
+                    else design.grid.via_cost
+                ),
+                via_length=design.grid.via_length,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     try:
         config = PacorConfig(
             k_candidates=args.candidates,
@@ -448,16 +465,43 @@ def _cmd_show(args: argparse.Namespace) -> int:
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
-    design = generate_design(
-        args.name,
-        args.width,
-        args.height,
-        clusters=[ClusterPlan(s) for s in args.cluster_sizes],
-        n_singletons=args.singletons,
-        n_pins=args.pins,
-        n_obstacles=args.obstacles,
-        seed=args.seed,
-    )
+    if args.fpva is not None:
+        try:
+            rows_s, _, cols_s = args.fpva.lower().partition("x")
+            rows, cols = int(rows_s), int(cols_s)
+        except ValueError:
+            print(
+                f"error: --fpva wants ROWSxCOLS (e.g. 4x4), got {args.fpva!r}",
+                file=sys.stderr,
+            )
+            return 2
+        design = generate_fpva(
+            rows,
+            cols,
+            n_pins=args.pins if args.pins != 20 else None,
+            layers=args.layers,
+            via_cost=args.via_cost,
+            name=None if args.name == "custom" else args.name,
+        )
+    else:
+        if args.width is None or args.height is None:
+            print(
+                "error: --width and --height are required without --fpva",
+                file=sys.stderr,
+            )
+            return 2
+        design = generate_design(
+            args.name,
+            args.width,
+            args.height,
+            clusters=[ClusterPlan(s) for s in args.cluster_sizes],
+            n_singletons=args.singletons,
+            n_pins=args.pins,
+            n_obstacles=args.obstacles,
+            seed=args.seed,
+            layers=args.layers,
+            via_cost=args.via_cost,
+        )
     save_design(design, args.output)
     print(f"wrote {args.output}: {design!r}")
     return 0
@@ -689,6 +733,23 @@ def build_parser() -> argparse.ArgumentParser:
     route.add_argument("--method", choices=list(METHODS), default="PACOR")
     route.add_argument("--candidates", type=int, default=4, help="DME candidates per cluster")
     route.add_argument(
+        "--layers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="lift the design onto N routing layers before routing "
+        "(valves/pins stay on layer 0; vias connect layers)",
+    )
+    route.add_argument(
+        "--via-cost",
+        dest="via_cost",
+        type=int,
+        default=None,
+        metavar="N",
+        help="search cost of one vertical (via) step (default: the "
+        "design's own, 1)",
+    )
+    route.add_argument(
         "--budget-s",
         type=float,
         default=None,
@@ -902,8 +963,8 @@ def build_parser() -> argparse.ArgumentParser:
     gen = sub.add_parser("generate", help="synthesize a design to JSON")
     gen.add_argument("output")
     gen.add_argument("--name", default="custom")
-    gen.add_argument("--width", type=int, required=True)
-    gen.add_argument("--height", type=int, required=True)
+    gen.add_argument("--width", type=int, default=None)
+    gen.add_argument("--height", type=int, default=None)
     gen.add_argument(
         "--cluster-sizes", type=int, nargs="*", default=[2, 2], metavar="N"
     )
@@ -911,6 +972,30 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--pins", type=int, default=20)
     gen.add_argument("--obstacles", type=int, default=10)
     gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument(
+        "--layers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="routing layers (valves/pins stay on layer 0; upper-layer "
+        "obstacles are correlated with layer 0)",
+    )
+    gen.add_argument(
+        "--via-cost",
+        dest="via_cost",
+        type=int,
+        default=1,
+        metavar="N",
+        help="search cost of one vertical (via) step",
+    )
+    gen.add_argument(
+        "--fpva",
+        metavar="RxC",
+        default=None,
+        help="generate an R x C fully programmable valve array instead "
+        "(ignores --width/--height/--cluster-sizes/--singletons/"
+        "--obstacles)",
+    )
     gen.set_defaults(func=_cmd_generate)
 
     # Service commands (see docs/service.md).  QoS tier names come from

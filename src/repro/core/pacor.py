@@ -24,7 +24,12 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.config import DetourStage, PacorConfig, SelectionSolver
-from repro.core.result import NetReport, PacorResult, segments_of_path
+from repro.core.result import (
+    NetReport,
+    PacorResult,
+    is_via_segment,
+    segments_of_path,
+)
 from repro.designs.design import Design
 from repro.designs.io import design_to_json
 from repro.detour import check_equal, detour_cluster
@@ -41,7 +46,7 @@ from repro.escape import (
     solve_escape,
     solve_escape_sequential,
 )
-from repro.geometry.point import Point
+from repro.geometry.point import Point, cell_point
 from repro.grid.occupancy import FAULT_NET, FREE, Occupancy
 from repro.observability import context as obs
 from repro.observability.metrics import Metrics
@@ -152,7 +157,11 @@ class PacorRouter:
         self._fault_damaged: Dict[int, str] = {}
         self._fault_old_cells: Dict[int, Set[int]] = {}
         if self.fault_map is not None:
-            mount = set(self.fault_map.cell_ids(self.grid.width))
+            mount = set(
+                self.fault_map.cell_ids(self.grid.width, self.grid.height)
+            )
+            for site in self.fault_map.via_stuck:
+                self.grid.set_via_blocked(site)
             valve_by_id = design.valve_by_id()
             for vid in self.fault_map.stuck_valves:
                 mount.add(self.grid.index(valve_by_id[vid].position))
@@ -506,11 +515,20 @@ class PacorRouter:
 
     @staticmethod
     def _path_doc(path: Path) -> List[List[int]]:
-        return [[c.x, c.y] for c in path.cells]
+        # Layer-0 cells stay [x, y]; upper-layer cells carry z as
+        # [x, y, z] — planar snapshots are byte-identical to before.
+        return [list(c) for c in path.cells]
 
     @staticmethod
     def _path_from_doc(doc: Sequence[Sequence[int]]) -> Path:
-        return Path([Point(int(x), int(y)) for x, y in doc])
+        return Path(
+            [
+                cell_point(int(c[0]), int(c[1]), int(c[2]))
+                if len(c) == 3
+                else Point(int(c[0]), int(c[1]))
+                for c in doc
+            ]
+        )
 
     def _net_to_doc(self, net: _Net) -> Dict[str, object]:
         tree_doc: Optional[Dict[str, object]] = None
@@ -601,6 +619,7 @@ class PacorRouter:
                 },
                 root=Point(*tree_doc["root"]),  # type: ignore[index]
                 escape_path=escape_path,
+                via_length=self.grid.via_length,
             )
         pin_doc = doc.get("pin")
         return _Net(
@@ -759,7 +778,6 @@ class PacorRouter:
         positions and pins are excluded — a valve hit is the
         ``valve_stuck`` point's job.
         """
-        width = self.grid.width
         skip = {self.grid.index(v.position) for v in self.design.valves}
         skip.update(
             self.grid.index(n.pin)
@@ -775,20 +793,18 @@ class PacorRouter:
                     best = cid
         if best is None:
             mask = self.grid.obstacle_mask()
-            for cid in range(width * self.grid.height):
+            for cid in range(self.grid.size):
                 if not mask[cid] and self.occupancy.owner_id(cid) == FREE:
                     if cid not in skip:
                         best = cid
                         break
         if best is None:
             return None
-        return Point(best % width, best // width)
+        return self.grid.point(best)
 
     def _apply_cell_fault(self, stage: str, cell: Point) -> None:
         """Block one cell mid-flow, ripping whatever routes through it."""
-        if not (
-            0 <= cell.x < self.grid.width and 0 <= cell.y < self.grid.height
-        ):
+        if not self.grid.in_bounds(cell):
             return
         valve_at = next(
             (v for v in self.design.valves if v.position == cell), None
@@ -1189,7 +1205,9 @@ class PacorRouter:
                 for eid, (owner, edge_idx) in edge_owner.items()
                 if owner == cid and edge_idx is not None
             }
-            net.tree = routed_tree_from_candidate(tree, paths)
+            net.tree = routed_tree_from_candidate(
+                tree, paths, via_length=self.grid.via_length
+            )
         for net in [n for n in lm_nets if n.kind == "lm-pair"]:
             if net.demoted:
                 continue
@@ -1199,7 +1217,11 @@ class PacorRouter:
                 if outcome.aborted or self._budget_spent():
                     net.budget_demoted = True
                 continue
-            net.tree = routed_tree_from_pair(net.net_id, outcome.paths[eids[0]])
+            net.tree = routed_tree_from_pair(
+                net.net_id,
+                outcome.paths[eids[0]],
+                via_length=self.grid.via_length,
+            )
         if not outcome.aborted:
             # A budget that died inside candidate retries (or right at the
             # end of negotiation) never set ``aborted``; surface it here so
@@ -1243,7 +1265,9 @@ class PacorRouter:
             if outcome.aborted:
                 break
             if outcome.success:
-                net.tree = routed_tree_from_candidate(candidate, outcome.paths)
+                net.tree = routed_tree_from_candidate(
+                    candidate, outcome.paths, via_length=self.grid.via_length
+                )
                 self._log(
                     f"cluster {net.net_id}: alternative DME candidate routed "
                     f"after negotiation failure"
@@ -1341,11 +1365,17 @@ class PacorRouter:
     # -- stage 4: escape routing -----------------------------------------------
 
     def _escape_taps(self, net: _Net) -> Tuple[Point, ...]:
-        """Tap cells per Section 5 by net kind."""
+        """Tap cells per Section 5 by net kind.
+
+        Escape routing is a layer-0 subproblem, so only planar cells
+        (2-tuples under the mixed-arity rule) can tap it; a demoted
+        net's upper-layer channel cells are skipped.  Valve terminals
+        are always planar, so the tap set is never emptied by this.
+        """
         if net.tree is not None:
             return (net.tree.root,)
         cells = self.occupancy.cells_of(net.net_id)
-        return tuple(sorted(cells))
+        return tuple(sorted(c for c in cells if len(c) == 2))
 
     def _stage_escape(self) -> None:
         """Escape routing with incremental commit and rip-up (Section 3/5).
@@ -1566,25 +1596,32 @@ class PacorRouter:
                     rip_cost=rip_cost,
                     permanent=valve_cells,
                 )
+            blocker_ids: Sequence[int] = ()
             if probe is None:
                 if net.tree is not None:
                     self._rip_and_reroute(net, pending)
                     continue
-                self._incident(
-                    "force-completion",
-                    "net-failure",
-                    "walled in by unrippable channels; giving up",
-                    net_id=net_id,
-                )
-                self._failure_reasons[net_id] = (
-                    "walled in by unrippable channels"
-                )
-                hopeless.add(net_id)
-                continue
+                if self.grid.layers == 1:
+                    self._incident(
+                        "force-completion",
+                        "net-failure",
+                        "walled in by unrippable channels; giving up",
+                        net_id=net_id,
+                    )
+                    self._failure_reasons[net_id] = (
+                        "walled in by unrippable channels"
+                    )
+                    hopeless.add(net_id)
+                    continue
+                # The probe is planar and cannot see over-the-wall via
+                # paths on a layered grid; attempt the full-grid A*
+                # (rip-free) before giving up.
+            else:
+                blocker_ids = sorted(probe.nets)
             # Release the blockers but re-route them only after the victim
             # has escaped, so they cannot reclaim the freed corridor.
             ripped: List[Tuple[_Net, Set[Point]]] = []
-            for blocker_id in sorted(probe.nets):
+            for blocker_id in blocker_ids:
                 blocker = self.nets[blocker_id]
                 protected.discard(blocker_id)
                 before = self.occupancy.cells_of(blocker_id)
@@ -1752,7 +1789,7 @@ class PacorRouter:
         """Re-route a ripped net's internal channels, avoiding ``avoid``."""
         if net.kind != "ordinary":
             return  # singletons have no internal channel to re-route
-        history = [0.0] * (self.grid.width * self.grid.height)
+        history = [0.0] * self.grid.size
         for cell in avoid:
             history[self.grid.index(cell)] = _RIP_HISTORY_PENALTY
         self._route_ordinary(net, history)
@@ -1826,6 +1863,8 @@ class PacorRouter:
                 else None
             ),
         )
+        via_segments = 0
+        via_nets = 0
         for net in sorted(self.nets.values(), key=lambda n: n.net_id):
             if net.repaired_report is not None:
                 # The repair pass already produced the honest report
@@ -1838,6 +1877,10 @@ class PacorRouter:
                 for path in net.drawn_paths()
                 for seg in segments_of_path(path.cells)
             )
+            net_vias = sum(1 for seg in segments if is_via_segment(seg))
+            if net_vias and net.routed:
+                via_segments += net_vias
+                via_nets += 1
             matched: Optional[bool] = None
             mismatch: Optional[int] = None
             sink_lengths: Dict[int, int] = {}
@@ -1862,7 +1905,12 @@ class PacorRouter:
                     pin=net.pin,
                     cells=cells,
                     segments=segments,
-                    channel_length=len(segments) if net.routed else 0,
+                    channel_length=(
+                        len(segments)
+                        + net_vias * (self.grid.via_length - 1)
+                        if net.routed
+                        else 0
+                    ),
                     matched=matched,
                     mismatch=mismatch,
                     sink_lengths=sink_lengths,
@@ -1876,6 +1924,12 @@ class PacorRouter:
                     ),
                 )
             )
+        # Via usage counters, incremented only when a via was actually
+        # drawn — single-layer runs keep their counter set byte-identical
+        # to the planar flow.
+        if via_segments:
+            obs.counter("via.segments").inc(via_segments)
+            obs.counter("via.nets").inc(via_nets)
         return result
 
     # -- misc ------------------------------------------------------------------

@@ -20,6 +20,19 @@ def segments_of_path(cells: Iterable[Point]) -> List[Segment]:
     ]
 
 
+def is_via_segment(segment: Segment) -> bool:
+    """Return True when ``segment`` is a vertical (via) step.
+
+    A via step joins the same planar column on two adjacent layers; its
+    endpoints differ in z (absent z reads as layer 0 under the
+    mixed-arity cell rule).
+    """
+    a, b = segment
+    az = a[2] if len(a) == 3 else 0
+    bz = b[2] if len(b) == 3 else 0
+    return az != bz
+
+
 @dataclass
 class NetReport:
     """Outcome for one routed net (a control pin's channel network).
@@ -40,7 +53,9 @@ class NetReport:
             merely *adjacent* are separate channels (the grid pitch
             already includes the spacing rule); physical connectivity
             and pressure-propagation length follow the drawn segments.
-        channel_length: total drawn channel length (= len(segments)).
+        channel_length: total drawn channel length — ``len(segments)``
+            on planar grids; on layered grids each via segment counts
+            ``via_length`` channel units instead of one.
         matched: for multi-valve LM nets, whether the final channel
             lengths satisfy δ; None otherwise.
         mismatch: final max-min spread of valve-to-pin lengths (LM nets).
@@ -198,9 +213,12 @@ class PacorResult:
                     "sink_lengths": {
                         str(k): v for k, v in n.sink_lengths.items()
                     },
-                    "cells": sorted([c.x, c.y] for c in n.cells),
+                    # Layer-0 cells stay [x, y]; upper-layer cells carry
+                    # their z as [x, y, z] — single-layer documents are
+                    # byte-identical to the planar schema.
+                    "cells": sorted(list(c) for c in n.cells),
                     "segments": sorted(
-                        [[a.x, a.y], [b.x, b.y]] for a, b in n.segments
+                        [list(a), list(b)] for a, b in n.segments
                     ),
                 }
                 for n in self.nets

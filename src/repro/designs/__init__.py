@@ -13,6 +13,7 @@ from repro.designs.generator import (
     ClusterPlan,
     generate_design,
     generate_fault_scenario,
+    generate_fpva,
 )
 from repro.designs.io import design_from_json, design_to_json, load_design, save_design
 from repro.designs.perturb import add_obstacle_noise, jitter_valves, perturbation_family
@@ -35,6 +36,7 @@ __all__ = [
     "ClusterPlan",
     "generate_design",
     "generate_fault_scenario",
+    "generate_fpva",
     "design_to_json",
     "design_from_json",
     "save_design",

@@ -101,6 +101,38 @@ class Design:
         )
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
+    def with_layers(
+        self, layers: int, *, via_cost: int = 1, via_length: int = 1
+    ) -> "Design":
+        """Return this design lifted onto a ``layers``-deep grid.
+
+        Valves, pins, length-matching groups and the planar obstacle
+        map carry over unchanged (obstacles keep their layer, so
+        lifting a planar design leaves every upper layer open); the
+        via keep-out sites carry over as well.  ``with_layers(1)`` on
+        a planar design is an identical copy.
+        """
+        grid = RoutingGrid(
+            self.grid.width,
+            self.grid.height,
+            layers,
+            via_cost=via_cost,
+            via_length=via_length,
+        )
+        grid.add_obstacles(self.grid.obstacle_cells())
+        for site in self.grid.blocked_via_sites():
+            grid.set_via_blocked(site)
+        lifted = Design(
+            name=self.name,
+            grid=grid,
+            valves=list(self.valves),
+            lm_groups=[list(g) for g in self.lm_groups],
+            control_pins=list(self.control_pins),
+            delta=self.delta,
+        )
+        lifted.validate()
+        return lifted
+
     @property
     def size_label(self) -> str:
         """Return the Table-1 style size string, e.g. ``"179x413"``."""

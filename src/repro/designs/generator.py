@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence, Set
 
 from repro.designs.design import Design
-from repro.geometry.point import Point
+from repro.geometry.point import Point, cell_point
 from repro.geometry.rect import Rect
 from repro.grid.grid import RoutingGrid
 from repro.robustness.errors import GenerationError
@@ -109,6 +109,44 @@ def _place_obstacles(
         raise GenerationError(f"could not place {n_cells} obstacle cells")
 
 
+def _place_upper_obstacles(
+    grid: RoutingGrid,
+    rng: random.Random,
+    fraction: float,
+    *,
+    keepout: Set[Point],
+) -> None:
+    """Block upper-layer cells correlated with the layer-0 obstacle map.
+
+    Each layer ``z > 0`` receives ``fraction`` of the layer-0 obstacle
+    cells mirrored straight up (fabricated structures span layers) plus
+    the same number of independent random cells.  Columns above a
+    ``keepout`` cell (the valves) stay clear so vias near terminals are
+    never choked.
+    """
+    base = sorted(p for p in grid.obstacle_cells() if len(p) == 2)
+    n_layer = int(len(base) * fraction)
+    if n_layer <= 0:
+        return
+    for z in range(1, grid.layers):
+        for p in rng.sample(base, n_layer):
+            if p not in keepout:
+                grid.set_obstacle(cell_point(p[0], p[1], z))
+        placed = 0
+        attempts = 0
+        while placed < n_layer and attempts < 200 * n_layer + 100:
+            attempts += 1
+            x = rng.randint(0, grid.width - 1)
+            y = rng.randint(0, grid.height - 1)
+            if Point(x, y) in keepout:
+                continue
+            cell = cell_point(x, y, z)
+            if grid.is_obstacle(cell):
+                continue
+            grid.set_obstacle(cell)
+            placed += 1
+
+
 def _pick_free_cell(
     grid: RoutingGrid,
     rng: random.Random,
@@ -149,6 +187,10 @@ def generate_design(
     seed: int,
     time_steps: int = 10,
     core_fraction: float = 1.0,
+    layers: int = 1,
+    via_cost: int = 1,
+    via_length: int = 1,
+    upper_obstacle_fraction: float = 0.5,
 ) -> Design:
     """Generate a deterministic synthetic design.
 
@@ -166,14 +208,30 @@ def generate_design(
             their valves into the functional core, which is what makes
             length-matched routing contentious; 1.0 spreads clusters over
             the whole chip, smaller values increase routing contention.
+        layers: routing layers.  Valves and pins always live on layer 0;
+            ``layers > 1`` adds upper routing layers whose obstacles are
+            correlated with layer 0 (fabricated structures span layers).
+        via_cost: search cost of one vertical (via) step.
+        via_length: channel length contributed by one via step.
+        upper_obstacle_fraction: fraction of the layer-0 obstacle cells
+            mirrored onto each upper layer (the correlated part); the
+            same fraction again is placed independently at random.
 
     Returns:
         A validated :class:`Design`.
+
+    Determinism: a ``layers == 1`` call consumes the RNG stream exactly
+    as before the layer axis existed, so planar designs are
+    bit-identical across the refactor.
     """
     if not 0.0 < core_fraction <= 1.0:
         raise ValueError("core_fraction must lie in (0, 1]")
+    if not 0.0 <= upper_obstacle_fraction <= 1.0:
+        raise ValueError("upper_obstacle_fraction must lie in [0, 1]")
     rng = random.Random(seed)
-    grid = RoutingGrid(width, height)
+    grid = RoutingGrid(
+        width, height, layers, via_cost=via_cost, via_length=via_length
+    )
 
     n_groups = len(clusters) + n_singletons
     sequences = _base_sequences(n_groups, time_steps)
@@ -231,6 +289,10 @@ def generate_design(
     # valve so no terminal is choked or pocketed (fabricated chips are
     # routable by construction).
     _place_obstacles(grid, n_obstacles, rng, keepout=taken)
+    if layers > 1:
+        _place_upper_obstacles(
+            grid, rng, upper_obstacle_fraction, keepout=taken
+        )
 
     # Control pins: evenly spread over the free boundary cells.
     boundary = [p for p in grid.boundary_cells() if grid.is_free(p)]
@@ -251,11 +313,92 @@ def generate_design(
     return design
 
 
+def generate_fpva(
+    rows: int,
+    cols: int,
+    *,
+    pitch: int = 3,
+    margin: int = 3,
+    n_pins: Optional[int] = None,
+    layers: int = 1,
+    via_cost: int = 1,
+    via_length: int = 1,
+    name: Optional[str] = None,
+) -> Design:
+    """Generate a fully programmable valve array (FPVA) design.
+
+    An FPVA is a dense, regular ``rows x cols`` valve matrix in which
+    every valve is independently addressable — the stress case for
+    control-layer routing, since the inner valves are fenced in by
+    their own neighbours and escape capacity is the binding constraint.
+    Every valve is a singleton net (no length-matching groups) with a
+    unique activation sequence, so the clustering stage recovers
+    exactly ``rows * cols`` nets.
+
+    Args:
+        rows, cols: valve matrix shape.
+        pitch: cell distance between adjacent valves (>= 2 keeps one
+            routing track between columns).
+        margin: clear cells between the outer valves and the boundary.
+        n_pins: candidate control pins (default: one per valve, capped
+            at the free boundary size).
+        layers: routing layers (valves and pins stay on layer 0).
+        via_cost: search cost of one vertical step.
+        via_length: channel length contributed by one vertical step.
+        name: design name (default ``fpva-{rows}x{cols}``).
+
+    Returns:
+        A validated :class:`Design` with no obstacles: the matrix itself
+        is the congestion.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("FPVA needs at least a 1x1 valve matrix")
+    if pitch < 2:
+        raise ValueError("FPVA pitch must be at least 2")
+    if margin < 1:
+        raise ValueError("FPVA margin must be at least 1")
+    width = 2 * margin + (cols - 1) * pitch + 1
+    height = 2 * margin + (rows - 1) * pitch + 1
+    grid = RoutingGrid(
+        width, height, layers, via_cost=via_cost, via_length=via_length
+    )
+    count = rows * cols
+    time_steps = max(4, count.bit_length())
+    sequences = _base_sequences(count, time_steps)
+    valves = [
+        Valve(
+            r * cols + c,
+            Point(margin + c * pitch, margin + r * pitch),
+            sequences[r * cols + c],
+        )
+        for r in range(rows)
+        for c in range(cols)
+    ]
+    boundary = list(grid.boundary_cells())
+    wanted = count if n_pins is None else n_pins
+    wanted = min(wanted, len(boundary))
+    if wanted < 1:
+        raise ValueError("FPVA needs at least one control pin")
+    stride = len(boundary) / wanted
+    pins = [boundary[int(i * stride)] for i in range(wanted)]
+    design = Design(
+        name=name or f"fpva-{rows}x{cols}",
+        grid=grid,
+        valves=valves,
+        lm_groups=[],
+        control_pins=pins,
+        delta=1,
+    )
+    design.validate()
+    return design
+
+
 def generate_fault_scenario(
     design: Design,
     *,
     n_cell_faults: int,
     n_stuck_valves: int = 0,
+    n_via_faults: int = 0,
     seed: int,
     target_cells: Optional[Sequence[Point]] = None,
     event_stage: Optional[str] = None,
@@ -266,6 +409,9 @@ def generate_fault_scenario(
         design: the design the faults hit.
         n_cell_faults: blocked-cell count.
         n_stuck_valves: stuck-valve count.
+        n_via_faults: fused via columns (multi-layer designs only);
+            drawn from the non-valve planar sites, always as static
+            faults.
         seed: RNG seed — equal seeds give identical scenarios.
         target_cells: cells to draw the blockages from (benchmarks pass a
             result's routed cells here, so every fault is guaranteed to
@@ -315,5 +461,24 @@ def generate_fault_scenario(
         fm = FaultMap(events=events)
     else:
         fm = FaultMap(faulty_cells=cells, stuck_valves=stuck)
+    if n_via_faults:
+        grid = design.grid
+        if grid.layers < 2:
+            raise GenerationError(
+                f"design {design.name}: via faults need a multi-layer grid"
+            )
+        sites = [
+            p
+            for y in range(grid.height)
+            for x in range(grid.width)
+            if (p := Point(x, y)) not in valve_cells and grid.via_allowed(p)
+        ]
+        if n_via_faults > len(sites):
+            raise GenerationError(
+                f"design {design.name}: {n_via_faults} via faults exceed "
+                f"the {len(sites)} candidate sites"
+            )
+        for site in rng.sample(sites, n_via_faults):
+            fm.add_via_stuck(site)
     fm.validate(design)
     return fm

@@ -13,6 +13,12 @@ versioned and inspected:
       "lm_groups": [[0, 1], [2, 3]],
       "control_pins": [[0, 0], ...]
     }
+
+Multi-layer designs additionally carry ``layers``, ``via_cost``,
+``via_length`` and ``via_blocked`` (planar keep-out columns), and their
+obstacle entries may be ``[x, y, z]`` triples; all four keys are
+omitted at their single-layer defaults so planar documents round-trip
+byte-identically.
 """
 
 from __future__ import annotations
@@ -22,7 +28,7 @@ from pathlib import Path as FilePath
 from typing import Any, Dict, List, Optional, Union
 
 from repro.designs.design import Design
-from repro.geometry.point import Point
+from repro.geometry.point import Point, cell_point
 from repro.grid.grid import RoutingGrid
 from repro.robustness.errors import DesignFormatError
 from repro.valves.activation import ActivationSequence
@@ -30,13 +36,21 @@ from repro.valves.valve import Valve
 
 
 def design_to_json(design: Design) -> Dict[str, Any]:
-    """Return the JSON-serialisable document for ``design``."""
-    return {
+    """Return the JSON-serialisable document for ``design``.
+
+    The layer-axis fields (``layers``, ``via_cost``, ``via_length``,
+    ``via_blocked``) are emitted only when they differ from the planar
+    defaults, so single-layer documents — and their canonical hashes —
+    are byte-identical to the pre-layer-axis schema.  Layer-0 obstacle
+    cells serialise as ``[x, y]``, upper-layer ones as ``[x, y, z]``.
+    """
+    grid = design.grid
+    doc: Dict[str, Any] = {
         "name": design.name,
-        "width": design.grid.width,
-        "height": design.grid.height,
+        "width": grid.width,
+        "height": grid.height,
         "delta": design.delta,
-        "obstacles": sorted([p.x, p.y] for p in design.grid.obstacle_cells()),
+        "obstacles": sorted(list(p) for p in grid.obstacle_cells()),
         "valves": [
             {"id": v.id, "x": v.position.x, "y": v.position.y, "sequence": v.sequence.steps}
             for v in design.valves
@@ -44,6 +58,16 @@ def design_to_json(design: Design) -> Dict[str, Any]:
         "lm_groups": [list(g) for g in design.lm_groups],
         "control_pins": [[p.x, p.y] for p in design.control_pins],
     }
+    if grid.layers != 1:
+        doc["layers"] = grid.layers
+    if grid.via_cost != 1:
+        doc["via_cost"] = grid.via_cost
+    if grid.via_length != 1:
+        doc["via_length"] = grid.via_length
+    blocked_vias = grid.blocked_via_sites()
+    if blocked_vias:
+        doc["via_blocked"] = sorted([p.x, p.y] for p in blocked_vias)
+    return doc
 
 
 def _field(
@@ -77,15 +101,26 @@ def _int_field(
     return value
 
 
-def _point_list(value: Any, name: str, source: Optional[str]) -> List[Point]:
+def _point_list(
+    value: Any,
+    name: str,
+    source: Optional[str],
+    *,
+    allow_z: bool = False,
+) -> List[Point]:
     points: List[Point] = []
     try:
         for pair in value:
+            if allow_z and len(pair) == 3:
+                x, y, z = pair
+                points.append(cell_point(int(x), int(y), int(z)))
+                continue
             x, y = pair
             points.append(Point(int(x), int(y)))
     except (TypeError, ValueError) as exc:
         raise DesignFormatError(
-            "expected a list of [x, y] pairs",
+            "expected a list of [x, y] pairs"
+            + (" or [x, y, z] triples" if allow_z else ""),
             field=f"{name}[{len(points)}]",
             path=source,
         ) from exc
@@ -113,8 +148,13 @@ def design_from_json(
             path=source,
         )
     try:
+        layers = int(doc.get("layers", 1))
         grid = RoutingGrid(
-            _int_field(doc, "width", source), _int_field(doc, "height", source)
+            _int_field(doc, "width", source),
+            _int_field(doc, "height", source),
+            layers,
+            via_cost=int(doc.get("via_cost", 1)),
+            via_length=int(doc.get("via_length", 1)),
         )
     except ValueError as exc:
         if isinstance(exc, DesignFormatError):
@@ -124,12 +164,25 @@ def design_from_json(
         ) from exc
     try:
         grid.add_obstacles(
-            _point_list(doc.get("obstacles", []), "obstacles", source)
+            _point_list(
+                doc.get("obstacles", []), "obstacles", source, allow_z=True
+            )
         )
     except ValueError as exc:
         if isinstance(exc, DesignFormatError):
             raise
         raise DesignFormatError(str(exc), field="obstacles", path=source) from exc
+    try:
+        for site in _point_list(
+            doc.get("via_blocked", []), "via_blocked", source
+        ):
+            grid.set_via_blocked(site)
+    except ValueError as exc:
+        if isinstance(exc, DesignFormatError):
+            raise
+        raise DesignFormatError(
+            str(exc), field="via_blocked", path=source
+        ) from exc
     valve_docs = _field(doc, "valves", source)
     if not isinstance(valve_docs, list):
         raise DesignFormatError(

@@ -31,6 +31,9 @@ class RoutedTree:
             to the tree root (Def. 6 order).
         root: the tree root cell (escape tap).
         escape_path: root-to-pin path, set after escape routing.
+        via_length: channel units one via step contributes to length
+            matching (``grid.via_length``); 1 on single-layer designs,
+            where every length below reduces to the plain step count.
     """
 
     cluster_id: int
@@ -38,6 +41,7 @@ class RoutedTree:
     sequences: Dict[int, List[int]]
     root: Point
     escape_path: Optional[Path] = None
+    via_length: int = 1
 
     def sink_ids(self) -> List[int]:
         """Return the valve indices of the cluster's sinks."""
@@ -50,9 +54,13 @@ class RoutedTree:
         unaffected by whether it is routed yet; lengths before escape
         routing are relative to the tree root.
         """
-        length = sum(self.edge_paths[k].length for k in self.sequences[sink])
+        vl = self.via_length
+        length = sum(
+            self.edge_paths[k].weighted_length(vl)
+            for k in self.sequences[sink]
+        )
         if self.escape_path is not None:
-            length += self.escape_path.length
+            length += self.escape_path.weighted_length(vl)
         return length
 
     def full_lengths(self) -> Dict[int, int]:
@@ -73,25 +81,27 @@ class RoutedTree:
             cells.update(self.escape_path.cells)
         return cells
 
-    def all_cell_ids(self, width: int) -> Set[int]:
+    def all_cell_ids(self, width: int, height: int = 0) -> Set[int]:
         """Return every channel cell as a flat cell id (escape included).
 
         The id-set twin of :meth:`all_cells` for a ``width``-wide grid —
         what the detour stage feeds straight into occupancy buckets and
         :class:`~repro.routing.core.space.SearchSpace` extra obstacles.
+        ``height`` is required only when paths visit upper layers.
         """
         ids: Set[int] = set()
         for path in self.edge_paths.values():
-            ids.update(path.cell_ids(width))
+            ids.update(path.cell_ids(width, height))
         if self.escape_path is not None:
-            ids.update(self.escape_path.cell_ids(width))
+            ids.update(self.escape_path.cell_ids(width, height))
         return ids
 
     def total_length(self) -> int:
         """Return the summed channel length (tree edges + escape)."""
-        total = sum(p.length for p in self.edge_paths.values())
+        vl = self.via_length
+        total = sum(p.weighted_length(vl) for p in self.edge_paths.values())
         if self.escape_path is not None:
-            total += self.escape_path.length
+            total += self.escape_path.weighted_length(vl)
         return total
 
     def copy_paths(self) -> Dict[int, Path]:
@@ -100,7 +110,7 @@ class RoutedTree:
 
 
 def routed_tree_from_candidate(
-    tree: CandidateTree, paths_by_edge: Dict[int, Path]
+    tree: CandidateTree, paths_by_edge: Dict[int, Path], via_length: int = 1
 ) -> RoutedTree:
     """Assemble a :class:`RoutedTree` from a routed candidate tree.
 
@@ -149,11 +159,16 @@ def routed_tree_from_candidate(
         edge_paths=edge_paths,
         sequences=sequences,
         root=tree.root_position,
+        via_length=via_length,
     )
 
 
 def routed_tree_from_pair(
-    cluster_id: int, path: Path, sink_a: int = 0, sink_b: int = 1
+    cluster_id: int,
+    path: Path,
+    sink_a: int = 0,
+    sink_b: int = 1,
+    via_length: int = 1,
 ) -> RoutedTree:
     """Build a :class:`RoutedTree` for a two-valve cluster.
 
@@ -170,4 +185,5 @@ def routed_tree_from_pair(
         edge_paths={0: half_a, 1: half_b},
         sequences={sink_a: [0], sink_b: [1]},
         root=root,
+        via_length=via_length,
     )

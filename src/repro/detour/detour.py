@@ -46,9 +46,10 @@ class DetourResult:
 
 def _recommit(occupancy: Occupancy, tree: RoutedTree) -> None:
     """Synchronise the occupancy overlay with the tree's current cells."""
+    grid = occupancy.grid
     occupancy.release_ids(tree.cluster_id)
     occupancy.occupy_ids(
-        tree.all_cell_ids(occupancy.grid.width), tree.cluster_id
+        tree.all_cell_ids(grid.width, grid.height), tree.cluster_id
     )
 
 
@@ -67,14 +68,24 @@ def _detour_edge(
     new path, or None.
     """
     old = tree.edge_paths[edge_key]
-    lo = old.length + extra[0]
-    hi = old.length + extra[1]
+    via_length = tree.via_length
+    old_length = old.weighted_length(via_length)
+    lo = old_length + extra[0]
+    hi = old_length + extra[1]
 
     width = grid.width
-    own_ids = set(old.cell_ids(width))
-    other_ids = tree.all_cell_ids(width) - own_ids
+    height = grid.height
+    own_ids = set(old.cell_ids(width, height))
+    other_ids = tree.all_cell_ids(width, height) - own_ids
     endpoint_ids = {grid.index(old.source), grid.index(old.target)}
     forbidden_ids = other_ids - endpoint_ids
+
+    # Weighted lower bound on any source-target path: planar L1 plus
+    # via_length per layer crossed.  Equals plain Manhattan on one layer.
+    s, t = old.source, old.target
+    sz = s[2] if len(s) == 3 else 0
+    tz = t[2] if len(t) == 3 else 0
+    floor = abs(s[0] - t[0]) + abs(s[1] - t[1]) + abs(sz - tz) * via_length
 
     # Free the old path in the overlay so the router may reuse its cells;
     # cells shared with sibling edges keep their protection via forbidden.
@@ -83,7 +94,7 @@ def _detour_edge(
         grid,
         old.source,
         old.target,
-        max(lo, old.source.manhattan(old.target)),
+        max(lo, floor),
         hi,
         net=tree.cluster_id,
         occupancy=occupancy,

@@ -114,12 +114,17 @@ def solve_escape(
         result.unrouted = [s.cluster_id for s in sources]
         return result
 
+    # Escape routing is a layer-0 subproblem: pins live on the chip
+    # surface, so the flow network is built over the planar restriction
+    # and upper-layer cells (3-tuples under the mixed-arity rule) are
+    # transparent to it.
+    grid = grid.plane_grid()
     width = grid.width
     height = grid.height
     size = width * height
     usable_mask = grid.obstacle_mask() == 0
     for p in blocked:
-        if 0 <= p[0] < width and 0 <= p[1] < height:
+        if len(p) == 2 and 0 <= p[0] < width and 0 <= p[1] < height:
             usable_mask[p[1] * width + p[0]] = False
 
     # Usable cells in deterministic row-major order, keyed by flat cell
@@ -199,6 +204,8 @@ def solve_escape(
         entries: List[Tuple[int, Point, int]] = []
         seen_entry: Set[int] = set()
         for tap in source.tap_cells:
+            if len(tap) == 3:
+                continue  # upper-layer cells cannot tap the planar escape
             tap = Point(tap[0], tap[1])
             on_chip = 0 <= tap[0] < width and 0 <= tap[1] < height
             tid = tap[1] * width + tap[0] if on_chip else -1

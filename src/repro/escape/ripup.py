@@ -73,6 +73,10 @@ def find_blocking_nets(
         rippable cells (the source is walled in by obstacles or protected
         nets).
     """
+    # The probe is a layer-0 subproblem, like the escape solvers it
+    # serves: owner/obstacle arrays are truncated to the plane and
+    # upper-layer taps (3-tuples) cannot seed it.
+    grid = grid.plane_grid()
     width = grid.width
     height = grid.height
     size = width * height
@@ -81,10 +85,11 @@ def find_blocking_nets(
         for p in pins
         if 0 <= p[0] < width and 0 <= p[1] < height
     }
+    tap_cells = [t for t in tap_cells if len(t) == 2]
     if not pin_ids or not tap_cells:
         return None
     rip_cost = rip_cost or {}
-    owner_arr = occupancy.owner_array()
+    owner_arr = occupancy.owner_array()[:size]
 
     # Per-cell probe cost, fused once instead of per neighbour visit:
     # free cells cost 1, rippable-owned cells carry the rip penalty, and

@@ -48,12 +48,16 @@ def solve_escape_sequential(
     """
     # Track no-go cells as flat ids; each routed path joins the set, so
     # the per-source SearchSpace below sees earlier paths as obstacles.
+    # Like the min-cost-flow formulation, escape is a layer-0 subproblem:
+    # the search runs on the planar restriction, and upper-layer blocked
+    # cells (3-tuples under the mixed-arity rule) are transparent to it.
+    grid = grid.plane_grid()
     width = grid.width
     height = grid.height
     blocked_ids: Set[int] = set()
     if blocked:
         for p in blocked:
-            if 0 <= p[0] < width and 0 <= p[1] < height:
+            if len(p) == 2 and 0 <= p[0] < width and 0 <= p[1] < height:
                 blocked_ids.add(p[1] * width + p[0])
     result = EscapeResult()
     if not sources:
@@ -82,7 +86,7 @@ def solve_escape_sequential(
     used_pins: Set[Point] = set()
     for source in ordered:
         space = SearchSpace(grid, extra_obstacle_ids=blocked_ids)
-        taps = [Point(t[0], t[1]) for t in source.tap_cells]
+        taps = [Point(t[0], t[1]) for t in source.tap_cells if len(t) == 2]
         # Entry cells: free neighbours of the taps (or the tap itself if
         # it is unoccupied — singleton valves).
         entries: List[Point] = []

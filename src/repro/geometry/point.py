@@ -35,6 +35,48 @@ class Point(NamedTuple):
         return f"({self.x},{self.y})"
 
 
+class Point3(NamedTuple):
+    """A point on an upper routing layer of a multi-layer grid.
+
+    The canonical cell representation is *mixed-arity*: a cell on layer
+    0 is always a plain :class:`Point` ``(x, y)``, a cell on layer ``z >
+    0`` is a ``Point3`` ``(x, y, z)``.  The rule gives every physical
+    cell exactly one tuple form, so sets, sorting and JSON stay
+    deterministic, planar design objects (valves, pins) interoperate
+    with routed cells via plain set operations, and single-layer runs
+    never see a 3-tuple at all.
+    """
+
+    x: int
+    y: int
+    z: int
+
+    def manhattan(self, other: "Point3") -> int:
+        """Return the L1 distance to ``other`` (z counted like x/y)."""
+        return manhattan(self, other)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.x},{self.y},z{self.z})"
+
+
+def cell_point(x: int, y: int, z: int = 0):
+    """Return the canonical cell tuple: ``Point`` on layer 0, else ``Point3``."""
+    if z:
+        return Point3(x, y, z)
+    return Point(x, y)
+
+
+def cell_z(p) -> int:
+    """Return the layer of a cell tuple (``0`` for plain 2-tuples)."""
+    return p[2] if len(p) == 3 else 0
+
+
 def manhattan(a: Point, b: Point) -> int:
-    """Return the L1 distance between two points (tuple-likes accepted)."""
-    return abs(a[0] - b[0]) + abs(a[1] - b[1])
+    """Return the L1 distance between two points (tuple-likes accepted).
+
+    Accepts mixed arities: a plain ``(x, y)`` tuple is a layer-0 cell,
+    so its implicit z is 0.
+    """
+    az = a[2] if len(a) == 3 else 0
+    bz = b[2] if len(b) == 3 else 0
+    return abs(a[0] - b[0]) + abs(a[1] - b[1]) + abs(az - bz)

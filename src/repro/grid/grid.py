@@ -6,26 +6,55 @@ from typing import Iterable, Iterator, List
 
 import numpy as np
 
-from repro.geometry.point import Point
+from repro.geometry.point import Point, cell_point
 from repro.geometry.rect import Rect
 
 
 class RoutingGrid:
-    """A ``width x height`` uniform routing grid with static obstacles.
+    """A ``layers x width x height`` uniform routing grid with obstacles.
 
     Cells are addressed by :class:`~repro.geometry.point.Point` with
-    ``0 <= x < width`` and ``0 <= y < height``.  The obstacle map is the
-    ``ObsMap`` of Algorithm 1 in the paper: a flat ``uint8`` array
-    indexed by ``y * width + x``, shared with the search kernels as an
-    ndarray so blocked-mask composition stays at C speed.
+    ``0 <= x < width`` and ``0 <= y < height`` (layer 0), or by
+    :class:`~repro.geometry.point.Point3` ``(x, y, z)`` with ``0 < z <
+    layers`` for upper layers.  The obstacle map is the ``ObsMap`` of
+    Algorithm 1 in the paper, generalised with a layer axis: a flat
+    ``uint8`` array indexed by ``z * width * height + y * width + x``,
+    shared with the search kernels as an ndarray so blocked-mask
+    composition stays at C speed.  The default single-layer grid is the
+    exact degenerate case — ids, masks and every behaviour are
+    unchanged from the planar substrate.
+
+    Vertical (via) moves between layer ``z`` and ``z + 1`` are allowed
+    only where the planar *via-permission mask* is set (default:
+    everywhere); :meth:`set_via_blocked` carves via keep-outs.  A via
+    step costs ``via_cost`` in search g-scores and contributes
+    ``via_length`` channel units to length accounting.
     """
 
-    def __init__(self, width: int, height: int) -> None:
-        if width <= 0 or height <= 0:
+    def __init__(
+        self,
+        width: int,
+        height: int,
+        layers: int = 1,
+        *,
+        via_cost: int = 1,
+        via_length: int = 1,
+    ) -> None:
+        if width <= 0 or height <= 0 or layers <= 0:
             raise ValueError("grid dimensions must be positive")
+        if via_cost < 1 or via_length < 1:
+            raise ValueError("via_cost and via_length must be at least 1")
         self.width = width
         self.height = height
-        self._obstacles = np.zeros(width * height, dtype=np.uint8)
+        self.layers = layers
+        self.plane = width * height
+        self.size = width * height * layers
+        self.via_cost = via_cost
+        self.via_length = via_length
+        self._obstacles = np.zeros(self.size, dtype=np.uint8)
+        # Planar via-permission mask: 1 = a via stack may pass through
+        # column (x, y).  Irrelevant (and all-ones) on 1-layer grids.
+        self._via_ok = np.ones(self.plane, dtype=np.uint8)
         # Bumped on every obstacle mutation; SpaceCache compares it to
         # detect a stale fused mask (grids rarely change mid-run, but
         # fault injection does exactly that).
@@ -34,32 +63,52 @@ class RoutingGrid:
     # -- indexing ---------------------------------------------------------
 
     def index(self, p: Point) -> int:
-        """Return the flat array index of cell ``p`` (no bounds check)."""
+        """Return the flat array index of cell ``p`` (no bounds check).
+
+        Accepts mixed arities: a plain ``(x, y)`` tuple is a layer-0
+        cell, an ``(x, y, z)`` tuple addresses layer ``z``.
+        """
+        if len(p) == 3:
+            return p[2] * self.plane + p[1] * self.width + p[0]
         return p[1] * self.width + p[0]
 
     def point(self, index: int) -> Point:
-        """Return the cell of flat array index ``index``."""
-        return Point(index % self.width, index // self.width)
+        """Return the cell of flat array index ``index``.
+
+        Layer-0 ids materialise as plain :class:`Point`, upper-layer
+        ids as :class:`~repro.geometry.point.Point3` — the canonical
+        mixed-arity cell rule.
+        """
+        if index < self.plane:
+            return Point(index % self.width, index // self.width)
+        z, rem = divmod(index, self.plane)
+        return cell_point(rem % self.width, rem // self.width, z)
 
     def in_bounds(self, p: Point) -> bool:
-        """Return True when ``p`` lies on the chip."""
-        return 0 <= p[0] < self.width and 0 <= p[1] < self.height
+        """Return True when ``p`` lies on the chip (any layer)."""
+        if not (0 <= p[0] < self.width and 0 <= p[1] < self.height):
+            return False
+        z = p[2] if len(p) == 3 else 0
+        return 0 <= z < self.layers
 
     # -- obstacles --------------------------------------------------------
 
     def is_obstacle(self, p: Point) -> bool:
         """Return True when cell ``p`` is statically blocked."""
-        return bool(self._obstacles[p[1] * self.width + p[0]])
+        return bool(self._obstacles[self.index(p)])
 
     def is_free(self, p: Point) -> bool:
         """Return True when ``p`` is on-chip and not an obstacle."""
-        return self.in_bounds(p) and not self._obstacles[p[1] * self.width + p[0]]
+        return self.in_bounds(p) and not self._obstacles[self.index(p)]
 
     def set_obstacle(self, p: Point, blocked: bool = True) -> None:
         """Mark or clear a single obstacle cell."""
         if not self.in_bounds(p):
-            raise ValueError(f"cell {p} is outside the {self.width}x{self.height} grid")
-        self._obstacles[p[1] * self.width + p[0]] = 1 if blocked else 0
+            raise ValueError(
+                f"cell {p} is outside the "
+                f"{self.layers}x{self.width}x{self.height} grid"
+            )
+        self._obstacles[self.index(p)] = 1 if blocked else 0
         self._version += 1
 
     def add_obstacles(self, cells: Iterable[Point]) -> None:
@@ -68,7 +117,7 @@ class RoutingGrid:
             self.set_obstacle(p, True)
 
     def add_rect_obstacle(self, rect: Rect) -> None:
-        """Block every cell of ``rect`` (clipped to the chip)."""
+        """Block every cell of ``rect`` (clipped to the chip, layer 0)."""
         clipped = rect.intersect(self.extent())
         if clipped is not None:
             self.add_obstacles(clipped.cells())
@@ -100,20 +149,47 @@ class RoutingGrid:
         for i in np.flatnonzero(self._obstacles).tolist():
             yield self.point(i)
 
+    # -- vias -------------------------------------------------------------
+
+    def via_mask(self) -> "np.ndarray":
+        """Return the live planar ``uint8`` via-permission mask (``1`` = ok)."""
+        return self._via_ok
+
+    def via_allowed(self, p: Point) -> bool:
+        """Return True when a via stack may pass through column ``(x, y)``."""
+        return bool(self._via_ok[p[1] * self.width + p[0]])
+
+    def set_via_blocked(self, p: Point, blocked: bool = True) -> None:
+        """Forbid (or re-allow) vias through the planar column ``(x, y)``."""
+        if not (0 <= p[0] < self.width and 0 <= p[1] < self.height):
+            raise ValueError(
+                f"column {p} is outside the {self.width}x{self.height} plane"
+            )
+        self._via_ok[p[1] * self.width + p[0]] = 0 if blocked else 1
+        self._version += 1
+
+    def blocked_via_sites(self) -> List[Point]:
+        """Return the planar columns whose via permission is revoked."""
+        width = self.width
+        return [
+            Point(i % width, i // width)
+            for i in np.flatnonzero(self._via_ok == 0).tolist()
+        ]
+
     # -- geometry helpers --------------------------------------------------
 
     def extent(self) -> Rect:
-        """Return the chip extent as an inclusive rectangle."""
+        """Return the chip extent as an inclusive rectangle (one layer)."""
         return Rect(0, 0, self.width - 1, self.height - 1)
 
     def free_neighbors(self, p: Point) -> Iterator[Point]:
-        """Yield the on-chip, unblocked 4-neighbours of ``p``."""
+        """Yield the on-chip, unblocked 4-neighbours of ``p`` (same layer)."""
         for q in p.neighbors4():
             if self.is_free(q):
                 yield q
 
     def boundary_cells(self) -> List[Point]:
-        """Return the chip-boundary cells in clockwise order from (0, 0)."""
+        """Return the layer-0 boundary cells in clockwise order from (0, 0)."""
         cells: List[Point] = []
         w, h = self.width, self.height
         cells.extend(Point(x, 0) for x in range(w))
@@ -130,14 +206,43 @@ class RoutingGrid:
             p[0] == 0 or p[1] == 0 or p[0] == self.width - 1 or p[1] == self.height - 1
         )
 
-    def copy(self) -> "RoutingGrid":
-        """Return an independent copy (obstacles included)."""
+    def plane_grid(self) -> "RoutingGrid":
+        """Return the layer-0 planar restriction of this grid.
+
+        Escape routing is a layer-0 subproblem — control pins live on
+        the chip surface, so its planar solvers run on this view and
+        upper-layer channels never collide with escape paths.  Returns
+        ``self`` (no copy) for single-layer grids, so the planar flow
+        is untouched.
+        """
+        if self.layers == 1:
+            return self
         g = RoutingGrid(self.width, self.height)
+        g._obstacles = self._obstacles[: self.plane].copy()
+        g._version = self._version
+        return g
+
+    def copy(self) -> "RoutingGrid":
+        """Return an independent copy (obstacles, vias and version included).
+
+        The mutation counter travels with the copy: a grid copied at
+        version ``n`` must never alias a :class:`SpaceCache` generation
+        built for a *different* obstacle map at the same counter value.
+        """
+        g = RoutingGrid(
+            self.width,
+            self.height,
+            self.layers,
+            via_cost=self.via_cost,
+            via_length=self.via_length,
+        )
         g._obstacles = self._obstacles.copy()
+        g._via_ok = self._via_ok.copy()
+        g._version = self._version
         return g
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return (
-            f"RoutingGrid({self.width}x{self.height}, "
-            f"{self.obstacle_count()} obstacles)"
-        )
+        label = f"{self.width}x{self.height}"
+        if self.layers > 1:
+            label = f"{self.layers}x" + label
+        return f"RoutingGrid({label}, {self.obstacle_count()} obstacles)"

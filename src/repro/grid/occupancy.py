@@ -27,7 +27,7 @@ from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Set, Tuple
 
 import numpy as np
 
-from repro.geometry.point import Point
+from repro.geometry.point import Point, cell_point
 from repro.grid.grid import RoutingGrid
 from repro.robustness import faults
 
@@ -60,7 +60,7 @@ class Occupancy:
 
     def __init__(self, grid: RoutingGrid) -> None:
         self.grid = grid
-        size = grid.width * grid.height
+        size = grid.size
         self._owner = np.full(size, FREE, dtype=np.int32)
         self._cells: Dict[int, Set[int]] = {}
         # Bucket-membership indicator: 1 exactly where some net's bucket
@@ -153,9 +153,8 @@ class Occupancy:
                 if not bucket:
                     del self._cells[net]
                 bad = cid_list[k]
-                y, x = divmod(bad, width)
                 raise ValueError(
-                    f"cell {Point(x, y)} already occupied by net "
+                    f"cell {self.grid.point(bad)} already occupied by net "
                     f"{int(current[k])}"
                 )
             self._owner[arr] = net
@@ -166,9 +165,15 @@ class Occupancy:
             # Chaos-suite hook: orphan one owner entry (owner array says
             # occupied, bucket disagrees) so the between-stage consistency
             # check has something real to detect and repair.  The dropped
-            # cell is the (x, y)-minimal one, as it was when buckets held
-            # Points — keyed, not raw id order (which would be (y, x)).
-            dropped = min(bucket, key=lambda c: (c % width, c // width))
+            # cell is the (x, y, z)-minimal one, as it was when buckets
+            # held Points — keyed, not raw id order (which would be
+            # (z, y, x)).
+            height = self.grid.height
+            plane = self.grid.plane
+            dropped = min(
+                bucket,
+                key=lambda c: (c % width, (c // width) % height, c // plane),
+            )
             bucket.discard(dropped)
             self._overlay[dropped] = 0
             self._mark_dirty((dropped,))
@@ -177,10 +182,8 @@ class Occupancy:
 
     def release(self, net: int) -> Set[Point]:
         """Free every cell of ``net`` and return the released cells."""
-        width = self.grid.width
-        return {
-            Point(cid % width, cid // width) for cid in self.release_ids(net)
-        }
+        point = self.grid.point
+        return {point(cid) for cid in self.release_ids(net)}
 
     def release_ids(self, net: int) -> Set[int]:
         """Free every cell of ``net`` and return the released cell ids."""
@@ -235,11 +238,8 @@ class Occupancy:
 
     def cells_of(self, net: int) -> Set[Point]:
         """Return (a copy of) the cells currently owned by ``net``."""
-        width = self.grid.width
-        return {
-            Point(cid % width, cid // width)
-            for cid in self._cells.get(net, ())
-        }
+        point = self.grid.point
+        return {point(cid) for cid in self._cells.get(net, ())}
 
     def cells_of_ids(self, net: int) -> Set[int]:
         """Return (a copy of) the cell ids currently owned by ``net``."""
@@ -308,17 +308,32 @@ class Occupancy:
         ``grid.index`` round-trips.
         """
         width = self.grid.width
+        height = self.grid.height
+        plane = self.grid.plane
         occupied = np.flatnonzero(self._owner != FREE)
         xs = (occupied % width).tolist()
-        ys = (occupied // width).tolist()
+        ys = ((occupied // width) % height).tolist()
+        zs = (occupied // plane).tolist()
         owners = self._owner[occupied].tolist()
+
+        def _cell_doc(cid: int) -> List[int]:
+            # Layer-0 cells export as [x, y], upper layers as [x, y, z]
+            # — the canonical mixed-arity rule, so single-layer
+            # snapshots are byte-identical to the planar format.
+            if cid < plane:
+                return [cid % width, cid // width]
+            return [cid % width, (cid // width) % height, cid // plane]
+
         return {
             "nets": {
-                str(net): sorted([cid % width, cid // width] for cid in cids)
+                str(net): sorted(_cell_doc(cid) for cid in cids)
                 for net, cids in self._cells.items()
                 if cids
             },
-            "owner_cells": [list(t) for t in zip(xs, ys, owners)],
+            "owner_cells": [
+                [x, y, owner] if z == 0 else [x, y, z, owner]
+                for x, y, z, owner in zip(xs, ys, zs, owners)
+            ],
         }
 
     def import_state(self, state: Dict[str, object]) -> None:
@@ -331,27 +346,38 @@ class Occupancy:
         owner_cells = state.get("owner_cells", [])
         width = self.grid.width
         height = self.grid.height
-        self._owner = np.full(width * height, FREE, dtype=np.int32)
+        layers = self.grid.layers
+        plane = self.grid.plane
+        self._owner = np.full(self.grid.size, FREE, dtype=np.int32)
         self._cells = {}
-        for x, y, owner in owner_cells:  # type: ignore[misc]
-            x, y = int(x), int(y)
-            if not (0 <= x < width and 0 <= y < height):
-                raise ValueError(f"snapshot cell {Point(x, y)} is off-grid")
-            self._owner[y * width + x] = int(owner)
+
+        def _cid(x: int, y: int, z: int) -> int:
+            if not (
+                0 <= x < width and 0 <= y < height and 0 <= z < layers
+            ):
+                raise ValueError(
+                    f"snapshot cell {cell_point(x, y, z)} is off-grid"
+                )
+            return z * plane + y * width + x
+
+        for entry in owner_cells:  # type: ignore[union-attr]
+            if len(entry) == 4:
+                x, y, z, owner = entry
+            else:
+                (x, y, owner), z = entry, 0
+            self._owner[_cid(int(x), int(y), int(z))] = int(owner)
         for net_key, cells in nets.items():  # type: ignore[union-attr]
             bucket: Set[int] = set()
-            for x, y in cells:
-                x, y = int(x), int(y)
-                if not (0 <= x < width and 0 <= y < height):
-                    raise ValueError(f"snapshot cell {Point(x, y)} is off-grid")
-                bucket.add(y * width + x)
+            for cell in cells:
+                z = int(cell[2]) if len(cell) == 3 else 0
+                bucket.add(_cid(int(cell[0]), int(cell[1]), z))
             self._cells[int(net_key)] = bucket
         self._rebuild_overlay()
         self._mark_all_dirty()
 
     def _rebuild_overlay(self) -> None:
         """Reconstitute the overlay mask from the buckets (O(occupied))."""
-        overlay = np.zeros(self.grid.width * self.grid.height, dtype=np.uint8)
+        overlay = np.zeros(self.grid.size, dtype=np.uint8)
         for cids in self._cells.values():
             if cids:
                 overlay[np.fromiter(cids, dtype=np.int64, count=len(cids))] = 1
@@ -367,7 +393,7 @@ class Occupancy:
         One vectorised owner-array comparison plus one pass over the
         buckets — O(grid + occupied), no per-cell object construction.
         """
-        width = self.grid.width
+        point = self.grid.point
         expected = np.full(self._owner.shape[0], FREE, dtype=np.int32)
         for net, cids in self._cells.items():
             if cids:
@@ -375,7 +401,7 @@ class Occupancy:
                     net
                 )
         bad = np.flatnonzero(expected != self._owner)
-        return [Point(int(cid) % width, int(cid) // width) for cid in bad]
+        return [point(int(cid)) for cid in bad]
 
     def repair(self) -> List[Point]:
         """Rebuild the net buckets from the owner array; return fixes.

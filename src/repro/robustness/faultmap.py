@@ -32,8 +32,12 @@ from dataclasses import dataclass, field
 from pathlib import Path as FilePath
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
 
-from repro.geometry.point import Point
-from repro.robustness.errors import ConfigError, FaultFormatError
+from repro.geometry.point import Point, cell_point
+from repro.robustness.errors import (
+    ConfigError,
+    FaultFormatError,
+    KernelPreconditionError,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.designs.design import Design
@@ -91,7 +95,7 @@ class FaultEvent:
         """Return the JSON document of this event."""
         doc: Dict[str, Any] = {"stage": self.stage}
         if self.cell is not None:
-            doc["cell"] = [self.cell.x, self.cell.y]
+            doc["cell"] = list(self.cell)
         if self.valve is not None:
             doc["valve"] = self.valve
         return doc
@@ -130,6 +134,9 @@ class FaultEvent:
 
 def _parse_cell(doc: Any, source: Optional[str]) -> Point:
     try:
+        if len(doc) == 3:
+            x, y, z = doc
+            return cell_point(int(x), int(y), int(z))
         x, y = doc
         return Point(int(x), int(y))
     except (TypeError, ValueError) as exc:
@@ -146,7 +153,12 @@ class FaultMap:
 
     Attributes:
         faulty_cells: channel cells that may no longer carry a channel.
+            On multi-layer chips an upper-layer cell is a 3-tuple
+            ``(x, y, z)``; layer-0 cells stay plain ``(x, y)`` points.
         stuck_valves: valve ids stuck in one state (unusable terminals).
+        via_stuck: planar ``(x, y)`` sites whose via column is fused
+            shut — no path may change layers there.  Meaningless (and
+            rejected by :meth:`validate`) on single-layer designs.
         events: timed mid-flow faults, applied at stage boundaries in
             list order.
     """
@@ -154,16 +166,38 @@ class FaultMap:
     faulty_cells: List[Point] = field(default_factory=list)
     stuck_valves: List[int] = field(default_factory=list)
     events: List[FaultEvent] = field(default_factory=list)
+    via_stuck: List[Point] = field(default_factory=list)
 
     # -- queries -----------------------------------------------------------
 
     def is_empty(self) -> bool:
         """Return True when no fault is declared at all."""
-        return not (self.faulty_cells or self.stuck_valves or self.events)
+        return not (
+            self.faulty_cells
+            or self.stuck_valves
+            or self.events
+            or self.via_stuck
+        )
 
-    def cell_ids(self, width: int) -> List[int]:
-        """Return the faulty cells as sorted flat ``grid.index`` ids."""
-        return sorted(c.y * width + c.x for c in self.faulty_cells)
+    def cell_ids(self, width: int, height: int = 0) -> List[int]:
+        """Return the faulty cells as sorted flat ``grid.index`` ids.
+
+        ``height`` is required whenever a faulty cell sits on an upper
+        layer (3-tuple cells); planar callers may keep omitting it.
+        """
+        ids: List[int] = []
+        for c in self.faulty_cells:
+            if len(c) == 3:
+                if height <= 0:
+                    raise KernelPreconditionError(
+                        "cell_ids needs the grid height to flatten the "
+                        f"layered fault cell {c}",
+                        kernel="repro.robustness.faultmap.FaultMap.cell_ids",
+                    )
+                ids.append(c[2] * width * height + c[1] * width + c[0])
+            else:
+                ids.append(c[1] * width + c[0])
+        return sorted(ids)
 
     def copy(self) -> "FaultMap":
         """Return an independent copy (events included)."""
@@ -174,6 +208,7 @@ class FaultMap:
                 FaultEvent(stage=e.stage, cell=e.cell, valve=e.valve)
                 for e in self.events
             ],
+            via_stuck=list(self.via_stuck),
         )
 
     # -- mutation ----------------------------------------------------------
@@ -182,6 +217,11 @@ class FaultMap:
         """Declare ``cell`` faulty (idempotent)."""
         if cell not in self.faulty_cells:
             self.faulty_cells.append(cell)
+
+    def add_via_stuck(self, site: Point) -> None:
+        """Declare the via column at planar ``site`` fused shut."""
+        if site not in self.via_stuck:
+            self.via_stuck.append(site)
 
     def add_valve(self, valve_id: int) -> None:
         """Declare valve ``valve_id`` stuck (idempotent)."""
@@ -207,11 +247,26 @@ class FaultMap:
         grid = design.grid
         known = set(design.valve_by_id())
         for cell in self.faulty_cells:
-            if not (0 <= cell.x < grid.width and 0 <= cell.y < grid.height):
+            if not grid.in_bounds(cell):
                 raise FaultFormatError(
                     f"faulty cell {cell} is off the {grid.width}x"
                     f"{grid.height} grid of design {design.name!r}",
                     field="faulty_cells",
+                )
+        for site in self.via_stuck:
+            if grid.layers == 1:
+                raise FaultFormatError(
+                    f"via_stuck site {site} declared for single-layer "
+                    f"design {design.name!r}",
+                    field="via_stuck",
+                )
+            if len(site) == 3 or not (
+                0 <= site.x < grid.width and 0 <= site.y < grid.height
+            ):
+                raise FaultFormatError(
+                    f"via_stuck site {site} must be a planar (x, y) cell "
+                    f"on the {grid.width}x{grid.height} grid",
+                    field="via_stuck",
                 )
         for vid in self.stuck_valves:
             if vid not in known:
@@ -247,7 +302,7 @@ class FaultMap:
         """
         self.validate(design)
         by_position = {v.position: v.id for v in design.valves}
-        out = FaultMap()
+        out = FaultMap(via_stuck=list(self.via_stuck))
         for vid in self.stuck_valves:
             out.add_valve(vid)
         for cell in self.faulty_cells:
@@ -274,13 +329,22 @@ class FaultMap:
     # -- serialisation -----------------------------------------------------
 
     def to_json(self) -> Dict[str, Any]:
-        """Return the versioned JSON document of the fault map."""
-        return {
+        """Return the versioned JSON document of the fault map.
+
+        Layer-0 cells serialise as ``[x, y]`` and upper-layer cells as
+        ``[x, y, z]``; the ``via_stuck`` key appears only when any via
+        fault is declared, so single-layer documents are byte-identical
+        to the pre-layer-axis schema.
+        """
+        doc: Dict[str, Any] = {
             "version": FAULTMAP_VERSION,
-            "faulty_cells": sorted([c.x, c.y] for c in self.faulty_cells),
+            "faulty_cells": sorted(list(c) for c in self.faulty_cells),
             "stuck_valves": sorted(self.stuck_valves),
             "events": [e.to_json() for e in self.events],
         }
+        if self.via_stuck:
+            doc["via_stuck"] = sorted([c.x, c.y] for c in self.via_stuck)
+        return doc
 
     @classmethod
     def from_json(
@@ -309,6 +373,7 @@ class FaultMap:
         cells_doc = doc.get("faulty_cells", [])
         valves_doc = doc.get("stuck_valves", [])
         events_doc = doc.get("events", [])
+        vias_doc = doc.get("via_stuck", [])
         if not isinstance(cells_doc, list):
             raise FaultFormatError(
                 f"expected a list of [x, y] cells, "
@@ -330,6 +395,13 @@ class FaultMap:
                 field="events",
                 path=source,
             )
+        if not isinstance(vias_doc, list):
+            raise FaultFormatError(
+                f"expected a list of [x, y] via sites, "
+                f"got {type(vias_doc).__name__}",
+                field="via_stuck",
+                path=source,
+            )
         try:
             valves = [int(v) for v in valves_doc]
         except (TypeError, ValueError) as exc:
@@ -344,6 +416,7 @@ class FaultMap:
             events=[
                 FaultEvent.from_json(e, source=source) for e in events_doc
             ],
+            via_stuck=[_parse_cell(c, source) for c in vias_doc],
         )
 
     def save(self, path: Union[str, FilePath]) -> None:

@@ -55,8 +55,9 @@ from repro.core.result import (
 )
 from repro.designs.design import Design
 from repro.designs.io import design_from_json, design_to_json
-from repro.geometry.point import Point
+from repro.geometry.point import Point, cell_point
 from repro.geometry.rect import Rect
+from repro.grid.grid import RoutingGrid
 from repro.grid.occupancy import FAULT_NET, FREE, Occupancy
 from repro.observability import context as obs
 from repro.robustness.budget import Budget
@@ -78,7 +79,7 @@ REPAIR_CHECKPOINT_KIND = "pacor-repair"
 """The ``kind`` marker distinguishing repair snapshots from result files
 and route checkpoints (both are JSON objects too)."""
 
-LADDER = ("local", "full", "relaxed", "degraded")
+LADDER = ("local", "full", "rip", "relaxed", "degraded")
 """The escalation rungs, cheapest first."""
 
 
@@ -99,6 +100,8 @@ class RepairConfig:
             nets.
         relax_factor: geometric growth factor of the δ window per relax
             round.
+        rip_neighbor_limit: most neighbour nets the rip rung may evict
+            to clear a congested corridor; 0 disables the rung.
     """
 
     local_rounds: int = 3
@@ -107,6 +110,7 @@ class RepairConfig:
     local_expansions: int = 2000
     relax_rounds: int = 3
     relax_factor: int = 2
+    rip_neighbor_limit: int = 2
 
     def __post_init__(self) -> None:
         if self.local_rounds < 0 or self.relax_rounds < 0:
@@ -128,6 +132,11 @@ class RepairConfig:
             raise ConfigError(
                 "local_expansions must be positive", field="local_expansions"
             )
+        if self.rip_neighbor_limit < 0:
+            raise ConfigError(
+                "rip_neighbor_limit must be non-negative",
+                field="rip_neighbor_limit",
+            )
 
     def to_json(self) -> Dict[str, Any]:
         """Return the JSON document of the config."""
@@ -138,6 +147,7 @@ class RepairConfig:
             "local_expansions": self.local_expansions,
             "relax_rounds": self.relax_rounds,
             "relax_factor": self.relax_factor,
+            "rip_neighbor_limit": self.rip_neighbor_limit,
         }
 
     @classmethod
@@ -153,6 +163,9 @@ class RepairConfig:
             ),
             relax_rounds=int(doc.get("relax_rounds", base.relax_rounds)),
             relax_factor=int(doc.get("relax_factor", base.relax_factor)),
+            rip_neighbor_limit=int(
+                doc.get("rip_neighbor_limit", base.rip_neighbor_limit)
+            ),
         )
 
 
@@ -408,6 +421,9 @@ class RepairEngine:
         # ``astar.expansions`` metric, so repair search effort lands in
         # the active registry instead of vanishing into the budget.
         obs.metrics().adopt("astar.expansions", self.budget.expansion_counter)
+        #: Fresh reports of nets the rip rung evicted and re-routed
+        #: during the latest :meth:`repair_net` call.
+        self.rip_victim_reports: Dict[int, NetReport] = {}
 
     # -- assessment --------------------------------------------------------
 
@@ -427,6 +443,8 @@ class RepairEngine:
         occupancy: Occupancy,
         spec: NetRepair,
         fault_cids: Set[int],
+        *,
+        victim_specs: Optional[Mapping[int, "NetRepair"]] = None,
     ) -> Tuple[Optional[NetReport], str]:
         """Re-route one ripped net; return ``(report, rung)``.
 
@@ -436,11 +454,17 @@ class RepairEngine:
         original δ).  On failure the occupancy is left without the net
         and ``(None, "degraded")`` is returned.
 
+        ``victim_specs`` enables the rip rung: a spec per *healthy* net
+        the rung may evict and re-route.  When the rip rung heals the
+        net, the evicted victims' fresh reports are left in
+        :attr:`rip_victim_reports` for the caller to merge.
+
         Raises:
             BudgetExceeded: the run-wide budget ran out mid-search; the
                 occupancy holds no partial route for this net.
         """
         cfg = self.config
+        self.rip_victim_reports = {}
         with obs.span(
             "repair-net", category="repair", net=spec.net_id
         ):
@@ -467,7 +491,21 @@ class RepairEngine:
             report = self._accept(occupancy, spec, paths)
             if report is not None:
                 return report, "full"
-            # Rung 3: relaxed — LM nets only, and only when the network
+            # Rung 3: rip-neighbors — only when the network itself
+            # failed to route (congestion); an LM mismatch is the relax
+            # rung's concern, not eviction's.
+            if (
+                paths is None
+                and cfg.rip_neighbor_limit > 0
+                and victim_specs
+            ):
+                obs.counter("repair.escalations").inc()
+                report = self._rip_neighbors(
+                    occupancy, spec, fault_cids, victim_specs
+                )
+                if report is not None:
+                    return report, "rip"
+            # Rung 4: relaxed — LM nets only, and only when the network
             # itself routed (relaxation loosens lengths, not topology).
             if paths is not None and spec.length_matching:
                 obs.counter("repair.escalations").inc()
@@ -476,20 +514,24 @@ class RepairEngine:
                     return report, "relaxed"
             if paths is not None:
                 occupancy.release_ids(spec.net_id)
-            # Rung 4: degraded.
+            # Rung 5: degraded.
             obs.counter("repair.escalations").inc()
             return None, "degraded"
 
     # -- rung helpers ------------------------------------------------------
 
     def _base_box(self, spec: NetRepair) -> Rect:
-        """Return the damaged net's seed bounding box."""
+        """Return the damaged net's seed (planar) bounding box."""
         width = self.grid.width
+        height = self.grid.height
         points: List[Point] = list(spec.terminals)
         if spec.pin is not None:
             points.append(spec.pin)
+        # Upper-layer cells project onto the plane; the local fence is a
+        # planar box replicated across every layer.
         points.extend(
-            Point(cid % width, cid // width) for cid in spec.old_cell_ids
+            Point(cid % width, (cid // width) % height)
+            for cid in spec.old_cell_ids
         )
         return Rect.from_points(points)
 
@@ -511,18 +553,24 @@ class RepairEngine:
         )
 
     def _outside_ids(self, box: Rect) -> Iterator[int]:
-        """Yield every cell id outside ``box`` (the local rung's fence)."""
+        """Yield every cell id outside ``box`` (the local rung's fence).
+
+        The planar fence is replicated across every layer, so a local
+        repair may still hop layers inside the box.
+        """
         width = self.grid.width
-        for y in range(self.grid.height):
-            row = y * width
-            if box.ylo <= y <= box.yhi:
-                for x in range(0, box.xlo):
-                    yield row + x
-                for x in range(box.xhi + 1, width):
-                    yield row + x
-            else:
-                for x in range(width):
-                    yield row + x
+        for z in range(self.grid.layers):
+            base = z * self.grid.plane
+            for y in range(self.grid.height):
+                row = base + y * width
+                if box.ylo <= y <= box.yhi:
+                    for x in range(0, box.xlo):
+                        yield row + x
+                    for x in range(box.xhi + 1, width):
+                        yield row + x
+                else:
+                    for x in range(width):
+                        yield row + x
 
     def _route_network(
         self,
@@ -593,7 +641,8 @@ class RepairEngine:
                 # First leg of a pin-less net just claimed its pin.
                 spec.pin = path.target
             occupancy.occupy_ids(
-                path.cell_ids(self.grid.width), spec.net_id
+                path.cell_ids(self.grid.width, self.grid.height),
+                spec.net_id,
             )
             network.extend(path.cells)
             paths.append(path)
@@ -631,6 +680,102 @@ class RepairEngine:
             return None
         return report
 
+    def _probe_blockers(
+        self,
+        occupancy: Occupancy,
+        spec: NetRepair,
+        fault_cids: Set[int],
+    ) -> List[int]:
+        """Return the nets blocking an occupancy-blind probe route.
+
+        The probe runs the farthest terminal towards the pin (or any
+        candidate pin) on the bare grid — only static obstacles and
+        faults block — and reads off which nets own the corridor the
+        net *would* take if the chip were empty.
+        """
+        order = self._terminal_order(spec)
+        if not order:
+            return []
+        if spec.pin is not None:
+            targets = [spec.pin]
+        else:
+            targets = [
+                p
+                for p in spec.candidate_pins
+                if self.grid.index(p) not in fault_cids
+            ]
+        if not targets:
+            return []
+        probe = astar_route(
+            self.grid,
+            [order[0][1]],
+            targets,
+            fault_ids=fault_cids,
+            budget=self.budget,
+        )
+        if probe is None:
+            return []
+        owner = occupancy.owner_id
+        victims: Set[int] = set()
+        for cid in probe.cell_ids(self.grid.width, self.grid.height):
+            net = owner(cid)
+            if net not in (FREE, FAULT_NET, spec.net_id):
+                victims.add(net)
+        return sorted(victims)
+
+    def _rip_neighbors(
+        self,
+        occupancy: Occupancy,
+        spec: NetRepair,
+        fault_cids: Set[int],
+        victim_specs: Mapping[int, NetRepair],
+    ) -> Optional[NetReport]:
+        """The rip rung: evict blocking nets, route, heal the victims.
+
+        Identifies the nets sitting on the net's natural corridor, rips
+        up to ``rip_neighbor_limit`` of them, re-routes this net, then
+        re-routes every victim in the freed-up chip.  Anything short of
+        *all* routes landing (this net and every victim, each passing
+        its own :meth:`_accept` bar) rolls the occupancy back exactly.
+        Healed victims' reports land in :attr:`rip_victim_reports`.
+        """
+        victims = self._probe_blockers(occupancy, spec, fault_cids)
+        if not victims or len(victims) > self.config.rip_neighbor_limit:
+            return None
+        if any(v not in victim_specs for v in victims):
+            return None
+        saved = {v: set(occupancy.cells_of_ids(v)) for v in victims}
+
+        def rollback() -> None:
+            occupancy.release_ids(spec.net_id)
+            for vid, cells in saved.items():
+                occupancy.release_ids(vid)
+                occupancy.occupy_ids(cells, vid)
+
+        for vid in victims:
+            occupancy.release_ids(vid)
+        obs.counter("repair.rips").inc(len(victims))
+        healed: Dict[int, NetReport] = {}
+        try:
+            paths = self._route_network(occupancy, spec, fault_cids)
+            report = self._accept(occupancy, spec, paths)
+            if report is None:
+                rollback()
+                return None
+            for vid in victims:
+                vspec = victim_specs[vid]
+                vpaths = self._route_network(occupancy, vspec, fault_cids)
+                vreport = self._accept(occupancy, vspec, vpaths)
+                if vreport is None:
+                    rollback()
+                    return None
+                healed[vid] = vreport
+        except BudgetExceeded:
+            rollback()
+            raise
+        self.rip_victim_reports.update(healed)
+        return report
+
     def _relax(
         self,
         occupancy: Occupancy,
@@ -654,7 +799,7 @@ class RepairEngine:
             (
                 cid
                 for path in paths
-                for cid in path.cell_ids(self.grid.width)
+                for cid in path.cell_ids(self.grid.width, self.grid.height)
             ),
             spec.net_id,
         )
@@ -686,6 +831,7 @@ class RepairEngine:
             return paths
         max_length = max(lengths.values())  # type: ignore[type-var]
         width = self.grid.width
+        height = self.grid.height
         order = self._terminal_order(spec)
         for idx, (vid, _terminal) in enumerate(order):
             length = lengths[vid]
@@ -721,7 +867,7 @@ class RepairEngine:
                 (
                     cid
                     for path in paths
-                    for cid in path.cell_ids(width)
+                    for cid in path.cell_ids(width, height)
                 ),
                 spec.net_id,
             )
@@ -785,7 +931,9 @@ class RepairEngine:
         for path in paths:
             segments.update(segments_of_path(path.cells))
         assert spec.pin is not None
-        distances = _network_lengths(segments, spec.pin)
+        distances = _network_lengths(
+            segments, spec.pin, via_length=self.grid.via_length
+        )
         return {
             vid: distances.get(terminal)
             for vid, terminal in zip(spec.valve_ids, spec.terminals)
@@ -803,9 +951,15 @@ class RepairEngine:
 
 
 def _network_lengths(
-    segments: Iterable[Segment], origin: Point
+    segments: Iterable[Segment], origin: Point, *, via_length: int = 1
 ) -> Dict[Point, int]:
-    """BFS distances from ``origin`` along drawn channel segments."""
+    """Distances from ``origin`` along drawn channel segments.
+
+    A segment whose endpoints sit on different layers is a via and
+    contributes ``via_length`` channel units; planar segments count 1.
+    The traversal is a plain BFS — routed networks are trees (every leg
+    taps the network built so far), so first-visit distances are exact.
+    """
     adjacency: Dict[Point, List[Point]] = {}
     for a, b in segments:
         adjacency.setdefault(a, []).append(b)
@@ -815,9 +969,12 @@ def _network_lengths(
     while frontier:
         nxt: List[Point] = []
         for cell in frontier:
+            cz = cell[2] if len(cell) == 3 else 0
             for neighbor in adjacency.get(cell, ()):
                 if neighbor not in distances:
-                    distances[neighbor] = distances[cell] + 1
+                    nz = neighbor[2] if len(neighbor) == 3 else 0
+                    step = via_length if nz != cz else 1
+                    distances[neighbor] = distances[cell] + step
                     nxt.append(neighbor)
         frontier = nxt
     return distances
@@ -861,15 +1018,16 @@ def repair_result(
     run_budget = budget if budget is not None else Budget()
     run_budget.start()
     engine = RepairEngine(design, config=cfg, budget=run_budget)
-    width = design.grid.width
+    grid = design.grid
+    width = grid.width
 
     reports = _reports_from_doc(result_doc)
-    occupancy = Occupancy(design.grid)
+    occupancy = Occupancy(grid)
     for report in reports:
         if report.routed:
             try:
                 occupancy.occupy_ids(
-                    (c.y * width + c.x for c in report.cells),
+                    (grid.index(c) for c in report.cells),
                     report.net_id,
                 )
             except ValueError as exc:
@@ -879,12 +1037,21 @@ def repair_result(
                 ) from exc
 
     fm = _collapse_events(fault_map.normalized(design))
-    fault_cids = set(fm.cell_ids(width))
+    fault_cids = set(fm.cell_ids(width, grid.height))
     stuck = set(fm.stuck_valves)
     valve_by_id = design.valve_by_id()
 
+    # Fuse stuck via columns shut before any search runs — the layered
+    # neighbour tables key on the via mask, so re-routes can never hop
+    # layers at a dead site.
+    for site in fm.via_stuck:
+        grid.set_via_blocked(site)
+
     if pending_docs is None:
         affected = engine.assess(occupancy, fault_cids)
+        if fm.via_stuck:
+            via_hit = _via_damaged_nets(occupancy, grid, fm.via_stuck)
+            affected = sorted(set(affected) | via_hit)
         specs, dead = _build_specs(
             design, reports, affected, stuck, fault_cids, cfg
         )
@@ -917,6 +1084,11 @@ def repair_result(
         occupancy.occupy_ids(mount, FAULT_NET)
     fault_cids = mount
 
+    # Healthy routed nets the rip rung may evict and re-route.
+    victim_specs = _victim_specs(
+        design, reports, {s.net_id for s in specs}, stuck
+    )
+
     incidents = [
         Incident.from_json(d) for d in result_doc.get("incidents", [])
     ]
@@ -942,7 +1114,7 @@ def repair_result(
     for idx, spec in enumerate(specs):
         try:
             net_report, rung = engine.repair_net(
-                occupancy, spec, fault_cids
+                occupancy, spec, fault_cids, victim_specs=victim_specs
             )
         except BudgetExceeded as exc:
             partial = _assemble(
@@ -985,7 +1157,7 @@ def repair_result(
             degraded_nets.append(spec.net_id)
             reason = (
                 f"{spec.failure_note}: repair ladder exhausted "
-                f"(local/full/relaxed all failed)"
+                f"(local/full/rip/relaxed all failed)"
             )
             original = next(
                 r for r in reports if r.net_id == spec.net_id
@@ -1007,6 +1179,12 @@ def repair_result(
             events.append(
                 f"repair: net {spec.net_id} re-routed via {rung} rung"
             )
+            for vid, vreport in sorted(engine.rip_victim_reports.items()):
+                new_reports[vid] = vreport
+                events.append(
+                    f"repair: net {vid} re-routed after eviction by "
+                    f"net {spec.net_id}'s rip rung"
+                )
 
     result = _assemble(
         design,
@@ -1051,6 +1229,13 @@ def repair_resume(
 # -- document plumbing -----------------------------------------------------
 
 
+def _doc_point(doc: Any) -> Point:
+    """Parse a ``[x, y]`` or ``[x, y, z]`` cell document."""
+    if len(doc) == 3:
+        return cell_point(int(doc[0]), int(doc[1]), int(doc[2]))
+    return Point(int(doc[0]), int(doc[1]))
+
+
 def _reports_from_doc(result_doc: Mapping[str, Any]) -> List[NetReport]:
     """Parse a result document's net reports (validated)."""
     if not isinstance(result_doc, Mapping) or "nets" not in result_doc:
@@ -1062,10 +1247,10 @@ def _reports_from_doc(result_doc: Mapping[str, Any]) -> List[NetReport]:
         for doc in result_doc["nets"]:
             pin = doc.get("pin")
             cells = frozenset(
-                Point(int(x), int(y)) for x, y in doc.get("cells", [])
+                _doc_point(c) for c in doc.get("cells", [])
             )
             segments = frozenset(
-                (Point(int(a[0]), int(a[1])), Point(int(b[0]), int(b[1])))
+                (_doc_point(a), _doc_point(b))
                 for a, b in doc.get("segments", [])
             )
             reports.append(
@@ -1122,7 +1307,6 @@ def _build_specs(
     cannot be repaired at all.
     """
     valve_by_id = design.valve_by_id()
-    width = design.grid.width
     affected_set = set(affected)
     specs: List[NetRepair] = []
     dead: List[Tuple[NetReport, str]] = []
@@ -1158,13 +1342,68 @@ def _build_specs(
                 length_matching=report.length_matching,
                 delta=design.delta,
                 old_cell_ids={
-                    c.y * width + c.x for c in report.cells
+                    design.grid.index(c) for c in report.cells
                 },
                 failure_note=note,
             )
         )
     specs.sort(key=lambda s: s.net_id)
     return specs, dead
+
+
+def _victim_specs(
+    design: Design,
+    reports: List[NetReport],
+    damaged: Set[int],
+    stuck: Set[int],
+) -> Dict[int, NetRepair]:
+    """Build rip-rung specs for every healthy routed net.
+
+    The rip rung may only evict a net it knows how to put back; a net
+    that is itself damaged (in ``damaged``) or drives a stuck valve is
+    never a candidate victim.
+    """
+    valve_by_id = design.valve_by_id()
+    specs: Dict[int, NetRepair] = {}
+    for report in reports:
+        if not report.routed or report.net_id in damaged:
+            continue
+        if set(report.valve_ids) & stuck:
+            continue
+        specs[report.net_id] = NetRepair(
+            net_id=report.net_id,
+            origin_cluster=report.origin_cluster,
+            valve_ids=list(report.valve_ids),
+            terminals=[
+                valve_by_id[v].position for v in report.valve_ids
+            ],
+            pin=report.pin,
+            length_matching=report.length_matching,
+            delta=design.delta,
+            old_cell_ids={design.grid.index(c) for c in report.cells},
+            failure_note="evicted by the rip rung",
+        )
+    return specs
+
+
+def _via_damaged_nets(
+    occupancy: Occupancy, grid: RoutingGrid, sites: Iterable[Point]
+) -> Set[int]:
+    """Return nets that hop layers at a now-stuck via site.
+
+    A net occupying the same planar site on two *adjacent* layers holds
+    a via there; with the column fused shut that route is dead.
+    """
+    hit: Set[int] = set()
+    plane = grid.plane
+    for site in sites:
+        base = site.y * grid.width + site.x
+        for z in range(grid.layers - 1):
+            a = occupancy.owner_id(base + z * plane)
+            b = occupancy.owner_id(base + (z + 1) * plane)
+            if a == b and a not in (FREE, FAULT_NET):
+                hit.add(a)
+    return hit
 
 
 def _degraded_report(original: NetReport, reason: str) -> NetReport:

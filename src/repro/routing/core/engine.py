@@ -94,6 +94,18 @@ _NBR_TABLES: Dict[Tuple[int, int], "np.ndarray"] = {}
 E/W hold ``-1`` where the step leaves the column range; S/N hold the
 raw ``p ± width``, resolved by the guard zone (see ``_GUARD_NOTE``)."""
 
+_NBR3_TABLES: Dict[Tuple[int, int, int, bytes], "np.ndarray"] = {}
+"""Multi-layer neighbour tables: row ``p`` = E/W/S/N/U/D candidates.
+
+Unlike the planar table, *every* invalid move is an explicit ``-1``
+(S/N included — ``p ± width`` would silently wrap across layers), so
+3D state arrays need only a single guard slot at index ``size``.  U/D
+are gated by the grid's planar via-permission mask, which is part of
+the cache key (as raw bytes) so a carved via keep-out can never alias
+a stale table."""
+
+_NBR3_CACHE_MAX = 8
+
 _HTAB_CACHE: Dict[Tuple[int, int, int, int, int, int], "np.ndarray"] = {}
 """Memoised heuristic tables keyed by (width, height, target bbox)."""
 
@@ -115,6 +127,39 @@ def _nbr_table(width: int, height: int) -> "np.ndarray":
         table[xs == width - 1, 0] = -1
         table[xs == 0, 1] = -1
         _NBR_TABLES[(width, height)] = table
+    return table
+
+
+def _nbr_table3(
+    width: int, height: int, layers: int, via_mask: "np.ndarray"
+) -> "np.ndarray":
+    """Return the cached ``(size, 6)`` E/W/S/N/U/D neighbour-id table."""
+    key = (width, height, layers, via_mask.tobytes())
+    table = _NBR3_TABLES.get(key)
+    if table is None:
+        if len(_NBR3_TABLES) >= _NBR3_CACHE_MAX:
+            _NBR3_TABLES.clear()
+        plane = width * height
+        size = plane * layers
+        ids = np.arange(size, dtype=np.int32)
+        table = np.empty((size, 6), dtype=np.int32)
+        table[:, 0] = ids + 1
+        table[:, 1] = ids - 1
+        table[:, 2] = ids + width
+        table[:, 3] = ids - width
+        table[:, 4] = ids + plane
+        table[:, 5] = ids - plane
+        xs = ids % width
+        ys = (ids // width) % height
+        zs = ids // plane
+        table[xs == width - 1, 0] = -1
+        table[xs == 0, 1] = -1
+        table[ys == height - 1, 2] = -1
+        table[ys == 0, 3] = -1
+        no_via = np.tile(via_mask == 0, layers)
+        table[(zs == layers - 1) | no_via, 4] = -1
+        table[(zs == 0) | no_via, 5] = -1
+        _NBR3_TABLES[key] = table
     return table
 
 
@@ -150,7 +195,10 @@ _PENALTY_WEIGHT = 2.0
 """Bounded search: F-value penalty per missing length unit below the bound."""
 
 Cell = Tuple[int, int]
-"""An ``(x, y)`` cell at the engine boundary (``Point`` unpacks to one)."""
+"""An ``(x, y)`` cell at the engine boundary (``Point`` unpacks to one).
+
+Multi-layer queries may pass ``(x, y, z)`` triples; a 2-tuple is always
+layer 0 (the canonical mixed-arity cell rule)."""
 
 
 def _heuristic_table(
@@ -162,6 +210,73 @@ def _heuristic_table(
     ys = np.arange(height, dtype=np.int32)
     hy = np.maximum(ylo - ys, 0) + np.maximum(ys - yhi, 0)
     return np.ascontiguousarray((hy[:, None] + hx[None, :]).reshape(-1))
+
+
+def _heuristic_table3(
+    width: int,
+    height: int,
+    layers: int,
+    bbox: Tuple[int, int, int, int, int, int],
+    step_z: int,
+) -> "np.ndarray":
+    """Return the layered heuristic table: planar bbox L1 + weighted z.
+
+    Each search step either shrinks the planar distance by at most 1 (at
+    cost 1) or the layer distance by at most 1 (at cost ``step_z``), so
+    ``planar_L1 + step_z * z_distance`` is an admissible, consistent
+    lower bound whenever ``step_z`` is the true vertical step cost.
+    Memoised alongside the planar tables (the key arities differ, so the
+    two families never collide).
+    """
+    xlo, xhi, ylo, yhi, zlo, zhi = bbox
+    key = (width, height, layers, xlo, xhi, ylo, yhi, zlo, zhi, step_z)
+    table = _HTAB_CACHE.get(key)
+    if table is None:
+        if len(_HTAB_CACHE) >= _HTAB_CACHE_MAX:
+            _HTAB_CACHE.clear()
+        hxy = _heuristic_table(width, height, xlo, xhi, ylo, yhi)
+        zs = np.arange(layers, dtype=np.int32)
+        hz = (np.maximum(zlo - zs, 0) + np.maximum(zs - zhi, 0)) * np.int32(
+            step_z
+        )
+        table = np.ascontiguousarray(
+            (hz[:, None] + hxy[None, :]).reshape(-1)
+        )
+        _HTAB_CACHE[key] = table
+    return table
+
+
+def _cell3(c: Cell) -> Tuple[int, int, int]:
+    """Normalise a mixed-arity cell to an ``(x, y, z)`` triple."""
+    if len(c) == 3:
+        return (c[0], c[1], c[2])
+    return (c[0], c[1], 0)
+
+
+def _target_setup3(
+    space: SearchSpace, target_xyz: set
+) -> Tuple[set, Tuple[int, int, int, int, int, int]]:
+    """Return (on-chip target ids, heuristic bbox) for 3D targets.
+
+    The 3D analogue of :func:`_target_setup`: membership is tested on
+    settled cells only, off-chip targets just stretch the bounding box.
+    """
+    width = space.width
+    height = space.height
+    layers = space.layers
+    plane = space.plane
+    target_ids = {
+        z * plane + y * width + x
+        for x, y, z in target_xyz
+        if 0 <= x < width and 0 <= y < height and 0 <= z < layers
+    }
+    xlo = min(t[0] for t in target_xyz)
+    xhi = max(t[0] for t in target_xyz)
+    ylo = min(t[1] for t in target_xyz)
+    yhi = max(t[1] for t in target_xyz)
+    zlo = min(t[2] for t in target_xyz)
+    zhi = max(t[2] for t in target_xyz)
+    return target_ids, (xlo, xhi, ylo, yhi, zlo, zhi)
 
 
 def astar_search(
@@ -202,6 +317,22 @@ def astar_search(
             limit=budget.expansions_used,
             used=budget.expansions_used,
             stage="astar",
+        )
+    if space.layers > 1:
+        target_xyz = {_cell3(t) for t in targets}
+        source_xyz = [_cell3(s) for s in sources]
+        if not target_xyz or not source_xyz:
+            return None
+        if history is None and space.grid.via_cost == 1:
+            # Unit costs in every direction: the (f, g) integer-bucket
+            # wave engine applies unchanged to the 6-neighbour topology.
+            return _astar_wave3(
+                space, source_xyz, target_xyz, max_expansions, budget
+            )
+        # Weighted via steps (or history floats) break integer
+        # bucketing; the scalar heap handles both.
+        return _astar_scalar3(
+            space, source_xyz, target_xyz, history, max_expansions, budget
         )
     target_xy = {(t[0], t[1]) for t in targets}
     source_list = [(s[0], s[1]) for s in sources]
@@ -628,6 +759,323 @@ def _as_ids(ids: Iterable[int]) -> "np.ndarray":
     return np.fromiter(seq, dtype=np.int64, count=len(seq))
 
 
+def _astar_scalar3(
+    space: SearchSpace,
+    source_xyz: List[Tuple[int, int, int]],
+    target_xyz: set,
+    history: Optional[Sequence[float]],
+    max_expansions: Optional[int],
+    budget: Optional[Budget],
+) -> Optional[List[int]]:
+    """The scalar heap engine on the 6-neighbour multi-layer topology.
+
+    Mirrors :func:`_astar_scalar` with two differences: the neighbour
+    table carries explicit ``-1`` for *every* invalid move (so the
+    guard zone is a single sentinel slot at index ``size``), and the
+    two vertical moves cost ``grid.via_cost`` instead of 1.  Neighbour
+    order is E/W/S/N then Up/Down, so planar tie-breaks match the
+    single-layer engine.
+    """
+    grid = space.grid
+    width = space.width
+    height = space.height
+    layers = space.layers
+    plane = space.plane
+    size = space.size
+    via_cost = float(grid.via_cost)
+
+    target_ids, bbox = _target_setup3(space, target_xyz)
+    htab = _heuristic_table3(width, height, layers, bbox, grid.via_cost).data
+    nbr_mv = memoryview(
+        _nbr_table3(width, height, layers, grid.via_mask()).reshape(-1)
+    )
+
+    # Single guard slot: every invalid move is -1, which wraps to index
+    # ``size`` under memoryview indexing.
+    best_g = np.full(size + 1, _INF, dtype=np.float64)
+    best_g[size] = -_INF
+    best_g[:size][space.blocked.view(np.bool_)] = -_INF
+    bg_mv = best_g.data
+    parent = np.empty(size, dtype=np.int32)
+    parent_mv = parent.data
+    heap: List[Tuple[float, float, int, int]] = []
+    tie = 0
+
+    for x, y, z in source_xyz:
+        if not (0 <= x < width and 0 <= y < height and 0 <= z < layers):
+            continue
+        s = z * plane + y * width + x
+        if bg_mv[s] == -_INF:
+            continue
+        if (x, y, z) in target_xyz:
+            return [s]
+        bg_mv[s] = 0.0
+        parent_mv[s] = -1
+        heapq.heappush(heap, (float(htab[s]), 0.0, tie, s))
+        tie += 1
+
+    query_start = budget.expansions_used if budget is not None else 0
+    expansions = 0
+    pushes = 0
+    push = heapq.heappush
+    pop = heapq.heappop
+    ninf = -_INF
+    try:
+        while heap:
+            f, g, _, p = pop(heap)
+            if g > bg_mv[p]:
+                continue
+            if p in target_ids:
+                ids = [p]
+                back = parent_mv[p]
+                while back >= 0:
+                    ids.append(back)
+                    back = parent_mv[back]
+                ids.reverse()
+                return ids
+            if budget is not None:
+                budget.charge_expansions(1)
+                if (
+                    max_expansions is not None
+                    and budget.expansions_used - query_start > max_expansions
+                ):
+                    return None
+            else:
+                expansions += 1
+                if max_expansions is not None and expansions > max_expansions:
+                    return None
+            base = 6 * p
+            for k in range(6):
+                q = nbr_mv[base + k]
+                bq = bg_mv[q]
+                if bq == ninf:
+                    continue
+                step = 1.0 if k < 4 else via_cost
+                ng = g + step if history is None else g + step + history[q]
+                if ng < bq:
+                    bg_mv[q] = ng
+                    parent_mv[q] = p
+                    push(heap, (ng + htab[q], ng, tie, q))
+                    tie += 1
+                    pushes += 1
+        return None
+    finally:
+        if budget is None and expansions:
+            obs.counter("astar.expansions").inc(expansions)
+        if pushes:
+            obs.counter("astar.heap_pushes").inc(pushes)
+
+
+def _astar_wave3(
+    space: SearchSpace,
+    source_xyz: List[Tuple[int, int, int]],
+    target_xyz: set,
+    max_expansions: Optional[int],
+    budget: Optional[Budget],
+) -> Optional[List[int]]:
+    """Vectorised unit-cost A* on the 6-neighbour multi-layer topology.
+
+    Only dispatched when ``grid.via_cost == 1`` — integer (f, g) buckets
+    require every step to cost exactly 1.  Mirrors :func:`_astar_wave`
+    with a six-column neighbour gather (``parent = live[keep // 6]``)
+    and a one-slot guard (all invalid moves are explicit ``-1``).
+    """
+    grid = space.grid
+    width = space.width
+    height = space.height
+    layers = space.layers
+    plane = space.plane
+    size = space.size
+    blocked = space.blocked
+
+    target_ids, bbox = _target_setup3(space, target_xyz)
+    htab = _heuristic_table3(width, height, layers, bbox, 1)
+    htab_mv = htab.data
+    nbr = _nbr_table3(width, height, layers, grid.via_mask())
+    nbr_flat_mv = nbr.reshape(-1).data
+
+    target_tuple = tuple(sorted(target_ids))
+    tmask: Optional["np.ndarray"] = None
+    if len(target_tuple) > 8:
+        tmask = np.zeros(size, dtype=np.uint8)
+        tmask[_as_ids(target_ids)] = 1
+
+    best_g = np.empty(size + 1, dtype=np.int32)
+    best_g[:size] = _UNSEEN32
+    best_g[size] = -1
+    best_g[:size][blocked.view(np.bool_)] = -1
+    bg_mv = best_g.data
+    parent = np.empty(size, dtype=np.int32)
+    parent_mv = parent.data
+    stamp = np.empty(size, dtype=np.intp)
+
+    buckets: Dict[Tuple[int, int], List["np.ndarray"]] = {}
+    tails: Dict[Tuple[int, int], List[int]] = {}
+    key_heap: List[Tuple[int, int]] = []
+    pop = heapq.heappop
+    push = heapq.heappush
+
+    for x, y, z in source_xyz:
+        if not (0 <= x < width and 0 <= y < height and 0 <= z < layers):
+            continue
+        s = z * plane + y * width + x
+        if bg_mv[s] == -1:
+            continue
+        if (x, y, z) in target_xyz:
+            return [s]
+        best_g[s] = 0
+        parent[s] = -1
+        key = (htab_mv[s], 0)
+        tail = tails.get(key)
+        if tail is None:
+            buckets[key] = []
+            tails[key] = [s]
+            push(key_heap, key)
+        else:
+            tail.append(s)
+
+    expansions = 0
+    pushes = 0
+    try:
+        while key_heap:
+            key = pop(key_heap)
+            chunks = buckets.pop(key)
+            tail = tails.pop(key, None)
+            f, g = key
+            ng = g + 1
+            if chunks:
+                n_raw = int(chunks[0].size) if len(chunks) == 1 else sum(
+                    int(c.size) for c in chunks
+                )
+            else:
+                n_raw = 0
+            if tail:
+                n_raw += len(tail)
+
+            if n_raw <= _SMALL_BUCKET:
+                cells_py: List[int] = []
+                for chunk in chunks:
+                    cells_py.extend(chunk.tolist())
+                if tail:
+                    cells_py.extend(tail)
+                for p in cells_py:
+                    if bg_mv[p] != g:
+                        continue
+                    if p in target_ids:
+                        ids = [p]
+                        back = parent_mv[p]
+                        while back >= 0:
+                            ids.append(back)
+                            back = parent_mv[back]
+                        ids.reverse()
+                        return ids
+                    expansions += 1
+                    if budget is not None:
+                        budget.charge_expansions(1)
+                    if (
+                        max_expansions is not None
+                        and expansions > max_expansions
+                    ):
+                        return None
+                    base = 6 * p
+                    for k in range(6):
+                        q = nbr_flat_mv[base + k]
+                        if bg_mv[q] <= ng:
+                            continue
+                        bg_mv[q] = ng
+                        parent_mv[q] = p
+                        pushes += 1
+                        nkey = (ng + htab_mv[q], ng)
+                        ntail = tails.get(nkey)
+                        if ntail is None:
+                            buckets[nkey] = []
+                            tails[nkey] = [q]
+                            push(key_heap, nkey)
+                        else:
+                            ntail.append(q)
+                continue
+
+            if tail:
+                chunks.append(np.asarray(tail, dtype=np.int32))
+            cells = (
+                chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+            )
+            lmask = best_g[cells] == g
+            live = cells if lmask.all() else cells[lmask]
+            n_live = int(live.size)
+            if not n_live:
+                continue
+            jt: Optional[int] = None
+            if tmask is None:
+                for t in target_tuple:
+                    if bg_mv[t] == g and f == g + htab_mv[t]:
+                        pos = int((live == t).argmax())
+                        if jt is None or pos < jt:
+                            jt = pos
+            else:
+                hits = tmask[live]
+                if hits.any():
+                    jt = int(np.argmax(hits))
+            allowance = (
+                None if max_expansions is None else max_expansions - expansions
+            )
+            if jt is not None and (allowance is None or jt <= allowance):
+                if jt:
+                    expansions += jt
+                    if budget is not None:
+                        _charge_exact(budget, jt)
+                t = int(live[jt])
+                ids = [t]
+                back = parent_mv[t]
+                while back >= 0:
+                    ids.append(back)
+                    back = parent_mv[back]
+                ids.reverse()
+                return ids
+            settled = n_live if jt is None else jt
+            if allowance is not None and settled > allowance:
+                charge = allowance + 1
+                expansions += charge
+                if budget is not None:
+                    _charge_exact(budget, charge)
+                return None
+            expansions += settled
+            if budget is not None and settled:
+                _charge_exact(budget, settled)
+
+            flat = nbr[live].reshape(-1)
+            keep = (best_g[flat] > ng).nonzero()[0]
+            if not keep.size:
+                continue
+            q = flat[keep]
+            stamp[q[::-1]] = keep[::-1]
+            sel = (stamp[q] == keep).nonzero()[0]
+            if sel.size != q.size:
+                q = q[sel]
+                keep = keep[sel]
+            best_g[q] = ng
+            parent[q] = live[keep // 6]
+            pushes += int(q.size)
+            fq = htab[q] + ng
+            fmin = int(fq.min())
+            fmax = int(fq.max())
+            if fmin == fmax:
+                _wave_push(buckets, tails, key_heap, (fmin, ng), q)
+            else:
+                for fv in range(fmin, fmax + 1):
+                    m2 = fq == fv
+                    if m2.any():
+                        _wave_push(
+                            buckets, tails, key_heap, (fv, ng), q[m2]
+                        )
+        return None
+    finally:
+        if budget is None and expansions:
+            obs.counter("astar.expansions").inc(expansions)
+        if pushes:
+            obs.counter("astar.heap_pushes").inc(pushes)
+
+
 def bfs_search(
     space: SearchSpace,
     sources: Iterable[Cell],
@@ -643,6 +1091,8 @@ def bfs_search(
     :func:`_bfs_scalar`, the reference implementation the property
     tests compare against).
     """
+    if space.layers > 1:
+        return _bfs3(space, sources, targets)
     width = space.width
     height = space.height
     size = space.size
@@ -699,6 +1149,84 @@ def bfs_search(
             q = q[order]
             idx = idx[order]
         parent[q] = frontier[idx >> 2]
+        hits = tmask[q]
+        if hits.any():
+            t = int(q[int(np.argmax(hits))])
+            ids = [t]
+            back = int(parent[t])
+            while back >= 0:
+                ids.append(back)
+                back = int(parent[back])
+            ids.reverse()
+            return ids
+        frontier = q
+    return None
+
+
+def _bfs3(
+    space: SearchSpace,
+    sources: Iterable[Cell],
+    targets: Iterable[Cell],
+) -> Optional[List[int]]:
+    """Whole-frontier BFS over the 6-neighbour multi-layer topology.
+
+    Via steps count as one BFS level (Lee's oracle is unweighted); the
+    6-column neighbour table replaces the inline planar candidate
+    build, and invalid moves are explicit ``-1`` entries filtered with
+    the same in-range mask the planar engine uses.
+    """
+    grid = space.grid
+    width = space.width
+    height = space.height
+    layers = space.layers
+    plane = space.plane
+    size = space.size
+    blocked = space.blocked
+    blocked_mv = memoryview(blocked)
+
+    target_xyz = {_cell3(t) for t in targets}
+    source_xyz = [_cell3(s) for s in sources]
+    if not target_xyz or not source_xyz:
+        return None
+    target_ids = {
+        z * plane + y * width + x
+        for x, y, z in target_xyz
+        if 0 <= x < width and 0 <= y < height and 0 <= z < layers
+    }
+    tmask = np.zeros(size, dtype=np.uint8)
+    if target_ids:
+        tmask[_as_ids(target_ids)] = 1
+    nbr = _nbr_table3(width, height, layers, grid.via_mask())
+
+    parent = np.full(size, -2, dtype=np.int32)
+    seeds: List[int] = []
+    for x, y, z in source_xyz:
+        if not (0 <= x < width and 0 <= y < height and 0 <= z < layers):
+            continue
+        s = z * plane + y * width + x
+        if blocked_mv[s] or parent[s] != -2:
+            continue
+        parent[s] = -1
+        if (x, y, z) in target_xyz:
+            return [s]
+        seeds.append(s)
+    frontier = np.asarray(seeds, dtype=np.int32)
+
+    while frontier.size:
+        flat = nbr[frontier].reshape(-1)
+        idx = np.flatnonzero(flat >= 0)
+        q = flat[idx]
+        keep = np.flatnonzero((parent[q] == -2) & (blocked[q] == 0))
+        q = q[keep]
+        idx = idx[keep]
+        if not q.size:
+            return None
+        uq, first = np.unique(q, return_index=True)
+        if uq.size != q.size:
+            order = np.sort(first)
+            q = q[order]
+            idx = idx[order]
+        parent[q] = frontier[idx // 6]
         hits = tmask[q]
         if hits.any():
             t = int(q[int(np.argmax(hits))])
@@ -840,13 +1368,14 @@ def bounded_search(
     Returns the found cell-id path, or None when the search gives up
     (state budget exhausted or no such simple path exists).
     """
-    ids, drained = _bounded_core(
+    core = _bounded_core3 if space.layers > 1 else _bounded_core
+    ids, drained = core(
         space, source, target, min_length, max_length, max_states, False
     )
     if ids is not None or not drained:
         return ids
     obs.counter("bounded.reopened").inc()
-    ids, _ = _bounded_core(
+    ids, _ = core(
         space, source, target, min_length, max_length, max_states, True
     )
     return ids
@@ -933,6 +1462,102 @@ def _bounded_core(
             ):
                 if q < 0 or q >= size or blocked[q] or q in own:
                     continue
+                if ng + rem[q] > max_length:
+                    continue
+                nstate = (
+                    (q, ng, state[2] ^ q) if split_by_own else (q, ng)
+                )
+                if nstate in parent:
+                    continue
+                parent[nstate] = state
+                own_of[nstate] = own.extended(q)
+                estimate = ng + rem[q]
+                f = float(estimate)
+                if estimate < min_length:
+                    f += _PENALTY_WEIGHT * (min_length - estimate)
+                heapq.heappush(heap, (f, next(tie), nstate))
+        return None, True
+    finally:
+        if states:
+            obs.counter("bounded.states").inc(states)
+
+
+def _bounded_core3(
+    space: SearchSpace,
+    source: Cell,
+    target: Cell,
+    min_length: int,
+    max_length: int,
+    max_states: int,
+    split_by_own: bool,
+) -> Tuple[Optional[List[int]], bool]:
+    """One bounded-search pass on the multi-layer topology.
+
+    The G value is the *weighted* channel length: planar steps add 1,
+    via steps add ``grid.via_length`` (vias consume channel budget in
+    the length-matching constraint).  The remaining-length table is the
+    admissible ``planar_L1 + via_length * z_distance`` bound, so the
+    ``g + rem > max_length`` prune stays safe.
+    """
+    grid = space.grid
+    width = space.width
+    height = space.height
+    layers = space.layers
+    plane = space.plane
+    via_length = grid.via_length
+    blocked = memoryview(space.blocked)
+    sx, sy, sz = _cell3(source)
+    tx, ty, tz = _cell3(target)
+    sid = sz * plane + sy * width + sx
+    tid = tz * plane + ty * width + tx
+
+    rem = _heuristic_table3(
+        width, height, layers, (tx, tx, ty, ty, tz, tz), via_length
+    ).data
+    nbr_mv = memoryview(
+        _nbr_table3(width, height, layers, grid.via_mask()).reshape(-1)
+    )
+
+    start = (sid, 0, sid) if split_by_own else (sid, 0)
+    parent: Dict[Tuple[int, ...], Optional[Tuple[int, ...]]] = {start: None}
+    own_of: Dict[Tuple[int, ...], _OwnCells] = {start: _OwnCells.single(sid)}
+    heap: List[Tuple[float, int, Tuple[int, ...]]] = []
+    tie = count()
+
+    estimate = int(rem[sid])
+    f0 = float(estimate)
+    if estimate < min_length:
+        f0 += _PENALTY_WEIGHT * (min_length - estimate)
+    heapq.heappush(heap, (f0, next(tie), start))
+    states = 0
+
+    try:
+        while heap:
+            _, _, state = heapq.heappop(heap)
+            p = state[0]
+            g = state[1]
+            if p == tid and min_length <= g <= max_length:
+                ids: List[int] = []
+                node: Optional[Tuple[int, ...]] = state
+                while node is not None:
+                    ids.append(node[0])
+                    node = parent[node]
+                ids.reverse()
+                if len(set(ids)) == len(ids):  # simple path only
+                    return ids, False
+                continue
+            states += 1
+            if states > max_states:
+                return None, False
+            if g >= max_length:
+                continue
+            own = own_of[state]
+            base = 6 * p
+            for k in range(6):
+                q = nbr_mv[base + k]
+                if q < 0 or blocked[q] or q in own:
+                    continue
+                ng = g + (1 if k < 4 else via_length)
                 if ng + rem[q] > max_length:
                     continue
                 nstate = (

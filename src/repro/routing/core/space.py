@@ -36,7 +36,7 @@ from typing import Iterable, List, Optional, Set
 
 import numpy as np
 
-from repro.geometry.point import Point
+from repro.geometry.point import Point, cell_point
 from repro.grid.grid import RoutingGrid
 from repro.grid.occupancy import FREE, Occupancy
 from repro.observability import context as obs
@@ -54,6 +54,26 @@ def _id_array(ids: Iterable[int]) -> "np.ndarray":
     if not n:
         return _EMPTY_IDS
     return np.fromiter(seq, dtype=np.int64, count=n)
+
+
+def _on_chip_ids(grid: RoutingGrid, points: Iterable[Point]) -> List[int]:
+    """Return the cell ids of the on-chip points (off-chip ones skipped).
+
+    Off-chip extra obstacles were no-ops before the fused mask (no
+    on-chip cell ever compared equal to them); skipping keeps negative
+    or over-range coordinates from wrapping into valid ids.  Mixed-arity
+    cells follow the canonical rule (2-tuples are layer 0).
+    """
+    width = grid.width
+    height = grid.height
+    layers = grid.layers
+    plane = grid.plane
+    on_chip: List[int] = []
+    for p in points:
+        z = p[2] if len(p) == 3 else 0
+        if 0 <= p[0] < width and 0 <= p[1] < height and 0 <= z < layers:
+            on_chip.append(z * plane + p[1] * width + p[0])
+    return on_chip
 
 
 class SearchSpace:
@@ -80,7 +100,16 @@ class SearchSpace:
             truthy when the cell may not be entered.
     """
 
-    __slots__ = ("grid", "width", "height", "size", "net", "blocked")
+    __slots__ = (
+        "grid",
+        "width",
+        "height",
+        "layers",
+        "plane",
+        "size",
+        "net",
+        "blocked",
+    )
 
     def __init__(
         self,
@@ -96,7 +125,9 @@ class SearchSpace:
         width = grid.width
         self.width = width
         self.height = grid.height
-        self.size = width * grid.height
+        self.layers = grid.layers
+        self.plane = grid.plane
+        self.size = grid.size
         self.net = net
         # Static obstacles: one C-level copy of the grid's flat mask.
         if occupancy is not None:
@@ -111,15 +142,7 @@ class SearchSpace:
         else:
             blocked = grid.obstacle_mask().copy()
         if extra_obstacles is not None:
-            height = self.height
-            # Off-chip extra obstacles were no-ops before the fused
-            # mask (no on-chip cell ever compared equal to them);
-            # skip them so negative coordinates cannot wrap.
-            on_chip = [
-                p[1] * width + p[0]
-                for p in extra_obstacles
-                if 0 <= p[0] < width and 0 <= p[1] < height
-            ]
+            on_chip = _on_chip_ids(grid, extra_obstacles)
             if on_chip:
                 blocked[_id_array(on_chip)] = 1
         if extra_obstacle_ids is not None:
@@ -144,7 +167,9 @@ class SearchSpace:
         space.grid = grid
         space.width = grid.width
         space.height = grid.height
-        space.size = grid.width * grid.height
+        space.layers = grid.layers
+        space.plane = grid.plane
+        space.size = grid.size
         space.net = net
         space.blocked = blocked
         return space
@@ -169,32 +194,48 @@ class SearchSpace:
     def routable(self, p: Point) -> bool:
         """Return True when cell ``p`` is on-chip and may be entered."""
         x, y = p[0], p[1]
+        z = p[2] if len(p) == 3 else 0
         return (
             0 <= x < self.width
             and 0 <= y < self.height
-            and not self.blocked[y * self.width + x]
+            and 0 <= z < self.layers
+            and not self.blocked[z * self.plane + y * self.width + x]
         )
 
     # -- representation boundary ------------------------------------------
 
     def index(self, p: Point) -> int:
         """Return the flat cell id of on-chip cell ``p``."""
+        if len(p) == 3:
+            return p[2] * self.plane + p[1] * self.width + p[0]
         return p[1] * self.width + p[0]
 
     def point(self, cid: int) -> Point:
         """Return the cell of flat id ``cid`` (divmod reconstruction)."""
-        y, x = divmod(cid, self.width)
-        return Point(x, y)
+        if cid < self.plane:
+            y, x = divmod(cid, self.width)
+            return Point(x, y)
+        z, rem = divmod(cid, self.plane)
+        y, x = divmod(rem, self.width)
+        return cell_point(x, y, z)
 
     def materialize(self, ids: List[int]) -> Path:
         """Return the :class:`Path` of a cell-id sequence.
 
         This is the single place the engine's integer world turns back
         into :class:`~repro.geometry.point.Point` — path materialisation
-        time, as late as possible.
+        time, as late as possible.  Layer-0 ids become plain ``Point``,
+        upper-layer ids ``Point3`` (the canonical mixed-arity rule).
         """
         width = self.width
-        return Path([Point(cid % width, cid // width) for cid in ids])
+        if self.layers == 1:
+            return Path([Point(cid % width, cid // width) for cid in ids])
+        plane = self.plane
+        cells: List[Point] = []
+        for cid in ids:
+            z, rem = divmod(cid, plane)
+            cells.append(cell_point(rem % width, rem // width, z))
+        return Path(cells)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -325,13 +366,7 @@ class SpaceCache:
             fused[own_arr] = static[own_arr]
             patches.append(own_arr)
         if extra_obstacles is not None:
-            width = grid.width
-            height = grid.height
-            on_chip = [
-                p[1] * width + p[0]
-                for p in extra_obstacles
-                if 0 <= p[0] < width and 0 <= p[1] < height
-            ]
+            on_chip = _on_chip_ids(grid, extra_obstacles)
             if on_chip:
                 arr = _id_array(on_chip)
                 fused[arr] = 1

@@ -98,7 +98,7 @@ class NegotiationRouter:
         # endpoint nodes; riding along a sibling edge would silently
         # shortcut the channel network and break length matching.
         self.exclusive_within_net = exclusive_within_net
-        self.history: List[float] = [0.0] * (grid.width * grid.height)
+        self.history: List[float] = [0.0] * grid.size
 
     def route(
         self,
@@ -251,8 +251,15 @@ class NegotiationRouter:
 
     def _materialize(self, id_paths: Dict[int, List[int]]) -> Dict[int, Path]:
         """Turn per-edge cell-id paths back into :class:`Path` objects."""
-        width = self.grid.width
+        grid = self.grid
+        width = grid.width
+        if grid.layers == 1:
+            return {
+                edge_id: Path([Point(cid % width, cid // width) for cid in ids])
+                for edge_id, ids in id_paths.items()
+            }
+        point = grid.point
         return {
-            edge_id: Path([Point(cid % width, cid // width) for cid in ids])
+            edge_id: Path([point(cid) for cid in ids])
             for edge_id, ids in id_paths.items()
         }

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, List, Sequence, Tuple
 
-from repro.geometry.point import Point
+from repro.geometry.point import Point, cell_point, cell_z, manhattan
 from repro.robustness.errors import KernelPreconditionError
 from repro.geometry.rect import Rect
 
@@ -14,8 +14,11 @@ class Path:
 
     The channel *length* is the number of grid steps, i.e. ``len(cells) -
     1``; a single-cell path has length zero.  Paths are immutable after
-    construction and validate 4-adjacency, so a constructed ``Path`` is
-    always physically realisable on the grid.
+    construction and validate adjacency (one axis step per move — four
+    planar directions plus up/down via moves on multi-layer grids), so a
+    constructed ``Path`` is always physically realisable on the grid.
+    Cells follow the canonical mixed-arity rule: layer-0 cells are plain
+    ``(x, y)`` :class:`Point`, upper-layer cells are ``(x, y, z)``.
     """
 
     __slots__ = ("_cells",)
@@ -23,11 +26,14 @@ class Path:
     def __init__(self, cells: Sequence[Point]) -> None:
         if not cells:
             raise KernelPreconditionError("a path must contain at least one cell")
-        cells = [Point(c[0], c[1]) for c in cells]
+        cells = [
+            cell_point(c[0], c[1], c[2]) if len(c) == 3 else Point(c[0], c[1])
+            for c in cells
+        ]
         for a, b in zip(cells, cells[1:]):
-            if a.manhattan(b) != 1:
+            if manhattan(a, b) != 1:
                 raise KernelPreconditionError(
-                    f"path cells {a} and {b} are not 4-adjacent"
+                    f"path cells {a} and {b} are not adjacent"
                 )
         self._cells: Tuple[Point, ...] = tuple(cells)
 
@@ -50,6 +56,25 @@ class Path:
     def length(self) -> int:
         """Return the channel length in grid steps."""
         return len(self._cells) - 1
+
+    @property
+    def via_count(self) -> int:
+        """Return the number of vertical (via) steps along the path."""
+        vias = 0
+        for a, b in zip(self._cells, self._cells[1:]):
+            if cell_z(a) != cell_z(b):
+                vias += 1
+        return vias
+
+    def weighted_length(self, via_length: int) -> int:
+        """Return the channel length with each via counted as ``via_length``.
+
+        Identical to :attr:`length` for planar paths or ``via_length ==
+        1`` — the single-layer flow never diverges.
+        """
+        if via_length == 1:
+            return self.length
+        return self.length + self.via_count * (via_length - 1)
 
     def is_simple(self) -> bool:
         """Return True when no cell repeats (the channel does not self-cross)."""
@@ -75,13 +100,28 @@ class Path:
         """Return the cells as a frozen set (for occupancy bookkeeping)."""
         return frozenset(self._cells)
 
-    def cell_ids(self, width: int) -> List[int]:
+    def cell_ids(self, width: int, height: int = 0) -> List[int]:
         """Return the flat ``grid.index`` cell ids of a ``width``-wide grid.
 
         The bridge from materialised paths back into the kernel core's
         integer representation (occupancy buckets, blocked-masks).
+        ``height`` is only needed when the path may visit upper layers
+        (``z * width * height`` enters the id); planar paths never use
+        it.
         """
-        return [c[1] * width + c[0] for c in self._cells]
+        plane = width * height
+        ids: List[int] = []
+        for c in self._cells:
+            if len(c) == 3:
+                if not height:
+                    raise KernelPreconditionError(
+                        "cell_ids needs the grid height to address "
+                        f"upper-layer cell {c}"
+                    )
+                ids.append(c[2] * plane + c[1] * width + c[0])
+            else:
+                ids.append(c[1] * width + c[0])
+        return ids
 
     def __iter__(self) -> Iterator[Point]:
         return iter(self._cells)

@@ -2,37 +2,58 @@
 
 Legend: ``.`` free, ``#`` obstacle, ``V`` valve, ``P`` candidate pin,
 ``@`` assigned pin, digits/letters = channel cells of a net (net id
-modulo 36).  Intended for small designs and debugging; rows are rendered
-with y growing downward.
+modulo 36), ``+`` = via (a channel changing layers in that column).
+Multi-layer designs render one panel per layer, top to bottom, each
+introduced by a ``-- layer z --`` header; single-layer output carries no
+headers and is unchanged from the planar renderer.  Intended for small
+designs and debugging; rows are rendered with y growing downward.
 """
 
 from __future__ import annotations
 
 import string
-from typing import Optional
+from typing import List, Optional
 
-from repro.core.result import PacorResult
+from repro.core.result import PacorResult, is_via_segment
 from repro.designs.design import Design
 
 _NET_GLYPHS = string.digits + string.ascii_lowercase
 
 
+def _z(cell) -> int:
+    return cell[2] if len(cell) == 3 else 0
+
+
 def render_ascii(design: Design, result: Optional[PacorResult] = None) -> str:
     """Render ``design`` (and optionally a routed ``result``) as text."""
     grid = design.grid
-    rows = [["."] * grid.width for _ in range(grid.height)]
+    panels = [
+        [["."] * grid.width for _ in range(grid.height)]
+        for _ in range(grid.layers)
+    ]
     for p in grid.obstacle_cells():
-        rows[p.y][p.x] = "#"
+        panels[_z(p)][p[1]][p[0]] = "#"
     for pin in design.control_pins:
-        rows[pin.y][pin.x] = "P"
+        panels[0][pin.y][pin.x] = "P"
     if result is not None:
         for net in result.nets:
             glyph = _NET_GLYPHS[net.net_id % len(_NET_GLYPHS)]
             for cell in net.cells:
-                rows[cell.y][cell.x] = glyph
+                panels[_z(cell)][cell[1]][cell[0]] = glyph
+        for net in result.nets:
+            for a, b in net.segments:
+                if is_via_segment((a, b)):
+                    panels[_z(a)][a[1]][a[0]] = "+"
+                    panels[_z(b)][b[1]][b[0]] = "+"
         for net in result.nets:
             if net.pin is not None:
-                rows[net.pin.y][net.pin.x] = "@"
+                panels[0][net.pin.y][net.pin.x] = "@"
     for valve in design.valves:
-        rows[valve.position.y][valve.position.x] = "V"
-    return "\n".join("".join(row) for row in rows)
+        panels[0][valve.position.y][valve.position.x] = "V"
+    if grid.layers == 1:
+        return "\n".join("".join(row) for row in panels[0])
+    blocks: List[str] = []
+    for z, panel in enumerate(panels):
+        blocks.append(f"-- layer {z} --")
+        blocks.extend("".join(row) for row in panel)
+    return "\n".join(blocks)

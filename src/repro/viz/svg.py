@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.core.result import PacorResult
+from repro.core.result import PacorResult, is_via_segment
 from repro.designs.design import Design
 
 _PALETTE = [
@@ -21,6 +21,10 @@ _PALETTE = [
 ]
 
 
+def _z(cell) -> int:
+    return cell[2] if len(cell) == 3 else 0
+
+
 def render_svg(
     design: Design,
     result: Optional[PacorResult] = None,
@@ -35,19 +39,32 @@ def render_svg(
     cell.  Pass a :class:`~repro.flowlayer.channels.FlowLayer` as
     ``flow`` to draw the flow channels underneath in light blue (the
     two-layer view of Fig. 1).
+
+    Multi-layer designs render one panel per routing layer, left to
+    right; a via is marked as a colour-ringed dot on *both* panels of
+    the column it passes through.  Single-layer documents are
+    byte-identical to the planar renderer's output.
     """
     grid = design.grid
-    width = grid.width * cell
+    panel_w = grid.width * cell
+    gap = cell if grid.layers > 1 else 0
+    width = panel_w * grid.layers + gap * (grid.layers - 1)
     height = grid.height * cell
 
-    def centre(p) -> str:
-        return f"{p.x * cell + cell / 2:.1f},{p.y * cell + cell / 2:.1f}"
+    def xoff(z: int) -> int:
+        return z * (panel_w + gap)
 
     parts: List[str] = [
         f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
         f'height="{height}" viewBox="0 0 {width} {height}">',
         f'<rect width="{width}" height="{height}" fill="#ffffff"/>',
     ]
+    if grid.layers > 1:
+        for z in range(grid.layers):
+            parts.append(
+                f'<rect x="{xoff(z)}" y="0" width="{panel_w}" '
+                f'height="{height}" fill="none" stroke="#dddddd"/>'
+            )
     if flow is not None:
         for channel in flow.channels:
             for p in channel.cells:
@@ -61,18 +78,28 @@ def render_svg(
         ):
             continue  # drawn as a flow cell already
         parts.append(
-            f'<rect x="{p.x * cell}" y="{p.y * cell}" width="{cell}" '
-            f'height="{cell}" fill="#333333"/>'
+            f'<rect x="{xoff(_z(p)) + p[0] * cell}" y="{p[1] * cell}" '
+            f'width="{cell}" height="{cell}" fill="#333333"/>'
         )
     if result is not None:
         for net in result.nets:
             colour = _PALETTE[net.net_id % len(_PALETTE)]
             for a, b in sorted(net.segments):
+                if is_via_segment((a, b)):
+                    # One ringed dot per panel the via connects.
+                    for endpoint in (a, b):
+                        parts.append(
+                            f'<circle cx="{xoff(_z(endpoint)) + endpoint[0] * cell + cell / 2:.1f}" '
+                            f'cy="{endpoint[1] * cell + cell / 2:.1f}" '
+                            f'r="{cell / 3:.1f}" fill="#ffffff" '
+                            f'stroke="{colour}" stroke-width="1.5"/>'
+                        )
+                    continue
                 parts.append(
-                    f'<line x1="{a.x * cell + cell / 2:.1f}" '
-                    f'y1="{a.y * cell + cell / 2:.1f}" '
-                    f'x2="{b.x * cell + cell / 2:.1f}" '
-                    f'y2="{b.y * cell + cell / 2:.1f}" '
+                    f'<line x1="{xoff(_z(a)) + a[0] * cell + cell / 2:.1f}" '
+                    f'y1="{a[1] * cell + cell / 2:.1f}" '
+                    f'x2="{xoff(_z(b)) + b[0] * cell + cell / 2:.1f}" '
+                    f'y2="{b[1] * cell + cell / 2:.1f}" '
                     f'stroke="{colour}" stroke-width="{max(cell / 3, 1):.1f}" '
                     f'stroke-linecap="round"/>'
                 )

@@ -1,0 +1,88 @@
+"""CLI coverage for the layer-axis flags: --layers, --via-cost, --fpva."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.designs import load_design
+
+
+def test_route_with_layers_flag(capsys):
+    assert main(["route", "S1", "--layers", "2", "--verify"]) == 0
+    out = capsys.readouterr().out
+    assert "completion=100.0%" in out
+    assert "verification OK" in out
+
+
+def test_route_layers_json_matches_planar(tmp_path, capsys):
+    # S1 lifted onto two open layers routes exactly like the planar
+    # run whenever vias never pay off (the layers=1 equivalence story
+    # seen through the CLI).
+    planar = tmp_path / "planar.json"
+    lifted = tmp_path / "lifted.json"
+    assert main(["route", "S1", "--json", str(planar)]) == 0
+    assert main(["route", "S1", "--layers", "1", "--json", str(lifted)]) == 0
+    doc_a = json.loads(planar.read_text())
+    doc_b = json.loads(lifted.read_text())
+    doc_a["summary"].pop("runtime_s", None)
+    doc_b["summary"].pop("runtime_s", None)
+    assert doc_a == doc_b
+
+
+def test_route_rejects_bad_layers(capsys):
+    assert main(["route", "S1", "--layers", "0"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_generate_layered_design(tmp_path, capsys):
+    out_file = tmp_path / "layered.json"
+    assert (
+        main(
+            [
+                "generate",
+                "--width",
+                "14",
+                "--height",
+                "14",
+                "--layers",
+                "2",
+                "--via-cost",
+                "3",
+                "--seed",
+                "7",
+                str(out_file),
+            ]
+        )
+        == 0
+    )
+    design = load_design(str(out_file))
+    assert design.grid.layers == 2
+    assert design.grid.via_cost == 3
+
+
+def test_generate_requires_dimensions_without_fpva(tmp_path, capsys):
+    out_file = tmp_path / "x.json"
+    assert main(["generate", str(out_file)]) == 2
+    assert "--width and --height" in capsys.readouterr().err
+
+
+def test_generate_fpva_and_route(tmp_path, capsys):
+    out_file = tmp_path / "fpva.json"
+    assert (
+        main(["generate", str(out_file), "--fpva", "3x3"]) == 0
+    )
+    design = load_design(str(out_file))
+    assert design.name == "fpva-3x3"
+    assert len(design.valves) == 9
+    assert main(["route", str(out_file), "--verify"]) == 0
+    out = capsys.readouterr().out
+    assert "completion=100.0%" in out
+
+
+def test_generate_fpva_rejects_bad_shape(tmp_path, capsys):
+    out_file = tmp_path / "bad.json"
+    assert (
+        main(["generate", str(out_file), "--fpva", "3by3"]) == 2
+    )
+    assert "--fpva wants ROWSxCOLS" in capsys.readouterr().err

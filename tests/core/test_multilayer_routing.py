@@ -1,0 +1,96 @@
+"""End-to-end multi-layer routing: forced vias, weighted lengths, export.
+
+The forcing design is a two-layer chip whose layer 0 is split by a
+full-height obstacle wall; the only valve sits on one side and every
+control pin on the other, so the solved route *must* climb to layer 1,
+cross over the wall and come back down — two via segments, guaranteed.
+"""
+
+import pytest
+
+from repro.core import PacorConfig, run_pacor
+from repro.core.result import is_via_segment
+from repro.designs import Design
+from repro.geometry import Point
+from repro.geometry.point import cell_point
+from repro.grid import RoutingGrid
+from repro.observability import Metrics, use
+from repro.valves import ActivationSequence, Valve
+
+
+def wall_design(via_cost: int = 1, via_length: int = 1) -> Design:
+    grid = RoutingGrid(
+        15, 7, 2, via_cost=via_cost, via_length=via_length
+    )
+    grid.add_obstacles(Point(7, y) for y in range(7))
+    design = Design(
+        name="over-the-wall",
+        grid=grid,
+        valves=[Valve(0, Point(2, 3), ActivationSequence("01"))],
+        control_pins=[Point(12, 3)],
+    )
+    design.validate()
+    return design
+
+
+class TestForcedVias:
+    def test_route_crosses_the_wall_through_layer_one(self):
+        result = run_pacor(wall_design(), PacorConfig())
+        assert result.completion_rate == 1.0
+        net = next(n for n in result.nets if n.routed)
+        vias = [s for s in net.segments if is_via_segment(s)]
+        assert len(vias) >= 2
+        assert any(len(c) == 3 for c in net.cells)
+        # The wall cells themselves stay clear on layer 0.
+        assert Point(7, 3) not in net.cells
+        assert cell_point(7, 3, 1) in net.cells
+
+    def test_via_counters_emitted(self):
+        metrics = Metrics()
+        with use(metrics=metrics):
+            result = run_pacor(wall_design(), PacorConfig())
+        assert result.completion_rate == 1.0
+        counters = metrics.counter_values()
+        assert counters["via.segments"] >= 2
+        assert counters["via.nets"] == 1
+
+    def test_via_length_weights_channel_length(self):
+        plain = run_pacor(wall_design(via_length=1), PacorConfig())
+        weighted = run_pacor(wall_design(via_length=3), PacorConfig())
+        net_p = next(n for n in plain.nets if n.routed)
+        net_w = next(n for n in weighted.nets if n.routed)
+        vias_p = sum(1 for s in net_p.segments if is_via_segment(s))
+        vias_w = sum(1 for s in net_w.segments if is_via_segment(s))
+        assert net_p.channel_length == len(net_p.segments)
+        assert net_w.channel_length == len(net_w.segments) + vias_w * 2
+        assert vias_p >= 2 and vias_w >= 2
+
+    def test_json_export_carries_layered_cells(self):
+        result = run_pacor(wall_design(), PacorConfig())
+        doc = result.to_json()
+        net = next(n for n in doc["nets"] if n["routed"])
+        arities = {len(c) for c in net["cells"]}
+        assert arities == {2, 3}
+        via_segs = [
+            (a, b)
+            for a, b in net["segments"]
+            if (a[2] if len(a) == 3 else 0) != (b[2] if len(b) == 3 else 0)
+        ]
+        assert len(via_segs) >= 2
+
+    def test_via_cost_steers_away_from_vias(self):
+        # With a second route available on layer 0, a steep via cost
+        # must keep the solution planar.
+        grid = RoutingGrid(15, 7, 2, via_cost=50)
+        grid.add_obstacles(Point(7, y) for y in range(6))  # gap at y=6
+        design = Design(
+            name="door-at-the-bottom",
+            grid=grid,
+            valves=[Valve(0, Point(2, 3), ActivationSequence("01"))],
+            control_pins=[Point(12, 3)],
+        )
+        design.validate()
+        result = run_pacor(design, PacorConfig())
+        assert result.completion_rate == 1.0
+        net = next(n for n in result.nets if n.routed)
+        assert not any(is_via_segment(s) for s in net.segments)

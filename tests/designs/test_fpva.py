@@ -1,0 +1,67 @@
+"""The FPVA generator: shape, determinism and routability."""
+
+import pytest
+
+from repro.core import PacorConfig, run_pacor
+from repro.designs import generate_fpva
+from repro.geometry import Point
+
+
+class TestFpvaShape:
+    def test_matrix_geometry(self):
+        design = generate_fpva(3, 4, pitch=3, margin=3)
+        assert design.name == "fpva-3x4"
+        assert design.grid.width == 2 * 3 + 3 * 3 + 1
+        assert design.grid.height == 2 * 3 + 2 * 3 + 1
+        assert len(design.valves) == 12
+        positions = {v.position for v in design.valves}
+        assert Point(3, 3) in positions
+        assert Point(3 + 3 * 3, 3 + 2 * 3) in positions
+        assert design.lm_groups == []
+
+    def test_unique_sequences_make_singleton_nets(self):
+        design = generate_fpva(3, 3)
+        sequences = {v.sequence.steps for v in design.valves}
+        assert len(sequences) == len(design.valves)
+
+    def test_pins_on_the_boundary(self):
+        design = generate_fpva(2, 2)
+        assert len(design.control_pins) == 4
+        for pin in design.control_pins:
+            assert design.grid.is_boundary(pin)
+
+    def test_deterministic(self):
+        assert (
+            generate_fpva(3, 3).canonical_hash()
+            == generate_fpva(3, 3).canonical_hash()
+        )
+
+    def test_layered_variant(self):
+        design = generate_fpva(2, 2, layers=2, via_cost=2)
+        assert design.grid.layers == 2
+        assert design.grid.via_cost == 2
+        # Valves and pins stay on layer 0.
+        assert all(len(v.position) == 2 for v in design.valves)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            generate_fpva(0, 3)
+        with pytest.raises(ValueError):
+            generate_fpva(2, 2, pitch=1)
+        with pytest.raises(ValueError):
+            generate_fpva(2, 2, margin=0)
+
+
+class TestFpvaRouting:
+    def test_small_array_routes_completely(self):
+        design = generate_fpva(3, 3)
+        result = run_pacor(design, PacorConfig())
+        assert result.completion_rate == 1.0
+        assert result.pins_used == 9
+        # Every net is a singleton: one valve per routed net.
+        assert all(len(n.valve_ids) == 1 for n in result.nets)
+
+    def test_two_layer_array_routes_completely(self):
+        design = generate_fpva(3, 3, layers=2)
+        result = run_pacor(design, PacorConfig())
+        assert result.completion_rate == 1.0

@@ -112,3 +112,56 @@ def test_too_many_pins_rejected():
             n_obstacles=0,
             seed=1,
         )
+
+
+class TestLayeredGeneration:
+    def test_layers_one_rng_stream_unchanged(self):
+        # The layer axis must not perturb the planar RNG stream: a
+        # layers=1 call and the historical planar call are the same
+        # design, and adding layers keeps the planar content stable.
+        planar = small_design()
+        explicit = small_design(layers=1)
+        assert planar.canonical_hash() == explicit.canonical_hash()
+        lifted = small_design(layers=2)
+        assert [v.position for v in lifted.valves] == [
+            v.position for v in planar.valves
+        ]
+        assert lifted.control_pins == planar.control_pins
+
+    def test_upper_layer_obstacles_avoid_valve_columns(self):
+        design = small_design(layers=2, n_obstacles=20)
+        valve_cols = {v.position for v in design.valves}
+        for p in design.grid.obstacle_cells():
+            if len(p) == 3:
+                from repro.geometry import Point
+
+                assert Point(p[0], p[1]) not in valve_cols
+
+    def test_upper_obstacle_fraction_validated(self):
+        with pytest.raises(ValueError):
+            small_design(layers=2, upper_obstacle_fraction=1.5)
+
+
+class TestViaFaultScenarios:
+    def test_via_faults_on_layered_design(self):
+        from repro.designs import generate_fault_scenario
+
+        design = small_design(layers=2)
+        fm = generate_fault_scenario(
+            design, n_cell_faults=2, n_via_faults=3, seed=11
+        )
+        assert len(fm.via_stuck) == 3
+        valve_cells = {v.position for v in design.valves}
+        for site in fm.via_stuck:
+            assert site not in valve_cells
+            assert design.grid.via_allowed(site)
+        fm.validate(design)
+
+    def test_via_faults_rejected_on_planar_design(self):
+        from repro.designs import generate_fault_scenario
+        from repro.robustness.errors import GenerationError
+
+        with pytest.raises(GenerationError):
+            generate_fault_scenario(
+                small_design(), n_cell_faults=0, n_via_faults=1, seed=1
+            )

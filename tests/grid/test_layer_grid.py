@@ -1,0 +1,119 @@
+"""Layer-axis grid behaviour: ids, via masks, plane restriction, copy."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.geometry.point import Point3, cell_point
+from repro.grid import RoutingGrid
+
+
+class TestLayeredIndexing:
+    def test_flat_ids_stack_planes(self):
+        grid = RoutingGrid(4, 3, 2)
+        assert grid.plane == 12
+        assert grid.size == 24
+        assert grid.index(Point(1, 2)) == 9
+        assert grid.index(cell_point(1, 2, 1)) == 21
+
+    def test_point_materialises_mixed_arities(self):
+        grid = RoutingGrid(4, 3, 2)
+        assert grid.point(9) == Point(1, 2)
+        assert type(grid.point(9)) is Point
+        upper = grid.point(21)
+        assert isinstance(upper, Point3)
+        assert tuple(upper) == (1, 2, 1)
+
+    def test_index_point_round_trip(self):
+        grid = RoutingGrid(5, 4, 3)
+        for cid in range(grid.size):
+            assert grid.index(grid.point(cid)) == cid
+
+    def test_in_bounds_checks_layer(self):
+        grid = RoutingGrid(4, 4, 2)
+        assert grid.in_bounds(cell_point(0, 0, 1))
+        assert not grid.in_bounds(cell_point(0, 0, 2))
+        assert RoutingGrid(4, 4).in_bounds(cell_point(0, 0, 1)) is False
+
+    def test_via_parameters_validated(self):
+        with pytest.raises(ValueError):
+            RoutingGrid(4, 4, 0)
+        with pytest.raises(ValueError):
+            RoutingGrid(4, 4, 2, via_cost=0)
+        with pytest.raises(ValueError):
+            RoutingGrid(4, 4, 2, via_length=0)
+
+
+class TestViaMask:
+    def test_default_mask_allows_everywhere(self):
+        grid = RoutingGrid(4, 4, 2)
+        assert grid.via_allowed(Point(2, 2))
+        assert grid.blocked_via_sites() == []
+
+    def test_keepout_blocks_column_and_bumps_version(self):
+        grid = RoutingGrid(4, 4, 2)
+        before = grid.obstacle_version()
+        grid.set_via_blocked(Point(2, 2))
+        assert not grid.via_allowed(Point(2, 2))
+        assert grid.blocked_via_sites() == [Point(2, 2)]
+        assert grid.obstacle_version() > before
+        grid.set_via_blocked(Point(2, 2), blocked=False)
+        assert grid.via_allowed(Point(2, 2))
+
+    def test_obstacles_are_per_layer(self):
+        grid = RoutingGrid(4, 4, 2)
+        grid.set_obstacle(cell_point(1, 1, 1))
+        assert grid.is_obstacle(cell_point(1, 1, 1))
+        assert grid.is_free(Point(1, 1))
+        assert grid.obstacle_count() == 1
+
+
+class TestPlaneGrid:
+    def test_single_layer_grid_returns_itself(self):
+        grid = RoutingGrid(6, 6)
+        assert grid.plane_grid() is grid
+
+    def test_restriction_keeps_layer_zero_obstacles_only(self):
+        grid = RoutingGrid(6, 5, 3)
+        grid.set_obstacle(Point(1, 1))
+        grid.set_obstacle(cell_point(2, 2, 1))
+        plane = grid.plane_grid()
+        assert plane.layers == 1
+        assert plane.width == 6 and plane.height == 5
+        assert plane.is_obstacle(Point(1, 1))
+        assert plane.is_free(Point(2, 2))
+        assert plane.obstacle_version() == grid.obstacle_version()
+
+    def test_restriction_is_independent(self):
+        grid = RoutingGrid(6, 5, 2)
+        plane = grid.plane_grid()
+        plane.set_obstacle(Point(0, 0))
+        assert grid.is_free(Point(0, 0))
+
+
+class TestCopy:
+    def test_copy_carries_version(self):
+        # Regression: a copy that reset _version to 0 let SpaceCache
+        # serve a stale fused mask for the copied grid.
+        grid = RoutingGrid(6, 6)
+        grid.set_obstacle(Point(3, 3))
+        grid.set_obstacle(Point(4, 4))
+        copied = grid.copy()
+        assert copied.obstacle_version() == grid.obstacle_version()
+
+    def test_copy_carries_layer_axis(self):
+        grid = RoutingGrid(5, 4, 3, via_cost=2, via_length=4)
+        grid.set_obstacle(cell_point(1, 1, 2))
+        grid.set_via_blocked(Point(2, 2))
+        copied = grid.copy()
+        assert copied.layers == 3
+        assert copied.via_cost == 2 and copied.via_length == 4
+        assert copied.is_obstacle(cell_point(1, 1, 2))
+        assert not copied.via_allowed(Point(2, 2))
+
+    def test_copy_is_independent(self):
+        grid = RoutingGrid(5, 5, 2)
+        copied = grid.copy()
+        copied.set_obstacle(Point(1, 1))
+        copied.set_via_blocked(Point(3, 3))
+        assert grid.is_free(Point(1, 1))
+        assert grid.via_allowed(Point(3, 3))

@@ -1,0 +1,149 @@
+"""Property tests for the layers=1 equivalence invariant.
+
+The layer axis is only allowed to *extend* the routing substrate: a
+single-layer grid must behave bit-identically to the planar code it
+replaced, and a layered grid whose upper layers are unusable must
+reproduce the planar solution exactly — same cells, same lengths, same
+counters, same canonical documents.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PacorConfig, run_pacor
+from repro.designs import (
+    ClusterPlan,
+    design_from_json,
+    design_to_json,
+    generate_design,
+)
+from repro.geometry import Point
+from repro.grid import RoutingGrid
+from repro.grid.grid import cell_point
+from repro.observability import Metrics, use
+from repro.routing import astar_route
+
+grid_points = st.builds(Point, st.integers(0, 11), st.integers(0, 11))
+obstacle_sets = st.sets(grid_points, max_size=25)
+
+
+def _blocked_upper(width, height, layers=2, via_cost=1):
+    """A layered grid whose upper layers are wall-to-wall obstacles."""
+    grid = RoutingGrid(width, height, layers, via_cost=via_cost)
+    grid.add_obstacles(
+        cell_point(x, y, z)
+        for z in range(1, layers)
+        for y in range(height)
+        for x in range(width)
+    )
+    return grid
+
+
+def _canonical(result):
+    doc = result.to_json()
+    doc["summary"].pop("runtime_s", None)
+    return json.dumps(doc, sort_keys=True)
+
+
+@given(grid_points, grid_points, obstacle_sets)
+@settings(max_examples=60, deadline=None)
+def test_astar_matches_planar_when_upper_layer_is_walled(
+    src, dst, obstacles
+):
+    obstacles -= {src, dst}
+    planar = RoutingGrid(12, 12)
+    planar.add_obstacles(obstacles)
+    layered = _blocked_upper(12, 12)
+    layered.add_obstacles(obstacles)
+    p1 = astar_route(planar, [src], [dst])
+    p2 = astar_route(layered, [src], [dst])
+    if p1 is None:
+        assert p2 is None
+        return
+    assert p2 is not None
+    assert list(p1.cells) == list(p2.cells)
+    assert p1.length == p2.length
+
+
+@given(grid_points, grid_points, st.integers(1, 4))
+@settings(max_examples=40, deadline=None)
+def test_open_upper_layer_never_shortens_a_planar_route(src, dst, via_cost):
+    # Layer hops cost via_cost each and make no planar progress, so on
+    # an obstacle-free chip the layered optimum equals the planar one.
+    planar = RoutingGrid(12, 12)
+    layered = RoutingGrid(12, 12, 2, via_cost=via_cost)
+    p1 = astar_route(planar, [src], [dst])
+    p2 = astar_route(layered, [src], [dst])
+    assert p1 is not None and p2 is not None
+    assert p1.length == p2.length
+
+
+@st.composite
+def small_designs(draw):
+    seed = draw(st.integers(0, 50))
+    n_singletons = draw(st.integers(1, 3))
+    return generate_design(
+        f"prop-{seed}-{n_singletons}",
+        14,
+        14,
+        clusters=[ClusterPlan(size=2, length_matching=True)],
+        n_singletons=n_singletons,
+        n_pins=8,
+        n_obstacles=6,
+        seed=seed,
+    )
+
+
+@given(small_designs())
+@settings(max_examples=10, deadline=None)
+def test_flow_identical_on_walled_two_layer_lift(design):
+    lifted = design.with_layers(2)
+    lifted.grid.add_obstacles(
+        cell_point(x, y, 1)
+        for y in range(design.grid.height)
+        for x in range(design.grid.width)
+    )
+    base = run_pacor(design, PacorConfig())
+    walled = run_pacor(lifted, PacorConfig())
+    assert _canonical(base) == _canonical(walled)
+
+
+@given(small_designs())
+@settings(max_examples=10, deadline=None)
+def test_planar_flow_emits_no_layer_artifacts(design):
+    metrics = Metrics()
+    with use(metrics=metrics):
+        result = run_pacor(design, PacorConfig())
+    counters = metrics.counter_values()
+    assert "via.segments" not in counters
+    assert "via.nets" not in counters
+    doc = result.to_json()
+    for net in doc["nets"]:
+        assert all(len(cell) == 2 for cell in net["cells"])
+        for a, b in net["segments"]:
+            assert len(a) == 2 and len(b) == 2
+
+
+@given(small_designs())
+@settings(max_examples=10, deadline=None)
+def test_with_layers_one_preserves_canonical_hash(design):
+    assert design.with_layers(1).canonical_hash() == design.canonical_hash()
+
+
+@given(
+    small_designs(),
+    st.integers(2, 3),
+    st.integers(1, 3),
+    st.sets(st.builds(Point, st.integers(0, 13), st.integers(0, 13)), max_size=4),
+)
+@settings(max_examples=10, deadline=None)
+def test_layered_design_json_round_trip(design, layers, via_cost, keepouts):
+    lifted = design.with_layers(layers, via_cost=via_cost)
+    for site in keepouts:
+        lifted.grid.set_via_blocked(site)
+    restored = design_from_json(design_to_json(lifted))
+    assert restored.grid.layers == layers
+    assert restored.grid.via_cost == via_cost
+    assert restored.canonical_hash() == lifted.canonical_hash()

@@ -1,0 +1,149 @@
+"""The rip-neighbors rung: eviction, healing and escalation accounting.
+
+The geometry is a 7x7 chip split by a fault wall at y=3 with two doors
+(x=2 and x=4).  Net A's old route crossed the wall where a fault now
+sits; net B (healthy) camps on door x=2 *and* holds both approach cells
+of door x=4 with its own terminals, so A cannot re-route until B is
+evicted.  After eviction, A takes door x=2 and B trivially re-routes
+through door x=4 — the textbook rip-rung scenario.
+"""
+
+import pytest
+
+from repro.core.result import NetReport, PacorResult, segments_of_path
+from repro.designs import Design
+from repro.geometry import Point
+from repro.observability import Metrics, use
+from repro.robustness.faultmap import FaultMap
+from repro.robustness.repair import RepairConfig, repair_result
+from repro.valves import ActivationSequence, Valve
+
+WALL_Y = 3
+DOORS = (2, 4)
+
+
+def _design() -> Design:
+    grid_size = 7
+    from repro.grid import RoutingGrid
+
+    design = Design(
+        name="rip-arena",
+        grid=RoutingGrid(grid_size, grid_size),
+        valves=[
+            Valve(0, Point(0, 1), ActivationSequence("01")),
+            Valve(1, Point(4, 2), ActivationSequence("10")),
+        ],
+        control_pins=[Point(0, 5), Point(4, 4)],
+    )
+    design.validate()
+    return design
+
+
+def _report(net_id: int, path, pin: Point) -> NetReport:
+    return NetReport(
+        net_id=net_id,
+        origin_cluster=net_id,
+        valve_ids=[net_id],
+        length_matching=False,
+        routed=True,
+        pin=pin,
+        cells=frozenset(path),
+        segments=frozenset(segments_of_path(path)),
+        channel_length=len(path) - 1,
+    )
+
+
+def _result_doc(design: Design) -> dict:
+    # Net A: straight down column x=0, through the future fault (0, 3).
+    path_a = [Point(0, y) for y in range(1, 6)]
+    # Net B: healthy detour that blocks door x=2; its terminals (4, 2)
+    # and (4, 4) are the only approaches to door x=4.
+    path_b = [
+        Point(4, 2),
+        Point(3, 2),
+        Point(2, 2),
+        Point(2, 3),
+        Point(2, 4),
+        Point(3, 4),
+        Point(4, 4),
+    ]
+    result = PacorResult(
+        design_name=design.name,
+        method="PACOR",
+        delta=design.delta,
+        n_valves=2,
+        n_lm_clusters=0,
+        nets=[
+            _report(0, path_a, Point(0, 5)),
+            _report(1, path_b, Point(4, 4)),
+        ],
+    )
+    return result.to_json()
+
+
+def _wall_faults() -> FaultMap:
+    fm = FaultMap()
+    for x in range(7):
+        if x not in DOORS:
+            fm.add_cell(Point(x, WALL_Y))
+    return fm
+
+
+class TestRipRung:
+    def test_rip_heals_net_and_reroutes_victim(self):
+        design = _design()
+        outcome = repair_result(design, _result_doc(design), _wall_faults())
+        assert outcome.repaired == {0: "rip"}
+        assert outcome.degraded_nets == []
+        reports = {n.net_id: n for n in outcome.result.nets}
+        # A re-routed through door x=2 to its original pin.
+        assert reports[0].routed and reports[0].pin == Point(0, 5)
+        assert Point(2, 3) in reports[0].cells
+        # B was evicted, then healed through the now-only-free door x=4.
+        assert reports[1].routed and reports[1].pin == Point(4, 4)
+        assert reports[1].cells == {Point(4, 2), Point(4, 3), Point(4, 4)}
+        assert any("eviction" in e for e in outcome.result.events)
+
+    def test_escalation_counters_climb_the_ladder(self):
+        design = _design()
+        metrics = Metrics()
+        with use(metrics=metrics):
+            outcome = repair_result(
+                design, _result_doc(design), _wall_faults()
+            )
+        assert outcome.repaired == {0: "rip"}
+        counters = metrics.counter_values()
+        # local -> full and full -> rip are two distinct escalations.
+        assert counters["repair.escalations"] >= 2
+        assert counters["repair.rips"] == 1
+
+    def test_disabled_rung_degrades_instead(self):
+        design = _design()
+        config = RepairConfig(rip_neighbor_limit=0)
+        metrics = Metrics()
+        with use(metrics=metrics):
+            outcome = repair_result(
+                design, _result_doc(design), _wall_faults(), config=config
+            )
+        assert outcome.repaired == {}
+        assert outcome.degraded_nets == [0]
+        counters = metrics.counter_values()
+        assert "repair.rips" not in counters
+        # The healthy victim keeps its original route untouched.
+        reports = {n.net_id: n for n in outcome.result.nets}
+        assert Point(2, 3) in reports[1].cells
+
+    def test_rollback_when_victim_cannot_reroute(self):
+        # Fuse door x=4 too: after evicting B, the victim has nowhere
+        # to go, so the rung must roll back and degrade A instead.
+        design = _design()
+        fm = _wall_faults()
+        fm.add_cell(Point(4, WALL_Y))
+        outcome = repair_result(design, _result_doc(design), fm)
+        assert outcome.repaired == {}
+        assert outcome.degraded_nets == [0]
+        reports = {n.net_id: n for n in outcome.result.nets}
+        # B survived the failed eviction with its exact old route.
+        assert reports[1].routed
+        assert Point(2, 3) in reports[1].cells
+        assert len(reports[1].cells) == 7

@@ -1,0 +1,84 @@
+"""Rendering of multi-layer solutions (ASCII panels, SVG panels, vias)."""
+
+from repro.core import PacorConfig, run_pacor
+from repro.designs import Design
+from repro.geometry import Point
+from repro.geometry.point import cell_point
+from repro.grid import RoutingGrid
+from repro.valves import ActivationSequence, Valve
+from repro.viz import render_ascii, render_svg
+
+
+def _wall_design() -> Design:
+    grid = RoutingGrid(15, 7, 2)
+    grid.add_obstacles(Point(7, y) for y in range(7))
+    design = Design(
+        name="over-the-wall",
+        grid=grid,
+        valves=[Valve(0, Point(2, 3), ActivationSequence("01"))],
+        control_pins=[Point(12, 3)],
+    )
+    design.validate()
+    return design
+
+
+class TestLayeredAscii:
+    def test_panels_and_via_markers(self):
+        design = _wall_design()
+        result = run_pacor(design, PacorConfig())
+        art = render_ascii(design, result)
+        assert "-- layer 0 --" in art
+        assert "-- layer 1 --" in art
+        assert "+" in art
+        # One header plus seven grid rows per layer.
+        assert len(art.splitlines()) == 2 * (7 + 1)
+
+    def test_upper_layer_obstacles_drawn_on_their_panel(self):
+        grid = RoutingGrid(5, 4, 2)
+        grid.set_obstacle(cell_point(1, 1, 1))
+        design = Design(
+            name="spot",
+            grid=grid,
+            valves=[Valve(0, Point(0, 0), ActivationSequence("0"))],
+            control_pins=[Point(4, 3)],
+        )
+        art = render_ascii(design)
+        layer0, layer1 = art.split("-- layer 1 --")
+        assert "#" not in layer0
+        assert "#" in layer1
+
+    def test_planar_output_has_no_headers(self):
+        grid = RoutingGrid(5, 4)
+        design = Design(
+            name="flat",
+            grid=grid,
+            valves=[Valve(0, Point(0, 0), ActivationSequence("0"))],
+            control_pins=[Point(4, 3)],
+        )
+        art = render_ascii(design)
+        assert "layer" not in art
+        assert len(art.splitlines()) == 4
+
+
+class TestLayeredSvg:
+    def test_panels_side_by_side_with_via_rings(self):
+        design = _wall_design()
+        result = run_pacor(design, PacorConfig())
+        svg = render_svg(design, result, cell=6)
+        panel_w = 15 * 6
+        # Two panels plus one gap of one cell.
+        assert f'width="{panel_w * 2 + 6}"' in svg
+        assert 'stroke="#dddddd"' in svg  # the panel borders
+        assert 'fill="#ffffff" stroke="#4e79a7"' in svg  # via rings
+
+    def test_planar_svg_unchanged(self):
+        grid = RoutingGrid(5, 4)
+        design = Design(
+            name="flat",
+            grid=grid,
+            valves=[Valve(0, Point(0, 0), ActivationSequence("0"))],
+            control_pins=[Point(4, 3)],
+        )
+        svg = render_svg(design, cell=6)
+        assert 'width="30" height="24"' in svg
+        assert "#dddddd" not in svg
